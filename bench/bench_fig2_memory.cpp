@@ -1,0 +1,137 @@
+// Figure R2 — peak adaptation memory vs backprop window.
+//
+// Shows the component-(2) memory mechanism: activations, gradients and
+// optimizer state all shrink as the backprop window narrows. Reports both
+// the *measured* footprint from the real training loop and the simulator's
+// analytic model (which tests cross-validate), plus a paper-scale
+// projection.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+  using runtime::fmt_bytes;
+
+  std::cout << "=== Figure R2: adaptation memory vs backprop depth ===\n\n";
+
+  const nn::ModelConfig cfg = bench::bench_model_config();
+  const data::MarkovChain domain = bench::target_domain();
+
+  std::cout << "--- measured on the real training loop (6L/d32, b" << bench::kBatch << " x s"
+            << bench::kSeq << ", 30 iters each) ---\n";
+  runtime::TablePrinter table({22, 12, 12, 12, 12});
+  table.row({"method", "activations", "grads", "opt state", "total"});
+  table.rule();
+
+  struct Case {
+    std::string name;
+    core::TunerConfig tcfg;
+  };
+  std::vector<Case> cases;
+  {
+    Case vanilla{"vanilla (full)", core::TunerConfig::vanilla()};
+    vanilla.tcfg.optim.lr = 1e-2f;
+    cases.push_back(vanilla);
+  }
+  {
+    // The classic memory baseline: same gradients as vanilla, activations
+    // traded for ~1 extra forward of compute.
+    Case ckpt{"vanilla + grad ckpt", core::TunerConfig::vanilla_checkpointed()};
+    ckpt.tcfg.optim.lr = 1e-2f;
+    cases.push_back(ckpt);
+  }
+  for (int64_t w : {4, 2, 1}) {
+    Case c;
+    c.name = "adaptive, window " + std::to_string(w);
+    c.tcfg.sampling = core::DepthSampling::kUniform;
+    c.tcfg.backprop_window = w;
+    c.tcfg.optim.lr = 1e-2f;
+    cases.push_back(c);
+  }
+  {
+    // Edge-LLM window + int8 optimizer state: the full memory stack.
+    Case q;
+    q.name = "window 2 + int8 optim";
+    q.tcfg.sampling = core::DepthSampling::kUniform;
+    q.tcfg.backprop_window = 2;
+    q.tcfg.optim.lr = 1e-2f;
+    q.tcfg.quantized_optimizer = true;
+    cases.push_back(q);
+  }
+
+  for (const Case& c : cases) {
+    Rng rng(5);
+    nn::CausalLm model(cfg, rng);
+    core::AdaptiveLayerTuner tuner(model, c.tcfg, Rng(17));
+    Rng data_rng(18);
+    int64_t act = 0, grad = 0, opt = 0;
+    for (int i = 0; i < 30; ++i) {
+      const auto batch = data::sample_lm_batch(domain, bench::kBatch, bench::kSeq, data_rng);
+      const core::StepStats st = tuner.step(batch);
+      act = std::max(act, st.activation_bytes);
+      grad = std::max(grad, st.grad_bytes);
+      opt = std::max(opt, st.optimizer_state_bytes);
+    }
+    table.row({c.name, fmt_bytes(static_cast<double>(act)), fmt_bytes(static_cast<double>(grad)),
+               fmt_bytes(static_cast<double>(opt)),
+               fmt_bytes(static_cast<double>(act + grad + opt))});
+  }
+
+  std::cout << "\n--- analytic projection at LLaMA-7B scale (b1 x s512) ---\n";
+  nn::ModelConfig llama;
+  llama.vocab = 32000;
+  llama.d_model = 4096;
+  llama.n_layers = 32;
+  llama.n_heads = 32;
+  llama.d_ff = 11008;
+  llama.max_seq = 2048;
+  llama.swiglu = true;  // LLaMA's actual FFN structure
+  runtime::SimulatorConfig sim;
+  sim.batch = 1;
+  sim.seq = 512;
+
+  runtime::TablePrinter t2({22, 14, 14, 14, 14});
+  t2.row({"method", "activations", "grads", "opt state", "total+weights"});
+  t2.rule();
+  auto project = [&](const std::string& name, int64_t window, bool emb) {
+    runtime::MethodSpec m = runtime::vanilla_method(llama);
+    m.name = name;
+    if (window > 0) {
+      m.exits = {16, 24, 32};
+      m.exit_probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+      m.backprop_window = window;
+      m.update_embeddings = emb;
+      core::LucPolicy p;
+      p.layers.assign(32, core::LayerPolicy{4, 0.5f});
+      m.policy = p;
+    }
+    const runtime::MethodReport rep = runtime::simulate_method(llama, m, sim);
+    t2.row({name, fmt(rep.peak_activation_bytes / 1e9, 2) + " GB",
+            fmt(rep.peak_grad_bytes / 1e9, 2) + " GB",
+            fmt(rep.peak_optimizer_bytes / 1e9, 2) + " GB",
+            fmt(rep.peak_memory_bytes / 1e9, 2) + " GB"});
+  };
+  project("vanilla (full)", 0, true);
+  {
+    const runtime::MethodReport rep =
+        runtime::simulate_method(llama, runtime::vanilla_checkpointed_method(llama), sim);
+    t2.row({"vanilla + grad ckpt", fmt(rep.peak_activation_bytes / 1e9, 2) + " GB",
+            fmt(rep.peak_grad_bytes / 1e9, 2) + " GB",
+            fmt(rep.peak_optimizer_bytes / 1e9, 2) + " GB",
+            fmt(rep.peak_memory_bytes / 1e9, 2) + " GB"});
+  }
+  project("Edge-LLM, window 8", 8, false);
+  project("Edge-LLM, window 4", 4, false);
+  project("Edge-LLM, window 2", 2, false);
+
+  std::cout << "\nShape to check: memory falls monotonically with the window; gradient\n"
+               "checkpointing only attacks activations (grads/optimizer state stay at\n"
+               "full size and it pays a recompute), while Edge-LLM's window shrinks all\n"
+               "three at once. At 7B scale vanilla adaptation is tens of GB (impossible\n"
+               "on edge); Edge-LLM is a fraction of that, dominated by the compressed\n"
+               "weights themselves.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure R3 — layer-wise compression sensitivity profiles (LUC's input).
+// Prints the Δloss heat-map per layer for bit-widths and prune ratios, on
+// the pretrained base model evaluated on target-domain calibration data.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+
+  std::cout << "=== Figure R3: layer sensitivity to quantization and pruning ===\n\n";
+
+  auto model = bench::make_pretrained_base();
+  const std::vector<data::LmBatch> calib = bench::base_calib_set();
+
+  core::SensitivityConfig cfg;
+  cfg.bit_candidates = {2, 3, 4, 8};
+  cfg.prune_candidates = {0.0f, 0.3f, 0.5f, 0.7f};
+  const core::SensitivityProfile prof = core::analyze_sensitivity(*model, calib, cfg);
+
+  std::cout << "baseline (fp16) calibration loss: " << fmt(prof.baseline_loss, 4) << "\n\n";
+  std::cout << "Quantization: delta loss when ONLY that layer is quantized\n";
+  runtime::TablePrinter qt({8, 10, 10, 10, 10});
+  qt.row({"layer", "2-bit", "3-bit", "4-bit", "8-bit"});
+  qt.rule();
+  for (const core::LayerSensitivity& l : prof.layers) {
+    qt.row({std::to_string(l.layer), fmt(l.bit_delta.at(2), 4), fmt(l.bit_delta.at(3), 4),
+            fmt(l.bit_delta.at(4), 4), fmt(l.bit_delta.at(8), 4)});
+  }
+
+  std::cout << "\nPruning: delta loss when ONLY that layer is pruned (unstructured)\n";
+  runtime::TablePrinter pt({8, 10, 10, 10});
+  pt.row({"layer", "30%", "50%", "70%"});
+  pt.rule();
+  for (const core::LayerSensitivity& l : prof.layers) {
+    pt.row({std::to_string(l.layer), fmt(l.prune_delta.at(0.3f), 4),
+            fmt(l.prune_delta.at(0.5f), 4), fmt(l.prune_delta.at(0.7f), 4)});
+  }
+
+  // Simple ASCII profile of 2-bit sensitivity across depth.
+  std::cout << "\n2-bit sensitivity across depth:\n";
+  float max_d = 1e-6f;
+  for (const auto& l : prof.layers) max_d = std::max(max_d, l.bit_delta.at(2));
+  for (const auto& l : prof.layers) {
+    std::cout << "L" << l.layer << " |";
+    const int bars = static_cast<int>(40.0f * std::max(0.0f, l.bit_delta.at(2)) / max_d);
+    for (int i = 0; i < bars; ++i) std::cout << '#';
+    std::cout << " " << fmt(l.bit_delta.at(2), 4) << "\n";
+  }
+
+  std::cout << "\nShape to check: sensitivity is non-uniform across layers (the premise of\n"
+               "LUC) and increases as bits drop / sparsity rises within each layer.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure R5 — accuracy vs modelled-latency Pareto frontier across
+// compression budgets, Edge-LLM (layer-wise) vs uniform allocation.
+// Each point: compress, adapt briefly, evaluate voted loss + modelled
+// per-iteration latency.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+
+  std::cout << "=== Figure R5: quality vs per-iteration latency across budgets ===\n\n";
+
+  auto model = bench::make_pretrained_base();
+  const auto base_state = model->state_dict();
+  const nn::ModelConfig cfg = model->config();
+  const auto eval_set = bench::target_eval_set();
+  const runtime::SimulatorConfig sim = bench::bench_simulator();
+
+  const std::vector<data::LmBatch> sens_calib = bench::base_calib_set();
+  const std::vector<data::LmBatch> calib = bench::target_calib_set();
+  core::SensitivityConfig sens_cfg;
+  const core::SensitivityProfile prof = core::analyze_sensitivity(*model, sens_calib, sens_cfg);
+
+  const int64_t adapt_iters = 150;
+  auto run_point = [&](const core::LucPolicy& policy) {
+    model->load_state_dict(base_state);
+    core::apply_policy(*model, policy);
+    core::TunerConfig t;
+    t.sampling = core::DepthSampling::kUniform;
+    t.backprop_window = 2;
+    t.optim.lr = 1e-2f;
+    core::AdaptiveLayerTuner tuner(*model, t, Rng(55));
+    Rng data_rng(404);
+    const data::MarkovChain domain = bench::target_domain();
+    for (int64_t i = 0; i < adapt_iters; ++i) {
+      tuner.step(data::sample_lm_batch(domain, bench::kBatch, bench::kSeq, data_rng));
+    }
+    core::ExitVoter voter(*model, {core::VotingMode::kCalibratedWeight, 0.5f});
+    voter.calibrate(calib);
+    const float loss = voter.voted_loss(eval_set);
+    const double ms =
+        runtime::simulate_method(cfg, bench::edge_llm_method_spec(cfg, policy), sim).expected_ms;
+    core::clear_policy(*model);
+    return std::make_pair(loss, ms);
+  };
+
+  runtime::TablePrinter table({10, 14, 14, 12, 12});
+  table.row({"budget", "policy", "voted loss", "ppl", "iter ms"});
+  table.rule();
+
+  std::vector<std::tuple<double, float, double>> luc_points, uni_points;
+  for (double budget : {2.0, 2.5, 3.0, 4.0, 6.0}) {
+    core::LucConfig luc;
+    luc.target_effective_bits = budget;
+    luc.search = core::LucConfig::Search::kExactDp;
+    const core::LucPolicy lp = core::search_luc_policy(prof, sens_cfg, luc);
+    const auto [l_loss, l_ms] = run_point(lp);
+    luc_points.emplace_back(budget, l_loss, l_ms);
+    table.row({fmt(budget, 1) + "b", "LUC (layerwise)", fmt(l_loss, 4),
+               fmt(data::perplexity(l_loss), 2), fmt(l_ms, 3)});
+
+    const core::LucPolicy up = core::uniform_policy(cfg.n_layers, sens_cfg, budget);
+    const auto [u_loss, u_ms] = run_point(up);
+    uni_points.emplace_back(budget, u_loss, u_ms);
+    table.row({fmt(budget, 1) + "b", "uniform", fmt(u_loss, 4),
+               fmt(data::perplexity(u_loss), 2), fmt(u_ms, 3)});
+    table.rule();
+  }
+
+  // ASCII scatter: loss (y, lower better) vs latency bucket.
+  std::cout << "\nLUC-vs-uniform voted loss by budget (lower is better):\n";
+  for (size_t i = 0; i < luc_points.size(); ++i) {
+    const auto& [b, ll, lm] = luc_points[i];
+    const auto& [b2, ul, um] = uni_points[i];
+    std::cout << fmt(b, 1) << "b  LUC " << fmt(ll, 3) << "  uniform " << fmt(ul, 3)
+              << "  (LUC advantage " << fmt(ul - ll, 3) << ")\n";
+  }
+
+  std::cout << "\nShape to check: at tight budgets the layer-wise frontier dominates the\n"
+               "uniform one (lower loss at equal-or-lower latency); the gap closes as the\n"
+               "budget loosens.\n";
+  return 0;
+}

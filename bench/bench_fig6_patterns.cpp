@@ -1,0 +1,136 @@
+// Figure R6 (design-choice ablation, DESIGN.md §5) — pruning pattern
+// structure vs hardware efficiency.
+//
+// Same LUC effective-bits budget, three sparsity patterns:
+//   unstructured : best accuracy, only partially skippable in hardware
+//   2:4 (N:M)    : semi-structured, fully skippable on modern MAC arrays
+//   row          : fully structured, fully skippable, coarsest
+// The trade-off the paper's component (1)+(3) interplay navigates.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+
+  std::cout << "=== Figure R6: prune-pattern ablation (accuracy vs hw efficiency) ===\n\n";
+
+  auto model = bench::make_pretrained_base();
+  const auto base_state = model->state_dict();
+  const nn::ModelConfig cfg = model->config();
+  const auto eval_set = bench::target_eval_set();
+  const std::vector<data::LmBatch> sens_calib = bench::base_calib_set();
+  const std::vector<data::LmBatch> calib = bench::target_calib_set();
+  const runtime::SimulatorConfig sim = bench::bench_simulator();
+
+  runtime::TablePrinter table({16, 12, 12, 12, 14, 12});
+  table.row({"pattern", "calib loss", "voted loss", "ppl", "gemm util", "iter ms"});
+  table.rule();
+
+  struct PatternCase {
+    const char* name;
+    prune::Pattern pattern;
+  };
+  const PatternCase cases[] = {
+      {"unstructured", prune::Pattern::kUnstructured},
+      {"2:4", prune::Pattern::kNM},
+      {"row", prune::Pattern::kRow},
+  };
+
+  for (const PatternCase& c : cases) {
+    model->load_state_dict(base_state);
+
+    core::SensitivityConfig sens_cfg;
+    sens_cfg.prune_pattern = c.pattern;
+    if (c.pattern == prune::Pattern::kNM) {
+      // N:M fixes sparsity at 1 - n/m; probe only that ratio (plus zero).
+      sens_cfg.prune_candidates = {0.0f, 0.5f};
+    }
+    const core::SensitivityProfile prof =
+        core::analyze_sensitivity(*model, sens_calib, sens_cfg);
+    core::LucConfig luc;
+    luc.target_effective_bits = 3.0;
+    luc.search = core::LucConfig::Search::kExactDp;
+    const core::LucPolicy policy = core::search_luc_policy(prof, sens_cfg, luc);
+    core::apply_policy(*model, policy, c.pattern);
+    const float calib_loss = data::lm_loss(*model, sens_calib, cfg.n_layers);
+
+    core::TunerConfig t;
+    t.sampling = core::DepthSampling::kUniform;
+    t.backprop_window = 2;
+    t.optim.lr = 1e-2f;
+    core::AdaptiveLayerTuner tuner(*model, t, Rng(55));
+    Rng data_rng(404);
+    const data::MarkovChain domain = bench::target_domain();
+    for (int64_t i = 0; i < 200; ++i) {
+      tuner.step(data::sample_lm_batch(domain, bench::kBatch, bench::kSeq, data_rng));
+    }
+    core::ExitVoter voter(*model, {core::VotingMode::kCalibratedWeight, 0.5f});
+    voter.calibrate(calib);
+    const float voted = voter.voted_loss(eval_set);
+
+    runtime::MethodSpec spec = bench::edge_llm_method_spec(cfg, policy);
+    spec.prune_pattern = c.pattern;
+    const runtime::MethodReport rep = runtime::simulate_method(cfg, spec, sim);
+
+    table.row({c.name, fmt(calib_loss, 4), fmt(voted, 4), fmt(data::perplexity(voted), 2),
+               fmt(rep.utilization, 3), fmt(rep.expected_ms, 3)});
+    core::clear_policy(*model);
+  }
+
+  // At bench scale the iteration is bandwidth-bound, so pattern structure
+  // barely moves latency; project the same policies onto a 7B-shaped
+  // workload where compute dominates and skippability pays.
+  std::cout << "\n--- hardware effect at LLaMA-7B scale (same 4b/50% policy, per pattern) ---\n";
+  nn::ModelConfig llama;
+  llama.vocab = 32000;
+  llama.d_model = 4096;
+  llama.n_layers = 32;
+  llama.n_heads = 32;
+  llama.d_ff = 11008;
+  llama.max_seq = 2048;
+  llama.swiglu = true;  // LLaMA's actual FFN structure
+  runtime::SimulatorConfig sim7b;
+  sim7b.batch = 1;
+  sim7b.seq = 512;
+  // A 7B workload on a 256 KiB-SRAM device is bound by activation
+  // re-fetches regardless of the weights; use a developer-board-class
+  // scratchpad (2 MiB, 256-wide tiles) so the compute effect is visible.
+  sim7b.device.sram_bytes = 2.0 * 1024.0 * 1024.0;
+  sim7b.search.tile_candidates = {32, 64, 128, 256};
+
+  runtime::TablePrinter t2({16, 14, 12, 12});
+  t2.row({"pattern", "iter ms", "speedup", "gemm util"});
+  t2.rule();
+  double dense_ms = 0.0;
+  {
+    runtime::MethodSpec dense;
+    dense.name = "dense";
+    dense.policy.layers.assign(32, core::LayerPolicy{4, 0.0f});
+    dense.exits = {16, 24, 32};
+    dense.exit_probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+    dense.backprop_window = 8;
+    const auto rep = runtime::simulate_method(llama, dense, sim7b);
+    dense_ms = rep.expected_ms;
+    t2.row({"dense (no prune)", fmt(rep.expected_ms, 0), "1.00x", fmt(rep.utilization, 3)});
+  }
+  for (const PatternCase& c : cases) {
+    runtime::MethodSpec spec;
+    spec.name = c.name;
+    spec.policy.layers.assign(32, core::LayerPolicy{4, 0.5f});
+    spec.exits = {16, 24, 32};
+    spec.exit_probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+    spec.backprop_window = 8;
+    spec.prune_pattern = c.pattern;
+    const auto rep = runtime::simulate_method(llama, spec, sim7b);
+    t2.row({c.name, fmt(rep.expected_ms, 0), fmt(dense_ms / rep.expected_ms, 2) + "x",
+            fmt(rep.utilization, 3)});
+  }
+
+  std::cout << "\nShape to check: at bench scale accuracy ranks unstructured <= row/2:4\n"
+               "loss-wise with no latency difference (bandwidth-bound); at 7B scale the\n"
+               "structured patterns convert their zeros into real speedup while\n"
+               "unstructured only realises about half.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure R7 — per-iteration energy breakdown (DRAM / MAC / SRAM) across
+// the Edge-LLM component stack, at paper scale. Energy is the constraint
+// the paper's motivating edge scenario ultimately answers to; DRAM traffic
+// dominance is the standard on-device finding this model should reproduce.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+
+void report(const char* title, const nn::ModelConfig& cfg,
+            const std::vector<std::pair<std::string, runtime::MethodSpec>>& methods,
+            runtime::SimulatorConfig sim) {
+  std::cout << "--- " << title << " ---\n";
+  runtime::TablePrinter table({26, 14, 12, 12, 12, 10});
+  table.row({"configuration", "energy uJ", "dram uJ", "mac uJ", "sram uJ", "dram %"});
+  table.rule();
+  std::vector<std::pair<std::string, double>> totals;
+  for (const auto& [name, spec] : methods) {
+    const runtime::MethodReport rep = runtime::simulate_method(cfg, spec, sim);
+    table.row({name, fmt(rep.expected_energy_uj, 1), fmt(rep.dram_energy_uj, 1),
+               fmt(rep.mac_energy_uj, 1), fmt(rep.sram_energy_uj, 1),
+               fmt(100.0 * rep.dram_energy_uj / rep.expected_energy_uj, 1)});
+    totals.emplace_back(name, rep.expected_energy_uj);
+  }
+  std::cout << "\n";
+  const double base = totals.front().second;
+  for (const auto& [name, e] : totals) {
+    std::cout << fmt(base / e, 2) << "x |";
+    for (int i = 0; i < static_cast<int>(base / e * 12); ++i) std::cout << '#';
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure R7: per-iteration energy breakdown ===\n\n";
+
+  nn::ModelConfig llama;
+  llama.vocab = 32000;
+  llama.d_model = 4096;
+  llama.n_layers = 32;
+  llama.n_heads = 32;
+  llama.d_ff = 11008;
+  llama.max_seq = 2048;
+  llama.swiglu = true;  // LLaMA's actual FFN structure
+
+  core::LucPolicy luc;
+  luc.layers.assign(32, core::LayerPolicy{4, 0.5f});
+
+  runtime::MethodSpec vanilla = runtime::vanilla_method(llama);
+
+  runtime::MethodSpec with_luc = vanilla;
+  with_luc.name = "+LUC";
+  with_luc.policy = luc;
+
+  runtime::MethodSpec full = with_luc;
+  full.name = "Edge-LLM";
+  full.exits = {16, 24, 32};
+  full.exit_probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  full.backprop_window = 8;
+  full.update_embeddings = false;
+
+  runtime::SimulatorConfig sim7b;
+  sim7b.batch = 1;
+  sim7b.seq = 512;
+  report("LLaMA-7B-scale projection (b1 x s512)", llama,
+         {{"vanilla", vanilla}, {"+LUC", with_luc}, {"Edge-LLM (full)", full}}, sim7b);
+
+  // Bench-scale for completeness (bandwidth-bound: DRAM dominates even more).
+  const nn::ModelConfig small = edgellm::bench::bench_model_config();
+  core::LucPolicy small_luc;
+  small_luc.layers.assign(static_cast<size_t>(small.n_layers), core::LayerPolicy{3, 0.5f});
+  runtime::MethodSpec sv = runtime::vanilla_method(small);
+  runtime::MethodSpec se = edgellm::bench::edge_llm_method_spec(small, small_luc);
+  report("bench scale (6L/d32, b8 x s16)", small, {{"vanilla", sv}, {"Edge-LLM", se}},
+         edgellm::bench::bench_simulator());
+
+  std::cout << "Shape to check: data movement (DRAM + SRAM) dominates iteration energy over\n"
+               "MAC arithmetic — the standard edge finding; LUC cuts both MAC energy\n"
+               "(fewer, narrower MACs) and movement energy (smaller weights), and the\n"
+               "adaptive window removes most backward-pass energy wholesale.\n";
+  return 0;
+}

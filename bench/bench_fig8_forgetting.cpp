@@ -1,0 +1,104 @@
+// Figure R8 — catastrophic forgetting under continuous adaptation.
+//
+// The paper motivates *continuous* on-device adaptation; a method that
+// wrecks the base capabilities while adapting is useless for that. We
+// measure base-domain quality before/after adapting to the shifted domain
+// for vanilla full tuning, LoRA, and Edge-LLM's windowed tuning: updating
+// only a small per-iteration window (and never the embeddings) should
+// retain markedly more of the base domain.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nn/lora.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+
+float base_domain_loss(nn::CausalLm& model) {
+  Rng rng(888);
+  std::vector<data::LmBatch> eval;
+  for (int i = 0; i < 6; ++i) {
+    eval.push_back(data::sample_lm_batch(bench::base_domain(), bench::kBatch, bench::kSeq, rng));
+  }
+  return data::lm_loss(model, eval, model.config().n_layers);
+}
+
+float target_domain_loss(nn::CausalLm& model) {
+  return data::lm_loss(model, bench::target_eval_set(), model.config().n_layers);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure R8: base-domain retention while adapting (forgetting) ===\n\n";
+
+  auto model = bench::make_pretrained_base();
+  const auto base_state = model->state_dict();
+  const float base_before = base_domain_loss(*model);
+  const float target_before = target_domain_loss(*model);
+  std::cout << "pretrained base: base-domain loss " << fmt(base_before, 3)
+            << ", target-domain loss " << fmt(target_before, 3) << "\n\n";
+
+  runtime::TablePrinter table({22, 14, 14, 14});
+  table.row({"method", "target after", "base after", "forgetting"});
+  table.rule();
+
+  struct Row {
+    std::string name;
+    core::TunerConfig tcfg;
+    bool lora = false;
+  };
+  std::vector<Row> rows;
+  {
+    Row vanilla{"vanilla FT", core::TunerConfig::vanilla(), false};
+    vanilla.tcfg.optim.lr = 1e-2f;
+    rows.push_back(vanilla);
+  }
+  {
+    Row lora{"LoRA r=4", core::TunerConfig::vanilla(), true};
+    lora.tcfg.optim.lr = 1e-2f;
+    lora.tcfg.update_embeddings = false;
+    rows.push_back(lora);
+  }
+  {
+    Row edge{"Edge-LLM window 2", {}, false};
+    edge.tcfg.sampling = core::DepthSampling::kUniform;
+    edge.tcfg.backprop_window = 2;
+    edge.tcfg.optim.lr = 1e-2f;
+    rows.push_back(edge);
+  }
+  {
+    Row edge1{"Edge-LLM window 1", {}, false};
+    edge1.tcfg.sampling = core::DepthSampling::kUniform;
+    edge1.tcfg.backprop_window = 1;
+    edge1.tcfg.optim.lr = 1e-2f;
+    rows.push_back(edge1);
+  }
+
+  const data::MarkovChain domain = bench::target_domain();
+  for (const Row& r : rows) {
+    model->load_state_dict(base_state);
+    nn::disable_lora_tuning(*model);
+    Rng lora_rng(77);
+    if (r.lora) nn::enable_lora_tuning(*model, 4, 8.0f, lora_rng);
+
+    core::AdaptiveLayerTuner tuner(*model, r.tcfg, Rng(5));
+    Rng data_rng(404);
+    for (int64_t i = 0; i < bench::kAdaptIters; ++i) {
+      tuner.step(data::sample_lm_batch(domain, bench::kBatch, bench::kSeq, data_rng));
+    }
+    const float target_after = target_domain_loss(*model);
+    const float base_after = base_domain_loss(*model);
+    table.row({r.name, fmt(target_after, 3), fmt(base_after, 3),
+               "+" + fmt(base_after - base_before, 3)});
+    if (r.lora) nn::disable_lora_tuning(*model);
+  }
+
+  std::cout << "\nShape to check: all methods adapt (target loss drops well below "
+            << fmt(target_before, 2) << ");\n"
+            << "vanilla FT forgets the base domain the most, while windowed tuning\n"
+               "(fewer touched parameters per iteration) and LoRA retain more.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure R9 (extension) — decode-time KV-cache footprint: standard MHA vs
+// grouped-query attention, fp32 vs int8 cache, measured on the real
+// incremental decoder plus an analytic 7B/2048-context projection. The KV
+// cache is the dominant inference-memory cost on edge devices once weights
+// are compressed, so these two knobs complete the deployment story.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nn/decoder.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+using runtime::fmt_bytes;
+
+double quality_probe(nn::CausalLm& model, bool quantize_kv, const data::MarkovChain& domain) {
+  // Mean next-token NLL of incremental decoding over held-out streams.
+  Rng rng(777);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto stream = domain.sample(24, rng);
+    nn::IncrementalDecoder dec(model, 0, quantize_kv);
+    dec.prime({stream[0]});
+    for (size_t i = 1; i < stream.size(); ++i) {
+      const Tensor logp = edgellm::ops::log_softmax_lastdim(
+          dec.logits().reshape({int64_t{1}, model.config().vocab}));
+      total += -logp[stream[i]];
+      ++counted;
+      if (i < stream.size() - 1) dec.step(stream[i]);
+    }
+  }
+  return total / counted;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure R9: decode-time KV-cache footprint (MHA/GQA x fp32/int8) ===\n\n";
+
+  // Measured on real decoders at bench scale: train nothing, just compare
+  // footprint and decode quality of the same pretrained weights. GQA needs
+  // its own pretraining (different architecture).
+  const data::MarkovChain domain = bench::base_domain();
+
+  struct Variant {
+    const char* name;
+    int64_t kv_heads;  // 0 = full MHA
+    bool quantize;
+  };
+  const Variant variants[] = {
+      {"MHA, fp32 cache", 0, false},
+      {"MHA, int8 cache", 0, true},
+      {"GQA-2, fp32 cache", 2, false},
+      {"GQA-2, int8 cache", 2, true},
+  };
+
+  runtime::TablePrinter table({20, 14, 14, 12});
+  table.row({"variant", "kv @ 32 pos", "bytes/pos", "decode nll"});
+  table.rule();
+
+  for (const Variant& v : variants) {
+    nn::ModelConfig cfg = bench::bench_model_config();
+    cfg.n_kv_heads = v.kv_heads;
+    Rng rng(7);
+    auto model = core::pretrain_base_model(cfg, domain, 600, bench::kBatch, bench::kSeq, rng);
+
+    nn::IncrementalDecoder dec(*model, 0, v.quantize);
+    Rng srng(9);
+    const auto stream = domain.sample(32, srng);
+    dec.prime(stream);
+    const double nll = quality_probe(*model, v.quantize, domain);
+    table.row({v.name, fmt_bytes(static_cast<double>(dec.kv_cache_bytes())),
+               fmt(static_cast<double>(dec.kv_cache_bytes()) / 32.0, 1), fmt(nll, 4)});
+  }
+
+  // Analytic projection: LLaMA-7B shapes at full 2048-token context.
+  std::cout << "\n--- 7B-scale projection, 2048-token context ---\n";
+  runtime::TablePrinter t2({20, 16});
+  t2.row({"variant", "kv cache"});
+  t2.rule();
+  const double layers = 32, ctx = 2048, dh = 128;
+  auto kv_gb = [&](double kv_heads, double bytes_per_elem, double scale_bytes) {
+    return (layers * 2.0 * ctx * (kv_heads * dh * bytes_per_elem + scale_bytes)) / 1e9;
+  };
+  t2.row({"MHA, fp16 cache", fmt(kv_gb(32, 2.0, 0.0), 2) + " GB"});
+  t2.row({"MHA, int8 cache", fmt(kv_gb(32, 1.0, 4.0), 2) + " GB"});
+  t2.row({"GQA-8, fp16 cache", fmt(kv_gb(8, 2.0, 0.0), 2) + " GB"});
+  t2.row({"GQA-8, int8 cache", fmt(kv_gb(8, 1.0, 4.0), 2) + " GB"});
+
+  std::cout << "\nShape to check: int8 quarters (vs fp32) / halves (vs fp16) the cache and\n"
+               "GQA divides it by the head-group factor, both at negligible decode-NLL\n"
+               "cost; stacked, 7B decoding drops from ~1 GB of KV to ~0.13 GB.\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the kernels the library leans on:
+// GEMM variants, fake-quant, prune masking, attention forward/backward, and
+// schedule-cost evaluation / search throughput.
+#include <benchmark/benchmark.h>
+
+#include "hw/anneal.hpp"
+#include "hw/search.hpp"
+#include "quant/packed.hpp"
+#include "nn/attention.hpp"
+#include "prune/prune.hpp"
+#include "quant/quant.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace edgellm;
+
+void BM_Matmul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulNt(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul_nt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor x = randn({state.range(0), 128}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::softmax_lastdim(x));
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(512);
+
+void BM_FakeQuant(benchmark::State& state) {
+  Rng rng(3);
+  const Tensor w = randn({state.range(0), state.range(0)}, rng);
+  quant::QuantSpec spec;
+  spec.bits = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::fake_quant(w, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * w.numel());
+}
+BENCHMARK(BM_FakeQuant)->Args({64, 4})->Args({64, 8})->Args({256, 4});
+
+void BM_MagnitudeMask(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor w = randn({state.range(0), state.range(0)}, rng);
+  prune::PruneSpec spec;
+  spec.sparsity = 0.5f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prune::magnitude_mask(w, spec));
+  }
+}
+BENCHMARK(BM_MagnitudeMask)->Arg(64)->Arg(256);
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::MultiHeadAttention attn("a", 64, 4, rng);
+  attn.set_grad_enabled(false);
+  const Tensor x = randn({4, state.range(0), 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.forward(x));
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+
+void BM_AttentionTrainStep(benchmark::State& state) {
+  Rng rng(6);
+  nn::MultiHeadAttention attn("a", 64, 4, rng);
+  const Tensor x = randn({4, state.range(0), 64}, rng);
+  const Tensor g = randn({4, state.range(0), 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.forward(x));
+    benchmark::DoNotOptimize(attn.backward(g));
+    attn.zero_grad();
+  }
+}
+BENCHMARK(BM_AttentionTrainStep)->Arg(16)->Arg(64);
+
+void BM_PackedMatmul(benchmark::State& state) {
+  Rng rng(12);
+  const int64_t n = state.range(0);
+  const Tensor x = randn({8, n}, rng);
+  const Tensor w = randn({n, n}, rng);
+  const quant::PackedMatrix p = quant::PackedMatrix::pack(w, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::packed_matmul_nt(x, p));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n);
+}
+BENCHMARK(BM_PackedMatmul)->Args({128, 8})->Args({128, 4});
+
+void BM_ScheduleEval(benchmark::State& state) {
+  const hw::DeviceModel dev = hw::default_edge_device();
+  hw::GemmWorkload g;
+  g.name = "g";
+  g.m = 512;
+  g.n = 512;
+  g.k = 512;
+  g.weight_bits = 4;
+  hw::Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::evaluate_schedule(dev, g, s, dev.sram_bytes));
+  }
+}
+BENCHMARK(BM_ScheduleEval);
+
+void BM_ScheduleAnneal(benchmark::State& state) {
+  const hw::DeviceModel dev = hw::default_edge_device();
+  hw::GemmWorkload g;
+  g.name = "g";
+  g.m = 512;
+  g.n = 512;
+  g.k = 512;
+  g.weight_bits = 4;
+  hw::AnnealConfig cfg;
+  cfg.iterations = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::anneal_gemm(dev, g, dev.sram_bytes, cfg));
+  }
+}
+BENCHMARK(BM_ScheduleAnneal)->Arg(500)->Arg(2000);
+
+void BM_ScheduleSearch(benchmark::State& state) {
+  const hw::DeviceModel dev = hw::default_edge_device();
+  hw::GemmWorkload g;
+  g.name = "g";
+  g.m = 512;
+  g.n = 512;
+  g.k = 512;
+  g.weight_bits = 4;
+  const hw::SearchConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::search_gemm(dev, g, dev.sram_bytes, cfg));
+  }
+}
+BENCHMARK(BM_ScheduleSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

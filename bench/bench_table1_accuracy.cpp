@@ -1,0 +1,240 @@
+// Table R1 — task quality of Edge-LLM vs baselines at matched budgets.
+//
+// Reproduces the abstract's headline claim: Edge-LLM reaches task quality
+// comparable to vanilla tuning while each training iteration is far
+// cheaper. Baselines: vanilla full FT, LoRA, last-k layer tuning, and
+// uniform-compression FT. All methods adapt the same pretrained base to the
+// same shifted domain for the same number of iterations.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nn/lora.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+using runtime::fmt_bytes;
+
+struct MethodResult {
+  std::string name;
+  float eval_loss = 0.0f;
+  float mcq_acc = 0.0f;
+  double iter_ms = 0.0;
+  int64_t act_bytes = 0;
+  int64_t grad_bytes = 0;
+  int64_t opt_bytes = 0;
+};
+
+struct Peaks {
+  int64_t act = 0, grad = 0, opt = 0;
+};
+
+Peaks adapt(nn::CausalLm& model, const core::TunerConfig& cfg, uint64_t seed) {
+  core::AdaptiveLayerTuner tuner(model, cfg, Rng(seed));
+  Rng data_rng(404);
+  const data::MarkovChain domain = bench::target_domain();
+  Peaks p;
+  for (int64_t i = 0; i < bench::kAdaptIters; ++i) {
+    const auto batch = data::sample_lm_batch(domain, bench::kBatch, bench::kSeq, data_rng);
+    const core::StepStats st = tuner.step(batch);
+    p.act = std::max(p.act, st.activation_bytes);
+    p.grad = std::max(p.grad, st.grad_bytes);
+    p.opt = std::max(p.opt, st.optimizer_state_bytes);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table R1: adaptation quality vs baselines (Edge-LLM reproduction) ===\n"
+            << "Base: 6L/d32 decoder pretrained on the base domain; all methods adapt\n"
+            << "to a 60%-shifted domain for " << bench::kAdaptIters << " iterations.\n\n";
+
+  auto model = bench::make_pretrained_base();
+  const auto base_state = model->state_dict();
+  const nn::ModelConfig cfg = model->config();
+  const auto eval_set = bench::target_eval_set();
+  const auto mcq = bench::target_mcq_set();
+  const runtime::SimulatorConfig sim = bench::bench_simulator();
+
+  const float pre_loss = data::lm_loss(*model, eval_set, cfg.n_layers);
+  const float pre_acc =
+      data::mcq_accuracy(data::exit_logits_fn(*model, cfg.n_layers), mcq, cfg.vocab);
+  std::cout << "Before adaptation: eval loss " << fmt(pre_loss, 3) << " (ppl "
+            << fmt(data::perplexity(pre_loss), 2) << "), MCQ acc " << fmt(pre_acc, 3) << "\n\n";
+
+  std::vector<MethodResult> results;
+
+  auto restore = [&] {
+    core::clear_policy(*model);
+    nn::disable_lora_tuning(*model);
+    model->load_state_dict(base_state);
+  };
+
+  // --- vanilla full fine-tuning -------------------------------------------
+  {
+    restore();
+    core::TunerConfig t = core::TunerConfig::vanilla();
+    t.optim.lr = 1e-2f;
+    const Peaks p = adapt(*model, t, 1);
+    MethodResult r{"vanilla FT",
+                   data::lm_loss(*model, eval_set, cfg.n_layers),
+                   data::mcq_accuracy(data::exit_logits_fn(*model, cfg.n_layers), mcq, cfg.vocab),
+                   runtime::simulate_method(cfg, runtime::vanilla_method(cfg), sim).expected_ms,
+                   p.act,
+                   p.grad,
+                   p.opt};
+    results.push_back(r);
+  }
+
+  // --- LoRA (rank 4) --------------------------------------------------------
+  {
+    restore();
+    Rng lora_rng(77);
+    nn::enable_lora_tuning(*model, /*rank=*/4, /*alpha=*/8.0f, lora_rng);
+    core::TunerConfig t = core::TunerConfig::vanilla();
+    t.optim.lr = 1e-2f;
+    t.update_embeddings = false;  // frozen under LoRA anyway
+    const Peaks p = adapt(*model, t, 2);
+    // Latency: full-depth backprop like vanilla (adapter GEMMs are
+    // negligible at rank 4), so reuse the vanilla latency model.
+    MethodResult r{"LoRA r=4",
+                   data::lm_loss(*model, eval_set, cfg.n_layers),
+                   data::mcq_accuracy(data::exit_logits_fn(*model, cfg.n_layers), mcq, cfg.vocab),
+                   runtime::simulate_method(cfg, runtime::vanilla_method(cfg), sim).expected_ms,
+                   p.act,
+                   p.grad,
+                   p.opt};
+    results.push_back(r);
+    nn::disable_lora_tuning(*model);
+  }
+
+  // --- QLoRA-style: uniform 4-bit base + LoRA adapters ----------------------
+  {
+    restore();
+    quant::QuantSpec q4;
+    q4.bits = 4;
+    for (nn::TransformerBlock* b : model->blocks()) b->set_compression(q4, std::nullopt);
+    Rng lora_rng(78);
+    nn::enable_lora_tuning(*model, /*rank=*/4, /*alpha=*/8.0f, lora_rng);
+    core::TunerConfig t = core::TunerConfig::vanilla();
+    t.optim.lr = 1e-2f;
+    t.update_embeddings = false;
+    const Peaks p = adapt(*model, t, 6);
+    runtime::MethodSpec spec = runtime::vanilla_method(cfg);
+    spec.name = "qlora";
+    spec.policy.layers.assign(static_cast<size_t>(cfg.n_layers), core::LayerPolicy{4, 0.0f});
+    MethodResult r{"QLoRA-style",
+                   data::lm_loss(*model, eval_set, cfg.n_layers),
+                   data::mcq_accuracy(data::exit_logits_fn(*model, cfg.n_layers), mcq, cfg.vocab),
+                   runtime::simulate_method(cfg, spec, sim).expected_ms,
+                   p.act,
+                   p.grad,
+                   p.opt};
+    results.push_back(r);
+    nn::disable_lora_tuning(*model);
+  }
+
+  // --- last-k layer tuning (k = 2) ----------------------------------------
+  {
+    restore();
+    core::TunerConfig t;
+    t.sampling = core::DepthSampling::kFinalOnly;
+    t.backprop_window = 2;
+    t.optim.lr = 1e-2f;
+    const Peaks p = adapt(*model, t, 3);
+    runtime::MethodSpec spec = runtime::vanilla_method(cfg);
+    spec.name = "last-2";
+    spec.backprop_window = 2;
+    spec.update_embeddings = false;
+    MethodResult r{"last-2 FT",
+                   data::lm_loss(*model, eval_set, cfg.n_layers),
+                   data::mcq_accuracy(data::exit_logits_fn(*model, cfg.n_layers), mcq, cfg.vocab),
+                   runtime::simulate_method(cfg, spec, sim).expected_ms,
+                   p.act,
+                   p.grad,
+                   p.opt};
+    results.push_back(r);
+  }
+
+  // --- uniform compression + vanilla FT ------------------------------------
+  core::SensitivityConfig sens_cfg;
+  {
+    restore();
+    const core::LucPolicy uni = core::uniform_policy(cfg.n_layers, sens_cfg, 3.0);
+    core::apply_policy(*model, uni);
+    core::TunerConfig t = core::TunerConfig::vanilla();
+    t.optim.lr = 1e-2f;
+    const Peaks p = adapt(*model, t, 4);
+    runtime::MethodSpec spec = runtime::vanilla_method(cfg);
+    spec.name = "uniform";
+    spec.policy = uni;
+    MethodResult r{"uniform3b FT",
+                   data::lm_loss(*model, eval_set, cfg.n_layers),
+                   data::mcq_accuracy(data::exit_logits_fn(*model, cfg.n_layers), mcq, cfg.vocab),
+                   runtime::simulate_method(cfg, spec, sim).expected_ms,
+                   p.act,
+                   p.grad,
+                   p.opt};
+    results.push_back(r);
+  }
+
+  // --- Edge-LLM (LUC + adaptive layer tuning + voting) ---------------------
+  {
+    restore();
+    const std::vector<data::LmBatch> sens_calib = bench::base_calib_set();
+    const std::vector<data::LmBatch> calib = bench::target_calib_set();
+    const core::SensitivityProfile prof =
+        core::analyze_sensitivity(*model, sens_calib, sens_cfg);
+    core::LucConfig luc;
+    luc.target_effective_bits = 3.0;
+    luc.search = core::LucConfig::Search::kExactDp;
+    const core::LucPolicy policy = core::search_luc_policy(prof, sens_cfg, luc);
+    core::apply_policy(*model, policy);
+
+    core::TunerConfig t;
+    t.sampling = core::DepthSampling::kUniform;
+    t.backprop_window = 2;
+    t.optim.lr = 1e-2f;
+    const Peaks p = adapt(*model, t, 5);
+
+    core::ExitVoter voter(*model, {core::VotingMode::kCalibratedWeight, 0.5f});
+    voter.calibrate(calib);
+    MethodResult r{"Edge-LLM",
+                   voter.voted_loss(eval_set),
+                   data::mcq_accuracy(voter.logits_fn(), mcq, cfg.vocab),
+                   runtime::simulate_method(cfg, bench::edge_llm_method_spec(cfg, policy), sim)
+                       .expected_ms,
+                   p.act,
+                   p.grad,
+                   p.opt};
+    results.push_back(r);
+
+    std::cout << "Edge-LLM LUC policy (bits | sparsity per layer): ";
+    for (const auto& lp : policy.layers) {
+      std::cout << lp.bits << "b/" << fmt(lp.sparsity, 2) << " ";
+    }
+    std::cout << "\n\n";
+  }
+
+  runtime::TablePrinter table({14, 10, 8, 9, 11, 9, 11, 11, 11});
+  table.row({"method", "eval loss", "ppl", "mcq acc", "iter ms", "speedup", "act mem",
+             "grad mem", "opt mem"});
+  table.rule();
+  const double vanilla_ms = results.front().iter_ms;
+  for (const MethodResult& r : results) {
+    table.row({r.name, fmt(r.eval_loss, 3), fmt(data::perplexity(r.eval_loss), 2),
+               fmt(r.mcq_acc, 3), fmt(r.iter_ms, 2), fmt(vanilla_ms / r.iter_ms, 2) + "x",
+               fmt_bytes(static_cast<double>(r.act_bytes)),
+               fmt_bytes(static_cast<double>(r.grad_bytes)),
+               fmt_bytes(static_cast<double>(r.opt_bytes))});
+  }
+  std::cout << "\nPaper claim: Edge-LLM reaches accuracy comparable to vanilla tuning with a\n"
+               "2.92x per-iteration speedup; the shape to check here is eval-loss parity\n"
+               "(Edge-LLM within a few percent of vanilla, well below 'before adaptation')\n"
+               "at a multi-x modelled speedup.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Table R2 — LUC ablation: layer-wise (sensitivity-driven) allocation vs
+// uniform allocation at equal effective-bit budgets, plus greedy-vs-DP
+// searcher comparison (solution quality and search time).
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+
+  std::cout << "=== Table R2: layer-wise unified compression (LUC) ablation ===\n\n";
+
+  auto model = bench::make_pretrained_base();
+  const auto base_state = model->state_dict();
+  const nn::ModelConfig cfg = model->config();
+
+  // Sensitivity is probed on the base domain (where the model is
+  // competent); quality is reported on the base-domain calib set, since the
+  // question here is purely "how much does compression hurt the model".
+  const std::vector<data::LmBatch> calib = bench::base_calib_set();
+  const std::vector<data::LmBatch> eval_set = bench::base_calib_set(8, 999);
+
+  core::SensitivityConfig sens_cfg;
+  const core::SensitivityProfile prof = core::analyze_sensitivity(*model, calib, sens_cfg);
+  core::SensitivityConfig joint_cfg = sens_cfg;
+  joint_cfg.joint = true;
+  const core::SensitivityProfile joint_prof =
+      core::analyze_sensitivity(*model, calib, joint_cfg);
+  std::cout << "fp16 baseline calibration loss: " << fmt(prof.baseline_loss, 4) << "\n\n";
+
+  const runtime::SimulatorConfig sim = bench::bench_simulator();
+
+  runtime::TablePrinter table({8, 14, 12, 12, 12, 12, 12});
+  table.row({"budget", "policy", "pred dloss", "calib loss", "eval loss", "iter ms", "search us"});
+  table.rule();
+
+  for (double budget : {2.0, 3.0, 4.0, 6.0}) {
+    struct Entry {
+      std::string name;
+      core::LucPolicy policy;
+      double search_us = 0.0;
+    };
+    std::vector<Entry> entries;
+
+    entries.push_back({"uniform", core::uniform_policy(cfg.n_layers, sens_cfg, budget), 0.0});
+    for (auto mode : {core::LucConfig::Search::kGreedy, core::LucConfig::Search::kExactDp}) {
+      core::LucConfig luc;
+      luc.target_effective_bits = budget;
+      luc.search = mode;
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::LucPolicy p = core::search_luc_policy(prof, sens_cfg, luc);
+      const auto t1 = std::chrono::steady_clock::now();
+      entries.push_back(
+          {mode == core::LucConfig::Search::kGreedy ? "LUC-greedy" : "LUC-dp", p,
+           std::chrono::duration<double, std::micro>(t1 - t0).count()});
+    }
+    {
+      // Joint (non-additive) sensitivity ablation: the predicted delta
+      // should track the measured calibration loss more faithfully.
+      core::LucConfig luc;
+      luc.target_effective_bits = budget;
+      luc.search = core::LucConfig::Search::kExactDp;
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::LucPolicy p = core::search_luc_policy(joint_prof, joint_cfg, luc);
+      const auto t1 = std::chrono::steady_clock::now();
+      entries.push_back({"LUC-dp-joint", p,
+                         std::chrono::duration<double, std::micro>(t1 - t0).count()});
+    }
+
+    for (const Entry& e : entries) {
+      model->load_state_dict(base_state);
+      core::apply_policy(*model, e.policy);
+      const float calib_loss = data::lm_loss(*model, calib, cfg.n_layers);
+      const float eval_loss = data::lm_loss(*model, eval_set, cfg.n_layers);
+      runtime::MethodSpec spec = runtime::vanilla_method(cfg);
+      spec.policy = e.policy;
+      const double ms = runtime::simulate_method(cfg, spec, sim).expected_ms;
+      table.row({fmt(budget, 1) + "b", e.name, fmt(e.policy.predicted_delta, 4),
+                 fmt(calib_loss, 4), fmt(eval_loss, 4), fmt(ms, 3),
+                 e.name == "uniform" ? "-" : fmt(e.search_us, 1)});
+      core::clear_policy(*model);
+    }
+    table.rule();
+  }
+
+  std::cout << "\nShape to check: at tight budgets (2-3 effective bits) the sensitivity-driven\n"
+               "LUC policies keep calibration/eval loss well below the uniform policy, and\n"
+               "the exact DP never predicts worse than greedy.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Table R3 — hardware scheduling search: naive vs searched schedules for a
+// full training iteration, for both the fp16 model and the LUC-compressed
+// model, at bench scale and at paper (LLaMA-7B) scale.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+
+void report(const char* title, const nn::ModelConfig& cfg,
+            const std::vector<hw::LayerCompression>& comp, const hw::IterationSpec& iter,
+            const hw::DeviceModel& dev) {
+  const auto workloads = hw::training_iteration_workloads(cfg, comp, iter);
+  const hw::SearchConfig scfg;
+  const hw::IterationPlan naive = hw::schedule_iteration_naive(dev, workloads);
+  const hw::IterationPlan deflt = hw::schedule_iteration_default(dev, workloads);
+  const hw::IterationPlan searched = hw::schedule_iteration(dev, workloads, scfg);
+
+  std::cout << "--- " << title << " ---\n";
+  runtime::TablePrinter table({12, 14, 14, 12, 12, 12});
+  table.row({"schedule", "cycles", "dram MB", "util", "energy uJ", "pinned KB"});
+  table.rule();
+  auto row = [&](const char* name, const hw::IterationPlan& p) {
+    table.row({name, fmt(p.total_cycles, 0), fmt(p.total_dram_bytes / (1024.0 * 1024.0), 2),
+               fmt(p.gemm_utilization, 3), fmt(p.total_energy_pj * 1e-6, 1),
+               fmt(p.pinned_bytes / 1024.0, 1)});
+  };
+  row("naive", naive);
+  row("default", deflt);
+  row("searched", searched);
+  std::cout << "speedup, searched vs default: "
+            << fmt(deflt.total_cycles / searched.total_cycles, 2)
+            << "x   (vs naive: " << fmt(naive.total_cycles / searched.total_cycles, 2)
+            << "x)\n\n";
+
+  // Per-layer detail for the first forward block, showing what the search
+  // actually picked.
+  for (const hw::LayerPlan& lp : searched.layers) {
+    if (lp.name != "block0.fwd") continue;
+    std::cout << "block0 forward schedules:\n";
+    for (const hw::GemmPlan& gp : lp.gemms) {
+      std::cout << "  " << gp.gemm.name << " [" << gp.gemm.m << "x" << gp.gemm.n << "x"
+                << gp.gemm.k << "] -> " << gp.schedule.to_string() << "  cycles "
+                << fmt(gp.cost.cycles, 0) << " util " << fmt(gp.cost.utilization, 2) << "\n";
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table R3: hardware scheduling search (naive vs searched) ===\n\n";
+  const hw::DeviceModel dev = hw::default_edge_device();
+  std::cout << "device: " << dev.name << ", " << dev.peak_macs_per_cycle << " MAC/cyc, "
+            << dev.dram_bytes_per_cycle << " B/cyc DRAM, " << dev.sram_bytes / 1024.0
+            << " KiB SRAM\n\n";
+
+  // Bench-scale model, fp16 and LUC-compressed.
+  const nn::ModelConfig small = edgellm::bench::bench_model_config();
+  hw::IterationSpec iter{edgellm::bench::kBatch, edgellm::bench::kSeq, small.n_layers,
+                         small.n_layers, true};
+  std::vector<hw::LayerCompression> fp16(static_cast<size_t>(small.n_layers));
+  std::vector<hw::LayerCompression> luc(static_cast<size_t>(small.n_layers), {3, 0.5f, false});
+  report("bench scale (6L/d32), fp16", small, fp16, iter, dev);
+  report("bench scale (6L/d32), LUC 3b/50%", small, luc, iter, dev);
+
+  // Paper-scale projection: LLaMA-7B-shaped workload.
+  nn::ModelConfig llama;
+  llama.vocab = 32000;
+  llama.d_model = 4096;
+  llama.n_layers = 32;
+  llama.n_heads = 32;
+  llama.d_ff = 11008;
+  llama.max_seq = 2048;
+  llama.swiglu = true;  // LLaMA's actual FFN structure
+  hw::IterationSpec liter{1, 512, llama.n_layers, llama.n_layers, false};
+  std::vector<hw::LayerCompression> lfp16(32);
+  std::vector<hw::LayerCompression> lluc(32, {4, 0.5f, false});
+  report("LLaMA-7B scale, fp16", llama, lfp16, liter, dev);
+  report("LLaMA-7B scale, LUC 4b/50%", llama, lluc, liter, dev);
+
+  // Bandwidth-starved device: the big-tile default struggles, so the search
+  // space matters more.
+  const hw::DeviceModel small_dev = hw::constrained_edge_device();
+  std::cout << "device: " << small_dev.name << ", " << small_dev.peak_macs_per_cycle
+            << " MAC/cyc, " << small_dev.dram_bytes_per_cycle << " B/cyc DRAM, "
+            << small_dev.sram_bytes / 1024.0 << " KiB SRAM\n\n";
+  report("constrained device, LUC 4b/50% (7B)", llama, lluc, liter, small_dev);
+
+  std::cout << "Shape to check: the searched schedule never loses to the default and\n"
+               "crushes the naive one; its wins concentrate where workloads are small or\n"
+               "irregular (compressed layers, constrained devices) where pinning and\n"
+               "per-GEMM tile shapes matter. Large dense GEMMs are easy to schedule and\n"
+               "the competent default already saturates the MAC array there.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Table R4 (generality check) — the Table-R1 comparison repeated on the
+// *structured* template language, whose cloze task needs a long-range
+// subject->object dependency rather than order-1 statistics. If Edge-LLM's
+// savings only worked on trivially local data, this is where it would show.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/template_lang.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+
+data::TemplateLanguage base_lang() {
+  data::TemplateLanguage::Config cfg;
+  cfg.n_subjects = 8;
+  cfg.n_verbs = 8;
+  cfg.n_objects = 12;
+  cfg.n_modifiers = 4;
+  cfg.preferred = 2;
+  cfg.seed = 31;
+  return data::TemplateLanguage(cfg);
+}
+
+data::LmBatch sample_batch(const data::TemplateLanguage& lang, Rng& rng) {
+  const auto stream = lang.sample(edgellm::bench::kBatch * (edgellm::bench::kSeq + 1), rng);
+  return data::make_lm_batches(stream, edgellm::bench::kBatch, edgellm::bench::kSeq)[0];
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table R4: adaptation on the structured template language ===\n\n";
+
+  const data::TemplateLanguage base = base_lang();
+  const data::TemplateLanguage target = base.shifted(0.6f, 77);
+
+  nn::ModelConfig cfg = edgellm::bench::bench_model_config();
+  cfg.vocab = base.vocab();
+
+  std::cout << "pretraining on the base language...\n";
+  Rng rng(7);
+  nn::CausalLm model(cfg, rng);
+  {
+    core::TunerConfig t = core::TunerConfig::vanilla();
+    t.optim.lr = 1e-2f;
+    t.sampling = core::DepthSampling::kCyclic;
+    core::AdaptiveLayerTuner pre(model, t, Rng(8));
+    Rng drng(9);
+    for (int i = 0; i < edgellm::bench::kPretrainIters; ++i) pre.step(sample_batch(base, drng));
+  }
+  const auto base_state = model.state_dict();
+
+  // Held-out evaluation on the target language.
+  Rng eval_rng(555);
+  std::vector<data::LmBatch> eval_set;
+  for (int i = 0; i < 8; ++i) eval_set.push_back(sample_batch(target, eval_rng));
+  Rng mcq_rng(556);
+  const auto cloze = target.make_cloze_set(64, 4, mcq_rng);
+
+  const float pre_loss = data::lm_loss(model, eval_set, cfg.n_layers);
+  const float pre_acc =
+      data::mcq_accuracy(data::exit_logits_fn(model, cfg.n_layers), cloze, cfg.vocab);
+  std::cout << "before adaptation: eval loss " << fmt(pre_loss, 3) << ", cloze acc "
+            << fmt(pre_acc, 3) << "\n\n";
+
+  runtime::TablePrinter table({14, 12, 10, 11});
+  table.row({"method", "eval loss", "ppl", "cloze acc"});
+  table.rule();
+
+  auto adapt = [&](core::TunerConfig t, uint64_t seed) {
+    core::AdaptiveLayerTuner tuner(model, t, Rng(seed));
+    Rng drng(404);
+    for (int64_t i = 0; i < edgellm::bench::kAdaptIters; ++i) {
+      tuner.step(sample_batch(target, drng));
+    }
+  };
+
+  // Vanilla FT.
+  {
+    model.load_state_dict(base_state);
+    core::TunerConfig t = core::TunerConfig::vanilla();
+    t.optim.lr = 1e-2f;
+    adapt(t, 1);
+    const float loss = data::lm_loss(model, eval_set, cfg.n_layers);
+    table.row({"vanilla FT", fmt(loss, 3), fmt(data::perplexity(loss), 2),
+               fmt(data::mcq_accuracy(data::exit_logits_fn(model, cfg.n_layers), cloze,
+                                      cfg.vocab),
+                   3)});
+  }
+
+  // Edge-LLM: sensitivity on base language, LUC, windowed tuning, voting.
+  {
+    model.load_state_dict(base_state);
+    Rng crng(31);
+    std::vector<data::LmBatch> sens_calib, calib;
+    for (int i = 0; i < 6; ++i) sens_calib.push_back(sample_batch(base, crng));
+    for (int i = 0; i < 4; ++i) calib.push_back(sample_batch(target, crng));
+
+    core::SensitivityConfig sens_cfg;
+    const core::SensitivityProfile prof =
+        core::analyze_sensitivity(model, sens_calib, sens_cfg);
+    core::LucConfig luc;
+    luc.target_effective_bits = 3.0;
+    luc.search = core::LucConfig::Search::kExactDp;
+    const core::LucPolicy policy = core::search_luc_policy(prof, sens_cfg, luc);
+    core::apply_policy(model, policy);
+
+    core::TunerConfig t;
+    t.sampling = core::DepthSampling::kUniform;
+    t.backprop_window = 2;
+    t.optim.lr = 1e-2f;
+    adapt(t, 2);
+
+    core::ExitVoter voter(model, {core::VotingMode::kCalibratedWeight, 0.5f});
+    voter.calibrate(calib);
+    const float loss = voter.voted_loss(eval_set);
+    table.row({"Edge-LLM", fmt(loss, 3), fmt(data::perplexity(loss), 2),
+               fmt(data::mcq_accuracy(voter.logits_fn(), cloze, cfg.vocab), 3)});
+  }
+
+  std::cout << "\nShape to check: both methods recover the shifted language; Edge-LLM stays\n"
+               "within a few percent of vanilla on eval loss AND on the long-range cloze\n"
+               "accuracy, despite 3-effective-bit weights and a 2-layer backprop window.\n";
+  return 0;
+}

@@ -1,0 +1,187 @@
+// edgellm_cli — a small command-line front end over the library, the way a
+// downstream user would actually drive it on a device. Checkpoints are
+// self-describing (architecture config embedded), so every subcommand only
+// needs a file path.
+//
+//   edgellm_cli pretrain --out base.bin [--iters 800] [--layers 6] [--dmodel 32]
+//   edgellm_cli adapt    --in base.bin --out adapted.bin [--shift 0.6]
+//                        [--budget 3.0] [--window 2] [--iters 250]
+//   edgellm_cli eval     --in adapted.bin [--shift 0.6]
+//   edgellm_cli generate --in adapted.bin [--tokens 24] [--temp 0.7] [--shift 0.6]
+//
+// Build & run:  ./build/examples/edgellm_cli pretrain --out /tmp/base.bin
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "data/eval.hpp"
+#include "nn/decoder.hpp"
+#include "nn/serialize.hpp"
+#include "runtime/table.hpp"
+#include "runtime/trace.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+
+// Flat --key value argument map.
+std::map<std::string, std::string> parse_args(int argc, char** argv, int first) {
+  std::map<std::string, std::string> args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    check_arg(key.rfind("--", 0) == 0, "flags must start with --: " + key);
+    args[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+double get_num(const std::map<std::string, std::string>& args, const std::string& key,
+               double fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : std::stod(it->second);
+}
+
+std::string get_str(const std::map<std::string, std::string>& args, const std::string& key) {
+  const auto it = args.find(key);
+  check_arg(it != args.end(), "missing required flag --" + key);
+  return it->second;
+}
+
+data::MarkovChain make_domain(double shift) {
+  data::MarkovChain::Config dcfg;
+  dcfg.vocab = 32;
+  dcfg.order = 1;
+  dcfg.branch = 4;
+  dcfg.seed = 42;
+  const data::MarkovChain base(dcfg);
+  return shift > 0.0 ? base.shifted(static_cast<float>(shift), 4242) : base;
+}
+
+int cmd_pretrain(const std::map<std::string, std::string>& args) {
+  nn::ModelConfig cfg;
+  cfg.vocab = 32;
+  cfg.d_model = static_cast<int64_t>(get_num(args, "dmodel", 32));
+  cfg.n_layers = static_cast<int64_t>(get_num(args, "layers", 6));
+  cfg.n_heads = 4;
+  cfg.max_seq = 32;
+  const int64_t third = cfg.n_layers / 3;
+  cfg.exit_layers = {std::max<int64_t>(1, third), std::max<int64_t>(2, 2 * third),
+                     cfg.n_layers};
+
+  const int64_t iters = static_cast<int64_t>(get_num(args, "iters", 800));
+  std::cout << "pretraining " << cfg.n_layers << "L/d" << cfg.d_model << " for " << iters
+            << " iterations...\n";
+  Rng rng(static_cast<uint64_t>(get_num(args, "seed", 7)));
+  auto model = core::pretrain_base_model(cfg, make_domain(0.0), iters, 8, 16, rng);
+
+  const std::string out = get_str(args, "out");
+  nn::save_model_with_config(*model, out);
+  std::cout << "saved " << out << " (" << model->param_count() << " params)\n";
+  return 0;
+}
+
+int cmd_adapt(const std::map<std::string, std::string>& args) {
+  auto model = nn::load_model_with_config(get_str(args, "in"));
+  const double shift = get_num(args, "shift", 0.6);
+
+  core::PipelineConfig pcfg;
+  pcfg.adaptation_iters = static_cast<int64_t>(get_num(args, "iters", 250));
+  pcfg.luc.target_effective_bits = get_num(args, "budget", 3.0);
+  pcfg.luc.search = core::LucConfig::Search::kExactDp;
+  pcfg.tuner.backprop_window = static_cast<int64_t>(get_num(args, "window", 2));
+  pcfg.tuner.optim.lr = static_cast<float>(get_num(args, "lr", 1e-2));
+
+  std::cout << "adapting to shift " << shift << " (budget "
+            << pcfg.luc.target_effective_bits << " eff bits, window "
+            << pcfg.tuner.backprop_window << ")...\n";
+  const core::PipelineResult res = core::run_pipeline(*model, make_domain(shift), pcfg);
+
+  std::cout << "policy: ";
+  for (const auto& lp : res.policy.layers) std::cout << lp.bits << "b/" << lp.sparsity << " ";
+  std::cout << "\nvoted ppl " << fmt(res.voted_perplexity, 2) << ", MCQ acc "
+            << fmt(res.mcq_accuracy, 3) << ", peak activations "
+            << res.peak_activation_bytes / 1024 << " KiB\n";
+
+  if (args.contains("trace")) {
+    runtime::write_loss_curve(args.at("trace"), res.loss_curve);
+    std::cout << "wrote loss curve to " << args.at("trace") << "\n";
+  }
+
+  const std::string out = get_str(args, "out");
+  nn::save_model_with_config(*model, out);
+  std::cout << "saved " << out << "\n";
+  return 0;
+}
+
+int cmd_eval(const std::map<std::string, std::string>& args) {
+  auto model = nn::load_model_with_config(get_str(args, "in"));
+  const data::MarkovChain domain = make_domain(get_num(args, "shift", 0.6));
+  Rng rng(555);
+  std::vector<data::LmBatch> eval;
+  for (int i = 0; i < 8; ++i) eval.push_back(data::sample_lm_batch(domain, 8, 16, rng));
+
+  runtime::TablePrinter table({14, 12, 10});
+  table.row({"exit", "loss", "ppl"});
+  table.rule();
+  for (int64_t e : model->exit_layers()) {
+    const float loss = data::lm_loss(*model, eval, e);
+    table.row({"layer " + std::to_string(e), fmt(loss, 4), fmt(data::perplexity(loss), 2)});
+  }
+  core::ExitVoter voter(*model, {core::VotingMode::kCalibratedWeight, 0.5f});
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 8, 16, rng)};
+  voter.calibrate(calib);
+  const float voted = voter.voted_loss(eval);
+  table.row({"voted", fmt(voted, 4), fmt(data::perplexity(voted), 2)});
+  return 0;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& args) {
+  auto model = nn::load_model_with_config(get_str(args, "in"));
+  const data::MarkovChain domain = make_domain(get_num(args, "shift", 0.6));
+
+  nn::IncrementalDecoder dec(*model);
+  nn::GenerateConfig gcfg;
+  gcfg.max_new_tokens = static_cast<int64_t>(get_num(args, "tokens", 24));
+  gcfg.temperature = static_cast<float>(get_num(args, "temp", 0.7));
+  gcfg.top_k = static_cast<int64_t>(get_num(args, "topk", 0));
+
+  Rng rng(static_cast<uint64_t>(get_num(args, "seed", 11)));
+  const auto prompt = domain.sample(4, rng);
+  const auto gen = dec.generate(prompt, gcfg, rng);
+  std::cout << "prompt      : ";
+  for (int64_t t : prompt) std::cout << t << ' ';
+  std::cout << "\ncontinuation: ";
+  for (int64_t t : gen) std::cout << t << ' ';
+  std::cout << "\nkv cache    : " << dec.kv_cache_bytes() / 1024 << " KiB\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: edgellm_cli <pretrain|adapt|eval|generate> [--flag value ...]\n"
+               "  pretrain --out FILE [--iters N] [--layers L] [--dmodel D] [--seed S]\n"
+               "  adapt    --in FILE --out FILE [--shift F] [--budget B] [--window W] [--iters N]\n"
+               "  eval     --in FILE [--shift F]\n"
+               "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto args = parse_args(argc, argv, 2);
+    if (cmd == "pretrain") return cmd_pretrain(args);
+    if (cmd == "adapt") return cmd_adapt(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "generate") return cmd_generate(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

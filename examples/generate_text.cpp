@@ -1,0 +1,101 @@
+// On-device generation after adaptation: adapt a compressed model to a new
+// domain, then sample continuations with the KV-cached incremental decoder
+// and measure how "in-domain" the generations are — before vs after
+// adaptation, at the final exit vs an early exit (cheaper decoding).
+//
+// Build & run:  ./build/examples/generate_text
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "data/eval.hpp"
+#include "nn/decoder.hpp"
+#include "runtime/table.hpp"
+
+namespace {
+
+using namespace edgellm;
+
+// Fraction of generated transitions that land on the domain's preferred
+// next tokens (the synthetic analogue of "on-topic" text).
+double in_domain_rate(nn::CausalLm& model, const data::MarkovChain& domain, int64_t exit_layer,
+                      uint64_t seed) {
+  nn::IncrementalDecoder dec(model, exit_layer);
+  nn::GenerateConfig gcfg;
+  gcfg.max_new_tokens = 16;
+  gcfg.temperature = 0.7f;
+  Rng rng(seed);
+  int64_t hits = 0, total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto prompt = domain.sample(4, rng);
+    std::vector<int64_t> seq = prompt;
+    const auto gen = dec.generate(prompt, gcfg, rng);
+    seq.insert(seq.end(), gen.begin(), gen.end());
+    for (size_t i = prompt.size(); i < seq.size(); ++i) {
+      const std::vector<int64_t> ctx(seq.begin() + static_cast<int64_t>(i) - 1,
+                                     seq.begin() + static_cast<int64_t>(i));
+      if (domain.next_dist(ctx)[static_cast<size_t>(seq[i])] > 0.1f) ++hits;
+      ++total;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  using runtime::fmt;
+
+  data::MarkovChain::Config dcfg;
+  dcfg.vocab = 32;
+  dcfg.order = 1;
+  dcfg.branch = 4;
+  dcfg.seed = 42;
+  const data::MarkovChain base(dcfg);
+  const data::MarkovChain target = base.shifted(0.7f, 99);
+
+  nn::ModelConfig mcfg;
+  mcfg.vocab = 32;
+  mcfg.d_model = 32;
+  mcfg.n_layers = 6;
+  mcfg.n_heads = 4;
+  mcfg.max_seq = 32;
+  mcfg.exit_layers = {2, 4, 6};
+
+  std::cout << "pretraining base model...\n";
+  Rng rng(7);
+  auto model = core::pretrain_base_model(mcfg, base, 800, 8, 16, rng);
+
+  std::cout << "in-domain rate BEFORE adaptation (target domain):\n";
+  std::cout << "  final exit: " << fmt(in_domain_rate(*model, target, 6, 11), 3)
+            << "   early exit (2 of 6 layers): " << fmt(in_domain_rate(*model, target, 2, 12), 3)
+            << "\n\n";
+
+  std::cout << "adapting with Edge-LLM (LUC 3-bit budget, window 2)...\n";
+  core::PipelineConfig pcfg;
+  pcfg.adaptation_iters = 250;
+  pcfg.luc.target_effective_bits = 3.0;
+  pcfg.tuner.backprop_window = 2;
+  pcfg.tuner.optim.lr = 1e-2f;
+  (void)core::run_pipeline(*model, target, pcfg);
+
+  std::cout << "\nin-domain rate AFTER adaptation:\n";
+  std::cout << "  final exit: " << fmt(in_domain_rate(*model, target, 6, 13), 3)
+            << "   early exit (2 of 6 layers): " << fmt(in_domain_rate(*model, target, 2, 14), 3)
+            << "\n\n";
+
+  // Show one sampled stream plus the decoder's memory cost.
+  nn::IncrementalDecoder dec(*model);
+  Rng srng(21);
+  const auto prompt = target.sample(4, srng);
+  nn::GenerateConfig gcfg;
+  gcfg.max_new_tokens = 20;
+  gcfg.temperature = 0.7f;
+  const auto gen = dec.generate(prompt, gcfg, srng);
+  std::cout << "sample  prompt: ";
+  for (int64_t t : prompt) std::cout << t << ' ';
+  std::cout << "-> continuation: ";
+  for (int64_t t : gen) std::cout << t << ' ';
+  std::cout << "\nKV cache after generation: " << dec.kv_cache_bytes() / 1024 << " KiB for "
+            << dec.position() << " positions\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Paper-scale what-if: project Edge-LLM's per-iteration latency and memory
+// for a LLaMA-7B-shaped model on the modelled edge device, sweeping the two
+// knobs a deployment engineer actually owns — the compression budget and
+// the backprop window. Everything here is analytic (no 7B weights exist in
+// this process); the same simulator is cross-validated against the real
+// training loop at small scale by the test suite.
+//
+// Build & run:  ./build/examples/llama_scale_projection
+#include <iostream>
+
+#include "runtime/simulator.hpp"
+#include "runtime/table.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+
+  nn::ModelConfig llama;
+  llama.vocab = 32000;
+  llama.d_model = 4096;
+  llama.n_layers = 32;
+  llama.n_heads = 32;
+  llama.d_ff = 11008;
+  llama.max_seq = 2048;
+  llama.swiglu = true;  // LLaMA's actual FFN structure
+
+  runtime::SimulatorConfig sim;
+  sim.batch = 1;
+  sim.seq = 512;
+
+  const runtime::MethodReport vanilla =
+      runtime::simulate_method(llama, runtime::vanilla_method(llama), sim);
+  std::cout << "vanilla full tuning, one iteration: " << fmt(vanilla.expected_ms, 0)
+            << " ms, peak memory " << fmt(vanilla.peak_memory_bytes / 1e9, 1) << " GB\n\n";
+
+  runtime::TablePrinter table({10, 10, 14, 12, 14, 12});
+  table.row({"bits", "window", "iter ms", "speedup", "peak mem GB", "fits 12GB?"});
+  table.rule();
+
+  for (int bits : {8, 4, 3}) {
+    for (int64_t window : {16, 8, 4, 2}) {
+      runtime::MethodSpec m;
+      m.name = "edge-llm";
+      m.policy.layers.assign(32, core::LayerPolicy{bits, 0.5f});
+      m.exits = {16, 24, 32};
+      m.exit_probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+      m.backprop_window = window;
+      const runtime::MethodReport rep = runtime::simulate_method(llama, m, sim);
+      table.row({std::to_string(bits) + "b/50%", std::to_string(window),
+                 fmt(rep.expected_ms, 0), fmt(vanilla.expected_ms / rep.expected_ms, 2) + "x",
+                 fmt(rep.peak_memory_bytes / 1e9, 2),
+                 rep.peak_memory_bytes < 12e9 ? "yes" : "no"});
+    }
+  }
+
+  std::cout << "\nReading: vanilla 7B adaptation needs ~" << fmt(vanilla.peak_memory_bytes / 1e9, 0)
+            << " GB (no edge device has that); with 3-4 bit LUC weights and a small\n"
+               "backprop window the same iteration fits a Jetson-class 12-16 GB module\n"
+               "and runs multiple times faster.\n";
+  return 0;
+}

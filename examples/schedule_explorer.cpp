@@ -1,0 +1,76 @@
+// Hardware schedule exploration — uses the src/hw substrate directly to
+// answer deployment questions without touching any weights: how does one
+// adaptation iteration map onto different edge devices, and what does the
+// schedule search buy on each?
+//
+// Build & run:  ./build/examples/schedule_explorer
+#include <iostream>
+
+#include "hw/search.hpp"
+#include "runtime/table.hpp"
+
+int main() {
+  using namespace edgellm;
+  using runtime::fmt;
+
+  // A mid-size on-device model (GPT2-small-ish) with Edge-LLM settings:
+  // 4-bit 50%-pruned blocks, exit at layer 8 of 12, 2-layer window.
+  nn::ModelConfig cfg;
+  cfg.vocab = 8192;
+  cfg.d_model = 768;
+  cfg.n_layers = 12;
+  cfg.n_heads = 12;
+  cfg.max_seq = 256;
+  std::vector<hw::LayerCompression> comp(12, {4, 0.5f, false});
+  hw::IterationSpec iter;
+  iter.batch = 2;
+  iter.seq = 128;
+  iter.exit_layer = 8;
+  iter.backprop_depth = 2;
+
+  const auto workloads = hw::training_iteration_workloads(cfg, comp, iter);
+  int64_t total_macs = 0;
+  for (const auto& w : workloads) total_macs += w.total_macs();
+  std::cout << "one adaptation iteration = " << workloads.size() << " layers, "
+            << fmt(static_cast<double>(total_macs) / 1e9, 2) << " GMACs\n\n";
+
+  // Candidate devices.
+  std::vector<hw::DeviceModel> devices = {hw::default_edge_device(),
+                                          hw::constrained_edge_device()};
+  {
+    hw::DeviceModel big = hw::default_edge_device();
+    big.name = "edge-npu-large";
+    big.peak_macs_per_cycle = 1024.0;
+    big.dram_bytes_per_cycle = 64.0;
+    big.sram_bytes = 1024.0 * 1024.0;
+    devices.push_back(big);
+  }
+
+  runtime::TablePrinter table({18, 12, 12, 12, 12, 12});
+  table.row({"device", "default ms", "searched ms", "gain", "util", "energy mJ"});
+  table.rule();
+  const hw::SearchConfig scfg;
+  for (const hw::DeviceModel& dev : devices) {
+    const hw::IterationPlan deflt = hw::schedule_iteration_default(dev, workloads);
+    const hw::IterationPlan searched = hw::schedule_iteration(dev, workloads, scfg);
+    table.row({dev.name, fmt(dev.cycles_to_ms(deflt.total_cycles), 2),
+               fmt(dev.cycles_to_ms(searched.total_cycles), 2),
+               fmt(deflt.total_cycles / searched.total_cycles, 2) + "x",
+               fmt(searched.gemm_utilization, 2),
+               fmt(searched.total_energy_pj * 1e-9, 2)});
+  }
+
+  // Drill into what got pinned on the large device (its 1 MiB SRAM can
+  // hold whole compressed weight matrices).
+  const hw::IterationPlan plan = hw::schedule_iteration(devices[2], workloads, scfg);
+  std::cout << "\npinned weight residency on " << devices[2].name << ": "
+            << fmt(plan.pinned_bytes / 1024.0, 1) << " KiB of "
+            << fmt(devices[2].sram_bytes / 1024.0, 0) << " KiB SRAM\n";
+  std::cout << "\nper-layer latency (first 6 layers):\n";
+  for (size_t i = 0; i < plan.layers.size() && i < 6; ++i) {
+    const auto& lp = plan.layers[i];
+    std::cout << "  " << lp.name << ": " << fmt(lp.cycles(), 0) << " cycles, "
+              << fmt(lp.dram_bytes() / 1024.0, 0) << " KiB DRAM\n";
+  }
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "core/luc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace edgellm::core {
+
+namespace {
+
+struct Option {
+  int bits;
+  float sparsity;
+  float delta;        ///< raw sensitivity estimate (reported)
+  float search_delta; ///< clamped + tie-regularised objective (optimised)
+  double eff_bits;    ///< bits * (1 - sparsity)
+};
+
+std::vector<Option> layer_options(const LayerSensitivity& sens, const SensitivityConfig& cands) {
+  std::vector<Option> opts;
+  for (int b : cands.bit_candidates) {
+    for (float s : cands.prune_candidates) {
+      const double eff = b * (1.0 - static_cast<double>(s));
+      const float raw = sens.estimate(b, s);
+      // Compression cannot genuinely improve the model; negative measured
+      // deltas are calibration noise. Clamp them, and add a vanishing
+      // preference for *less* compression so ties never over-compress
+      // beyond what the budget demands.
+      const float search =
+          std::max(0.0f, raw) + static_cast<float>((16.0 - eff) * 1e-5);
+      opts.push_back({b, s, raw, search, eff});
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+double LucPolicy::avg_effective_bits() const {
+  check_arg(!layers.empty(), "LucPolicy: empty");
+  double total = 0.0;
+  for (const LayerPolicy& l : layers) total += l.effective_bits();
+  return total / static_cast<double>(layers.size());
+}
+
+namespace {
+
+LucPolicy greedy_search(const SensitivityProfile& profile, const SensitivityConfig& cands,
+                        double target_eff_bits) {
+  const size_t n = profile.layers.size();
+  std::vector<std::vector<Option>> opts(n);
+  std::vector<size_t> pick(n);
+  for (size_t i = 0; i < n; ++i) {
+    opts[i] = layer_options(profile.layers[i], cands);
+    // Start at the most expensive (highest effective bits, lowest delta).
+    size_t best = 0;
+    for (size_t j = 1; j < opts[i].size(); ++j) {
+      if (opts[i][j].eff_bits > opts[i][best].eff_bits ||
+          (opts[i][j].eff_bits == opts[i][best].eff_bits &&
+           opts[i][j].search_delta < opts[i][best].search_delta)) {
+        best = j;
+      }
+    }
+    pick[i] = best;
+  }
+
+  auto total_bits = [&] {
+    double t = 0.0;
+    for (size_t i = 0; i < n; ++i) t += opts[i][pick[i]].eff_bits;
+    return t;
+  };
+
+  const double budget = target_eff_bits * static_cast<double>(n);
+  while (total_bits() > budget) {
+    // Cheapest loss increase per saved effective bit, over all single-layer
+    // moves to a strictly cheaper option.
+    double best_rate = std::numeric_limits<double>::infinity();
+    size_t best_layer = 0, best_opt = 0;
+    bool found = false;
+    for (size_t i = 0; i < n; ++i) {
+      const Option& cur = opts[i][pick[i]];
+      for (size_t j = 0; j < opts[i].size(); ++j) {
+        const Option& cand = opts[i][j];
+        const double saved = cur.eff_bits - cand.eff_bits;
+        if (saved <= 0.0) continue;
+        const double rate = (static_cast<double>(cand.search_delta) - cur.search_delta) / saved;
+        if (rate < best_rate) {
+          best_rate = rate;
+          best_layer = i;
+          best_opt = j;
+          found = true;
+        }
+      }
+    }
+    check_arg(found, "greedy LUC search: budget unreachable with given candidates");
+    pick[best_layer] = best_opt;
+  }
+
+  LucPolicy policy;
+  for (size_t i = 0; i < n; ++i) {
+    const Option& o = opts[i][pick[i]];
+    policy.layers.push_back({o.bits, o.sparsity});
+    policy.predicted_delta += o.delta;
+  }
+  return policy;
+}
+
+LucPolicy dp_search(const SensitivityProfile& profile, const SensitivityConfig& cands,
+                    double target_eff_bits) {
+  const size_t n = profile.layers.size();
+  // Quarter-bit units keep the DP exact over the candidate grid (all
+  // candidate effective-bit values are multiples of 0.25 when prune ratios
+  // are multiples of 1/4; otherwise rounding *up* keeps the budget safe).
+  constexpr double kUnit = 0.25;
+  std::vector<std::vector<Option>> opts(n);
+  std::vector<std::vector<int>> unit_cost(n);
+  int max_units_per_layer = 0;
+  for (size_t i = 0; i < n; ++i) {
+    opts[i] = layer_options(profile.layers[i], cands);
+    for (const Option& o : opts[i]) {
+      const int u = static_cast<int>(std::ceil(o.eff_bits / kUnit - 1e-9));
+      unit_cost[i].push_back(u);
+      max_units_per_layer = std::max(max_units_per_layer, u);
+    }
+  }
+  const int budget_units =
+      static_cast<int>(std::floor(target_eff_bits * static_cast<double>(n) / kUnit + 1e-9));
+
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  // dp[u] = min total delta with exactly <= u units used so far.
+  std::vector<std::vector<float>> dp(n + 1, std::vector<float>(budget_units + 1, kInf));
+  std::vector<std::vector<int>> choice(n, std::vector<int>(budget_units + 1, -1));
+  for (int u = 0; u <= budget_units; ++u) dp[0][u] = 0.0f;
+
+  for (size_t i = 0; i < n; ++i) {
+    for (int u = 0; u <= budget_units; ++u) {
+      for (size_t j = 0; j < opts[i].size(); ++j) {
+        const int c = unit_cost[i][j];
+        if (c > u) continue;
+        const float prev = dp[i][u - c];
+        if (prev == kInf) continue;
+        const float cand = prev + opts[i][j].search_delta;
+        if (cand < dp[i + 1][u]) {
+          dp[i + 1][u] = cand;
+          choice[i][u] = static_cast<int>(j);
+        }
+      }
+    }
+  }
+  check_arg(dp[n][budget_units] < kInf, "DP LUC search: budget unreachable");
+
+  // Walk back the best end state.
+  LucPolicy policy;
+  policy.layers.resize(n);
+  int u = budget_units;
+  for (size_t i = n; i-- > 0;) {
+    const int j = choice[i][u];
+    check_arg(j >= 0, "DP LUC search: reconstruction failed");
+    const Option& o = opts[i][static_cast<size_t>(j)];
+    policy.layers[i] = {o.bits, o.sparsity};
+    policy.predicted_delta += o.delta;
+    u -= unit_cost[i][static_cast<size_t>(j)];
+  }
+  return policy;
+}
+
+}  // namespace
+
+LucPolicy search_luc_policy(const SensitivityProfile& profile, const SensitivityConfig& cands,
+                            const LucConfig& cfg) {
+  check_arg(!profile.layers.empty(), "search_luc_policy: empty profile");
+  check_arg(cfg.target_effective_bits > 0.0, "search_luc_policy: budget must be positive");
+  switch (cfg.search) {
+    case LucConfig::Search::kGreedy:
+      return greedy_search(profile, cands, cfg.target_effective_bits);
+    case LucConfig::Search::kExactDp:
+      return dp_search(profile, cands, cfg.target_effective_bits);
+  }
+  throw std::invalid_argument("unknown LUC search mode");
+}
+
+LucPolicy uniform_policy(int64_t n_layers, const SensitivityConfig& cands,
+                         double target_effective_bits) {
+  check_arg(n_layers > 0, "uniform_policy: n_layers must be positive");
+  // Closest probed (bits, sparsity) pair from below the budget; fall back to
+  // the cheapest pair when everything exceeds it.
+  double best_bits = -1.0, cheapest = std::numeric_limits<double>::infinity();
+  LayerPolicy best{}, cheapest_policy{};
+  for (int b : cands.bit_candidates) {
+    for (float s : cands.prune_candidates) {
+      const double eff = b * (1.0 - static_cast<double>(s));
+      if (eff <= target_effective_bits && eff > best_bits) {
+        best_bits = eff;
+        best = {b, s};
+      }
+      if (eff < cheapest) {
+        cheapest = eff;
+        cheapest_policy = {b, s};
+      }
+    }
+  }
+  LucPolicy policy;
+  policy.layers.assign(static_cast<size_t>(n_layers), best_bits > 0.0 ? best : cheapest_policy);
+  return policy;
+}
+
+void apply_policy(nn::CausalLm& model, const LucPolicy& policy, prune::Pattern pattern,
+                  quant::Granularity granularity) {
+  auto blocks = model.blocks();
+  check_arg(policy.layers.size() == blocks.size(),
+            "apply_policy: policy size must match layer count");
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const LayerPolicy& lp = policy.layers[i];
+    std::optional<quant::QuantSpec> q;
+    if (lp.bits < 16) {
+      q = quant::QuantSpec{};
+      q->bits = lp.bits;
+      q->granularity = granularity;
+    }
+    std::optional<prune::PruneSpec> p;
+    if (lp.sparsity > 0.0f) {
+      p = prune::PruneSpec{};
+      p->sparsity = lp.sparsity;
+      p->pattern = pattern;
+    }
+    blocks[i]->set_compression(q, p);
+  }
+}
+
+void clear_policy(nn::CausalLm& model) {
+  for (nn::TransformerBlock* b : model.blocks()) {
+    b->set_compression(std::nullopt, std::nullopt);
+  }
+}
+
+std::vector<hw::LayerCompression> policy_to_compression(const LucPolicy& policy,
+                                                        prune::Pattern pattern) {
+  std::vector<hw::LayerCompression> out;
+  out.reserve(policy.layers.size());
+  // Row/column pruning and N:M patterns are all skippable by the modelled
+  // MAC array (N:M the way sparse tensor cores do); only unstructured
+  // sparsity is partially exploitable.
+  const bool structured = pattern != prune::Pattern::kUnstructured;
+  for (const LayerPolicy& lp : policy.layers) {
+    out.push_back({lp.bits, lp.sparsity, structured});
+  }
+  return out;
+}
+
+}  // namespace edgellm::core

@@ -1,0 +1,60 @@
+// LUC — Layer-wise Unified Compression (paper component 1).
+//
+// Unifies pruning and quantization into one per-layer policy chosen under a
+// global budget expressed in *effective bits per weight*
+// (bits x (1 - sparsity)). Two searchers are provided: a greedy
+// marginal-cost descent and an exact knapsack DP over quarter-bit units
+// (compared in bench_table2_luc).
+#pragma once
+
+#include "core/sensitivity.hpp"
+#include "hw/workload.hpp"
+
+namespace edgellm::core {
+
+/// Per-layer compression decision.
+struct LayerPolicy {
+  int bits = 16;          ///< 16 means "leave in fp16"
+  float sparsity = 0.0f;
+
+  double effective_bits() const { return bits * (1.0 - sparsity); }
+};
+
+/// A complete LUC policy.
+struct LucPolicy {
+  std::vector<LayerPolicy> layers;
+  float predicted_delta = 0.0f;  ///< sensitivity-model estimate of Δloss
+
+  double avg_effective_bits() const;
+};
+
+/// Budget and searcher selection.
+struct LucConfig {
+  double target_effective_bits = 3.0;
+  enum class Search { kGreedy, kExactDp };
+  Search search = Search::kGreedy;
+};
+
+/// Searches a policy meeting the budget that minimises the (additive)
+/// sensitivity estimate. Candidates come from the profile's probed points.
+LucPolicy search_luc_policy(const SensitivityProfile& profile, const SensitivityConfig& cands,
+                            const LucConfig& cfg);
+
+/// The non-layer-wise baseline: same (bits, sparsity) everywhere, chosen as
+/// the probed combination closest to (but not above) the budget.
+LucPolicy uniform_policy(int64_t n_layers, const SensitivityConfig& cands,
+                         double target_effective_bits);
+
+/// Applies a policy to a model's blocks (one entry per block).
+void apply_policy(nn::CausalLm& model, const LucPolicy& policy,
+                  prune::Pattern pattern = prune::Pattern::kUnstructured,
+                  quant::Granularity granularity = quant::Granularity::kPerRow);
+
+/// Removes all compression from the model.
+void clear_policy(nn::CausalLm& model);
+
+/// Converts a policy into the hardware model's per-layer attributes.
+std::vector<hw::LayerCompression> policy_to_compression(const LucPolicy& policy,
+                                                        prune::Pattern pattern);
+
+}  // namespace edgellm::core

@@ -1,0 +1,94 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "data/eval.hpp"
+
+namespace edgellm::core {
+
+PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain,
+                            const PipelineConfig& cfg) {
+  check_arg(cfg.adaptation_iters > 0, "run_pipeline: need at least one iteration");
+  Rng rng(cfg.seed);
+
+  // Calibration and held-out evaluation data from the target domain.
+  std::vector<data::LmBatch> calib, eval_set;
+  for (int64_t i = 0; i < cfg.calib_batches; ++i) {
+    calib.push_back(data::sample_lm_batch(domain, cfg.batch, cfg.seq, rng));
+  }
+  for (int64_t i = 0; i < cfg.eval_batches; ++i) {
+    eval_set.push_back(data::sample_lm_batch(domain, cfg.batch, cfg.seq, rng));
+  }
+
+  PipelineResult res;
+
+  // (1) + (2): layer-wise unified compression.
+  if (cfg.apply_compression) {
+    res.profile = analyze_sensitivity(model, calib, cfg.sensitivity);
+    res.policy = search_luc_policy(res.profile, cfg.sensitivity, cfg.luc);
+    apply_policy(model, res.policy, cfg.sensitivity.prune_pattern,
+                 cfg.sensitivity.quant_granularity);
+  } else {
+    res.policy.layers.assign(static_cast<size_t>(model.config().n_layers), LayerPolicy{});
+  }
+
+  // (3): adaptive layer tuning.
+  AdaptiveLayerTuner tuner(model, cfg.tuner, rng.fork());
+  res.loss_curve.reserve(static_cast<size_t>(cfg.adaptation_iters));
+  for (int64_t i = 0; i < cfg.adaptation_iters; ++i) {
+    const data::LmBatch batch = data::sample_lm_batch(domain, cfg.batch, cfg.seq, rng);
+    const StepStats stats = tuner.step(batch);
+    res.loss_curve.push_back(stats.loss);
+    res.peak_activation_bytes = std::max(res.peak_activation_bytes, stats.activation_bytes);
+    res.peak_optimizer_bytes = std::max(res.peak_optimizer_bytes, stats.optimizer_state_bytes);
+    res.peak_grad_bytes = std::max(res.peak_grad_bytes, stats.grad_bytes);
+  }
+
+  // (4): voting + evaluation.
+  ExitVoter voter(model, cfg.voter);
+  voter.calibrate(calib);
+  res.final_exit_loss = data::lm_loss(model, eval_set, model.config().n_layers);
+  res.voted_loss = voter.voted_loss(eval_set);
+  res.voted_perplexity = data::perplexity(res.voted_loss);
+
+  data::McqConfig mcq_cfg;
+  mcq_cfg.n_items = 48;
+  // Prompt + continuation must fit the model's context window.
+  mcq_cfg.cont_len = 5;
+  mcq_cfg.prompt_len = static_cast<int>(std::min<int64_t>(
+      16, model.config().max_seq - mcq_cfg.cont_len));
+  check_arg(mcq_cfg.prompt_len >= domain.config().order,
+            "run_pipeline: max_seq too small for MCQ evaluation");
+  const std::vector<data::McqItem> mcq = data::make_mcq_set(domain, mcq_cfg, rng);
+  res.mcq_accuracy = data::mcq_accuracy(voter.logits_fn(), mcq, model.config().vocab);
+  res.mcq_accuracy_final_exit = data::mcq_accuracy(
+      data::exit_logits_fn(model, model.config().n_layers), mcq, model.config().vocab);
+
+  res.model_storage_bytes = model.weight_storage_bytes();
+  return res;
+}
+
+std::unique_ptr<nn::CausalLm> pretrain_base_model(const nn::ModelConfig& mcfg,
+                                                  const data::MarkovChain& base_domain,
+                                                  int64_t iters, int64_t batch, int64_t seq,
+                                                  Rng& rng) {
+  check_arg(iters > 0, "pretrain_base_model: iters must be positive");
+  auto model_ptr = std::make_unique<nn::CausalLm>(mcfg, rng);
+  nn::CausalLm& model = *model_ptr;
+
+  TunerConfig tcfg = TunerConfig::vanilla();
+  tcfg.optim.lr = 1e-2f;
+  // Pretraining also exercises every exit head so that early exits start
+  // from sensible states (cyclic keeps it deterministic).
+  tcfg.sampling = DepthSampling::kCyclic;
+  tcfg.backprop_window = 0;  // full backprop during pretraining
+  tcfg.update_embeddings = true;
+  AdaptiveLayerTuner tuner(model, tcfg, rng.fork());
+  for (int64_t i = 0; i < iters; ++i) {
+    const data::LmBatch b = data::sample_lm_batch(base_domain, batch, seq, rng);
+    tuner.step(b);
+  }
+  return model_ptr;
+}
+
+}  // namespace edgellm::core

@@ -1,0 +1,61 @@
+// End-to-end Edge-LLM pipeline: sensitivity -> LUC -> adaptive tuning ->
+// voting -> evaluation. This is the headline public API a downstream user
+// calls (see examples/quickstart.cpp).
+#pragma once
+
+#include <memory>
+
+#include "core/luc.hpp"
+#include "core/tuner.hpp"
+#include "core/voting.hpp"
+#include "data/tasks.hpp"
+
+namespace edgellm::core {
+
+/// Everything the pipeline needs besides the model and data.
+struct PipelineConfig {
+  SensitivityConfig sensitivity;
+  LucConfig luc;
+  TunerConfig tuner;
+  VoterConfig voter;
+
+  int64_t adaptation_iters = 200;
+  int64_t batch = 8;
+  int64_t seq = 32;
+  int64_t calib_batches = 4;
+  int64_t eval_batches = 8;
+  uint64_t seed = 42;
+
+  bool apply_compression = true;  ///< disable for no-LUC ablations
+};
+
+/// Outputs of one adaptation run.
+struct PipelineResult {
+  LucPolicy policy;
+  SensitivityProfile profile;
+
+  std::vector<float> loss_curve;   ///< training loss per iteration
+  float final_exit_loss = 0.0f;    ///< deepest-exit held-out loss
+  float voted_loss = 0.0f;         ///< voter held-out loss
+  float voted_perplexity = 0.0f;
+  float mcq_accuracy = 0.0f;       ///< via voter
+  float mcq_accuracy_final_exit = 0.0f;
+
+  double model_storage_bytes = 0.0;
+  int64_t peak_activation_bytes = 0;
+  int64_t peak_optimizer_bytes = 0;
+  int64_t peak_grad_bytes = 0;
+};
+
+/// Runs the full Edge-LLM flow, adapting `model` to `domain`.
+PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain,
+                            const PipelineConfig& cfg);
+
+/// Pretrains a fresh base model on `base_domain` for `iters` iterations.
+/// Stands in for the paper's pretrained LLM checkpoint.
+std::unique_ptr<nn::CausalLm> pretrain_base_model(const nn::ModelConfig& mcfg,
+                                                  const data::MarkovChain& base_domain,
+                                                  int64_t iters, int64_t batch, int64_t seq,
+                                                  Rng& rng);
+
+}  // namespace edgellm::core

@@ -1,0 +1,85 @@
+#include "core/sensitivity.hpp"
+
+#include "data/eval.hpp"
+
+namespace edgellm::core {
+
+float LayerSensitivity::estimate(int bits, float sparsity) const {
+  const auto joint_it = joint_delta.find({bits, sparsity});
+  if (joint_it != joint_delta.end()) return joint_it->second;
+  float d = 0.0f;
+  const auto bit_it = bit_delta.find(bits);
+  check_arg(bit_it != bit_delta.end(), "estimate: unprobed bit-width");
+  d += bit_it->second;
+  const auto pr_it = prune_delta.find(sparsity);
+  check_arg(pr_it != prune_delta.end(), "estimate: unprobed prune ratio");
+  d += pr_it->second;
+  return d;
+}
+
+SensitivityProfile analyze_sensitivity(nn::CausalLm& model,
+                                       const std::vector<data::LmBatch>& calib,
+                                       const SensitivityConfig& cfg) {
+  check_arg(!calib.empty(), "analyze_sensitivity: empty calibration set");
+  check_arg(!cfg.bit_candidates.empty() && !cfg.prune_candidates.empty(),
+            "analyze_sensitivity: empty candidate lists");
+
+  const int64_t final_exit = model.config().n_layers;
+  auto blocks = model.blocks();
+
+  for (nn::TransformerBlock* b : blocks) b->set_compression(std::nullopt, std::nullopt);
+
+  SensitivityProfile profile;
+  profile.baseline_loss = data::lm_loss(model, calib, final_exit);
+
+  for (size_t li = 0; li < blocks.size(); ++li) {
+    LayerSensitivity sens;
+    sens.layer = static_cast<int64_t>(li);
+
+    for (int bits : cfg.bit_candidates) {
+      quant::QuantSpec q;
+      q.bits = bits;
+      q.granularity = cfg.quant_granularity;
+      blocks[li]->set_compression(q, std::nullopt);
+      sens.bit_delta[bits] = data::lm_loss(model, calib, final_exit) - profile.baseline_loss;
+      blocks[li]->set_compression(std::nullopt, std::nullopt);
+    }
+    for (float ratio : cfg.prune_candidates) {
+      if (ratio <= 0.0f) {
+        sens.prune_delta[ratio] = 0.0f;
+        continue;
+      }
+      prune::PruneSpec p;
+      p.sparsity = ratio;
+      p.pattern = cfg.prune_pattern;
+      blocks[li]->set_compression(std::nullopt, p);
+      sens.prune_delta[ratio] = data::lm_loss(model, calib, final_exit) - profile.baseline_loss;
+      blocks[li]->set_compression(std::nullopt, std::nullopt);
+    }
+    if (cfg.joint) {
+      for (int bits : cfg.bit_candidates) {
+        for (float ratio : cfg.prune_candidates) {
+          if (ratio <= 0.0f) {
+            // Quant-only joint point equals the marginal measurement.
+            sens.joint_delta[{bits, ratio}] = sens.bit_delta.at(bits);
+            continue;
+          }
+          quant::QuantSpec q;
+          q.bits = bits;
+          q.granularity = cfg.quant_granularity;
+          prune::PruneSpec p;
+          p.sparsity = ratio;
+          p.pattern = cfg.prune_pattern;
+          blocks[li]->set_compression(q, p);
+          sens.joint_delta[{bits, ratio}] =
+              data::lm_loss(model, calib, final_exit) - profile.baseline_loss;
+          blocks[li]->set_compression(std::nullopt, std::nullopt);
+        }
+      }
+    }
+    profile.layers.push_back(std::move(sens));
+  }
+  return profile;
+}
+
+}  // namespace edgellm::core

@@ -1,0 +1,58 @@
+// Layer-wise compression sensitivity analysis — the signal LUC's policy
+// search consumes (paper component 1).
+//
+// For each transformer block we measure the calibration-loss increase when
+// that block alone is quantized to each candidate bit-width, and when it
+// alone is pruned to each candidate ratio. Early/late layers typically show
+// very different tolerance, which is exactly the non-uniformity LUC exploits.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "nn/model.hpp"
+
+namespace edgellm::core {
+
+/// Candidates to probe.
+struct SensitivityConfig {
+  std::vector<int> bit_candidates = {2, 3, 4, 8};
+  std::vector<float> prune_candidates = {0.0f, 0.3f, 0.5f, 0.7f};
+  prune::Pattern prune_pattern = prune::Pattern::kUnstructured;
+  quant::Granularity quant_granularity = quant::Granularity::kPerRow;
+  /// Probe the full (bits x prune) grid jointly instead of assuming the
+  /// two deltas add. |bits| * |prune| forward sweeps per layer instead of
+  /// |bits| + |prune| — more honest where quantization and pruning
+  /// interact (they share the same weight outliers).
+  bool joint = false;
+};
+
+/// Measured loss deltas for one layer (vs the uncompressed baseline).
+struct LayerSensitivity {
+  int64_t layer = 0;
+  std::map<int, float> bit_delta;      ///< bits -> Δloss
+  std::map<float, float> prune_delta;  ///< sparsity -> Δloss
+  /// Jointly measured (bits, sparsity) -> Δloss; preferred by estimate()
+  /// when populated.
+  std::map<std::pair<int, float>, float> joint_delta;
+
+  /// Estimate for a (bits, sparsity) choice: the joint measurement when
+  /// available, otherwise the additive combination.
+  float estimate(int bits, float sparsity) const;
+};
+
+/// Full profile: per-layer sensitivities plus the fp baseline loss.
+struct SensitivityProfile {
+  float baseline_loss = 0.0f;
+  std::vector<LayerSensitivity> layers;
+};
+
+/// Runs the probe. The model's existing compression (if any) is cleared,
+/// each candidate is applied to one layer at a time, and the model is
+/// restored before returning.
+SensitivityProfile analyze_sensitivity(nn::CausalLm& model,
+                                       const std::vector<data::LmBatch>& calib,
+                                       const SensitivityConfig& cfg);
+
+}  // namespace edgellm::core

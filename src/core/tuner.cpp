@@ -1,0 +1,169 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgellm::core {
+
+AdaptiveLayerTuner::AdaptiveLayerTuner(nn::CausalLm& model, TunerConfig cfg, Rng rng)
+    : model_(model), cfg_(cfg), rng_(rng) {
+  check_arg(cfg_.clip_norm > 0.0f, "AdaptiveLayerTuner: clip_norm must be positive");
+  check_arg(cfg_.loss_ema > 0.0f && cfg_.loss_ema < 1.0f,
+            "AdaptiveLayerTuner: loss_ema must be in (0, 1)");
+  if (cfg_.quantized_optimizer) {
+    nn::QuantizedAdamW::Config qcfg;
+    qcfg.lr = cfg_.optim.lr;
+    qcfg.beta1 = cfg_.optim.beta1;
+    qcfg.beta2 = cfg_.optim.beta2;
+    qcfg.eps = cfg_.optim.eps;
+    qcfg.weight_decay = cfg_.optim.weight_decay;
+    optim_ = std::make_unique<nn::QuantizedAdamW>(std::vector<nn::Param*>{}, qcfg);
+  } else {
+    optim_ = std::make_unique<nn::AdamW>(std::vector<nn::Param*>{}, cfg_.optim);
+  }
+  exit_loss_ema_.assign(model_.exit_layers().size(), 1.0f);
+}
+
+nn::ForwardPlan AdaptiveLayerTuner::make_plan(int64_t exit_layer) const {
+  nn::ForwardPlan plan;
+  plan.exit_layer = exit_layer;
+  plan.backprop_depth = cfg_.backprop_window <= 0
+                            ? exit_layer
+                            : std::min(cfg_.backprop_window, exit_layer);
+  plan.update_embeddings = cfg_.update_embeddings && plan.backprop_depth == exit_layer;
+  plan.checkpoint = cfg_.checkpoint && plan.backprop_depth == exit_layer;
+  return plan;
+}
+
+int64_t AdaptiveLayerTuner::sample_exit() {
+  const auto& exits = model_.exit_layers();
+  switch (cfg_.sampling) {
+    case DepthSampling::kFinalOnly:
+      return exits.back();
+    case DepthSampling::kUniform:
+      return exits[static_cast<size_t>(rng_.uniform_int(0, static_cast<int64_t>(exits.size()) - 1))];
+    case DepthSampling::kCyclic: {
+      const int64_t e = exits[cyclic_next_];
+      cyclic_next_ = (cyclic_next_ + 1) % exits.size();
+      return e;
+    }
+    case DepthSampling::kLossWeighted: {
+      const int64_t idx = rng_.categorical(exit_loss_ema_);
+      return exits[static_cast<size_t>(idx)];
+    }
+  }
+  throw std::invalid_argument("unknown depth sampling mode");
+}
+
+std::vector<double> AdaptiveLayerTuner::exit_probabilities() const {
+  const size_t n = model_.exit_layers().size();
+  std::vector<double> p(n, 0.0);
+  switch (cfg_.sampling) {
+    case DepthSampling::kFinalOnly:
+      p.back() = 1.0;
+      break;
+    case DepthSampling::kUniform:
+    case DepthSampling::kCyclic:
+      std::fill(p.begin(), p.end(), 1.0 / static_cast<double>(n));
+      break;
+    case DepthSampling::kLossWeighted: {
+      double total = 0.0;
+      for (float w : exit_loss_ema_) total += w;
+      for (size_t i = 0; i < n; ++i) p[i] = exit_loss_ema_[i] / total;
+      break;
+    }
+  }
+  return p;
+}
+
+float AdaptiveLayerTuner::scheduled_lr(int64_t iter) const {
+  const float base = cfg_.optim.lr;
+  float lr = base;
+  if (cfg_.warmup_iters > 0 && iter < cfg_.warmup_iters) {
+    lr = base * static_cast<float>(iter + 1) / static_cast<float>(cfg_.warmup_iters);
+  } else if (cfg_.decay_iters > 0) {
+    const int64_t t = std::min(cfg_.decay_iters, iter - cfg_.warmup_iters);
+    const float progress = static_cast<float>(t) / static_cast<float>(cfg_.decay_iters);
+    const float floor_lr = cfg_.min_lr_fraction * base;
+    lr = floor_lr +
+         0.5f * (base - floor_lr) * (1.0f + std::cos(3.14159265f * progress));
+  }
+  return lr;
+}
+
+StepStats AdaptiveLayerTuner::step(const data::LmBatch& batch) {
+  optim_->set_lr(scheduled_lr(iter_));
+  const int64_t exit_layer = sample_exit();
+  const nn::ForwardPlan plan = make_plan(exit_layer);
+
+  // Teacher pass for self-distillation must run BEFORE the student forward
+  // so the student's caches are intact for backward.
+  const bool distill = cfg_.distill_weight > 0.0f && exit_layer < model_.exit_layers().back();
+  Tensor teacher_probs;
+  if (distill) {
+    const Tensor tl = model_.forward_eval(batch.inputs, batch.batch, batch.seq,
+                                          model_.exit_layers().back());
+    teacher_probs = ops::softmax_lastdim(ops::scale(tl, 1.0f / cfg_.distill_temperature));
+  }
+
+  const Tensor logits = model_.forward(batch.inputs, batch.batch, batch.seq, plan);
+  nn::CrossEntropyResult ce = nn::cross_entropy(logits, batch.targets);
+
+  if (distill) {
+    // Soft-target CE at temperature T: grad = (softmax(z/T) - p_teacher)
+    // * (w * T) / rows, added to the hard-label grad. (The usual T^2
+    // factor times the 1/T from d(z/T)/dz.)
+    const Tensor student = ops::softmax_lastdim(
+        ops::scale(logits, 1.0f / cfg_.distill_temperature));
+    const int64_t rows = logits.dim(0);
+    const float scale = cfg_.distill_weight * cfg_.distill_temperature /
+                        static_cast<float>(rows);
+    double soft_loss = 0.0;
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+      ce.grad_logits[i] += scale * (student[i] - teacher_probs[i]);
+    }
+    for (int64_t i = 0; i < logits.numel(); ++i) {
+      if (teacher_probs[i] > 0.0f) {
+        soft_loss -= static_cast<double>(teacher_probs[i]) *
+                     std::log(static_cast<double>(student[i]) + 1e-12);
+      }
+    }
+    stats_distill_loss_ = static_cast<float>(soft_loss / rows);
+  }
+
+  StepStats stats;
+  stats.loss = ce.loss;
+  stats.distill_loss = distill ? stats_distill_loss_ : 0.0f;
+  stats.exit_layer = exit_layer;
+  stats.backprop_depth = plan.backprop_depth;
+  stats.activation_bytes = model_.cached_activation_bytes();
+
+  model_.backward(ce.grad_logits);
+  // Checkpointed backward transiently rebuilds one block's caches on top
+  // of the input stash; count that toward the peak.
+  stats.activation_bytes += model_.peak_backward_cache_bytes();
+
+  std::vector<nn::Param*> touched = model_.params_for_plan(plan);
+  nn::clip_grad_norm(touched, cfg_.clip_norm);
+  optim_->set_params(touched);
+  optim_->step();
+  for (nn::Param* p : touched) {
+    stats.grad_bytes += nn::tensor_bytes(p->grad);
+    p->zero_grad();
+  }
+  stats.optimizer_state_bytes = optim_->state_bytes();
+  model_.clear_cache();
+
+  // Track per-exit loss for loss-weighted sampling.
+  const int64_t idx = model_.exit_index(exit_layer);
+  float& ema = exit_loss_ema_[static_cast<size_t>(idx)];
+  ema = cfg_.loss_ema * ema + (1.0f - cfg_.loss_ema) * ce.loss;
+
+  ++iter_;
+  return stats;
+}
+
+}  // namespace edgellm::core

@@ -1,0 +1,118 @@
+// Adaptive layer tuning (paper component 2, training half).
+//
+// Each adaptation iteration samples one of the model's exit depths, runs the
+// forward pass only that far, and backpropagates only through the topmost
+// `backprop_window` blocks below that exit. Activations for everything
+// deeper than the window are never cached and optimizer state is only
+// materialised for parameters that actually receive updates — the two
+// memory savings the paper claims.
+#pragma once
+
+#include <memory>
+
+#include "data/corpus.hpp"
+#include "nn/model.hpp"
+#include "nn/optim.hpp"
+
+namespace edgellm::core {
+
+/// How the exit depth is chosen per iteration.
+enum class DepthSampling {
+  kUniform,      ///< uniform over registered exits
+  kCyclic,       ///< round-robin over exits
+  kLossWeighted, ///< probability proportional to each exit's recent loss
+  kFinalOnly,    ///< always the deepest exit (vanilla tuning)
+};
+
+struct TunerConfig {
+  DepthSampling sampling = DepthSampling::kUniform;
+  /// Blocks updated per iteration, counted down from the sampled exit.
+  /// <= 0 means "all blocks up to the exit" (vanilla backprop depth).
+  int64_t backprop_window = 2;
+  bool update_embeddings = false;  ///< only honoured on full-depth windows
+  /// Gradient checkpointing (baseline memory technique; full-depth only).
+  bool checkpoint = false;
+  /// Store AdamW moments in block-wise int8 (~4x less optimizer memory).
+  bool quantized_optimizer = false;
+  nn::AdamW::Config optim;
+  float clip_norm = 1.0f;
+  float loss_ema = 0.9f;  ///< smoothing for kLossWeighted
+
+  /// Learning-rate schedule: linear warmup over `warmup_iters`, then cosine
+  /// decay to `min_lr_fraction * lr` over `decay_iters` (0 = constant).
+  int64_t warmup_iters = 0;
+  int64_t decay_iters = 0;
+  float min_lr_fraction = 0.1f;
+
+  /// Exit self-distillation (extension): when a non-final exit is sampled,
+  /// mix a KL term toward the final exit's (no-grad) predictions into the
+  /// loss. Sharpens early exits for voting at the cost of one extra
+  /// teacher forward per distilled step. 0 disables.
+  float distill_weight = 0.0f;
+  float distill_temperature = 2.0f;
+
+  /// Vanilla full fine-tuning configuration.
+  static TunerConfig vanilla() {
+    TunerConfig cfg;
+    cfg.sampling = DepthSampling::kFinalOnly;
+    cfg.backprop_window = 0;  // full depth
+    cfg.update_embeddings = true;
+    return cfg;
+  }
+
+  /// Vanilla full fine-tuning with gradient checkpointing (the classic
+  /// memory-reduction baseline Edge-LLM's tuning is compared against).
+  static TunerConfig vanilla_checkpointed() {
+    TunerConfig cfg = vanilla();
+    cfg.checkpoint = true;
+    return cfg;
+  }
+};
+
+/// Per-step telemetry (feeds the memory/latency experiments).
+struct StepStats {
+  float loss = 0.0f;
+  float distill_loss = 0.0f;  ///< soft-target CE when distillation ran
+  int64_t exit_layer = 0;
+  int64_t backprop_depth = 0;
+  int64_t activation_bytes = 0;       ///< cached activations at backward time
+  int64_t grad_bytes = 0;             ///< gradient buffers touched this step
+  int64_t optimizer_state_bytes = 0;  ///< cumulative AdamW state
+};
+
+/// Drives adaptation of a CausalLm.
+class AdaptiveLayerTuner {
+ public:
+  AdaptiveLayerTuner(nn::CausalLm& model, TunerConfig cfg, Rng rng);
+
+  /// One adaptation iteration on one batch.
+  StepStats step(const data::LmBatch& batch);
+
+  /// Probability of sampling each registered exit next (used by the runtime
+  /// to compute expected per-iteration latency).
+  std::vector<double> exit_probabilities() const;
+
+  /// The plan a given exit produces under this config.
+  nn::ForwardPlan make_plan(int64_t exit_layer) const;
+
+  /// Learning rate the schedule yields at iteration `iter` (0-based).
+  float scheduled_lr(int64_t iter) const;
+
+  const TunerConfig& config() const { return cfg_; }
+  int64_t iterations() const { return iter_; }
+  const nn::Optimizer& optimizer() const { return *optim_; }
+
+ private:
+  nn::CausalLm& model_;
+  TunerConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<nn::Optimizer> optim_;
+  int64_t iter_ = 0;
+  size_t cyclic_next_ = 0;
+  float stats_distill_loss_ = 0.0f;
+  std::vector<float> exit_loss_ema_;  ///< for kLossWeighted
+
+  int64_t sample_exit();
+};
+
+}  // namespace edgellm::core

@@ -1,0 +1,130 @@
+#include "core/voting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/eval.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgellm::core {
+
+ExitVoter::ExitVoter(nn::CausalLm& model, VoterConfig cfg) : model_(model), cfg_(cfg) {
+  check_arg(cfg_.temperature > 0.0f, "ExitVoter: temperature must be positive");
+  const size_t n = model_.exit_layers().size();
+  weights_.assign(n, 1.0f / static_cast<float>(n));
+  calib_losses_.assign(n, 0.0f);
+}
+
+void ExitVoter::calibrate(const std::vector<data::LmBatch>& calib) {
+  check_arg(!calib.empty(), "ExitVoter::calibrate: empty calibration set");
+  const auto& exits = model_.exit_layers();
+  for (size_t e = 0; e < exits.size(); ++e) {
+    calib_losses_[e] = data::lm_loss(model_, calib, exits[e]);
+  }
+  // weights = softmax(-loss / T)
+  float mx = -calib_losses_[0];
+  for (float l : calib_losses_) mx = std::max(mx, -l);
+  double total = 0.0;
+  for (size_t e = 0; e < weights_.size(); ++e) {
+    weights_[e] = std::exp((-calib_losses_[e] - mx) / cfg_.temperature);
+    total += weights_[e];
+  }
+  for (float& w : weights_) w = static_cast<float>(w / total);
+  calibrated_ = true;
+}
+
+Tensor ExitVoter::vote_logits(const std::vector<int64_t>& tokens, int64_t batch, int64_t seq) {
+  const std::vector<Tensor> all = model_.forward_all_exits(tokens, batch, seq);
+  const size_t n_exits = all.size();
+  const int64_t rows = batch * seq;
+  const int64_t vocab = model_.config().vocab;
+
+  switch (cfg_.mode) {
+    case VotingMode::kBestSingle: {
+      size_t best = 0;
+      for (size_t e = 1; e < n_exits; ++e) {
+        if (calib_losses_[e] < calib_losses_[best]) best = e;
+      }
+      return ops::log_softmax_lastdim(all[best]);
+    }
+    case VotingMode::kMajority: {
+      Tensor counts({rows, vocab});
+      for (size_t e = 0; e < n_exits; ++e) {
+        const std::vector<int64_t> am = ops::argmax_lastdim(all[e]);
+        for (int64_t r = 0; r < rows; ++r) counts[r * vocab + am[static_cast<size_t>(r)]] += 1.0f;
+      }
+      return counts;
+    }
+    case VotingMode::kCalibratedWeight: {
+      Tensor mix({rows, vocab});
+      for (size_t e = 0; e < n_exits; ++e) {
+        const Tensor probs = ops::softmax_lastdim(all[e]);
+        ops::axpy_inplace(mix, weights_[e], probs);
+      }
+      for (int64_t i = 0; i < mix.numel(); ++i) mix[i] = std::log(mix[i] + 1e-12f);
+      return mix;
+    }
+    case VotingMode::kEntropyAdaptive: {
+      // Per-row weights: calibrated prior x confidence (low entropy -> high).
+      std::vector<Tensor> probs;
+      probs.reserve(n_exits);
+      for (size_t e = 0; e < n_exits; ++e) probs.push_back(ops::softmax_lastdim(all[e]));
+
+      Tensor mix({rows, vocab});
+      std::vector<float> row_w(n_exits);
+      for (int64_t r = 0; r < rows; ++r) {
+        double total = 0.0;
+        for (size_t e = 0; e < n_exits; ++e) {
+          double h = 0.0;
+          for (int64_t v = 0; v < vocab; ++v) {
+            const float p = probs[e][r * vocab + v];
+            if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+          }
+          row_w[e] = weights_[e] * std::exp(static_cast<float>(-h) / cfg_.temperature);
+          total += row_w[e];
+        }
+        check_arg(total > 0.0, "ExitVoter: degenerate per-row weights");
+        for (size_t e = 0; e < n_exits; ++e) {
+          const float w = static_cast<float>(row_w[e] / total);
+          for (int64_t v = 0; v < vocab; ++v) {
+            mix[r * vocab + v] += w * probs[e][r * vocab + v];
+          }
+        }
+      }
+      for (int64_t i = 0; i < mix.numel(); ++i) mix[i] = std::log(mix[i] + 1e-12f);
+      return mix;
+    }
+  }
+  throw std::invalid_argument("unknown voting mode");
+}
+
+float ExitVoter::voted_loss(const std::vector<data::LmBatch>& batches) {
+  check_arg(!batches.empty(), "voted_loss: empty batch list");
+  double total = 0.0;
+  int64_t counted = 0;
+  const int64_t vocab = model_.config().vocab;
+  for (const data::LmBatch& b : batches) {
+    Tensor scores = vote_logits(b.inputs, b.batch, b.seq);
+    if (cfg_.mode == VotingMode::kMajority) {
+      // Laplace-smoothed vote distribution.
+      const float n_exits = static_cast<float>(model_.exit_layers().size());
+      for (int64_t i = 0; i < scores.numel(); ++i) {
+        scores[i] = std::log((scores[i] + 0.5f) / (n_exits + 0.5f * vocab));
+      }
+    }
+    const int64_t rows = b.batch * b.seq;
+    for (int64_t r = 0; r < rows; ++r) {
+      total += -scores[r * vocab + b.targets[static_cast<size_t>(r)]];
+      ++counted;
+    }
+  }
+  return static_cast<float>(total / counted);
+}
+
+data::LogitsFn ExitVoter::logits_fn() {
+  return [this](const std::vector<int64_t>& tokens, int64_t seq) {
+    return vote_logits(tokens, /*batch=*/1, seq);
+  };
+}
+
+}  // namespace edgellm::core

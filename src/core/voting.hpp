@@ -1,0 +1,60 @@
+// Adaptive layer voting (paper component 2, inference half).
+//
+// After adaptation, every exit head has been trained on the slice of
+// iterations that sampled it. Voting recovers full-model quality by
+// combining the per-exit predictions: calibrated weighting uses each exit's
+// held-out loss; entropy-adaptive weighting additionally re-weights per
+// token position by each exit's prediction confidence.
+#pragma once
+
+#include "data/corpus.hpp"
+#include "data/tasks.hpp"
+#include "nn/model.hpp"
+
+namespace edgellm::core {
+
+/// How exit outputs are combined.
+enum class VotingMode {
+  kBestSingle,       ///< lowest-calibration-loss exit only
+  kMajority,         ///< per-position argmax vote counts
+  kCalibratedWeight, ///< log-prob mixture weighted by calibration loss
+  kEntropyAdaptive,  ///< calibrated weights x per-position confidence
+};
+
+struct VoterConfig {
+  VotingMode mode = VotingMode::kCalibratedWeight;
+  float temperature = 0.5f;  ///< softmax temp over negative calib losses
+};
+
+/// Combines the model's exit heads into one prediction stream.
+class ExitVoter {
+ public:
+  ExitVoter(nn::CausalLm& model, VoterConfig cfg);
+
+  /// Measures per-exit losses on a calibration set and derives weights.
+  void calibrate(const std::vector<data::LmBatch>& calib);
+
+  /// Combined prediction scores [batch * seq, vocab]. For probabilistic
+  /// modes these are log-probabilities; for kMajority they are vote counts.
+  Tensor vote_logits(const std::vector<int64_t>& tokens, int64_t batch, int64_t seq);
+
+  /// Mean next-token NLL of the voted prediction on a batch set (the voting
+  /// counterpart of data::lm_loss).
+  float voted_loss(const std::vector<data::LmBatch>& batches);
+
+  /// Adapter for MCQ scoring.
+  data::LogitsFn logits_fn();
+
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& calib_losses() const { return calib_losses_; }
+  const VoterConfig& config() const { return cfg_; }
+
+ private:
+  nn::CausalLm& model_;
+  VoterConfig cfg_;
+  std::vector<float> weights_;       ///< one per exit, sums to 1
+  std::vector<float> calib_losses_;  ///< one per exit
+  bool calibrated_ = false;
+};
+
+}  // namespace edgellm::core

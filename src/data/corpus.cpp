@@ -1,0 +1,155 @@
+#include "data/corpus.hpp"
+
+#include <cmath>
+
+namespace edgellm::data {
+
+namespace {
+
+// splitmix64 — deterministic, platform-independent hash mixing.
+uint64_t mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MarkovChain::MarkovChain(Config cfg) : cfg_(cfg) {
+  check_arg(cfg_.vocab >= 4, "MarkovChain: vocab must be >= 4");
+  check_arg(cfg_.order >= 1 && cfg_.order <= 8, "MarkovChain: order must be in [1, 8]");
+  check_arg(cfg_.branch >= 1 && cfg_.branch < cfg_.vocab, "MarkovChain: branch out of range");
+  check_arg(cfg_.mass > 0.0f && cfg_.mass < 1.0f, "MarkovChain: mass must be in (0, 1)");
+  check_arg(cfg_.shift_fraction >= 0.0f && cfg_.shift_fraction <= 1.0f,
+            "MarkovChain: shift_fraction must be in [0, 1]");
+  const float share = cfg_.mass / static_cast<float>(cfg_.branch);
+  const float base = (1.0f - cfg_.mass) / static_cast<float>(cfg_.vocab - cfg_.branch);
+  check_arg(share > base, "MarkovChain: preferred share must exceed the baseline mass");
+}
+
+uint64_t MarkovChain::context_hash(std::span<const int64_t> context) const {
+  uint64_t h = mix(0xC0FFEEull);
+  const size_t order = static_cast<size_t>(cfg_.order);
+  // Left-pad with token 0 when the context is short.
+  for (size_t i = 0; i < order; ++i) {
+    const int64_t tok =
+        i < order - context.size() ? 0 : context[context.size() - order + i];
+    h = mix(h ^ static_cast<uint64_t>(tok + 1));
+  }
+  return h;
+}
+
+bool MarkovChain::row_is_shifted(uint64_t ctx_hash) const {
+  if (cfg_.shift_fraction <= 0.0f) return false;
+  // Deterministic per-context coin flip, independent of the row seed.
+  const uint64_t coin = mix(ctx_hash ^ 0xD1FF'0000ull);
+  const double u = static_cast<double>(coin >> 11) * 0x1.0p-53;
+  return u < static_cast<double>(cfg_.shift_fraction);
+}
+
+std::vector<float> MarkovChain::next_dist(std::span<const int64_t> context) const {
+  const uint64_t h = context_hash(context);
+  const uint64_t row_seed =
+      row_is_shifted(h) ? mix(h ^ cfg_.shift_seed) : mix(h ^ cfg_.seed);
+
+  const int64_t v = cfg_.vocab;
+  std::vector<float> dist(static_cast<size_t>(v),
+                          (1.0f - cfg_.mass) / static_cast<float>(v - cfg_.branch));
+  // Pick `branch` distinct preferred tokens via a seeded walk.
+  uint64_t s = row_seed;
+  int picked = 0;
+  const float share = cfg_.mass / static_cast<float>(cfg_.branch);
+  while (picked < cfg_.branch) {
+    s = mix(s);
+    const int64_t tok = static_cast<int64_t>(s % static_cast<uint64_t>(v));
+    float& p = dist[static_cast<size_t>(tok)];
+    if (p < share) {  // not yet preferred (duplicates are skipped)
+      p = share;
+      ++picked;
+    }
+  }
+  // Renormalise exactly.
+  double total = 0.0;
+  for (float p : dist) total += p;
+  const float inv = static_cast<float>(1.0 / total);
+  for (float& p : dist) p *= inv;
+  return dist;
+}
+
+std::vector<int64_t> MarkovChain::sample(int64_t length, Rng& rng) const {
+  check_arg(length > 0, "MarkovChain::sample: length must be positive");
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(length) + static_cast<size_t>(cfg_.order));
+  for (int i = 0; i < cfg_.order; ++i) out.push_back(rng.uniform_int(0, cfg_.vocab - 1));
+  for (int64_t i = 0; i < length; ++i) {
+    const size_t n = out.size();
+    const std::span<const int64_t> ctx(out.data() + n - cfg_.order,
+                                       static_cast<size_t>(cfg_.order));
+    const std::vector<float> dist = next_dist(ctx);
+    out.push_back(rng.categorical(dist));
+  }
+  out.erase(out.begin(), out.begin() + cfg_.order);
+  return out;
+}
+
+MarkovChain MarkovChain::shifted(float shift_fraction, uint64_t shift_seed) const {
+  Config cfg = cfg_;
+  cfg.shift_fraction = shift_fraction;
+  cfg.shift_seed = shift_seed;
+  return MarkovChain(cfg);
+}
+
+float MarkovChain::entropy_rate(int64_t n_samples, Rng& rng) const {
+  check_arg(n_samples > 0, "entropy_rate: n_samples must be positive");
+  const std::vector<int64_t> stream =
+      sample(n_samples + cfg_.order, rng);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = cfg_.order; i < static_cast<int64_t>(stream.size()); ++i) {
+    const std::span<const int64_t> ctx(stream.data() + i - cfg_.order,
+                                       static_cast<size_t>(cfg_.order));
+    const std::vector<float> dist = next_dist(ctx);
+    double h = 0.0;
+    for (float p : dist) {
+      if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+    }
+    total += h;
+    ++counted;
+  }
+  return static_cast<float>(total / counted);
+}
+
+std::vector<LmBatch> make_lm_batches(const std::vector<int64_t>& stream, int64_t batch,
+                                     int64_t seq) {
+  check_arg(batch > 0 && seq > 0, "make_lm_batches: batch and seq must be positive");
+  const int64_t tokens_per_batch = batch * seq;
+  std::vector<LmBatch> out;
+  // Need one extra token per row for the shifted target.
+  int64_t pos = 0;
+  while (pos + tokens_per_batch + batch <= static_cast<int64_t>(stream.size())) {
+    LmBatch b;
+    b.batch = batch;
+    b.seq = seq;
+    b.inputs.reserve(static_cast<size_t>(tokens_per_batch));
+    b.targets.reserve(static_cast<size_t>(tokens_per_batch));
+    for (int64_t r = 0; r < batch; ++r) {
+      const int64_t start = pos + r * (seq + 1);
+      for (int64_t t = 0; t < seq; ++t) {
+        b.inputs.push_back(stream[static_cast<size_t>(start + t)]);
+        b.targets.push_back(stream[static_cast<size_t>(start + t + 1)]);
+      }
+    }
+    pos += batch * (seq + 1);
+    out.push_back(std::move(b));
+  }
+  check_arg(!out.empty(), "make_lm_batches: stream too short for one batch");
+  return out;
+}
+
+LmBatch sample_lm_batch(const MarkovChain& chain, int64_t batch, int64_t seq, Rng& rng) {
+  const std::vector<int64_t> stream = chain.sample(batch * (seq + 1), rng);
+  return make_lm_batches(stream, batch, seq).front();
+}
+
+}  // namespace edgellm::data

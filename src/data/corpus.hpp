@@ -1,0 +1,77 @@
+// Synthetic corpora standing in for the paper's natural-language adaptation
+// data (see DESIGN.md §2).
+//
+// The generator is a seeded order-k Markov chain whose transition rows are
+// derived *lazily* from a hash of (seed, context), so arbitrary vocab sizes
+// and orders need no storage. Each row concentrates most probability mass
+// on a few "preferred" next tokens, giving the corpus learnable low-entropy
+// structure. A "domain shift" re-draws the preferred set for a fraction of
+// contexts — that shifted domain is what the model adapts to in the
+// experiments, mirroring the paper's continuous-adaptation setting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace edgellm::data {
+
+/// Seeded synthetic language. Immutable and cheap to copy.
+class MarkovChain {
+ public:
+  struct Config {
+    int64_t vocab = 64;
+    int order = 2;               ///< context length
+    int branch = 4;              ///< preferred next-tokens per context
+    float mass = 0.85f;          ///< probability mass on the preferred set
+    uint64_t seed = 1;           ///< identity of the domain
+    float shift_fraction = 0.0f; ///< fraction of contexts re-drawn (domain shift)
+    uint64_t shift_seed = 2;     ///< identity of the shifted rows
+  };
+
+  explicit MarkovChain(Config cfg);
+
+  const Config& config() const { return cfg_; }
+  int64_t vocab() const { return cfg_.vocab; }
+
+  /// True next-token distribution for a context (last `order` tokens; if
+  /// fewer are given the context is left-padded with token 0).
+  std::vector<float> next_dist(std::span<const int64_t> context) const;
+
+  /// Samples a token stream of the given length.
+  std::vector<int64_t> sample(int64_t length, Rng& rng) const;
+
+  /// A domain-shifted sibling: same seed, `shift_fraction` of context rows
+  /// re-drawn from `shift_seed`.
+  MarkovChain shifted(float shift_fraction, uint64_t shift_seed) const;
+
+  /// Entropy rate estimate (mean next-token entropy over sampled contexts),
+  /// in nats — the floor that a perfectly adapted model's loss approaches.
+  float entropy_rate(int64_t n_samples, Rng& rng) const;
+
+ private:
+  Config cfg_;
+
+  uint64_t context_hash(std::span<const int64_t> context) const;
+  bool row_is_shifted(uint64_t ctx_hash) const;
+};
+
+/// One language-modelling batch: `inputs[i]` predicts `targets[i]`.
+struct LmBatch {
+  std::vector<int64_t> inputs;   ///< batch*seq token ids, row-major
+  std::vector<int64_t> targets;  ///< batch*seq next-token ids
+  int64_t batch = 0;
+  int64_t seq = 0;
+};
+
+/// Cuts a token stream into LM batches of [batch, seq]. Remainder tokens
+/// are dropped.
+std::vector<LmBatch> make_lm_batches(const std::vector<int64_t>& stream, int64_t batch,
+                                     int64_t seq);
+
+/// Samples a fresh batch directly from the chain.
+LmBatch sample_lm_batch(const MarkovChain& chain, int64_t batch, int64_t seq, Rng& rng);
+
+}  // namespace edgellm::data

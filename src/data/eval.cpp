@@ -1,0 +1,25 @@
+#include "data/eval.hpp"
+
+#include "nn/loss.hpp"
+
+namespace edgellm::data {
+
+float lm_loss(nn::CausalLm& model, const LmBatch& batch, int64_t exit_layer) {
+  const Tensor logits = model.forward_eval(batch.inputs, batch.batch, batch.seq, exit_layer);
+  return nn::cross_entropy_loss_only(logits, batch.targets);
+}
+
+float lm_loss(nn::CausalLm& model, const std::vector<LmBatch>& batches, int64_t exit_layer) {
+  check_arg(!batches.empty(), "lm_loss: empty batch list");
+  double total = 0.0;
+  for (const LmBatch& b : batches) total += lm_loss(model, b, exit_layer);
+  return static_cast<float>(total / static_cast<double>(batches.size()));
+}
+
+LogitsFn exit_logits_fn(nn::CausalLm& model, int64_t exit_layer) {
+  return [&model, exit_layer](const std::vector<int64_t>& tokens, int64_t seq) {
+    return model.forward_eval(tokens, /*batch=*/1, seq, exit_layer);
+  };
+}
+
+}  // namespace edgellm::data

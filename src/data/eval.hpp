@@ -1,0 +1,24 @@
+// Evaluation helpers tying models to data: held-out loss, perplexity and
+// MCQ scoring through a chosen exit.
+#pragma once
+
+#include "data/corpus.hpp"
+#include "data/tasks.hpp"
+#include "nn/model.hpp"
+
+namespace edgellm::data {
+
+/// Mean next-token cross-entropy of the model's `exit_layer` head on one
+/// batch (no gradient, no caching).
+float lm_loss(nn::CausalLm& model, const LmBatch& batch, int64_t exit_layer);
+
+/// Mean loss over a batch list.
+float lm_loss(nn::CausalLm& model, const std::vector<LmBatch>& batches, int64_t exit_layer);
+
+/// exp(loss) convenience.
+inline float perplexity(float loss) { return std::exp(loss); }
+
+/// LogitsFn adapter for a single fixed exit (for MCQ scoring).
+LogitsFn exit_logits_fn(nn::CausalLm& model, int64_t exit_layer);
+
+}  // namespace edgellm::data

@@ -1,0 +1,72 @@
+#include "data/induction.hpp"
+
+#include <map>
+
+namespace edgellm::data {
+
+InductionTask::InductionTask(Config cfg) : cfg_(cfg) {
+  check_arg(cfg_.n_keys >= 2 && cfg_.n_values >= 2 && cfg_.n_fillers >= 1,
+            "InductionTask: need at least 2 keys, 2 values, 1 filler");
+}
+
+std::vector<int64_t> InductionTask::sample(int64_t length, Rng& rng) const {
+  check_arg(length >= 2, "InductionTask::sample: length must be >= 2");
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(length) + 2);
+  std::map<int64_t, int64_t> binding;  // key -> value fixed at first occurrence
+
+  while (static_cast<int64_t>(out.size()) < length) {
+    if (rng.bernoulli(0.7)) {
+      const int64_t key = rng.uniform_int(0, cfg_.n_keys - 1);
+      auto [it, inserted] = binding.try_emplace(
+          key, cfg_.n_keys + rng.uniform_int(0, cfg_.n_values - 1));
+      out.push_back(key);
+      out.push_back(it->second);
+    } else {
+      out.push_back(cfg_.n_keys + cfg_.n_values + rng.uniform_int(0, cfg_.n_fillers - 1));
+    }
+  }
+  out.resize(static_cast<size_t>(length));
+  return out;
+}
+
+LmBatch InductionTask::sample_batch(int64_t batch, int64_t seq, Rng& rng) const {
+  check_arg(batch > 0 && seq > 0, "InductionTask: batch and seq must be positive");
+  LmBatch b;
+  b.batch = batch;
+  b.seq = seq;
+  for (int64_t r = 0; r < batch; ++r) {
+    const auto stream = sample(seq + 1, rng);
+    b.inputs.insert(b.inputs.end(), stream.begin(), stream.end() - 1);
+    b.targets.insert(b.targets.end(), stream.begin() + 1, stream.end());
+  }
+  return b;
+}
+
+double InductionTask::recall_accuracy(
+    const std::function<int64_t(const std::vector<int64_t>&)>& predict, int64_t n_sequences,
+    int64_t seq_len, Rng& rng) const {
+  check_arg(n_sequences > 0 && seq_len >= 4, "recall_accuracy: need sequences of length >= 4");
+  int64_t hits = 0, total = 0;
+  for (int64_t s = 0; s < n_sequences; ++s) {
+    const auto stream = sample(seq_len, rng);
+    std::map<int64_t, int64_t> seen;  // key -> value, in prefix order
+    for (size_t i = 0; i + 1 < stream.size(); ++i) {
+      const int64_t tok = stream[i];
+      if (!is_key(tok)) continue;
+      const auto it = seen.find(tok);
+      if (it != seen.end() && is_value(stream[i + 1])) {
+        // Repeat occurrence: the model should recall the bound value.
+        const std::vector<int64_t> prefix(stream.begin(),
+                                          stream.begin() + static_cast<int64_t>(i) + 1);
+        if (predict(prefix) == it->second) ++hits;
+        ++total;
+      }
+      if (is_value(stream[i + 1])) seen.emplace(tok, stream[i + 1]);
+    }
+  }
+  check_arg(total > 0, "recall_accuracy: no repeat-key positions sampled");
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace edgellm::data

@@ -1,0 +1,53 @@
+// Induction (copy-recall) task generator — a third evaluation corpus that
+// tests *in-context* recall rather than memorised statistics: sequences
+// contain a random key-value vocabulary where every reappearance of a key
+// is followed by the same value it had earlier in the sequence. A model
+// can only solve it by attending back to the previous occurrence (the
+// classic "induction head" capability), so it stresses exactly the part of
+// the network that aggressive compression and shallow backprop windows
+// might damage.
+#pragma once
+
+#include <functional>
+
+#include "data/corpus.hpp"
+
+namespace edgellm::data {
+
+/// Seeded induction-task generator.
+class InductionTask {
+ public:
+  struct Config {
+    int64_t n_keys = 8;     ///< key tokens [0, n_keys)
+    int64_t n_values = 8;   ///< value tokens [n_keys, n_keys + n_values)
+    int64_t n_fillers = 8;  ///< filler tokens after values
+    uint64_t seed = 1;
+  };
+
+  explicit InductionTask(Config cfg);
+
+  int64_t vocab() const { return cfg_.n_keys + cfg_.n_values + cfg_.n_fillers; }
+  bool is_key(int64_t t) const { return t >= 0 && t < cfg_.n_keys; }
+  bool is_value(int64_t t) const {
+    return t >= cfg_.n_keys && t < cfg_.n_keys + cfg_.n_values;
+  }
+
+  /// Samples one sequence of `length` tokens: interleaved (key, value)
+  /// pairs and fillers, where a key's SECOND and later occurrences repeat
+  /// its first value.
+  std::vector<int64_t> sample(int64_t length, Rng& rng) const;
+
+  /// An LM batch of such sequences.
+  LmBatch sample_batch(int64_t batch, int64_t seq, Rng& rng) const;
+
+  /// Fraction of repeat-key positions where `predict` returns the correct
+  /// value. `predict(prefix)` must return a token id given the sequence so
+  /// far. Only positions whose key appeared before count.
+  double recall_accuracy(const std::function<int64_t(const std::vector<int64_t>&)>& predict,
+                         int64_t n_sequences, int64_t seq_len, Rng& rng) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace edgellm::data

@@ -1,0 +1,43 @@
+#include "data/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::data {
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<float>& samples, double level,
+                                     int64_t resamples, Rng& rng) {
+  check_arg(samples.size() >= 2, "bootstrap_mean_ci: need at least 2 samples");
+  check_arg(level > 0.0 && level < 1.0, "bootstrap_mean_ci: level must be in (0, 1)");
+  check_arg(resamples >= 100, "bootstrap_mean_ci: need at least 100 resamples");
+
+  const int64_t n = static_cast<int64_t>(samples.size());
+  double total = 0.0;
+  for (float s : samples) total += s;
+
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  for (int64_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += samples[static_cast<size_t>(rng.uniform_int(0, n - 1))];
+    }
+    means.push_back(acc / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  const double alpha = (1.0 - level) / 2.0;
+  const auto pick = [&](double q) {
+    const int64_t idx = std::clamp<int64_t>(
+        static_cast<int64_t>(std::floor(q * static_cast<double>(resamples))), 0, resamples - 1);
+    return means[static_cast<size_t>(idx)];
+  };
+
+  ConfidenceInterval ci;
+  ci.mean = total / static_cast<double>(n);
+  ci.lo = pick(alpha);
+  ci.hi = pick(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace edgellm::data

@@ -1,0 +1,29 @@
+// Small statistics helpers for reporting: bootstrap confidence intervals
+// over per-batch losses, so bench tables can state whether method gaps are
+// larger than the evaluation noise.
+#pragma once
+
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace edgellm::data {
+
+/// A two-sided confidence interval around a mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double v) const { return v >= lo && v <= hi; }
+  bool overlaps(const ConfidenceInterval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+};
+
+/// Percentile bootstrap CI of the mean of `samples` at the given level
+/// (e.g. 0.95), with `resamples` bootstrap draws.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<float>& samples, double level,
+                                     int64_t resamples, Rng& rng);
+
+}  // namespace edgellm::data

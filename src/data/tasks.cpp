@@ -1,0 +1,95 @@
+#include "data/tasks.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgellm::data {
+
+std::vector<McqItem> make_mcq_set(const MarkovChain& chain, const McqConfig& cfg, Rng& rng) {
+  check_arg(cfg.n_items > 0 && cfg.n_choices >= 2, "make_mcq_set: need items and >= 2 choices");
+  check_arg(cfg.prompt_len >= chain.config().order && cfg.cont_len >= 1,
+            "make_mcq_set: prompt must cover the chain order");
+
+  // Distractor continuations come from an unrelated domain with the same
+  // vocabulary, so they are locally plausible but globally off-distribution.
+  MarkovChain::Config dcfg = chain.config();
+  dcfg.seed = cfg.distractor_seed;
+  dcfg.shift_fraction = 0.0f;
+  const MarkovChain distractor_chain(dcfg);
+
+  const int order = chain.config().order;
+  std::vector<McqItem> items;
+  items.reserve(static_cast<size_t>(cfg.n_items));
+  for (int i = 0; i < cfg.n_items; ++i) {
+    McqItem item;
+    item.prompt = chain.sample(cfg.prompt_len, rng);
+
+    // Correct continuation: walk the true chain from the prompt suffix.
+    std::vector<int64_t> walk = item.prompt;
+    for (int t = 0; t < cfg.cont_len; ++t) {
+      const std::span<const int64_t> ctx(walk.data() + walk.size() - order,
+                                         static_cast<size_t>(order));
+      walk.push_back(rng.categorical(chain.next_dist(ctx)));
+    }
+    std::vector<int64_t> correct(walk.end() - cfg.cont_len, walk.end());
+
+    item.correct = rng.uniform_int(0, cfg.n_choices - 1);
+    for (int c = 0; c < cfg.n_choices; ++c) {
+      if (c == item.correct) {
+        item.choices.push_back(correct);
+        continue;
+      }
+      std::vector<int64_t> dwalk = item.prompt;
+      for (int t = 0; t < cfg.cont_len; ++t) {
+        const std::span<const int64_t> ctx(dwalk.data() + dwalk.size() - order,
+                                           static_cast<size_t>(order));
+        dwalk.push_back(rng.categorical(distractor_chain.next_dist(ctx)));
+      }
+      item.choices.emplace_back(dwalk.end() - cfg.cont_len, dwalk.end());
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+float score_continuation(const LogitsFn& logits_fn, const std::vector<int64_t>& prompt,
+                         const std::vector<int64_t>& continuation, int64_t vocab) {
+  check_arg(!prompt.empty() && !continuation.empty(), "score_continuation: empty input");
+  std::vector<int64_t> seq = prompt;
+  seq.insert(seq.end(), continuation.begin(), continuation.end());
+  const int64_t t = static_cast<int64_t>(seq.size());
+
+  const Tensor logits = logits_fn(seq, t);
+  check_arg(logits.numel() == t * vocab, "score_continuation: logits shape mismatch");
+  const Tensor logp = ops::log_softmax_lastdim(logits.reshape({t, vocab}));
+
+  // Position p's logits predict token p+1; the continuation starts at
+  // position prompt.size().
+  float total = 0.0f;
+  const int64_t start = static_cast<int64_t>(prompt.size());
+  for (int64_t p = start; p < t; ++p) {
+    total += logp[(p - 1) * vocab + seq[static_cast<size_t>(p)]];
+  }
+  return total;
+}
+
+float mcq_accuracy(const LogitsFn& logits_fn, const std::vector<McqItem>& items, int64_t vocab) {
+  check_arg(!items.empty(), "mcq_accuracy: empty item set");
+  int64_t hits = 0;
+  for (const McqItem& item : items) {
+    float best = -1e30f;
+    int64_t best_idx = -1;
+    for (size_t c = 0; c < item.choices.size(); ++c) {
+      const float s = score_continuation(logits_fn, item.prompt, item.choices[c], vocab);
+      if (s > best) {
+        best = s;
+        best_idx = static_cast<int64_t>(c);
+      }
+    }
+    if (best_idx == item.correct) ++hits;
+  }
+  return static_cast<float>(hits) / static_cast<float>(items.size());
+}
+
+}  // namespace edgellm::data

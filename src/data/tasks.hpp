@@ -1,0 +1,50 @@
+// Synthetic multiple-choice tasks — the stand-in for the paper's MMLU /
+// commonsense-QA downstream evaluation (DESIGN.md §2).
+//
+// Each item gives a prompt sampled from the domain chain, one continuation
+// sampled from the *true* next-token distributions (the correct answer),
+// and distractor continuations sampled from a mismatched domain. A model
+// that has adapted to the domain assigns higher log-likelihood to the true
+// continuation — exactly the LM-scoring mechanism used to evaluate MCQ
+// benchmarks with LLMs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/corpus.hpp"
+#include "tensor/tensor.hpp"
+
+namespace edgellm::data {
+
+/// One multiple-choice item.
+struct McqItem {
+  std::vector<int64_t> prompt;
+  std::vector<std::vector<int64_t>> choices;  ///< candidate continuations
+  int64_t correct = 0;                        ///< index into choices
+};
+
+struct McqConfig {
+  int n_items = 64;
+  int n_choices = 4;
+  int prompt_len = 16;
+  int cont_len = 6;
+  uint64_t distractor_seed = 777;  ///< domain the distractors come from
+};
+
+/// Generates a seeded MCQ set for the given domain.
+std::vector<McqItem> make_mcq_set(const MarkovChain& chain, const McqConfig& cfg, Rng& rng);
+
+/// Callback returning next-token logits [seq, vocab] for one sequence of
+/// length `seq`. Plugged by a plain exit or by the core::ExitVoter.
+using LogitsFn =
+    std::function<Tensor(const std::vector<int64_t>& tokens, int64_t seq)>;
+
+/// Sum of log P(choice tokens | prompt, preceding choice tokens).
+float score_continuation(const LogitsFn& logits_fn, const std::vector<int64_t>& prompt,
+                         const std::vector<int64_t>& continuation, int64_t vocab);
+
+/// Fraction of items where the correct choice has the highest score.
+float mcq_accuracy(const LogitsFn& logits_fn, const std::vector<McqItem>& items, int64_t vocab);
+
+}  // namespace edgellm::data

@@ -1,0 +1,160 @@
+#include "data/template_lang.hpp"
+
+#include <algorithm>
+
+namespace edgellm::data {
+
+namespace {
+
+uint64_t mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TemplateLanguage::TemplateLanguage(Config cfg) : cfg_(cfg) {
+  check_arg(cfg_.n_subjects >= 2 && cfg_.n_verbs >= 2 && cfg_.n_objects >= 2 &&
+                cfg_.n_modifiers >= 1,
+            "TemplateLanguage: need at least 2 of each role");
+  check_arg(cfg_.preferred >= 1 && cfg_.preferred < cfg_.n_verbs &&
+                cfg_.preferred < cfg_.n_objects,
+            "TemplateLanguage: preferred count out of range");
+  check_arg(cfg_.obedience > 0.5f && cfg_.obedience <= 1.0f,
+            "TemplateLanguage: obedience must be in (0.5, 1]");
+  check_arg(cfg_.modifier_prob >= 0.0f && cfg_.modifier_prob <= 1.0f,
+            "TemplateLanguage: modifier_prob must be in [0, 1]");
+  check_arg(cfg_.shift_fraction >= 0.0f && cfg_.shift_fraction <= 1.0f,
+            "TemplateLanguage: shift_fraction must be in [0, 1]");
+}
+
+int64_t TemplateLanguage::vocab() const {
+  return cfg_.n_subjects + cfg_.n_verbs + cfg_.n_objects + cfg_.n_modifiers + 1;
+}
+
+uint64_t TemplateLanguage::rule_seed(int64_t subject) const {
+  const uint64_t h = mix(0xBEEFull ^ static_cast<uint64_t>(subject + 1));
+  if (cfg_.shift_fraction > 0.0f) {
+    const uint64_t coin = mix(h ^ 0xD1FFull);
+    const double u = static_cast<double>(coin >> 11) * 0x1.0p-53;
+    if (u < static_cast<double>(cfg_.shift_fraction)) return mix(h ^ cfg_.shift_seed);
+  }
+  return mix(h ^ cfg_.seed);
+}
+
+std::vector<int64_t> TemplateLanguage::pick_preferred(uint64_t seed, int64_t base,
+                                                      int64_t count, int64_t how_many) const {
+  std::vector<int64_t> out;
+  uint64_t s = seed;
+  while (static_cast<int64_t>(out.size()) < how_many) {
+    s = mix(s);
+    const int64_t tok = base + static_cast<int64_t>(s % static_cast<uint64_t>(count));
+    if (std::find(out.begin(), out.end(), tok) == out.end()) out.push_back(tok);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int64_t> TemplateLanguage::preferred_verbs(int64_t subject) const {
+  check_arg(is_subject(subject), "preferred_verbs: not a subject token");
+  return pick_preferred(rule_seed(subject) ^ 0x5EEDull, verb_base(), cfg_.n_verbs,
+                        cfg_.preferred);
+}
+
+std::vector<int64_t> TemplateLanguage::preferred_objects(int64_t subject, int64_t verb) const {
+  check_arg(is_subject(subject), "preferred_objects: not a subject token");
+  check_arg(is_verb(verb), "preferred_objects: not a verb token");
+  return pick_preferred(mix(rule_seed(subject) ^ static_cast<uint64_t>(verb * 31 + 7)),
+                        object_base(), cfg_.n_objects, cfg_.preferred);
+}
+
+void TemplateLanguage::sample_sentence(std::vector<int64_t>& out, Rng& rng) const {
+  const int64_t subject = rng.uniform_int(0, cfg_.n_subjects - 1);
+  out.push_back(subject);
+
+  if (rng.bernoulli(cfg_.modifier_prob)) {
+    out.push_back(modifier_base() + rng.uniform_int(0, cfg_.n_modifiers - 1));
+  }
+
+  int64_t verb;
+  if (rng.bernoulli(cfg_.obedience)) {
+    const auto pv = preferred_verbs(subject);
+    verb = pv[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(pv.size()) - 1))];
+  } else {
+    verb = verb_base() + rng.uniform_int(0, cfg_.n_verbs - 1);
+  }
+  out.push_back(verb);
+
+  int64_t object;
+  if (rng.bernoulli(cfg_.obedience)) {
+    const auto po = preferred_objects(subject, verb);
+    object = po[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(po.size()) - 1))];
+  } else {
+    object = object_base() + rng.uniform_int(0, cfg_.n_objects - 1);
+  }
+  out.push_back(object);
+  out.push_back(punct_token());
+}
+
+std::vector<int64_t> TemplateLanguage::sample(int64_t length, Rng& rng) const {
+  check_arg(length > 0, "TemplateLanguage::sample: length must be positive");
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(length) + 5);
+  while (static_cast<int64_t>(out.size()) < length) sample_sentence(out, rng);
+  out.resize(static_cast<size_t>(length));
+  return out;
+}
+
+TemplateLanguage TemplateLanguage::shifted(float fraction, uint64_t shift_seed) const {
+  Config cfg = cfg_;
+  cfg.shift_fraction = fraction;
+  cfg.shift_seed = shift_seed;
+  return TemplateLanguage(cfg);
+}
+
+std::vector<McqItem> TemplateLanguage::make_cloze_set(int n_items, int n_choices,
+                                                      Rng& rng) const {
+  check_arg(n_items > 0 && n_choices >= 2, "make_cloze_set: need items and >= 2 choices");
+  check_arg(n_choices <= cfg_.n_objects, "make_cloze_set: more choices than objects");
+  std::vector<McqItem> items;
+  items.reserve(static_cast<size_t>(n_items));
+  for (int i = 0; i < n_items; ++i) {
+    McqItem item;
+    // Context: two full sentences, then SUBJ [MOD] VERB of the query.
+    sample_sentence(item.prompt, rng);
+    sample_sentence(item.prompt, rng);
+    const int64_t subject = rng.uniform_int(0, cfg_.n_subjects - 1);
+    item.prompt.push_back(subject);
+    if (rng.bernoulli(cfg_.modifier_prob)) {
+      item.prompt.push_back(modifier_base() + rng.uniform_int(0, cfg_.n_modifiers - 1));
+    }
+    const auto pv = preferred_verbs(subject);
+    const int64_t verb =
+        pv[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(pv.size()) - 1))];
+    item.prompt.push_back(verb);
+
+    const auto po = preferred_objects(subject, verb);
+    const int64_t correct_obj =
+        po[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(po.size()) - 1))];
+
+    item.correct = rng.uniform_int(0, n_choices - 1);
+    for (int c = 0; c < n_choices; ++c) {
+      if (c == item.correct) {
+        item.choices.push_back({correct_obj});
+        continue;
+      }
+      // Distractors: objects NOT preferred for this (subject, verb).
+      int64_t obj;
+      do {
+        obj = object_base() + rng.uniform_int(0, cfg_.n_objects - 1);
+      } while (std::find(po.begin(), po.end(), obj) != po.end());
+      item.choices.push_back({obj});
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace edgellm::data

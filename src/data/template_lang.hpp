@@ -1,0 +1,77 @@
+// A second synthetic language with *structure*: templated sentences
+//
+//   SUBJECT [MODIFIER] VERB OBJECT PUNCT
+//
+// where each subject prefers a few verbs and each (subject, verb) pair
+// prefers a few objects. Unlike the order-k Markov corpus, the correct
+// object depends on a token 2-3 positions back *through* an intervening
+// modifier — a long-range dependency that exercises attention, and a
+// natural cloze-style MCQ ("which object fits this subject+verb?") closer
+// in spirit to the paper's commonsense-QA evaluation.
+#pragma once
+
+#include "data/corpus.hpp"
+#include "data/tasks.hpp"
+
+namespace edgellm::data {
+
+/// Seeded template language. Immutable and cheap to copy.
+class TemplateLanguage {
+ public:
+  struct Config {
+    int64_t n_subjects = 8;
+    int64_t n_verbs = 8;
+    int64_t n_objects = 12;
+    int64_t n_modifiers = 4;
+    int preferred = 2;        ///< preferred verbs per subject / objects per pair
+    float obedience = 0.9f;   ///< prob. of following the preference tables
+    float modifier_prob = 0.5f;
+    uint64_t seed = 1;
+    float shift_fraction = 0.0f;  ///< fraction of subjects with re-drawn rules
+    uint64_t shift_seed = 2;
+  };
+
+  explicit TemplateLanguage(Config cfg);
+
+  const Config& config() const { return cfg_; }
+
+  /// Total vocabulary: subjects + verbs + objects + modifiers + punct.
+  int64_t vocab() const;
+
+  // Token-range helpers (roles are contiguous id ranges).
+  int64_t subject_base() const { return 0; }
+  int64_t verb_base() const { return cfg_.n_subjects; }
+  int64_t object_base() const { return cfg_.n_subjects + cfg_.n_verbs; }
+  int64_t modifier_base() const { return cfg_.n_subjects + cfg_.n_verbs + cfg_.n_objects; }
+  int64_t punct_token() const { return vocab() - 1; }
+
+  bool is_subject(int64_t t) const { return t >= 0 && t < verb_base(); }
+  bool is_verb(int64_t t) const { return t >= verb_base() && t < object_base(); }
+  bool is_object(int64_t t) const { return t >= object_base() && t < modifier_base(); }
+
+  /// Preferred verbs for a subject / objects for (subject, verb).
+  std::vector<int64_t> preferred_verbs(int64_t subject) const;
+  std::vector<int64_t> preferred_objects(int64_t subject, int64_t verb) const;
+
+  /// Samples a stream of whole sentences totalling >= length tokens
+  /// (truncated to exactly `length`).
+  std::vector<int64_t> sample(int64_t length, Rng& rng) const;
+
+  /// Domain-shifted sibling (re-draws a fraction of subjects' tables).
+  TemplateLanguage shifted(float fraction, uint64_t shift_seed) const;
+
+  /// Cloze MCQ set: prompt ends right after SUBJ [MOD] VERB; choices are
+  /// objects, correct = a preferred object for the pair.
+  std::vector<McqItem> make_cloze_set(int n_items, int n_choices, Rng& rng) const;
+
+ private:
+  Config cfg_;
+
+  uint64_t rule_seed(int64_t subject) const;
+  std::vector<int64_t> pick_preferred(uint64_t seed, int64_t base, int64_t count,
+                                      int64_t how_many) const;
+  /// Appends one sentence to `out`.
+  void sample_sentence(std::vector<int64_t>& out, Rng& rng) const;
+};
+
+}  // namespace edgellm::data

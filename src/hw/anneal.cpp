@@ -1,0 +1,123 @@
+#include "hw/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::hw {
+
+namespace {
+
+// A random feasible starting point: modest square tiles, output-stationary.
+Schedule initial_schedule(const DeviceModel& dev, const GemmWorkload& gemm,
+                          double available_sram) {
+  return default_schedule(dev, gemm, available_sram);
+}
+
+int64_t clamp_tile(int64_t t, const AnnealConfig& cfg) {
+  t = (t / 4) * 4;  // multiples of 4
+  return std::clamp<int64_t>(t, cfg.min_tile, cfg.max_tile);
+}
+
+}  // namespace
+
+GemmPlan anneal_gemm(const DeviceModel& dev, const GemmWorkload& gemm, double available_sram,
+                     const AnnealConfig& cfg) {
+  check_arg(cfg.iterations > 0, "anneal_gemm: iterations must be positive");
+  check_arg(cfg.temp_start > cfg.temp_end && cfg.temp_end > 0.0,
+            "anneal_gemm: temperatures must satisfy start > end > 0");
+  check_arg(cfg.min_tile >= 4 && cfg.min_tile <= cfg.max_tile,
+            "anneal_gemm: invalid tile bounds");
+
+  Rng rng(cfg.seed);
+  Schedule cur = initial_schedule(dev, gemm, available_sram);
+  ScheduleCost cur_cost = evaluate_schedule(dev, gemm, cur, available_sram);
+  check_arg(cur_cost.feasible, "anneal_gemm: no feasible starting schedule");
+
+  Schedule best = cur;
+  ScheduleCost best_cost = cur_cost;
+
+  const double decay =
+      std::pow(cfg.temp_end / cfg.temp_start, 1.0 / static_cast<double>(cfg.iterations));
+  double temp = cfg.temp_start;
+
+  for (int64_t it = 0; it < cfg.iterations; ++it, temp *= decay) {
+    Schedule cand = cur;
+    // One random move: scale a tile, nudge a tile, flip order or buffering.
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        cand.tile_m = clamp_tile(rng.bernoulli(0.5) ? cand.tile_m * 2 : cand.tile_m / 2, cfg);
+        break;
+      case 1:
+        cand.tile_n = clamp_tile(rng.bernoulli(0.5) ? cand.tile_n * 2 : cand.tile_n / 2, cfg);
+        break;
+      case 2:
+        cand.tile_k = clamp_tile(rng.bernoulli(0.5) ? cand.tile_k * 2 : cand.tile_k / 2, cfg);
+        break;
+      case 3: {
+        // Fine nudge on a random tile dimension.
+        const int64_t delta = rng.bernoulli(0.5) ? 4 : -4;
+        switch (rng.uniform_int(0, 2)) {
+          case 0: cand.tile_m = clamp_tile(cand.tile_m + delta, cfg); break;
+          case 1: cand.tile_n = clamp_tile(cand.tile_n + delta, cfg); break;
+          default: cand.tile_k = clamp_tile(cand.tile_k + delta, cfg); break;
+        }
+        break;
+      }
+      case 4:
+        cand.order = kAllLoopOrders[rng.uniform_int(0, 5)];
+        break;
+      default:
+        cand.double_buffer = !cand.double_buffer;
+        break;
+    }
+
+    const ScheduleCost cand_cost = evaluate_schedule(dev, gemm, cand, available_sram);
+    if (!cand_cost.feasible) continue;
+
+    const double delta = (cand_cost.cycles - cur_cost.cycles) / std::max(1.0, cur_cost.cycles);
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      cur = cand;
+      cur_cost = cand_cost;
+      if (cur_cost.cycles < best_cost.cycles) {
+        best = cur;
+        best_cost = cur_cost;
+      }
+    }
+  }
+
+  GemmPlan plan;
+  plan.gemm = gemm;
+  plan.schedule = best;
+  plan.cost = best_cost;
+  return plan;
+}
+
+IterationPlan schedule_iteration_annealed(const DeviceModel& dev,
+                                          const std::vector<LayerWorkload>& workloads,
+                                          const AnnealConfig& cfg) {
+  check_arg(!workloads.empty(), "schedule_iteration_annealed: empty workload list");
+  IterationPlan plan;
+  double gemm_cycles = 0.0, gemm_compute = 0.0;
+  uint64_t seed = cfg.seed;
+  for (const LayerWorkload& w : workloads) {
+    LayerPlan lp;
+    lp.name = w.name;
+    lp.elementwise = elementwise_cost(dev, w.elementwise_bytes);
+    for (const GemmWorkload& g : w.gemms) {
+      AnnealConfig per = cfg;
+      per.seed = ++seed;
+      GemmPlan gp = anneal_gemm(dev, g, dev.sram_bytes, per);
+      gemm_cycles += gp.cost.cycles;
+      gemm_compute += gp.cost.compute_cycles;
+      lp.gemms.push_back(std::move(gp));
+    }
+    plan.total_cycles += lp.cycles();
+    plan.total_energy_pj += lp.energy_pj();
+    plan.total_dram_bytes += lp.dram_bytes();
+    plan.layers.push_back(std::move(lp));
+  }
+  plan.gemm_utilization = gemm_cycles > 0.0 ? gemm_compute / gemm_cycles : 0.0;
+  return plan;
+}
+
+}  // namespace edgellm::hw

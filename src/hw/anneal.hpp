@@ -1,0 +1,37 @@
+// Simulated-annealing schedule search — the scalable alternative to the
+// exhaustive per-GEMM enumeration in search.hpp.
+//
+// The exhaustive search is exact but only over a coarse tile grid; real
+// schedule spaces (arbitrary tile sizes, more loop transforms) are too
+// large to enumerate. This annealer explores a fine-grained space (any
+// multiple-of-4 tile up to 512) with Metropolis acceptance, and the tests
+// pin it to within a few percent of the exhaustive optimum on the coarse
+// grid while it can also *beat* that optimum by leaving the grid.
+#pragma once
+
+#include "hw/search.hpp"
+#include "tensor/rng.hpp"
+
+namespace edgellm::hw {
+
+struct AnnealConfig {
+  int64_t iterations = 2000;
+  double temp_start = 0.20;  ///< initial acceptance looseness (fraction of cost)
+  double temp_end = 0.002;
+  int64_t min_tile = 4;
+  int64_t max_tile = 512;
+  uint64_t seed = 1;
+};
+
+/// Anneals a schedule for one GEMM within `available_sram`. Never pins
+/// (pinning is a global decision made by schedule_iteration).
+GemmPlan anneal_gemm(const DeviceModel& dev, const GemmWorkload& gemm, double available_sram,
+                     const AnnealConfig& cfg);
+
+/// Whole-iteration scheduling with the annealer (no pinning). Each GEMM
+/// gets its own seeded annealing run for determinism.
+IterationPlan schedule_iteration_annealed(const DeviceModel& dev,
+                                          const std::vector<LayerWorkload>& workloads,
+                                          const AnnealConfig& cfg);
+
+}  // namespace edgellm::hw

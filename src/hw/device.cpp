@@ -1,0 +1,41 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::hw {
+
+double DeviceModel::mac_throughput_scale(int weight_bits) const {
+  check_arg(weight_bits >= 2 && weight_bits <= 16, "weight_bits must be in [2, 16]");
+  return 16.0 / static_cast<double>(weight_bits);
+}
+
+double DeviceModel::effective_mac_fraction(float sparsity, bool structured) const {
+  check_arg(sparsity >= 0.0f && sparsity < 1.0f, "sparsity must be in [0, 1)");
+  if (structured) return 1.0 - static_cast<double>(sparsity);
+  // Unstructured sparsity: only half the skipped MACs convert into speedup.
+  return 1.0 - 0.5 * static_cast<double>(sparsity);
+}
+
+double DeviceModel::mac_energy_pj(int weight_bits) const {
+  check_arg(weight_bits >= 2 && weight_bits <= 16, "weight_bits must be in [2, 16]");
+  return mac_energy_pj_fp16 * static_cast<double>(weight_bits) / 16.0;
+}
+
+double DeviceModel::cycles_to_ms(double cycles) const {
+  return cycles / (freq_ghz * 1e6);
+}
+
+DeviceModel default_edge_device() { return DeviceModel{}; }
+
+DeviceModel constrained_edge_device() {
+  DeviceModel d;
+  d.name = "edge-npu-small";
+  d.peak_macs_per_cycle = 128.0;
+  d.dram_bytes_per_cycle = 8.0;
+  d.sram_bytes = 128.0 * 1024.0;
+  return d;
+}
+
+}  // namespace edgellm::hw

@@ -1,0 +1,55 @@
+// Analytical edge-accelerator model (DESIGN.md §2: substitution for the
+// paper's edge-GPU measurements).
+//
+// The device is a roofline-style abstraction: a MAC array whose effective
+// throughput scales with weight bit-width and exploitable sparsity, a DRAM
+// channel, and an on-chip scratchpad that schedules tile into. All latency
+// numbers in the reproduction are cycle counts from this model.
+#pragma once
+
+#include <string>
+
+namespace edgellm::hw {
+
+/// Fixed hardware parameters of the modelled device.
+struct DeviceModel {
+  std::string name = "edge-npu";
+
+  double peak_macs_per_cycle = 256.0;  ///< fp16 MACs per cycle
+  double freq_ghz = 1.0;               ///< for reporting wall-clock time
+  double dram_bytes_per_cycle = 16.0;  ///< DRAM bandwidth
+  double sram_bytes = 256.0 * 1024.0;  ///< on-chip scratchpad
+
+  double dram_energy_pj_per_byte = 80.0;
+  double sram_energy_pj_per_byte = 2.0;
+  double mac_energy_pj_fp16 = 1.0;
+
+  /// Pipeline fill + drain cycles the MAC array pays per tile pass
+  /// (~2x the array dimension for a systolic design). Penalises schedules
+  /// with many tiny tiles.
+  double tile_overhead_cycles = 32.0;
+
+  /// Throughput multiplier for `weight_bits`-wide weights on the bit-serial
+  /// MAC array: 16-bit = 1x, 8-bit = 2x, 4-bit = 4x, 2-bit = 8x. Activation
+  /// operands stay fp16.
+  double mac_throughput_scale(int weight_bits) const;
+
+  /// Fraction of pruned MACs the device actually skips. Structured
+  /// (row/column) sparsity is fully skippable; unstructured sparsity only
+  /// partially (load-imbalance), modelled at 50% efficiency.
+  double effective_mac_fraction(float sparsity, bool structured) const;
+
+  /// Energy per MAC for a given weight bit-width (scales with bits/16).
+  double mac_energy_pj(int weight_bits) const;
+
+  /// Cycle count -> milliseconds at the device frequency.
+  double cycles_to_ms(double cycles) const;
+};
+
+/// A Jetson-class default used across benches; see bench/ outputs.
+DeviceModel default_edge_device();
+
+/// A smaller, bandwidth-starved device for ablations.
+DeviceModel constrained_edge_device();
+
+}  // namespace edgellm::hw

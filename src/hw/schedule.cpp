@@ -1,0 +1,189 @@
+#include "hw/schedule.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+namespace edgellm::hw {
+
+std::string to_string(LoopOrder o) {
+  switch (o) {
+    case LoopOrder::kMNK: return "mnk";
+    case LoopOrder::kMKN: return "mkn";
+    case LoopOrder::kNMK: return "nmk";
+    case LoopOrder::kNKM: return "nkm";
+    case LoopOrder::kKMN: return "kmn";
+    case LoopOrder::kKNM: return "knm";
+  }
+  return "?";
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  os << "tile(" << tile_m << "x" << tile_n << "x" << tile_k << ") order="
+     << hw::to_string(order) << (double_buffer ? " db" : "")
+     << (pin_weights ? " pinned" : "");
+  return os.str();
+}
+
+namespace {
+
+// Positions (0 = outermost) of the m, n, k loops for a LoopOrder.
+struct LoopPos {
+  int m, n, k;
+};
+
+LoopPos loop_positions(LoopOrder o) {
+  switch (o) {
+    case LoopOrder::kMNK: return {0, 1, 2};
+    case LoopOrder::kMKN: return {0, 2, 1};
+    case LoopOrder::kNMK: return {1, 0, 2};
+    case LoopOrder::kNKM: return {2, 0, 1};
+    case LoopOrder::kKMN: return {1, 2, 0};
+    case LoopOrder::kKNM: return {2, 1, 0};
+  }
+  return {0, 1, 2};
+}
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Product of trip counts of all loops at positions <= `through_pos`.
+double trips_through(const LoopPos& pos, int through_pos, int64_t mt, int64_t nt, int64_t kt) {
+  double p = 1.0;
+  if (pos.m <= through_pos) p *= static_cast<double>(mt);
+  if (pos.n <= through_pos) p *= static_cast<double>(nt);
+  if (pos.k <= through_pos) p *= static_cast<double>(kt);
+  return p;
+}
+
+constexpr double kActBytes = 2.0;   // fp16 activations
+constexpr double kAccBytes = 4.0;   // fp32 partial sums
+constexpr double kOutBytes = 2.0;   // fp16 outputs
+
+}  // namespace
+
+ScheduleCost evaluate_schedule(const DeviceModel& dev, const GemmWorkload& gemm,
+                               const Schedule& sched, double available_sram) {
+  check_arg(gemm.m > 0 && gemm.n > 0 && gemm.k > 0, "evaluate_schedule: empty GEMM");
+  check_arg(sched.tile_m > 0 && sched.tile_n > 0 && sched.tile_k > 0,
+            "evaluate_schedule: tiles must be positive");
+  ScheduleCost cost;
+
+  const int64_t tm = std::min(sched.tile_m, gemm.m);
+  const int64_t tn = std::min(sched.tile_n, gemm.n);
+  const int64_t tk = std::min(sched.tile_k, gemm.k);
+  const int64_t mt = ceil_div(gemm.m, tm), nt = ceil_div(gemm.n, tn), kt = ceil_div(gemm.k, tk);
+  const LoopPos pos = loop_positions(sched.order);
+
+  const double wbytes_per_elem = gemm.weight_bits / 8.0;
+
+  // --- SRAM footprint ------------------------------------------------------
+  const double a_tile = static_cast<double>(tm) * tk * kActBytes;
+  const double b_tile = static_cast<double>(tk) * tn * wbytes_per_elem;
+  const double c_tile = static_cast<double>(tm) * tn * kAccBytes;
+  const double buf_mult = sched.double_buffer ? 2.0 : 1.0;
+  double sram = a_tile * buf_mult + c_tile;
+  double pinned = 0.0;
+  if (sched.pin_weights) {
+    check_arg(gemm.weights_resident_eligible || gemm.count == 1,
+              "pin_weights on a non-eligible workload");
+    pinned = gemm.weight_bytes();
+    sram += pinned;  // full B resident, no streaming B tile needed
+  } else {
+    sram += b_tile * buf_mult;
+  }
+  cost.sram_bytes_used = sram;
+  cost.feasible = sram <= available_sram;
+  if (!cost.feasible) return cost;
+
+  // --- DRAM traffic from tile-reuse analysis ------------------------------
+  // An operand is re-fetched once per iteration of every loop from the
+  // outermost down to the innermost loop that indexes it.
+  const int last_a = std::max(pos.m, pos.k);
+  const int last_b = std::max(pos.n, pos.k);
+  const int last_c = std::max(pos.m, pos.n);
+
+  const double fetch_a = trips_through(pos, last_a, mt, nt, kt);
+  const double fetch_b = trips_through(pos, last_b, mt, nt, kt);
+  const double fetch_c = trips_through(pos, last_c, mt, nt, kt);
+
+  double traffic = fetch_a * static_cast<double>(tm) * tk * kActBytes;
+  if (!sched.pin_weights) {
+    // Pruned weights stream in their stored (compressed) form.
+    traffic += fetch_b * static_cast<double>(tk) * tn * wbytes_per_elem *
+               gemm.weight_traffic_scale();
+  }
+  // C: if the k loop is outside any output loop, partial sums spill to DRAM
+  // (read + write fp32 per visit); otherwise C stays resident during the
+  // whole accumulation and is written once as fp16.
+  if (pos.k < last_c) {
+    traffic += 2.0 * fetch_c * static_cast<double>(tm) * tn * kAccBytes;
+  } else {
+    traffic += static_cast<double>(gemm.m) * gemm.n * kOutBytes;
+  }
+  traffic *= static_cast<double>(gemm.count);
+
+  // Pinned weights are loaded once per adaptation session, amortised to
+  // ~zero per-iteration traffic.
+  cost.dram_bytes = traffic;
+
+  // --- cycles --------------------------------------------------------------
+  const double eff_frac = dev.effective_mac_fraction(gemm.sparsity, gemm.structured);
+  const double macs_exec = static_cast<double>(gemm.macs()) * eff_frac;
+  const double thr = dev.peak_macs_per_cycle * dev.mac_throughput_scale(gemm.weight_bits);
+  const double n_tiles =
+      static_cast<double>(mt) * nt * kt * static_cast<double>(gemm.count);
+  cost.compute_cycles = macs_exec / thr + n_tiles * dev.tile_overhead_cycles;
+  cost.dram_cycles = traffic / dev.dram_bytes_per_cycle;
+  cost.cycles = sched.double_buffer ? std::max(cost.compute_cycles, cost.dram_cycles)
+                                    : cost.compute_cycles + cost.dram_cycles;
+  cost.utilization = cost.cycles > 0.0 ? cost.compute_cycles / cost.cycles : 0.0;
+
+  // --- energy ---------------------------------------------------------------
+  const double sram_traffic_bytes = macs_exec * (kActBytes + wbytes_per_elem);
+  cost.dram_energy_pj = cost.dram_bytes * dev.dram_energy_pj_per_byte;
+  cost.mac_energy_pj = macs_exec * dev.mac_energy_pj(gemm.weight_bits);
+  cost.sram_energy_pj = sram_traffic_bytes * dev.sram_energy_pj_per_byte;
+  cost.energy_pj = cost.dram_energy_pj + cost.mac_energy_pj + cost.sram_energy_pj;
+  return cost;
+}
+
+ScheduleCost elementwise_cost(const DeviceModel& dev, double bytes) {
+  check_arg(bytes >= 0.0, "elementwise_cost: negative bytes");
+  ScheduleCost cost;
+  cost.feasible = true;
+  cost.dram_bytes = bytes;
+  cost.dram_cycles = bytes / dev.dram_bytes_per_cycle;
+  cost.cycles = cost.dram_cycles;
+  cost.dram_energy_pj = bytes * dev.dram_energy_pj_per_byte;
+  cost.energy_pj = cost.dram_energy_pj;
+  return cost;
+}
+
+Schedule naive_schedule() {
+  Schedule s;
+  s.tile_m = 8;
+  s.tile_n = 8;
+  s.tile_k = 8;
+  s.order = LoopOrder::kKNM;  // k outermost: partial sums spill every pass
+  s.double_buffer = false;
+  s.pin_weights = false;
+  return s;
+}
+
+Schedule default_schedule(const DeviceModel& dev, const GemmWorkload& gemm,
+                          double available_sram) {
+  Schedule s;
+  s.order = LoopOrder::kMNK;  // output-stationary: accumulate in SRAM
+  s.double_buffer = true;
+  // A competent library picks the largest square tile that fits.
+  for (int64_t tile = 128; tile >= 4; tile /= 2) {
+    s.tile_m = s.tile_n = s.tile_k = tile;
+    if (evaluate_schedule(dev, gemm, s, available_sram).feasible) return s;
+  }
+  check_arg(false, "default_schedule: no feasible tile size for " + gemm.name);
+  return s;
+}
+
+}  // namespace edgellm::hw

@@ -1,0 +1,70 @@
+// Tiled-GEMM schedule representation and analytical cost model.
+//
+// This is the paper's component (3): a search space over per-layer
+// execution schedules. A schedule picks tile sizes, the tile-loop order,
+// double buffering, and whether the layer's (compressed) weights stay
+// resident in the scratchpad across training iterations. DRAM traffic is
+// derived from an exact tile-reuse analysis of the loop nest.
+#pragma once
+
+#include <string>
+
+#include "hw/device.hpp"
+#include "hw/workload.hpp"
+
+namespace edgellm::hw {
+
+/// Order of the three tile loops, outermost first.
+enum class LoopOrder { kMNK, kMKN, kNMK, kNKM, kKMN, kKNM };
+
+std::string to_string(LoopOrder o);
+inline constexpr LoopOrder kAllLoopOrders[] = {LoopOrder::kMNK, LoopOrder::kMKN,
+                                               LoopOrder::kNMK, LoopOrder::kNKM,
+                                               LoopOrder::kKMN, LoopOrder::kKNM};
+
+/// One point in the scheduling search space.
+struct Schedule {
+  int64_t tile_m = 32;
+  int64_t tile_n = 32;
+  int64_t tile_k = 32;
+  LoopOrder order = LoopOrder::kMNK;
+  bool double_buffer = true;
+  bool pin_weights = false;  ///< keep the weight operand resident in SRAM
+
+  std::string to_string() const;
+};
+
+/// Modelled execution cost of one GEMM under one schedule.
+struct ScheduleCost {
+  bool feasible = false;      ///< tiles (+ pinned weights) fit in SRAM
+  double cycles = 0.0;        ///< end-to-end latency
+  double compute_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double dram_bytes = 0.0;
+  double energy_pj = 0.0;       ///< total = dram + mac + sram components
+  double dram_energy_pj = 0.0;
+  double mac_energy_pj = 0.0;
+  double sram_energy_pj = 0.0;
+  double utilization = 0.0;   ///< MAC-array busy fraction
+  double sram_bytes_used = 0.0;
+};
+
+/// Evaluates `gemm` under `sched` with `available_sram` bytes of scratchpad
+/// (pinned weight bytes count against it when sched.pin_weights).
+ScheduleCost evaluate_schedule(const DeviceModel& dev, const GemmWorkload& gemm,
+                               const Schedule& sched, double available_sram);
+
+/// Cost of bandwidth-bound elementwise traffic.
+ScheduleCost elementwise_cost(const DeviceModel& dev, double bytes);
+
+/// The un-searched strawman: small square tiles, partial-sum spilling loop
+/// order, no double buffering, no pinning.
+Schedule naive_schedule();
+
+/// A competent hand-written default (what a decent kernel library ships):
+/// 32x32x32 tiles, output-stationary loop order, double buffering, no
+/// pinning. Shrinks tiles until it fits `available_sram`.
+Schedule default_schedule(const DeviceModel& dev, const GemmWorkload& gemm,
+                          double available_sram);
+
+}  // namespace edgellm::hw

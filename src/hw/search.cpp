@@ -1,0 +1,264 @@
+#include "hw/search.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+
+namespace edgellm::hw {
+
+double LayerPlan::cycles() const {
+  double c = elementwise.cycles;
+  for (const auto& g : gemms) c += g.cost.cycles;
+  return c;
+}
+
+double LayerPlan::energy_pj() const {
+  double e = elementwise.energy_pj;
+  for (const auto& g : gemms) e += g.cost.energy_pj;
+  return e;
+}
+
+double LayerPlan::dram_energy_pj() const {
+  double e = elementwise.dram_energy_pj;
+  for (const auto& g : gemms) e += g.cost.dram_energy_pj;
+  return e;
+}
+
+double LayerPlan::mac_energy_pj() const {
+  double e = 0.0;
+  for (const auto& g : gemms) e += g.cost.mac_energy_pj;
+  return e;
+}
+
+double LayerPlan::sram_energy_pj() const {
+  double e = 0.0;
+  for (const auto& g : gemms) e += g.cost.sram_energy_pj;
+  return e;
+}
+
+double LayerPlan::dram_bytes() const {
+  double b = elementwise.dram_bytes;
+  for (const auto& g : gemms) b += g.cost.dram_bytes;
+  return b;
+}
+
+namespace {
+
+GemmPlan search_impl(const DeviceModel& dev, const GemmWorkload& gemm, double available_sram,
+                     const SearchConfig& cfg, bool pin) {
+  GemmPlan best;
+  best.gemm = gemm;
+  best.cost.feasible = false;
+  double best_cycles = std::numeric_limits<double>::infinity();
+
+  for (int64_t tm : cfg.tile_candidates) {
+    if (tm > gemm.m * 2) continue;  // avoid duplicate clamped points
+    for (int64_t tn : cfg.tile_candidates) {
+      if (tn > gemm.n * 2) continue;
+      for (int64_t tk : cfg.tile_candidates) {
+        if (tk > gemm.k * 2) continue;
+        for (LoopOrder order : kAllLoopOrders) {
+          for (int db = 0; db <= (cfg.allow_double_buffer ? 1 : 0); ++db) {
+            Schedule s;
+            s.tile_m = tm;
+            s.tile_n = tn;
+            s.tile_k = tk;
+            s.order = order;
+            s.double_buffer = db != 0;
+            s.pin_weights = pin;
+            const ScheduleCost c = evaluate_schedule(dev, gemm, s, available_sram);
+            if (!c.feasible) continue;
+            // Tie-break on energy for deterministic, sensible choices.
+            if (c.cycles < best_cycles ||
+                (c.cycles == best_cycles && c.energy_pj < best.cost.energy_pj)) {
+              best_cycles = c.cycles;
+              best.schedule = s;
+              best.cost = c;
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+// Pinning group key: forward and dX GEMMs of the same layer share weights.
+std::string pin_group_key(const std::string& gemm_name) {
+  const std::string suffix = ".dx";
+  if (gemm_name.size() > suffix.size() &&
+      gemm_name.compare(gemm_name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return gemm_name.substr(0, gemm_name.size() - suffix.size());
+  }
+  return gemm_name;
+}
+
+struct GemmRef {
+  size_t layer;
+  size_t idx;
+};
+
+}  // namespace
+
+GemmPlan search_gemm(const DeviceModel& dev, const GemmWorkload& gemm, double available_sram,
+                     const SearchConfig& cfg) {
+  check_arg(!cfg.tile_candidates.empty(), "search_gemm: no tile candidates");
+  GemmPlan p = search_impl(dev, gemm, available_sram, cfg, /*pin=*/false);
+  check_arg(p.cost.feasible, "search_gemm: no feasible schedule for " + gemm.name);
+  return p;
+}
+
+GemmPlan search_gemm_pinned(const DeviceModel& dev, const GemmWorkload& gemm,
+                            double available_sram, const SearchConfig& cfg) {
+  return search_impl(dev, gemm, available_sram, cfg, /*pin=*/true);
+}
+
+IterationPlan schedule_iteration(const DeviceModel& dev,
+                                 const std::vector<LayerWorkload>& workloads,
+                                 const SearchConfig& cfg) {
+  check_arg(!workloads.empty(), "schedule_iteration: empty workload list");
+
+  // Phase A: best unpinned schedule for every GEMM with the full SRAM.
+  std::vector<LayerPlan> layers(workloads.size());
+  for (size_t li = 0; li < workloads.size(); ++li) {
+    layers[li].name = workloads[li].name;
+    layers[li].elementwise = elementwise_cost(dev, workloads[li].elementwise_bytes);
+    for (const GemmWorkload& g : workloads[li].gemms) {
+      layers[li].gemms.push_back(search_gemm(dev, g, dev.sram_bytes, cfg));
+    }
+  }
+
+  double pinned_total = 0.0;
+  if (cfg.allow_pinning) {
+    // Phase B: group weight-sharing GEMMs and estimate each group's benefit.
+    struct Group {
+      double weight_bytes = 0.0;
+      double benefit_cycles = 0.0;
+      std::vector<GemmRef> members;
+    };
+    std::map<std::string, Group> groups;
+    for (size_t li = 0; li < workloads.size(); ++li) {
+      for (size_t gi = 0; gi < workloads[li].gemms.size(); ++gi) {
+        const GemmWorkload& g = workloads[li].gemms[gi];
+        if (!g.weights_resident_eligible) continue;
+        Group& grp = groups[pin_group_key(g.name)];
+        grp.weight_bytes = std::max(grp.weight_bytes, g.weight_bytes());
+        grp.members.push_back({li, gi});
+        const GemmPlan pinned = search_gemm_pinned(dev, g, dev.sram_bytes, cfg);
+        if (pinned.cost.feasible) {
+          grp.benefit_cycles += layers[li].gemms[gi].cost.cycles - pinned.cost.cycles;
+        }
+      }
+    }
+
+    // Greedy: highest cycles-saved per pinned byte first.
+    std::vector<const std::pair<const std::string, Group>*> order;
+    for (const auto& kv : groups) {
+      if (kv.second.benefit_cycles > 0.0) order.push_back(&kv);
+    }
+    std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+      const double ra = a->second.benefit_cycles / a->second.weight_bytes;
+      const double rb = b->second.benefit_cycles / b->second.weight_bytes;
+      if (ra != rb) return ra > rb;
+      return a->first < b->first;  // deterministic tie-break
+    });
+
+    const double pin_budget = cfg.pin_budget_fraction * dev.sram_bytes;
+    std::vector<GemmRef> pinned_members;
+    for (const auto* kv : order) {
+      const Group& grp = kv->second;
+      if (pinned_total + grp.weight_bytes > pin_budget) continue;
+      pinned_total += grp.weight_bytes;
+      pinned_members.insert(pinned_members.end(), grp.members.begin(), grp.members.end());
+    }
+
+    // Final pass: re-search everything under the reduced tile budget.
+    const double tile_sram = dev.sram_bytes - pinned_total;
+    std::vector<std::vector<bool>> is_pinned(workloads.size());
+    for (size_t li = 0; li < workloads.size(); ++li) {
+      is_pinned[li].assign(workloads[li].gemms.size(), false);
+    }
+    for (const GemmRef& r : pinned_members) is_pinned[r.layer][r.idx] = true;
+
+    for (size_t li = 0; li < workloads.size(); ++li) {
+      for (size_t gi = 0; gi < workloads[li].gemms.size(); ++gi) {
+        const GemmWorkload& g = workloads[li].gemms[gi];
+        if (is_pinned[li][gi]) {
+          // evaluate_schedule charges the pinned bytes inside, so allow the
+          // group's own bytes on top of the shared tile budget.
+          GemmPlan p = search_gemm_pinned(dev, g, tile_sram + g.weight_bytes(), cfg);
+          if (p.cost.feasible) {
+            layers[li].gemms[gi] = p;
+            continue;
+          }
+        }
+        layers[li].gemms[gi] = search_gemm(dev, g, tile_sram, cfg);
+      }
+    }
+  }
+
+  IterationPlan plan;
+  plan.layers = std::move(layers);
+  plan.pinned_bytes = pinned_total;
+  double gemm_cycles = 0.0, gemm_compute = 0.0;
+  for (const LayerPlan& lp : plan.layers) {
+    plan.total_cycles += lp.cycles();
+    plan.total_energy_pj += lp.energy_pj();
+    plan.total_dram_bytes += lp.dram_bytes();
+    for (const GemmPlan& gp : lp.gemms) {
+      gemm_cycles += gp.cost.cycles;
+      gemm_compute += gp.cost.compute_cycles;
+    }
+  }
+  plan.gemm_utilization = gemm_cycles > 0.0 ? gemm_compute / gemm_cycles : 0.0;
+  return plan;
+}
+
+namespace {
+
+IterationPlan schedule_iteration_fixed(
+    const DeviceModel& dev, const std::vector<LayerWorkload>& workloads,
+    const std::function<Schedule(const GemmWorkload&)>& pick) {
+  check_arg(!workloads.empty(), "schedule_iteration: empty workload list");
+  IterationPlan plan;
+  double gemm_cycles = 0.0, gemm_compute = 0.0;
+  for (const LayerWorkload& w : workloads) {
+    LayerPlan lp;
+    lp.name = w.name;
+    lp.elementwise = elementwise_cost(dev, w.elementwise_bytes);
+    for (const GemmWorkload& g : w.gemms) {
+      GemmPlan gp;
+      gp.gemm = g;
+      gp.schedule = pick(g);
+      gp.cost = evaluate_schedule(dev, g, gp.schedule, dev.sram_bytes);
+      check_arg(gp.cost.feasible, "fixed schedule infeasible for " + g.name);
+      gemm_cycles += gp.cost.cycles;
+      gemm_compute += gp.cost.compute_cycles;
+      lp.gemms.push_back(std::move(gp));
+    }
+    plan.total_cycles += lp.cycles();
+    plan.total_energy_pj += lp.energy_pj();
+    plan.total_dram_bytes += lp.dram_bytes();
+    plan.layers.push_back(std::move(lp));
+  }
+  plan.gemm_utilization = gemm_cycles > 0.0 ? gemm_compute / gemm_cycles : 0.0;
+  return plan;
+}
+
+}  // namespace
+
+IterationPlan schedule_iteration_naive(const DeviceModel& dev,
+                                       const std::vector<LayerWorkload>& workloads) {
+  return schedule_iteration_fixed(dev, workloads,
+                                  [](const GemmWorkload&) { return naive_schedule(); });
+}
+
+IterationPlan schedule_iteration_default(const DeviceModel& dev,
+                                         const std::vector<LayerWorkload>& workloads) {
+  return schedule_iteration_fixed(dev, workloads, [&dev](const GemmWorkload& g) {
+    return default_schedule(dev, g, dev.sram_bytes);
+  });
+}
+
+}  // namespace edgellm::hw

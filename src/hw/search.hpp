@@ -1,0 +1,80 @@
+// Schedule search (paper component 3).
+//
+// Per-GEMM exhaustive search over the tile/loop-order/double-buffer space,
+// plus an iteration-level greedy optimizer that decides which layers'
+// compressed weights stay pinned in scratchpad across training iterations.
+// Pinning is where LUC and scheduling become complementary: low-bit pruned
+// layers are cheap to pin, which removes their weight traffic every
+// iteration.
+#pragma once
+
+#include <vector>
+
+#include "hw/schedule.hpp"
+
+namespace edgellm::hw {
+
+/// One scheduled GEMM.
+struct GemmPlan {
+  GemmWorkload gemm;
+  Schedule schedule;
+  ScheduleCost cost;
+};
+
+/// A scheduled layer: its GEMM plans plus elementwise traffic cost.
+struct LayerPlan {
+  std::string name;
+  std::vector<GemmPlan> gemms;
+  ScheduleCost elementwise;
+
+  double cycles() const;
+  double energy_pj() const;
+  double dram_energy_pj() const;
+  double mac_energy_pj() const;
+  double sram_energy_pj() const;
+  double dram_bytes() const;
+};
+
+/// A fully scheduled training iteration.
+struct IterationPlan {
+  std::vector<LayerPlan> layers;
+  double total_cycles = 0.0;
+  double total_energy_pj = 0.0;
+  double total_dram_bytes = 0.0;
+  double pinned_bytes = 0.0;
+  double gemm_utilization = 0.0;  ///< MAC busy fraction over GEMM time
+};
+
+/// Knobs of the search.
+struct SearchConfig {
+  std::vector<int64_t> tile_candidates = {8, 16, 32, 64, 128};
+  bool allow_double_buffer = true;
+  bool allow_pinning = true;
+  double pin_budget_fraction = 0.75;  ///< max fraction of SRAM for pinning
+};
+
+/// Best schedule for one GEMM within `available_sram` (never pins).
+GemmPlan search_gemm(const DeviceModel& dev, const GemmWorkload& gemm, double available_sram,
+                     const SearchConfig& cfg);
+
+/// Best pinned schedule for one GEMM (weights resident); available_sram
+/// must already include the pinned bytes headroom.
+GemmPlan search_gemm_pinned(const DeviceModel& dev, const GemmWorkload& gemm,
+                            double available_sram, const SearchConfig& cfg);
+
+/// Searched schedule for a whole iteration (greedy pinning + per-GEMM
+/// exhaustive search).
+IterationPlan schedule_iteration(const DeviceModel& dev,
+                                 const std::vector<LayerWorkload>& workloads,
+                                 const SearchConfig& cfg);
+
+/// The naive strawman: naive_schedule() everywhere, no pinning.
+IterationPlan schedule_iteration_naive(const DeviceModel& dev,
+                                       const std::vector<LayerWorkload>& workloads);
+
+/// The competent hand-written baseline: default_schedule() per GEMM, no
+/// pinning. This is the fair comparator for the schedule search.
+IterationPlan schedule_iteration_default(const DeviceModel& dev,
+                                         const std::vector<LayerWorkload>& workloads);
+
+}  // namespace edgellm::hw

@@ -1,0 +1,180 @@
+#include "hw/workload.hpp"
+
+namespace edgellm::hw {
+
+namespace {
+
+// Weight-bearing GEMM: activations [rows, in] x W^T with W [out, in].
+GemmWorkload weight_gemm(std::string name, int64_t rows, int64_t in, int64_t out,
+                         const LayerCompression& comp, bool resident_eligible) {
+  GemmWorkload g;
+  g.name = std::move(name);
+  g.m = rows;
+  g.k = in;
+  g.n = out;
+  g.weight_bits = comp.weight_bits;
+  g.sparsity = comp.sparsity;
+  g.structured = comp.structured;
+  g.weights_resident_eligible = resident_eligible;
+  return g;
+}
+
+// Activation-activation GEMM (attention scores / context): fp16, dense.
+GemmWorkload act_gemm(std::string name, int64_t m, int64_t n, int64_t k, int64_t count) {
+  GemmWorkload g;
+  g.name = std::move(name);
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  g.count = count;
+  return g;
+}
+
+}  // namespace
+
+LayerWorkload block_forward_workload(const nn::ModelConfig& cfg, int64_t layer_idx,
+                                     const LayerCompression& comp, int64_t batch, int64_t seq) {
+  check_arg(batch > 0 && seq > 0, "workload: batch and seq must be positive");
+  const int64_t rows = batch * seq;
+  const int64_t c = cfg.d_model, f = cfg.ff_dim(), h = cfg.n_heads;
+  const int64_t dh = c / h;
+  const int64_t ckv = cfg.kv_dim();
+  const std::string tag = "block" + std::to_string(layer_idx);
+
+  LayerWorkload w;
+  w.name = tag + ".fwd";
+  w.gemms.push_back(weight_gemm(tag + ".q", rows, c, c, comp, true));
+  w.gemms.push_back(weight_gemm(tag + ".k", rows, c, ckv, comp, true));
+  w.gemms.push_back(weight_gemm(tag + ".v", rows, c, ckv, comp, true));
+  w.gemms.push_back(weight_gemm(tag + ".o", rows, c, c, comp, true));
+  w.gemms.push_back(act_gemm(tag + ".scores", seq, seq, dh, batch * h));
+  w.gemms.push_back(act_gemm(tag + ".ctx", seq, dh, seq, batch * h));
+  w.gemms.push_back(weight_gemm(tag + ".fc1", rows, c, f, comp, true));
+  w.gemms.push_back(weight_gemm(tag + ".fc2", rows, f, c, comp, true));
+  if (cfg.swiglu) {
+    w.gemms.push_back(weight_gemm(tag + ".fc3", rows, c, f, comp, true));
+  }
+
+  // Norms, residuals, softmax, GELU: read+write the activation a few times.
+  w.elementwise_bytes = 10.0 * static_cast<double>(rows) * c * 2.0  // fp16 activations
+                        + 2.0 * static_cast<double>(batch * h) * seq * seq * 2.0;
+  return w;
+}
+
+LayerWorkload block_backward_workload(const nn::ModelConfig& cfg, int64_t layer_idx,
+                                      const LayerCompression& comp, int64_t batch, int64_t seq) {
+  const int64_t rows = batch * seq;
+  const int64_t c = cfg.d_model, f = cfg.ff_dim(), h = cfg.n_heads;
+  const int64_t dh = c / h;
+  const int64_t ckv = cfg.kv_dim();
+  const std::string tag = "block" + std::to_string(layer_idx);
+
+  LayerWorkload w;
+  w.name = tag + ".bwd";
+  // Each weight GEMM contributes dX (uses W, so low-bit helps) and dW
+  // (activation x grad, fp16 dense).
+  LayerCompression fp16{};
+  const struct {
+    const char* nm;
+    int64_t in, out;
+  } lins[] = {{".q", c, c}, {".k", c, ckv}, {".v", c, ckv}, {".o", c, c},
+              {".fc1", c, f}, {".fc2", f, c}};
+  for (const auto& l : lins) {
+    w.gemms.push_back(
+        weight_gemm(tag + l.nm + ".dx", rows, l.out, l.in, comp, true));
+    w.gemms.push_back(weight_gemm(tag + l.nm + ".dw", l.out, rows, l.in, fp16, false));
+  }
+  if (cfg.swiglu) {
+    w.gemms.push_back(weight_gemm(tag + ".fc3.dx", rows, f, c, comp, true));
+    w.gemms.push_back(weight_gemm(tag + ".fc3.dw", f, rows, c, fp16, false));
+  }
+  // Attention backward: grad_probs, grad_v, grad_q, grad_k.
+  w.gemms.push_back(act_gemm(tag + ".dprobs", seq, seq, dh, batch * h));
+  w.gemms.push_back(act_gemm(tag + ".dv", seq, dh, seq, batch * h));
+  w.gemms.push_back(act_gemm(tag + ".dq", seq, dh, seq, batch * h));
+  w.gemms.push_back(act_gemm(tag + ".dk", seq, dh, seq, batch * h));
+
+  w.elementwise_bytes = 14.0 * static_cast<double>(rows) * c * 2.0 +
+                        4.0 * static_cast<double>(batch * h) * seq * seq * 2.0;
+  return w;
+}
+
+LayerWorkload head_workload(const nn::ModelConfig& cfg, int64_t batch, int64_t seq,
+                            bool with_backward) {
+  const int64_t rows = batch * seq;
+  LayerWorkload w;
+  w.name = "lm_head";
+  LayerCompression fp16{};
+  // Named "head" (not "head.fwd") so the dX GEMM's pin group ("head.dx"
+  // with the suffix stripped) shares the same resident weights.
+  w.gemms.push_back(weight_gemm("head", rows, cfg.d_model, cfg.vocab, fp16, true));
+  if (with_backward) {
+    w.gemms.push_back(weight_gemm("head.dx", rows, cfg.vocab, cfg.d_model, fp16, true));
+    w.gemms.push_back(weight_gemm("head.dw", cfg.vocab, rows, cfg.d_model, fp16, false));
+    // Softmax + loss elementwise traffic.
+    w.elementwise_bytes += 6.0 * static_cast<double>(rows) * cfg.vocab * 2.0;
+  }
+  w.elementwise_bytes += 2.0 * static_cast<double>(rows) * cfg.d_model * 2.0;
+  return w;
+}
+
+std::vector<LayerWorkload> training_iteration_workloads(
+    const nn::ModelConfig& cfg, const std::vector<LayerCompression>& comp,
+    const IterationSpec& iter) {
+  check_arg(static_cast<int64_t>(comp.size()) == cfg.n_layers,
+            "training_iteration_workloads: one LayerCompression per layer required");
+  const int64_t exit_layer = iter.exit_layer > 0 ? iter.exit_layer : cfg.n_layers;
+  check_arg(exit_layer >= 1 && exit_layer <= cfg.n_layers, "invalid exit layer");
+  const int64_t depth = iter.backprop_depth;
+  check_arg(depth >= 0 && depth <= exit_layer, "invalid backprop depth");
+  const int64_t rows = iter.batch * iter.seq;
+
+  std::vector<LayerWorkload> out;
+
+  // Embedding lookup: pure DRAM traffic.
+  LayerWorkload emb;
+  emb.name = "embed";
+  emb.elementwise_bytes = static_cast<double>(rows) * cfg.d_model * 2.0 * 2.0;
+  out.push_back(std::move(emb));
+
+  for (int64_t i = 0; i < exit_layer; ++i) {
+    out.push_back(block_forward_workload(cfg, i, comp[static_cast<size_t>(i)], iter.batch,
+                                         iter.seq));
+  }
+  out.push_back(head_workload(cfg, iter.batch, iter.seq, /*with_backward=*/true));
+  for (int64_t i = exit_layer - 1; i >= exit_layer - depth; --i) {
+    if (iter.checkpoint) {
+      // Recompute the block's forward to rebuild its activation caches.
+      LayerWorkload refwd =
+          block_forward_workload(cfg, i, comp[static_cast<size_t>(i)], iter.batch, iter.seq);
+      refwd.name = "block" + std::to_string(i) + ".refwd";
+      out.push_back(std::move(refwd));
+    }
+    out.push_back(block_backward_workload(cfg, i, comp[static_cast<size_t>(i)], iter.batch,
+                                          iter.seq));
+  }
+
+  // Optimizer update traffic: read param+grad+2 moments, write param+2
+  // moments (AdamW), fp32 each, for every updated parameter.
+  double updated_params = 0.0;
+  const double mlp_mats = cfg.swiglu ? 3.0 : 2.0;
+  const double block_params =
+      static_cast<double>(2 * cfg.d_model * cfg.d_model +
+                          2 * cfg.d_model * cfg.kv_dim()) +
+      mlp_mats * static_cast<double>(cfg.d_model) * cfg.ff_dim() +
+      2.0 * static_cast<double>(cfg.d_model) +
+      (cfg.swiglu ? 0.0 : static_cast<double>(cfg.ff_dim() + cfg.d_model));  // biases
+  updated_params += static_cast<double>(depth) * block_params;
+  updated_params += static_cast<double>(cfg.d_model) * cfg.vocab;  // head
+  if (iter.update_embeddings && depth == exit_layer) {
+    updated_params += static_cast<double>(cfg.vocab + cfg.max_seq) * cfg.d_model;
+  }
+  LayerWorkload opt;
+  opt.name = "optimizer";
+  opt.elementwise_bytes = updated_params * 4.0 * 7.0;
+  out.push_back(std::move(opt));
+
+  return out;
+}
+
+}  // namespace edgellm::hw

@@ -1,0 +1,102 @@
+// GEMM workload descriptors extracted from a model's training iteration.
+//
+// Each transformer operation is lowered to (possibly repeated) GEMMs with
+// the compression attributes that matter to the device: weight bit-width
+// and exploitable sparsity. Elementwise work (norms, residuals, softmax,
+// optimizer updates) is tracked as byte traffic since it is bandwidth-bound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace edgellm::hw {
+
+/// One GEMM: C[m,n] += A[m,k] * B[k,n], executed `count` times.
+struct GemmWorkload {
+  std::string name;
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t k = 0;
+  int64_t count = 1;
+  int weight_bits = 16;      ///< bit-width of the B operand (weights)
+  float sparsity = 0.0f;     ///< pruned fraction of B
+  bool structured = false;   ///< sparsity pattern skippable in hardware
+  bool weights_resident_eligible = false;  ///< B reusable across iterations
+
+  int64_t macs() const { return m * n * k * count; }
+
+  /// Stored bytes of the B operand (weights). Structured (row/column)
+  /// sparsity drops whole vectors with negligible metadata; unstructured
+  /// sparsity uses the cheaper of dense packed and compressed-sparse
+  /// (values + index byte) forms.
+  double weight_bytes() const {
+    const double dense = static_cast<double>(k) * n * weight_bits / 8.0;
+    if (sparsity <= 0.0f) return dense;
+    const double keep = 1.0 - static_cast<double>(sparsity);
+    if (structured) return dense * keep;
+    return std::min(dense, static_cast<double>(k) * n * keep * (weight_bits / 8.0 + 1.0));
+  }
+
+  /// Ratio of streamed weight bytes to the dense packed form (<= 1): the
+  /// DRAM-traffic saving the stored format provides.
+  double weight_traffic_scale() const {
+    const double dense = static_cast<double>(k) * n * weight_bits / 8.0;
+    return dense > 0.0 ? weight_bytes() / dense : 1.0;
+  }
+};
+
+/// A layer's workload: its GEMMs plus bandwidth-bound elementwise traffic.
+struct LayerWorkload {
+  std::string name;
+  std::vector<GemmWorkload> gemms;
+  double elementwise_bytes = 0.0;
+
+  int64_t total_macs() const {
+    int64_t t = 0;
+    for (const auto& g : gemms) t += g.macs();
+    return t;
+  }
+};
+
+/// Per-layer compression attributes (produced by a LUC policy).
+struct LayerCompression {
+  int weight_bits = 16;
+  float sparsity = 0.0f;
+  bool structured = false;
+};
+
+/// Shape of one training iteration for workload extraction.
+struct IterationSpec {
+  int64_t batch = 8;
+  int64_t seq = 32;
+  int64_t exit_layer = 0;      ///< blocks executed forward (0 = all)
+  int64_t backprop_depth = 0;  ///< blocks executed backward
+  bool update_embeddings = false;
+  /// Gradient checkpointing: every backward block re-runs its forward.
+  bool checkpoint = false;
+};
+
+/// Extracts the forward GEMMs of one transformer block.
+LayerWorkload block_forward_workload(const nn::ModelConfig& cfg, int64_t layer_idx,
+                                     const LayerCompression& comp, int64_t batch, int64_t seq);
+
+/// Extracts the backward GEMMs of one transformer block (dX + dW paths).
+LayerWorkload block_backward_workload(const nn::ModelConfig& cfg, int64_t layer_idx,
+                                      const LayerCompression& comp, int64_t batch, int64_t seq);
+
+/// LM-head forward (and optionally backward) workload.
+LayerWorkload head_workload(const nn::ModelConfig& cfg, int64_t batch, int64_t seq,
+                            bool with_backward);
+
+/// Full iteration: embeddings + blocks up to exit (forward), blocks in the
+/// backprop window (backward), head fwd+bwd, optimizer traffic for updated
+/// params. `comp` must have one entry per model layer.
+std::vector<LayerWorkload> training_iteration_workloads(
+    const nn::ModelConfig& cfg, const std::vector<LayerCompression>& comp,
+    const IterationSpec& iter);
+
+}  // namespace edgellm::hw

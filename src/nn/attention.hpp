@@ -1,0 +1,70 @@
+// Causal multi-head self-attention with full explicit backward.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/linear.hpp"
+
+namespace edgellm::nn {
+
+/// Standard causal MHA: Q/K/V/output projections are Linear layers (and are
+/// therefore individually compressible by LUC policies).
+///
+/// Supports grouped-query attention (GQA): with n_kv_heads < n_heads the
+/// K/V projections produce fewer heads, each shared by a group of query
+/// heads — smaller projections and (crucially for edge decoding) a
+/// proportionally smaller KV cache.
+class MultiHeadAttention final : public Module {
+ public:
+  /// `n_kv_heads` 0 means n_heads (standard MHA); otherwise it must divide
+  /// n_heads.
+  MultiHeadAttention(std::string name, int64_t d_model, int64_t n_heads, Rng& rng,
+                     int64_t n_kv_heads = 0);
+
+  /// x is [B, T, C]; returns [B, T, C].
+  Tensor forward(const Tensor& x);
+
+  /// grad_out is [B, T, C]; returns grad w.r.t. x.
+  Tensor backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out) override;
+  int64_t cached_activation_bytes() const override;
+  void clear_cache() override;
+
+  Linear& q_proj() { return *q_; }
+  Linear& k_proj() { return *k_; }
+  Linear& v_proj() { return *v_; }
+  Linear& out_proj() { return *o_; }
+
+  int64_t d_model() const { return d_model_; }
+  int64_t n_heads() const { return n_heads_; }
+  int64_t n_kv_heads() const { return n_kv_heads_; }
+  int64_t d_head() const { return d_head_; }
+  /// Feature width of the K/V projections (n_kv_heads * d_head).
+  int64_t kv_dim() const { return n_kv_heads_ * d_head_; }
+
+ private:
+  std::string name_;
+  int64_t d_model_;
+  int64_t n_heads_;
+  int64_t n_kv_heads_;
+  int64_t d_head_;
+  std::unique_ptr<Linear> q_, k_, v_, o_;
+
+  bool has_cache_ = false;
+  int64_t cached_b_ = 0, cached_t_ = 0;
+  Tensor q_heads_, k_heads_, v_heads_;  ///< [B*H, T, Dh] (K/V group-expanded)
+  Tensor probs_;                        ///< [B*H, T, T]
+
+  /// [B, T, n*Dh] -> [B*n, T, Dh]
+  Tensor split_heads(const Tensor& x, int64_t b, int64_t t, int64_t n) const;
+  /// [B*n, T, Dh] -> [B, T, n*Dh]
+  Tensor merge_heads(const Tensor& x, int64_t b, int64_t t, int64_t n) const;
+  /// [B*Hkv, T, Dh] -> [B*H, T, Dh] by repeating each KV head over its group.
+  Tensor expand_kv(const Tensor& x, int64_t b, int64_t t) const;
+  /// Adjoint of expand_kv: sums group members back into [B*Hkv, T, Dh].
+  Tensor reduce_kv(const Tensor& x, int64_t b, int64_t t) const;
+};
+
+}  // namespace edgellm::nn

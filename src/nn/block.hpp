@@ -1,0 +1,48 @@
+// Pre-norm transformer block: x + MHA(RMSNorm(x)); x + MLP(RMSNorm(x)).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/attention.hpp"
+#include "nn/mlp.hpp"
+#include "nn/norm.hpp"
+
+namespace edgellm::nn {
+
+/// One decoder layer. LUC compression policies are applied per block: the
+/// same bit-width / prune spec goes to all six weight matrices inside
+/// (Q, K, V, O, FC1, FC2), matching the paper's layer-wise granularity.
+class TransformerBlock final : public Module {
+ public:
+  TransformerBlock(std::string name, int64_t d_model, int64_t n_heads, int64_t d_ff, Rng& rng,
+                   int64_t n_kv_heads = 0, MlpKind mlp_kind = MlpKind::kGelu);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out) override;
+  int64_t cached_activation_bytes() const override;
+  void clear_cache() override;
+
+  /// Applies a layer-wise compression policy to every Linear inside.
+  void set_compression(std::optional<quant::QuantSpec> qspec,
+                       std::optional<prune::PruneSpec> pspec);
+
+  /// The weight-bearing Linear layers (Q, K, V, O + the MLP's 2 or 3).
+  std::vector<Linear*> linears();
+
+  MultiHeadAttention& attention() { return *attn_; }
+  Mlp& mlp() { return *mlp_; }
+  RmsNorm& norm1() { return *norm1_; }
+  RmsNorm& norm2() { return *norm2_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<RmsNorm> norm1_, norm2_;
+  std::unique_ptr<MultiHeadAttention> attn_;
+  std::unique_ptr<Mlp> mlp_;
+};
+
+}  // namespace edgellm::nn

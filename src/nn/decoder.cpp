@@ -1,0 +1,201 @@
+#include "nn/decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgellm::nn {
+
+IncrementalDecoder::IncrementalDecoder(CausalLm& model, int64_t exit_layer, bool quantize_kv)
+    : model_(model),
+      exit_layer_(exit_layer > 0 ? exit_layer : model.config().n_layers),
+      quantize_kv_(quantize_kv) {
+  (void)model_.exit_index(exit_layer_);  // validates
+  const size_t n = static_cast<size_t>(exit_layer_);
+  if (quantize_kv_) {
+    kq_cache_.resize(n);
+    vq_cache_.resize(n);
+    kq_scales_.resize(n);
+    vq_scales_.resize(n);
+  } else {
+    k_cache_.resize(n);
+    v_cache_.resize(n);
+  }
+}
+
+int64_t IncrementalDecoder::kv_cache_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& k : k_cache_) bytes += static_cast<int64_t>(k.size() * sizeof(float));
+  for (const auto& v : v_cache_) bytes += static_cast<int64_t>(v.size() * sizeof(float));
+  for (const auto& k : kq_cache_) bytes += static_cast<int64_t>(k.size());
+  for (const auto& v : vq_cache_) bytes += static_cast<int64_t>(v.size());
+  for (const auto& s : kq_scales_) bytes += static_cast<int64_t>(s.size() * sizeof(float));
+  for (const auto& s : vq_scales_) bytes += static_cast<int64_t>(s.size() * sizeof(float));
+  return bytes;
+}
+
+void IncrementalDecoder::store_kv(int64_t layer, const Tensor& k, const Tensor& v) {
+  const int64_t c = model_.config().kv_dim();
+  const size_t li = static_cast<size_t>(layer);
+  if (!quantize_kv_) {
+    k_cache_[li].insert(k_cache_[li].end(), k.raw(), k.raw() + c);
+    v_cache_[li].insert(v_cache_[li].end(), v.raw(), v.raw() + c);
+    return;
+  }
+  auto quantize_row = [c](const Tensor& row, std::vector<int8_t>& data,
+                          std::vector<float>& scales) {
+    float maxabs = 0.0f;
+    for (int64_t d = 0; d < c; ++d) maxabs = std::max(maxabs, std::fabs(row[d]));
+    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    scales.push_back(scale);
+    for (int64_t d = 0; d < c; ++d) {
+      data.push_back(static_cast<int8_t>(
+          std::clamp(std::round(row[d] / scale), -127.0f, 127.0f)));
+    }
+  };
+  quantize_row(k, kq_cache_[li], kq_scales_[li]);
+  quantize_row(v, vq_cache_[li], vq_scales_[li]);
+}
+
+float IncrementalDecoder::k_at(int64_t layer, int64_t pos, int64_t dim) const {
+  const size_t li = static_cast<size_t>(layer);
+  const int64_t c = model_.config().kv_dim();
+  if (!quantize_kv_) return k_cache_[li][static_cast<size_t>(pos * c + dim)];
+  return static_cast<float>(kq_cache_[li][static_cast<size_t>(pos * c + dim)]) *
+         kq_scales_[li][static_cast<size_t>(pos)];
+}
+
+float IncrementalDecoder::v_at(int64_t layer, int64_t pos, int64_t dim) const {
+  const size_t li = static_cast<size_t>(layer);
+  const int64_t c = model_.config().kv_dim();
+  if (!quantize_kv_) return v_cache_[li][static_cast<size_t>(pos * c + dim)];
+  return static_cast<float>(vq_cache_[li][static_cast<size_t>(pos * c + dim)]) *
+         vq_scales_[li][static_cast<size_t>(pos)];
+}
+
+void IncrementalDecoder::prime(const std::vector<int64_t>& prompt) {
+  check_arg(!prompt.empty(), "IncrementalDecoder: empty prompt");
+  position_ = 0;
+  for (auto& k : k_cache_) k.clear();
+  for (auto& v : v_cache_) v.clear();
+  for (auto& k : kq_cache_) k.clear();
+  for (auto& v : vq_cache_) v.clear();
+  for (auto& s : kq_scales_) s.clear();
+  for (auto& s : vq_scales_) s.clear();
+  for (int64_t t : prompt) append_token(t);
+}
+
+void IncrementalDecoder::step(int64_t token) {
+  check_arg(position_ > 0, "IncrementalDecoder: call prime() first");
+  append_token(token);
+}
+
+void IncrementalDecoder::append_token(int64_t token) {
+  const ModelConfig& cfg = model_.config();
+  check_arg(position_ < cfg.max_seq, "IncrementalDecoder: context window exhausted");
+  check_arg(token >= 0 && token < cfg.vocab, "IncrementalDecoder: token out of range");
+
+  const int64_t c = cfg.d_model;
+  const int64_t n_heads = cfg.n_heads;
+  const int64_t dh = c / n_heads;
+  const float alpha = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Embedding& emb = model_.token_embedding();
+  emb.set_grad_enabled(false);
+  Tensor x = emb.forward({token});  // [1, c]
+  const Param& pos = model_.positional_embedding();
+  for (int64_t d = 0; d < c; ++d) x[d] += pos.value[position_ * c + d];
+
+  auto blocks = model_.blocks();
+  for (int64_t li = 0; li < exit_layer_; ++li) {
+    TransformerBlock& block = *blocks[static_cast<size_t>(li)];
+    block.set_grad_enabled(false);
+    MultiHeadAttention& attn = block.attention();
+
+    const Tensor h = block.norm1().forward(x);
+    const Tensor q = attn.q_proj().forward(h);
+    const Tensor k = attn.k_proj().forward(h);
+    const Tensor v = attn.v_proj().forward(h);
+
+    store_kv(li, k, v);
+    const int64_t t = position_ + 1;  // cached positions including this one
+
+    Tensor ctx({int64_t{1}, c});
+    std::vector<float> scores(static_cast<size_t>(t));
+    const int64_t group = n_heads / cfg.kv_heads();
+    for (int64_t head = 0; head < n_heads; ++head) {
+      const int64_t off = head * dh;
+      const int64_t kv_off = (head / group) * dh;  // shared KV head (GQA)
+      // scores over all cached positions for this head
+      float mx = -1e30f;
+      for (int64_t p = 0; p < t; ++p) {
+        float s = 0.0f;
+        for (int64_t d = 0; d < dh; ++d) s += q[off + d] * k_at(li, p, kv_off + d);
+        scores[static_cast<size_t>(p)] = s * alpha;
+        mx = std::max(mx, scores[static_cast<size_t>(p)]);
+      }
+      float denom = 0.0f;
+      for (int64_t p = 0; p < t; ++p) {
+        scores[static_cast<size_t>(p)] = std::exp(scores[static_cast<size_t>(p)] - mx);
+        denom += scores[static_cast<size_t>(p)];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t p = 0; p < t; ++p) {
+        const float w = scores[static_cast<size_t>(p)] * inv;
+        for (int64_t d = 0; d < dh; ++d) ctx[off + d] += w * v_at(li, p, kv_off + d);
+      }
+    }
+    const Tensor attn_out = attn.out_proj().forward(ctx);
+    ops::add_inplace(x, attn_out);
+
+    const Tensor h2 = block.norm2().forward(x);
+    ops::add_inplace(x, block.mlp().forward(h2));
+  }
+
+  const int64_t exit_idx = model_.exit_index(exit_layer_);
+  RmsNorm& norm = model_.exit_norm(exit_idx);
+  Linear& head = model_.exit_head(exit_idx);
+  norm.set_grad_enabled(false);
+  head.set_grad_enabled(false);
+  logits_ = head.forward(norm.forward(x)).reshape({cfg.vocab});
+  ++position_;
+}
+
+int64_t sample_token(const Tensor& logits, const GenerateConfig& cfg, Rng& rng) {
+  check_arg(logits.ndim() == 1 && logits.numel() > 0, "sample_token: logits must be 1-d");
+  const int64_t vocab = logits.numel();
+  if (cfg.temperature <= 0.0f) {
+    return ops::argmax_lastdim(logits.reshape({int64_t{1}, vocab}))[0];
+  }
+  Tensor scaled = ops::scale(logits, 1.0f / cfg.temperature);
+  if (cfg.top_k > 0 && cfg.top_k < vocab) {
+    // Mask everything below the k-th largest logit.
+    std::vector<float> sorted(scaled.raw(), scaled.raw() + vocab);
+    std::nth_element(sorted.begin(), sorted.begin() + (cfg.top_k - 1), sorted.end(),
+                     std::greater<float>());
+    const float cutoff = sorted[static_cast<size_t>(cfg.top_k - 1)];
+    for (int64_t i = 0; i < vocab; ++i) {
+      if (scaled[i] < cutoff) scaled[i] = -1e30f;
+    }
+  }
+  const Tensor probs = ops::softmax_lastdim(scaled.reshape({int64_t{1}, vocab}));
+  return rng.categorical(probs.data());
+}
+
+std::vector<int64_t> IncrementalDecoder::generate(const std::vector<int64_t>& prompt,
+                                                  const GenerateConfig& cfg, Rng& rng) {
+  check_arg(cfg.max_new_tokens > 0, "generate: max_new_tokens must be positive");
+  prime(prompt);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(cfg.max_new_tokens));
+  for (int64_t i = 0; i < cfg.max_new_tokens; ++i) {
+    if (position_ >= model_.config().max_seq) break;  // window exhausted
+    const int64_t tok = sample_token(logits_, cfg, rng);
+    out.push_back(tok);
+    if (position_ < model_.config().max_seq) step(tok);
+  }
+  return out;
+}
+
+}  // namespace edgellm::nn

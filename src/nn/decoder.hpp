@@ -1,0 +1,83 @@
+// Incremental (KV-cached) decoding and sampling — the inference path an
+// edge deployment runs after adaptation. Eval-only: reuses the model's own
+// (possibly compressed) Linear/RMSNorm modules for projections, with a
+// per-layer key/value cache so each new token costs O(T) attention instead
+// of O(T^2) recompute.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace edgellm::nn {
+
+/// Sampling controls for generate().
+struct GenerateConfig {
+  int64_t max_new_tokens = 32;
+  float temperature = 1.0f;  ///< <= 0 means greedy decoding
+  int64_t top_k = 0;         ///< 0 disables top-k filtering
+  int64_t exit_layer = 0;    ///< 0 means the final exit
+};
+
+/// Single-sequence incremental decoder over a CausalLm.
+///
+/// Usage: prime(prompt) once, then step(token) per generated token; logits()
+/// after each call gives next-token logits. Or just call generate().
+///
+/// With `quantize_kv`, cached keys/values are stored as per-position int8
+/// (symmetric, one scale per cached vector) — 4x less cache memory for a
+/// small numeric perturbation; the edge-standard KV compression.
+class IncrementalDecoder {
+ public:
+  explicit IncrementalDecoder(CausalLm& model, int64_t exit_layer = 0,
+                              bool quantize_kv = false);
+
+  /// Resets the cache and runs the prompt through the model.
+  void prime(const std::vector<int64_t>& prompt);
+
+  /// Appends one token and updates the cache.
+  void step(int64_t token);
+
+  /// Next-token logits [vocab] after the last prime()/step().
+  const Tensor& logits() const { return logits_; }
+
+  /// Tokens currently in the cache.
+  int64_t position() const { return position_; }
+
+  /// Bytes held by the KV cache right now (the memory cost of incremental
+  /// decoding that edge deployments budget for).
+  int64_t kv_cache_bytes() const;
+
+  /// Samples a continuation of the prompt. Returns only the new tokens.
+  std::vector<int64_t> generate(const std::vector<int64_t>& prompt, const GenerateConfig& cfg,
+                                Rng& rng);
+
+  bool quantized_kv() const { return quantize_kv_; }
+
+ private:
+  CausalLm& model_;
+  int64_t exit_layer_;
+  bool quantize_kv_;
+  int64_t position_ = 0;
+  // Per layer: keys/values for all past positions, stored [pos][d_model]
+  // flattened (head split is done on the fly). Exactly one representation
+  // is populated depending on quantize_kv_.
+  std::vector<std::vector<float>> k_cache_;
+  std::vector<std::vector<float>> v_cache_;
+  std::vector<std::vector<int8_t>> kq_cache_;
+  std::vector<std::vector<int8_t>> vq_cache_;
+  std::vector<std::vector<float>> kq_scales_;  ///< per layer, one per position
+  std::vector<std::vector<float>> vq_scales_;
+  Tensor logits_;
+
+  void append_token(int64_t token);
+  void store_kv(int64_t layer, const Tensor& k, const Tensor& v);
+  float k_at(int64_t layer, int64_t pos, int64_t dim) const;
+  float v_at(int64_t layer, int64_t pos, int64_t dim) const;
+};
+
+/// Samples one token id from logits under the config (greedy / temperature
+/// / top-k).
+int64_t sample_token(const Tensor& logits, const GenerateConfig& cfg, Rng& rng);
+
+}  // namespace edgellm::nn

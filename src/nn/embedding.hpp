@@ -1,0 +1,41 @@
+// Token embedding table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace edgellm::nn {
+
+/// Lookup table [vocab, dim]; forward gathers rows for token ids, backward
+/// scatter-adds into the weight grad.
+class Embedding final : public Module {
+ public:
+  Embedding(std::string name, int64_t vocab, int64_t dim, Rng& rng);
+
+  /// tokens are ids in [0, vocab); returns [n_tokens, dim].
+  Tensor forward(const std::vector<int64_t>& tokens);
+
+  /// grad_out is [n_tokens, dim] matching the last forward.
+  void backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out) override;
+  int64_t cached_activation_bytes() const override;
+  void clear_cache() override;
+
+  int64_t vocab() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+  Param& weight() { return weight_; }
+
+ private:
+  std::string name_;
+  int64_t vocab_;
+  int64_t dim_;
+  Param weight_;
+  std::vector<int64_t> cached_tokens_;
+  bool has_cache_ = false;
+};
+
+}  // namespace edgellm::nn

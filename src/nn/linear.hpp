@@ -1,0 +1,102 @@
+// Fully-connected layer with optional LUC compression (prune mask +
+// fake-quantization) applied to its weight.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "nn/module.hpp"
+#include "prune/prune.hpp"
+#include "quant/quant.hpp"
+#include "tensor/rng.hpp"
+
+namespace edgellm::nn {
+
+/// y = x * W^T + b, where W is [out, in].
+///
+/// When a compression policy is set, forward uses the *effective* weight
+/// fake_quant(W * mask); backward applies the straight-through estimator
+/// for quantization and masks the weight gradient so pruned entries stay
+/// zero across optimizer steps.
+class Linear final : public Module {
+ public:
+  /// Kaiming-uniform initialisation, like torch.nn.Linear.
+  Linear(std::string name, int64_t in_features, int64_t out_features, bool bias, Rng& rng);
+
+  /// x is [..., in]; returns [..., out]. Caches x when grad is enabled.
+  Tensor forward(const Tensor& x);
+
+  /// grad_out is [..., out] matching the last forward; accumulates weight
+  /// and bias grads and returns grad w.r.t. x.
+  Tensor backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out) override;
+  int64_t cached_activation_bytes() const override;
+  void clear_cache() override;
+
+  // --- compression policy -------------------------------------------------
+
+  /// Sets (or clears) the quantization spec used to build the effective
+  /// weight each forward.
+  void set_quant(std::optional<quant::QuantSpec> spec);
+
+  /// Builds a magnitude mask from the *current* weights (or clears it).
+  void set_prune(std::optional<prune::PruneSpec> spec);
+
+  /// Installs an explicit keep-mask (e.g. restored from a checkpoint)
+  /// instead of deriving one from the current weights.
+  void set_prune_mask(Tensor mask);
+
+  void clear_compression();
+
+  const std::optional<quant::QuantSpec>& quant_spec() const { return qspec_; }
+  const std::optional<prune::PruneSpec>& prune_spec() const { return pspec_; }
+  const std::optional<Tensor>& prune_mask() const { return mask_; }
+
+  /// The weight actually used by forward (compressed view of `weight()`).
+  Tensor effective_weight() const;
+
+  /// Stored bytes of the weight under the current policy (fp16 baseline
+  /// when uncompressed).
+  double weight_storage_bytes() const;
+
+  // --- LoRA adapter (baseline tuning method) ------------------------------
+
+  /// Attaches a rank-`rank` LoRA adapter: y += (alpha/rank) * x A^T B^T.
+  /// A is N(0, 0.02) and B starts at zero, so the adapter is a no-op until
+  /// trained. The base weight is frozen by the caller (see nn/lora.hpp).
+  void enable_lora(int64_t rank, float alpha, Rng& rng);
+  void disable_lora();
+  bool lora_enabled() const { return lora_a_.has_value(); }
+  Param& lora_a() { return *lora_a_; }
+  Param& lora_b() { return *lora_b_; }
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  bool has_bias() const { return bias_.has_value(); }
+  Param& bias() { return *bias_; }
+
+ private:
+  std::string name_;
+  int64_t in_;
+  int64_t out_;
+  Param weight_;
+  std::optional<Param> bias_;
+
+  std::optional<quant::QuantSpec> qspec_;
+  std::optional<prune::PruneSpec> pspec_;
+  std::optional<Tensor> mask_;
+
+  std::optional<Param> lora_a_;  ///< [rank, in]
+  std::optional<Param> lora_b_;  ///< [out, rank]
+  float lora_scale_ = 0.0f;
+
+  bool has_cache_ = false;
+  Tensor cached_input_;  ///< flattened [rows, in]
+  Shape cached_x_shape_; ///< original input shape for grad reshape
+};
+
+}  // namespace edgellm::nn

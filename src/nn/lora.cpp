@@ -1,0 +1,34 @@
+#include "nn/lora.hpp"
+
+namespace edgellm::nn {
+
+namespace {
+bool is_lora_or_exit(const Param& p) {
+  return p.name.find(".lora_") != std::string::npos ||
+         p.name.rfind("exit", 0) == 0 || p.name.rfind("lm_head", 0) == 0;
+}
+}  // namespace
+
+void enable_lora_tuning(CausalLm& model, int64_t rank, float alpha, Rng& rng) {
+  for (TransformerBlock* b : model.blocks()) {
+    for (Linear* lin : b->linears()) lin->enable_lora(rank, alpha, rng);
+  }
+  for (Param* p : model.params()) p->trainable = is_lora_or_exit(*p);
+}
+
+void disable_lora_tuning(CausalLm& model) {
+  for (TransformerBlock* b : model.blocks()) {
+    for (Linear* lin : b->linears()) lin->disable_lora();
+  }
+  for (Param* p : model.params()) p->trainable = true;
+}
+
+std::vector<Param*> lora_trainable_params(CausalLm& model) {
+  std::vector<Param*> out;
+  for (Param* p : model.params()) {
+    if (p->trainable && is_lora_or_exit(*p)) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace edgellm::nn

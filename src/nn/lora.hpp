@@ -1,0 +1,20 @@
+// Model-level LoRA helpers (LoRA tuning is one of the baselines the paper
+// compares Edge-LLM against).
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace edgellm::nn {
+
+/// Freezes every base parameter of the model, attaches rank-`rank` LoRA
+/// adapters to all block Linear layers, and leaves the exit norms/heads
+/// trainable (standard practice so the classifier can adapt).
+void enable_lora_tuning(CausalLm& model, int64_t rank, float alpha, Rng& rng);
+
+/// Removes all LoRA adapters and unfreezes base parameters.
+void disable_lora_tuning(CausalLm& model);
+
+/// Params that train under LoRA tuning (adapters + exit norms/heads).
+std::vector<Param*> lora_trainable_params(CausalLm& model);
+
+}  // namespace edgellm::nn

@@ -1,0 +1,64 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgellm::nn {
+
+CrossEntropyResult cross_entropy(const Tensor& logits, const std::vector<int64_t>& targets) {
+  check_arg(logits.ndim() == 2, "cross_entropy: logits must be [rows, vocab]");
+  const int64_t rows = logits.dim(0), vocab = logits.dim(1);
+  check_arg(static_cast<int64_t>(targets.size()) == rows,
+            "cross_entropy: target count must equal logit rows");
+
+  const Tensor logp = ops::log_softmax_lastdim(logits);
+  CrossEntropyResult res;
+  res.grad_logits = Tensor(logits.shape());
+
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    if (t == kIgnoreIndex) continue;
+    check_arg(t >= 0 && t < vocab, "cross_entropy: target out of vocab range");
+    total += -logp[r * vocab + t];
+    ++counted;
+  }
+  check_arg(counted > 0, "cross_entropy: all targets ignored");
+  res.loss = static_cast<float>(total / counted);
+  res.counted = counted;
+
+  // dL/dlogits = (softmax - onehot) / counted on counted rows, 0 elsewhere.
+  const float inv = 1.0f / static_cast<float>(counted);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    if (t == kIgnoreIndex) continue;
+    for (int64_t v = 0; v < vocab; ++v) {
+      res.grad_logits[r * vocab + v] = std::exp(logp[r * vocab + v]) * inv;
+    }
+    res.grad_logits[r * vocab + t] -= inv;
+  }
+  return res;
+}
+
+float cross_entropy_loss_only(const Tensor& logits, const std::vector<int64_t>& targets) {
+  check_arg(logits.ndim() == 2, "cross_entropy: logits must be [rows, vocab]");
+  const int64_t rows = logits.dim(0), vocab = logits.dim(1);
+  check_arg(static_cast<int64_t>(targets.size()) == rows,
+            "cross_entropy: target count must equal logit rows");
+  const Tensor logp = ops::log_softmax_lastdim(logits);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    if (t == kIgnoreIndex) continue;
+    check_arg(t >= 0 && t < vocab, "cross_entropy: target out of vocab range");
+    total += -logp[r * vocab + t];
+    ++counted;
+  }
+  check_arg(counted > 0, "cross_entropy: all targets ignored");
+  return static_cast<float>(total / counted);
+}
+
+}  // namespace edgellm::nn

@@ -1,0 +1,29 @@
+// Losses for language-model training.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::nn {
+
+/// Result of a cross-entropy evaluation: mean loss over non-ignored
+/// positions and the gradient w.r.t. the logits.
+struct CrossEntropyResult {
+  float loss = 0.0f;
+  Tensor grad_logits;  ///< same shape as logits
+  int64_t counted = 0; ///< positions that contributed to the mean
+};
+
+/// Target index that is excluded from the loss (padding).
+inline constexpr int64_t kIgnoreIndex = -1;
+
+/// Mean token cross-entropy. `logits` is [rows, vocab]; `targets` has one
+/// class index per row (kIgnoreIndex rows are skipped).
+CrossEntropyResult cross_entropy(const Tensor& logits, const std::vector<int64_t>& targets);
+
+/// Loss only (no gradient allocation) — for eval loops.
+float cross_entropy_loss_only(const Tensor& logits, const std::vector<int64_t>& targets);
+
+}  // namespace edgellm::nn

@@ -1,0 +1,48 @@
+// Position-wise feed-forward network: classic GELU MLP or the LLaMA-style
+// SwiGLU variant (gate/up/down, three weight matrices, no biases).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/linear.hpp"
+
+namespace edgellm::nn {
+
+enum class MlpKind {
+  kGelu,    ///< y = fc2(gelu(fc1(x))), biased
+  kSwiGlu,  ///< y = down(silu(gate(x)) * up(x)), bias-free
+};
+
+class Mlp final : public Module {
+ public:
+  Mlp(std::string name, int64_t d_model, int64_t d_ff, Rng& rng,
+      MlpKind kind = MlpKind::kGelu);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out) override;
+  int64_t cached_activation_bytes() const override;
+  void clear_cache() override;
+
+  MlpKind kind() const { return kind_; }
+
+  /// The weight-bearing Linear layers (2 for GELU, 3 for SwiGLU).
+  std::vector<Linear*> linears();
+
+  Linear& fc1() { return *fc1_; }
+  Linear& fc2() { return *fc2_; }
+  /// SwiGLU only: the "up" projection.
+  Linear& fc3() { return *fc3_; }
+
+ private:
+  std::string name_;
+  MlpKind kind_;
+  std::unique_ptr<Linear> fc1_, fc2_, fc3_;  ///< gate/down/up under SwiGLU
+  bool has_cache_ = false;
+  Tensor pre_act_;  ///< fc1 output before the activation
+  Tensor up_;       ///< SwiGLU only: fc3 output
+};
+
+}  // namespace edgellm::nn

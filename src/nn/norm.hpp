@@ -1,0 +1,38 @@
+// Normalization layers (RMSNorm is the transformer default here).
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace edgellm::nn {
+
+/// RMS normalization over the last dimension with a learned gain:
+/// y = g * x / sqrt(mean(x^2) + eps).
+class RmsNorm final : public Module {
+ public:
+  RmsNorm(std::string name, int64_t dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& grad_out);
+
+  void collect_params(std::vector<Param*>& out) override;
+  int64_t cached_activation_bytes() const override;
+  void clear_cache() override;
+
+  Param& gain() { return gain_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  std::string name_;
+  int64_t dim_;
+  float eps_;
+  Param gain_;
+
+  bool has_cache_ = false;
+  Tensor cached_input_;     ///< [rows, dim]
+  std::vector<float> inv_rms_;  ///< one per row
+  Shape cached_x_shape_;
+};
+
+}  // namespace edgellm::nn

@@ -1,0 +1,190 @@
+#include "nn/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::nn {
+
+float clip_grad_norm(const std::vector<Param*>& params, float max_norm) {
+  check_arg(max_norm > 0.0f, "clip_grad_norm: max_norm must be positive");
+  double total = 0.0;
+  for (const Param* p : params) {
+    if (!p->trainable) continue;
+    for (int64_t i = 0; i < p->grad.numel(); ++i) {
+      total += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (Param* p : params) {
+      if (!p->trainable) continue;
+      for (int64_t i = 0; i < p->grad.numel(); ++i) p->grad[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Param*> params, Config cfg) : Optimizer(std::move(params)), cfg_(cfg) {
+  check_arg(cfg_.lr > 0.0f, "Sgd: lr must be positive");
+  check_arg(cfg_.momentum >= 0.0f && cfg_.momentum < 1.0f, "Sgd: momentum must be in [0, 1)");
+}
+
+void Sgd::step() {
+  for (Param* p : params_) {
+    if (!p->trainable) continue;
+    if (cfg_.weight_decay > 0.0f) {
+      for (int64_t i = 0; i < p->value.numel(); ++i) {
+        p->grad[i] += cfg_.weight_decay * p->value[i];
+      }
+    }
+    if (cfg_.momentum > 0.0f) {
+      auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+      Tensor& v = it->second;
+      for (int64_t i = 0; i < p->value.numel(); ++i) {
+        v[i] = cfg_.momentum * v[i] + p->grad[i];
+        p->value[i] -= cfg_.lr * v[i];
+      }
+    } else {
+      for (int64_t i = 0; i < p->value.numel(); ++i) {
+        p->value[i] -= cfg_.lr * p->grad[i];
+      }
+    }
+  }
+}
+
+int64_t Sgd::state_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& [p, v] : velocity_) bytes += tensor_bytes(v);
+  return bytes;
+}
+
+AdamW::AdamW(std::vector<Param*> params, Config cfg) : Optimizer(std::move(params)), cfg_(cfg) {
+  check_arg(cfg_.lr > 0.0f, "AdamW: lr must be positive");
+  check_arg(cfg_.beta1 >= 0.0f && cfg_.beta1 < 1.0f, "AdamW: beta1 must be in [0, 1)");
+  check_arg(cfg_.beta2 >= 0.0f && cfg_.beta2 < 1.0f, "AdamW: beta2 must be in [0, 1)");
+  check_arg(cfg_.eps > 0.0f, "AdamW: eps must be positive");
+}
+
+void AdamW::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (Param* p : params_) {
+    if (!p->trainable) continue;
+    auto [it, inserted] = state_.try_emplace(p);
+    if (inserted) {
+      it->second.m = Tensor(p->value.shape());
+      it->second.v = Tensor(p->value.shape());
+    }
+    Tensor& m = it->second.m;
+    Tensor& v = it->second.v;
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i];
+      m[i] = cfg_.beta1 * m[i] + (1.0f - cfg_.beta1) * g;
+      v[i] = cfg_.beta2 * v[i] + (1.0f - cfg_.beta2) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p->value[i] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                                cfg_.weight_decay * p->value[i]);
+    }
+  }
+}
+
+int64_t AdamW::state_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& [p, s] : state_) bytes += tensor_bytes(s.m) + tensor_bytes(s.v);
+  return bytes;
+}
+
+QuantizedAdamW::QuantizedAdamW(std::vector<Param*> params, Config cfg)
+    : Optimizer(std::move(params)), cfg_(cfg) {
+  check_arg(cfg_.lr > 0.0f, "QuantizedAdamW: lr must be positive");
+  check_arg(cfg_.beta1 >= 0.0f && cfg_.beta1 < 1.0f, "QuantizedAdamW: beta1 must be in [0, 1)");
+  check_arg(cfg_.beta2 >= 0.0f && cfg_.beta2 < 1.0f, "QuantizedAdamW: beta2 must be in [0, 1)");
+  check_arg(cfg_.eps > 0.0f, "QuantizedAdamW: eps must be positive");
+  check_arg(cfg_.block_size > 0 && cfg_.block_size <= 1024,
+            "QuantizedAdamW: block_size must be in [1, 1024]");
+}
+
+void QuantizedAdamW::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (Param* p : params_) {
+    if (!p->trainable) continue;
+    const int64_t n = p->value.numel();
+    const int64_t blocks = (n + cfg_.block_size - 1) / cfg_.block_size;
+    auto [it, inserted] = state_.try_emplace(p);
+    State& s = it->second;
+    if (inserted) {
+      s.m.assign(static_cast<size_t>(n), 0);
+      s.v.assign(static_cast<size_t>(n), 0);
+      s.m_scale.assign(static_cast<size_t>(blocks), 0.0f);
+      s.v_scale.assign(static_cast<size_t>(blocks), 0.0f);
+    }
+
+    for (int64_t b = 0; b < blocks; ++b) {
+      const int64_t lo = b * cfg_.block_size;
+      const int64_t hi = std::min(n, lo + cfg_.block_size);
+      const float ms = s.m_scale[static_cast<size_t>(b)];
+      const float vs = s.v_scale[static_cast<size_t>(b)];
+
+      // Dequantize the block, apply the AdamW update, track new extrema.
+      float new_mmax = 0.0f, new_vmax = 0.0f;
+      // Two passes: compute updated moments into stack buffers first so the
+      // requantization scale covers the post-update values.
+      float mbuf[1024], vbuf[1024];
+      check_arg(hi - lo <= 1024, "QuantizedAdamW: block_size too large");
+      for (int64_t i = lo; i < hi; ++i) {
+        const float g = p->grad[i];
+        float m = ms * static_cast<float>(s.m[static_cast<size_t>(i)]);
+        float v = vs * static_cast<float>(s.v[static_cast<size_t>(i)]);
+        m = cfg_.beta1 * m + (1.0f - cfg_.beta1) * g;
+        v = cfg_.beta2 * v + (1.0f - cfg_.beta2) * g * g;
+        mbuf[i - lo] = m;
+        vbuf[i - lo] = v;
+        new_mmax = std::max(new_mmax, std::fabs(m));
+        new_vmax = std::max(new_vmax, v);
+        const float mhat = m / bc1;
+        const float vhat = v / bc2;
+        p->value[i] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                                  cfg_.weight_decay * p->value[i]);
+      }
+      const float new_ms = new_mmax > 0.0f ? new_mmax / 127.0f : 1.0f;
+      const float new_vs = new_vmax > 0.0f ? new_vmax / 255.0f : 1.0f;
+      s.m_scale[static_cast<size_t>(b)] = new_ms;
+      s.v_scale[static_cast<size_t>(b)] = new_vs;
+      for (int64_t i = lo; i < hi; ++i) {
+        // m: stochastic rounding keeps small updates alive in expectation.
+        s.m[static_cast<size_t>(i)] = static_cast<int8_t>(
+            std::clamp(stochastic_round(mbuf[i - lo] / new_ms), -127.0f, 127.0f));
+        // v: round UP — underestimating the second moment inflates the
+        // effective step and can destabilise training.
+        s.v[static_cast<size_t>(i)] = static_cast<uint8_t>(
+            std::clamp(std::ceil(vbuf[i - lo] / new_vs), 0.0f, 255.0f));
+      }
+    }
+  }
+}
+
+float QuantizedAdamW::stochastic_round(float x) {
+  // xorshift64* for a cheap uniform in [0, 1).
+  rounding_state_ ^= rounding_state_ >> 12;
+  rounding_state_ ^= rounding_state_ << 25;
+  rounding_state_ ^= rounding_state_ >> 27;
+  const uint64_t r = rounding_state_ * 0x2545F4914F6CDD1Dull;
+  const float u = static_cast<float>(r >> 40) * 0x1.0p-24f;
+  return std::floor(x + u);
+}
+
+int64_t QuantizedAdamW::state_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& [p, s] : state_) {
+    bytes += static_cast<int64_t>(s.m.size() + s.v.size());
+    bytes += static_cast<int64_t>((s.m_scale.size() + s.v_scale.size()) * sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace edgellm::nn

@@ -1,0 +1,194 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace edgellm::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'L', 'L', 'M'};
+constexpr uint32_t kVersion = 1;
+
+void write_u64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::istream& is) {
+  uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_state_dict(const std::map<std::string, Tensor>& state, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open checkpoint for writing: " + path);
+  os.write(kMagic, 4);
+  const uint32_t version = kVersion;
+  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  write_u64(os, state.size());
+  for (const auto& [name, tensor] : state) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(os, static_cast<uint64_t>(tensor.ndim()));
+    for (int64_t d = 0; d < tensor.ndim(); ++d) {
+      write_u64(os, static_cast<uint64_t>(tensor.dim(d)));
+    }
+    os.write(reinterpret_cast<const char*>(tensor.raw()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint write failed: " + path);
+}
+
+std::map<std::string, Tensor> load_state_dict_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open checkpoint: " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("not an Edge-LLM checkpoint: " + path);
+  }
+  uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is || version != kVersion) throw std::runtime_error("unsupported checkpoint version");
+
+  std::map<std::string, Tensor> state;
+  const uint64_t count = read_u64(is);
+  for (uint64_t e = 0; e < count; ++e) {
+    const uint64_t name_len = read_u64(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t ndim = read_u64(is);
+    Shape shape;
+    for (uint64_t d = 0; d < ndim; ++d) shape.push_back(static_cast<int64_t>(read_u64(is)));
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.raw()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint truncated: " + path);
+    state.emplace(std::move(name), std::move(t));
+  }
+  return state;
+}
+
+void save_model(CausalLm& model, const std::string& path) {
+  save_state_dict(model.state_dict(), path);
+}
+
+void load_model(CausalLm& model, const std::string& path) {
+  model.load_state_dict(load_state_dict_file(path));
+}
+
+namespace {
+constexpr const char* kConfigKey = "__config__";
+}
+
+namespace {
+constexpr const char* kMaskPrefix = "__mask__.";
+constexpr const char* kQuantPrefix = "__quant__.";
+}  // namespace
+
+void save_model_with_config(CausalLm& model, const std::string& path) {
+  auto state = model.state_dict();
+
+  // Compression state (masks + quant specs) rides along so a deployed
+  // checkpoint is self-contained.
+  for (TransformerBlock* b : model.blocks()) {
+    for (Linear* lin : b->linears()) {
+      const std::string& wname = lin->weight().name;
+      if (lin->prune_mask()) {
+        state.emplace(kMaskPrefix + wname, *lin->prune_mask());
+      }
+      if (lin->quant_spec()) {
+        const quant::QuantSpec& q = *lin->quant_spec();
+        state.emplace(kQuantPrefix + wname,
+                      Tensor({4}, std::vector<float>{
+                                      static_cast<float>(q.bits),
+                                      q.symmetric ? 1.0f : 0.0f,
+                                      static_cast<float>(static_cast<int>(q.granularity)),
+                                      static_cast<float>(q.group_size)}));
+      }
+    }
+  }
+  const ModelConfig& cfg = model.config();
+  std::vector<float> packed = {
+      static_cast<float>(cfg.vocab),   static_cast<float>(cfg.d_model),
+      static_cast<float>(cfg.n_layers), static_cast<float>(cfg.n_heads),
+      static_cast<float>(cfg.kv_heads()),
+      static_cast<float>(cfg.ff_dim()), static_cast<float>(cfg.max_seq),
+      cfg.tie_exit_heads ? 1.0f : 0.0f, cfg.swiglu ? 1.0f : 0.0f,
+      static_cast<float>(cfg.exit_layers.size())};
+  for (int64_t e : cfg.exit_layers) packed.push_back(static_cast<float>(e));
+  const int64_t packed_size = static_cast<int64_t>(packed.size());
+  state.emplace(kConfigKey, Tensor({packed_size}, std::move(packed)));
+  save_state_dict(state, path);
+}
+
+std::unique_ptr<CausalLm> load_model_with_config(const std::string& path) {
+  auto state = load_state_dict_file(path);
+  const auto it = state.find(kConfigKey);
+  if (it == state.end()) {
+    throw std::runtime_error("checkpoint has no embedded config: " + path);
+  }
+  const Tensor& c = it->second;
+  if (c.numel() < 10) throw std::runtime_error("malformed config entry in " + path);
+  ModelConfig cfg;
+  cfg.vocab = static_cast<int64_t>(c[0]);
+  cfg.d_model = static_cast<int64_t>(c[1]);
+  cfg.n_layers = static_cast<int64_t>(c[2]);
+  cfg.n_heads = static_cast<int64_t>(c[3]);
+  cfg.n_kv_heads = static_cast<int64_t>(c[4]);
+  cfg.d_ff = static_cast<int64_t>(c[5]);
+  cfg.max_seq = static_cast<int64_t>(c[6]);
+  cfg.tie_exit_heads = c[7] != 0.0f;
+  cfg.swiglu = c[8] != 0.0f;
+  const int64_t n_exits = static_cast<int64_t>(c[9]);
+  if (c.numel() != 10 + n_exits) throw std::runtime_error("malformed config entry in " + path);
+  for (int64_t e = 0; e < n_exits; ++e) {
+    cfg.exit_layers.push_back(static_cast<int64_t>(c[10 + e]));
+  }
+  state.erase(it);
+
+  // Split out compression entries before loading parameters.
+  std::map<std::string, Tensor> masks, quants;
+  for (auto iter = state.begin(); iter != state.end();) {
+    if (iter->first.rfind(kMaskPrefix, 0) == 0) {
+      masks.emplace(iter->first.substr(std::string(kMaskPrefix).size()), iter->second);
+      iter = state.erase(iter);
+    } else if (iter->first.rfind(kQuantPrefix, 0) == 0) {
+      quants.emplace(iter->first.substr(std::string(kQuantPrefix).size()), iter->second);
+      iter = state.erase(iter);
+    } else {
+      ++iter;
+    }
+  }
+
+  Rng rng(0);  // weights are overwritten immediately
+  auto model = std::make_unique<CausalLm>(cfg, rng);
+  model->load_state_dict(state);
+
+  for (TransformerBlock* b : model->blocks()) {
+    for (Linear* lin : b->linears()) {
+      const std::string& wname = lin->weight().name;
+      const auto qit = quants.find(wname);
+      if (qit != quants.end()) {
+        const Tensor& qv = qit->second;
+        if (qv.numel() != 4) throw std::runtime_error("malformed quant entry for " + wname);
+        quant::QuantSpec q;
+        q.bits = static_cast<int>(qv[0]);
+        q.symmetric = qv[1] != 0.0f;
+        q.granularity = static_cast<quant::Granularity>(static_cast<int>(qv[2]));
+        q.group_size = static_cast<int64_t>(qv[3]);
+        lin->set_quant(q);
+      }
+      const auto mit = masks.find(wname);
+      if (mit != masks.end()) lin->set_prune_mask(mit->second);
+    }
+  }
+  return model;
+}
+
+}  // namespace edgellm::nn

@@ -1,0 +1,32 @@
+// Binary checkpoint serialization for CausalLm (and any named tensor map).
+//
+// Format: magic "ELLM", version, entry count, then per entry:
+// name length + name bytes + ndim + extents + raw fp32 data. Little-endian
+// host order (the reproduction targets a single host).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace edgellm::nn {
+
+/// Writes a state dict to `path`; throws std::runtime_error on I/O failure.
+void save_state_dict(const std::map<std::string, Tensor>& state, const std::string& path);
+
+/// Reads a state dict written by save_state_dict.
+std::map<std::string, Tensor> load_state_dict_file(const std::string& path);
+
+/// Convenience: snapshot / restore a model whose config the caller holds.
+void save_model(CausalLm& model, const std::string& path);
+void load_model(CausalLm& model, const std::string& path);
+
+/// Self-describing checkpoint: the architecture config rides along in a
+/// reserved "__config__" entry, so load can reconstruct the model without
+/// out-of-band information (what a CLI or a deployment artifact needs).
+void save_model_with_config(CausalLm& model, const std::string& path);
+std::unique_ptr<CausalLm> load_model_with_config(const std::string& path);
+
+}  // namespace edgellm::nn

@@ -1,0 +1,139 @@
+#include "prune/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace edgellm::prune {
+
+std::string to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kUnstructured: return "unstructured";
+    case Pattern::kRow: return "row";
+    case Pattern::kColumn: return "column";
+    case Pattern::kNM: return "n:m";
+  }
+  return "?";
+}
+
+float PruneSpec::effective_sparsity() const {
+  if (pattern == Pattern::kNM) return 1.0f - static_cast<float>(n) / static_cast<float>(m);
+  return sparsity;
+}
+
+void validate_spec(const PruneSpec& spec) {
+  check_arg(spec.sparsity >= 0.0f && spec.sparsity < 1.0f, "PruneSpec.sparsity must be in [0, 1)");
+  if (spec.pattern == Pattern::kNM) {
+    check_arg(spec.m > 0 && spec.n > 0 && spec.n <= spec.m, "PruneSpec requires 0 < n <= m");
+  }
+}
+
+namespace {
+
+// Keeps the `keep` largest-|w| elements among indices [0, n).
+Tensor unstructured_mask(const Tensor& w, float sparsity) {
+  const int64_t n = w.numel();
+  const int64_t drop = static_cast<int64_t>(std::floor(static_cast<double>(sparsity) * n));
+  Tensor mask(w.shape(), 1.0f);
+  if (drop <= 0) return mask;
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::nth_element(idx.begin(), idx.begin() + drop, idx.end(), [&](int64_t a, int64_t b) {
+    return std::fabs(w[a]) < std::fabs(w[b]);
+  });
+  for (int64_t i = 0; i < drop; ++i) mask[idx[static_cast<size_t>(i)]] = 0.0f;
+  return mask;
+}
+
+Tensor row_or_col_mask(const Tensor& w, float sparsity, bool rows) {
+  check_arg(w.ndim() >= 2, "row/column pruning requires a 2-d tensor");
+  const int64_t cols = w.dim(-1);
+  const int64_t nrows = w.numel() / cols;
+  const int64_t units = rows ? nrows : cols;
+  const int64_t drop = static_cast<int64_t>(std::floor(static_cast<double>(sparsity) * units));
+  Tensor mask(w.shape(), 1.0f);
+  if (drop <= 0) return mask;
+
+  std::vector<double> norms(static_cast<size_t>(units), 0.0);
+  for (int64_t r = 0; r < nrows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const double v = w[r * cols + c];
+      norms[static_cast<size_t>(rows ? r : c)] += v * v;
+    }
+  }
+  std::vector<int64_t> idx(static_cast<size_t>(units));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::nth_element(idx.begin(), idx.begin() + drop, idx.end(), [&](int64_t a, int64_t b) {
+    return norms[static_cast<size_t>(a)] < norms[static_cast<size_t>(b)];
+  });
+  for (int64_t i = 0; i < drop; ++i) {
+    const int64_t u = idx[static_cast<size_t>(i)];
+    if (rows) {
+      for (int64_t c = 0; c < cols; ++c) mask[u * cols + c] = 0.0f;
+    } else {
+      for (int64_t r = 0; r < nrows; ++r) mask[r * cols + u] = 0.0f;
+    }
+  }
+  return mask;
+}
+
+Tensor nm_mask(const Tensor& w, int n, int m) {
+  Tensor mask(w.shape(), 0.0f);
+  const int64_t total = w.numel();
+  std::vector<int64_t> idx;
+  for (int64_t start = 0; start < total; start += m) {
+    const int64_t count = std::min<int64_t>(m, total - start);
+    idx.resize(static_cast<size_t>(count));
+    std::iota(idx.begin(), idx.end(), start);
+    const int64_t keep = std::min<int64_t>(n, count);
+    std::partial_sort(idx.begin(), idx.begin() + keep, idx.end(), [&](int64_t a, int64_t b) {
+      return std::fabs(w[a]) > std::fabs(w[b]);
+    });
+    for (int64_t i = 0; i < keep; ++i) mask[idx[static_cast<size_t>(i)]] = 1.0f;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Tensor magnitude_mask(const Tensor& w, const PruneSpec& spec) {
+  validate_spec(spec);
+  check_arg(w.numel() > 0, "magnitude_mask: empty tensor");
+  switch (spec.pattern) {
+    case Pattern::kUnstructured: return unstructured_mask(w, spec.sparsity);
+    case Pattern::kRow: return row_or_col_mask(w, spec.sparsity, /*rows=*/true);
+    case Pattern::kColumn: return row_or_col_mask(w, spec.sparsity, /*rows=*/false);
+    case Pattern::kNM: return nm_mask(w, spec.n, spec.m);
+  }
+  throw std::invalid_argument("unknown prune pattern");
+}
+
+Tensor apply_mask(const Tensor& w, const Tensor& mask) {
+  check_arg(w.shape() == mask.shape(), "apply_mask: shape mismatch");
+  Tensor out(w.shape());
+  for (int64_t i = 0; i < w.numel(); ++i) out[i] = w[i] * mask[i];
+  return out;
+}
+
+float measured_sparsity(const Tensor& mask) {
+  check_arg(mask.numel() > 0, "measured_sparsity: empty tensor");
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    if (mask[i] == 0.0f) ++zeros;
+  }
+  return static_cast<float>(zeros) / static_cast<float>(mask.numel());
+}
+
+double sparse_storage_bytes(const Tensor& mask, int value_bits) {
+  check_arg(value_bits >= 2 && value_bits <= 32, "value_bits must be in [2, 32]");
+  int64_t kept = 0;
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    if (mask[i] != 0.0f) ++kept;
+  }
+  // values + 8-bit relative index per kept value (CSR-style bound).
+  return static_cast<double>(kept) * (value_bits / 8.0 + 1.0);
+}
+
+}  // namespace edgellm::prune

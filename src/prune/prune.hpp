@@ -1,0 +1,56 @@
+// Weight pruning substrate.
+//
+// LUC assigns each layer a pruning ratio; this module provides the mask
+// machinery: magnitude-based unstructured, row/column structured, and N:M
+// semi-structured patterns, plus sparsity accounting consumed by the
+// hardware cost model (pruned MACs are skippable on the modelled device).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::prune {
+
+/// Sparsity pattern of a pruning mask.
+enum class Pattern {
+  kUnstructured,  ///< global magnitude threshold per tensor
+  kRow,           ///< remove whole output rows (lowest L2 norm first)
+  kColumn,        ///< remove whole input columns
+  kNM,            ///< keep the n largest of every m consecutive weights
+};
+
+std::string to_string(Pattern p);
+
+/// Pruning policy for one tensor.
+struct PruneSpec {
+  float sparsity = 0.0f;                     ///< fraction zeroed, in [0, 1)
+  Pattern pattern = Pattern::kUnstructured;  ///< mask structure
+  int n = 2;                                 ///< for kNM
+  int m = 4;                                 ///< for kNM
+
+  /// The sparsity this spec actually produces (kNM overrides `sparsity`).
+  float effective_sparsity() const;
+};
+
+/// Validates a spec; throws std::invalid_argument when out of range.
+void validate_spec(const PruneSpec& spec);
+
+/// Builds a 0/1 mask of the same shape as `w` selecting the weights to KEEP.
+/// 2-d semantics use the last dim as columns; 1-d tensors only support
+/// kUnstructured and kNM.
+Tensor magnitude_mask(const Tensor& w, const PruneSpec& spec);
+
+/// Elementwise w * mask.
+Tensor apply_mask(const Tensor& w, const Tensor& mask);
+
+/// Fraction of zeros in a mask (or any tensor).
+float measured_sparsity(const Tensor& mask);
+
+/// Bytes for storing the pruned tensor in compressed-sparse form
+/// (values at `bits` each + one index byte per kept value for unstructured,
+/// negligible metadata for structured patterns).
+double sparse_storage_bytes(const Tensor& mask, int value_bits);
+
+}  // namespace edgellm::prune

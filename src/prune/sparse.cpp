@@ -1,0 +1,66 @@
+#include "prune/sparse.hpp"
+
+namespace edgellm::prune {
+
+CsrMatrix CsrMatrix::from_dense(const Tensor& w) {
+  check_arg(w.ndim() == 2 && w.numel() > 0, "CsrMatrix: needs a non-empty 2-d tensor");
+  CsrMatrix m;
+  m.rows_ = w.dim(0);
+  m.cols_ = w.dim(1);
+  check_arg(m.cols_ <= INT32_MAX, "CsrMatrix: too many columns for int32 indices");
+  m.row_ptr_.reserve(static_cast<size_t>(m.rows_) + 1);
+  m.row_ptr_.push_back(0);
+  for (int64_t r = 0; r < m.rows_; ++r) {
+    for (int64_t c = 0; c < m.cols_; ++c) {
+      const float v = w[r * m.cols_ + c];
+      if (v != 0.0f) {
+        m.values_.push_back(v);
+        m.col_idx_.push_back(static_cast<int32_t>(c));
+      }
+    }
+    m.row_ptr_.push_back(static_cast<int64_t>(m.values_.size()));
+  }
+  return m;
+}
+
+float CsrMatrix::density() const {
+  return static_cast<float>(nnz()) / static_cast<float>(rows_ * cols_);
+}
+
+int64_t CsrMatrix::storage_bytes() const {
+  return static_cast<int64_t>(values_.size() * sizeof(float) +
+                              col_idx_.size() * sizeof(int32_t) +
+                              row_ptr_.size() * sizeof(int64_t));
+}
+
+Tensor CsrMatrix::to_dense() const {
+  Tensor out({rows_, cols_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[static_cast<size_t>(r)]; i < row_ptr_[static_cast<size_t>(r) + 1];
+         ++i) {
+      out[r * cols_ + col_idx_[static_cast<size_t>(i)]] = values_[static_cast<size_t>(i)];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::matmul_nt(const Tensor& x) const {
+  check_arg(x.ndim() == 2, "CsrMatrix::matmul_nt: x must be 2-d");
+  check_arg(x.dim(1) == cols_, "CsrMatrix::matmul_nt: inner dimensions differ");
+  const int64_t m = x.dim(0);
+  Tensor y({m, rows_});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* xr = x.raw() + i * cols_;
+    for (int64_t r = 0; r < rows_; ++r) {
+      float acc = 0.0f;
+      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        acc += xr[col_idx_[static_cast<size_t>(p)]] * values_[static_cast<size_t>(p)];
+      }
+      y[i * rows_ + r] = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace edgellm::prune

@@ -1,0 +1,43 @@
+// Compressed-sparse-row storage and SpMM — the deployed form of a pruned
+// weight matrix, complementing quant::PackedMatrix. Where apply_mask models
+// pruning numerically on dense storage, CsrMatrix actually stores only the
+// kept values, so its storage_bytes are real and its matmul only touches
+// surviving weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::prune {
+
+/// CSR matrix built from a dense [rows, cols] tensor (zeros dropped).
+class CsrMatrix {
+ public:
+  /// Compresses `w`, treating exact zeros as pruned entries.
+  static CsrMatrix from_dense(const Tensor& w);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  float density() const;
+
+  /// Actual bytes held: fp32 values + int32 column indices + row pointers.
+  int64_t storage_bytes() const;
+
+  /// Reconstructs the dense matrix.
+  Tensor to_dense() const;
+
+  /// y[m, rows] = x[m, cols] * W^T touching only stored entries.
+  Tensor matmul_nt(const Tensor& x) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> values_;
+  std::vector<int32_t> col_idx_;
+  std::vector<int64_t> row_ptr_;  ///< rows + 1 entries
+};
+
+}  // namespace edgellm::prune

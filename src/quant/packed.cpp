@@ -1,0 +1,96 @@
+#include "quant/packed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::quant {
+
+PackedMatrix PackedMatrix::pack(const Tensor& w, int bits) {
+  check_arg(bits == 4 || bits == 8, "PackedMatrix: bits must be 4 or 8");
+  check_arg(w.ndim() == 2 && w.numel() > 0, "PackedMatrix: needs a non-empty 2-d tensor");
+
+  PackedMatrix p;
+  p.rows_ = w.dim(0);
+  p.cols_ = w.dim(1);
+  p.bits_ = bits;
+  p.scales_.resize(static_cast<size_t>(p.rows_));
+
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  const int64_t vals_per_byte = bits == 4 ? 2 : 1;
+  const int64_t row_bytes = (p.cols_ + vals_per_byte - 1) / vals_per_byte;
+  p.payload_.assign(static_cast<size_t>(p.rows_ * row_bytes), 0);
+
+  for (int64_t r = 0; r < p.rows_; ++r) {
+    float maxabs = 0.0f;
+    for (int64_t c = 0; c < p.cols_; ++c) maxabs = std::max(maxabs, std::fabs(w[r * p.cols_ + c]));
+    const float scale = maxabs > 0.0f ? maxabs / qmax : 1.0f;
+    p.scales_[static_cast<size_t>(r)] = scale;
+    for (int64_t c = 0; c < p.cols_; ++c) {
+      const float qf = std::clamp(std::round(w[r * p.cols_ + c] / scale), -qmax, qmax);
+      const int32_t q = static_cast<int32_t>(qf);
+      if (bits == 8) {
+        p.payload_[static_cast<size_t>(r * row_bytes + c)] = static_cast<uint8_t>(q & 0xFF);
+      } else {
+        // Two nibbles per byte, low nibble first, stored offset-by-8.
+        const uint8_t nib = static_cast<uint8_t>((q + 8) & 0x0F);
+        uint8_t& slot = p.payload_[static_cast<size_t>(r * row_bytes + c / 2)];
+        if (c % 2 == 0) {
+          slot = static_cast<uint8_t>((slot & 0xF0) | nib);
+        } else {
+          slot = static_cast<uint8_t>((slot & 0x0F) | (nib << 4));
+        }
+      }
+    }
+  }
+  return p;
+}
+
+int64_t PackedMatrix::storage_bytes() const {
+  return static_cast<int64_t>(payload_.size()) +
+         static_cast<int64_t>(scales_.size() * sizeof(float));
+}
+
+int32_t PackedMatrix::value_at(int64_t r, int64_t c) const {
+  check_arg(r >= 0 && r < rows_ && c >= 0 && c < cols_, "PackedMatrix: index out of range");
+  if (bits_ == 8) {
+    const int64_t row_bytes = cols_;
+    return static_cast<int8_t>(payload_[static_cast<size_t>(r * row_bytes + c)]);
+  }
+  const int64_t row_bytes = (cols_ + 1) / 2;
+  const uint8_t byte = payload_[static_cast<size_t>(r * row_bytes + c / 2)];
+  const uint8_t nib = c % 2 == 0 ? (byte & 0x0F) : (byte >> 4);
+  return static_cast<int32_t>(nib) - 8;
+}
+
+Tensor PackedMatrix::dequantize() const {
+  Tensor out({rows_, cols_});
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float s = scales_[static_cast<size_t>(r)];
+    for (int64_t c = 0; c < cols_; ++c) {
+      out[r * cols_ + c] = static_cast<float>(value_at(r, c)) * s;
+    }
+  }
+  return out;
+}
+
+Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w) {
+  check_arg(x.ndim() == 2, "packed_matmul_nt: x must be 2-d");
+  check_arg(x.dim(1) == w.cols(), "packed_matmul_nt: inner dimensions differ");
+  const int64_t m = x.dim(0), k = x.dim(1), n = w.rows();
+  Tensor y({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* xr = x.raw() + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      // fp32 activation x int weight, scaled once per output: the standard
+      // weight-only-quantized kernel structure.
+      float acc = 0.0f;
+      for (int64_t c = 0; c < k; ++c) {
+        acc += xr[c] * static_cast<float>(w.value_at(j, c));
+      }
+      y[i * n + j] = acc * w.row_scale(j);
+    }
+  }
+  return y;
+}
+
+}  // namespace edgellm::quant

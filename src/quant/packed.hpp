@@ -1,0 +1,52 @@
+// Packed integer weight storage and integer-weight GEMM — the *deployed*
+// form of a LUC-compressed layer. Where fake_quant models the numerics
+// during tuning, PackedMatrix actually stores the integers (two 4-bit
+// values per byte, or one 8-bit value) and computes against them, so the
+// storage saving is real, and tests can assert bit-exact agreement with
+// the fake-quant reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quant.hpp"
+
+namespace edgellm::quant {
+
+/// A [rows, cols] weight matrix stored as packed symmetric integers with
+/// one fp32 scale per row.
+class PackedMatrix {
+ public:
+  /// Quantizes `w` ([rows, cols]) symmetrically per row at `bits` (4 or 8)
+  /// and packs it.
+  static PackedMatrix pack(const Tensor& w, int bits);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int bits() const { return bits_; }
+
+  /// Actual bytes held (payload + scales) — the deployment footprint.
+  int64_t storage_bytes() const;
+
+  /// Reconstructs the float matrix (must equal fake_quant of the source).
+  Tensor dequantize() const;
+
+  /// Signed integer value at (r, c).
+  int32_t value_at(int64_t r, int64_t c) const;
+
+  float row_scale(int64_t r) const { return scales_[static_cast<size_t>(r)]; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int bits_ = 8;
+  std::vector<uint8_t> payload_;  ///< packed two-per-byte when bits == 4
+  std::vector<float> scales_;    ///< one per row
+};
+
+/// y[m, rows] = x[m, cols] * W^T where W is packed. The inner product is
+/// accumulated in int32 against the integer weights, then scaled — the
+/// arithmetic a deployed int kernel performs.
+Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w);
+
+}  // namespace edgellm::quant

@@ -1,0 +1,147 @@
+#include "quant/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace edgellm::quant {
+
+std::string to_string(Granularity g) {
+  switch (g) {
+    case Granularity::kPerTensor: return "per-tensor";
+    case Granularity::kPerRow: return "per-row";
+    case Granularity::kGrouped: return "grouped";
+  }
+  return "?";
+}
+
+void validate_spec(const QuantSpec& spec) {
+  check_arg(spec.bits >= 2 && spec.bits <= 16, "QuantSpec.bits must be in [2, 16]");
+  if (spec.granularity == Granularity::kGrouped) {
+    check_arg(spec.group_size > 0, "QuantSpec.group_size must be positive");
+  }
+}
+
+namespace {
+
+struct GroupView {
+  int64_t offset;  // linear offset of first element
+  int64_t count;   // number of elements
+};
+
+// Splits the tensor into scale groups according to the spec. Tensors with
+// ndim >= 2 are viewed as [rows, cols] with cols = last extent.
+std::vector<GroupView> make_groups(const Tensor& w, const QuantSpec& spec) {
+  const int64_t numel = w.numel();
+  check_arg(numel > 0, "quantize: empty tensor");
+  const int64_t cols = w.ndim() >= 2 ? w.dim(-1) : numel;
+  const int64_t rows = numel / cols;
+
+  std::vector<GroupView> groups;
+  switch (spec.granularity) {
+    case Granularity::kPerTensor:
+      groups.push_back({0, numel});
+      break;
+    case Granularity::kPerRow:
+      groups.reserve(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) groups.push_back({r * cols, cols});
+      break;
+    case Granularity::kGrouped: {
+      const int64_t gs = std::min(spec.group_size, cols);
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; c += gs) {
+          groups.push_back({r * cols + c, std::min(gs, cols - c)});
+        }
+      }
+      break;
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+QuantResult quantize_dequantize(const Tensor& w, const QuantSpec& spec) {
+  validate_spec(spec);
+  const auto groups = make_groups(w, spec);
+
+  QuantResult res;
+  res.dequantized = Tensor(w.shape());
+  res.payload_bits = w.numel() * spec.bits;
+  res.scales.reserve(groups.size());
+  if (!spec.symmetric) res.zero_points.reserve(groups.size());
+
+  const float* src = w.raw();
+  float* dst = res.dequantized.raw();
+
+  for (const GroupView& g : groups) {
+    if (spec.symmetric) {
+      // Symmetric: levels in [-2^(b-1)+1, 2^(b-1)-1] around zero.
+      const float qmax = static_cast<float>((int64_t{1} << (spec.bits - 1)) - 1);
+      float maxabs = 0.0f;
+      for (int64_t i = 0; i < g.count; ++i) maxabs = std::max(maxabs, std::fabs(src[g.offset + i]));
+      const float scale = maxabs > 0.0f ? maxabs / qmax : 1.0f;
+      res.scales.push_back(scale);
+      for (int64_t i = 0; i < g.count; ++i) {
+        float q = std::round(src[g.offset + i] / scale);
+        q = std::clamp(q, -qmax, qmax);
+        dst[g.offset + i] = q * scale;
+      }
+    } else {
+      // Affine: levels in [0, 2^b - 1] spanning [min, max].
+      const float qmax = static_cast<float>((int64_t{1} << spec.bits) - 1);
+      float lo = src[g.offset], hi = src[g.offset];
+      for (int64_t i = 1; i < g.count; ++i) {
+        lo = std::min(lo, src[g.offset + i]);
+        hi = std::max(hi, src[g.offset + i]);
+      }
+      // Ensure zero is representable (standard affine-quant convention).
+      lo = std::min(lo, 0.0f);
+      hi = std::max(hi, 0.0f);
+      const float scale = hi > lo ? (hi - lo) / qmax : 1.0f;
+      const float zp = std::round(-lo / scale);
+      res.scales.push_back(scale);
+      res.zero_points.push_back(zp);
+      for (int64_t i = 0; i < g.count; ++i) {
+        float q = std::round(src[g.offset + i] / scale + zp);
+        q = std::clamp(q, 0.0f, qmax);
+        dst[g.offset + i] = (q - zp) * scale;
+      }
+    }
+  }
+  return res;
+}
+
+Tensor fake_quant(const Tensor& w, const QuantSpec& spec) {
+  return quantize_dequantize(w, spec).dequantized;
+}
+
+double storage_bytes(const Tensor& w, const QuantSpec& spec) {
+  validate_spec(spec);
+  const auto groups = make_groups(w, spec);
+  const double payload = static_cast<double>(w.numel()) * spec.bits / 8.0;
+  const double per_group_meta = spec.symmetric ? 2.0 : 4.0;  // fp16 scale (+ fp16 zp)
+  return payload + per_group_meta * static_cast<double>(groups.size());
+}
+
+double fp16_storage_bytes(const Tensor& w) { return 2.0 * static_cast<double>(w.numel()); }
+
+float quant_mse(const Tensor& w, const QuantSpec& spec) {
+  return ops::mse(w, fake_quant(w, spec));
+}
+
+float quant_sqnr_db(const Tensor& w, const QuantSpec& spec) {
+  const Tensor deq = fake_quant(w, spec);
+  double sig = 0.0, noise = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    sig += static_cast<double>(w[i]) * w[i];
+    const double d = static_cast<double>(w[i]) - deq[i];
+    noise += d * d;
+  }
+  if (noise <= 0.0) return 120.0f;  // effectively lossless
+  if (sig <= 0.0) return 0.0f;
+  return static_cast<float>(10.0 * std::log10(sig / noise));
+}
+
+}  // namespace edgellm::quant

@@ -1,0 +1,72 @@
+// Weight quantization substrate.
+//
+// The reproduction follows the paper's LUC component: weights are
+// quantized to low bit-widths (2..8) with per-layer policies. Numerics are
+// modelled by fake quantization (quantize -> dequantize in float), which is
+// exactly what quantization-aware tuning sees through the straight-through
+// estimator; the *cost* benefit of low-bit storage and compute is carried
+// separately by the byte-accounting here plus the hardware model in src/hw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::quant {
+
+/// How scales are shared across a 2-d weight matrix.
+enum class Granularity {
+  kPerTensor,  ///< one scale for the whole tensor
+  kPerRow,     ///< one scale per output row (per-channel)
+  kGrouped,    ///< one scale per contiguous group of `group_size` in a row
+};
+
+std::string to_string(Granularity g);
+
+/// Quantization policy for one tensor.
+struct QuantSpec {
+  int bits = 8;                                   ///< 2..16
+  bool symmetric = true;                          ///< symmetric vs affine
+  Granularity granularity = Granularity::kPerRow; ///< scale sharing
+  int64_t group_size = 64;                        ///< for kGrouped
+
+  /// Number of integer levels this spec can represent.
+  int64_t levels() const { return int64_t{1} << bits; }
+};
+
+/// Output of quantize_dequantize: the float reconstruction plus the
+/// stored-form metadata needed for byte accounting.
+struct QuantResult {
+  Tensor dequantized;              ///< same shape as input
+  std::vector<float> scales;       ///< one per scale-group
+  std::vector<float> zero_points;  ///< empty when symmetric
+  int64_t payload_bits = 0;        ///< numel * bits
+};
+
+/// Validates a spec; throws std::invalid_argument when out of range.
+void validate_spec(const QuantSpec& spec);
+
+/// Quantizes `w` (1-d or 2-d; higher-d tensors are treated as 2-d with the
+/// last dim as the row axis) to `spec` and reconstructs it in float.
+QuantResult quantize_dequantize(const Tensor& w, const QuantSpec& spec);
+
+/// Convenience: only the dequantized tensor.
+Tensor fake_quant(const Tensor& w, const QuantSpec& spec);
+
+/// Bytes the stored form occupies: packed int payload + fp16 scales
+/// (+ fp16 zero points when asymmetric).
+double storage_bytes(const Tensor& w, const QuantSpec& spec);
+
+/// Bytes for uncompressed fp16 storage of the same tensor (the baseline
+/// edge-deployment format).
+double fp16_storage_bytes(const Tensor& w);
+
+/// Mean squared reconstruction error of quantizing `w` under `spec`.
+float quant_mse(const Tensor& w, const QuantSpec& spec);
+
+/// Signal-to-quantization-noise ratio in dB (higher is better).
+float quant_sqnr_db(const Tensor& w, const QuantSpec& spec);
+
+}  // namespace edgellm::quant

@@ -1,0 +1,179 @@
+#include "runtime/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::runtime {
+
+MethodSpec vanilla_method(const nn::ModelConfig& cfg) {
+  MethodSpec m;
+  m.name = "vanilla";
+  m.policy.layers.assign(static_cast<size_t>(cfg.n_layers), core::LayerPolicy{});
+  m.exits = {cfg.n_layers};
+  m.exit_probs = {1.0};
+  m.backprop_window = 0;
+  m.update_embeddings = true;
+  return m;
+}
+
+MethodSpec vanilla_checkpointed_method(const nn::ModelConfig& cfg) {
+  MethodSpec m = vanilla_method(cfg);
+  m.name = "vanilla+ckpt";
+  m.checkpoint = true;
+  return m;
+}
+
+double block_activation_bytes(const nn::ModelConfig& cfg, int64_t batch, int64_t seq) {
+  const double rows = static_cast<double>(batch) * seq;
+  const double c = static_cast<double>(cfg.d_model);
+  const double f = static_cast<double>(cfg.ff_dim());
+  const double probs = static_cast<double>(batch) * cfg.n_heads * seq * seq;
+  // norm1 (rows*c + rows) + attn linears (4 rows*c) + q/k/v heads (3 rows*c)
+  // + probs + norm2 (rows*c + rows); all fp32.
+  double floats = 9.0 * rows * c + probs + 2.0 * rows;
+  if (cfg.swiglu) {
+    // gate in + up in (rows*c each), down in + pre-act + up out (rows*f each).
+    floats += 2.0 * rows * c + 3.0 * rows * f;
+  } else {
+    // fc1 in (rows*c), fc2 in + pre-act (rows*f each).
+    floats += rows * c + 2.0 * rows * f;
+  }
+  return floats * 4.0;
+}
+
+double block_param_count(const nn::ModelConfig& cfg) {
+  const double c = static_cast<double>(cfg.d_model);
+  const double ckv = static_cast<double>(cfg.kv_dim());
+  const double f = static_cast<double>(cfg.ff_dim());
+  const double mlp_mats = cfg.swiglu ? 3.0 : 2.0;
+  const double biases = cfg.swiglu ? 0.0 : f + c;
+  return 2.0 * c * c + 2.0 * c * ckv + mlp_mats * c * f  // weights
+         + biases                                        // fc biases (GELU only)
+         + 2.0 * c;                                      // two norm gains
+}
+
+namespace {
+
+double head_activation_bytes(const nn::ModelConfig& cfg, int64_t batch, int64_t seq) {
+  const double rows = static_cast<double>(batch) * seq;
+  const double c = static_cast<double>(cfg.d_model);
+  // exit norm caches rows*c + rows; head Linear caches its input rows*c.
+  return (2.0 * rows * c + rows) * 4.0;
+}
+
+double policy_weight_bytes(const nn::ModelConfig& cfg, const core::LucPolicy& policy) {
+  const double c = static_cast<double>(cfg.d_model);
+  const double f = static_cast<double>(cfg.ff_dim());
+  const double ckv = static_cast<double>(cfg.kv_dim());
+  const double mlp_mats = cfg.swiglu ? 3.0 : 2.0;
+  const double block_weights = 2.0 * c * c + 2.0 * c * ckv + mlp_mats * c * f;
+  double bytes = 0.0;
+  for (const core::LayerPolicy& lp : policy.layers) {
+    if (lp.sparsity > 0.0f) {
+      const double kept = block_weights * (1.0 - static_cast<double>(lp.sparsity));
+      bytes += kept * (lp.bits / 8.0 + 1.0);  // packed values + sparse index
+    } else {
+      bytes += block_weights * lp.bits / 8.0;
+    }
+    bytes += (f + 3.0 * c) * 2.0;  // biases + norm gains in fp16
+  }
+  // Embeddings, positional table, exit norms and the tied head stay fp16.
+  bytes += (static_cast<double>(cfg.vocab) + cfg.max_seq) * c * 2.0;
+  bytes += static_cast<double>(cfg.vocab) * c * 2.0;
+  bytes += 4.0 * c * 2.0;  // a few exit norm gains
+  return bytes;
+}
+
+}  // namespace
+
+MethodReport simulate_method(const nn::ModelConfig& cfg, const MethodSpec& method,
+                             const SimulatorConfig& sim) {
+  check_arg(method.exits.size() == method.exit_probs.size() && !method.exits.empty(),
+            "simulate_method: exits/probs mismatch");
+  check_arg(static_cast<int64_t>(method.policy.layers.size()) == cfg.n_layers,
+            "simulate_method: policy must cover every layer");
+  double prob_total = 0.0;
+  for (double p : method.exit_probs) prob_total += p;
+  check_arg(std::fabs(prob_total - 1.0) < 1e-6, "simulate_method: probs must sum to 1");
+
+  const std::vector<hw::LayerCompression> comp =
+      core::policy_to_compression(method.policy, method.prune_pattern);
+
+  MethodReport rep;
+  rep.name = method.name;
+  double util_weighted = 0.0;
+
+  for (size_t e = 0; e < method.exits.size(); ++e) {
+    const double p = method.exit_probs[e];
+    if (p <= 0.0) continue;
+    const int64_t exit_layer = method.exits[e];
+    const int64_t depth = method.backprop_window <= 0
+                              ? exit_layer
+                              : std::min(method.backprop_window, exit_layer);
+
+    hw::IterationSpec iter;
+    iter.batch = sim.batch;
+    iter.seq = sim.seq;
+    iter.exit_layer = exit_layer;
+    iter.backprop_depth = depth;
+    iter.update_embeddings = method.update_embeddings && depth == exit_layer;
+    iter.checkpoint = method.checkpoint && depth == exit_layer;
+
+    const std::vector<hw::LayerWorkload> workloads =
+        hw::training_iteration_workloads(cfg, comp, iter);
+    hw::IterationPlan plan;
+    switch (sim.schedule_mode) {
+      case ScheduleMode::kNaive:
+        plan = hw::schedule_iteration_naive(sim.device, workloads);
+        break;
+      case ScheduleMode::kDefault:
+        plan = hw::schedule_iteration_default(sim.device, workloads);
+        break;
+      case ScheduleMode::kSearched:
+        plan = hw::schedule_iteration(sim.device, workloads, sim.search);
+        break;
+    }
+
+    rep.expected_cycles += p * plan.total_cycles;
+    rep.expected_energy_uj += p * plan.total_energy_pj * 1e-6;
+    for (const hw::LayerPlan& lp : plan.layers) {
+      rep.dram_energy_uj += p * lp.dram_energy_pj() * 1e-6;
+      rep.mac_energy_uj += p * lp.mac_energy_pj() * 1e-6;
+      rep.sram_energy_uj += p * lp.sram_energy_pj() * 1e-6;
+    }
+    rep.expected_dram_mb += p * plan.total_dram_bytes / (1024.0 * 1024.0);
+    util_weighted += p * plan.gemm_utilization;
+    rep.pinned_kb = std::max(rep.pinned_kb, plan.pinned_bytes / 1024.0);
+
+    // Memory at this exit: activations for the window + head, grads and
+    // optimizer moments for every updated parameter. Under checkpointing
+    // only per-block inputs are stashed plus one transient block cache.
+    const double rows_bytes =
+        static_cast<double>(sim.batch) * sim.seq * cfg.d_model * 4.0;
+    const double act =
+        iter.checkpoint
+            ? static_cast<double>(exit_layer) * rows_bytes +
+                  block_activation_bytes(cfg, sim.batch, sim.seq) +
+                  head_activation_bytes(cfg, sim.batch, sim.seq)
+            : static_cast<double>(depth) * block_activation_bytes(cfg, sim.batch, sim.seq) +
+                  head_activation_bytes(cfg, sim.batch, sim.seq);
+    double updated = static_cast<double>(depth) * block_param_count(cfg) +
+                     static_cast<double>(cfg.vocab) * cfg.d_model +  // head
+                     static_cast<double>(cfg.d_model);               // exit norm
+    if (iter.update_embeddings) {
+      updated += (static_cast<double>(cfg.vocab) + cfg.max_seq) * cfg.d_model;
+    }
+    rep.peak_activation_bytes = std::max(rep.peak_activation_bytes, act);
+    rep.peak_grad_bytes = std::max(rep.peak_grad_bytes, updated * 4.0);
+    rep.peak_optimizer_bytes = std::max(rep.peak_optimizer_bytes, updated * 8.0);
+  }
+
+  rep.expected_ms = sim.device.cycles_to_ms(rep.expected_cycles);
+  rep.utilization = util_weighted;
+  rep.weight_bytes = policy_weight_bytes(cfg, method.policy);
+  rep.peak_memory_bytes = rep.weight_bytes + rep.peak_activation_bytes + rep.peak_grad_bytes +
+                          rep.peak_optimizer_bytes;
+  return rep;
+}
+
+}  // namespace edgellm::runtime

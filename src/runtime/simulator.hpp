@@ -1,0 +1,83 @@
+// Training-iteration simulator: composes the model architecture, a LUC
+// policy, an adaptive-tuning plan and the hardware model into modelled
+// per-iteration latency, energy and memory. Works purely analytically from
+// the configs, so it can also project paper-scale models that would never
+// fit in this process (see examples/llama_scale_projection.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/luc.hpp"
+#include "hw/search.hpp"
+
+namespace edgellm::runtime {
+
+/// How GEMMs are scheduled during simulation.
+enum class ScheduleMode {
+  kNaive,    ///< strawman schedule (reference point only)
+  kDefault,  ///< competent hand-written default
+  kSearched, ///< full schedule search + weight pinning
+};
+
+/// Simulator knobs.
+struct SimulatorConfig {
+  hw::DeviceModel device = hw::default_edge_device();
+  hw::SearchConfig search;
+  ScheduleMode schedule_mode = ScheduleMode::kSearched;
+  int64_t batch = 8;
+  int64_t seq = 32;
+};
+
+/// Tuning-method description for simulation.
+struct MethodSpec {
+  std::string name;
+  core::LucPolicy policy;               ///< one entry per layer
+  prune::Pattern prune_pattern = prune::Pattern::kUnstructured;
+  std::vector<int64_t> exits;           ///< registered exit depths
+  std::vector<double> exit_probs;       ///< sampling distribution over exits
+  int64_t backprop_window = 0;          ///< <=0 means full depth
+  bool update_embeddings = false;
+  bool checkpoint = false;              ///< gradient checkpointing (full depth)
+};
+
+/// Vanilla tuning with gradient checkpointing (memory baseline).
+MethodSpec vanilla_checkpointed_method(const nn::ModelConfig& cfg);
+
+/// Modelled per-iteration cost and memory of one method.
+struct MethodReport {
+  std::string name;
+
+  double expected_cycles = 0.0;
+  double expected_ms = 0.0;
+  double expected_energy_uj = 0.0;
+  double dram_energy_uj = 0.0;  ///< component of expected_energy_uj
+  double mac_energy_uj = 0.0;   ///< component of expected_energy_uj
+  double sram_energy_uj = 0.0;  ///< component of expected_energy_uj
+  double expected_dram_mb = 0.0;
+  double utilization = 0.0;       ///< exit-probability-weighted
+  double pinned_kb = 0.0;
+
+  double weight_bytes = 0.0;
+  double peak_activation_bytes = 0.0;
+  double peak_grad_bytes = 0.0;
+  double peak_optimizer_bytes = 0.0;
+  double peak_memory_bytes = 0.0;  ///< sum of the four above
+};
+
+/// Full vanilla tuning (final exit, full depth) for a model with no
+/// compression — the baseline every speedup is measured against.
+MethodSpec vanilla_method(const nn::ModelConfig& cfg);
+
+/// Analytic bytes of activations cached when one block trains (must match
+/// what the real modules cache; verified in tests/runtime_test.cpp).
+double block_activation_bytes(const nn::ModelConfig& cfg, int64_t batch, int64_t seq);
+
+/// Analytic per-block parameter count (weights + biases + norms).
+double block_param_count(const nn::ModelConfig& cfg);
+
+/// Runs the simulation for one method.
+MethodReport simulate_method(const nn::ModelConfig& cfg, const MethodSpec& method,
+                             const SimulatorConfig& sim);
+
+}  // namespace edgellm::runtime

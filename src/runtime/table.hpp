@@ -1,0 +1,56 @@
+// Minimal fixed-width table printer shared by the bench harnesses so their
+// output reads like the paper's tables.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace edgellm::runtime {
+
+/// Streams rows of fixed-width columns to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void row(const std::vector<std::string>& cells) const {
+    std::ostringstream os;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const int w = i < widths_.size() ? widths_[i] : 12;
+      os << std::left << std::setw(w) << cells[i] << ' ';
+    }
+    std::cout << os.str() << '\n';
+  }
+
+  void rule(char c = '-') const {
+    int total = 0;
+    for (int w : widths_) total += w + 1;
+    std::cout << std::string(static_cast<size_t>(total), c) << '\n';
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Formats a double with fixed precision.
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Formats bytes as a human-readable KiB/MiB string.
+inline std::string fmt_bytes(double bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= 1024.0 * 1024.0) {
+    os << bytes / (1024.0 * 1024.0) << " MiB";
+  } else {
+    os << bytes / 1024.0 << " KiB";
+  }
+  return os.str();
+}
+
+}  // namespace edgellm::runtime

@@ -1,0 +1,86 @@
+#include "runtime/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edgellm::runtime {
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : os_(path, std::ios::trunc), n_columns_(columns.size()), path_(path) {
+  if (!os_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns.empty()) throw std::runtime_error("CsvWriter: no columns");
+  write_cells(columns);
+  rows_ = 0;  // header doesn't count
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+  if (!os_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != n_columns_) {
+    throw std::runtime_error("CsvWriter: expected " + std::to_string(n_columns_) +
+                             " cells, got " + std::to_string(cells.size()));
+  }
+  write_cells(cells);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  }
+  row(cells);
+}
+
+void write_loss_curve(const std::string& path, const std::vector<float>& losses) {
+  CsvWriter w(path, {"iteration", "loss"});
+  for (size_t i = 0; i < losses.size(); ++i) {
+    w.row(std::vector<double>{static_cast<double>(i), static_cast<double>(losses[i])});
+  }
+}
+
+void write_method_reports(const std::string& path, const std::vector<MethodReport>& reports) {
+  CsvWriter w(path, {"method", "expected_ms", "energy_uj", "dram_mb", "utilization",
+                     "weight_bytes", "peak_activation_bytes", "peak_grad_bytes",
+                     "peak_optimizer_bytes", "peak_memory_bytes"});
+  for (const MethodReport& r : reports) {
+    std::vector<std::string> cells = {r.name};
+    for (double v : {r.expected_ms, r.expected_energy_uj, r.expected_dram_mb, r.utilization,
+                     r.weight_bytes, r.peak_activation_bytes, r.peak_grad_bytes,
+                     r.peak_optimizer_bytes, r.peak_memory_bytes}) {
+      std::ostringstream os;
+      os << v;
+      cells.push_back(os.str());
+    }
+    w.row(cells);
+  }
+}
+
+}  // namespace edgellm::runtime

@@ -1,0 +1,44 @@
+// Experiment artifact writing: CSV traces of loss curves and method
+// reports, so bench/CLI outputs can be re-plotted outside this repo.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/simulator.hpp"
+
+namespace edgellm::runtime {
+
+/// Minimal CSV writer with header checking. Throws std::runtime_error on
+/// I/O failure; fields containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& values);
+
+  int64_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream os_;
+  size_t n_columns_;
+  int64_t rows_ = 0;
+  std::string path_;
+
+  void write_cells(const std::vector<std::string>& cells);
+};
+
+/// iteration,loss rows.
+void write_loss_curve(const std::string& path, const std::vector<float>& losses);
+
+/// One row per simulated method (latency/energy/memory columns).
+void write_method_reports(const std::string& path, const std::vector<MethodReport>& reports);
+
+}  // namespace edgellm::runtime

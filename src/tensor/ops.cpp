@@ -1,0 +1,370 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::ops {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  check_arg(a.shape() == b.shape(), std::string(what) + ": shape mismatch " +
+                                        shape_to_string(a.shape()) + " vs " +
+                                        shape_to_string(b.shape()));
+}
+
+// Inner GEMM kernel on raw pointers: C[m,n] += A[m,k] * B[k,n], with C
+// assumed zero-initialised by the caller. Loop order (m,k,n) keeps the B
+// and C accesses sequential.
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul: operands must be 2-d");
+  check_arg(a.dim(1) == b.dim(0), "matmul: inner dimensions differ");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  gemm_nn(a.raw(), b.raw(), c.raw(), m, k, n);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul_tn: operands must be 2-d");
+  check_arg(a.dim(0) == b.dim(0), "matmul_tn: inner dimensions differ");
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  // C[i,j] = sum_p A[p,i] * B[p,j]
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.raw() + p * m;
+    const float* brow = b.raw() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.raw() + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul_nt: operands must be 2-d");
+  check_arg(a.dim(1) == b.dim(1), "matmul_nt: inner dimensions differ");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.raw() + i * k;
+    float* crow = c.raw() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.raw() + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm: operands must be 3-d");
+  check_arg(a.dim(0) == b.dim(0), "bmm: batch sizes differ");
+  check_arg(a.dim(2) == b.dim(1), "bmm: inner dimensions differ");
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({bs, m, n});
+  for (int64_t t = 0; t < bs; ++t) {
+    gemm_nn(a.raw() + t * m * k, b.raw() + t * k * n, c.raw() + t * m * n, m, k, n);
+  }
+  return c;
+}
+
+Tensor bmm_nt(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_nt: operands must be 3-d");
+  check_arg(a.dim(0) == b.dim(0), "bmm_nt: batch sizes differ");
+  check_arg(a.dim(2) == b.dim(2), "bmm_nt: inner dimensions differ");
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  Tensor c({bs, m, n});
+  for (int64_t t = 0; t < bs; ++t) {
+    const float* ab = a.raw() + t * m * k;
+    const float* bb = b.raw() + t * n * k;
+    float* cb = c.raw() + t * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += ab[i * k + p] * bb[j * k + p];
+        cb[i * n + j] = acc;
+      }
+    }
+  }
+  return c;
+}
+
+Tensor bmm_tn(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_tn: operands must be 3-d");
+  check_arg(a.dim(0) == b.dim(0), "bmm_tn: batch sizes differ");
+  check_arg(a.dim(1) == b.dim(1), "bmm_tn: inner dimensions differ");
+  const int64_t bs = a.dim(0), k = a.dim(1), m = a.dim(2), n = b.dim(2);
+  Tensor c({bs, m, n});
+  for (int64_t t = 0; t < bs; ++t) {
+    const float* ab = a.raw() + t * k * m;
+    const float* bb = b.raw() + t * k * n;
+    float* cb = c.raw() + t * m * n;
+    for (int64_t p = 0; p < k; ++p) {
+      for (int64_t i = 0; i < m; ++i) {
+        const float av = ab[p * m + i];
+        if (av == 0.0f) continue;
+        for (int64_t j = 0; j < n; ++j) cb[i * n + j] += av * bb[p * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] + b[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] - b[i];
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] * b[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] * s;
+  return c;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  check_arg(bias.ndim() == 1, "add_bias: bias must be 1-d");
+  const int64_t n = bias.dim(0);
+  check_arg(x.numel() % n == 0 && x.dim(-1) == n, "add_bias: last dim mismatch");
+  Tensor c(x.shape());
+  const int64_t rows = x.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < n; ++j) c[r * n + j] = x[r * n + j] + bias[j];
+  }
+  return c;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0 ? x[i] : 0.0f;
+  return y;
+}
+
+Tensor relu_grad(const Tensor& x, const Tensor& grad_out) {
+  check_same_shape(x, grad_out, "relu_grad");
+  Tensor g(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) g[i] = x[i] > 0 ? grad_out[i] : 0.0f;
+  return g;
+}
+
+namespace {
+// tanh-approximation GELU, matching the variant common in LLM codebases.
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+float gelu_scalar(float x) {
+  const float u = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+float gelu_grad_scalar(float x) {
+  const float u = kGeluC * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+}  // namespace
+
+Tensor gelu(const Tensor& x) {
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) y[i] = gelu_scalar(x[i]);
+  return y;
+}
+
+Tensor gelu_grad(const Tensor& x, const Tensor& grad_out) {
+  check_same_shape(x, grad_out, "gelu_grad");
+  Tensor g(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) g[i] = grad_out[i] * gelu_grad_scalar(x[i]);
+  return g;
+}
+
+Tensor silu(const Tensor& x) {
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float s = 1.0f / (1.0f + std::exp(-x[i]));
+    y[i] = x[i] * s;
+  }
+  return y;
+}
+
+Tensor silu_grad(const Tensor& x, const Tensor& grad_out) {
+  check_same_shape(x, grad_out, "silu_grad");
+  Tensor g(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float s = 1.0f / (1.0f + std::exp(-x[i]));
+    g[i] = grad_out[i] * (s + x[i] * s * (1.0f - s));
+  }
+  return g;
+}
+
+Tensor softmax_lastdim(const Tensor& x) {
+  check_arg(x.ndim() >= 1, "softmax_lastdim: needs at least 1-d");
+  const int64_t n = x.dim(-1);
+  check_arg(n > 0, "softmax_lastdim: empty last dimension");
+  Tensor y(x.shape());
+  const int64_t rows = x.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.raw() + r * n;
+    float* yr = y.raw() + r * n;
+    float mx = xr[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      denom += yr[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < n; ++j) yr[j] *= inv;
+  }
+  return y;
+}
+
+Tensor log_softmax_lastdim(const Tensor& x) {
+  check_arg(x.ndim() >= 1, "log_softmax_lastdim: needs at least 1-d");
+  const int64_t n = x.dim(-1);
+  check_arg(n > 0, "log_softmax_lastdim: empty last dimension");
+  Tensor y(x.shape());
+  const int64_t rows = x.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.raw() + r * n;
+    float* yr = y.raw() + r * n;
+    float mx = xr[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(xr[j] - mx);
+    const float lse = mx + std::log(denom);
+    for (int64_t j = 0; j < n; ++j) yr[j] = xr[j] - lse;
+  }
+  return y;
+}
+
+Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& grad_out) {
+  check_same_shape(y, grad_out, "softmax_lastdim_backward");
+  const int64_t n = y.dim(-1);
+  Tensor g(y.shape());
+  const int64_t rows = y.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y.raw() + r * n;
+    const float* gr = grad_out.raw() + r * n;
+    float* outr = g.raw() + r * n;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
+    for (int64_t j = 0; j < n; ++j) outr[j] = yr[j] * (gr[j] - dot);
+  }
+  return g;
+}
+
+float sum(const Tensor& x) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) acc += x[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& x) {
+  check_arg(x.numel() > 0, "mean: empty tensor");
+  return sum(x) / static_cast<float>(x.numel());
+}
+
+float max_value(const Tensor& x) {
+  check_arg(x.numel() > 0, "max_value: empty tensor");
+  float mx = x[0];
+  for (int64_t i = 1; i < x.numel(); ++i) mx = std::max(mx, x[i]);
+  return mx;
+}
+
+float min_value(const Tensor& x) {
+  check_arg(x.numel() > 0, "min_value: empty tensor");
+  float mn = x[0];
+  for (int64_t i = 1; i < x.numel(); ++i) mn = std::min(mn, x[i]);
+  return mn;
+}
+
+float l2_norm(const Tensor& x) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i) acc += static_cast<double>(x[i]) * x[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float mse(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mse");
+  check_arg(a.numel() > 0, "mse: empty tensor");
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(a.numel()));
+}
+
+Tensor transpose2d(const Tensor& x) {
+  check_arg(x.ndim() == 2, "transpose2d: needs a 2-d tensor");
+  const int64_t m = x.dim(0), n = x.dim(1);
+  Tensor y({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) y[j * m + i] = x[i * n + j];
+  }
+  return y;
+}
+
+std::vector<int64_t> argmax_lastdim(const Tensor& x) {
+  check_arg(x.ndim() >= 1, "argmax_lastdim: needs at least 1-d");
+  const int64_t n = x.dim(-1);
+  check_arg(n > 0, "argmax_lastdim: empty last dimension");
+  const int64_t rows = x.numel() / n;
+  std::vector<int64_t> out(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x.raw() + r * n;
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (xr[j] > xr[best]) best = j;
+    }
+    out[static_cast<size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace edgellm::ops

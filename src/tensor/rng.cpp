@@ -1,0 +1,17 @@
+#include "tensor/rng.hpp"
+
+namespace edgellm {
+
+Tensor randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data()) x = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data()) x = rng.uniform(lo, hi);
+  return t;
+}
+
+}  // namespace edgellm

@@ -1,0 +1,71 @@
+// Seeded random-number utilities. Every stochastic component in the library
+// takes an explicit Rng so that all experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm {
+
+/// Deterministic random source. Thin wrapper over std::mt19937_64 with
+/// helpers for the distributions the library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled to `stddev` around `mean`.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  int64_t categorical(std::span<const float> weights) {
+    double total = 0.0;
+    for (float w : weights) total += w > 0 ? w : 0;
+    check_arg(total > 0.0, "categorical() requires a positive total weight");
+    double r = uniform(0.0f, 1.0f) * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      const double w = weights[i] > 0 ? weights[i] : 0;
+      if (r < w) return static_cast<int64_t>(i);
+      r -= w;
+    }
+    return static_cast<int64_t>(weights.size()) - 1;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derives an independent child stream (stable across platforms).
+  Rng fork() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Tensor of i.i.d. N(mean, stddev^2) values.
+Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+
+/// Tensor of i.i.d. U[lo, hi) values.
+Tensor rand_uniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+}  // namespace edgellm

@@ -1,0 +1,372 @@
+// Core Edge-LLM components: sensitivity, LUC search, tuner, voter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/luc.hpp"
+#include "core/pipeline.hpp"
+#include "core/tuner.hpp"
+#include "core/voting.hpp"
+#include "data/eval.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::core {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+data::MarkovChain test_domain(uint64_t seed = 5) {
+  data::MarkovChain::Config cfg;
+  cfg.vocab = 24;
+  cfg.order = 1;  // learnable by a tiny model in ~100 iterations
+  cfg.branch = 3;
+  cfg.mass = 0.85f;
+  cfg.seed = seed;
+  return data::MarkovChain(cfg);
+}
+
+SensitivityConfig small_sens() {
+  SensitivityConfig s;
+  s.bit_candidates = {2, 4, 8};
+  s.prune_candidates = {0.0f, 0.5f};
+  return s;
+}
+
+TEST(Sensitivity, ProfileShapeAndRestoration) {
+  Rng rng(1);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, rng)};
+
+  const Tensor before = model.forward_eval(calib[0].inputs, 2, 8, 3);
+  const SensitivityProfile prof = analyze_sensitivity(model, calib, small_sens());
+  const Tensor after = model.forward_eval(calib[0].inputs, 2, 8, 3);
+  EXPECT_TRUE(before.allclose(after, 1e-6f));  // model restored
+
+  ASSERT_EQ(prof.layers.size(), 3u);
+  for (const LayerSensitivity& l : prof.layers) {
+    EXPECT_EQ(l.bit_delta.size(), 3u);
+    EXPECT_EQ(l.prune_delta.size(), 2u);
+    EXPECT_FLOAT_EQ(l.prune_delta.at(0.0f), 0.0f);
+    // Aggressive compression should hurt at least as much as mild. On an
+    // untrained model the deltas are mostly noise, so allow generous slack;
+    // the ordering with a *trained* model is exercised by the benches.
+    EXPECT_GE(l.bit_delta.at(2), l.bit_delta.at(8) - 0.15f);
+  }
+  EXPECT_GT(prof.baseline_loss, 0.0f);
+}
+
+TEST(Sensitivity, EstimateIsAdditive) {
+  LayerSensitivity s;
+  s.bit_delta[4] = 0.2f;
+  s.prune_delta[0.5f] = 0.3f;
+  EXPECT_FLOAT_EQ(s.estimate(4, 0.5f), 0.5f);
+  EXPECT_THROW(s.estimate(3, 0.5f), std::invalid_argument);
+  EXPECT_THROW(s.estimate(4, 0.3f), std::invalid_argument);
+}
+
+TEST(Sensitivity, JointMeasurementPreferredOverAdditive) {
+  LayerSensitivity s;
+  s.bit_delta[4] = 0.2f;
+  s.prune_delta[0.5f] = 0.3f;
+  s.joint_delta[{4, 0.5f}] = 0.9f;  // interaction makes it worse than 0.5
+  EXPECT_FLOAT_EQ(s.estimate(4, 0.5f), 0.9f);
+}
+
+TEST(Sensitivity, JointProfileProbesFullGrid) {
+  Rng rng(41);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, rng)};
+
+  SensitivityConfig cfg = small_sens();
+  cfg.joint = true;
+  const SensitivityProfile prof = analyze_sensitivity(model, calib, cfg);
+  for (const LayerSensitivity& l : prof.layers) {
+    EXPECT_EQ(l.joint_delta.size(),
+              cfg.bit_candidates.size() * cfg.prune_candidates.size());
+    // Joint quant-only points equal the marginal bit measurement.
+    for (int b : cfg.bit_candidates) {
+      EXPECT_FLOAT_EQ(l.joint_delta.at({b, 0.0f}), l.bit_delta.at(b));
+    }
+  }
+  // The model is restored afterwards (no compression left behind).
+  for (nn::TransformerBlock* b : model.blocks()) {
+    EXPECT_FALSE(b->linears()[0]->quant_spec().has_value());
+  }
+}
+
+SensitivityProfile synthetic_profile(int layers) {
+  // Layer i has sensitivity proportional to (layers - i): early layers are
+  // fragile, late layers are robust (a common empirical pattern).
+  SensitivityProfile prof;
+  SensitivityConfig cands = small_sens();
+  for (int i = 0; i < layers; ++i) {
+    LayerSensitivity s;
+    s.layer = i;
+    const float scale = static_cast<float>(layers - i);
+    for (int b : cands.bit_candidates) s.bit_delta[b] = scale * (8.0f - b) * 0.1f;
+    for (float p : cands.prune_candidates) s.prune_delta[p] = scale * p * 0.2f;
+    prof.layers.push_back(std::move(s));
+  }
+  return prof;
+}
+
+TEST(Luc, BothSearchesMeetBudget) {
+  const SensitivityProfile prof = synthetic_profile(6);
+  const SensitivityConfig cands = small_sens();
+  for (auto mode : {LucConfig::Search::kGreedy, LucConfig::Search::kExactDp}) {
+    LucConfig cfg;
+    cfg.target_effective_bits = 3.0;
+    cfg.search = mode;
+    const LucPolicy p = search_luc_policy(prof, cands, cfg);
+    EXPECT_LE(p.avg_effective_bits(), 3.0 + 1e-9);
+    EXPECT_EQ(p.layers.size(), 6u);
+  }
+}
+
+TEST(Luc, DpNeverWorseThanGreedy) {
+  const SensitivityConfig cands = small_sens();
+  for (int layers : {4, 6, 9}) {
+    const SensitivityProfile prof = synthetic_profile(layers);
+    for (double budget : {2.0, 3.0, 4.0}) {
+      LucConfig g{budget, LucConfig::Search::kGreedy};
+      LucConfig d{budget, LucConfig::Search::kExactDp};
+      const LucPolicy pg = search_luc_policy(prof, cands, g);
+      const LucPolicy pd = search_luc_policy(prof, cands, d);
+      EXPECT_LE(pd.predicted_delta, pg.predicted_delta + 1e-5f)
+          << "layers=" << layers << " budget=" << budget;
+    }
+  }
+}
+
+TEST(Luc, AllocatesMoreBitsToSensitiveLayers) {
+  const SensitivityProfile prof = synthetic_profile(6);
+  LucConfig cfg;
+  cfg.target_effective_bits = 3.0;
+  cfg.search = LucConfig::Search::kExactDp;
+  const LucPolicy p = search_luc_policy(prof, cfg.search == LucConfig::Search::kExactDp
+                                                  ? small_sens()
+                                                  : small_sens(),
+                                        cfg);
+  // Layer 0 is most sensitive, layer 5 least: effective bits must not
+  // increase from fragile to robust layers on average.
+  EXPECT_GE(p.layers.front().effective_bits(), p.layers.back().effective_bits());
+}
+
+TEST(Luc, UniformPolicyRespectsBudget) {
+  const SensitivityConfig cands = small_sens();
+  const LucPolicy u = uniform_policy(5, cands, 3.0);
+  EXPECT_EQ(u.layers.size(), 5u);
+  EXPECT_LE(u.avg_effective_bits(), 3.0 + 1e-9);
+  for (size_t i = 1; i < u.layers.size(); ++i) {
+    EXPECT_EQ(u.layers[i].bits, u.layers[0].bits);
+    EXPECT_EQ(u.layers[i].sparsity, u.layers[0].sparsity);
+  }
+}
+
+TEST(Luc, ApplyPolicySetsSpecs) {
+  Rng rng(2);
+  nn::CausalLm model(tiny_config(), rng);
+  LucPolicy p;
+  p.layers = {{4, 0.5f}, {8, 0.0f}, {2, 0.3f}};
+  apply_policy(model, p);
+  auto blocks = model.blocks();
+  EXPECT_EQ(blocks[0]->linears()[0]->quant_spec()->bits, 4);
+  EXPECT_FLOAT_EQ(blocks[0]->linears()[0]->prune_spec()->sparsity, 0.5f);
+  EXPECT_EQ(blocks[1]->linears()[0]->quant_spec()->bits, 8);
+  EXPECT_FALSE(blocks[1]->linears()[0]->prune_spec().has_value());
+  EXPECT_EQ(blocks[2]->linears()[0]->quant_spec()->bits, 2);
+
+  clear_policy(model);
+  EXPECT_FALSE(blocks[0]->linears()[0]->quant_spec().has_value());
+
+  p.layers.resize(2);
+  EXPECT_THROW(apply_policy(model, p), std::invalid_argument);
+}
+
+TEST(Luc, PolicyToCompression) {
+  LucPolicy p;
+  p.layers = {{4, 0.5f}, {16, 0.0f}};
+  const auto comp = policy_to_compression(p, prune::Pattern::kRow);
+  ASSERT_EQ(comp.size(), 2u);
+  EXPECT_EQ(comp[0].weight_bits, 4);
+  EXPECT_TRUE(comp[0].structured);
+  const auto comp_u = policy_to_compression(p, prune::Pattern::kUnstructured);
+  EXPECT_FALSE(comp_u[0].structured);
+}
+
+TEST(Tuner, LossDecreasesOnEasyDomain) {
+  Rng rng(3);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  TunerConfig cfg;
+  cfg.sampling = DepthSampling::kCyclic;
+  cfg.backprop_window = 2;
+  cfg.optim.lr = 1e-2f;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(7));
+
+  Rng data_rng(11);
+  float first_losses = 0.0f, last_losses = 0.0f;
+  const int iters = 120;
+  for (int i = 0; i < iters; ++i) {
+    const auto batch = data::sample_lm_batch(domain, 4, 12, data_rng);
+    const StepStats st = tuner.step(batch);
+    if (i < 15) first_losses += st.loss;
+    if (i >= iters - 15) last_losses += st.loss;
+  }
+  EXPECT_LT(last_losses, first_losses * 0.9f);
+  EXPECT_EQ(tuner.iterations(), iters);
+}
+
+TEST(Tuner, WindowLimitsMemoryFootprint) {
+  const data::MarkovChain domain = test_domain();
+  Rng data_rng(12);
+  const auto batch = data::sample_lm_batch(domain, 4, 12, data_rng);
+
+  auto run_step = [&](TunerConfig cfg) {
+    Rng rng(4);
+    nn::CausalLm model(tiny_config(), rng);
+    AdaptiveLayerTuner tuner(model, cfg, Rng(8));
+    return tuner.step(batch);
+  };
+
+  TunerConfig narrow;
+  narrow.sampling = DepthSampling::kFinalOnly;
+  narrow.backprop_window = 1;
+  TunerConfig full = TunerConfig::vanilla();
+
+  const StepStats a = run_step(narrow);
+  const StepStats b = run_step(full);
+  EXPECT_LT(a.activation_bytes, b.activation_bytes);
+  EXPECT_LT(a.grad_bytes, b.grad_bytes);
+  EXPECT_LT(a.optimizer_state_bytes, b.optimizer_state_bytes);
+  EXPECT_EQ(a.backprop_depth, 1);
+  EXPECT_EQ(b.backprop_depth, 3);
+}
+
+TEST(Tuner, SamplingModes) {
+  Rng rng(5);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  Rng data_rng(13);
+
+  // Cyclic visits every exit in order.
+  TunerConfig cyc;
+  cyc.sampling = DepthSampling::kCyclic;
+  AdaptiveLayerTuner tuner(model, cyc, Rng(9));
+  std::vector<int64_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    seen.push_back(tuner.step(data::sample_lm_batch(domain, 2, 8, data_rng)).exit_layer);
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3, 1, 2, 3}));
+
+  // Final-only always ends at the last layer.
+  TunerConfig fin;
+  fin.sampling = DepthSampling::kFinalOnly;
+  AdaptiveLayerTuner t2(model, fin, Rng(10));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(t2.step(data::sample_lm_batch(domain, 2, 8, data_rng)).exit_layer, 3);
+  }
+
+  // Probabilities sum to one in every mode.
+  for (auto mode : {DepthSampling::kUniform, DepthSampling::kCyclic,
+                    DepthSampling::kLossWeighted, DepthSampling::kFinalOnly}) {
+    TunerConfig c;
+    c.sampling = mode;
+    AdaptiveLayerTuner t(model, c, Rng(11));
+    const auto probs = t.exit_probabilities();
+    double total = 0.0;
+    for (double p : probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Tuner, PlanConstruction) {
+  Rng rng(6);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.backprop_window = 2;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(12));
+  const nn::ForwardPlan p1 = tuner.make_plan(1);
+  EXPECT_EQ(p1.backprop_depth, 1);  // clamped to exit depth
+  const nn::ForwardPlan p3 = tuner.make_plan(3);
+  EXPECT_EQ(p3.backprop_depth, 2);
+}
+
+TEST(Voter, WeightsFormDistributionAndPreferLowLoss) {
+  Rng rng(7);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  Rng data_rng(14);
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, data_rng)};
+
+  ExitVoter voter(model, {VotingMode::kCalibratedWeight, 0.5f});
+  voter.calibrate(calib);
+  const auto& w = voter.weights();
+  double total = 0.0;
+  for (float x : w) {
+    EXPECT_GT(x, 0.0f);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+
+  // The best-calibrated exit gets the largest weight.
+  const auto& losses = voter.calib_losses();
+  const size_t best = static_cast<size_t>(
+      std::min_element(losses.begin(), losses.end()) - losses.begin());
+  for (size_t e = 0; e < w.size(); ++e) EXPECT_GE(w[best], w[e]);
+}
+
+TEST(Voter, AllModesProduceFiniteLoss) {
+  Rng rng(8);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  Rng data_rng(15);
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, data_rng)};
+  std::vector<data::LmBatch> eval = {data::sample_lm_batch(domain, 2, 8, data_rng)};
+
+  for (auto mode : {VotingMode::kBestSingle, VotingMode::kMajority,
+                    VotingMode::kCalibratedWeight, VotingMode::kEntropyAdaptive}) {
+    ExitVoter voter(model, {mode, 0.5f});
+    voter.calibrate(calib);
+    const float l = voter.voted_loss(eval);
+    EXPECT_TRUE(std::isfinite(l)) << static_cast<int>(mode);
+    EXPECT_GT(l, 0.0f);
+  }
+}
+
+TEST(Voter, ProbabilisticVoteLogitsAreLogProbs) {
+  Rng rng(9);
+  nn::CausalLm model(tiny_config(), rng);
+  ExitVoter voter(model, {VotingMode::kCalibratedWeight, 0.5f});
+  std::vector<int64_t> toks = {1, 2, 3, 4};
+  const Tensor lp = voter.vote_logits(toks, 1, 4);
+  for (int64_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (int64_t v = 0; v < model.config().vocab; ++v) {
+      s += std::exp(lp[r * model.config().vocab + v]);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-3);
+  }
+}
+
+TEST(Voter, BestSingleMatchesThatExitsLoss) {
+  Rng rng(10);
+  nn::CausalLm model(tiny_config(), rng);
+  const data::MarkovChain domain = test_domain();
+  Rng data_rng(16);
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, data_rng)};
+  std::vector<data::LmBatch> eval = {data::sample_lm_batch(domain, 2, 8, data_rng)};
+
+  ExitVoter voter(model, {VotingMode::kBestSingle, 0.5f});
+  voter.calibrate(calib);
+  const auto& losses = voter.calib_losses();
+  const size_t best = static_cast<size_t>(
+      std::min_element(losses.begin(), losses.end()) - losses.begin());
+  const float direct = data::lm_loss(model, eval, model.exit_layers()[best]);
+  EXPECT_NEAR(voter.voted_loss(eval), direct, 1e-4f);
+}
+
+}  // namespace
+}  // namespace edgellm::core

@@ -1,0 +1,203 @@
+// Synthetic-corpus and task-generation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/corpus.hpp"
+#include "data/eval.hpp"
+#include "data/tasks.hpp"
+#include "tensor/ops.hpp"
+
+namespace edgellm::data {
+namespace {
+
+MarkovChain::Config base_cfg() {
+  MarkovChain::Config cfg;
+  cfg.vocab = 32;
+  cfg.order = 2;
+  cfg.branch = 4;
+  cfg.mass = 0.85f;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Markov, DistSumsToOneAndIsDeterministic) {
+  const MarkovChain chain(base_cfg());
+  const std::vector<int64_t> ctx = {3, 7};
+  const auto d1 = chain.next_dist(ctx);
+  const auto d2 = chain.next_dist(ctx);
+  EXPECT_EQ(d1, d2);
+  double s = 0.0;
+  int preferred = 0;
+  for (float p : d1) {
+    EXPECT_GT(p, 0.0f);
+    s += p;
+    if (p > 0.1f) ++preferred;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-5);
+  EXPECT_EQ(preferred, 4);  // branch preferred tokens carry the mass
+}
+
+TEST(Markov, ShortContextIsPadded) {
+  const MarkovChain chain(base_cfg());
+  const std::vector<int64_t> short_ctx = {7};
+  const std::vector<int64_t> padded = {0, 7};
+  EXPECT_EQ(chain.next_dist(short_ctx), chain.next_dist(padded));
+}
+
+TEST(Markov, SamplingFollowsPreferredTokens) {
+  const MarkovChain chain(base_cfg());
+  Rng rng(1);
+  const auto stream = chain.sample(4000, rng);
+  ASSERT_EQ(stream.size(), 4000u);
+  // Empirically, ~85% of transitions should land on a preferred token.
+  int64_t hits = 0, total = 0;
+  for (size_t i = 2; i < stream.size(); ++i) {
+    const std::vector<int64_t> ctx = {stream[i - 2], stream[i - 1]};
+    const auto dist = chain.next_dist(ctx);
+    if (dist[static_cast<size_t>(stream[i])] > 0.1f) ++hits;
+    ++total;
+  }
+  const double frac = static_cast<double>(hits) / total;
+  EXPECT_GT(frac, 0.80);
+  EXPECT_LT(frac, 0.90);
+}
+
+TEST(Markov, EntropyRateMatchesConstruction) {
+  const MarkovChain chain(base_cfg());
+  Rng rng(2);
+  const float h = chain.entropy_rate(2000, rng);
+  // Construction: H = mass*log(branch/mass-ish) ... just sanity-band it
+  // between a delta function (0) and uniform (log vocab).
+  EXPECT_GT(h, 0.5f);
+  EXPECT_LT(h, std::log(32.0f));
+}
+
+TEST(Markov, ShiftChangesSomeRowsOnly) {
+  const MarkovChain base(base_cfg());
+  const MarkovChain shifted = base.shifted(0.5f, 999);
+  Rng rng(3);
+  int changed = 0, total = 200;
+  for (int i = 0; i < total; ++i) {
+    const std::vector<int64_t> ctx = {rng.uniform_int(0, 31), rng.uniform_int(0, 31)};
+    if (base.next_dist(ctx) != shifted.next_dist(ctx)) ++changed;
+  }
+  EXPECT_GT(changed, total / 4);      // a good fraction changed
+  EXPECT_LT(changed, 3 * total / 4);  // but not all
+  // Zero shift is identical.
+  const MarkovChain same = base.shifted(0.0f, 999);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<int64_t> ctx = {rng.uniform_int(0, 31), rng.uniform_int(0, 31)};
+    EXPECT_EQ(base.next_dist(ctx), same.next_dist(ctx));
+  }
+}
+
+TEST(Markov, ConfigValidation) {
+  auto cfg = base_cfg();
+  cfg.branch = 32;
+  EXPECT_THROW(MarkovChain{cfg}, std::invalid_argument);
+  cfg = base_cfg();
+  cfg.mass = 1.5f;
+  EXPECT_THROW(MarkovChain{cfg}, std::invalid_argument);
+  cfg = base_cfg();
+  cfg.order = 0;
+  EXPECT_THROW(MarkovChain{cfg}, std::invalid_argument);
+}
+
+TEST(Batches, TargetsAreShiftedInputs) {
+  std::vector<int64_t> stream(50);
+  for (size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<int64_t>(i);
+  const auto batches = make_lm_batches(stream, 2, 4);
+  ASSERT_FALSE(batches.empty());
+  const LmBatch& b = batches[0];
+  EXPECT_EQ(b.inputs.size(), 8u);
+  for (size_t i = 0; i < b.inputs.size(); ++i) {
+    EXPECT_EQ(b.targets[i], b.inputs[i] + 1);  // consecutive ints
+  }
+  EXPECT_THROW(make_lm_batches(std::vector<int64_t>(5, 0), 2, 4), std::invalid_argument);
+}
+
+TEST(Batches, SampleLmBatchShape) {
+  const MarkovChain chain(base_cfg());
+  Rng rng(4);
+  const LmBatch b = sample_lm_batch(chain, 3, 8, rng);
+  EXPECT_EQ(b.batch, 3);
+  EXPECT_EQ(b.seq, 8);
+  EXPECT_EQ(b.inputs.size(), 24u);
+  EXPECT_EQ(b.targets.size(), 24u);
+}
+
+TEST(Mcq, GenerationShape) {
+  const MarkovChain chain(base_cfg());
+  Rng rng(5);
+  McqConfig cfg;
+  cfg.n_items = 10;
+  cfg.n_choices = 4;
+  const auto items = make_mcq_set(chain, cfg, rng);
+  ASSERT_EQ(items.size(), 10u);
+  for (const McqItem& it : items) {
+    EXPECT_EQ(it.prompt.size(), static_cast<size_t>(cfg.prompt_len));
+    EXPECT_EQ(it.choices.size(), 4u);
+    EXPECT_GE(it.correct, 0);
+    EXPECT_LT(it.correct, 4);
+    for (const auto& c : it.choices) EXPECT_EQ(c.size(), static_cast<size_t>(cfg.cont_len));
+  }
+}
+
+// An oracle that scores with the *true* chain distributions should get high
+// MCQ accuracy — validates that the task is actually solvable.
+TEST(Mcq, OracleScoresHigh) {
+  const MarkovChain chain(base_cfg());
+  Rng rng(6);
+  McqConfig cfg;
+  cfg.n_items = 60;
+  const auto items = make_mcq_set(chain, cfg, rng);
+
+  LogitsFn oracle = [&chain](const std::vector<int64_t>& tokens, int64_t seq) {
+    Tensor logits({seq, chain.vocab()});
+    for (int64_t p = 0; p < seq; ++p) {
+      const int64_t lo = std::max<int64_t>(0, p - 1);
+      const std::vector<int64_t> ctx(tokens.begin() + lo, tokens.begin() + p + 1);
+      const auto dist = chain.next_dist(ctx);
+      for (int64_t v = 0; v < chain.vocab(); ++v) {
+        logits[p * chain.vocab() + v] = std::log(dist[static_cast<size_t>(v)] + 1e-9f);
+      }
+    }
+    return logits;
+  };
+  const float acc = mcq_accuracy(oracle, items, chain.vocab());
+  EXPECT_GT(acc, 0.85f);
+}
+
+// A uniform scorer is at chance.
+TEST(Mcq, UniformScorerNearChance) {
+  const MarkovChain chain(base_cfg());
+  Rng rng(7);
+  McqConfig cfg;
+  cfg.n_items = 80;
+  const auto items = make_mcq_set(chain, cfg, rng);
+  LogitsFn uniform = [&chain](const std::vector<int64_t>&, int64_t seq) {
+    return Tensor({seq, chain.vocab()}, 0.0f);
+  };
+  const float acc = mcq_accuracy(uniform, items, chain.vocab());
+  EXPECT_LT(acc, 0.55f);
+}
+
+TEST(Mcq, ScoreContinuationUsesOnlyContinuationTokens) {
+  const MarkovChain chain(base_cfg());
+  // Logits that strongly prefer token 1 everywhere.
+  LogitsFn fn = [&chain](const std::vector<int64_t>&, int64_t seq) {
+    Tensor logits({seq, chain.vocab()}, 0.0f);
+    for (int64_t p = 0; p < seq; ++p) logits[p * chain.vocab() + 1] = 10.0f;
+    return logits;
+  };
+  const std::vector<int64_t> prompt = {2, 3};
+  const float good = score_continuation(fn, prompt, {1, 1}, chain.vocab());
+  const float bad = score_continuation(fn, prompt, {4, 4}, chain.vocab());
+  EXPECT_GT(good, bad);
+}
+
+TEST(Eval, PerplexityIsExpLoss) { EXPECT_NEAR(perplexity(std::log(8.0f)), 8.0f, 1e-3f); }
+
+}  // namespace
+}  // namespace edgellm::data

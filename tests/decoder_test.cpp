@@ -1,0 +1,214 @@
+// KV-cached incremental decoding must agree exactly with the batched
+// forward pass, under compression too.
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "data/eval.hpp"
+#include "nn/decoder.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::nn {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab) {
+  std::vector<int64_t> t(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = (i * 5 + 2) % vocab;
+  return t;
+}
+
+TEST(Decoder, MatchesBatchedForwardAtEveryPosition) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(1);
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(10, cfg.vocab);
+
+  // Batched reference: logits for the full sequence at once.
+  const Tensor ref = model.forward_eval(toks, 1, 10, cfg.n_layers);
+
+  IncrementalDecoder dec(model);
+  dec.prime({toks[0]});
+  for (size_t i = 1; i <= toks.size(); ++i) {
+    const Tensor& inc = dec.logits();
+    for (int64_t v = 0; v < cfg.vocab; ++v) {
+      ASSERT_NEAR(inc[v], ref[(static_cast<int64_t>(i) - 1) * cfg.vocab + v], 1e-4f)
+          << "pos " << i - 1 << " vocab " << v;
+    }
+    if (i < toks.size()) dec.step(toks[i]);
+  }
+}
+
+TEST(Decoder, MatchesBatchedForwardUnderCompression) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(2);
+  CausalLm model(cfg, rng);
+  quant::QuantSpec q;
+  q.bits = 4;
+  prune::PruneSpec p;
+  p.sparsity = 0.5f;
+  for (TransformerBlock* b : model.blocks()) b->set_compression(q, p);
+
+  const auto toks = seq_tokens(8, cfg.vocab);
+  const Tensor ref = model.forward_eval(toks, 1, 8, cfg.n_layers);
+
+  IncrementalDecoder dec(model);
+  dec.prime(toks);
+  for (int64_t v = 0; v < cfg.vocab; ++v) {
+    EXPECT_NEAR(dec.logits()[v], ref[7 * cfg.vocab + v], 1e-4f);
+  }
+}
+
+TEST(Decoder, EarlyExitDecoding) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(3);
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(6, cfg.vocab);
+  const Tensor ref = model.forward_eval(toks, 1, 6, /*exit_layer=*/2);
+
+  IncrementalDecoder dec(model, /*exit_layer=*/2);
+  dec.prime(toks);
+  for (int64_t v = 0; v < cfg.vocab; ++v) {
+    EXPECT_NEAR(dec.logits()[v], ref[5 * cfg.vocab + v], 1e-4f);
+  }
+  EXPECT_THROW(IncrementalDecoder(model, 5), std::invalid_argument);  // not an exit
+}
+
+TEST(Decoder, KvCacheGrowsLinearly) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(4);
+  CausalLm model(cfg, rng);
+  IncrementalDecoder dec(model);
+  dec.prime({1});
+  const int64_t one = dec.kv_cache_bytes();
+  // K + V per layer per position.
+  EXPECT_EQ(one, cfg.n_layers * 2 * cfg.d_model * static_cast<int64_t>(sizeof(float)));
+  dec.step(2);
+  dec.step(3);
+  EXPECT_EQ(dec.kv_cache_bytes(), 3 * one);
+  EXPECT_EQ(dec.position(), 3);
+}
+
+TEST(Decoder, ContextWindowEnforced) {
+  ModelConfig cfg = tiny_config();
+  cfg.max_seq = 4;
+  Rng rng(5);
+  CausalLm model(cfg, rng);
+  IncrementalDecoder dec(model);
+  dec.prime({1, 2, 3, 4});
+  EXPECT_THROW(dec.step(5), std::invalid_argument);
+}
+
+TEST(Decoder, GreedySamplingIsArgmax) {
+  Tensor logits = Tensor::from_values({0.1f, 3.0f, -1.0f, 0.5f});
+  Rng rng(6);
+  GenerateConfig cfg;
+  cfg.temperature = 0.0f;
+  EXPECT_EQ(sample_token(logits, cfg, rng), 1);
+}
+
+TEST(Decoder, TopKRestrictsSupport) {
+  Tensor logits = Tensor::from_values({5.0f, 4.0f, -10.0f, -10.0f});
+  Rng rng(7);
+  GenerateConfig cfg;
+  cfg.temperature = 1.0f;
+  cfg.top_k = 2;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t t = sample_token(logits, cfg, rng);
+    EXPECT_TRUE(t == 0 || t == 1) << t;
+  }
+}
+
+TEST(Decoder, GenerateProducesRequestedTokens) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(8);
+  CausalLm model(cfg, rng);
+  IncrementalDecoder dec(model);
+  GenerateConfig gcfg;
+  gcfg.max_new_tokens = 5;
+  gcfg.temperature = 0.8f;
+  Rng srng(9);
+  const auto out = dec.generate({1, 2, 3}, gcfg, srng);
+  EXPECT_EQ(out.size(), 5u);
+  for (int64_t t : out) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, cfg.vocab);
+  }
+}
+
+TEST(Decoder, QuantizedKvCloseToFp) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(20);
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(10, cfg.vocab);
+
+  IncrementalDecoder fp(model, 0, /*quantize_kv=*/false);
+  IncrementalDecoder q(model, 0, /*quantize_kv=*/true);
+  fp.prime(toks);
+  q.prime(toks);
+
+  // int8 KV perturbs logits slightly; rankings should survive.
+  float max_abs = 0.0f;
+  for (int64_t v = 0; v < cfg.vocab; ++v) max_abs = std::max(max_abs, std::fabs(fp.logits()[v]));
+  for (int64_t v = 0; v < cfg.vocab; ++v) {
+    EXPECT_NEAR(q.logits()[v], fp.logits()[v], 0.05f * std::max(1.0f, max_abs)) << v;
+  }
+}
+
+TEST(Decoder, QuantizedKvUsesQuarterMemory) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(21);
+  CausalLm model(cfg, rng);
+  IncrementalDecoder fp(model, 0, false);
+  IncrementalDecoder q(model, 0, true);
+  fp.prime({1, 2, 3, 4, 5, 6, 7, 8});
+  q.prime({1, 2, 3, 4, 5, 6, 7, 8});
+  // int8 payload + one fp32 scale per vector vs fp32 payload.
+  EXPECT_LT(q.kv_cache_bytes(), fp.kv_cache_bytes() / 3);
+  EXPECT_GT(q.kv_cache_bytes(), 0);
+}
+
+// After adapting to a domain, generated continuations should follow the
+// domain's preferred transitions far more often than chance.
+TEST(Decoder, AdaptedModelGeneratesInDomain) {
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.seed = 5;
+  const data::MarkovChain domain(dc);
+
+  Rng rng(10);
+  CausalLm model(tiny_config(), rng);
+  core::TunerConfig tcfg = core::TunerConfig::vanilla();
+  tcfg.optim.lr = 1e-2f;
+  core::AdaptiveLayerTuner tuner(model, tcfg, Rng(11));
+  Rng drng(12);
+  for (int i = 0; i < 250; ++i) {
+    tuner.step(data::sample_lm_batch(domain, 4, 12, drng));
+  }
+
+  IncrementalDecoder dec(model);
+  GenerateConfig gcfg;
+  gcfg.max_new_tokens = 12;
+  gcfg.temperature = 0.7f;
+  Rng srng(13);
+
+  int64_t preferred = 0, total = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto prompt = domain.sample(4, srng);
+    std::vector<int64_t> seq = prompt;
+    const auto gen = dec.generate(prompt, gcfg, srng);
+    seq.insert(seq.end(), gen.begin(), gen.end());
+    for (size_t i = prompt.size(); i < seq.size(); ++i) {
+      const std::vector<int64_t> ctx = {seq[i - 1]};
+      if (domain.next_dist(ctx)[static_cast<size_t>(seq[i])] > 0.1f) ++preferred;
+      ++total;
+    }
+  }
+  // Chance would be branch/vocab = 12.5%; a trained model should be high.
+  EXPECT_GT(static_cast<double>(preferred) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace edgellm::nn

@@ -1,0 +1,99 @@
+// Exit self-distillation: early exits move toward the final exit's
+// predictions when the KL term is enabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tuner.hpp"
+#include "data/eval.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::core {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+data::MarkovChain domain() {
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.seed = 5;
+  return data::MarkovChain(dc);
+}
+
+// Mean KL(final exit || early exit) over a probe batch.
+float exit_divergence(nn::CausalLm& model, const data::LmBatch& b, int64_t early) {
+  const Tensor tf = model.forward_eval(b.inputs, b.batch, b.seq, model.exit_layers().back());
+  const Tensor te = model.forward_eval(b.inputs, b.batch, b.seq, early);
+  const Tensor pf = ops::softmax_lastdim(tf);
+  const Tensor le = ops::log_softmax_lastdim(te);
+  const Tensor lf = ops::log_softmax_lastdim(tf);
+  double kl = 0.0;
+  for (int64_t i = 0; i < pf.numel(); ++i) {
+    kl += static_cast<double>(pf[i]) * (lf[i] - le[i]);
+  }
+  return static_cast<float>(kl / pf.dim(0));
+}
+
+float run_and_measure(float distill_weight) {
+  Rng rng(3);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.sampling = DepthSampling::kCyclic;
+  cfg.backprop_window = 2;
+  cfg.optim.lr = 1e-2f;
+  cfg.distill_weight = distill_weight;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(7));
+  const data::MarkovChain d = domain();
+  Rng drng(11);
+  for (int i = 0; i < 90; ++i) tuner.step(data::sample_lm_batch(d, 4, 12, drng));
+  Rng probe_rng(12);
+  const auto probe = data::sample_lm_batch(d, 4, 12, probe_rng);
+  return exit_divergence(model, probe, 1);
+}
+
+TEST(Distill, PullsEarlyExitTowardFinal) {
+  const float without = run_and_measure(0.0f);
+  const float with = run_and_measure(2.0f);
+  EXPECT_LT(with, without);
+}
+
+TEST(Distill, ReportsSoftLossOnlyForEarlyExits) {
+  Rng rng(4);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.sampling = DepthSampling::kCyclic;  // exits 1, 2, 3 in order
+  cfg.backprop_window = 1;
+  cfg.optim.lr = 1e-3f;
+  cfg.distill_weight = 1.0f;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(8));
+  const data::MarkovChain d = domain();
+  Rng drng(13);
+
+  const auto s1 = tuner.step(data::sample_lm_batch(d, 2, 8, drng));  // exit 1
+  EXPECT_EQ(s1.exit_layer, 1);
+  EXPECT_GT(s1.distill_loss, 0.0f);
+  const auto s2 = tuner.step(data::sample_lm_batch(d, 2, 8, drng));  // exit 2
+  EXPECT_GT(s2.distill_loss, 0.0f);
+  const auto s3 = tuner.step(data::sample_lm_batch(d, 2, 8, drng));  // exit 3 (final)
+  EXPECT_EQ(s3.exit_layer, 3);
+  EXPECT_FLOAT_EQ(s3.distill_loss, 0.0f);
+}
+
+TEST(Distill, DisabledByDefault) {
+  Rng rng(5);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.sampling = DepthSampling::kUniform;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(9));
+  const data::MarkovChain d = domain();
+  Rng drng(14);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(tuner.step(data::sample_lm_batch(d, 2, 8, drng)).distill_loss, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace edgellm::core

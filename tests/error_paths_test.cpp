@@ -1,0 +1,167 @@
+// Error-path coverage: every public API must reject malformed input with
+// std::invalid_argument (API misuse) rather than corrupting state.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "data/eval.hpp"
+#include "data/template_lang.hpp"
+#include "hw/search.hpp"
+#include "nn/decoder.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+TEST(ErrorPaths, TensorOps) {
+  EXPECT_THROW(ops::bmm(Tensor({2, 3, 4}), Tensor({3, 4, 5})), std::invalid_argument);
+  EXPECT_THROW(ops::bmm(Tensor({2, 3}), Tensor({2, 3, 4})), std::invalid_argument);
+  EXPECT_THROW(ops::add(Tensor({2}), Tensor({3})), std::invalid_argument);
+  EXPECT_THROW(ops::add_bias(Tensor({2, 3}), Tensor({2, 2})), std::invalid_argument);
+  EXPECT_THROW(ops::mean(Tensor({0})), std::invalid_argument);
+  EXPECT_THROW(ops::transpose2d(Tensor({2, 3, 4})), std::invalid_argument);
+  EXPECT_THROW(ops::softmax_lastdim(Tensor({2, 0})), std::invalid_argument);
+}
+
+TEST(ErrorPaths, ModuleMisuse) {
+  Rng rng(1);
+  nn::Linear lin("l", 4, 4, false, rng);
+  // Backward before forward.
+  EXPECT_THROW(lin.backward(Tensor({2, 4})), std::invalid_argument);
+  // LoRA with invalid rank/alpha.
+  EXPECT_THROW(lin.enable_lora(0, 1.0f, rng), std::invalid_argument);
+  EXPECT_THROW(lin.enable_lora(8, 1.0f, rng), std::invalid_argument);
+  EXPECT_THROW(lin.enable_lora(2, 0.0f, rng), std::invalid_argument);
+  // Explicit mask must be binary and shape-matched.
+  EXPECT_THROW(lin.set_prune_mask(Tensor({4, 4}, 0.5f)), std::invalid_argument);
+  EXPECT_THROW(lin.set_prune_mask(Tensor({2, 2}, 1.0f)), std::invalid_argument);
+
+  nn::RmsNorm norm("n", 4);
+  EXPECT_THROW(norm.backward(Tensor({2, 4})), std::invalid_argument);
+  EXPECT_THROW(nn::RmsNorm("n2", 0), std::invalid_argument);
+
+  EXPECT_THROW(nn::MultiHeadAttention("a", 10, 4, rng), std::invalid_argument);
+  EXPECT_THROW(nn::Embedding("e", 0, 4, rng), std::invalid_argument);
+}
+
+TEST(ErrorPaths, ModelConfig) {
+  Rng rng(2);
+  nn::ModelConfig cfg = tiny_config();
+  cfg.n_layers = 0;
+  EXPECT_THROW(nn::CausalLm(cfg, rng), std::invalid_argument);
+  cfg = tiny_config();
+  cfg.vocab = 0;
+  EXPECT_THROW(nn::CausalLm(cfg, rng), std::invalid_argument);
+}
+
+TEST(ErrorPaths, TunerAndVoterConfig) {
+  Rng rng(3);
+  nn::CausalLm model(tiny_config(), rng);
+  core::TunerConfig bad;
+  bad.clip_norm = 0.0f;
+  EXPECT_THROW(core::AdaptiveLayerTuner(model, bad, Rng(1)), std::invalid_argument);
+  bad = core::TunerConfig{};
+  bad.loss_ema = 1.5f;
+  EXPECT_THROW(core::AdaptiveLayerTuner(model, bad, Rng(1)), std::invalid_argument);
+
+  EXPECT_THROW(core::ExitVoter(model, {core::VotingMode::kCalibratedWeight, 0.0f}),
+               std::invalid_argument);
+  core::ExitVoter voter(model, {core::VotingMode::kCalibratedWeight, 1.0f});
+  EXPECT_THROW(voter.calibrate({}), std::invalid_argument);
+  EXPECT_THROW(voter.voted_loss({}), std::invalid_argument);
+}
+
+TEST(ErrorPaths, PipelineConfig) {
+  Rng rng(4);
+  nn::CausalLm model(tiny_config(), rng);
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  const data::MarkovChain domain(dc);
+  core::PipelineConfig cfg;
+  cfg.adaptation_iters = 0;
+  EXPECT_THROW(core::run_pipeline(model, domain, cfg), std::invalid_argument);
+}
+
+TEST(ErrorPaths, HwApi) {
+  const hw::DeviceModel dev = hw::default_edge_device();
+  hw::GemmWorkload g;
+  g.m = 0;
+  g.n = 4;
+  g.k = 4;
+  hw::Schedule s;
+  EXPECT_THROW(hw::evaluate_schedule(dev, g, s, dev.sram_bytes), std::invalid_argument);
+  g.m = 4;
+  s.tile_m = 0;
+  EXPECT_THROW(hw::evaluate_schedule(dev, g, s, dev.sram_bytes), std::invalid_argument);
+
+  hw::SearchConfig empty;
+  empty.tile_candidates.clear();
+  EXPECT_THROW(hw::search_gemm(dev, g, dev.sram_bytes, empty), std::invalid_argument);
+  EXPECT_THROW(hw::schedule_iteration(dev, {}, hw::SearchConfig{}), std::invalid_argument);
+  EXPECT_THROW(hw::schedule_iteration_naive(dev, {}), std::invalid_argument);
+  EXPECT_THROW(dev.effective_mac_fraction(1.0f, false), std::invalid_argument);
+  EXPECT_THROW(dev.mac_energy_pj(1), std::invalid_argument);
+}
+
+TEST(ErrorPaths, DecoderAndData) {
+  Rng rng(5);
+  nn::CausalLm model(tiny_config(), rng);
+  nn::IncrementalDecoder dec(model);
+  EXPECT_THROW(dec.prime({}), std::invalid_argument);
+  EXPECT_THROW(dec.step(1), std::invalid_argument);  // before prime
+  dec.prime({1});
+  EXPECT_THROW(dec.step(-1), std::invalid_argument);
+  EXPECT_THROW(dec.step(1000), std::invalid_argument);
+
+  nn::GenerateConfig gcfg;
+  gcfg.max_new_tokens = 0;
+  Rng srng(6);
+  EXPECT_THROW(dec.generate({1}, gcfg, srng), std::invalid_argument);
+  EXPECT_THROW(nn::sample_token(Tensor({2, 3}), nn::GenerateConfig{}, srng),
+               std::invalid_argument);
+
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  const data::MarkovChain chain(dc);
+  Rng drng(7);
+  EXPECT_THROW(chain.sample(0, drng), std::invalid_argument);
+  EXPECT_THROW(data::make_mcq_set(chain, {.n_items = 0}, drng), std::invalid_argument);
+
+  data::TemplateLanguage::Config tc;
+  const data::TemplateLanguage lang(tc);
+  EXPECT_THROW(lang.sample(0, drng), std::invalid_argument);
+  EXPECT_THROW(lang.make_cloze_set(5, 100, drng), std::invalid_argument);
+}
+
+TEST(ErrorPaths, SensitivityAndLuc) {
+  Rng rng(8);
+  nn::CausalLm model(tiny_config(), rng);
+  core::SensitivityConfig cfg;
+  EXPECT_THROW(core::analyze_sensitivity(model, {}, cfg), std::invalid_argument);
+  cfg.bit_candidates.clear();
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  const data::MarkovChain domain(dc);
+  Rng drng(9);
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, drng)};
+  EXPECT_THROW(core::analyze_sensitivity(model, calib, cfg), std::invalid_argument);
+
+  core::SensitivityProfile empty;
+  EXPECT_THROW(core::search_luc_policy(empty, core::SensitivityConfig{}, core::LucConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(core::uniform_policy(0, core::SensitivityConfig{}, 3.0),
+               std::invalid_argument);
+  core::LucPolicy p;
+  EXPECT_THROW(p.avg_effective_bits(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgellm

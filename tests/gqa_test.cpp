@@ -1,0 +1,162 @@
+// Grouped-query attention: correctness (gradient-checked), KV-cache
+// savings, decoder agreement, workload shrinkage.
+#include <gtest/gtest.h>
+
+#include "hw/workload.hpp"
+#include "nn/decoder.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "runtime/simulator.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::nn {
+namespace {
+
+using edgellm::testing::check_param_grad;
+
+ModelConfig gqa_config() {
+  ModelConfig cfg = edgellm::testing::tiny_config();
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 2;
+  return cfg;
+}
+
+float weighted_sum(const Tensor& y, const Tensor& w) {
+  float l = 0.0f;
+  for (int64_t i = 0; i < y.numel(); ++i) l += y[i] * w[i];
+  return l;
+}
+
+TEST(Gqa, RejectsNonDividingKvHeads) {
+  Rng rng(1);
+  EXPECT_THROW(MultiHeadAttention("a", 12, 4, rng, 3), std::invalid_argument);
+}
+
+TEST(Gqa, ProjectionShapesShrink) {
+  Rng rng(2);
+  MultiHeadAttention attn("a", 16, 4, rng, 2);
+  EXPECT_EQ(attn.kv_dim(), 8);
+  EXPECT_EQ(attn.k_proj().out_features(), 8);
+  EXPECT_EQ(attn.v_proj().out_features(), 8);
+  EXPECT_EQ(attn.q_proj().out_features(), 16);
+  const Tensor y = attn.forward(Tensor({2, 3, 16}, 0.5f));
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 16}));
+}
+
+TEST(Gqa, GradCheckAllProjections) {
+  Rng rng(3);
+  MultiHeadAttention attn("a", 8, 4, rng, 2);
+  Tensor x = randn({1, 4, 8}, rng);
+  const Tensor w = randn({1, 4, 8}, rng);
+  auto loss_fn = [&] {
+    attn.clear_cache();
+    return weighted_sum(attn.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = attn.backward(w);
+  check_param_grad(attn.q_proj().weight(), loss_fn, 8);
+  check_param_grad(attn.k_proj().weight(), loss_fn, 8);
+  check_param_grad(attn.v_proj().weight(), loss_fn, 8);
+  check_param_grad(attn.out_proj().weight(), loss_fn, 8);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); i += 5) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f) << "input idx " << i;
+  }
+}
+
+TEST(Gqa, FullModelTrainsEndToEnd) {
+  Rng rng(4);
+  CausalLm model(gqa_config(), rng);
+  const std::vector<int64_t> toks = {1, 2, 3, 4, 5, 6, 7, 8};
+  const ForwardPlan plan = ForwardPlan::full(3);
+  model.zero_grad();
+  const Tensor logits = model.forward(toks, 2, 4, plan);
+  const CrossEntropyResult ce = cross_entropy(logits, toks);
+  model.backward(ce.grad_logits);
+  // K projection grads must be non-zero (GQA reduction path works).
+  for (Param* p : model.params()) {
+    if (p->name == "block0.attn.k.weight") {
+      EXPECT_EQ(p->value.shape(), (Shape{8, 16}));  // kv_dim x d_model
+      EXPECT_GT(ops::l2_norm(p->grad), 0.0f);
+    }
+  }
+}
+
+TEST(Gqa, FewerParamsThanMha) {
+  Rng rng(5);
+  CausalLm mha(edgellm::testing::tiny_config(), rng);
+  Rng rng2(5);
+  CausalLm gqa(gqa_config(), rng2);
+  EXPECT_LT(gqa.param_count(), mha.param_count());
+}
+
+TEST(Gqa, DecoderMatchesBatchedForward) {
+  Rng rng(6);
+  CausalLm model(gqa_config(), rng);
+  std::vector<int64_t> toks = {3, 1, 4, 1, 5, 9, 2, 6};
+  const Tensor ref = model.forward_eval(toks, 1, 8, 3);
+  IncrementalDecoder dec(model);
+  dec.prime(toks);
+  for (int64_t v = 0; v < model.config().vocab; ++v) {
+    EXPECT_NEAR(dec.logits()[v], ref[7 * model.config().vocab + v], 1e-4f);
+  }
+}
+
+TEST(Gqa, KvCacheHalved) {
+  Rng rng(7);
+  CausalLm mha(edgellm::testing::tiny_config(), rng);
+  Rng rng2(7);
+  CausalLm gqa(gqa_config(), rng2);
+  IncrementalDecoder dm(mha);
+  IncrementalDecoder dg(gqa);
+  dm.prime({1, 2, 3, 4});
+  dg.prime({1, 2, 3, 4});
+  EXPECT_EQ(dg.kv_cache_bytes() * 2, dm.kv_cache_bytes());
+}
+
+TEST(Gqa, WorkloadKvGemmsShrink) {
+  const ModelConfig cfg = gqa_config();
+  const hw::LayerWorkload w = hw::block_forward_workload(cfg, 0, {}, 2, 8);
+  for (const hw::GemmWorkload& g : w.gemms) {
+    if (g.name == "block0.k" || g.name == "block0.v") {
+      EXPECT_EQ(g.n, cfg.kv_dim());
+    }
+    if (g.name == "block0.q" || g.name == "block0.o") {
+      EXPECT_EQ(g.n, cfg.d_model);
+    }
+  }
+}
+
+TEST(Gqa, SimulatorParamCountMatchesModel) {
+  Rng rng(8);
+  const ModelConfig cfg = gqa_config();
+  CausalLm model(cfg, rng);
+  int64_t block0 = 0;
+  for (Param* p : model.params()) {
+    if (p->name.rfind("block0.", 0) == 0) block0 += p->numel();
+  }
+  EXPECT_DOUBLE_EQ(edgellm::runtime::block_param_count(cfg), static_cast<double>(block0));
+}
+
+TEST(Gqa, ConfigCheckpointRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/edgellm_gqa.bin";
+  Rng rng(9);
+  CausalLm a(gqa_config(), rng);
+  save_model_with_config(a, path);
+  auto b = load_model_with_config(path);
+  EXPECT_EQ(b->config().kv_heads(), 2);
+  std::vector<int64_t> toks = {1, 2, 3, 4};
+  EXPECT_TRUE(a.forward_eval(toks, 1, 4, 3).allclose(b->forward_eval(toks, 1, 4, 3), 1e-6f));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edgellm::nn

@@ -1,0 +1,295 @@
+// Hardware cost-model and schedule-search tests.
+#include <gtest/gtest.h>
+
+#include "hw/search.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::hw {
+namespace {
+
+GemmWorkload make_gemm(int64_t m, int64_t n, int64_t k, int bits = 16, float sp = 0.0f,
+                       bool structured = false) {
+  GemmWorkload g;
+  g.name = "g";
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  g.weight_bits = bits;
+  g.sparsity = sp;
+  g.structured = structured;
+  g.weights_resident_eligible = true;
+  return g;
+}
+
+TEST(Device, BitScaling) {
+  const DeviceModel dev = default_edge_device();
+  EXPECT_DOUBLE_EQ(dev.mac_throughput_scale(16), 1.0);
+  EXPECT_DOUBLE_EQ(dev.mac_throughput_scale(8), 2.0);
+  EXPECT_DOUBLE_EQ(dev.mac_throughput_scale(4), 4.0);
+  EXPECT_DOUBLE_EQ(dev.mac_throughput_scale(2), 8.0);
+  EXPECT_THROW(dev.mac_throughput_scale(1), std::invalid_argument);
+}
+
+TEST(Device, SparsitySkipping) {
+  const DeviceModel dev = default_edge_device();
+  EXPECT_DOUBLE_EQ(dev.effective_mac_fraction(0.5f, true), 0.5);
+  EXPECT_DOUBLE_EQ(dev.effective_mac_fraction(0.5f, false), 0.75);
+  EXPECT_DOUBLE_EQ(dev.effective_mac_fraction(0.0f, false), 1.0);
+}
+
+TEST(Schedule, ComputeCyclesMatchRoofline) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(64, 64, 64);
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 64;  // single tile pass
+  s.double_buffer = true;
+  const ScheduleCost c = evaluate_schedule(dev, g, s, dev.sram_bytes);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.compute_cycles, 64.0 * 64.0 * 64.0 / dev.peak_macs_per_cycle +
+                                         dev.tile_overhead_cycles);
+  EXPECT_LE(c.utilization, 1.0 + 1e-9);
+}
+
+TEST(Schedule, TileOverheadPenalisesTinyTiles) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(128, 128, 128);
+  Schedule big;
+  big.tile_m = big.tile_n = big.tile_k = 64;
+  Schedule tiny;
+  tiny.tile_m = tiny.tile_n = tiny.tile_k = 8;
+  const ScheduleCost cb = evaluate_schedule(dev, g, big, dev.sram_bytes);
+  const ScheduleCost ct = evaluate_schedule(dev, g, tiny, dev.sram_bytes);
+  ASSERT_TRUE(cb.feasible && ct.feasible);
+  // 4096 tiles at 8^3 vs 8 tiles at 64^3: the overhead gap must show.
+  EXPECT_GT(ct.compute_cycles, cb.compute_cycles * 5.0);
+}
+
+TEST(Schedule, TrafficIsAtLeastCompulsory) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(32, 48, 64);
+  for (LoopOrder o : kAllLoopOrders) {
+    Schedule s;
+    s.tile_m = s.tile_n = s.tile_k = 16;
+    s.order = o;
+    const ScheduleCost c = evaluate_schedule(dev, g, s, dev.sram_bytes);
+    ASSERT_TRUE(c.feasible);
+    const double compulsory = 32 * 64 * 2.0 + 64 * 48 * 2.0 + 32 * 48 * 2.0;
+    EXPECT_GE(c.dram_bytes, compulsory - 1e-6) << to_string(o);
+  }
+}
+
+TEST(Schedule, FullTilingReachesCompulsoryTraffic) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(16, 16, 16);
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 16;  // single tile: everything loaded once
+  s.order = LoopOrder::kMNK;
+  s.double_buffer = false;
+  const ScheduleCost c = evaluate_schedule(dev, g, s, dev.sram_bytes);
+  ASSERT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.dram_bytes, 16 * 16 * 2.0 + 16 * 16 * 2.0 + 16 * 16 * 2.0);
+}
+
+TEST(Schedule, PartialSumSpillCostsMore) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(64, 64, 256);
+  Schedule inner_k;
+  inner_k.tile_m = inner_k.tile_n = inner_k.tile_k = 16;
+  inner_k.order = LoopOrder::kMNK;  // k innermost: C resident
+  Schedule outer_k = inner_k;
+  outer_k.order = LoopOrder::kKNM;  // k outermost: C spills
+  const ScheduleCost a = evaluate_schedule(dev, g, inner_k, dev.sram_bytes);
+  const ScheduleCost b = evaluate_schedule(dev, g, outer_k, dev.sram_bytes);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_LT(a.dram_bytes, b.dram_bytes);
+}
+
+TEST(Schedule, InfeasibleWhenTilesExceedSram) {
+  DeviceModel dev = default_edge_device();
+  dev.sram_bytes = 1024.0;
+  const GemmWorkload g = make_gemm(256, 256, 256);
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 128;
+  EXPECT_FALSE(evaluate_schedule(dev, g, s, dev.sram_bytes).feasible);
+}
+
+TEST(Schedule, PinningRemovesWeightTraffic) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(64, 64, 64, /*bits=*/4);
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 32;
+  s.order = LoopOrder::kNMK;  // n outer: A reloaded, B would reload too
+  const ScheduleCost unpinned = evaluate_schedule(dev, g, s, dev.sram_bytes);
+  Schedule sp = s;
+  sp.pin_weights = true;
+  const ScheduleCost pinned = evaluate_schedule(dev, g, sp, dev.sram_bytes);
+  ASSERT_TRUE(unpinned.feasible && pinned.feasible);
+  EXPECT_LT(pinned.dram_bytes, unpinned.dram_bytes);
+  EXPECT_GT(pinned.sram_bytes_used, unpinned.sram_bytes_used);
+}
+
+TEST(Schedule, DoubleBufferOverlapsComputeAndMemory) {
+  const DeviceModel dev = default_edge_device();
+  const GemmWorkload g = make_gemm(128, 128, 128);
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 32;
+  s.double_buffer = false;
+  const ScheduleCost serial = evaluate_schedule(dev, g, s, dev.sram_bytes);
+  s.double_buffer = true;
+  const ScheduleCost overlapped = evaluate_schedule(dev, g, s, dev.sram_bytes);
+  ASSERT_TRUE(serial.feasible && overlapped.feasible);
+  EXPECT_LT(overlapped.cycles, serial.cycles);
+  EXPECT_DOUBLE_EQ(overlapped.cycles,
+                   std::max(overlapped.compute_cycles, overlapped.dram_cycles));
+  EXPECT_DOUBLE_EQ(serial.cycles, serial.compute_cycles + serial.dram_cycles);
+}
+
+// Property: fewer weight bits never slow down a fixed schedule.
+class BitLatency : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitLatency, MonotoneInBits) {
+  const DeviceModel dev = default_edge_device();
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 32;
+  double prev = 0.0;
+  for (int bits : {2, 3, 4, 8, 16}) {
+    const GemmWorkload g = make_gemm(64, 96, GetParam(), bits);
+    const ScheduleCost c = evaluate_schedule(dev, g, s, dev.sram_bytes);
+    ASSERT_TRUE(c.feasible);
+    EXPECT_GE(c.cycles, prev - 1e-9) << "bits=" << bits;
+    prev = c.cycles;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KDims, BitLatency, ::testing::Values(32, 64, 128, 256));
+
+TEST(Schedule, StructuredSparsityFasterThanUnstructured) {
+  const DeviceModel dev = default_edge_device();
+  Schedule s;
+  s.tile_m = s.tile_n = s.tile_k = 32;
+  const ScheduleCost dense =
+      evaluate_schedule(dev, make_gemm(128, 128, 128, 16, 0.0f), s, dev.sram_bytes);
+  const ScheduleCost unstruct =
+      evaluate_schedule(dev, make_gemm(128, 128, 128, 16, 0.6f, false), s, dev.sram_bytes);
+  const ScheduleCost structured =
+      evaluate_schedule(dev, make_gemm(128, 128, 128, 16, 0.6f, true), s, dev.sram_bytes);
+  EXPECT_LT(structured.compute_cycles, unstruct.compute_cycles);
+  EXPECT_LT(unstruct.compute_cycles, dense.compute_cycles);
+}
+
+TEST(Search, BeatsNaiveOnEveryGemm) {
+  const DeviceModel dev = default_edge_device();
+  const SearchConfig cfg;
+  for (const GemmWorkload& g :
+       {make_gemm(256, 64, 64), make_gemm(64, 256, 512, 4), make_gemm(33, 17, 130)}) {
+    const GemmPlan best = search_gemm(dev, g, dev.sram_bytes, cfg);
+    const ScheduleCost naive = evaluate_schedule(dev, g, naive_schedule(), dev.sram_bytes);
+    ASSERT_TRUE(best.cost.feasible);
+    EXPECT_LE(best.cost.cycles, naive.cycles);
+  }
+}
+
+TEST(Search, RespectsSramBudget) {
+  const DeviceModel dev = default_edge_device();
+  const SearchConfig cfg;
+  const GemmWorkload g = make_gemm(256, 256, 256);
+  const GemmPlan p = search_gemm(dev, g, 8 * 1024.0, cfg);
+  ASSERT_TRUE(p.cost.feasible);
+  EXPECT_LE(p.cost.sram_bytes_used, 8 * 1024.0);
+}
+
+TEST(Workload, BlockForwardGemmCount) {
+  nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  const LayerWorkload w = block_forward_workload(cfg, 0, {}, 2, 8);
+  EXPECT_EQ(w.gemms.size(), 8u);  // q,k,v,o,scores,ctx,fc1,fc2
+  // MACs: 4 * rows*c*c + 2 * rows*c*f + 2 * b*h*t*t*dh
+  const int64_t rows = 16, c = 16, f = 32;
+  const int64_t expect = 4 * rows * c * c + rows * c * f * 2 + 2 * 2 * 2 * 8 * 8 * 8;
+  EXPECT_EQ(w.total_macs(), expect);
+}
+
+TEST(Workload, BackwardRoughlyTwiceForward) {
+  nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  const LayerWorkload fwd = block_forward_workload(cfg, 0, {}, 4, 16);
+  const LayerWorkload bwd = block_backward_workload(cfg, 0, {}, 4, 16);
+  EXPECT_GT(bwd.total_macs(), 1.8 * fwd.total_macs());
+  EXPECT_LT(bwd.total_macs(), 2.2 * fwd.total_macs());
+}
+
+TEST(Workload, IterationScalesWithDepth) {
+  nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  std::vector<LayerCompression> comp(static_cast<size_t>(cfg.n_layers));
+  IterationSpec full{4, 16, cfg.n_layers, cfg.n_layers, true};
+  IterationSpec shallow{4, 16, cfg.n_layers, 1, false};
+  IterationSpec early{4, 16, 1, 1, false};
+  int64_t macs_full = 0, macs_shallow = 0, macs_early = 0;
+  for (const auto& w : training_iteration_workloads(cfg, comp, full)) macs_full += w.total_macs();
+  for (const auto& w : training_iteration_workloads(cfg, comp, shallow)) {
+    macs_shallow += w.total_macs();
+  }
+  for (const auto& w : training_iteration_workloads(cfg, comp, early)) macs_early += w.total_macs();
+  EXPECT_LT(macs_shallow, macs_full);
+  EXPECT_LT(macs_early, macs_shallow);
+}
+
+TEST(Workload, RejectsBadSpecs) {
+  nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  std::vector<LayerCompression> comp(2);  // wrong count
+  EXPECT_THROW(training_iteration_workloads(cfg, comp, {}), std::invalid_argument);
+  comp.resize(static_cast<size_t>(cfg.n_layers));
+  IterationSpec bad{4, 16, 7, 0, false};
+  EXPECT_THROW(training_iteration_workloads(cfg, comp, bad), std::invalid_argument);
+}
+
+TEST(Search, IterationPlanComposesAndPins) {
+  const DeviceModel dev = default_edge_device();
+  nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  std::vector<LayerCompression> comp(static_cast<size_t>(cfg.n_layers), {4, 0.5f, false});
+  IterationSpec iter{4, 16, cfg.n_layers, 2, false};
+  const auto workloads = training_iteration_workloads(cfg, comp, iter);
+
+  SearchConfig scfg;
+  const IterationPlan searched = schedule_iteration(dev, workloads, scfg);
+  const IterationPlan naive = schedule_iteration_naive(dev, workloads);
+  EXPECT_LT(searched.total_cycles, naive.total_cycles);
+  EXPECT_GT(searched.gemm_utilization, naive.gemm_utilization);
+  EXPECT_GT(searched.pinned_bytes, 0.0);  // tiny 4-bit weights should pin
+  EXPECT_LE(searched.pinned_bytes, scfg.pin_budget_fraction * dev.sram_bytes);
+
+  SearchConfig no_pin = scfg;
+  no_pin.allow_pinning = false;
+  const IterationPlan unpinned = schedule_iteration(dev, workloads, no_pin);
+  EXPECT_EQ(unpinned.pinned_bytes, 0.0);
+  EXPECT_LE(searched.total_cycles, unpinned.total_cycles + 1e-6);
+}
+
+TEST(Search, LucCompressionSpeedsUpIteration) {
+  const DeviceModel dev = default_edge_device();
+  // Use a model big enough that GEMMs dominate the iteration (on the tiny
+  // test config the elementwise traffic floor hides the GEMM savings).
+  nn::ModelConfig cfg;
+  cfg.vocab = 256;
+  cfg.d_model = 256;
+  cfg.n_layers = 4;
+  cfg.n_heads = 4;
+  cfg.max_seq = 64;
+  IterationSpec iter{4, 64, cfg.n_layers, cfg.n_layers, true};
+  SearchConfig scfg;
+
+  std::vector<LayerCompression> fp16(static_cast<size_t>(cfg.n_layers));
+  std::vector<LayerCompression> low(static_cast<size_t>(cfg.n_layers), {3, 0.5f, false});
+  const auto plan_fp = schedule_iteration(dev, training_iteration_workloads(cfg, fp16, iter), scfg);
+  const auto plan_low = schedule_iteration(dev, training_iteration_workloads(cfg, low, iter), scfg);
+  EXPECT_LT(plan_low.total_cycles, plan_fp.total_cycles);
+}
+
+TEST(Elementwise, PureBandwidthCost) {
+  const DeviceModel dev = default_edge_device();
+  const ScheduleCost c = elementwise_cost(dev, 1024.0);
+  EXPECT_DOUBLE_EQ(c.cycles, 1024.0 / dev.dram_bytes_per_cycle);
+  EXPECT_DOUBLE_EQ(c.energy_pj, 1024.0 * dev.dram_energy_pj_per_byte);
+  EXPECT_THROW(elementwise_cost(dev, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgellm::hw

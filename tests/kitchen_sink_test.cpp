@@ -1,0 +1,133 @@
+// Kitchen-sink integration: every feature at once — GQA + SwiGLU + LUC
+// compression + adaptive tuning with distillation, LR schedule and int8
+// optimizer + voting + int8-KV incremental decoding + checkpoint files.
+// If any two features interact badly, this is where it surfaces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/eval.hpp"
+#include "nn/decoder.hpp"
+#include "nn/serialize.hpp"
+#include "runtime/simulator.hpp"
+#include "test_util.hpp"
+
+namespace edgellm {
+namespace {
+
+nn::ModelConfig sink_config() {
+  nn::ModelConfig cfg;
+  cfg.vocab = 24;
+  cfg.d_model = 16;
+  cfg.n_layers = 4;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 2;   // GQA
+  cfg.swiglu = true;    // LLaMA-style FFN
+  cfg.d_ff = 32;
+  cfg.max_seq = 16;
+  cfg.exit_layers = {2, 4};
+  cfg.tie_exit_heads = false;  // separate heads per exit
+  return cfg;
+}
+
+TEST(KitchenSink, EverythingComposes) {
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.seed = 5;
+  const data::MarkovChain base(dc);
+  const data::MarkovChain target = base.shifted(0.5f, 77);
+
+  // 1. Pretrain the exotic architecture.
+  Rng rng(3);
+  auto model = core::pretrain_base_model(sink_config(), base, 200, 4, 12, rng);
+
+  // 2. Compress with a joint-sensitivity DP-searched LUC policy.
+  Rng crng(31);
+  std::vector<data::LmBatch> calib;
+  for (int i = 0; i < 2; ++i) calib.push_back(data::sample_lm_batch(base, 4, 12, crng));
+  core::SensitivityConfig sens;
+  sens.bit_candidates = {4, 8};
+  sens.prune_candidates = {0.0f, 0.3f};
+  sens.joint = true;
+  const auto prof = core::analyze_sensitivity(*model, calib, sens);
+  core::LucConfig luc;
+  luc.target_effective_bits = 5.0;
+  luc.search = core::LucConfig::Search::kExactDp;
+  const auto policy = core::search_luc_policy(prof, sens, luc);
+  core::apply_policy(*model, policy);
+
+  // 3. Adapt with all tuner features on.
+  core::TunerConfig t;
+  t.sampling = core::DepthSampling::kLossWeighted;
+  t.backprop_window = 2;
+  t.quantized_optimizer = true;
+  t.distill_weight = 0.5f;
+  t.warmup_iters = 5;
+  t.decay_iters = 80;
+  t.optim.lr = 1e-2f;
+  core::AdaptiveLayerTuner tuner(*model, t, Rng(7));
+  Rng drng(11);
+  Rng eval_rng(12);
+  std::vector<data::LmBatch> eval = {data::sample_lm_batch(target, 4, 12, eval_rng)};
+  const float before = data::lm_loss(*model, eval, 4);
+  for (int i = 0; i < 120; ++i) {
+    const auto st = tuner.step(data::sample_lm_batch(target, 4, 12, drng));
+    ASSERT_TRUE(std::isfinite(st.loss));
+  }
+  const float after = data::lm_loss(*model, eval, 4);
+  EXPECT_LT(after, before);
+
+  // 4. Vote.
+  std::vector<data::LmBatch> vcalib = {data::sample_lm_batch(target, 4, 12, drng)};
+  core::ExitVoter voter(*model, {core::VotingMode::kEntropyAdaptive, 0.5f});
+  voter.calibrate(vcalib);
+  EXPECT_LT(voter.voted_loss(eval), before);
+
+  // 5. Round-trip the compressed, adapted model through a checkpoint file
+  //    and decode with an int8 KV cache.
+  const std::string path = ::testing::TempDir() + "/edgellm_sink.bin";
+  nn::save_model_with_config(*model, path);
+  auto loaded = nn::load_model_with_config(path);  // masks + quant ride along
+  std::remove(path.c_str());
+
+  std::vector<int64_t> probe = {1, 2, 3, 4, 5, 6};
+  EXPECT_TRUE(model->forward_eval(probe, 1, 6, 4)
+                  .allclose(loaded->forward_eval(probe, 1, 6, 4), 1e-5f));
+
+  nn::IncrementalDecoder dec(*loaded, /*exit=*/2, /*quantize_kv=*/true);
+  nn::GenerateConfig gcfg;
+  gcfg.max_new_tokens = 6;
+  gcfg.temperature = 0.8f;
+  Rng srng(13);
+  const auto gen = dec.generate(target.sample(4, srng), gcfg, srng);
+  EXPECT_EQ(gen.size(), 6u);
+  for (int64_t tok : gen) {
+    EXPECT_GE(tok, 0);
+    EXPECT_LT(tok, 24);
+  }
+}
+
+TEST(KitchenSink, SimulatorHandlesExoticConfig) {
+  const nn::ModelConfig cfg = sink_config();
+  runtime::SimulatorConfig sim;
+  sim.batch = 4;
+  sim.seq = 8;
+  runtime::MethodSpec m;
+  m.name = "sink";
+  m.policy.layers.assign(4, core::LayerPolicy{4, 0.3f});
+  m.exits = {2, 4};
+  m.exit_probs = {0.5, 0.5};
+  m.backprop_window = 2;
+  const runtime::MethodReport rep = runtime::simulate_method(cfg, m, sim);
+  EXPECT_GT(rep.expected_cycles, 0.0);
+  EXPECT_GT(rep.peak_memory_bytes, 0.0);
+  const runtime::MethodReport vanilla =
+      runtime::simulate_method(cfg, runtime::vanilla_method(cfg), sim);
+  EXPECT_LT(rep.expected_cycles, vanilla.expected_cycles);
+}
+
+}  // namespace
+}  // namespace edgellm

@@ -1,0 +1,217 @@
+// CausalLm behaviour: exits, depth-limited backprop, plan scoping,
+// state-dict round-trips.
+#include <gtest/gtest.h>
+
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::nn {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab) {
+  std::vector<int64_t> t(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = i % vocab;
+  return t;
+}
+
+TEST(Model, ExitNormalization) {
+  Rng rng(1);
+  ModelConfig cfg = tiny_config();
+  cfg.exit_layers = {2};  // final (3) must be added automatically
+  CausalLm model(cfg, rng);
+  EXPECT_EQ(model.exit_layers(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(model.exit_index(2), 0);
+  EXPECT_EQ(model.exit_index(3), 1);
+  EXPECT_THROW(model.exit_index(1), std::invalid_argument);
+}
+
+TEST(Model, InvalidExitConfigThrows) {
+  Rng rng(1);
+  ModelConfig cfg = tiny_config();
+  cfg.exit_layers = {0};
+  EXPECT_THROW(CausalLm(cfg, rng), std::invalid_argument);
+  cfg.exit_layers = {4};
+  EXPECT_THROW(CausalLm(cfg, rng), std::invalid_argument);
+}
+
+TEST(Model, ForwardEvalMatchesTrainingForward) {
+  Rng rng(2);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(8, cfg.vocab);
+
+  for (int64_t exit_layer : model.exit_layers()) {
+    const Tensor eval = model.forward_eval(toks, 2, 4, exit_layer);
+    ForwardPlan plan{exit_layer, 1, false};
+    const Tensor train = model.forward(toks, 2, 4, plan);
+    EXPECT_TRUE(eval.allclose(train, 1e-5f)) << "exit " << exit_layer;
+    model.clear_cache();
+  }
+}
+
+TEST(Model, AllExitsMatchesPerExitEval) {
+  Rng rng(3);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(12, cfg.vocab);
+  const auto all = model.forward_all_exits(toks, 3, 4);
+  ASSERT_EQ(all.size(), model.exit_layers().size());
+  for (size_t e = 0; e < all.size(); ++e) {
+    const Tensor single = model.forward_eval(toks, 3, 4, model.exit_layers()[e]);
+    EXPECT_TRUE(all[e].allclose(single, 1e-5f));
+  }
+}
+
+TEST(Model, EvalDoesNotCache) {
+  Rng rng(4);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  (void)model.forward_eval(seq_tokens(8, cfg.vocab), 2, 4, cfg.n_layers);
+  EXPECT_EQ(model.cached_activation_bytes(), 0);
+}
+
+TEST(Model, DepthLimitedBackpropTouchesOnlyWindow) {
+  Rng rng(5);
+  const ModelConfig cfg = tiny_config();  // 3 layers, exits {1,2,3}
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(8, cfg.vocab);
+  const std::vector<int64_t> targets = seq_tokens(8, cfg.vocab);
+
+  ForwardPlan plan{/*exit=*/3, /*depth=*/1, /*emb=*/false};
+  model.zero_grad();
+  const Tensor logits = model.forward(toks, 2, 4, plan);
+  const CrossEntropyResult ce = cross_entropy(logits, targets);
+  model.backward(ce.grad_logits);
+
+  for (Param* p : model.params()) {
+    const float gnorm = ops::l2_norm(p->grad);
+    const bool in_window = p->name.rfind("block2", 0) == 0 ||
+                           p->name.rfind("exit3", 0) == 0 ||
+                           p->name.rfind("lm_head", 0) == 0;
+    if (in_window) {
+      EXPECT_GT(gnorm, 0.0f) << p->name;
+    } else {
+      EXPECT_FLOAT_EQ(gnorm, 0.0f) << p->name;
+    }
+  }
+}
+
+TEST(Model, ActivationBytesScaleWithWindow) {
+  Rng rng(6);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(16, cfg.vocab);
+
+  std::vector<int64_t> bytes;
+  for (int64_t depth : {0, 1, 2, 3}) {
+    model.clear_cache();
+    ForwardPlan plan{3, depth, false};
+    (void)model.forward(toks, 4, 4, plan);
+    bytes.push_back(model.cached_activation_bytes());
+  }
+  EXPECT_LT(bytes[0], bytes[1]);
+  EXPECT_LT(bytes[1], bytes[2]);
+  EXPECT_LT(bytes[2], bytes[3]);
+  // Block caches are identical, so increments are equal.
+  EXPECT_EQ(bytes[1] - bytes[0], bytes[2] - bytes[1]);
+}
+
+TEST(Model, PlanValidation) {
+  Rng rng(7);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(8, cfg.vocab);
+  EXPECT_THROW(model.forward(toks, 2, 4, {3, 4, false}), std::invalid_argument);
+  EXPECT_THROW(model.forward(toks, 2, 4, {3, 1, true}), std::invalid_argument);
+  EXPECT_THROW(model.forward(toks, 2, 4, {5, 1, false}), std::invalid_argument);
+  EXPECT_THROW(model.forward(toks, 2, 5, {3, 1, false}), std::invalid_argument);
+  EXPECT_THROW(model.backward(Tensor({8, cfg.vocab})), std::invalid_argument);
+}
+
+TEST(Model, ParamsForPlanScoping) {
+  Rng rng(8);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+
+  const auto window = model.params_for_plan({3, 1, false});
+  for (Param* p : window) {
+    EXPECT_TRUE(p->name.rfind("block2", 0) == 0 || p->name.rfind("exit3", 0) == 0 ||
+                p->name.rfind("lm_head", 0) == 0)
+        << p->name;
+  }
+
+  const auto full = model.params_for_plan({3, 3, true});
+  bool has_emb = false;
+  for (Param* p : full) has_emb |= p->name == "tok_emb.weight";
+  EXPECT_TRUE(has_emb);
+  EXPECT_GT(full.size(), window.size());
+}
+
+TEST(Model, StateDictRoundTrip) {
+  Rng rng(9);
+  const ModelConfig cfg = tiny_config();
+  CausalLm a(cfg, rng);
+  Rng rng2(99);
+  CausalLm b(cfg, rng2);
+  const auto toks = seq_tokens(8, cfg.vocab);
+
+  const Tensor before = a.forward_eval(toks, 2, 4, cfg.n_layers);
+  b.load_state_dict(a.state_dict());
+  const Tensor after = b.forward_eval(toks, 2, 4, cfg.n_layers);
+  EXPECT_TRUE(before.allclose(after, 1e-6f));
+
+  auto bad = a.state_dict();
+  bad.erase("pos_emb");
+  EXPECT_THROW(b.load_state_dict(bad), std::invalid_argument);
+}
+
+TEST(Model, SeparateExitHeadsOption) {
+  Rng rng(10);
+  ModelConfig cfg = tiny_config();
+  cfg.tie_exit_heads = false;
+  CausalLm model(cfg, rng);
+  // 3 exits -> 3 heads -> more params than tied.
+  Rng rng2(10);
+  ModelConfig tied = tiny_config();
+  CausalLm tied_model(tied, rng2);
+  EXPECT_GT(model.param_count(), tied_model.param_count());
+  const auto toks = seq_tokens(8, cfg.vocab);
+  EXPECT_EQ(model.forward_all_exits(toks, 2, 4).size(), 3u);
+}
+
+TEST(Model, CompressionChangesEvalButKeepsShape) {
+  Rng rng(11);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  const auto toks = seq_tokens(8, cfg.vocab);
+  const Tensor fp = model.forward_eval(toks, 2, 4, cfg.n_layers);
+
+  quant::QuantSpec q;
+  q.bits = 2;
+  for (TransformerBlock* b : model.blocks()) b->set_compression(q, std::nullopt);
+  const Tensor q2 = model.forward_eval(toks, 2, 4, cfg.n_layers);
+  EXPECT_EQ(fp.shape(), q2.shape());
+  EXPECT_FALSE(fp.allclose(q2, 1e-3f));  // 2-bit must visibly perturb outputs
+
+  for (TransformerBlock* b : model.blocks()) b->set_compression(std::nullopt, std::nullopt);
+  const Tensor restored = model.forward_eval(toks, 2, 4, cfg.n_layers);
+  EXPECT_TRUE(fp.allclose(restored, 1e-6f));
+}
+
+TEST(Model, WeightStorageShrinksUnderPolicy) {
+  Rng rng(12);
+  const ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+  const double fp = model.weight_storage_bytes();
+  quant::QuantSpec q;
+  q.bits = 4;
+  for (TransformerBlock* b : model.blocks()) b->set_compression(q, std::nullopt);
+  EXPECT_LT(model.weight_storage_bytes(), fp);
+}
+
+}  // namespace
+}  // namespace edgellm::nn

@@ -1,0 +1,285 @@
+// Finite-difference validation of every hand-written backward pass.
+#include <gtest/gtest.h>
+
+#include "nn/attention.hpp"
+#include "nn/block.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/model.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::nn {
+namespace {
+
+using edgellm::testing::check_param_grad;
+using edgellm::testing::tiny_config;
+
+// Scalar loss used for all module-level checks: weighted sum of outputs.
+float weighted_sum(const Tensor& y, const Tensor& w) {
+  float l = 0.0f;
+  for (int64_t i = 0; i < y.numel(); ++i) l += y[i] * w[i];
+  return l;
+}
+
+TEST(GradCheck, LinearWeightBiasAndInput) {
+  Rng rng(1);
+  Linear lin("lin", 5, 4, /*bias=*/true, rng);
+  Tensor x = randn({3, 5}, rng);
+  const Tensor w = randn({3, 4}, rng);
+
+  auto loss_fn = [&] {
+    lin.clear_cache();
+    return weighted_sum(lin.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = lin.backward(w);
+
+  check_param_grad(lin.weight(), loss_fn);
+  check_param_grad(lin.bias(), loss_fn);
+
+  // Input gradient by finite differences.
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f) << "input idx " << i;
+  }
+}
+
+TEST(GradCheck, LinearWithPruneMaskKeepsPrunedWeightsFixed) {
+  Rng rng(2);
+  Linear lin("lin", 6, 6, /*bias=*/false, rng);
+  prune::PruneSpec p;
+  p.sparsity = 0.5f;
+  lin.set_prune(p);
+  const Tensor mask = *lin.prune_mask();
+
+  Tensor x = randn({4, 6}, rng);
+  const Tensor w = randn({4, 6}, rng);
+  (void)lin.forward(x);
+  (void)lin.backward(w);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    if (mask[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(lin.weight().grad[i], 0.0f);
+    }
+  }
+}
+
+TEST(GradCheck, LinearWithQuantUsesSte) {
+  // The straight-through estimator is *defined* to ignore the quantizer in
+  // the weight-gradient path: dW must equal the uncompressed layer's dW,
+  // while dX must be computed through the quantized weight.
+  Rng rng(3);
+  Linear lin("lin", 4, 4, /*bias=*/false, rng);
+  Linear ref("ref", 4, 4, /*bias=*/false, rng);
+  ref.weight().value = lin.weight().value;
+
+  quant::QuantSpec q;
+  q.bits = 4;
+  lin.set_quant(q);
+
+  Tensor x = randn({2, 4}, rng);
+  const Tensor go = randn({2, 4}, rng);
+  (void)lin.forward(x);
+  (void)ref.forward(x);
+  const Tensor gx_q = lin.backward(go);
+  (void)ref.backward(go);
+
+  // (a) STE: weight grads identical to the fp layer.
+  EXPECT_TRUE(lin.weight().grad.allclose(ref.weight().grad, 1e-6f));
+
+  // (b) dX flows through the quantized weight: g * W_q.
+  const Tensor expected_gx = ops::matmul(go, lin.effective_weight());
+  EXPECT_TRUE(gx_q.allclose(expected_gx, 1e-6f));
+}
+
+TEST(GradCheck, LinearLoraParams) {
+  Rng rng(4);
+  Linear lin("lin", 6, 5, /*bias=*/false, rng);
+  lin.enable_lora(2, 4.0f, rng);
+  // Give B nonzero values so A receives gradient signal.
+  for (int64_t i = 0; i < lin.lora_b().value.numel(); ++i) {
+    lin.lora_b().value[i] = rng.normal(0.0f, 0.1f);
+  }
+  Tensor x = randn({3, 6}, rng);
+  const Tensor w = randn({3, 5}, rng);
+  auto loss_fn = [&] {
+    lin.clear_cache();
+    return weighted_sum(lin.forward(x), w);
+  };
+  loss_fn();
+  (void)lin.backward(w);
+  check_param_grad(lin.lora_a(), loss_fn);
+  check_param_grad(lin.lora_b(), loss_fn);
+  check_param_grad(lin.weight(), loss_fn);
+}
+
+TEST(GradCheck, RmsNorm) {
+  Rng rng(5);
+  RmsNorm norm("n", 6);
+  for (int64_t i = 0; i < 6; ++i) norm.gain().value[i] = rng.normal(1.0f, 0.2f);
+  Tensor x = randn({4, 6}, rng);
+  const Tensor w = randn({4, 6}, rng);
+  auto loss_fn = [&] {
+    norm.clear_cache();
+    return weighted_sum(norm.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = norm.backward(w);
+  check_param_grad(norm.gain(), loss_fn);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f) << "input idx " << i;
+  }
+}
+
+TEST(GradCheck, MlpParamsAndInput) {
+  Rng rng(6);
+  Mlp mlp("mlp", 4, 8, rng);
+  Tensor x = randn({3, 4}, rng);
+  const Tensor w = randn({3, 4}, rng);
+  auto loss_fn = [&] {
+    mlp.clear_cache();
+    return weighted_sum(mlp.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = mlp.backward(w);
+  check_param_grad(mlp.fc1().weight(), loss_fn);
+  check_param_grad(mlp.fc2().weight(), loss_fn);
+  check_param_grad(mlp.fc1().bias(), loss_fn);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f);
+  }
+}
+
+TEST(GradCheck, AttentionParamsAndInput) {
+  Rng rng(7);
+  MultiHeadAttention attn("attn", 8, 2, rng);
+  Tensor x = randn({2, 3, 8}, rng);
+  const Tensor w = randn({2, 3, 8}, rng);
+  auto loss_fn = [&] {
+    attn.clear_cache();
+    return weighted_sum(attn.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = attn.backward(w);
+  check_param_grad(attn.q_proj().weight(), loss_fn, 8);
+  check_param_grad(attn.k_proj().weight(), loss_fn, 8);
+  check_param_grad(attn.v_proj().weight(), loss_fn, 8);
+  check_param_grad(attn.out_proj().weight(), loss_fn, 8);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); i += 5) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f) << "input idx " << i;
+  }
+}
+
+TEST(GradCheck, TransformerBlock) {
+  Rng rng(8);
+  TransformerBlock block("b", 8, 2, 16, rng);
+  Tensor x = randn({1, 4, 8}, rng);
+  const Tensor w = randn({1, 4, 8}, rng);
+  auto loss_fn = [&] {
+    block.clear_cache();
+    return weighted_sum(block.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = block.backward(w);
+  check_param_grad(block.attention().q_proj().weight(), loss_fn, 6);
+  check_param_grad(block.mlp().fc1().weight(), loss_fn, 6);
+  check_param_grad(block.norm1().gain(), loss_fn, 6);
+  check_param_grad(block.norm2().gain(), loss_fn, 6);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); i += 7) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f);
+  }
+}
+
+TEST(GradCheck, CrossEntropyGradient) {
+  Rng rng(9);
+  Tensor logits = randn({4, 6}, rng);
+  const std::vector<int64_t> targets = {1, 5, kIgnoreIndex, 0};
+  const CrossEntropyResult ce = cross_entropy(logits, targets);
+  EXPECT_EQ(ce.counted, 3);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + h;
+    const float lp = cross_entropy_loss_only(logits, targets);
+    logits[i] = orig - h;
+    const float lm = cross_entropy_loss_only(logits, targets);
+    logits[i] = orig;
+    EXPECT_NEAR(ce.grad_logits[i], (lp - lm) / (2 * h), 1e-3f);
+  }
+  // Ignored row contributes zero gradient.
+  for (int64_t v = 0; v < 6; ++v) EXPECT_FLOAT_EQ(ce.grad_logits[2 * 6 + v], 0.0f);
+}
+
+TEST(GradCheck, FullModelEndToEnd) {
+  Rng rng(10);
+  nn::ModelConfig cfg = tiny_config();
+  CausalLm model(cfg, rng);
+
+  const std::vector<int64_t> tokens = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int64_t> targets = {2, 3, 4, 5, 6, 7, 8, 9};
+  const ForwardPlan plan = ForwardPlan::full(cfg.n_layers);
+
+  auto loss_fn = [&] {
+    model.clear_cache();
+    const Tensor logits = model.forward(tokens, 2, 4, plan);
+    return cross_entropy_loss_only(logits, targets);
+  };
+
+  model.zero_grad();
+  const Tensor logits = model.forward(tokens, 2, 4, plan);
+  const CrossEntropyResult ce = cross_entropy(logits, targets);
+  model.backward(ce.grad_logits);
+
+  // Spot-check a parameter in every region of the network.
+  for (Param* p : model.params()) {
+    if (p->name == "tok_emb.weight" || p->name == "pos_emb" ||
+        p->name == "block0.attn.q.weight" || p->name == "block2.mlp.fc2.weight" ||
+        p->name == "exit3.norm.gain" || p->name == "lm_head.weight") {
+      check_param_grad(*p, loss_fn, 6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace edgellm::nn

@@ -1,0 +1,169 @@
+// Packed integer weights and checkpoint serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "nn/serialize.hpp"
+#include "quant/packed.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "test_util.hpp"
+
+namespace edgellm {
+namespace {
+
+TEST(Packed, DequantizeMatchesFakeQuant8) {
+  Rng rng(1);
+  const Tensor w = randn({16, 24}, rng);
+  const quant::PackedMatrix p = quant::PackedMatrix::pack(w, 8);
+  quant::QuantSpec spec;
+  spec.bits = 8;
+  spec.granularity = quant::Granularity::kPerRow;
+  EXPECT_TRUE(p.dequantize().allclose(quant::fake_quant(w, spec), 1e-6f));
+}
+
+TEST(Packed, DequantizeMatchesFakeQuant4) {
+  Rng rng(2);
+  const Tensor w = randn({8, 33}, rng);  // odd cols exercises nibble packing
+  const quant::PackedMatrix p = quant::PackedMatrix::pack(w, 4);
+  quant::QuantSpec spec;
+  spec.bits = 4;
+  spec.granularity = quant::Granularity::kPerRow;
+  EXPECT_TRUE(p.dequantize().allclose(quant::fake_quant(w, spec), 1e-6f));
+}
+
+TEST(Packed, StorageIsActuallySmall) {
+  const Tensor w({64, 64}, 1.0f);
+  const quant::PackedMatrix p8 = quant::PackedMatrix::pack(w, 8);
+  const quant::PackedMatrix p4 = quant::PackedMatrix::pack(w, 4);
+  EXPECT_EQ(p8.storage_bytes(), 64 * 64 + 64 * 4);
+  EXPECT_EQ(p4.storage_bytes(), 64 * 32 + 64 * 4);
+  EXPECT_THROW(quant::PackedMatrix::pack(w, 3), std::invalid_argument);
+}
+
+// Property: the int-accumulating GEMM equals fp GEMM against the
+// dequantized matrix, across shapes and bit-widths.
+class PackedGemm : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PackedGemm, MatchesDequantizedReference) {
+  const auto [m, k, n, bits] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 97 + k * 13 + n + bits));
+  const Tensor x = randn({m, k}, rng);
+  const Tensor w = randn({n, k}, rng);
+  const quant::PackedMatrix p = quant::PackedMatrix::pack(w, bits);
+  const Tensor got = quant::packed_matmul_nt(x, p);
+  const Tensor ref = ops::matmul_nt(x, p.dequantize());
+  EXPECT_TRUE(got.allclose(ref, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBits, PackedGemm,
+    ::testing::Values(std::make_tuple(1, 8, 8, 8), std::make_tuple(4, 16, 12, 8),
+                      std::make_tuple(7, 33, 5, 4), std::make_tuple(16, 64, 64, 4),
+                      std::make_tuple(3, 9, 17, 8), std::make_tuple(2, 31, 31, 4)));
+
+TEST(Packed, NibbleValuesRoundTrip) {
+  Tensor w({1, 4}, std::vector<float>{-7.0f, -1.0f, 0.0f, 7.0f});
+  const quant::PackedMatrix p = quant::PackedMatrix::pack(w, 4);
+  EXPECT_EQ(p.value_at(0, 0), -7);
+  EXPECT_EQ(p.value_at(0, 1), -1);
+  EXPECT_EQ(p.value_at(0, 2), 0);
+  EXPECT_EQ(p.value_at(0, 3), 7);
+}
+
+TEST(Serialize, ModelRoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/edgellm_ckpt.bin";
+  const nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  Rng rng_a(3);
+  nn::CausalLm a(cfg, rng_a);
+  nn::save_model(a, path);
+
+  Rng rng_b(99);
+  nn::CausalLm b(cfg, rng_b);
+  nn::load_model(b, path);
+
+  std::vector<int64_t> toks = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(a.forward_eval(toks, 2, 4, cfg.n_layers)
+                  .allclose(b.forward_eval(toks, 2, 4, cfg.n_layers), 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, DetectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/edgellm_bad.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a checkpoint at all";
+  }
+  EXPECT_THROW(nn::load_state_dict_file(path), std::runtime_error);
+  EXPECT_THROW(nn::load_state_dict_file("/nonexistent/dir/x.bin"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncationDetected) {
+  const std::string good = ::testing::TempDir() + "/edgellm_good.bin";
+  const std::string trunc = ::testing::TempDir() + "/edgellm_trunc.bin";
+  std::map<std::string, Tensor> state;
+  Rng rng(4);
+  state.emplace("w", randn({8, 8}, rng));
+  nn::save_state_dict(state, good);
+
+  // Copy all but the last 16 bytes.
+  std::ifstream is(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  std::ofstream os(trunc, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 16));
+  os.close();
+
+  EXPECT_THROW(nn::load_state_dict_file(trunc), std::runtime_error);
+  std::remove(good.c_str());
+  std::remove(trunc.c_str());
+}
+
+TEST(Serialize, ConfigCarryingCheckpointRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/edgellm_cfg_ckpt.bin";
+  nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  cfg.tie_exit_heads = false;
+  Rng rng(7);
+  nn::CausalLm a(cfg, rng);
+  nn::save_model_with_config(a, path);
+
+  auto b = nn::load_model_with_config(path);
+  EXPECT_EQ(b->config().vocab, cfg.vocab);
+  EXPECT_EQ(b->config().d_model, cfg.d_model);
+  EXPECT_EQ(b->config().n_layers, cfg.n_layers);
+  EXPECT_EQ(b->config().exit_layers, a.exit_layers());
+  EXPECT_EQ(b->config().tie_exit_heads, cfg.tie_exit_heads);
+
+  std::vector<int64_t> toks = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(a.forward_eval(toks, 2, 4, cfg.n_layers)
+                  .allclose(b->forward_eval(toks, 2, 4, cfg.n_layers), 1e-6f));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, PlainCheckpointLacksConfig) {
+  const std::string path = ::testing::TempDir() + "/edgellm_plain_ckpt.bin";
+  Rng rng(8);
+  nn::CausalLm a(edgellm::testing::tiny_config(), rng);
+  nn::save_model(a, path);
+  EXPECT_THROW(nn::load_model_with_config(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, PreservesShapesAndNames) {
+  const std::string path = ::testing::TempDir() + "/edgellm_sd.bin";
+  std::map<std::string, Tensor> state;
+  Rng rng(5);
+  state.emplace("a.weight", randn({3, 5}, rng));
+  state.emplace("b.bias", randn({7}, rng));
+  nn::save_state_dict(state, path);
+  const auto loaded = nn::load_state_dict_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.at("a.weight").equals(state.at("a.weight")));
+  EXPECT_TRUE(loaded.at("b.bias").equals(state.at("b.bias")));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edgellm

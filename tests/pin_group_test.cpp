@@ -1,0 +1,47 @@
+// Weight-pinning group accounting: forward and dX GEMMs of the same layer
+// (including the LM head) must share one pinned-byte allocation.
+#include <gtest/gtest.h>
+
+#include "hw/search.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::hw {
+namespace {
+
+TEST(PinGroups, ForwardAndDxShareResidency) {
+  // Tiny GQA+SwiGLU model: every weight fits, so everything eligible pins
+  // and the pinned total must equal the sum over DISTINCT weight tensors.
+  nn::ModelConfig cfg;
+  cfg.vocab = 64;
+  cfg.d_model = 32;
+  cfg.n_layers = 2;
+  cfg.n_heads = 4;
+  cfg.n_kv_heads = 2;
+  cfg.swiglu = true;
+  cfg.max_seq = 32;
+  std::vector<LayerCompression> comp(2, {4, 0.5f, true});
+  IterationSpec iter{4, 16, 2, 2, false, false};
+  const auto workloads = training_iteration_workloads(cfg, comp, iter);
+
+  const DeviceModel dev = default_edge_device();
+  const IterationPlan plan = schedule_iteration(dev, workloads, SearchConfig{});
+
+  // Distinct per-block weights at 4-bit row-pruned-50% (structured => half
+  // the dense bytes): q 256 + k 128 + v 128 + o 256 + 3x fc 1024, x2 blocks,
+  // plus the fp16 head (vocab x d_model x 2 bytes) once.
+  const double block_bytes = 256 + 128 + 128 + 256 + 3 * 1024;
+  const double head_bytes = 64.0 * 32.0 * 2.0;
+  EXPECT_DOUBLE_EQ(plan.pinned_bytes, 2 * block_bytes + head_bytes);
+
+  // Both the head forward and head dX GEMMs run pinned.
+  int pinned_head_gemms = 0;
+  for (const LayerPlan& lp : plan.layers) {
+    for (const GemmPlan& gp : lp.gemms) {
+      if (gp.gemm.name.rfind("head", 0) == 0 && gp.schedule.pin_weights) ++pinned_head_gemms;
+    }
+  }
+  EXPECT_EQ(pinned_head_gemms, 2);
+}
+
+}  // namespace
+}  // namespace edgellm::hw

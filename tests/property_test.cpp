@@ -1,0 +1,316 @@
+// Cross-module property sweeps (parameterized gtest): invariants that must
+// hold across the whole configuration space, not just hand-picked points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/luc.hpp"
+#include "core/voting.hpp"
+#include "data/corpus.hpp"
+#include "hw/search.hpp"
+#include "quant/quant.hpp"
+#include "test_util.hpp"
+
+namespace edgellm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schedule cost model invariants across the whole (order, tile, db) space.
+// ---------------------------------------------------------------------------
+
+struct GemmShape {
+  int64_t m, n, k;
+  int bits;
+  float sparsity;
+};
+
+class ScheduleInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleInvariants, HoldForAllSchedules) {
+  static const GemmShape shapes[] = {
+      {64, 64, 64, 16, 0.0f},  {128, 32, 96, 8, 0.0f},  {17, 33, 65, 4, 0.5f},
+      {256, 256, 64, 2, 0.7f}, {8, 512, 128, 16, 0.3f},
+  };
+  const GemmShape& sh = shapes[GetParam()];
+  hw::GemmWorkload g;
+  g.name = "g";
+  g.m = sh.m;
+  g.n = sh.n;
+  g.k = sh.k;
+  g.weight_bits = sh.bits;
+  g.sparsity = sh.sparsity;
+  g.weights_resident_eligible = true;
+  const hw::DeviceModel dev = hw::default_edge_device();
+
+  // Compulsory traffic: read A once in its stored form + write C once.
+  const double compulsory_a = static_cast<double>(sh.m) * sh.k * 2.0;
+  const double compulsory_c = static_cast<double>(sh.m) * sh.n * 2.0;
+
+  for (hw::LoopOrder order : hw::kAllLoopOrders) {
+    for (int64_t tile : {8, 16, 64}) {
+      for (bool db : {false, true}) {
+        hw::Schedule s;
+        s.tile_m = s.tile_n = s.tile_k = tile;
+        s.order = order;
+        s.double_buffer = db;
+        const hw::ScheduleCost c = hw::evaluate_schedule(dev, g, s, dev.sram_bytes);
+        if (!c.feasible) continue;
+        EXPECT_GE(c.dram_bytes, compulsory_a + compulsory_c - 1e-6)
+            << hw::to_string(order) << " tile " << tile;
+        EXPECT_LE(c.utilization, 1.0 + 1e-9);
+        EXPECT_GE(c.cycles, c.compute_cycles - 1e-9);
+        EXPECT_GE(c.cycles, db ? c.dram_cycles - 1e-9 : 0.0);
+        EXPECT_GT(c.energy_pj, 0.0);
+        // Double buffering can only help latency at equal tiles/order.
+        if (db) {
+          hw::Schedule serial = s;
+          serial.double_buffer = false;
+          const hw::ScheduleCost cs = hw::evaluate_schedule(dev, g, serial, dev.sram_bytes);
+          if (cs.feasible) {
+            EXPECT_LE(c.cycles, cs.cycles + 1e-9);
+          }
+        }
+        // Pinning can only reduce DRAM traffic.
+        hw::Schedule pinned = s;
+        pinned.pin_weights = true;
+        const hw::ScheduleCost cp = hw::evaluate_schedule(dev, g, pinned, dev.sram_bytes);
+        if (cp.feasible) {
+          EXPECT_LE(cp.dram_bytes, c.dram_bytes + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScheduleInvariants, ::testing::Range(0, 5));
+
+TEST(ScheduleInvariants, SearchedNeverWorseThanAnyFixedPoint) {
+  const hw::DeviceModel dev = hw::default_edge_device();
+  const hw::SearchConfig cfg;
+  hw::GemmWorkload g;
+  g.name = "g";
+  g.m = 96;
+  g.n = 160;
+  g.k = 48;
+  const hw::GemmPlan best = hw::search_gemm(dev, g, dev.sram_bytes, cfg);
+  for (hw::LoopOrder order : hw::kAllLoopOrders) {
+    hw::Schedule s;
+    s.tile_m = s.tile_n = s.tile_k = 32;
+    s.order = order;
+    const hw::ScheduleCost c = hw::evaluate_schedule(dev, g, s, dev.sram_bytes);
+    if (c.feasible) {
+      EXPECT_LE(best.cost.cycles, c.cycles + 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Weight storage format properties.
+// ---------------------------------------------------------------------------
+
+class WeightBytes : public ::testing::TestWithParam<std::tuple<int, float>> {};
+
+TEST_P(WeightBytes, TrafficScaleConsistent) {
+  const auto [bits, sparsity] = GetParam();
+  hw::GemmWorkload g;
+  g.m = 32;
+  g.n = 64;
+  g.k = 128;
+  g.weight_bits = bits;
+  g.sparsity = sparsity;
+  for (bool structured : {false, true}) {
+    g.structured = structured;
+    const double dense = 64.0 * 128.0 * bits / 8.0;
+    EXPECT_LE(g.weight_bytes(), dense + 1e-9);
+    EXPECT_LE(g.weight_traffic_scale(), 1.0 + 1e-9);
+    EXPECT_GT(g.weight_traffic_scale(), 0.0);
+    if (structured && sparsity > 0.0f) {
+      EXPECT_NEAR(g.weight_bytes(), dense * (1.0 - sparsity), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsAndSparsity, WeightBytes,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                                            ::testing::Values(0.0f, 0.3f, 0.5f, 0.9f)));
+
+// ---------------------------------------------------------------------------
+// LUC budget sweep: feasibility and monotonicity of the predicted loss.
+// ---------------------------------------------------------------------------
+
+core::SensitivityProfile sweep_profile() {
+  core::SensitivityProfile prof;
+  for (int i = 0; i < 8; ++i) {
+    core::LayerSensitivity s;
+    s.layer = i;
+    const float scale = 0.1f + 0.4f * static_cast<float>((i * 37) % 5);
+    for (int b : {2, 4, 8}) s.bit_delta[b] = scale * (8.0f - b);
+    for (float p : {0.0f, 0.5f}) s.prune_delta[p] = scale * p;
+    prof.layers.push_back(std::move(s));
+  }
+  return prof;
+}
+
+class LucBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LucBudgetSweep, MeetsBudgetAndDpDominatesGreedy) {
+  const double budget = GetParam();
+  core::SensitivityConfig cands;
+  cands.bit_candidates = {2, 4, 8};
+  cands.prune_candidates = {0.0f, 0.5f};
+  const core::SensitivityProfile prof = sweep_profile();
+
+  const core::LucPolicy pg =
+      core::search_luc_policy(prof, cands, {budget, core::LucConfig::Search::kGreedy});
+  const core::LucPolicy pd =
+      core::search_luc_policy(prof, cands, {budget, core::LucConfig::Search::kExactDp});
+  EXPECT_LE(pg.avg_effective_bits(), budget + 1e-9);
+  EXPECT_LE(pd.avg_effective_bits(), budget + 1e-9);
+  EXPECT_LE(pd.predicted_delta, pg.predicted_delta + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, LucBudgetSweep,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0));
+
+TEST(LucBudgetSweep, PredictedDeltaMonotoneInBudget) {
+  core::SensitivityConfig cands;
+  cands.bit_candidates = {2, 4, 8};
+  cands.prune_candidates = {0.0f, 0.5f};
+  const core::SensitivityProfile prof = sweep_profile();
+  float prev = 1e9f;
+  for (double budget : {1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    const core::LucPolicy p =
+        core::search_luc_policy(prof, cands, {budget, core::LucConfig::Search::kExactDp});
+    EXPECT_LE(p.predicted_delta, prev + 1e-5f) << "budget " << budget;
+    prev = p.predicted_delta;
+  }
+}
+
+TEST(LucBudgetSweep, UnreachableBudgetThrows) {
+  core::SensitivityConfig cands;
+  cands.bit_candidates = {4, 8};
+  cands.prune_candidates = {0.0f};
+  const core::SensitivityProfile prof = sweep_profile();
+  EXPECT_THROW(
+      core::search_luc_policy(prof, cands, {1.0, core::LucConfig::Search::kGreedy}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::search_luc_policy(prof, cands, {1.0, core::LucConfig::Search::kExactDp}),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Voter sweep across modes and temperatures.
+// ---------------------------------------------------------------------------
+
+class VoterSweep
+    : public ::testing::TestWithParam<std::tuple<core::VotingMode, float>> {};
+
+TEST_P(VoterSweep, WellFormedAcrossConfigs) {
+  const auto [mode, temp] = GetParam();
+  Rng rng(17);
+  nn::CausalLm model(edgellm::testing::tiny_config(), rng);
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.seed = 7;
+  const data::MarkovChain domain(dc);
+  Rng drng(18);
+  std::vector<data::LmBatch> calib = {data::sample_lm_batch(domain, 2, 8, drng)};
+  std::vector<data::LmBatch> eval = {data::sample_lm_batch(domain, 2, 8, drng)};
+
+  core::ExitVoter voter(model, {mode, temp});
+  voter.calibrate(calib);
+  double total = 0.0;
+  for (float w : voter.weights()) {
+    EXPECT_GE(w, 0.0f);
+    total += w;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+  const float loss = voter.voted_loss(eval);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndTemps, VoterSweep,
+    ::testing::Combine(::testing::Values(core::VotingMode::kBestSingle,
+                                         core::VotingMode::kMajority,
+                                         core::VotingMode::kCalibratedWeight,
+                                         core::VotingMode::kEntropyAdaptive),
+                       ::testing::Values(0.1f, 0.5f, 2.0f)));
+
+// ---------------------------------------------------------------------------
+// Markov chain sweep across vocab sizes and orders.
+// ---------------------------------------------------------------------------
+
+class MarkovSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MarkovSweep, DistributionsWellFormed) {
+  const auto [vocab, order] = GetParam();
+  data::MarkovChain::Config cfg;
+  cfg.vocab = vocab;
+  cfg.order = order;
+  cfg.branch = 3;
+  cfg.mass = 0.8f;
+  cfg.seed = 23;
+  const data::MarkovChain chain(cfg);
+
+  Rng rng(24);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int64_t> ctx;
+    for (int i = 0; i < order; ++i) ctx.push_back(rng.uniform_int(0, vocab - 1));
+    const auto dist = chain.next_dist(ctx);
+    ASSERT_EQ(static_cast<int>(dist.size()), vocab);
+    double total = 0.0;
+    for (float p : dist) {
+      EXPECT_GT(p, 0.0f);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+    EXPECT_EQ(dist, chain.next_dist(ctx));  // deterministic
+  }
+  const auto stream = chain.sample(100, rng);
+  EXPECT_EQ(stream.size(), 100u);
+  for (int64_t t : stream) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, vocab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VocabAndOrder, MarkovSweep,
+                         ::testing::Combine(::testing::Values(8, 32, 128),
+                                            ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------------
+// Fake-quant idempotence across the full spec space.
+// ---------------------------------------------------------------------------
+
+class QuantIdempotence
+    : public ::testing::TestWithParam<std::tuple<int, quant::Granularity, bool>> {};
+
+TEST_P(QuantIdempotence, DoubleQuantIsIdentity) {
+  const auto [bits, gran, symmetric] = GetParam();
+  Rng rng(31);
+  const Tensor w = randn({12, 20}, rng);
+  quant::QuantSpec spec;
+  spec.bits = bits;
+  spec.granularity = gran;
+  spec.symmetric = symmetric;
+  spec.group_size = 8;
+  const Tensor once = quant::fake_quant(w, spec);
+  const Tensor twice = quant::fake_quant(once, spec);
+  EXPECT_TRUE(once.allclose(twice, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, QuantIdempotence,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(quant::Granularity::kPerTensor,
+                                         quant::Granularity::kPerRow,
+                                         quant::Granularity::kGrouped),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace edgellm

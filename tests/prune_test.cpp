@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prune/prune.hpp"
+#include "tensor/rng.hpp"
+
+namespace edgellm::prune {
+namespace {
+
+TEST(Prune, SpecValidation) {
+  PruneSpec s;
+  s.sparsity = 1.0f;
+  EXPECT_THROW(validate_spec(s), std::invalid_argument);
+  s.sparsity = -0.1f;
+  EXPECT_THROW(validate_spec(s), std::invalid_argument);
+  s.sparsity = 0.5f;
+  s.pattern = Pattern::kNM;
+  s.n = 5;
+  s.m = 4;
+  EXPECT_THROW(validate_spec(s), std::invalid_argument);
+}
+
+TEST(Prune, ZeroSparsityKeepsEverything) {
+  Rng rng(1);
+  const Tensor w = randn({8, 8}, rng);
+  PruneSpec s;
+  s.sparsity = 0.0f;
+  const Tensor mask = magnitude_mask(w, s);
+  EXPECT_FLOAT_EQ(measured_sparsity(mask), 0.0f);
+}
+
+// Property: unstructured masks hit the requested sparsity exactly (floor).
+class UnstructuredSparsity : public ::testing::TestWithParam<float> {};
+
+TEST_P(UnstructuredSparsity, ExactCount) {
+  Rng rng(2);
+  const Tensor w = randn({10, 10}, rng);
+  PruneSpec s;
+  s.sparsity = GetParam();
+  const Tensor mask = magnitude_mask(w, s);
+  // The implementation floors floor(double(sparsity) * numel).
+  const float expected =
+      static_cast<float>(std::floor(static_cast<double>(GetParam()) * 100.0)) / 100.0f;
+  EXPECT_FLOAT_EQ(measured_sparsity(mask), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, UnstructuredSparsity,
+                         ::testing::Values(0.1f, 0.25f, 0.333f, 0.5f, 0.7f, 0.9f));
+
+TEST(Prune, MagnitudeOrderRespected) {
+  Tensor w({1, 6}, std::vector<float>{0.1f, -5.0f, 0.2f, 3.0f, -0.05f, 1.0f});
+  PruneSpec s;
+  s.sparsity = 0.5f;  // drop 3 smallest |w|: 0.05, 0.1, 0.2
+  const Tensor mask = magnitude_mask(w, s);
+  EXPECT_FLOAT_EQ(mask[0], 0.0f);
+  EXPECT_FLOAT_EQ(mask[1], 1.0f);
+  EXPECT_FLOAT_EQ(mask[2], 0.0f);
+  EXPECT_FLOAT_EQ(mask[3], 1.0f);
+  EXPECT_FLOAT_EQ(mask[4], 0.0f);
+  EXPECT_FLOAT_EQ(mask[5], 1.0f);
+}
+
+TEST(Prune, RowPatternRemovesWholeRows) {
+  Rng rng(3);
+  Tensor w = randn({8, 4}, rng);
+  // Make rows 2 and 5 tiny so they are pruned first.
+  for (int c = 0; c < 4; ++c) {
+    w.at(2, c) = 1e-4f;
+    w.at(5, c) = -1e-4f;
+  }
+  PruneSpec s;
+  s.sparsity = 0.25f;
+  s.pattern = Pattern::kRow;
+  const Tensor mask = magnitude_mask(w, s);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(mask.at(2, c), 0.0f);
+    EXPECT_FLOAT_EQ(mask.at(5, c), 0.0f);
+  }
+  EXPECT_FLOAT_EQ(measured_sparsity(mask), 0.25f);
+}
+
+TEST(Prune, ColumnPatternRemovesWholeColumns) {
+  Rng rng(4);
+  Tensor w = randn({4, 8}, rng);
+  for (int r = 0; r < 4; ++r) w.at(r, 6) = 1e-5f;
+  PruneSpec s;
+  s.sparsity = 0.125f;
+  s.pattern = Pattern::kColumn;
+  const Tensor mask = magnitude_mask(w, s);
+  for (int r = 0; r < 4; ++r) EXPECT_FLOAT_EQ(mask.at(r, 6), 0.0f);
+}
+
+// Property: N:M masks keep exactly n of every m elements.
+class NmPattern : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(NmPattern, KeepsNPerGroup) {
+  const auto [n, m] = GetParam();
+  Rng rng(5);
+  const Tensor w = randn({4, 16}, rng);
+  PruneSpec s;
+  s.pattern = Pattern::kNM;
+  s.n = n;
+  s.m = m;
+  const Tensor mask = magnitude_mask(w, s);
+  for (int64_t start = 0; start + m <= w.numel(); start += m) {
+    int kept = 0;
+    for (int i = 0; i < m; ++i) kept += mask[start + i] != 0.0f ? 1 : 0;
+    EXPECT_EQ(kept, n);
+  }
+  EXPECT_NEAR(s.effective_sparsity(), 1.0f - static_cast<float>(n) / m, 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, NmPattern,
+                         ::testing::Values(std::make_pair(2, 4), std::make_pair(1, 4),
+                                           std::make_pair(4, 8), std::make_pair(1, 2)));
+
+TEST(Prune, NmKeepsLargestMagnitudes) {
+  Tensor w({1, 4}, std::vector<float>{0.1f, -9.0f, 4.0f, 0.2f});
+  PruneSpec s;
+  s.pattern = Pattern::kNM;
+  s.n = 2;
+  s.m = 4;
+  const Tensor mask = magnitude_mask(w, s);
+  EXPECT_FLOAT_EQ(mask[0], 0.0f);
+  EXPECT_FLOAT_EQ(mask[1], 1.0f);
+  EXPECT_FLOAT_EQ(mask[2], 1.0f);
+  EXPECT_FLOAT_EQ(mask[3], 0.0f);
+}
+
+TEST(Prune, ApplyMaskZeroesWeights) {
+  Rng rng(6);
+  const Tensor w = randn({6, 6}, rng);
+  PruneSpec s;
+  s.sparsity = 0.5f;
+  const Tensor mask = magnitude_mask(w, s);
+  const Tensor pruned = apply_mask(w, mask);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    if (mask[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(pruned[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(pruned[i], w[i]);
+    }
+  }
+  EXPECT_THROW(apply_mask(w, Tensor({2, 2})), std::invalid_argument);
+}
+
+TEST(Prune, SparseStorageBytes) {
+  Tensor mask({4, 4}, 1.0f);
+  mask[0] = mask[5] = 0.0f;  // 14 kept
+  EXPECT_DOUBLE_EQ(sparse_storage_bytes(mask, 4), 14.0 * (0.5 + 1.0));
+  EXPECT_DOUBLE_EQ(sparse_storage_bytes(mask, 16), 14.0 * 3.0);
+  EXPECT_THROW(sparse_storage_bytes(mask, 1), std::invalid_argument);
+}
+
+TEST(Prune, RowPatternRejects1d) {
+  PruneSpec s;
+  s.sparsity = 0.5f;
+  s.pattern = Pattern::kRow;
+  EXPECT_THROW(magnitude_mask(Tensor({8}, 1.0f), s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgellm::prune

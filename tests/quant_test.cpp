@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quant.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace edgellm::quant {
+namespace {
+
+TEST(Quant, SpecValidation) {
+  QuantSpec s;
+  s.bits = 1;
+  EXPECT_THROW(validate_spec(s), std::invalid_argument);
+  s.bits = 17;
+  EXPECT_THROW(validate_spec(s), std::invalid_argument);
+  s.bits = 4;
+  s.granularity = Granularity::kGrouped;
+  s.group_size = 0;
+  EXPECT_THROW(validate_spec(s), std::invalid_argument);
+}
+
+TEST(Quant, RoundTripBoundedError) {
+  Rng rng(1);
+  const Tensor w = randn({16, 32}, rng);
+  QuantSpec s;
+  s.bits = 8;
+  s.granularity = Granularity::kPerRow;
+  const Tensor deq = fake_quant(w, s);
+  // Symmetric b-bit error is bounded by scale/2 = maxabs / (2^(b-1)-1) / 2.
+  for (int64_t r = 0; r < 16; ++r) {
+    float maxabs = 0.0f;
+    for (int64_t c = 0; c < 32; ++c) maxabs = std::max(maxabs, std::fabs(w[r * 32 + c]));
+    const float bound = maxabs / 127.0f * 0.5f + 1e-6f;
+    for (int64_t c = 0; c < 32; ++c) {
+      EXPECT_LE(std::fabs(deq[r * 32 + c] - w[r * 32 + c]), bound);
+    }
+  }
+}
+
+TEST(Quant, ZeroTensorSurvives) {
+  const Tensor w({4, 4}, 0.0f);
+  QuantSpec s;
+  s.bits = 4;
+  const Tensor deq = fake_quant(w, s);
+  for (int64_t i = 0; i < deq.numel(); ++i) EXPECT_FLOAT_EQ(deq[i], 0.0f);
+}
+
+TEST(Quant, IdempotentOnQuantizedValues) {
+  Rng rng(2);
+  const Tensor w = randn({8, 8}, rng);
+  QuantSpec s;
+  s.bits = 4;
+  const Tensor once = fake_quant(w, s);
+  const Tensor twice = fake_quant(once, s);
+  EXPECT_TRUE(once.allclose(twice, 1e-5f));
+}
+
+// Property: more bits never increase MSE (same granularity).
+class BitsMonotone : public ::testing::TestWithParam<std::tuple<int, Granularity>> {};
+
+TEST_P(BitsMonotone, MseDecreasesWithBits) {
+  const auto [seed, gran] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const Tensor w = randn({12, 24}, rng);
+  float prev = 1e9f;
+  for (int bits : {2, 3, 4, 6, 8, 12}) {
+    QuantSpec s;
+    s.bits = bits;
+    s.granularity = gran;
+    const float m = quant_mse(w, s);
+    EXPECT_LE(m, prev + 1e-9f) << "bits=" << bits;
+    prev = m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndGranularities, BitsMonotone,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(Granularity::kPerTensor, Granularity::kPerRow,
+                                         Granularity::kGrouped)));
+
+TEST(Quant, FinerGranularityHelpsOutlierRows) {
+  Rng rng(3);
+  Tensor w = randn({8, 16}, rng);
+  // Give one row a huge outlier: per-tensor scaling must get much worse.
+  w.at(3, 5) = 80.0f;
+  QuantSpec per_tensor;
+  per_tensor.bits = 4;
+  per_tensor.granularity = Granularity::kPerTensor;
+  QuantSpec per_row = per_tensor;
+  per_row.granularity = Granularity::kPerRow;
+  EXPECT_LT(quant_mse(w, per_row), quant_mse(w, per_tensor));
+}
+
+TEST(Quant, GroupedBeatsPerRowOnIntraRowOutliers) {
+  Rng rng(4);
+  Tensor w = randn({4, 64}, rng);
+  for (int r = 0; r < 4; ++r) w.at(r, 0) = 40.0f;  // one outlier per row
+  QuantSpec row;
+  row.bits = 3;
+  row.granularity = Granularity::kPerRow;
+  QuantSpec grouped = row;
+  grouped.granularity = Granularity::kGrouped;
+  grouped.group_size = 16;
+  EXPECT_LT(quant_mse(w, grouped), quant_mse(w, row));
+}
+
+TEST(Quant, AsymmetricHelpsSkewedData) {
+  Rng rng(5);
+  Tensor w({4, 32});
+  for (int64_t i = 0; i < w.numel(); ++i) w[i] = rng.uniform(0.0f, 1.0f);  // all positive
+  QuantSpec sym;
+  sym.bits = 3;
+  sym.symmetric = true;
+  QuantSpec asym = sym;
+  asym.symmetric = false;
+  EXPECT_LT(quant_mse(w, asym), quant_mse(w, sym));
+}
+
+TEST(Quant, AsymmetricRepresentsZeroExactly) {
+  Tensor w({1, 6}, std::vector<float>{0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+  QuantSpec s;
+  s.bits = 3;
+  s.symmetric = false;
+  const Tensor deq = fake_quant(w, s);
+  EXPECT_NEAR(deq[0], 0.0f, 1e-6f);
+}
+
+TEST(Quant, StorageBytesAccounting) {
+  const Tensor w({16, 64});
+  QuantSpec s;
+  s.bits = 4;
+  s.granularity = Granularity::kPerRow;
+  // payload 16*64*4/8 = 512 bytes + 16 fp16 scales = 32 bytes.
+  EXPECT_DOUBLE_EQ(storage_bytes(w, s), 512.0 + 32.0);
+  EXPECT_DOUBLE_EQ(fp16_storage_bytes(w), 2048.0);
+
+  s.granularity = Granularity::kGrouped;
+  s.group_size = 16;
+  // 64 groups of 16 -> 4 per row * 16 rows = 64 scales.
+  EXPECT_DOUBLE_EQ(storage_bytes(w, s), 512.0 + 2.0 * 64.0);
+
+  s.symmetric = false;
+  EXPECT_DOUBLE_EQ(storage_bytes(w, s), 512.0 + 4.0 * 64.0);
+}
+
+TEST(Quant, SqnrIncreasesWithBits) {
+  Rng rng(6);
+  const Tensor w = randn({32, 32}, rng);
+  QuantSpec s;
+  float prev = -1.0f;
+  for (int bits : {2, 4, 8}) {
+    s.bits = bits;
+    const float db = quant_sqnr_db(w, s);
+    EXPECT_GT(db, prev);
+    prev = db;
+  }
+  EXPECT_GT(prev, 30.0f);  // 8-bit per-row should be comfortably clean
+}
+
+TEST(Quant, PayloadBitsReported) {
+  Rng rng(7);
+  const Tensor w = randn({8, 8}, rng);
+  QuantSpec s;
+  s.bits = 3;
+  const QuantResult r = quantize_dequantize(w, s);
+  EXPECT_EQ(r.payload_bits, 64 * 3);
+  EXPECT_EQ(static_cast<int64_t>(r.scales.size()), 8);
+  EXPECT_TRUE(r.zero_points.empty());
+}
+
+TEST(Quant, EmptyTensorThrows) {
+  const Tensor w({0, 4});
+  QuantSpec s;
+  EXPECT_THROW(quantize_dequantize(w, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgellm::quant

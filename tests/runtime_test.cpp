@@ -1,0 +1,179 @@
+// Runtime simulator tests, including cross-validation of the analytic
+// memory model against the real modules' measured caching.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "data/eval.hpp"
+#include "runtime/simulator.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::runtime {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+TEST(Simulator, AnalyticActivationBytesMatchMeasured) {
+  Rng rng(1);
+  const nn::ModelConfig cfg = tiny_config();
+  nn::CausalLm model(cfg, rng);
+  const int64_t batch = 4, seq = 8;
+  std::vector<int64_t> toks(static_cast<size_t>(batch * seq));
+  for (size_t i = 0; i < toks.size(); ++i) toks[i] = static_cast<int64_t>(i) % cfg.vocab;
+
+  for (int64_t depth : {1, 2, 3}) {
+    model.clear_cache();
+    (void)model.forward(toks, batch, seq, {cfg.n_layers, depth, false});
+    const int64_t measured = model.cached_activation_bytes();
+    // depth blocks + exit head/norm caches.
+    const double analytic = static_cast<double>(depth) * block_activation_bytes(cfg, batch, seq);
+    // Analytic block bytes must match measured block increments exactly.
+    if (depth > 1) {
+      model.clear_cache();
+      (void)model.forward(toks, batch, seq, {cfg.n_layers, depth - 1, false});
+      const int64_t measured_prev = model.cached_activation_bytes();
+      EXPECT_DOUBLE_EQ(static_cast<double>(measured - measured_prev),
+                       block_activation_bytes(cfg, batch, seq));
+    }
+    EXPECT_GT(static_cast<double>(measured), analytic * 0.9);
+    EXPECT_LT(static_cast<double>(measured), analytic * 1.3);
+  }
+}
+
+TEST(Simulator, BlockParamCountMatchesModel) {
+  Rng rng(2);
+  const nn::ModelConfig cfg = tiny_config();
+  nn::CausalLm model(cfg, rng);
+  int64_t block0 = 0;
+  for (nn::Param* p : model.params()) {
+    if (p->name.rfind("block0.", 0) == 0) block0 += p->numel();
+  }
+  EXPECT_DOUBLE_EQ(block_param_count(cfg), static_cast<double>(block0));
+}
+
+TEST(Simulator, VanillaMethodSpec) {
+  const nn::ModelConfig cfg = tiny_config();
+  const MethodSpec m = vanilla_method(cfg);
+  EXPECT_EQ(m.exits, (std::vector<int64_t>{cfg.n_layers}));
+  EXPECT_EQ(m.policy.layers.size(), static_cast<size_t>(cfg.n_layers));
+  EXPECT_EQ(m.policy.layers[0].bits, 16);
+}
+
+MethodSpec edge_llm_method(const nn::ModelConfig& cfg) {
+  MethodSpec m;
+  m.name = "edge-llm";
+  m.policy.layers.assign(static_cast<size_t>(cfg.n_layers), core::LayerPolicy{4, 0.5f});
+  m.exits = {1, 2, 3};
+  m.exit_probs = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  m.backprop_window = 1;
+  return m;
+}
+
+TEST(Simulator, EdgeLlmFasterAndSmallerThanVanilla) {
+  const nn::ModelConfig cfg = tiny_config();
+  SimulatorConfig sim;
+  sim.batch = 4;
+  sim.seq = 8;
+
+  const MethodReport vanilla = simulate_method(cfg, vanilla_method(cfg), sim);
+  const MethodReport edge = simulate_method(cfg, edge_llm_method(cfg), sim);
+
+  EXPECT_LT(edge.expected_cycles, vanilla.expected_cycles);
+  EXPECT_LT(edge.peak_memory_bytes, vanilla.peak_memory_bytes);
+  EXPECT_LT(edge.weight_bytes, vanilla.weight_bytes);
+  EXPECT_LT(edge.peak_activation_bytes, vanilla.peak_activation_bytes);
+  EXPECT_GT(vanilla.expected_cycles / edge.expected_cycles, 1.5);
+}
+
+TEST(Simulator, ScheduleModesAreOrdered) {
+  const nn::ModelConfig cfg = tiny_config();
+  const MethodSpec m = vanilla_method(cfg);
+  SimulatorConfig sim;
+  sim.schedule_mode = ScheduleMode::kSearched;
+  const MethodReport searched = simulate_method(cfg, m, sim);
+  sim.schedule_mode = ScheduleMode::kDefault;
+  const MethodReport deflt = simulate_method(cfg, m, sim);
+  sim.schedule_mode = ScheduleMode::kNaive;
+  const MethodReport naive = simulate_method(cfg, m, sim);
+  EXPECT_LE(searched.expected_cycles, deflt.expected_cycles);
+  EXPECT_LT(deflt.expected_cycles, naive.expected_cycles);
+  EXPECT_GE(searched.utilization, deflt.utilization);
+}
+
+TEST(Simulator, RejectsMalformedSpecs) {
+  const nn::ModelConfig cfg = tiny_config();
+  SimulatorConfig sim;
+  MethodSpec m = vanilla_method(cfg);
+  m.exit_probs = {0.5};  // doesn't sum to 1
+  EXPECT_THROW(simulate_method(cfg, m, sim), std::invalid_argument);
+  m = vanilla_method(cfg);
+  m.policy.layers.resize(1);
+  EXPECT_THROW(simulate_method(cfg, m, sim), std::invalid_argument);
+}
+
+TEST(Simulator, ProjectsPaperScaleModels) {
+  // A LLaMA-7B-shaped config must simulate fine without allocating weights.
+  nn::ModelConfig cfg;
+  cfg.vocab = 32000;
+  cfg.d_model = 4096;
+  cfg.n_layers = 32;
+  cfg.n_heads = 32;
+  cfg.d_ff = 11008;
+  cfg.max_seq = 2048;
+  cfg.swiglu = true;
+  SimulatorConfig sim;
+  sim.batch = 1;
+  sim.seq = 512;
+
+  MethodSpec edge;
+  edge.name = "edge-llm-7b";
+  edge.policy.layers.assign(32, core::LayerPolicy{4, 0.5f});
+  edge.exits = {8, 16, 24, 32};
+  edge.exit_probs = {0.25, 0.25, 0.25, 0.25};
+  edge.backprop_window = 4;
+
+  const MethodReport vanilla = simulate_method(cfg, vanilla_method(cfg), sim);
+  const MethodReport e = simulate_method(cfg, edge, sim);
+  EXPECT_GT(vanilla.expected_cycles / e.expected_cycles, 2.0);
+  // Vanilla 7B adaptation needs tens of GB; Edge-LLM should be far below.
+  EXPECT_GT(vanilla.peak_memory_bytes, 30.0e9);
+  EXPECT_LT(e.peak_memory_bytes, vanilla.peak_memory_bytes / 4.0);
+}
+
+TEST(Pipeline, EndToEndImprovesOverUnadapted) {
+  Rng rng(3);
+  data::MarkovChain::Config dcfg;
+  dcfg.vocab = 24;
+  dcfg.order = 1;
+  dcfg.branch = 3;
+  dcfg.seed = 21;
+  const data::MarkovChain base_domain(dcfg);
+  const data::MarkovChain target = base_domain.shifted(0.6f, 77);
+
+  auto model = core::pretrain_base_model(tiny_config(), base_domain, 250, 4, 12, rng);
+
+  // Pre-adaptation loss on the shifted domain.
+  Rng eval_rng(31);
+  std::vector<data::LmBatch> eval_set;
+  for (int i = 0; i < 4; ++i) eval_set.push_back(data::sample_lm_batch(target, 4, 12, eval_rng));
+  const float before = data::lm_loss(*model, eval_set, model->config().n_layers);
+
+  core::PipelineConfig pcfg;
+  pcfg.adaptation_iters = 120;
+  pcfg.batch = 4;
+  pcfg.seq = 12;
+  pcfg.luc.target_effective_bits = 6.0;
+  pcfg.tuner.optim.lr = 1e-2f;
+  pcfg.sensitivity.bit_candidates = {4, 8};
+  pcfg.sensitivity.prune_candidates = {0.0f, 0.3f};
+  const core::PipelineResult res = core::run_pipeline(*model, target, pcfg);
+
+  EXPECT_LT(res.voted_loss, before);
+  EXPECT_GT(res.mcq_accuracy, 0.3f);
+  EXPECT_EQ(res.loss_curve.size(), 120u);
+  EXPECT_GT(res.peak_activation_bytes, 0);
+  EXPECT_GT(res.model_storage_bytes, 0.0);
+  EXPECT_LE(res.policy.avg_effective_bits(), 6.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace edgellm::runtime

@@ -1,0 +1,85 @@
+// Learning-rate schedule behaviour in the tuner.
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "data/eval.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::core {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+
+TEST(LrSchedule, ConstantByDefault) {
+  Rng rng(1);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.optim.lr = 0.01f;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(2));
+  EXPECT_FLOAT_EQ(tuner.scheduled_lr(0), 0.01f);
+  EXPECT_FLOAT_EQ(tuner.scheduled_lr(1000), 0.01f);
+}
+
+TEST(LrSchedule, LinearWarmup) {
+  Rng rng(2);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.optim.lr = 0.01f;
+  cfg.warmup_iters = 10;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(2));
+  EXPECT_FLOAT_EQ(tuner.scheduled_lr(0), 0.001f);
+  EXPECT_FLOAT_EQ(tuner.scheduled_lr(4), 0.005f);
+  EXPECT_FLOAT_EQ(tuner.scheduled_lr(9), 0.01f);
+  EXPECT_FLOAT_EQ(tuner.scheduled_lr(50), 0.01f);  // no decay configured
+}
+
+TEST(LrSchedule, CosineDecayToFloor) {
+  Rng rng(3);
+  nn::CausalLm model(tiny_config(), rng);
+  TunerConfig cfg;
+  cfg.optim.lr = 0.01f;
+  cfg.warmup_iters = 5;
+  cfg.decay_iters = 20;
+  cfg.min_lr_fraction = 0.1f;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(2));
+  // At the start of decay: full lr. Half way: midpoint. End: floor.
+  EXPECT_NEAR(tuner.scheduled_lr(5), 0.01f, 1e-6f);
+  EXPECT_NEAR(tuner.scheduled_lr(15), 0.5f * (0.01f + 0.001f), 1e-5f);
+  EXPECT_NEAR(tuner.scheduled_lr(25), 0.001f, 1e-6f);
+  EXPECT_NEAR(tuner.scheduled_lr(500), 0.001f, 1e-6f);  // clamps at floor
+
+  // Monotone non-increasing through the decay phase.
+  float prev = 1.0f;
+  for (int64_t i = 5; i <= 25; ++i) {
+    const float lr = tuner.scheduled_lr(i);
+    EXPECT_LE(lr, prev + 1e-7f);
+    prev = lr;
+  }
+}
+
+TEST(LrSchedule, AppliedDuringTraining) {
+  Rng rng(4);
+  nn::CausalLm model(tiny_config(), rng);
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.seed = 5;
+  const data::MarkovChain domain(dc);
+
+  TunerConfig cfg;
+  cfg.optim.lr = 0.01f;
+  cfg.warmup_iters = 4;
+  cfg.decay_iters = 16;
+  AdaptiveLayerTuner tuner(model, cfg, Rng(2));
+  Rng drng(6);
+  for (int i = 0; i < 25; ++i) {
+    tuner.step(data::sample_lm_batch(domain, 2, 8, drng));
+    // The optimizer's live lr must track the schedule at the step taken.
+    EXPECT_FLOAT_EQ(tuner.optimizer().lr(), tuner.scheduled_lr(i));
+  }
+}
+
+}  // namespace
+}  // namespace edgellm::core

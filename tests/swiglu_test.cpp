@@ -1,0 +1,164 @@
+// SwiGLU MLP variant: gradient-checked, integrated through the model, the
+// simulator and serialization.
+#include <gtest/gtest.h>
+
+#include "core/tuner.hpp"
+#include "data/eval.hpp"
+#include "hw/workload.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "runtime/simulator.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::nn {
+namespace {
+
+ModelConfig swiglu_config() {
+  ModelConfig cfg = edgellm::testing::tiny_config();
+  cfg.swiglu = true;
+  return cfg;
+}
+
+float weighted_sum(const Tensor& y, const Tensor& w) {
+  float l = 0.0f;
+  for (int64_t i = 0; i < y.numel(); ++i) l += y[i] * w[i];
+  return l;
+}
+
+TEST(SwiGlu, HasThreeBiaslessLinears) {
+  Rng rng(1);
+  Mlp mlp("m", 8, 16, rng, MlpKind::kSwiGlu);
+  EXPECT_EQ(mlp.linears().size(), 3u);
+  for (Linear* lin : mlp.linears()) EXPECT_FALSE(lin->has_bias());
+  Rng rng2(1);
+  Mlp gelu("g", 8, 16, rng2, MlpKind::kGelu);
+  EXPECT_EQ(gelu.linears().size(), 2u);
+}
+
+TEST(SwiGlu, ForwardMatchesManualComputation) {
+  Rng rng(2);
+  Mlp mlp("m", 4, 6, rng, MlpKind::kSwiGlu);
+  mlp.set_grad_enabled(false);
+  const Tensor x = randn({3, 4}, rng);
+  const Tensor g = mlp.fc1().forward(x);
+  const Tensor u = mlp.fc3().forward(x);
+  const Tensor expected = mlp.fc2().forward(ops::mul(ops::silu(g), u));
+  EXPECT_TRUE(mlp.forward(x).allclose(expected, 1e-5f));
+}
+
+TEST(SwiGlu, GradCheckAllThreeMatricesAndInput) {
+  Rng rng(3);
+  Mlp mlp("m", 4, 8, rng, MlpKind::kSwiGlu);
+  Tensor x = randn({3, 4}, rng);
+  const Tensor w = randn({3, 4}, rng);
+  auto loss_fn = [&] {
+    mlp.clear_cache();
+    return weighted_sum(mlp.forward(x), w);
+  };
+  loss_fn();
+  const Tensor gx = mlp.backward(w);
+  edgellm::testing::check_param_grad(mlp.fc1().weight(), loss_fn);
+  edgellm::testing::check_param_grad(mlp.fc2().weight(), loss_fn);
+  edgellm::testing::check_param_grad(mlp.fc3().weight(), loss_fn);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = loss_fn();
+    x[i] = orig - h;
+    const float lm = loss_fn();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 2e-2f);
+  }
+}
+
+TEST(SwiGlu, ModelTrainsEndToEnd) {
+  const ModelConfig cfg = swiglu_config();
+  Rng rng(4);
+  CausalLm model(cfg, rng);
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.seed = 5;
+  const data::MarkovChain domain(dc);
+
+  core::TunerConfig t = core::TunerConfig::vanilla();
+  t.optim.lr = 1e-2f;
+  core::AdaptiveLayerTuner tuner(model, t, Rng(6));
+  Rng drng(7);
+  float first = 0, last = 0;
+  for (int i = 0; i < 120; ++i) {
+    const auto st = tuner.step(data::sample_lm_batch(domain, 4, 12, drng));
+    if (i < 12) first += st.loss;
+    if (i >= 108) last += st.loss;
+  }
+  EXPECT_LT(last, first * 0.9f);
+}
+
+TEST(SwiGlu, CompressionAppliesToAllSevenLinears) {
+  Rng rng(5);
+  CausalLm model(swiglu_config(), rng);
+  quant::QuantSpec q;
+  q.bits = 4;
+  for (TransformerBlock* b : model.blocks()) {
+    EXPECT_EQ(b->linears().size(), 7u);
+    b->set_compression(q, std::nullopt);
+    for (Linear* lin : b->linears()) EXPECT_EQ(lin->quant_spec()->bits, 4);
+  }
+}
+
+TEST(SwiGlu, SimulatorParamAndActivationModelsMatch) {
+  const ModelConfig cfg = swiglu_config();
+  Rng rng(6);
+  CausalLm model(cfg, rng);
+  int64_t block0 = 0;
+  for (Param* p : model.params()) {
+    if (p->name.rfind("block0.", 0) == 0) block0 += p->numel();
+  }
+  EXPECT_DOUBLE_EQ(runtime::block_param_count(cfg), static_cast<double>(block0));
+
+  const int64_t batch = 2, seq = 8;
+  std::vector<int64_t> toks(static_cast<size_t>(batch * seq), 1);
+  model.clear_cache();
+  (void)model.forward(toks, batch, seq, {cfg.n_layers, 1, false});
+  const int64_t one = model.cached_activation_bytes();
+  model.clear_cache();
+  (void)model.forward(toks, batch, seq, {cfg.n_layers, 2, false});
+  const int64_t two = model.cached_activation_bytes();
+  EXPECT_DOUBLE_EQ(runtime::block_activation_bytes(cfg, batch, seq),
+                   static_cast<double>(two - one));
+}
+
+TEST(SwiGlu, WorkloadHasThreeMlpGemms) {
+  const ModelConfig cfg = swiglu_config();
+  const hw::LayerWorkload fwd = hw::block_forward_workload(cfg, 0, {}, 2, 8);
+  int mlp_gemms = 0;
+  for (const auto& g : fwd.gemms) {
+    if (g.name.find(".fc") != std::string::npos) ++mlp_gemms;
+  }
+  EXPECT_EQ(mlp_gemms, 3);
+  const hw::LayerWorkload bwd = hw::block_backward_workload(cfg, 0, {}, 2, 8);
+  int mlp_bwd = 0;
+  for (const auto& g : bwd.gemms) {
+    if (g.name.find(".fc") != std::string::npos) ++mlp_bwd;
+  }
+  EXPECT_EQ(mlp_bwd, 6);  // dx + dw for each of 3
+}
+
+TEST(SwiGlu, ConfigCheckpointRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/edgellm_swiglu.bin";
+  Rng rng(7);
+  CausalLm a(swiglu_config(), rng);
+  save_model_with_config(a, path);
+  auto b = load_model_with_config(path);
+  EXPECT_TRUE(b->config().swiglu);
+  std::vector<int64_t> toks = {1, 2, 3, 4};
+  EXPECT_TRUE(a.forward_eval(toks, 1, 4, 3).allclose(b->forward_eval(toks, 1, 4, 3), 1e-6f));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edgellm::nn

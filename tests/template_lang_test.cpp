@@ -1,0 +1,203 @@
+// Template-language corpus tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tuner.hpp"
+#include "data/eval.hpp"
+#include "data/template_lang.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::data {
+namespace {
+
+TemplateLanguage::Config base_cfg() {
+  TemplateLanguage::Config cfg;
+  cfg.n_subjects = 6;
+  cfg.n_verbs = 6;
+  cfg.n_objects = 8;
+  cfg.n_modifiers = 3;
+  cfg.preferred = 2;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(TemplateLang, VocabLayout) {
+  const TemplateLanguage lang(base_cfg());
+  EXPECT_EQ(lang.vocab(), 6 + 6 + 8 + 3 + 1);
+  EXPECT_EQ(lang.verb_base(), 6);
+  EXPECT_EQ(lang.object_base(), 12);
+  EXPECT_EQ(lang.modifier_base(), 20);
+  EXPECT_EQ(lang.punct_token(), 23);
+  EXPECT_TRUE(lang.is_subject(0));
+  EXPECT_TRUE(lang.is_verb(7));
+  EXPECT_TRUE(lang.is_object(12));
+  EXPECT_FALSE(lang.is_object(20));
+}
+
+TEST(TemplateLang, ConfigValidation) {
+  auto cfg = base_cfg();
+  cfg.preferred = 8;
+  EXPECT_THROW(TemplateLanguage{cfg}, std::invalid_argument);
+  cfg = base_cfg();
+  cfg.obedience = 0.3f;
+  EXPECT_THROW(TemplateLanguage{cfg}, std::invalid_argument);
+}
+
+TEST(TemplateLang, RulesAreDeterministicAndInRange) {
+  const TemplateLanguage lang(base_cfg());
+  for (int64_t s = 0; s < 6; ++s) {
+    const auto pv = lang.preferred_verbs(s);
+    EXPECT_EQ(pv, lang.preferred_verbs(s));
+    EXPECT_EQ(pv.size(), 2u);
+    for (int64_t v : pv) EXPECT_TRUE(lang.is_verb(v));
+    for (int64_t v : pv) {
+      const auto po = lang.preferred_objects(s, v);
+      EXPECT_EQ(po.size(), 2u);
+      for (int64_t o : po) EXPECT_TRUE(lang.is_object(o));
+    }
+  }
+  EXPECT_THROW(lang.preferred_verbs(10), std::invalid_argument);
+  EXPECT_THROW(lang.preferred_objects(0, 0), std::invalid_argument);
+}
+
+TEST(TemplateLang, SampledSentencesFollowGrammar) {
+  const TemplateLanguage lang(base_cfg());
+  Rng rng(1);
+  const auto stream = lang.sample(400, rng);
+  EXPECT_EQ(stream.size(), 400u);
+
+  // Walk sentences: SUBJ [MOD] VERB OBJ PUNCT, repeatedly.
+  size_t i = 0;
+  int sentences = 0, obeyed_obj = 0;
+  while (i < stream.size()) {
+    if (!lang.is_subject(stream[i])) break;  // truncated tail
+    const int64_t subj = stream[i++];
+    if (i < stream.size() && stream[i] >= lang.modifier_base() &&
+        stream[i] < lang.punct_token()) {
+      ++i;  // modifier
+    }
+    if (i >= stream.size()) break;
+    if (!lang.is_verb(stream[i])) break;
+    const int64_t verb = stream[i++];
+    if (i >= stream.size()) break;
+    if (!lang.is_object(stream[i])) break;
+    const int64_t obj = stream[i++];
+    if (i >= stream.size()) break;
+    EXPECT_EQ(stream[i], lang.punct_token());
+    ++i;
+    ++sentences;
+    const auto po = lang.preferred_objects(subj, verb);
+    if (std::find(po.begin(), po.end(), obj) != po.end()) ++obeyed_obj;
+  }
+  EXPECT_GT(sentences, 60);
+  // ~obedience^1 of objects follow the (subject, verb) table. Bernoulli
+  // noise on verbs breaks some pairs, so just require a strong majority.
+  EXPECT_GT(static_cast<double>(obeyed_obj) / sentences, 0.6);
+}
+
+TEST(TemplateLang, ShiftChangesSomeSubjectsOnly) {
+  auto cfg = base_cfg();
+  cfg.n_subjects = 24;  // enough subjects that the per-subject coin averages out
+  const TemplateLanguage base(cfg);
+  const TemplateLanguage shifted = base.shifted(0.4f, 99);
+  int changed = 0;
+  for (int64_t s = 0; s < cfg.n_subjects; ++s) {
+    if (base.preferred_verbs(s) != shifted.preferred_verbs(s)) ++changed;
+  }
+  EXPECT_GT(changed, 0);
+  EXPECT_LT(changed, static_cast<int>(cfg.n_subjects));
+  const TemplateLanguage same = base.shifted(0.0f, 99);
+  for (int64_t s = 0; s < cfg.n_subjects; ++s) {
+    EXPECT_EQ(base.preferred_verbs(s), same.preferred_verbs(s));
+  }
+}
+
+TEST(TemplateLang, ClozeSetWellFormed) {
+  const TemplateLanguage lang(base_cfg());
+  Rng rng(2);
+  const auto items = lang.make_cloze_set(20, 4, rng);
+  ASSERT_EQ(items.size(), 20u);
+  for (const McqItem& it : items) {
+    ASSERT_EQ(it.choices.size(), 4u);
+    for (const auto& c : it.choices) {
+      ASSERT_EQ(c.size(), 1u);
+      EXPECT_TRUE(lang.is_object(c[0]));
+    }
+    // The prompt ends with a verb; the correct choice is preferred for the
+    // (subject, verb) pair while distractors are not.
+    const int64_t verb = it.prompt.back();
+    EXPECT_TRUE(lang.is_verb(verb));
+    int64_t subj = -1;
+    for (auto iter = it.prompt.rbegin(); iter != it.prompt.rend(); ++iter) {
+      if (lang.is_subject(*iter)) {
+        subj = *iter;
+        break;
+      }
+    }
+    ASSERT_GE(subj, 0);
+    const auto po = lang.preferred_objects(subj, verb);
+    EXPECT_NE(std::find(po.begin(), po.end(), it.choices[static_cast<size_t>(it.correct)][0]),
+              po.end());
+    for (size_t c = 0; c < it.choices.size(); ++c) {
+      if (static_cast<int64_t>(c) == it.correct) continue;
+      EXPECT_EQ(std::find(po.begin(), po.end(), it.choices[c][0]), po.end());
+    }
+  }
+}
+
+// Oracle: scoring with the true preference tables solves the cloze task.
+TEST(TemplateLang, OracleSolvesCloze) {
+  const TemplateLanguage lang(base_cfg());
+  Rng rng(3);
+  const auto items = lang.make_cloze_set(40, 4, rng);
+  LogitsFn oracle = [&lang](const std::vector<int64_t>& tokens, int64_t seq) {
+    Tensor logits({seq, lang.vocab()}, 0.0f);
+    // Only the final position matters for single-token continuations: find
+    // the last subject+verb and boost its preferred objects.
+    for (int64_t p = 0; p < seq - 1; ++p) {
+      const int64_t next = p + 1;
+      if (next < seq && lang.is_verb(tokens[static_cast<size_t>(p)])) {
+        // locate the subject before this verb
+        for (int64_t b = p - 1; b >= 0; --b) {
+          if (lang.is_subject(tokens[static_cast<size_t>(b)])) {
+            for (int64_t o : lang.preferred_objects(tokens[static_cast<size_t>(b)],
+                                                    tokens[static_cast<size_t>(p)])) {
+              logits[p * lang.vocab() + o] = 10.0f;
+            }
+            break;
+          }
+        }
+      }
+    }
+    return logits;
+  };
+  EXPECT_GT(mcq_accuracy(oracle, items, lang.vocab()), 0.9f);
+}
+
+// A small transformer learns the language (loss drops well below the
+// unigram floor) — end-to-end trainability of the structured corpus.
+TEST(TemplateLang, ModelLearnsStructure) {
+  const TemplateLanguage lang(base_cfg());
+  nn::ModelConfig mcfg = edgellm::testing::tiny_config();
+  mcfg.vocab = lang.vocab();
+  Rng rng(4);
+  nn::CausalLm model(mcfg, rng);
+
+  core::TunerConfig tcfg = core::TunerConfig::vanilla();
+  tcfg.optim.lr = 1e-2f;
+  core::AdaptiveLayerTuner tuner(model, tcfg, Rng(5));
+  Rng drng(6);
+  float first = 0.0f, last = 0.0f;
+  for (int i = 0; i < 200; ++i) {
+    const auto stream = lang.sample(4 * 13, drng);
+    const auto batches = make_lm_batches(stream, 4, 12);
+    const auto st = tuner.step(batches[0]);
+    if (i < 20) first += st.loss;
+    if (i >= 180) last += st.loss;
+  }
+  EXPECT_LT(last, first * 0.85f);
+}
+
+}  // namespace
+}  // namespace edgellm::data

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace edgellm {
+namespace {
+
+TEST(Tensor, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(Tensor, ShapeAndFill) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(-1), 3);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 7.0f);
+  EXPECT_THROW(t.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0), std::invalid_argument);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape({3, 2});
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ValueMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeShapeThrows) { EXPECT_THROW(Tensor({-1, 2}), std::invalid_argument); }
+
+TEST(Tensor, AllClose) {
+  Tensor a = Tensor::from_values({1.0f, 2.0f});
+  Tensor b = Tensor::from_values({1.0f, 2.000001f});
+  EXPECT_TRUE(a.allclose(b, 1e-4f));
+  EXPECT_FALSE(a.allclose(b, 1e-8f));
+  EXPECT_FALSE(a.allclose(Tensor({3}), 1.0f));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(3);
+  const std::vector<float> w = {0.0f, 0.0f, 1.0f, 0.0f};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.categorical(w), 2);
+}
+
+TEST(Rng, CategoricalRejectsZeroTotal) {
+  Rng rng(3);
+  const std::vector<float> w = {0.0f, 0.0f};
+  EXPECT_THROW(rng.categorical(w), std::invalid_argument);
+}
+
+TEST(Ops, MatmulSmall) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(ops::matmul(Tensor({2, 3}), Tensor({4, 2})), std::invalid_argument);
+}
+
+// Property: matmul_tn(A, B) == matmul(A^T, B) and matmul_nt(A, B) == matmul(A, B^T).
+class MatmulVariants : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulVariants, TransposedFormsAgree) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  const Tensor a = randn({m, k}, rng);
+  const Tensor b = randn({k, n}, rng);
+  const Tensor ref = ops::matmul(a, b);
+
+  const Tensor at = ops::transpose2d(a);
+  EXPECT_TRUE(ops::matmul_tn(at, b).allclose(ref, 1e-4f));
+
+  const Tensor bt = ops::transpose2d(b);
+  EXPECT_TRUE(ops::matmul_nt(a, bt).allclose(ref, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulVariants,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 7, 3), std::make_tuple(8, 8, 8),
+                                           std::make_tuple(1, 9, 2), std::make_tuple(16, 4, 16)));
+
+// Property: bmm variants agree with per-slice 2-d matmuls.
+class BmmVariants : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(BmmVariants, MatchesSlicewiseMatmul) {
+  const auto [bs, m, k, n] = GetParam();
+  Rng rng(bs * 1000 + m * 100 + k * 10 + n);
+  const Tensor a = randn({bs, m, k}, rng);
+  const Tensor b = randn({bs, k, n}, rng);
+  const Tensor c = ops::bmm(a, b);
+  for (int t = 0; t < bs; ++t) {
+    Tensor as({m, k});
+    Tensor bs2({k, n});
+    for (int64_t i = 0; i < m * k; ++i) as[i] = a[t * m * k + i];
+    for (int64_t i = 0; i < k * n; ++i) bs2[i] = b[t * k * n + i];
+    const Tensor ref = ops::matmul(as, bs2);
+    for (int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[t * m * n + i], ref[i], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BmmVariants,
+                         ::testing::Values(std::make_tuple(1, 2, 3, 4), std::make_tuple(3, 4, 4, 4),
+                                           std::make_tuple(2, 1, 5, 1), std::make_tuple(4, 8, 2, 8)));
+
+TEST(Ops, BmmTransposedFormsAgree) {
+  Rng rng(11);
+  const Tensor a = randn({3, 4, 5}, rng);
+  const Tensor b = randn({3, 5, 6}, rng);
+  const Tensor ref = ops::bmm(a, b);
+
+  // bmm_nt: B stored as [bs, n, k]
+  Tensor bt({3, 6, 5});
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = 0; j < 6; ++j) bt[t * 30 + j * 5 + i] = b[t * 30 + i * 6 + j];
+    }
+  }
+  EXPECT_TRUE(ops::bmm_nt(a, bt).allclose(ref, 1e-4f));
+
+  // bmm_tn: A stored as [bs, k, m]
+  Tensor at({3, 5, 4});
+  for (int t = 0; t < 3; ++t) {
+    for (int i = 0; i < 4; ++i) {
+      for (int p = 0; p < 5; ++p) at[t * 20 + p * 4 + i] = a[t * 20 + i * 5 + p];
+    }
+  }
+  EXPECT_TRUE(ops::bmm_tn(at, b).allclose(ref, 1e-4f));
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  const Tensor x = randn({4, 7}, rng, 0.0f, 3.0f);
+  const Tensor y = ops::softmax_lastdim(x);
+  for (int r = 0; r < 4; ++r) {
+    float s = 0.0f;
+    for (int c = 0; c < 7; ++c) {
+      EXPECT_GT(y[r * 7 + c], 0.0f);
+      s += y[r * 7 + c];
+    }
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxStableUnderLargeInputs) {
+  Tensor x({1, 3}, std::vector<float>{1000.0f, 1000.0f, 1000.0f});
+  const Tensor y = ops::softmax_lastdim(x);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(y[i], 1.0f / 3.0f, 1e-5f);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(6);
+  const Tensor x = randn({3, 5}, rng);
+  const Tensor a = ops::log_softmax_lastdim(x);
+  const Tensor s = ops::softmax_lastdim(x);
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_NEAR(a[i], std::log(s[i]), 1e-5f);
+}
+
+TEST(Ops, SoftmaxBackwardMatchesFiniteDifference) {
+  Rng rng(9);
+  Tensor x = randn({2, 4}, rng);
+  const Tensor go = randn({2, 4}, rng);
+  const Tensor y = ops::softmax_lastdim(x);
+  const Tensor gx = ops::softmax_lastdim_backward(y, go);
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    auto scalar_loss = [&] {
+      const Tensor yy = ops::softmax_lastdim(x);
+      float l = 0.0f;
+      for (int64_t j = 0; j < yy.numel(); ++j) l += yy[j] * go[j];
+      return l;
+    };
+    x[i] = orig + h;
+    const float lp = scalar_loss();
+    x[i] = orig - h;
+    const float lm = scalar_loss();
+    x[i] = orig;
+    EXPECT_NEAR(gx[i], (lp - lm) / (2 * h), 5e-3f);
+  }
+}
+
+// Property: activation gradients match finite differences.
+struct ActCase {
+  const char* name;
+  Tensor (*fwd)(const Tensor&);
+  Tensor (*bwd)(const Tensor&, const Tensor&);
+};
+
+class ActivationGrad : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActivationGrad, FiniteDifference) {
+  static const ActCase cases[] = {{"relu", ops::relu, ops::relu_grad},
+                                  {"gelu", ops::gelu, ops::gelu_grad},
+                                  {"silu", ops::silu, ops::silu_grad}};
+  const ActCase& c = cases[GetParam()];
+  Rng rng(21 + GetParam());
+  Tensor x = randn({10}, rng);
+  // keep relu away from the kink
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  Tensor go = randn({10}, rng);
+  const Tensor g = c.bwd(x, go);
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + h;
+    const float lp = c.fwd(x)[i] * go[i];
+    x[i] = orig - h;
+    const float lm = c.fwd(x)[i] * go[i];
+    x[i] = orig;
+    EXPECT_NEAR(g[i], (lp - lm) / (2 * h), 5e-3f) << c.name << " idx " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGrad, ::testing::Values(0, 1, 2));
+
+TEST(Ops, Reductions) {
+  const Tensor x = Tensor::from_values({1.0f, -2.0f, 3.0f, -4.0f});
+  EXPECT_FLOAT_EQ(ops::sum(x), -2.0f);
+  EXPECT_FLOAT_EQ(ops::mean(x), -0.5f);
+  EXPECT_FLOAT_EQ(ops::max_value(x), 3.0f);
+  EXPECT_FLOAT_EQ(ops::min_value(x), -4.0f);
+  EXPECT_NEAR(ops::l2_norm(x), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(Ops, AddBiasBroadcasts) {
+  Tensor x({2, 2, 3}, 1.0f);
+  const Tensor b = Tensor::from_values({1.0f, 2.0f, 3.0f});
+  const Tensor y = ops::add_bias(x, b);
+  EXPECT_FLOAT_EQ(y.at(1, 1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2), 4.0f);
+}
+
+TEST(Ops, ArgmaxLastdim) {
+  Tensor x({2, 3}, std::vector<float>{0.1f, 0.9f, 0.2f, 5.0f, -1.0f, 2.0f});
+  const auto am = ops::argmax_lastdim(x);
+  ASSERT_EQ(am.size(), 2u);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 0);
+}
+
+TEST(Ops, MseAndTranspose) {
+  const Tensor a = Tensor::from_values({1.0f, 2.0f});
+  const Tensor b = Tensor::from_values({2.0f, 4.0f});
+  EXPECT_FLOAT_EQ(ops::mse(a, b), 2.5f);
+  Tensor m({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor t = ops::transpose2d(m);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 4.0f);
+}
+
+}  // namespace
+}  // namespace edgellm

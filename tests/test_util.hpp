@@ -1,0 +1,51 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "nn/model.hpp"
+#include "nn/module.hpp"
+
+namespace edgellm::testing {
+
+/// A tiny model config that keeps tests fast.
+inline nn::ModelConfig tiny_config() {
+  nn::ModelConfig cfg;
+  cfg.vocab = 24;
+  cfg.d_model = 16;
+  cfg.n_layers = 3;
+  cfg.n_heads = 2;
+  cfg.d_ff = 32;
+  cfg.max_seq = 16;
+  cfg.exit_layers = {1, 2, 3};
+  return cfg;
+}
+
+/// Central-difference gradient check: after the caller has run forward +
+/// backward once (filling p->grad), this verifies a sample of analytic
+/// gradient entries against (L(p+h) - L(p-h)) / 2h.
+///
+/// `loss_fn` must recompute the scalar loss from scratch at the param's
+/// current value.
+inline void check_param_grad(nn::Param& p, const std::function<float()>& loss_fn,
+                             int64_t max_checks = 12, float h = 1e-3f, float tol = 2e-2f) {
+  const int64_t n = p.value.numel();
+  const int64_t stride = std::max<int64_t>(1, n / max_checks);
+  for (int64_t i = 0; i < n; i += stride) {
+    const float orig = p.value[i];
+    p.value[i] = orig + h;
+    const float lp = loss_fn();
+    p.value[i] = orig - h;
+    const float lm = loss_fn();
+    p.value[i] = orig;
+    const float numeric = (lp - lm) / (2.0f * h);
+    const float analytic = p.grad[i];
+    const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(analytic)});
+    EXPECT_NEAR(analytic / scale, numeric / scale, tol)
+        << p.name << " index " << i << " analytic=" << analytic << " numeric=" << numeric;
+  }
+}
+
+}  // namespace edgellm::testing

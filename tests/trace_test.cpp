@@ -1,0 +1,79 @@
+// CSV trace writer tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/trace.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::runtime {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(Trace, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/edgellm_trace.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.row(std::vector<std::string>{"1", "x"});
+    w.row(std::vector<double>{2.5, 3.0});
+    EXPECT_EQ(w.rows_written(), 2);
+  }
+  EXPECT_EQ(slurp(path), "a,b\n1,x\n2.5,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EscapesSpecialCharacters) {
+  const std::string path = ::testing::TempDir() + "/edgellm_trace2.csv";
+  {
+    CsvWriter w(path, {"name"});
+    w.row(std::vector<std::string>{"has,comma"});
+    w.row(std::vector<std::string>{"has\"quote"});
+  }
+  EXPECT_EQ(slurp(path), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsWrongArity) {
+  const std::string path = ::testing::TempDir() + "/edgellm_trace3.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row(std::vector<std::string>{"only-one"}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(Trace, LossCurveRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/edgellm_loss.csv";
+  write_loss_curve(path, {3.0f, 2.5f, 2.0f});
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("iteration,loss"), std::string::npos);
+  EXPECT_NE(content.find("2,2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MethodReportsCsv) {
+  const std::string path = ::testing::TempDir() + "/edgellm_methods.csv";
+  const nn::ModelConfig cfg = edgellm::testing::tiny_config();
+  SimulatorConfig sim;
+  sim.batch = 2;
+  sim.seq = 8;
+  const MethodReport rep = simulate_method(cfg, vanilla_method(cfg), sim);
+  write_method_reports(path, {rep});
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("vanilla"), std::string::npos);
+  EXPECT_NE(content.find("peak_memory_bytes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace edgellm::runtime
