@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_sensitivity"
+  "../bench/bench_fig3_sensitivity.pdb"
+  "CMakeFiles/bench_fig3_sensitivity.dir/bench_fig3_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig3_sensitivity.dir/bench_fig3_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_voting"
+  "../bench/bench_fig4_voting.pdb"
+  "CMakeFiles/bench_fig4_voting.dir/bench_fig4_voting.cpp.o"
+  "CMakeFiles/bench_fig4_voting.dir/bench_fig4_voting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

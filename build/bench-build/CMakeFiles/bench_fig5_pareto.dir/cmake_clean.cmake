@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_pareto"
+  "../bench/bench_fig5_pareto.pdb"
+  "CMakeFiles/bench_fig5_pareto.dir/bench_fig5_pareto.cpp.o"
+  "CMakeFiles/bench_fig5_pareto.dir/bench_fig5_pareto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

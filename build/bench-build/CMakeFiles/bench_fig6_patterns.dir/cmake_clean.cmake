@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_patterns"
+  "../bench/bench_fig6_patterns.pdb"
+  "CMakeFiles/bench_fig6_patterns.dir/bench_fig6_patterns.cpp.o"
+  "CMakeFiles/bench_fig6_patterns.dir/bench_fig6_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

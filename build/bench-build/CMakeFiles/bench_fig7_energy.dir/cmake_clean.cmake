@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_energy"
+  "../bench/bench_fig7_energy.pdb"
+  "CMakeFiles/bench_fig7_energy.dir/bench_fig7_energy.cpp.o"
+  "CMakeFiles/bench_fig7_energy.dir/bench_fig7_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_forgetting"
+  "../bench/bench_fig8_forgetting.pdb"
+  "CMakeFiles/bench_fig8_forgetting.dir/bench_fig8_forgetting.cpp.o"
+  "CMakeFiles/bench_fig8_forgetting.dir/bench_fig8_forgetting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_forgetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_kvcache"
+  "../bench/bench_fig9_kvcache.pdb"
+  "CMakeFiles/bench_fig9_kvcache.dir/bench_fig9_kvcache.cpp.o"
+  "CMakeFiles/bench_fig9_kvcache.dir/bench_fig9_kvcache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_luc"
+  "../bench/bench_table2_luc.pdb"
+  "CMakeFiles/bench_table2_luc.dir/bench_table2_luc.cpp.o"
+  "CMakeFiles/bench_table2_luc.dir/bench_table2_luc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_luc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

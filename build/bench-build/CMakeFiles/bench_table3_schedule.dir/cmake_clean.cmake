@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_schedule"
+  "../bench/bench_table3_schedule.pdb"
+  "CMakeFiles/bench_table3_schedule.dir/bench_table3_schedule.cpp.o"
+  "CMakeFiles/bench_table3_schedule.dir/bench_table3_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

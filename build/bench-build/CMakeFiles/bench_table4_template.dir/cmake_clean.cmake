@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_template"
+  "../bench/bench_table4_template.pdb"
+  "CMakeFiles/bench_table4_template.dir/bench_table4_template.cpp.o"
+  "CMakeFiles/bench_table4_template.dir/bench_table4_template.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

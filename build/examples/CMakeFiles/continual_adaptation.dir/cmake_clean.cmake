@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_adaptation.dir/continual_adaptation.cpp.o"
+  "CMakeFiles/continual_adaptation.dir/continual_adaptation.cpp.o.d"
+  "continual_adaptation"
+  "continual_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_cli.dir/edgellm_cli.cpp.o"
+  "CMakeFiles/edgellm_cli.dir/edgellm_cli.cpp.o.d"
+  "edgellm_cli"
+  "edgellm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_text.dir/generate_text.cpp.o"
+  "CMakeFiles/generate_text.dir/generate_text.cpp.o.d"
+  "generate_text"
+  "generate_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llama_scale_projection.dir/llama_scale_projection.cpp.o"
+  "CMakeFiles/llama_scale_projection.dir/llama_scale_projection.cpp.o.d"
+  "llama_scale_projection"
+  "llama_scale_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llama_scale_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

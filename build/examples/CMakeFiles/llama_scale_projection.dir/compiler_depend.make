@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for llama_scale_projection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_core.dir/luc.cpp.o"
+  "CMakeFiles/edgellm_core.dir/luc.cpp.o.d"
+  "CMakeFiles/edgellm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/edgellm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/edgellm_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/edgellm_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/edgellm_core.dir/tuner.cpp.o"
+  "CMakeFiles/edgellm_core.dir/tuner.cpp.o.d"
+  "CMakeFiles/edgellm_core.dir/voting.cpp.o"
+  "CMakeFiles/edgellm_core.dir/voting.cpp.o.d"
+  "libedgellm_core.a"
+  "libedgellm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/edgellm_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/edgellm_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/eval.cpp" "src/data/CMakeFiles/edgellm_data.dir/eval.cpp.o" "gcc" "src/data/CMakeFiles/edgellm_data.dir/eval.cpp.o.d"
+  "/root/repo/src/data/induction.cpp" "src/data/CMakeFiles/edgellm_data.dir/induction.cpp.o" "gcc" "src/data/CMakeFiles/edgellm_data.dir/induction.cpp.o.d"
+  "/root/repo/src/data/stats.cpp" "src/data/CMakeFiles/edgellm_data.dir/stats.cpp.o" "gcc" "src/data/CMakeFiles/edgellm_data.dir/stats.cpp.o.d"
+  "/root/repo/src/data/tasks.cpp" "src/data/CMakeFiles/edgellm_data.dir/tasks.cpp.o" "gcc" "src/data/CMakeFiles/edgellm_data.dir/tasks.cpp.o.d"
+  "/root/repo/src/data/template_lang.cpp" "src/data/CMakeFiles/edgellm_data.dir/template_lang.cpp.o" "gcc" "src/data/CMakeFiles/edgellm_data.dir/template_lang.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/edgellm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/edgellm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/edgellm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/edgellm_prune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_data.dir/corpus.cpp.o"
+  "CMakeFiles/edgellm_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/edgellm_data.dir/eval.cpp.o"
+  "CMakeFiles/edgellm_data.dir/eval.cpp.o.d"
+  "CMakeFiles/edgellm_data.dir/induction.cpp.o"
+  "CMakeFiles/edgellm_data.dir/induction.cpp.o.d"
+  "CMakeFiles/edgellm_data.dir/stats.cpp.o"
+  "CMakeFiles/edgellm_data.dir/stats.cpp.o.d"
+  "CMakeFiles/edgellm_data.dir/tasks.cpp.o"
+  "CMakeFiles/edgellm_data.dir/tasks.cpp.o.d"
+  "CMakeFiles/edgellm_data.dir/template_lang.cpp.o"
+  "CMakeFiles/edgellm_data.dir/template_lang.cpp.o.d"
+  "libedgellm_data.a"
+  "libedgellm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgellm_data.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/anneal.cpp" "src/hw/CMakeFiles/edgellm_hw.dir/anneal.cpp.o" "gcc" "src/hw/CMakeFiles/edgellm_hw.dir/anneal.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/edgellm_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/edgellm_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/schedule.cpp" "src/hw/CMakeFiles/edgellm_hw.dir/schedule.cpp.o" "gcc" "src/hw/CMakeFiles/edgellm_hw.dir/schedule.cpp.o.d"
+  "/root/repo/src/hw/search.cpp" "src/hw/CMakeFiles/edgellm_hw.dir/search.cpp.o" "gcc" "src/hw/CMakeFiles/edgellm_hw.dir/search.cpp.o.d"
+  "/root/repo/src/hw/workload.cpp" "src/hw/CMakeFiles/edgellm_hw.dir/workload.cpp.o" "gcc" "src/hw/CMakeFiles/edgellm_hw.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/edgellm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/edgellm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/edgellm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/edgellm_prune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_hw.dir/anneal.cpp.o"
+  "CMakeFiles/edgellm_hw.dir/anneal.cpp.o.d"
+  "CMakeFiles/edgellm_hw.dir/device.cpp.o"
+  "CMakeFiles/edgellm_hw.dir/device.cpp.o.d"
+  "CMakeFiles/edgellm_hw.dir/schedule.cpp.o"
+  "CMakeFiles/edgellm_hw.dir/schedule.cpp.o.d"
+  "CMakeFiles/edgellm_hw.dir/search.cpp.o"
+  "CMakeFiles/edgellm_hw.dir/search.cpp.o.d"
+  "CMakeFiles/edgellm_hw.dir/workload.cpp.o"
+  "CMakeFiles/edgellm_hw.dir/workload.cpp.o.d"
+  "libedgellm_hw.a"
+  "libedgellm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/block.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/block.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/block.cpp.o.d"
+  "/root/repo/src/nn/decoder.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/decoder.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/decoder.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/lora.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/lora.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/lora.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/edgellm_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/edgellm_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/edgellm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/edgellm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/edgellm_prune.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_nn.dir/attention.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/block.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/block.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/decoder.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/decoder.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/embedding.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/linear.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/lora.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/lora.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/loss.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/mlp.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/model.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/model.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/norm.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/optim.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/edgellm_nn.dir/serialize.cpp.o"
+  "CMakeFiles/edgellm_nn.dir/serialize.cpp.o.d"
+  "libedgellm_nn.a"
+  "libedgellm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

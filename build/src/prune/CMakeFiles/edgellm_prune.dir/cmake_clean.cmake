@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_prune.dir/prune.cpp.o"
+  "CMakeFiles/edgellm_prune.dir/prune.cpp.o.d"
+  "CMakeFiles/edgellm_prune.dir/sparse.cpp.o"
+  "CMakeFiles/edgellm_prune.dir/sparse.cpp.o.d"
+  "libedgellm_prune.a"
+  "libedgellm_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

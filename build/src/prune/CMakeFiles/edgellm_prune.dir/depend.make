@@ -1,0 +1,2 @@
+# Empty dependencies file for edgellm_prune.
+# This may be replaced when dependencies are built.

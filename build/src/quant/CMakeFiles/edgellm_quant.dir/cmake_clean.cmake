@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_quant.dir/packed.cpp.o"
+  "CMakeFiles/edgellm_quant.dir/packed.cpp.o.d"
+  "CMakeFiles/edgellm_quant.dir/quant.cpp.o"
+  "CMakeFiles/edgellm_quant.dir/quant.cpp.o.d"
+  "libedgellm_quant.a"
+  "libedgellm_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

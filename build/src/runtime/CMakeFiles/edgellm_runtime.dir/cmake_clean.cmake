@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_runtime.dir/simulator.cpp.o"
+  "CMakeFiles/edgellm_runtime.dir/simulator.cpp.o.d"
+  "CMakeFiles/edgellm_runtime.dir/trace.cpp.o"
+  "CMakeFiles/edgellm_runtime.dir/trace.cpp.o.d"
+  "libedgellm_runtime.a"
+  "libedgellm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_tensor.dir/ops.cpp.o"
+  "CMakeFiles/edgellm_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/edgellm_tensor.dir/rng.cpp.o"
+  "CMakeFiles/edgellm_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/edgellm_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/edgellm_tensor.dir/tensor.cpp.o.d"
+  "libedgellm_tensor.a"
+  "libedgellm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgellm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

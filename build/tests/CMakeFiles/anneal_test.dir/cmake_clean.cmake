@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anneal_test.dir/anneal_test.cpp.o"
+  "CMakeFiles/anneal_test.dir/anneal_test.cpp.o.d"
+  "anneal_test"
+  "anneal_test.pdb"
+  "anneal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anneal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_test.dir/decoder_test.cpp.o"
+  "CMakeFiles/decoder_test.dir/decoder_test.cpp.o.d"
+  "decoder_test"
+  "decoder_test.pdb"
+  "decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

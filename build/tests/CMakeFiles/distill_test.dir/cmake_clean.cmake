@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distill_test.dir/distill_test.cpp.o"
+  "CMakeFiles/distill_test.dir/distill_test.cpp.o.d"
+  "distill_test"
+  "distill_test.pdb"
+  "distill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

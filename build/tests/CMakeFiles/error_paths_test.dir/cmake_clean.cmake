@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_paths_test.dir/error_paths_test.cpp.o"
+  "CMakeFiles/error_paths_test.dir/error_paths_test.cpp.o.d"
+  "error_paths_test"
+  "error_paths_test.pdb"
+  "error_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kitchen_sink_test.dir/kitchen_sink_test.cpp.o"
+  "CMakeFiles/kitchen_sink_test.dir/kitchen_sink_test.cpp.o.d"
+  "kitchen_sink_test"
+  "kitchen_sink_test.pdb"
+  "kitchen_sink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kitchen_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_modules_test.dir/nn_modules_test.cpp.o"
+  "CMakeFiles/nn_modules_test.dir/nn_modules_test.cpp.o.d"
+  "nn_modules_test"
+  "nn_modules_test.pdb"
+  "nn_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_serialize_test.dir/packed_serialize_test.cpp.o"
+  "CMakeFiles/packed_serialize_test.dir/packed_serialize_test.cpp.o.d"
+  "packed_serialize_test"
+  "packed_serialize_test.pdb"
+  "packed_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pin_group_test.dir/pin_group_test.cpp.o"
+  "CMakeFiles/pin_group_test.dir/pin_group_test.cpp.o.d"
+  "pin_group_test"
+  "pin_group_test.pdb"
+  "pin_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pin_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_test.dir/prune_test.cpp.o"
+  "CMakeFiles/prune_test.dir/prune_test.cpp.o.d"
+  "prune_test"
+  "prune_test.pdb"
+  "prune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoptim_test.dir/qoptim_test.cpp.o"
+  "CMakeFiles/qoptim_test.dir/qoptim_test.cpp.o.d"
+  "qoptim_test"
+  "qoptim_test.pdb"
+  "qoptim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoptim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

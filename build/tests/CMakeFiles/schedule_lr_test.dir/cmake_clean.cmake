@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_lr_test.dir/schedule_lr_test.cpp.o"
+  "CMakeFiles/schedule_lr_test.dir/schedule_lr_test.cpp.o.d"
+  "schedule_lr_test"
+  "schedule_lr_test.pdb"
+  "schedule_lr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_lr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_induction_stats_test.dir/sparse_induction_stats_test.cpp.o"
+  "CMakeFiles/sparse_induction_stats_test.dir/sparse_induction_stats_test.cpp.o.d"
+  "sparse_induction_stats_test"
+  "sparse_induction_stats_test.pdb"
+  "sparse_induction_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_induction_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiglu_test.dir/swiglu_test.cpp.o"
+  "CMakeFiles/swiglu_test.dir/swiglu_test.cpp.o.d"
+  "swiglu_test"
+  "swiglu_test.pdb"
+  "swiglu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiglu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

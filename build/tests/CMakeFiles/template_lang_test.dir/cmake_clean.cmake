@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_lang_test.dir/template_lang_test.cpp.o"
+  "CMakeFiles/template_lang_test.dir/template_lang_test.cpp.o.d"
+  "template_lang_test"
+  "template_lang_test.pdb"
+  "template_lang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/quant_test[1]_include.cmake")
+include("/root/repo/build/tests/prune_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_grad_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_modules_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_test[1]_include.cmake")
+include("/root/repo/build/tests/qoptim_test[1]_include.cmake")
+include("/root/repo/build/tests/packed_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_lr_test[1]_include.cmake")
+include("/root/repo/build/tests/gqa_test[1]_include.cmake")
+include("/root/repo/build/tests/template_lang_test[1]_include.cmake")
+include("/root/repo/build/tests/distill_test[1]_include.cmake")
+include("/root/repo/build/tests/anneal_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/swiglu_test[1]_include.cmake")
+include("/root/repo/build/tests/kitchen_sink_test[1]_include.cmake")
+include("/root/repo/build/tests/error_paths_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_induction_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/pin_group_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[PinGroups.ForwardAndDxShareResidency]=]  /root/repo/build/tests/pin_group_test [==[--gtest_filter=PinGroups.ForwardAndDxShareResidency]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PinGroups.ForwardAndDxShareResidency]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  pin_group_test_TESTS PinGroups.ForwardAndDxShareResidency)
