@@ -201,19 +201,24 @@ bench-build/CMakeFiles/bench_table1_accuracy.dir/bench_table1_accuracy.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/pipeline.hpp /root/repo/src/core/luc.hpp \
- /root/repo/src/core/sensitivity.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/core/pipeline.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/data/corpus.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/tensor/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /root/repo/src/core/luc.hpp /root/repo/src/core/sensitivity.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/data/corpus.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/tensor/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -243,22 +248,17 @@ bench-build/CMakeFiles/bench_table1_accuracy.dir/bench_table1_accuracy.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/nn/model.hpp \
  /root/repo/src/nn/block.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/nn/attention.hpp /root/repo/src/nn/linear.hpp \
  /root/repo/src/nn/module.hpp /root/repo/src/prune/prune.hpp \
  /root/repo/src/quant/quant.hpp /root/repo/src/nn/mlp.hpp \
  /root/repo/src/nn/norm.hpp /root/repo/src/nn/embedding.hpp \
- /root/repo/src/hw/workload.hpp /root/repo/src/core/tuner.hpp \
- /root/repo/src/nn/optim.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/voting.hpp \
- /root/repo/src/data/tasks.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /root/repo/src/data/eval.hpp \
- /root/repo/src/runtime/simulator.hpp /root/repo/src/hw/search.hpp \
- /root/repo/src/hw/schedule.hpp /root/repo/src/hw/device.hpp \
- /root/repo/src/runtime/table.hpp /usr/include/c++/12/iomanip \
- /usr/include/c++/12/locale \
+ /root/repo/src/hw/workload.hpp /root/repo/src/core/snapshot.hpp \
+ /root/repo/src/core/tuner.hpp /root/repo/src/nn/optim.hpp \
+ /root/repo/src/core/voting.hpp /root/repo/src/data/tasks.hpp \
+ /root/repo/src/data/eval.hpp /root/repo/src/runtime/simulator.hpp \
+ /root/repo/src/hw/search.hpp /root/repo/src/hw/schedule.hpp \
+ /root/repo/src/hw/device.hpp /root/repo/src/runtime/table.hpp \
+ /usr/include/c++/12/iomanip /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \

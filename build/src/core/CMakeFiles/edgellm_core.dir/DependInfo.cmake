@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/luc.cpp" "src/core/CMakeFiles/edgellm_core.dir/luc.cpp.o" "gcc" "src/core/CMakeFiles/edgellm_core.dir/luc.cpp.o.d"
   "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/edgellm_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/edgellm_core.dir/pipeline.cpp.o.d"
   "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/edgellm_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/edgellm_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/edgellm_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/edgellm_core.dir/snapshot.cpp.o.d"
   "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/edgellm_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/edgellm_core.dir/tuner.cpp.o.d"
   "/root/repo/src/core/voting.cpp" "src/core/CMakeFiles/edgellm_core.dir/voting.cpp.o" "gcc" "src/core/CMakeFiles/edgellm_core.dir/voting.cpp.o.d"
   )

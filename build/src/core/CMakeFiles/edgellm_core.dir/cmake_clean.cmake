@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/edgellm_core.dir/pipeline.cpp.o.d"
   "CMakeFiles/edgellm_core.dir/sensitivity.cpp.o"
   "CMakeFiles/edgellm_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/edgellm_core.dir/snapshot.cpp.o"
+  "CMakeFiles/edgellm_core.dir/snapshot.cpp.o.d"
   "CMakeFiles/edgellm_core.dir/tuner.cpp.o"
   "CMakeFiles/edgellm_core.dir/tuner.cpp.o.d"
   "CMakeFiles/edgellm_core.dir/voting.cpp.o"

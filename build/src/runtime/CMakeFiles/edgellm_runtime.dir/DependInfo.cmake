@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/checkpointer.cpp" "src/runtime/CMakeFiles/edgellm_runtime.dir/checkpointer.cpp.o" "gcc" "src/runtime/CMakeFiles/edgellm_runtime.dir/checkpointer.cpp.o.d"
+  "/root/repo/src/runtime/fault.cpp" "src/runtime/CMakeFiles/edgellm_runtime.dir/fault.cpp.o" "gcc" "src/runtime/CMakeFiles/edgellm_runtime.dir/fault.cpp.o.d"
   "/root/repo/src/runtime/simulator.cpp" "src/runtime/CMakeFiles/edgellm_runtime.dir/simulator.cpp.o" "gcc" "src/runtime/CMakeFiles/edgellm_runtime.dir/simulator.cpp.o.d"
   "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/edgellm_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/edgellm_runtime.dir/trace.cpp.o.d"
   )

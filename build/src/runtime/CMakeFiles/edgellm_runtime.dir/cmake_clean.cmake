@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/edgellm_runtime.dir/checkpointer.cpp.o"
+  "CMakeFiles/edgellm_runtime.dir/checkpointer.cpp.o.d"
+  "CMakeFiles/edgellm_runtime.dir/fault.cpp.o"
+  "CMakeFiles/edgellm_runtime.dir/fault.cpp.o.d"
   "CMakeFiles/edgellm_runtime.dir/simulator.cpp.o"
   "CMakeFiles/edgellm_runtime.dir/simulator.cpp.o.d"
   "CMakeFiles/edgellm_runtime.dir/trace.cpp.o"

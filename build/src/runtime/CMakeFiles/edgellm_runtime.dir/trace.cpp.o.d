@@ -253,5 +253,5 @@ src/runtime/CMakeFiles/edgellm_runtime.dir/trace.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/hw/search.hpp /root/repo/src/hw/schedule.hpp \
- /root/repo/src/hw/device.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/hw/device.hpp /usr/include/c++/12/iostream \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc

@@ -332,7 +332,7 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/prune/prune.hpp /root/repo/src/quant/quant.hpp \
  /root/repo/src/nn/mlp.hpp /root/repo/src/nn/norm.hpp \
  /root/repo/src/nn/embedding.hpp /root/repo/src/hw/workload.hpp \
- /root/repo/src/core/pipeline.hpp /root/repo/src/core/tuner.hpp \
- /root/repo/src/nn/optim.hpp /root/repo/src/core/voting.hpp \
- /root/repo/src/data/tasks.hpp /root/repo/src/data/eval.hpp \
- /root/repo/tests/test_util.hpp
+ /root/repo/src/core/pipeline.hpp /root/repo/src/core/snapshot.hpp \
+ /root/repo/src/core/tuner.hpp /root/repo/src/nn/optim.hpp \
+ /root/repo/src/core/voting.hpp /root/repo/src/data/tasks.hpp \
+ /root/repo/src/data/eval.hpp /root/repo/tests/test_util.hpp

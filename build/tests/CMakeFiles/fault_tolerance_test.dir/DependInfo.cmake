@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_tolerance_test.cpp" "tests/CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/edgellm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/edgellm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/edgellm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/edgellm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/edgellm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/edgellm_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/edgellm_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/edgellm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cpp.o"
+  "CMakeFiles/fault_tolerance_test.dir/fault_tolerance_test.cpp.o.d"
+  "fault_tolerance_test"
+  "fault_tolerance_test.pdb"
+  "fault_tolerance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -332,6 +332,7 @@ tests/CMakeFiles/integration_matrix_test.dir/integration_matrix_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/tuner.hpp /root/repo/src/nn/optim.hpp \
- /root/repo/src/core/voting.hpp /root/repo/src/data/tasks.hpp \
- /root/repo/src/data/eval.hpp /root/repo/tests/test_util.hpp
+ /root/repo/src/core/snapshot.hpp /root/repo/src/core/tuner.hpp \
+ /root/repo/src/nn/optim.hpp /root/repo/src/core/voting.hpp \
+ /root/repo/src/data/tasks.hpp /root/repo/src/data/eval.hpp \
+ /root/repo/tests/test_util.hpp

@@ -332,9 +332,10 @@ tests/CMakeFiles/kitchen_sink_test.dir/kitchen_sink_test.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/tuner.hpp /root/repo/src/nn/optim.hpp \
- /root/repo/src/core/voting.hpp /root/repo/src/data/tasks.hpp \
- /root/repo/src/data/eval.hpp /root/repo/src/nn/decoder.hpp \
- /root/repo/src/nn/serialize.hpp /root/repo/src/runtime/simulator.hpp \
- /root/repo/src/hw/search.hpp /root/repo/src/hw/schedule.hpp \
- /root/repo/src/hw/device.hpp /root/repo/tests/test_util.hpp
+ /root/repo/src/core/snapshot.hpp /root/repo/src/core/tuner.hpp \
+ /root/repo/src/nn/optim.hpp /root/repo/src/core/voting.hpp \
+ /root/repo/src/data/tasks.hpp /root/repo/src/data/eval.hpp \
+ /root/repo/src/nn/decoder.hpp /root/repo/src/nn/serialize.hpp \
+ /root/repo/src/runtime/simulator.hpp /root/repo/src/hw/search.hpp \
+ /root/repo/src/hw/schedule.hpp /root/repo/src/hw/device.hpp \
+ /root/repo/tests/test_util.hpp

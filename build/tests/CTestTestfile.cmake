@@ -31,3 +31,4 @@ include("/root/repo/build/tests/kitchen_sink_test[1]_include.cmake")
 include("/root/repo/build/tests/error_paths_test[1]_include.cmake")
 include("/root/repo/build/tests/sparse_induction_stats_test[1]_include.cmake")
 include("/root/repo/build/tests/pin_group_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_tolerance_test[1]_include.cmake")

@@ -6,19 +6,27 @@
 //   edgellm_cli pretrain --out base.bin [--iters 800] [--layers 6] [--dmodel 32]
 //   edgellm_cli adapt    --in base.bin --out adapted.bin [--shift 0.6]
 //                        [--budget 3.0] [--window 2] [--iters 250]
+//                        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume 1]
 //   edgellm_cli eval     --in adapted.bin [--shift 0.6]
 //   edgellm_cli generate --in adapted.bin [--tokens 24] [--temp 0.7] [--shift 0.6]
+//
+// With --checkpoint-dir, adaptation writes atomic CRC-checked snapshots of
+// the FULL training state every --checkpoint-every iterations; rerunning
+// with --resume 1 after an interruption continues bit-exactly where the
+// last snapshot left off (see docs/ROBUSTNESS.md).
 //
 // Build & run:  ./build/examples/edgellm_cli pretrain --out /tmp/base.bin
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/pipeline.hpp"
 #include "data/eval.hpp"
 #include "nn/decoder.hpp"
 #include "nn/serialize.hpp"
+#include "runtime/checkpointer.hpp"
 #include "runtime/table.hpp"
 #include "runtime/trace.hpp"
 
@@ -94,10 +102,30 @@ int cmd_adapt(const std::map<std::string, std::string>& args) {
   pcfg.tuner.backprop_window = static_cast<int64_t>(get_num(args, "window", 2));
   pcfg.tuner.optim.lr = static_cast<float>(get_num(args, "lr", 1e-2));
 
+  // Crash-safe checkpointing: periodic atomic snapshots of the full
+  // training state, with bit-exact resume after an interruption.
+  std::unique_ptr<runtime::Checkpointer> ckpt;
+  if (args.contains("checkpoint-dir")) {
+    runtime::CheckpointerConfig ccfg;
+    ccfg.dir = args.at("checkpoint-dir");
+    ccfg.keep = static_cast<int64_t>(get_num(args, "checkpoint-keep", 3));
+    ckpt = std::make_unique<runtime::Checkpointer>(ccfg);
+    pcfg.snapshots = ckpt.get();
+    pcfg.checkpoint_every = static_cast<int64_t>(get_num(args, "checkpoint-every", 25));
+    pcfg.resume = get_num(args, "resume", 0) != 0;
+  }
+
   std::cout << "adapting to shift " << shift << " (budget "
             << pcfg.luc.target_effective_bits << " eff bits, window "
             << pcfg.tuner.backprop_window << ")...\n";
   const core::PipelineResult res = core::run_pipeline(*model, make_domain(shift), pcfg);
+  if (res.resumed_from_iter >= 0) {
+    std::cout << "resumed from checkpointed iteration " << res.resumed_from_iter << "\n";
+  }
+  if (res.skipped_steps > 0 || res.rollbacks > 0) {
+    std::cout << "numeric guard: skipped " << res.skipped_steps << " bad step(s), "
+              << res.rollbacks << " rollback(s)\n";
+  }
 
   std::cout << "policy: ";
   for (const auto& lp : res.policy.layers) std::cout << lp.bits << "b/" << lp.sparsity << " ";
@@ -163,6 +191,8 @@ int usage() {
   std::cerr << "usage: edgellm_cli <pretrain|adapt|eval|generate> [--flag value ...]\n"
                "  pretrain --out FILE [--iters N] [--layers L] [--dmodel D] [--seed S]\n"
                "  adapt    --in FILE --out FILE [--shift F] [--budget B] [--window W] [--iters N]\n"
+               "           [--checkpoint-dir DIR] [--checkpoint-every N] [--checkpoint-keep K]\n"
+               "           [--resume 0|1]\n"
                "  eval     --in FILE [--shift F]\n"
                "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n";
   return 2;

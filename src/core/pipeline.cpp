@@ -1,6 +1,8 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 
 #include "data/eval.hpp"
 
@@ -32,17 +34,63 @@ PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain
     res.policy.layers.assign(static_cast<size_t>(model.config().n_layers), LayerPolicy{});
   }
 
-  // (3): adaptive layer tuning.
+  // (3): adaptive layer tuning, with optional crash-safe checkpointing.
+  // Snapshots capture the COMPLETE loop state (weights, optimizer moments,
+  // tuner + pipeline RNG streams, loss curve), so a resumed run replays the
+  // exact batch/exit sequence an uninterrupted run would have seen.
   AdaptiveLayerTuner tuner(model, cfg.tuner, rng.fork());
   res.loss_curve.reserve(static_cast<size_t>(cfg.adaptation_iters));
-  for (int64_t i = 0; i < cfg.adaptation_iters; ++i) {
+  PeakBytes peaks;
+  int64_t start_iter = 0;
+  if (cfg.snapshots && cfg.resume) {
+    if (auto snap = cfg.snapshots->load_latest()) {
+      restore_training_state(*snap, model, tuner, rng, res.loss_curve, peaks);
+      start_iter = snap->iter;
+      res.resumed_from_iter = snap->iter;
+    }
+  }
+  for (int64_t i = start_iter; i < cfg.adaptation_iters; ++i) {
+    if (cfg.before_step) cfg.before_step(i);
     const data::LmBatch batch = data::sample_lm_batch(domain, cfg.batch, cfg.seq, rng);
     const StepStats stats = tuner.step(batch);
     res.loss_curve.push_back(stats.loss);
-    res.peak_activation_bytes = std::max(res.peak_activation_bytes, stats.activation_bytes);
-    res.peak_optimizer_bytes = std::max(res.peak_optimizer_bytes, stats.optimizer_state_bytes);
-    res.peak_grad_bytes = std::max(res.peak_grad_bytes, stats.grad_bytes);
+    if (stats.skipped) ++res.skipped_steps;
+    peaks.activation = std::max(peaks.activation, stats.activation_bytes);
+    peaks.optimizer = std::max(peaks.optimizer, stats.optimizer_state_bytes);
+    peaks.grad = std::max(peaks.grad, stats.grad_bytes);
+
+    if (tuner.needs_rollback()) {
+      if (res.rollbacks >= cfg.max_rollbacks) {
+        throw std::runtime_error("run_pipeline: rollback limit exceeded; adaptation diverged");
+      }
+      ++res.rollbacks;
+      std::optional<Snapshot> snap;
+      if (cfg.snapshots) snap = cfg.snapshots->load_latest();
+      if (snap) {
+        // Restore the last good state and replay from there with a smaller
+        // learning rate; the restore also truncates the loss curve back to
+        // the snapshot's iteration.
+        restore_training_state(*snap, model, tuner, rng, res.loss_curve, peaks);
+        tuner.note_rollback();
+        i = snap->iter - 1;
+        continue;
+      }
+      // No checkpoint to fall back to: back off the lr in place and push on.
+      tuner.note_rollback();
+    }
+
+    if (cfg.snapshots && cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 &&
+        i + 1 < cfg.adaptation_iters) {
+      cfg.snapshots->save(capture_training_state(i + 1, model, tuner, rng, res.loss_curve, peaks));
+    }
   }
+  if (cfg.snapshots && cfg.checkpoint_every > 0 && cfg.adaptation_iters > start_iter) {
+    cfg.snapshots->save(
+        capture_training_state(cfg.adaptation_iters, model, tuner, rng, res.loss_curve, peaks));
+  }
+  res.peak_activation_bytes = peaks.activation;
+  res.peak_optimizer_bytes = peaks.optimizer;
+  res.peak_grad_bytes = peaks.grad;
 
   // (4): voting + evaluation.
   ExitVoter voter(model, cfg.voter);

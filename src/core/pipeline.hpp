@@ -3,9 +3,11 @@
 // calls (see examples/quickstart.cpp).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/luc.hpp"
+#include "core/snapshot.hpp"
 #include "core/tuner.hpp"
 #include "core/voting.hpp"
 #include "data/tasks.hpp"
@@ -27,6 +29,24 @@ struct PipelineConfig {
   uint64_t seed = 42;
 
   bool apply_compression = true;  ///< disable for no-LUC ablations
+
+  // --- fault tolerance (see docs/ROBUSTNESS.md) ----------------------------
+  /// Non-owning snapshot store (e.g. a runtime::Checkpointer). Enables
+  /// periodic checkpointing, resume and bad-step rollback; null disables all
+  /// three.
+  SnapshotStore* snapshots = nullptr;
+  /// Iterations between snapshots (0 = never checkpoint periodically).
+  int64_t checkpoint_every = 0;
+  /// Restore the newest valid snapshot before adapting, making the run
+  /// bit-exact with one that was never interrupted.
+  bool resume = false;
+  /// Abort (throw) after this many guard-triggered rollbacks; training that
+  /// keeps diverging through repeated lr backoffs is genuinely broken.
+  int64_t max_rollbacks = 8;
+  /// Observer/fault hook called with the 0-based iteration about to run.
+  /// Throwing (e.g. runtime::PowerLossError) aborts the run like a power
+  /// cut — nothing past the last committed snapshot survives.
+  std::function<void(int64_t iter)> before_step;
 };
 
 /// Outputs of one adaptation run.
@@ -45,6 +65,10 @@ struct PipelineResult {
   int64_t peak_activation_bytes = 0;
   int64_t peak_optimizer_bytes = 0;
   int64_t peak_grad_bytes = 0;
+
+  int64_t skipped_steps = 0;       ///< updates skipped by the numeric guard
+  int64_t rollbacks = 0;           ///< checkpoint rollbacks taken
+  int64_t resumed_from_iter = -1;  ///< -1 when the run started fresh
 };
 
 /// Runs the full Edge-LLM flow, adapting `model` to `domain`.

@@ -1,0 +1,107 @@
+#include "core/snapshot.hpp"
+
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace edgellm::core {
+
+namespace {
+constexpr const char* kModelPrefix = "model.";
+constexpr const char* kTunerPrefix = "tuner.";
+constexpr const char* kMaskPrefix = "mask.";
+constexpr const char* kQuantPrefix = "quant.";
+}  // namespace
+
+Snapshot capture_training_state(int64_t iter, nn::CausalLm& model,
+                                const AdaptiveLayerTuner& tuner, const Rng& rng,
+                                const std::vector<float>& loss_curve, const PeakBytes& peaks) {
+  Snapshot snap;
+  snap.iter = iter;
+  snap.state.emplace("meta.iter", nn::pack_u64(static_cast<uint64_t>(iter)));
+  for (auto& [name, tensor] : model.state_dict()) {
+    snap.state.emplace(kModelPrefix + name, std::move(tensor));
+  }
+  // Compression artifacts ride along verbatim: prune masks are a function of
+  // the weights they were derived FROM (not the current ones), so re-deriving
+  // them on restore would pick a different pattern and break bit-exactness.
+  for (nn::TransformerBlock* b : model.blocks()) {
+    for (nn::Linear* lin : b->linears()) {
+      const std::string& wname = lin->weight().name;
+      if (lin->prune_mask()) snap.state.emplace(kMaskPrefix + wname, *lin->prune_mask());
+      if (lin->quant_spec()) {
+        const quant::QuantSpec& q = *lin->quant_spec();
+        snap.state.emplace(kQuantPrefix + wname,
+                           Tensor({4}, std::vector<float>{
+                                           static_cast<float>(q.bits),
+                                           q.symmetric ? 1.0f : 0.0f,
+                                           static_cast<float>(static_cast<int>(q.granularity)),
+                                           static_cast<float>(q.group_size)}));
+      }
+    }
+  }
+  tuner.export_state(kTunerPrefix, snap.state);
+  snap.state.emplace("rng.pipeline", nn::pack_bytes(rng_state_string(rng)));
+  snap.state.emplace("loss_curve",
+                     Tensor({static_cast<int64_t>(loss_curve.size())},
+                            std::vector<float>(loss_curve.begin(), loss_curve.end())));
+  snap.state.emplace("peaks.activation", nn::pack_u64(static_cast<uint64_t>(peaks.activation)));
+  snap.state.emplace("peaks.optimizer", nn::pack_u64(static_cast<uint64_t>(peaks.optimizer)));
+  snap.state.emplace("peaks.grad", nn::pack_u64(static_cast<uint64_t>(peaks.grad)));
+  return snap;
+}
+
+void restore_training_state(const Snapshot& snap, nn::CausalLm& model,
+                            AdaptiveLayerTuner& tuner, Rng& rng,
+                            std::vector<float>& loss_curve, PeakBytes& peaks) {
+  auto need = [&](const std::string& key) -> const Tensor& {
+    const auto it = snap.state.find(key);
+    if (it == snap.state.end()) throw std::runtime_error("snapshot missing entry: " + key);
+    return it->second;
+  };
+
+  std::map<std::string, Tensor> model_state;
+  const std::string model_prefix = kModelPrefix;
+  for (const auto& [key, tensor] : snap.state) {
+    if (key.rfind(model_prefix, 0) == 0) {
+      model_state.emplace(key.substr(model_prefix.size()), tensor);
+    }
+  }
+  model.load_state_dict(model_state);
+  // load_state_dict recomputed prune masks from the restored weights; put
+  // back the exact artifacts the interrupted run was training with.
+  for (nn::TransformerBlock* b : model.blocks()) {
+    for (nn::Linear* lin : b->linears()) {
+      const std::string& wname = lin->weight().name;
+      const auto mit = snap.state.find(kMaskPrefix + wname);
+      if (mit != snap.state.end()) {
+        lin->set_prune_mask(mit->second);
+      } else {
+        lin->set_prune(std::nullopt);
+      }
+      const auto qit = snap.state.find(kQuantPrefix + wname);
+      if (qit != snap.state.end()) {
+        const Tensor& qv = qit->second;
+        if (qv.numel() != 4) throw std::runtime_error("snapshot: malformed quant entry for " + wname);
+        quant::QuantSpec q;
+        q.bits = static_cast<int>(qv[0]);
+        q.symmetric = qv[1] != 0.0f;
+        q.granularity = static_cast<quant::Granularity>(static_cast<int>(qv[2]));
+        q.group_size = static_cast<int64_t>(qv[3]);
+        lin->set_quant(q);
+      } else {
+        lin->set_quant(std::nullopt);
+      }
+    }
+  }
+  tuner.restore_state(kTunerPrefix, snap.state);
+  set_rng_state_string(rng, nn::unpack_bytes(need("rng.pipeline")));
+
+  const Tensor& curve = need("loss_curve");
+  loss_curve.assign(curve.raw(), curve.raw() + curve.numel());
+  peaks.activation = static_cast<int64_t>(nn::unpack_u64(need("peaks.activation")));
+  peaks.optimizer = static_cast<int64_t>(nn::unpack_u64(need("peaks.optimizer")));
+  peaks.grad = static_cast<int64_t>(nn::unpack_u64(need("peaks.grad")));
+}
+
+}  // namespace edgellm::core

@@ -1,0 +1,64 @@
+// Crash-safe training snapshots for the adaptation loop.
+//
+// A Snapshot is a flat named-tensor map holding EVERYTHING a resumed run
+// needs to be bit-exact with an uninterrupted one: model weights, optimizer
+// moments (fp32 or quantized), tuner iteration/EMA/RNG/guard state, the
+// pipeline RNG stream and the loss curve so far. SnapshotStore abstracts
+// where snapshots live; runtime::Checkpointer is the on-disk implementation
+// (atomic rename + CRC-32 + keep-N rotation). Keeping the interface here
+// lets core stay free of filesystem policy while run_pipeline drives
+// checkpointing, resume and rollback.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace edgellm::core {
+
+/// One full training-state capture after `iter` completed iterations.
+struct Snapshot {
+  int64_t iter = 0;
+  std::map<std::string, Tensor> state;
+};
+
+/// Where snapshots are persisted. Implementations must be atomic per save:
+/// after a crash mid-save, load_latest() returns the previous snapshot, not
+/// a torn one.
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+
+  /// Persists a snapshot; throws std::runtime_error on I/O failure (a
+  /// failed save must leave earlier snapshots intact).
+  virtual void save(const Snapshot& snap) = 0;
+
+  /// Newest snapshot that validates; corrupt ones are skipped in favour of
+  /// older rotation slots. nullopt when none exists.
+  virtual std::optional<Snapshot> load_latest() = 0;
+};
+
+/// Peak memory counters that ride along in a snapshot so a resumed
+/// PipelineResult matches an uninterrupted one.
+struct PeakBytes {
+  int64_t activation = 0;
+  int64_t optimizer = 0;
+  int64_t grad = 0;
+};
+
+/// Assembles the full training state after `iter` completed iterations.
+Snapshot capture_training_state(int64_t iter, nn::CausalLm& model,
+                                const AdaptiveLayerTuner& tuner, const Rng& rng,
+                                const std::vector<float>& loss_curve, const PeakBytes& peaks);
+
+/// Inverse of capture_training_state: restores model weights, tuner and
+/// optimizer state, the pipeline RNG and the loss curve in place.
+void restore_training_state(const Snapshot& snap, nn::CausalLm& model,
+                            AdaptiveLayerTuner& tuner, Rng& rng,
+                            std::vector<float>& loss_curve, PeakBytes& peaks);
+
+}  // namespace edgellm::core

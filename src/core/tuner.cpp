@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "nn/serialize.hpp"
 #include "tensor/ops.hpp"
 
 namespace edgellm::core {
@@ -134,6 +136,8 @@ StepStats AdaptiveLayerTuner::step(const data::LmBatch& batch) {
     stats_distill_loss_ = static_cast<float>(soft_loss / rows);
   }
 
+  if (cfg_.grad_hook) cfg_.grad_hook(iter_, ce.grad_logits);
+
   StepStats stats;
   stats.loss = ce.loss;
   stats.distill_loss = distill ? stats_distill_loss_ : 0.0f;
@@ -141,29 +145,94 @@ StepStats AdaptiveLayerTuner::step(const data::LmBatch& batch) {
   stats.backprop_depth = plan.backprop_depth;
   stats.activation_bytes = model_.cached_activation_bytes();
 
-  model_.backward(ce.grad_logits);
-  // Checkpointed backward transiently rebuilds one block's caches on top
-  // of the input stash; count that toward the peak.
-  stats.activation_bytes += model_.peak_backward_cache_bytes();
+  // Numeric-fault guard: a non-finite loss means the forward already
+  // diverged — don't backpropagate garbage into grads or moments.
+  bool bad = cfg_.guard_numerics && !std::isfinite(ce.loss);
+  if (!bad) {
+    model_.backward(ce.grad_logits);
+    // Checkpointed backward transiently rebuilds one block's caches on top
+    // of the input stash; count that toward the peak.
+    stats.activation_bytes += model_.peak_backward_cache_bytes();
 
-  std::vector<nn::Param*> touched = model_.params_for_plan(plan);
-  nn::clip_grad_norm(touched, cfg_.clip_norm);
-  optim_->set_params(touched);
-  optim_->step();
-  for (nn::Param* p : touched) {
-    stats.grad_bytes += nn::tensor_bytes(p->grad);
-    p->zero_grad();
+    std::vector<nn::Param*> touched = model_.params_for_plan(plan);
+    // Second guard point: NaN/Inf gradients (e.g. an injected fault or an
+    // overflow inside backward) are caught before weights or optimizer
+    // moments see them.
+    if (cfg_.guard_numerics && !nn::grads_finite(touched)) bad = true;
+    if (!bad) {
+      nn::clip_grad_norm(touched, cfg_.clip_norm);
+      optim_->set_params(touched);
+      optim_->step();
+    }
+    for (nn::Param* p : touched) {
+      stats.grad_bytes += nn::tensor_bytes(p->grad);
+      p->zero_grad();
+    }
   }
   stats.optimizer_state_bytes = optim_->state_bytes();
   model_.clear_cache();
 
-  // Track per-exit loss for loss-weighted sampling.
-  const int64_t idx = model_.exit_index(exit_layer);
-  float& ema = exit_loss_ema_[static_cast<size_t>(idx)];
-  ema = cfg_.loss_ema * ema + (1.0f - cfg_.loss_ema) * ce.loss;
+  if (bad) {
+    stats.skipped = true;
+    ++bad_steps_;
+    ++consecutive_bad_;
+  } else {
+    consecutive_bad_ = 0;
+    // Track per-exit loss for loss-weighted sampling.
+    const int64_t idx = model_.exit_index(exit_layer);
+    float& ema = exit_loss_ema_[static_cast<size_t>(idx)];
+    ema = cfg_.loss_ema * ema + (1.0f - cfg_.loss_ema) * ce.loss;
+  }
 
   ++iter_;
   return stats;
+}
+
+void AdaptiveLayerTuner::note_rollback() {
+  cfg_.optim.lr *= cfg_.lr_backoff;
+  consecutive_bad_ = 0;
+  ++rollbacks_;
+}
+
+void AdaptiveLayerTuner::export_state(const std::string& prefix,
+                                      std::map<std::string, Tensor>& out) const {
+  out.insert_or_assign(prefix + "iter", nn::pack_u64(static_cast<uint64_t>(iter_)));
+  out.insert_or_assign(prefix + "cyclic_next", nn::pack_u64(cyclic_next_));
+  out.insert_or_assign(prefix + "bad_steps", nn::pack_u64(static_cast<uint64_t>(bad_steps_)));
+  out.insert_or_assign(prefix + "consecutive_bad",
+                       nn::pack_u64(static_cast<uint64_t>(consecutive_bad_)));
+  out.insert_or_assign(prefix + "rollbacks", nn::pack_u64(static_cast<uint64_t>(rollbacks_)));
+  out.insert_or_assign(prefix + "base_lr", Tensor({1}, cfg_.optim.lr));
+  out.insert_or_assign(prefix + "exit_ema",
+                       Tensor({static_cast<int64_t>(exit_loss_ema_.size())},
+                              std::vector<float>(exit_loss_ema_.begin(), exit_loss_ema_.end())));
+  out.insert_or_assign(prefix + "rng", nn::pack_bytes(rng_state_string(rng_)));
+  optim_->export_state(prefix + "optim.", out);
+}
+
+void AdaptiveLayerTuner::restore_state(const std::string& prefix,
+                                       const std::map<std::string, Tensor>& in) {
+  auto need = [&](const std::string& key) -> const Tensor& {
+    const auto it = in.find(prefix + key);
+    if (it == in.end()) throw std::runtime_error("missing tuner state entry: " + prefix + key);
+    return it->second;
+  };
+  iter_ = static_cast<int64_t>(nn::unpack_u64(need("iter")));
+  cyclic_next_ = static_cast<size_t>(nn::unpack_u64(need("cyclic_next")));
+  bad_steps_ = static_cast<int64_t>(nn::unpack_u64(need("bad_steps")));
+  consecutive_bad_ = static_cast<int64_t>(nn::unpack_u64(need("consecutive_bad")));
+  rollbacks_ = static_cast<int64_t>(nn::unpack_u64(need("rollbacks")));
+  cfg_.optim.lr = need("base_lr").item();
+  const Tensor& ema = need("exit_ema");
+  if (ema.numel() != static_cast<int64_t>(exit_loss_ema_.size())) {
+    throw std::runtime_error("tuner state exit-EMA size mismatch");
+  }
+  for (int64_t i = 0; i < ema.numel(); ++i) exit_loss_ema_[static_cast<size_t>(i)] = ema[i];
+  set_rng_state_string(rng_, nn::unpack_bytes(need("rng")));
+
+  std::map<std::string, nn::Param*> by_name;
+  for (nn::Param* p : model_.params()) by_name.emplace(p->name, p);
+  optim_->restore_state(prefix + "optim.", in, by_name);
 }
 
 }  // namespace edgellm::core

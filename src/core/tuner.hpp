@@ -8,7 +8,10 @@
 // memory savings the paper claims.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "data/corpus.hpp"
 #include "nn/model.hpp"
@@ -51,6 +54,18 @@ struct TunerConfig {
   float distill_weight = 0.0f;
   float distill_temperature = 2.0f;
 
+  /// Numeric-fault guard: when true, a step whose loss or gradients come
+  /// out non-finite skips the optimizer update (weights and moments stay
+  /// clean) and is counted instead of silently poisoning training state.
+  bool guard_numerics = true;
+  /// Consecutive guarded (skipped) steps before needs_rollback() trips.
+  int64_t max_consecutive_bad = 3;
+  /// Multiplier applied to the base learning rate on each rollback.
+  float lr_backoff = 0.5f;
+  /// Fault-injection/observation hook: mutates the logits gradient before
+  /// backward (runtime::FaultInjector installs NaN poisoning here).
+  std::function<void(int64_t iter, Tensor& grad_logits)> grad_hook;
+
   /// Vanilla full fine-tuning configuration.
   static TunerConfig vanilla() {
     TunerConfig cfg;
@@ -78,6 +93,7 @@ struct StepStats {
   int64_t activation_bytes = 0;       ///< cached activations at backward time
   int64_t grad_bytes = 0;             ///< gradient buffers touched this step
   int64_t optimizer_state_bytes = 0;  ///< cumulative AdamW state
+  bool skipped = false;               ///< update skipped by the numeric-fault guard
 };
 
 /// Drives adaptation of a CausalLm.
@@ -102,6 +118,35 @@ class AdaptiveLayerTuner {
   int64_t iterations() const { return iter_; }
   const nn::Optimizer& optimizer() const { return *optim_; }
 
+  // --- numeric-fault guard & crash-safe checkpoint support -----------------
+
+  /// Steps skipped by the guard since construction (total / current streak).
+  int64_t bad_steps() const { return bad_steps_; }
+  int64_t consecutive_bad_steps() const { return consecutive_bad_; }
+  /// Rollbacks acknowledged via note_rollback().
+  int64_t rollbacks() const { return rollbacks_; }
+  /// Base learning rate after any rollback backoffs.
+  float base_lr() const { return cfg_.optim.lr; }
+
+  /// True once `max_consecutive_bad` steps in a row were non-finite; the
+  /// driver should restore the last good checkpoint and call note_rollback().
+  bool needs_rollback() const {
+    return cfg_.guard_numerics && consecutive_bad_ >= cfg_.max_consecutive_bad;
+  }
+
+  /// Resets the bad-step streak and applies the learning-rate backoff.
+  /// Called by the driver after restoring a good checkpoint (or in place
+  /// when no checkpoint exists).
+  void note_rollback();
+
+  /// Serializes the full tuner state — iteration counter, sampling cursor,
+  /// per-exit loss EMA, RNG stream, guard counters, base lr and all
+  /// optimizer moments — under `prefix`. A tuner built with the same config
+  /// over the same model that restore_state()s this map continues training
+  /// bit-exactly where this one stood.
+  void export_state(const std::string& prefix, std::map<std::string, Tensor>& out) const;
+  void restore_state(const std::string& prefix, const std::map<std::string, Tensor>& in);
+
  private:
   nn::CausalLm& model_;
   TunerConfig cfg_;
@@ -111,6 +156,9 @@ class AdaptiveLayerTuner {
   size_t cyclic_next_ = 0;
   float stats_distill_loss_ = 0.0f;
   std::vector<float> exit_loss_ema_;  ///< for kLossWeighted
+  int64_t bad_steps_ = 0;
+  int64_t consecutive_bad_ = 0;
+  int64_t rollbacks_ = 0;
 
   int64_t sample_exit();
 };

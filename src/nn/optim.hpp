@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +18,11 @@ namespace edgellm::nn {
 /// Clips the global L2 norm of the given params' grads to `max_norm`.
 /// Returns the pre-clip norm.
 float clip_grad_norm(const std::vector<Param*>& params, float max_norm);
+
+/// True when every trainable param's gradient is finite (the numeric-fault
+/// guard in core::AdaptiveLayerTuner checks this before letting an update
+/// touch weights or optimizer moments).
+bool grads_finite(const std::vector<Param*>& params);
 
 /// Base optimizer over an explicit parameter list.
 class Optimizer {
@@ -35,6 +42,20 @@ class Optimizer {
   /// Replaces the learning rate (for schedules driven by the caller).
   virtual void set_lr(float lr) = 0;
   virtual float lr() const = 0;
+
+  /// Serializes all mutable optimizer state (moments, step counters) into
+  /// `out`, keyed `prefix` + suffix [+ param name]. Exact round-trip:
+  /// restore_state() on a fresh optimizer with the same config reproduces
+  /// bit-identical future updates (crash-safe checkpoint support).
+  virtual void export_state(const std::string& prefix,
+                            std::map<std::string, Tensor>& out) const = 0;
+
+  /// Restores state written by export_state. `by_name` maps parameter names
+  /// to the live Params the state attaches to; entries naming unknown
+  /// params throw std::runtime_error.
+  virtual void restore_state(const std::string& prefix,
+                             const std::map<std::string, Tensor>& in,
+                             const std::map<std::string, Param*>& by_name) = 0;
 
   void zero_grad() {
     for (Param* p : params_) p->zero_grad();
@@ -64,6 +85,10 @@ class Sgd final : public Optimizer {
   int64_t state_bytes() const override;
   void set_lr(float lr) override { check_arg(lr > 0.0f, "lr must be positive"); cfg_.lr = lr; }
   float lr() const override { return cfg_.lr; }
+  void export_state(const std::string& prefix,
+                    std::map<std::string, Tensor>& out) const override;
+  void restore_state(const std::string& prefix, const std::map<std::string, Tensor>& in,
+                     const std::map<std::string, Param*>& by_name) override;
 
  private:
   Config cfg_;
@@ -86,6 +111,10 @@ class AdamW final : public Optimizer {
   int64_t state_bytes() const override;
   void set_lr(float lr) override { check_arg(lr > 0.0f, "lr must be positive"); cfg_.lr = lr; }
   float lr() const override { return cfg_.lr; }
+  void export_state(const std::string& prefix,
+                    std::map<std::string, Tensor>& out) const override;
+  void restore_state(const std::string& prefix, const std::map<std::string, Tensor>& in,
+                     const std::map<std::string, Param*>& by_name) override;
 
  private:
   struct State {
@@ -120,6 +149,10 @@ class QuantizedAdamW final : public Optimizer {
   int64_t state_bytes() const override;
   void set_lr(float lr) override { check_arg(lr > 0.0f, "lr must be positive"); cfg_.lr = lr; }
   float lr() const override { return cfg_.lr; }
+  void export_state(const std::string& prefix,
+                    std::map<std::string, Tensor>& out) const override;
+  void restore_state(const std::string& prefix, const std::map<std::string, Tensor>& in,
+                     const std::map<std::string, Param*>& by_name) override;
 
  private:
   struct State {

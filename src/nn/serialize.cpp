@@ -1,7 +1,13 @@
 #include "nn/serialize.hpp"
 
+#include <array>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace edgellm::nn {
@@ -9,66 +15,227 @@ namespace edgellm::nn {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'L', 'L', 'M'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;  ///< v2 = v1 body + CRC-32 footer
+
+// Structural plausibility bounds for load hardening: anything past these is
+// a corrupt or hostile file, not a real checkpoint, and gets a clean throw
+// instead of a multi-gigabyte allocation or UB.
+constexpr uint64_t kMaxEntries = 1ull << 20;
+constexpr uint64_t kMaxNameLen = 4096;
+constexpr uint64_t kMaxRank = 8;
+constexpr uint64_t kMaxExtent = 1ull << 32;
 
 void write_u64(std::ostream& os, uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-uint64_t read_u64(std::istream& is) {
-  uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!is) throw std::runtime_error("checkpoint truncated");
-  return v;
-}
+/// Bounds-checked cursor over an in-memory checkpoint image. Every read
+/// validates the remaining byte count first, so a truncated file can never
+/// read past the buffer.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  void need(uint64_t bytes) const {
+    if (bytes > size_ - off_) {
+      throw std::runtime_error("checkpoint truncated: " + path_);
+    }
+  }
+
+  void read(void* out, uint64_t bytes) {
+    need(bytes);
+    std::memcpy(out, data_ + off_, static_cast<size_t>(bytes));
+    off_ += static_cast<size_t>(bytes);
+  }
+
+  uint64_t u64() {
+    uint64_t v = 0;
+    read(&v, sizeof(v));
+    return v;
+  }
+
+  std::string str(uint64_t len) {
+    need(len);
+    std::string s(data_ + off_, static_cast<size_t>(len));
+    off_ += static_cast<size_t>(len);
+    return s;
+  }
+
+  uint64_t remaining() const { return size_ - off_; }
+  void skip(uint64_t bytes) { need(bytes); off_ += static_cast<size_t>(bytes); }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t off_ = 0;
+  std::string path_;
+};
 
 }  // namespace
 
-void save_state_dict(const std::map<std::string, Tensor>& state, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open checkpoint for writing: " + path);
-  os.write(kMagic, 4);
-  const uint32_t version = kVersion;
-  os.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  write_u64(os, state.size());
-  for (const auto& [name, tensor] : state) {
-    write_u64(os, name.size());
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u64(os, static_cast<uint64_t>(tensor.ndim()));
-    for (int64_t d = 0; d < tensor.ndim(); ++d) {
-      write_u64(os, static_cast<uint64_t>(tensor.dim(d)));
+uint32_t crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
     }
-    os.write(reinterpret_cast<const char*>(tensor.raw()),
-             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Tensor pack_u64(uint64_t v) {
+  return Tensor({4}, std::vector<float>{
+                         static_cast<float>(v & 0xFFFFu),
+                         static_cast<float>((v >> 16) & 0xFFFFu),
+                         static_cast<float>((v >> 32) & 0xFFFFu),
+                         static_cast<float>((v >> 48) & 0xFFFFu)});
+}
+
+uint64_t unpack_u64(const Tensor& t) {
+  if (t.numel() != 4) throw std::runtime_error("unpack_u64: expected 4 limbs");
+  uint64_t v = 0;
+  for (int64_t i = 0; i < 4; ++i) {
+    const float limb = t[i];
+    if (limb < 0.0f || limb > 65535.0f || limb != static_cast<float>(static_cast<uint64_t>(limb))) {
+      throw std::runtime_error("unpack_u64: limb out of range");
+    }
+    v |= static_cast<uint64_t>(limb) << (16 * i);
   }
-  if (!os) throw std::runtime_error("checkpoint write failed: " + path);
+  return v;
+}
+
+Tensor pack_bytes(const std::string& bytes) {
+  Tensor t({static_cast<int64_t>(bytes.size())});
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    t[static_cast<int64_t>(i)] = static_cast<float>(static_cast<unsigned char>(bytes[i]));
+  }
+  return t;
+}
+
+std::string unpack_bytes(const Tensor& t) {
+  std::string s(static_cast<size_t>(t.numel()), '\0');
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    const float b = t[i];
+    if (b < 0.0f || b > 255.0f || b != static_cast<float>(static_cast<unsigned>(b))) {
+      throw std::runtime_error("unpack_bytes: value out of byte range");
+    }
+    s[static_cast<size_t>(i)] = static_cast<char>(static_cast<unsigned char>(b));
+  }
+  return s;
+}
+
+void save_state_dict(const std::map<std::string, Tensor>& state, const std::string& path) {
+  // Build the full image in memory first so the CRC covers exactly what is
+  // written and the on-disk commit is a single stream-out + rename.
+  std::ostringstream payload(std::ios::binary);
+  payload.write(kMagic, 4);
+  const uint32_t version = kVersion;
+  payload.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  write_u64(payload, state.size());
+  for (const auto& [name, tensor] : state) {
+    write_u64(payload, name.size());
+    payload.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(payload, static_cast<uint64_t>(tensor.ndim()));
+    for (int64_t d = 0; d < tensor.ndim(); ++d) {
+      write_u64(payload, static_cast<uint64_t>(tensor.dim(d)));
+    }
+    payload.write(reinterpret_cast<const char*>(tensor.raw()),
+                  static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  const std::string bytes = payload.str();
+  const uint32_t crc = crc32(bytes.data(), bytes.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot open checkpoint for writing: " + tmp);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.flush();
+    if (!os) {
+      os.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("checkpoint write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    throw std::runtime_error("cannot commit checkpoint " + path + ": " + ec.message());
+  }
 }
 
 std::map<std::string, Tensor> load_state_dict_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open checkpoint: " + path);
-  char magic[4];
-  is.read(magic, 4);
-  if (!is || std::string(magic, 4) != std::string(kMagic, 4)) {
+  std::string bytes((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (bytes.size() < 4 + sizeof(uint32_t) + sizeof(uint64_t)) {
+    throw std::runtime_error("not an Edge-LLM checkpoint: " + path);
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
     throw std::runtime_error("not an Edge-LLM checkpoint: " + path);
   }
   uint32_t version = 0;
-  is.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!is || version != kVersion) throw std::runtime_error("unsupported checkpoint version");
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  if (version != 1 && version != kVersion) {
+    throw std::runtime_error("unsupported checkpoint version");
+  }
+
+  size_t payload_end = bytes.size();
+  if (version >= 2) {
+    payload_end -= sizeof(uint32_t);
+    uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + payload_end, sizeof(stored));
+    if (crc32(bytes.data(), payload_end) != stored) {
+      throw std::runtime_error("checkpoint CRC mismatch (corrupt): " + path);
+    }
+  }
+
+  ByteReader r(bytes.data(), payload_end, path);
+  r.skip(4 + sizeof(uint32_t));  // magic + version, already validated
 
   std::map<std::string, Tensor> state;
-  const uint64_t count = read_u64(is);
+  const uint64_t count = r.u64();
+  if (count > kMaxEntries) {
+    throw std::runtime_error("implausible checkpoint entry count in " + path);
+  }
   for (uint64_t e = 0; e < count; ++e) {
-    const uint64_t name_len = read_u64(is);
-    std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
-    const uint64_t ndim = read_u64(is);
+    const uint64_t name_len = r.u64();
+    if (name_len > kMaxNameLen) {
+      throw std::runtime_error("implausible entry name length in " + path);
+    }
+    std::string name = r.str(name_len);
+    const uint64_t ndim = r.u64();
+    if (ndim > kMaxRank) throw std::runtime_error("implausible tensor rank in " + path);
     Shape shape;
-    for (uint64_t d = 0; d < ndim; ++d) shape.push_back(static_cast<int64_t>(read_u64(is)));
+    int64_t numel = 1;
+    for (uint64_t d = 0; d < ndim; ++d) {
+      const uint64_t extent = r.u64();
+      if (extent > kMaxExtent) throw std::runtime_error("implausible extent in " + path);
+      const auto ext = static_cast<int64_t>(extent);
+      if (ext > 0 && numel > std::numeric_limits<int64_t>::max() / ext) {
+        throw std::runtime_error("tensor extent overflow in " + path);
+      }
+      numel *= ext;
+      shape.push_back(ext);
+    }
+    // An honest file has the data in its remaining bytes; checking before
+    // the allocation turns a would-be bad_alloc into a clean error.
+    if (static_cast<uint64_t>(numel) > r.remaining() / sizeof(float)) {
+      throw std::runtime_error("checkpoint truncated: " + path);
+    }
     Tensor t(shape);
-    is.read(reinterpret_cast<char*>(t.raw()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!is) throw std::runtime_error("checkpoint truncated: " + path);
+    r.read(t.raw(), static_cast<uint64_t>(t.numel()) * sizeof(float));
     state.emplace(std::move(name), std::move(t));
   }
   return state;

@@ -3,8 +3,15 @@
 // Format: magic "ELLM", version, entry count, then per entry:
 // name length + name bytes + ndim + extents + raw fp32 data. Little-endian
 // host order (the reproduction targets a single host).
+//
+// Version 2 (current writer) appends a CRC-32 footer over everything that
+// precedes it, and save_state_dict commits atomically (temp file + rename),
+// so a power cut mid-write never leaves a half-checkpoint under the final
+// name and bit rot is detected at load instead of silently loading garbage.
+// Version 1 files (no footer) are still readable.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,11 +20,36 @@
 
 namespace edgellm::nn {
 
-/// Writes a state dict to `path`; throws std::runtime_error on I/O failure.
+/// CRC-32 (IEEE 802.3, reflected poly 0xEDB88320) over a byte range.
+/// Pass a previous return value as `seed` to checksum incrementally.
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Writes a state dict to `path` atomically (temp file + rename) with a
+/// CRC-32 footer; throws std::runtime_error on I/O failure. No partial or
+/// torn file is ever visible at `path`.
 void save_state_dict(const std::map<std::string, Tensor>& state, const std::string& path);
 
-/// Reads a state dict written by save_state_dict.
+/// Reads a state dict written by save_state_dict (v1 or v2). Rejects
+/// truncated, corrupted (CRC mismatch), or structurally implausible files
+/// (absurd entry counts / name lengths / extents) with std::runtime_error
+/// rather than undefined behaviour or bad_alloc.
 std::map<std::string, Tensor> load_state_dict_file(const std::string& path);
+
+// --- exact scalar/byte payload helpers --------------------------------------
+// Training state (step counters, RNG streams) must round-trip bit-exactly
+// through the float-tensor entry format. Integers <= 65535 are exactly
+// representable in fp32, so a uint64 travels as four 16-bit limbs and a byte
+// string as one float per byte.
+
+/// Packs a uint64 into a {4} tensor of little-endian 16-bit limbs.
+Tensor pack_u64(uint64_t v);
+/// Inverse of pack_u64; throws std::runtime_error on malformed input.
+uint64_t unpack_u64(const Tensor& t);
+
+/// Packs an arbitrary byte string into a {n} tensor (one float per byte).
+Tensor pack_bytes(const std::string& bytes);
+/// Inverse of pack_bytes; throws std::runtime_error on out-of-range values.
+std::string unpack_bytes(const Tensor& t);
 
 /// Convenience: snapshot / restore a model whose config the caller holds.
 void save_model(CausalLm& model, const std::string& path);

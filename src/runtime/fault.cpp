@@ -1,0 +1,62 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+namespace edgellm::runtime {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+std::function<void(int64_t)> FaultInjector::step_hook() {
+  return [this](int64_t iter) {
+    if (iter == plan_.power_loss_at && !fired_power_) {
+      fired_power_ = true;
+      ++power_losses_;
+      throw PowerLossError(iter);
+    }
+  };
+}
+
+std::function<void(int64_t, Tensor&)> FaultInjector::grad_hook() {
+  return [this](int64_t iter, Tensor& grad) {
+    if (std::find(plan_.nan_grad_at.begin(), plan_.nan_grad_at.end(), iter) ==
+        plan_.nan_grad_at.end()) {
+      return;
+    }
+    if (!fired_nan_.insert(iter).second) return;  // one shot per site
+    if (grad.numel() == 0) return;
+    grad[rng_.uniform_int(0, grad.numel() - 1)] = std::numeric_limits<float>::quiet_NaN();
+    ++nan_injections_;
+  };
+}
+
+std::function<void(const std::string&)> FaultInjector::io_hook() {
+  return [this](const std::string& staged_path) {
+    if (save_count_++ == plan_.fail_save_index) {
+      ++io_failures_;
+      throw std::runtime_error("injected I/O failure while committing " + staged_path);
+    }
+  };
+}
+
+void FaultInjector::corrupt_file(const std::string& path, int64_t byte_offset) {
+  const auto size = static_cast<int64_t>(std::filesystem::file_size(path));
+  check_arg(size > 0, "FaultInjector: cannot corrupt empty file " + path);
+  const int64_t off = byte_offset >= 0 ? byte_offset : rng_.uniform_int(0, size - 1);
+  check_arg(off < size, "FaultInjector: corruption offset past end of " + path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("FaultInjector: cannot open " + path);
+  f.seekg(off);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0xA5);
+  f.seekp(off);
+  f.write(&byte, 1);
+  f.flush();
+  if (!f) throw std::runtime_error("FaultInjector: corruption write failed for " + path);
+  ++corruptions_;
+}
+
+}  // namespace edgellm::runtime

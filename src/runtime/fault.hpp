@@ -1,0 +1,75 @@
+// Deterministic, seeded fault injection for the adaptation loop.
+//
+// Edge devices brown out, flip bits and run out of disk; this harness
+// simulates those faults reproducibly so the recovery paths (atomic
+// checkpoints, CRC fallback, numeric guards, rollback) are tested instead
+// of trusted. Each fault fires at most once per configured site, so a
+// rolled-back or resumed run replays cleanly past the point of injection —
+// exactly what a transient real-world fault looks like.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace edgellm::runtime {
+
+/// Thrown by the power-loss hook: models the process dying mid-run. Nothing
+/// past the last committed checkpoint survives it.
+struct PowerLossError final : std::runtime_error {
+  explicit PowerLossError(int64_t iter)
+      : std::runtime_error("simulated power loss before iteration " + std::to_string(iter)) {}
+};
+
+/// What to break, and when. All sites are one-shot.
+struct FaultPlan {
+  /// Throw PowerLossError before this 0-based iteration (-1 = never).
+  int64_t power_loss_at = -1;
+  /// Poison one gradient entry with NaN at each of these iterations.
+  std::vector<int64_t> nan_grad_at;
+  /// Make the Nth checkpoint save (0-based) fail with an I/O error (-1 = never).
+  int64_t fail_save_index = -1;
+  /// Seeds gradient-index / corruption-offset choices.
+  uint64_t seed = 0x5EEDF00Dull;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Install as PipelineConfig::before_step.
+  std::function<void(int64_t iter)> step_hook();
+
+  /// Install as TunerConfig::grad_hook.
+  std::function<void(int64_t iter, Tensor& grad_logits)> grad_hook();
+
+  /// Install as CheckpointerConfig::pre_commit.
+  std::function<void(const std::string& staged_path)> io_hook();
+
+  /// Flips one byte of `path` in place (XOR 0xA5, guaranteed to change it).
+  /// `byte_offset` < 0 picks a seeded-random offset within the file.
+  void corrupt_file(const std::string& path, int64_t byte_offset = -1);
+
+  int64_t power_losses() const { return power_losses_; }
+  int64_t nan_injections() const { return nan_injections_; }
+  int64_t io_failures() const { return io_failures_; }
+  int64_t corruptions() const { return corruptions_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  bool fired_power_ = false;
+  std::set<int64_t> fired_nan_;
+  int64_t save_count_ = 0;
+  int64_t power_losses_ = 0;
+  int64_t nan_injections_ = 0;
+  int64_t io_failures_ = 0;
+  int64_t corruptions_ = 0;
+};
+
+}  // namespace edgellm::runtime

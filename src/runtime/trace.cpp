@@ -1,5 +1,6 @@
 #include "runtime/trace.hpp"
 
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -28,7 +29,25 @@ CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
   rows_ = 0;  // header doesn't count
 }
 
-CsvWriter::~CsvWriter() = default;
+CsvWriter::~CsvWriter() {
+  if (!os_.is_open()) return;
+  os_.flush();
+  if (!os_) {
+    // Destructors must not throw; a silently truncated trace is worse than
+    // a loud one, so at least say something.
+    std::cerr << "warning: CsvWriter: trace " << path_ << " may be incomplete (I/O error)\n";
+  }
+}
+
+void CsvWriter::close() {
+  if (!os_.is_open()) return;
+  os_.flush();
+  const bool ok = static_cast<bool>(os_);
+  os_.close();
+  if (!ok || os_.fail()) {
+    throw std::runtime_error("CsvWriter: I/O error closing " + path_ + "; trace is incomplete");
+  }
+}
 
 void CsvWriter::write_cells(const std::vector<std::string>& cells) {
   for (size_t i = 0; i < cells.size(); ++i) {
@@ -36,6 +55,9 @@ void CsvWriter::write_cells(const std::vector<std::string>& cells) {
     os_ << escape(cells[i]);
   }
   os_ << '\n';
+  // Flush so buffered-write failures (ENOSPC, dead mount) surface on the
+  // row that hit them rather than being dropped at destruction.
+  os_.flush();
   if (!os_) throw std::runtime_error("CsvWriter: write failed for " + path_);
   ++rows_;
 }
@@ -64,6 +86,7 @@ void write_loss_curve(const std::string& path, const std::vector<float>& losses)
   for (size_t i = 0; i < losses.size(); ++i) {
     w.row(std::vector<double>{static_cast<double>(i), static_cast<double>(losses[i])});
   }
+  w.close();
 }
 
 void write_method_reports(const std::string& path, const std::vector<MethodReport>& reports) {
@@ -81,6 +104,7 @@ void write_method_reports(const std::string& path, const std::vector<MethodRepor
     }
     w.row(cells);
   }
+  w.close();
 }
 
 }  // namespace edgellm::runtime

@@ -11,10 +11,15 @@
 namespace edgellm::runtime {
 
 /// Minimal CSV writer with header checking. Throws std::runtime_error on
-/// I/O failure; fields containing commas/quotes are quoted.
+/// I/O failure; fields containing commas/quotes are quoted. Every row is
+/// flushed and the stream state checked, so a disk-full or yanked-mount
+/// error surfaces at the row that hit it instead of vanishing with the
+/// buffered tail of the trace.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, std::vector<std::string> columns);
+  /// Flushes; an I/O failure is reported to stderr (destructors can't
+  /// throw) — call close() to get an exception instead.
   ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
@@ -23,6 +28,10 @@ class CsvWriter {
   /// Writes one row; the cell count must match the header.
   void row(const std::vector<std::string>& cells);
   void row(const std::vector<double>& values);
+
+  /// Flushes and closes the file; throws std::runtime_error if any write
+  /// failed, so callers that need durable traces can check explicitly.
+  void close();
 
   int64_t rows_written() const { return rows_; }
 

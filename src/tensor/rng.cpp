@@ -1,6 +1,21 @@
 #include "tensor/rng.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 namespace edgellm {
+
+std::string rng_state_string(const Rng& rng) {
+  std::ostringstream os;
+  os << rng.engine();
+  return os.str();
+}
+
+void set_rng_state_string(Rng& rng, const std::string& s) {
+  std::istringstream is(s);
+  is >> rng.engine();
+  if (!is) throw std::runtime_error("malformed RNG state string");
+}
 
 Tensor randn(Shape shape, Rng& rng, float mean, float stddev) {
   Tensor t(std::move(shape));

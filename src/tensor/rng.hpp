@@ -54,6 +54,7 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
   /// Derives an independent child stream (stable across platforms).
   Rng fork() { return Rng(engine_()); }
@@ -61,6 +62,15 @@ class Rng {
  private:
   std::mt19937_64 engine_;
 };
+
+/// Serializes the full engine state as portable text (the standard
+/// mt19937_64 stream format). Round-trips bit-exactly through
+/// set_rng_state_string, which checkpoint/resume relies on.
+std::string rng_state_string(const Rng& rng);
+
+/// Restores a state produced by rng_state_string; throws
+/// std::runtime_error on malformed input.
+void set_rng_state_string(Rng& rng, const std::string& s);
 
 /// Tensor of i.i.d. N(mean, stddev^2) values.
 Tensor randn(Shape shape, Rng& rng, float mean = 0.0f, float stddev = 1.0f);

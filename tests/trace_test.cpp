@@ -52,6 +52,30 @@ TEST(Trace, RejectsUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent/dir/x.csv", {"a"}), std::runtime_error);
 }
 
+TEST(Trace, SurfacesWriteErrorsOnTheFailingRow) {
+  // /dev/full accepts the open but fails every write with ENOSPC; rows are
+  // flushed eagerly, so the failure must surface as a throw (from the header
+  // write in the constructor or the first row), never silently.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  EXPECT_THROW(
+      {
+        CsvWriter w("/dev/full", {"a"});
+        w.row(std::vector<std::string>{"1"});
+      },
+      std::runtime_error);
+}
+
+TEST(Trace, CloseReportsFailureAndIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/edgellm_trace4.csv";
+  CsvWriter w(path, {"a"});
+  w.row(std::vector<std::string>{"1"});
+  EXPECT_NO_THROW(w.close());
+  EXPECT_NO_THROW(w.close());  // already closed: no-op
+  EXPECT_EQ(slurp(path), "a\n1\n");
+  std::remove(path.c_str());
+}
+
 TEST(Trace, LossCurveRoundTrip) {
   const std::string path = ::testing::TempDir() + "/edgellm_loss.csv";
   write_loss_curve(path, {3.0f, 2.5f, 2.0f});
