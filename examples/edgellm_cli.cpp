@@ -9,6 +9,14 @@
 //                        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume 1]
 //   edgellm_cli eval     --in adapted.bin [--shift 0.6]
 //   edgellm_cli generate --in adapted.bin [--tokens 24] [--temp 0.7] [--shift 0.6]
+//   edgellm_cli serve    --in adapted.bin [--requests FILE|-] [--threads 2]
+//                        [--batch 8] [--queue 64] [--kv-budget BYTES]
+//                        [--quantize-kv 0|1] [--metrics out.csv]
+//
+// `serve` runs the concurrent batched serving engine (src/serve): requests
+// come in as JSONL (one {"id":..,"prompt":[..],"exit":"voted"|N|"final",..}
+// object per line, default stdin), completions go to stdout as JSONL, and
+// --metrics writes one CSV row of timing/memory per request.
 //
 // With --checkpoint-dir, adaptation writes atomic CRC-checked snapshots of
 // the FULL training state every --checkpoint-every iterations; rerunning
@@ -17,6 +25,7 @@
 //
 // Build & run:  ./build/examples/edgellm_cli pretrain --out /tmp/base.bin
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -29,6 +38,7 @@
 #include "runtime/checkpointer.hpp"
 #include "runtime/table.hpp"
 #include "runtime/trace.hpp"
+#include "serve/engine.hpp"
 
 namespace {
 
@@ -187,14 +197,78 @@ int cmd_generate(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::map<std::string, std::string>& args) {
+  auto model = nn::load_model_with_config(get_str(args, "in"));
+
+  serve::EngineConfig ecfg;
+  ecfg.threads = static_cast<int64_t>(get_num(args, "threads", 2));
+  ecfg.max_batch = static_cast<int64_t>(get_num(args, "batch", 8));
+  ecfg.queue_capacity = static_cast<int64_t>(get_num(args, "queue", 64));
+  ecfg.kv_byte_budget = static_cast<int64_t>(get_num(args, "kv-budget", 0));
+  ecfg.quantize_kv = get_num(args, "quantize-kv", 0) != 0;
+  serve::ServeEngine engine(*model, ecfg);
+
+  // Requests in: one JSON object per line, default stdin ("-").
+  const std::string req_path = args.contains("requests") ? args.at("requests") : "-";
+  std::ifstream file;
+  if (req_path != "-") {
+    file.open(req_path);
+    check_arg(file.good(), "serve: cannot open requests file " + req_path);
+  }
+  std::istream& in = req_path == "-" ? std::cin : file;
+
+  std::vector<std::future<serve::Completion>> futs;
+  std::string line;
+  int64_t auto_id = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    serve::Request req = serve::parse_request_json(line);
+    if (req.id == 0) req.id = ++auto_id;
+    futs.push_back(engine.submit(std::move(req)));
+  }
+
+  std::unique_ptr<runtime::CsvWriter> csv;
+  if (args.contains("metrics")) {
+    csv = std::make_unique<runtime::CsvWriter>(
+        args.at("metrics"), std::vector<std::string>{"id", "status", "prompt_tokens",
+                                                     "output_tokens", "queue_ms", "ttft_ms",
+                                                     "total_ms", "tokens_per_s", "kv_bytes"});
+  }
+  for (auto& fut : futs) {
+    const serve::Completion c = fut.get();
+    std::cout << serve::completion_to_json(c) << "\n";
+    if (csv) {
+      csv->row(std::vector<std::string>{
+          std::to_string(c.id), serve::to_string(c.status),
+          std::to_string(c.metrics.prompt_tokens), std::to_string(c.metrics.output_tokens),
+          fmt(c.metrics.queue_wait_ms, 3), fmt(c.metrics.ttft_ms, 3),
+          fmt(c.metrics.total_ms, 3), fmt(c.metrics.tokens_per_s, 1),
+          std::to_string(c.metrics.kv_bytes)});
+    }
+  }
+  engine.shutdown();
+  if (csv) csv->close();
+
+  const serve::EngineMetrics m = engine.metrics();
+  std::cerr << "served " << m.completed << " ok, " << m.rejected << " rejected, "
+            << m.cancelled << " cancelled, " << m.timed_out << " timed out; "
+            << m.tokens_generated << " tokens over " << m.ticks << " ticks (mean batch "
+            << fmt(m.mean_batch_occupancy(), 2) << "), KV high water "
+            << m.kv_high_water_bytes / 1024 << " KiB\n";
+  return 0;
+}
+
 int usage() {
-  std::cerr << "usage: edgellm_cli <pretrain|adapt|eval|generate> [--flag value ...]\n"
+  std::cerr << "usage: edgellm_cli <pretrain|adapt|eval|generate|serve> [--flag value ...]\n"
                "  pretrain --out FILE [--iters N] [--layers L] [--dmodel D] [--seed S]\n"
                "  adapt    --in FILE --out FILE [--shift F] [--budget B] [--window W] [--iters N]\n"
                "           [--checkpoint-dir DIR] [--checkpoint-every N] [--checkpoint-keep K]\n"
                "           [--resume 0|1]\n"
                "  eval     --in FILE [--shift F]\n"
-               "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n";
+               "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n"
+               "  serve    --in FILE [--requests FILE|-] [--threads N] [--batch B]\n"
+               "           [--queue Q] [--kv-budget BYTES] [--quantize-kv 0|1]\n"
+               "           [--metrics CSV]\n";
   return 2;
 }
 
@@ -209,6 +283,7 @@ int main(int argc, char** argv) {
     if (cmd == "adapt") return cmd_adapt(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -33,17 +33,22 @@ void ExitVoter::calibrate(const std::vector<data::LmBatch>& calib) {
   calibrated_ = true;
 }
 
-Tensor ExitVoter::vote_logits(const std::vector<int64_t>& tokens, int64_t batch, int64_t seq) {
-  const std::vector<Tensor> all = model_.forward_all_exits(tokens, batch, seq);
+Tensor combine_exit_logits(const std::vector<Tensor>& exit_logits,
+                           const std::vector<float>& weights,
+                           const std::vector<float>& calib_losses, const VoterConfig& cfg) {
+  check_arg(!exit_logits.empty(), "combine_exit_logits: no exit logits");
+  check_arg(weights.size() == exit_logits.size() && calib_losses.size() == exit_logits.size(),
+            "combine_exit_logits: weights/losses must match exit count");
+  const std::vector<Tensor>& all = exit_logits;
   const size_t n_exits = all.size();
-  const int64_t rows = batch * seq;
-  const int64_t vocab = model_.config().vocab;
+  const int64_t vocab = all[0].dim(-1);
+  const int64_t rows = all[0].numel() / vocab;
 
-  switch (cfg_.mode) {
+  switch (cfg.mode) {
     case VotingMode::kBestSingle: {
       size_t best = 0;
       for (size_t e = 1; e < n_exits; ++e) {
-        if (calib_losses_[e] < calib_losses_[best]) best = e;
+        if (calib_losses[e] < calib_losses[best]) best = e;
       }
       return ops::log_softmax_lastdim(all[best]);
     }
@@ -56,10 +61,12 @@ Tensor ExitVoter::vote_logits(const std::vector<int64_t>& tokens, int64_t batch,
       return counts;
     }
     case VotingMode::kCalibratedWeight: {
+      // Accumulated by flat index so [vocab] decode-time logits (rows == 1)
+      // and [rows, vocab] eval-time logits both work.
       Tensor mix({rows, vocab});
       for (size_t e = 0; e < n_exits; ++e) {
         const Tensor probs = ops::softmax_lastdim(all[e]);
-        ops::axpy_inplace(mix, weights_[e], probs);
+        for (int64_t i = 0; i < mix.numel(); ++i) mix[i] += weights[e] * probs[i];
       }
       for (int64_t i = 0; i < mix.numel(); ++i) mix[i] = std::log(mix[i] + 1e-12f);
       return mix;
@@ -80,7 +87,7 @@ Tensor ExitVoter::vote_logits(const std::vector<int64_t>& tokens, int64_t batch,
             const float p = probs[e][r * vocab + v];
             if (p > 0.0f) h -= static_cast<double>(p) * std::log(static_cast<double>(p));
           }
-          row_w[e] = weights_[e] * std::exp(static_cast<float>(-h) / cfg_.temperature);
+          row_w[e] = weights[e] * std::exp(static_cast<float>(-h) / cfg.temperature);
           total += row_w[e];
         }
         check_arg(total > 0.0, "ExitVoter: degenerate per-row weights");
@@ -96,6 +103,11 @@ Tensor ExitVoter::vote_logits(const std::vector<int64_t>& tokens, int64_t batch,
     }
   }
   throw std::invalid_argument("unknown voting mode");
+}
+
+Tensor ExitVoter::vote_logits(const std::vector<int64_t>& tokens, int64_t batch, int64_t seq) {
+  return combine_exit_logits(model_.forward_all_exits(tokens, batch, seq), weights_,
+                             calib_losses_, cfg_);
 }
 
 float ExitVoter::voted_loss(const std::vector<data::LmBatch>& batches) {

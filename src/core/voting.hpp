@@ -26,6 +26,17 @@ struct VoterConfig {
   float temperature = 0.5f;  ///< softmax temp over negative calib losses
 };
 
+/// Combines per-exit logits ([rows, vocab] each, one per registered exit in
+/// exit_layers() order) into voted scores — the shared kernel behind
+/// ExitVoter::vote_logits and the serving engine's voted-exit decode
+/// (src/serve), which calls it with rows == 1 on every generated token.
+/// `weights` must sum to ~1; `calib_losses` is only read by kBestSingle.
+/// For probabilistic modes the result is log-probabilities; for kMajority
+/// it is vote counts.
+Tensor combine_exit_logits(const std::vector<Tensor>& exit_logits,
+                           const std::vector<float>& weights,
+                           const std::vector<float>& calib_losses, const VoterConfig& cfg);
+
 /// Combines the model's exit heads into one prediction stream.
 class ExitVoter {
  public:

@@ -2,163 +2,324 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <numeric>
 
 #include "tensor/ops.hpp"
 
 namespace edgellm::nn {
 
-IncrementalDecoder::IncrementalDecoder(CausalLm& model, int64_t exit_layer, bool quantize_kv)
-    : model_(model),
-      exit_layer_(exit_layer > 0 ? exit_layer : model.config().n_layers),
-      quantize_kv_(quantize_kv) {
-  (void)model_.exit_index(exit_layer_);  // validates
-  const size_t n = static_cast<size_t>(exit_layer_);
-  if (quantize_kv_) {
-    kq_cache_.resize(n);
-    vq_cache_.resize(n);
-    kq_scales_.resize(n);
-    vq_scales_.resize(n);
-  } else {
-    k_cache_.resize(n);
-    v_cache_.resize(n);
+namespace {
+
+// Gathers `rows` of `src` ([B, width]) into a compact [rows.size(), width].
+Tensor gather_rows(const Tensor& src, const std::vector<int64_t>& rows, int64_t width) {
+  Tensor out({static_cast<int64_t>(rows.size()), width});
+  for (size_t j = 0; j < rows.size(); ++j) {
+    std::memcpy(out.raw() + static_cast<int64_t>(j) * width, src.raw() + rows[j] * width,
+                static_cast<size_t>(width) * sizeof(float));
+  }
+  return out;
+}
+
+void scatter_rows(const Tensor& src, const std::vector<int64_t>& rows, Tensor& dst,
+                  int64_t width) {
+  for (size_t j = 0; j < rows.size(); ++j) {
+    std::memcpy(dst.raw() + rows[j] * width, src.raw() + static_cast<int64_t>(j) * width,
+                static_cast<size_t>(width) * sizeof(float));
   }
 }
 
-int64_t IncrementalDecoder::kv_cache_bytes() const {
-  int64_t bytes = 0;
-  for (const auto& k : k_cache_) bytes += static_cast<int64_t>(k.size() * sizeof(float));
-  for (const auto& v : v_cache_) bytes += static_cast<int64_t>(v.size() * sizeof(float));
-  for (const auto& k : kq_cache_) bytes += static_cast<int64_t>(k.size());
-  for (const auto& v : vq_cache_) bytes += static_cast<int64_t>(v.size());
-  for (const auto& s : kq_scales_) bytes += static_cast<int64_t>(s.size() * sizeof(float));
-  for (const auto& s : vq_scales_) bytes += static_cast<int64_t>(s.size() * sizeof(float));
-  return bytes;
-}
+// Causal attention for one sequence's new token: `q` is this token's query
+// row [d_model]; keys/values come from the cache (t cached positions
+// including this token's). Writes the merged heads into `ctx` [d_model].
+void attend_one(const ModelConfig& cfg, const KvCache& cache, int64_t layer, int64_t t,
+                const float* q, float* ctx, std::vector<float>& row,
+                std::vector<float>& scores) {
+  const int64_t n_heads = cfg.n_heads;
+  const int64_t dh = cfg.d_model / n_heads;
+  const int64_t group = n_heads / cfg.kv_heads();
+  const float alpha = 1.0f / std::sqrt(static_cast<float>(dh));
 
-void IncrementalDecoder::store_kv(int64_t layer, const Tensor& k, const Tensor& v) {
-  const int64_t c = model_.config().kv_dim();
-  const size_t li = static_cast<size_t>(layer);
-  if (!quantize_kv_) {
-    k_cache_[li].insert(k_cache_[li].end(), k.raw(), k.raw() + c);
-    v_cache_[li].insert(v_cache_[li].end(), v.raw(), v.raw() + c);
-    return;
-  }
-  auto quantize_row = [c](const Tensor& row, std::vector<int8_t>& data,
-                          std::vector<float>& scales) {
-    float maxabs = 0.0f;
-    for (int64_t d = 0; d < c; ++d) maxabs = std::max(maxabs, std::fabs(row[d]));
-    const float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
-    scales.push_back(scale);
-    for (int64_t d = 0; d < c; ++d) {
-      data.push_back(static_cast<int8_t>(
-          std::clamp(std::round(row[d] / scale), -127.0f, 127.0f)));
+  const bool qz = cache.quantized();
+  row.resize(static_cast<size_t>(cache.kv_dim()));
+  scores.resize(static_cast<size_t>(n_heads * t));  // fully overwritten below
+  // Pass 1: scores — each cached K row is dequantised once (or, for fp32
+  // caches, read in place) and shared by all query heads (GQA groups map
+  // onto the same KV head).
+  for (int64_t p = 0; p < t; ++p) {
+    const float* kr;
+    if (qz) {
+      cache.load_k(layer, p, row.data());
+      kr = row.data();
+    } else {
+      kr = cache.k_row(layer, p);
     }
-  };
-  quantize_row(k, kq_cache_[li], kq_scales_[li]);
-  quantize_row(v, vq_cache_[li], vq_scales_[li]);
+    for (int64_t head = 0; head < n_heads; ++head) {
+      const int64_t off = head * dh;
+      const int64_t kv_off = (head / group) * dh;
+      float s = 0.0f;
+      for (int64_t d = 0; d < dh; ++d) s += q[off + d] * kr[kv_off + d];
+      scores[static_cast<size_t>(head * t + p)] = s * alpha;
+    }
+  }
+  // Per-head softmax over cached positions.
+  for (int64_t head = 0; head < n_heads; ++head) {
+    float* s = scores.data() + head * t;
+    float mx = -1e30f;
+    for (int64_t p = 0; p < t; ++p) mx = std::max(mx, s[p]);
+    float denom = 0.0f;
+    for (int64_t p = 0; p < t; ++p) {
+      s[p] = std::exp(s[p] - mx);
+      denom += s[p];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t p = 0; p < t; ++p) s[p] *= inv;
+  }
+  // Pass 2: weighted V accumulation, again one row per position.
+  for (int64_t p = 0; p < t; ++p) {
+    const float* vr;
+    if (qz) {
+      cache.load_v(layer, p, row.data());
+      vr = row.data();
+    } else {
+      vr = cache.v_row(layer, p);
+    }
+    for (int64_t head = 0; head < n_heads; ++head) {
+      const int64_t off = head * dh;
+      const int64_t kv_off = (head / group) * dh;
+      const float w = scores[static_cast<size_t>(head * t + p)];
+      for (int64_t d = 0; d < dh; ++d) ctx[off + d] += w * vr[kv_off + d];
+    }
+  }
 }
 
-float IncrementalDecoder::k_at(int64_t layer, int64_t pos, int64_t dim) const {
-  const size_t li = static_cast<size_t>(layer);
-  const int64_t c = model_.config().kv_dim();
-  if (!quantize_kv_) return k_cache_[li][static_cast<size_t>(pos * c + dim)];
-  return static_cast<float>(kq_cache_[li][static_cast<size_t>(pos * c + dim)]) *
-         kq_scales_[li][static_cast<size_t>(pos)];
+// Linear::forward against a cached effective weight: the same kernels in
+// the same order (matmul_nt then add_bias), so outputs are bitwise
+// identical. Falls back to lin.forward when the cache has no entry for this
+// layer (no cache supplied, or a LoRA-enabled Linear).
+Tensor cached_linear(Linear& lin, const Tensor& x, const DecodeWeightCache* wc) {
+  const Tensor* w = wc != nullptr ? wc->find(&lin) : nullptr;
+  if (w == nullptr) return lin.forward(x);
+  const int64_t in = lin.in_features();
+  check_arg(x.dim(-1) == in, "cached_linear: input feature mismatch");
+  const int64_t rows = x.numel() / in;
+  // reshape() copies; decode activations are already [rows, in], so skip it.
+  Tensor y = x.ndim() == 2 ? ops::matmul_nt(x, *w) : ops::matmul_nt(x.reshape({rows, in}), *w);
+  if (lin.has_bias()) y = ops::add_bias(y, lin.bias().value);
+  if (x.ndim() == 2) return y;
+  Shape out_shape = x.shape();
+  out_shape.back() = lin.out_features();
+  return y.reshape(std::move(out_shape));
 }
 
-float IncrementalDecoder::v_at(int64_t layer, int64_t pos, int64_t dim) const {
-  const size_t li = static_cast<size_t>(layer);
-  const int64_t c = model_.config().kv_dim();
-  if (!quantize_kv_) return v_cache_[li][static_cast<size_t>(pos * c + dim)];
-  return static_cast<float>(vq_cache_[li][static_cast<size_t>(pos * c + dim)]) *
-         vq_scales_[li][static_cast<size_t>(pos)];
+// Mlp::forward's eval path with cached weights (see cached_linear).
+Tensor cached_mlp(Mlp& mlp, const Tensor& x, const DecodeWeightCache* wc) {
+  if (wc == nullptr) return mlp.forward(x);
+  if (mlp.kind() == MlpKind::kGelu) {
+    return cached_linear(mlp.fc2(), ops::gelu(cached_linear(mlp.fc1(), x, wc)), wc);
+  }
+  const Tensor g = cached_linear(mlp.fc1(), x, wc);
+  const Tensor u = cached_linear(mlp.fc3(), x, wc);
+  return cached_linear(mlp.fc2(), ops::mul(ops::silu(g), u), wc);
+}
+
+}  // namespace
+
+void DecodeWeightCache::build(CausalLm& model) {
+  weights_.clear();
+  for (TransformerBlock* b : model.blocks()) {
+    for (Linear* lin : b->linears()) {
+      if (lin->lora_enabled()) continue;
+      weights_.emplace(lin, lin->effective_weight());
+    }
+  }
+  const int64_t n_exits = static_cast<int64_t>(model.exit_layers().size());
+  for (int64_t e = 0; e < n_exits; ++e) {
+    Linear& head = model.exit_head(e);
+    if (head.lora_enabled()) continue;
+    weights_.emplace(&head, head.effective_weight());  // tied heads dedup by address
+  }
+}
+
+const Tensor* DecodeWeightCache::find(const Linear* lin) const {
+  const auto it = weights_.find(lin);
+  return it == weights_.end() ? nullptr : &it->second;
+}
+
+int64_t DecodeWeightCache::bytes() const {
+  int64_t total = 0;
+  for (const auto& [lin, w] : weights_) total += tensor_bytes(w);
+  return total;
+}
+
+void validate_generate_config(const GenerateConfig& cfg, const CausalLm& model) {
+  check_arg(cfg.max_new_tokens > 0, "GenerateConfig: max_new_tokens must be positive, got " +
+                                        std::to_string(cfg.max_new_tokens));
+  check_arg(cfg.top_k >= 0 && cfg.top_k <= model.config().vocab,
+            "GenerateConfig: top_k must be in [0, vocab=" +
+                std::to_string(model.config().vocab) + "], got " + std::to_string(cfg.top_k));
+  check_arg(std::isfinite(cfg.temperature), "GenerateConfig: temperature must be finite");
+  if (cfg.exit_layer != 0) (void)model.exit_index(cfg.exit_layer);  // throws if unregistered
+}
+
+void batched_decode_step(CausalLm& model, std::span<BatchedSeq> seqs,
+                         const DecodeWeightCache* weights) {
+  if (seqs.empty()) return;
+  const ModelConfig& cfg = model.config();
+  const int64_t c = cfg.d_model;
+  const int64_t kvd = cfg.kv_dim();
+  const int64_t B = static_cast<int64_t>(seqs.size());
+
+  check_arg(!model.token_embedding().grad_enabled(),
+            "batched_decode_step: call model.set_eval() first");
+
+  std::vector<int64_t> depth(static_cast<size_t>(B));
+  std::vector<int64_t> tokens(static_cast<size_t>(B));
+  int64_t max_depth = 0;
+  for (int64_t b = 0; b < B; ++b) {
+    BatchedSeq& s = seqs[static_cast<size_t>(b)];
+    check_arg(s.cache != nullptr, "batched_decode_step: null cache");
+    const int64_t d = s.all_exits || s.exit_layer == 0 ? cfg.n_layers : s.exit_layer;
+    (void)model.exit_index(d);  // validates the exit is registered
+    check_arg(s.cache->n_layers() >= d, "batched_decode_step: cache has too few layers");
+    check_arg(s.cache->kv_dim() == kvd, "batched_decode_step: cache kv_dim mismatch");
+    check_arg(s.position < cfg.max_seq, "batched_decode_step: context window exhausted");
+    check_arg(s.position == s.cache->positions(0),
+              "batched_decode_step: position does not match cache");
+    check_arg(s.token >= 0 && s.token < cfg.vocab, "batched_decode_step: token out of range");
+    depth[static_cast<size_t>(b)] = d;
+    max_depth = std::max(max_depth, d);
+    tokens[static_cast<size_t>(b)] = s.token;
+    s.logits.clear();
+  }
+
+  // Embed the whole batch in one call, then add each row's own position.
+  Tensor x = model.token_embedding().forward(tokens);  // [B, c]
+  const Param& pos = model.positional_embedding();
+  for (int64_t b = 0; b < B; ++b) {
+    const int64_t p = seqs[static_cast<size_t>(b)].position;
+    for (int64_t d = 0; d < c; ++d) x[b * c + d] += pos.value[p * c + d];
+  }
+
+  auto blocks = model.blocks();
+  std::vector<float> row_scratch, score_scratch;
+  for (int64_t li = 0; li < max_depth; ++li) {
+    // Rows whose exit depth still needs this layer.
+    std::vector<int64_t> alive;
+    for (int64_t b = 0; b < B; ++b) {
+      if (depth[static_cast<size_t>(b)] > li) alive.push_back(b);
+    }
+    TransformerBlock& block = *blocks[static_cast<size_t>(li)];
+    MultiHeadAttention& attn = block.attention();
+
+    // All alive rows share one pass through the layer's norms/projections:
+    // the effective-weight materialisation and tensor allocations are paid
+    // once for the batch instead of once per sequence. When every row is
+    // alive (uniform exit depths — the common case) the layer operates on
+    // `x` directly instead of paying a gather/scatter round trip.
+    const bool all_alive = static_cast<int64_t>(alive.size()) == B;
+    Tensor xa = all_alive ? std::move(x) : gather_rows(x, alive, c);
+    const Tensor h = block.norm1().forward(xa);
+    const Tensor q = cached_linear(attn.q_proj(), h, weights);  // [Ba, c]
+    const Tensor k = cached_linear(attn.k_proj(), h, weights);  // [Ba, kvd]
+    const Tensor v = cached_linear(attn.v_proj(), h, weights);
+
+    Tensor ctx({static_cast<int64_t>(alive.size()), c});
+    for (size_t j = 0; j < alive.size(); ++j) {
+      BatchedSeq& s = seqs[static_cast<size_t>(alive[j])];
+      s.cache->append(li, k.raw() + static_cast<int64_t>(j) * kvd,
+                      v.raw() + static_cast<int64_t>(j) * kvd);
+      attend_one(cfg, *s.cache, li, s.position + 1, q.raw() + static_cast<int64_t>(j) * c,
+                 ctx.raw() + static_cast<int64_t>(j) * c, row_scratch, score_scratch);
+    }
+    const Tensor attn_out = cached_linear(attn.out_proj(), ctx, weights);
+    ops::add_inplace(xa, attn_out);
+    const Tensor h2 = block.norm2().forward(xa);
+    ops::add_inplace(xa, cached_mlp(block.mlp(), h2, weights));
+    if (all_alive) {
+      x = std::move(xa);
+    } else {
+      scatter_rows(xa, alive, x, c);
+    }
+
+    // Exit heads owned by depth li+1: rows exiting here, plus every
+    // all-exits (voting) row.
+    const int64_t d = li + 1;
+    const auto& exits = cfg.exit_layers;
+    if (std::find(exits.begin(), exits.end(), d) == exits.end()) continue;
+    const int64_t eidx = model.exit_index(d);
+    std::vector<int64_t> need;
+    for (int64_t b = 0; b < B; ++b) {
+      const BatchedSeq& s = seqs[static_cast<size_t>(b)];
+      if (!s.want_logits) continue;
+      if (s.all_exits || depth[static_cast<size_t>(b)] == d) need.push_back(b);
+    }
+    if (need.empty()) continue;
+    Tensor gathered;
+    const Tensor* e = &x;
+    if (static_cast<int64_t>(need.size()) != B) {
+      gathered = gather_rows(x, need, c);
+      e = &gathered;
+    }
+    const Tensor logits = cached_linear(model.exit_head(eidx), model.exit_norm(eidx).forward(*e),
+                                        weights);  // [Bn, vocab]
+    for (size_t j = 0; j < need.size(); ++j) {
+      Tensor out({cfg.vocab});
+      std::memcpy(out.raw(), logits.raw() + static_cast<int64_t>(j) * cfg.vocab,
+                  static_cast<size_t>(cfg.vocab) * sizeof(float));
+      seqs[static_cast<size_t>(need[j])].logits.push_back(std::move(out));
+    }
+  }
+}
+
+Tensor decode_step(CausalLm& model, KvCache& cache, int64_t position, int64_t token,
+                   int64_t exit_layer) {
+  BatchedSeq s;
+  s.cache = &cache;
+  s.position = position;
+  s.token = token;
+  s.exit_layer = exit_layer;
+  batched_decode_step(model, std::span<BatchedSeq>(&s, 1));
+  return std::move(s.logits.at(0));
+}
+
+std::vector<Tensor> decode_step_all_exits(CausalLm& model, KvCache& cache, int64_t position,
+                                          int64_t token) {
+  BatchedSeq s;
+  s.cache = &cache;
+  s.position = position;
+  s.token = token;
+  s.all_exits = true;
+  batched_decode_step(model, std::span<BatchedSeq>(&s, 1));
+  return std::move(s.logits);
+}
+
+IncrementalDecoder::IncrementalDecoder(CausalLm& model, int64_t exit_layer, bool quantize_kv)
+    : model_(model), exit_layer_(exit_layer > 0 ? exit_layer : model.config().n_layers) {
+  (void)model_.exit_index(exit_layer_);  // validates
+  cache_.configure(exit_layer_, model_.config().kv_dim(), quantize_kv);
+  model_.set_eval();
+}
+
+void IncrementalDecoder::reset() {
+  cache_.clear();
+  position_ = 0;
+  logits_ = Tensor();
 }
 
 void IncrementalDecoder::prime(const std::vector<int64_t>& prompt) {
   check_arg(!prompt.empty(), "IncrementalDecoder: empty prompt");
-  position_ = 0;
-  for (auto& k : k_cache_) k.clear();
-  for (auto& v : v_cache_) v.clear();
-  for (auto& k : kq_cache_) k.clear();
-  for (auto& v : vq_cache_) v.clear();
-  for (auto& s : kq_scales_) s.clear();
-  for (auto& s : vq_scales_) s.clear();
-  for (int64_t t : prompt) append_token(t);
+  reset();
+  model_.set_eval();  // training may have re-enabled caching since the ctor
+  for (int64_t t : prompt) {
+    logits_ = decode_step(model_, cache_, position_, t, exit_layer_);
+    ++position_;
+  }
 }
 
 void IncrementalDecoder::step(int64_t token) {
   check_arg(position_ > 0, "IncrementalDecoder: call prime() first");
-  append_token(token);
-}
-
-void IncrementalDecoder::append_token(int64_t token) {
-  const ModelConfig& cfg = model_.config();
-  check_arg(position_ < cfg.max_seq, "IncrementalDecoder: context window exhausted");
-  check_arg(token >= 0 && token < cfg.vocab, "IncrementalDecoder: token out of range");
-
-  const int64_t c = cfg.d_model;
-  const int64_t n_heads = cfg.n_heads;
-  const int64_t dh = c / n_heads;
-  const float alpha = 1.0f / std::sqrt(static_cast<float>(dh));
-
-  Embedding& emb = model_.token_embedding();
-  emb.set_grad_enabled(false);
-  Tensor x = emb.forward({token});  // [1, c]
-  const Param& pos = model_.positional_embedding();
-  for (int64_t d = 0; d < c; ++d) x[d] += pos.value[position_ * c + d];
-
-  auto blocks = model_.blocks();
-  for (int64_t li = 0; li < exit_layer_; ++li) {
-    TransformerBlock& block = *blocks[static_cast<size_t>(li)];
-    block.set_grad_enabled(false);
-    MultiHeadAttention& attn = block.attention();
-
-    const Tensor h = block.norm1().forward(x);
-    const Tensor q = attn.q_proj().forward(h);
-    const Tensor k = attn.k_proj().forward(h);
-    const Tensor v = attn.v_proj().forward(h);
-
-    store_kv(li, k, v);
-    const int64_t t = position_ + 1;  // cached positions including this one
-
-    Tensor ctx({int64_t{1}, c});
-    std::vector<float> scores(static_cast<size_t>(t));
-    const int64_t group = n_heads / cfg.kv_heads();
-    for (int64_t head = 0; head < n_heads; ++head) {
-      const int64_t off = head * dh;
-      const int64_t kv_off = (head / group) * dh;  // shared KV head (GQA)
-      // scores over all cached positions for this head
-      float mx = -1e30f;
-      for (int64_t p = 0; p < t; ++p) {
-        float s = 0.0f;
-        for (int64_t d = 0; d < dh; ++d) s += q[off + d] * k_at(li, p, kv_off + d);
-        scores[static_cast<size_t>(p)] = s * alpha;
-        mx = std::max(mx, scores[static_cast<size_t>(p)]);
-      }
-      float denom = 0.0f;
-      for (int64_t p = 0; p < t; ++p) {
-        scores[static_cast<size_t>(p)] = std::exp(scores[static_cast<size_t>(p)] - mx);
-        denom += scores[static_cast<size_t>(p)];
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t p = 0; p < t; ++p) {
-        const float w = scores[static_cast<size_t>(p)] * inv;
-        for (int64_t d = 0; d < dh; ++d) ctx[off + d] += w * v_at(li, p, kv_off + d);
-      }
-    }
-    const Tensor attn_out = attn.out_proj().forward(ctx);
-    ops::add_inplace(x, attn_out);
-
-    const Tensor h2 = block.norm2().forward(x);
-    ops::add_inplace(x, block.mlp().forward(h2));
-  }
-
-  const int64_t exit_idx = model_.exit_index(exit_layer_);
-  RmsNorm& norm = model_.exit_norm(exit_idx);
-  Linear& head = model_.exit_head(exit_idx);
-  norm.set_grad_enabled(false);
-  head.set_grad_enabled(false);
-  logits_ = head.forward(norm.forward(x)).reshape({cfg.vocab});
+  logits_ = decode_step(model_, cache_, position_, token, exit_layer_);
   ++position_;
 }
 
@@ -185,7 +346,10 @@ int64_t sample_token(const Tensor& logits, const GenerateConfig& cfg, Rng& rng) 
 
 std::vector<int64_t> IncrementalDecoder::generate(const std::vector<int64_t>& prompt,
                                                   const GenerateConfig& cfg, Rng& rng) {
-  check_arg(cfg.max_new_tokens > 0, "generate: max_new_tokens must be positive");
+  validate_generate_config(cfg, model_);
+  check_arg(cfg.exit_layer == 0 || cfg.exit_layer == exit_layer_,
+            "generate: config exit_layer " + std::to_string(cfg.exit_layer) +
+                " does not match this decoder's exit " + std::to_string(exit_layer_));
   prime(prompt);
   std::vector<int64_t> out;
   out.reserve(static_cast<size_t>(cfg.max_new_tokens));

@@ -3,13 +3,58 @@
 // (possibly compressed) Linear/RMSNorm modules for projections, with a
 // per-layer key/value cache so each new token costs O(T) attention instead
 // of O(T^2) recompute.
+//
+// Two entry points share one implementation:
+//   - IncrementalDecoder: the single-sequence convenience wrapper.
+//   - batched_decode_step(): advances many sequences one token in a single
+//     call, stacking their rows through each layer's projections so the
+//     weight materialisation (effective_weight) and per-call tensor
+//     allocations are paid once per layer instead of once per sequence —
+//     the serving engine's (src/serve) continuous-batching tick.
 #pragma once
 
+#include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "nn/kv_cache.hpp"
 #include "nn/model.hpp"
 
 namespace edgellm::nn {
+
+/// Materialised effective weights for decoding against a frozen (eval-mode)
+/// model. Linear::forward rebuilds its effective weight on every call — a
+/// full copy, plus prune/fake-quant work when compression is set. Across
+/// thousands of decode ticks over weights that never change, that rebuild
+/// is pure overhead. build() snapshots every block projection's and exit
+/// head's effective weight once; batched_decode_step then multiplies
+/// against the snapshot with the same kernels in the same order, so outputs
+/// stay bitwise identical to the uncached path.
+///
+/// The snapshot is read-only and does NOT track the model: rebuild after
+/// any weight update or compression-policy change. LoRA-enabled Linears are
+/// skipped (their rows fall back to Linear::forward).
+class DecodeWeightCache {
+ public:
+  DecodeWeightCache() = default;
+  explicit DecodeWeightCache(CausalLm& model) { build(model); }
+
+  /// Snapshots the effective weight of every block projection and exit head
+  /// (tied heads are stored once). Clears any previous snapshot.
+  void build(CausalLm& model);
+
+  bool built() const { return !weights_.empty(); }
+
+  /// The cached weight for `lin`, or nullptr when uncached (LoRA layer, or
+  /// a Linear that was not part of build()'s model).
+  const Tensor* find(const Linear* lin) const;
+
+  /// Bytes held by the snapshot (what the cache costs an edge deployment).
+  int64_t bytes() const;
+
+ private:
+  std::unordered_map<const Linear*, Tensor> weights_;
+};
 
 /// Sampling controls for generate().
 struct GenerateConfig {
@@ -19,10 +64,56 @@ struct GenerateConfig {
   int64_t exit_layer = 0;    ///< 0 means the final exit
 };
 
+/// Throws std::invalid_argument unless cfg is sane for `model`:
+/// max_new_tokens > 0, 0 <= top_k <= vocab, finite temperature, and
+/// exit_layer either 0 or a registered exit depth.
+void validate_generate_config(const GenerateConfig& cfg, const CausalLm& model);
+
+/// One sequence's slice of a batched decode tick.
+struct BatchedSeq {
+  KvCache* cache = nullptr;  ///< this sequence's cache (disjoint across seqs)
+  int64_t position = 0;      ///< tokens already cached
+  int64_t token = 0;         ///< token to feed this tick
+  int64_t exit_layer = 0;    ///< 0 means the final exit
+  bool all_exits = false;    ///< collect logits at every registered exit (voting)
+  bool want_logits = true;   ///< false skips the exit head (prompt prefill)
+  /// Output: [vocab] logits per requested exit — one entry, or one per
+  /// registered exit in exit_layers() order when all_exits is set; empty
+  /// when want_logits is false.
+  std::vector<Tensor> logits;
+};
+
+/// Advances every sequence by one token in one call. Rows are stacked
+/// through each layer's norm/projection/MLP so per-layer overheads amortise
+/// across the batch; attention runs per sequence against its own cache.
+/// Results are bitwise identical to single-sequence decoding.
+///
+/// `weights`, when non-null, supplies pre-materialised effective weights
+/// (see DecodeWeightCache) so projections skip the per-call weight rebuild;
+/// the caller must have built it against this model in its current state.
+///
+/// Requires model.set_eval() to have been called (asserted); the model is
+/// only read, so concurrent calls on disjoint caches are safe (a shared
+/// DecodeWeightCache is read-only too).
+void batched_decode_step(CausalLm& model, std::span<BatchedSeq> seqs,
+                         const DecodeWeightCache* weights = nullptr);
+
+/// Single-sequence convenience wrapper over batched_decode_step: feeds
+/// `token` at `position`, returns logits at `exit_layer` (0 = final).
+Tensor decode_step(CausalLm& model, KvCache& cache, int64_t position, int64_t token,
+                   int64_t exit_layer);
+
+/// Like decode_step but returns logits at every registered exit (the
+/// serving engine's voted-exit decode path).
+std::vector<Tensor> decode_step_all_exits(CausalLm& model, KvCache& cache, int64_t position,
+                                          int64_t token);
+
 /// Single-sequence incremental decoder over a CausalLm.
 ///
 /// Usage: prime(prompt) once, then step(token) per generated token; logits()
 /// after each call gives next-token logits. Or just call generate().
+/// reset() returns the decoder to its initial state so one decoder can
+/// serve successive prompts.
 ///
 /// With `quantize_kv`, cached keys/values are stored as per-position int8
 /// (symmetric, one scale per cached vector) — 4x less cache memory for a
@@ -38,6 +129,9 @@ class IncrementalDecoder {
   /// Appends one token and updates the cache.
   void step(int64_t token);
 
+  /// Drops all cached state; the decoder is ready for a fresh prime().
+  void reset();
+
   /// Next-token logits [vocab] after the last prime()/step().
   const Tensor& logits() const { return logits_; }
 
@@ -46,34 +140,20 @@ class IncrementalDecoder {
 
   /// Bytes held by the KV cache right now (the memory cost of incremental
   /// decoding that edge deployments budget for).
-  int64_t kv_cache_bytes() const;
+  int64_t kv_cache_bytes() const { return cache_.bytes(); }
 
   /// Samples a continuation of the prompt. Returns only the new tokens.
   std::vector<int64_t> generate(const std::vector<int64_t>& prompt, const GenerateConfig& cfg,
                                 Rng& rng);
 
-  bool quantized_kv() const { return quantize_kv_; }
+  bool quantized_kv() const { return cache_.quantized(); }
 
  private:
   CausalLm& model_;
   int64_t exit_layer_;
-  bool quantize_kv_;
   int64_t position_ = 0;
-  // Per layer: keys/values for all past positions, stored [pos][d_model]
-  // flattened (head split is done on the fly). Exactly one representation
-  // is populated depending on quantize_kv_.
-  std::vector<std::vector<float>> k_cache_;
-  std::vector<std::vector<float>> v_cache_;
-  std::vector<std::vector<int8_t>> kq_cache_;
-  std::vector<std::vector<int8_t>> vq_cache_;
-  std::vector<std::vector<float>> kq_scales_;  ///< per layer, one per position
-  std::vector<std::vector<float>> vq_scales_;
+  KvCache cache_;
   Tensor logits_;
-
-  void append_token(int64_t token);
-  void store_kv(int64_t layer, const Tensor& k, const Tensor& v);
-  float k_at(int64_t layer, int64_t pos, int64_t dim) const;
-  float v_at(int64_t layer, int64_t pos, int64_t dim) const;
 };
 
 /// Samples one token id from logits under the config (greedy / temperature

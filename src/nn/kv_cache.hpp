@@ -1,0 +1,77 @@
+// Per-sequence key/value storage for incremental decoding, fp32 or
+// int8-quantized (symmetric, one scale per cached row — the edge-standard
+// 4x KV compression).
+//
+// Extracted from IncrementalDecoder so the serving layer (src/serve) can
+// pool many sequences' caches behind one global byte budget: a KvCache is
+// exactly the unit a serve::KvCachePool hands out per slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edgellm::nn {
+
+class KvCache {
+ public:
+  KvCache() = default;
+  KvCache(int64_t n_layers, int64_t kv_dim, bool quantize) {
+    configure(n_layers, kv_dim, quantize);
+  }
+
+  /// Re-initialises storage for a new sequence (drops all positions).
+  void configure(int64_t n_layers, int64_t kv_dim, bool quantize);
+
+  /// Drops all cached positions, keeping the configuration.
+  void clear();
+
+  /// Appends one position's K and V rows (`kv_dim` floats each) to `layer`.
+  void append(int64_t layer, const float* k, const float* v);
+
+  /// Dequantises (or copies) a cached row into `out` (`kv_dim` floats).
+  void load_k(int64_t layer, int64_t pos, float* out) const;
+  void load_v(int64_t layer, int64_t pos, float* out) const;
+
+  /// Direct pointer to a cached fp32 row — nullptr when quantized. Lets hot
+  /// attention loops read rows in place instead of copying via load_k/load_v.
+  const float* k_row(int64_t layer, int64_t pos) const {
+    return quantize_ ? nullptr : k_[static_cast<std::size_t>(layer)].data() + pos * kv_dim_;
+  }
+  const float* v_row(int64_t layer, int64_t pos) const {
+    return quantize_ ? nullptr : v_[static_cast<std::size_t>(layer)].data() + pos * kv_dim_;
+  }
+
+  int64_t n_layers() const { return n_layers_; }
+  int64_t kv_dim() const { return kv_dim_; }
+  bool quantized() const { return quantize_; }
+
+  /// Cached positions in `layer` (layers above an early exit stay empty).
+  int64_t positions(int64_t layer) const;
+
+  /// Bytes currently held (payload + quantisation scales).
+  int64_t bytes() const;
+
+  /// Bytes one cached position costs across `n_layers` layers (K + V
+  /// payload, plus one fp32 scale per row when quantized).
+  static int64_t bytes_per_position(int64_t n_layers, int64_t kv_dim, bool quantize) {
+    const int64_t per_row =
+        quantize ? kv_dim + static_cast<int64_t>(sizeof(float))
+                 : kv_dim * static_cast<int64_t>(sizeof(float));
+    return n_layers * 2 * per_row;
+  }
+
+ private:
+  int64_t n_layers_ = 0;
+  int64_t kv_dim_ = 0;
+  bool quantize_ = false;
+  // Exactly one representation is populated depending on quantize_.
+  std::vector<std::vector<float>> k_, v_;
+  std::vector<std::vector<int8_t>> kq_, vq_;
+  std::vector<std::vector<float>> kq_scales_, vq_scales_;
+
+  void append_quantized(const float* row, std::vector<int8_t>& data, std::vector<float>& scales);
+  void load_row(const std::vector<float>* fp, const std::vector<int8_t>* q,
+                const std::vector<float>* scales, int64_t pos, float* out) const;
+};
+
+}  // namespace edgellm::nn

@@ -215,6 +215,24 @@ std::vector<Tensor> CausalLm::forward_all_exits(const std::vector<int64_t>& toke
   return out;
 }
 
+void CausalLm::set_eval() {
+  tok_emb_->set_grad_enabled(false);
+  for (auto& b : blocks_) {
+    b->set_grad_enabled(false);
+    // The decode paths call child modules directly (bypassing
+    // TransformerBlock::forward's flag propagation), so the children need
+    // their own flags cleared too.
+    b->norm1().set_grad_enabled(false);
+    b->norm2().set_grad_enabled(false);
+    b->attention().set_grad_enabled(false);
+    b->mlp().set_grad_enabled(false);
+    for (Linear* lin : b->linears()) lin->set_grad_enabled(false);
+  }
+  for (auto& n : exit_norms_) n->set_grad_enabled(false);
+  for (auto& h : exit_heads_) h->set_grad_enabled(false);
+  clear_cache();
+}
+
 void CausalLm::collect_params(std::vector<Param*>& out) {
   tok_emb_->collect_params(out);
   out.push_back(&pos_emb_);

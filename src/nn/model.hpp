@@ -92,6 +92,14 @@ class CausalLm final : public Module {
   std::vector<Tensor> forward_all_exits(const std::vector<int64_t>& tokens, int64_t batch,
                                         int64_t seq);
 
+  /// Puts every module (recursively) into inference mode: grad — and thus
+  /// activation caching — disabled, cached activations dropped. The decode
+  /// paths (nn/decoder) require this because they drive child modules
+  /// directly and must not mutate shared model state: the serving engine
+  /// (src/serve) decodes from several threads against one model. The next
+  /// training forward() re-enables whatever its plan needs.
+  void set_eval();
+
   // --- module plumbing -----------------------------------------------------
 
   void collect_params(std::vector<Param*>& out) override;

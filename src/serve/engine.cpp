@@ -1,0 +1,311 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgellm::serve {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+// --- WorkerPool -------------------------------------------------------------
+
+WorkerPool::WorkerPool(int64_t n_threads) {
+  check_arg(n_threads > 0, "WorkerPool: need at least one thread");
+  threads_.reserve(static_cast<size_t>(n_threads));
+  for (int64_t i = 0; i < n_threads; ++i) threads_.emplace_back([this] { worker(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    quit_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run(int64_t n_tasks, const std::function<void(int64_t)>& fn) {
+  if (n_tasks <= 0) return;
+  std::unique_lock<std::mutex> lk(m_);
+  fn_ = &fn;
+  total_ = n_tasks;
+  next_ = 0;
+  done_ = 0;
+  ++epoch_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return done_ == total_; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::worker() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(m_);
+  while (true) {
+    cv_work_.wait(lk, [&] { return quit_ || (epoch_ != seen && next_ < total_); });
+    if (quit_) return;
+    seen = epoch_;
+    while (next_ < total_) {
+      const int64_t i = next_++;
+      lk.unlock();
+      (*fn_)(i);
+      lk.lock();
+      ++done_;
+      if (done_ == total_) cv_done_.notify_all();
+    }
+  }
+}
+
+// --- ServeEngine ------------------------------------------------------------
+
+ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
+    : model_(model),
+      cfg_(cfg),
+      sched_(SchedulerConfig{cfg.max_batch, cfg.queue_capacity, model.config().max_seq,
+                             model.config().n_layers},
+             KvPoolConfig{cfg.max_batch, model.config().kv_dim(), cfg.kv_byte_budget,
+                          cfg.quantize_kv}) {
+  check_arg(cfg_.threads >= 1, "ServeEngine: threads must be >= 1");
+  const size_t n_exits = model_.exit_layers().size();
+  exit_weights_.assign(n_exits, 1.0f / static_cast<float>(n_exits));
+  exit_losses_.assign(n_exits, 0.0f);
+  metrics_.kv_budget_bytes = cfg_.kv_byte_budget;
+  model_.set_eval();
+  weight_cache_.build(model_);  // frozen model: materialise weights once
+  if (cfg_.threads > 1) workers_ = std::make_unique<WorkerPool>(cfg_.threads);
+  sched_thread_ = std::thread([this] { loop(); });
+}
+
+ServeEngine::~ServeEngine() { shutdown(); }
+
+int64_t ServeEngine::resolved_depth(const Request& req) const {
+  if (req.exit_policy == ExitPolicy::kFixedEarly) {
+    (void)model_.exit_index(req.exit_layer);  // throws on unregistered depth
+    return req.exit_layer;
+  }
+  return model_.config().n_layers;
+}
+
+void ServeEngine::resolve(SeqState& s, RequestStatus status) {
+  Completion c;
+  c.id = s.req.id;
+  c.status = status;
+  c.tokens = s.out;
+  const auto now = std::chrono::steady_clock::now();
+  c.metrics.prompt_tokens = static_cast<int64_t>(s.req.prompt.size());
+  c.metrics.output_tokens = static_cast<int64_t>(s.out.size());
+  c.metrics.total_ms = ms_between(s.submit_t, now);
+  if (s.slot >= 0 || s.position > 0) {
+    c.metrics.queue_wait_ms = ms_between(s.submit_t, s.admit_t);
+  }
+  if (s.has_first_token) {
+    c.metrics.ttft_ms = ms_between(s.submit_t, s.first_token_t);
+    const double decode_ms = ms_between(s.admit_t, now);
+    if (decode_ms > 0.0) {
+      c.metrics.tokens_per_s = static_cast<double>(s.out.size()) / (decode_ms / 1e3);
+    }
+  }
+  c.metrics.kv_bytes = s.kv_bytes_at_end;
+  s.promise.set_value(std::move(c));
+}
+
+std::future<Completion> ServeEngine::submit(Request req) {
+  const nn::ModelConfig& mcfg = model_.config();
+  check_arg(!req.prompt.empty(), "ServeEngine::submit: empty prompt");
+  check_arg(static_cast<int64_t>(req.prompt.size()) <= mcfg.max_seq,
+            "ServeEngine::submit: prompt longer than the context window");
+  for (int64_t t : req.prompt) {
+    check_arg(t >= 0 && t < mcfg.vocab, "ServeEngine::submit: prompt token out of range");
+  }
+  check_arg(req.max_new_tokens > 0, "ServeEngine::submit: max_new_tokens must be positive");
+  check_arg(req.top_k >= 0 && req.top_k <= mcfg.vocab,
+            "ServeEngine::submit: top_k must be in [0, vocab]");
+  check_arg(std::isfinite(req.temperature), "ServeEngine::submit: temperature must be finite");
+  check_arg(req.deadline_ms >= 0.0, "ServeEngine::submit: negative deadline");
+  const int64_t depth = resolved_depth(req);  // validates the exit layer too
+
+  auto s = std::make_unique<SeqState>();
+  s->req = std::move(req);
+  s->exit_layer_used = depth;
+  s->rng = Rng(s->req.seed);
+  s->submit_t = std::chrono::steady_clock::now();
+  std::future<Completion> fut = s->promise.get_future();
+
+  // A request whose worst-case cache exceeds the whole budget can never be
+  // admitted; reject now instead of wedging the queue head forever.
+  const int64_t projected = std::min<int64_t>(
+      static_cast<int64_t>(s->req.prompt.size()) + s->req.max_new_tokens, mcfg.max_seq);
+  const bool impossible =
+      cfg_.kv_byte_budget > 0 &&
+      sched_.pool().projected_bytes(projected, depth) > cfg_.kv_byte_budget;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ++metrics_.submitted;
+  if (!accepting_ || impossible || !sched_.enqueue(s)) {
+    ++metrics_.rejected;
+    resolve(*s, RequestStatus::kRejected);
+    return fut;
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+bool ServeEngine::cancel(int64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bool found = false;
+  std::unique_ptr<SeqState> queued = sched_.cancel(id, &found);
+  if (queued) {
+    ++metrics_.cancelled;
+    resolve(*queued, RequestStatus::kCancelled);
+  }
+  return found;
+}
+
+void ServeEngine::set_exit_weights(std::vector<float> weights, std::vector<float> calib_losses) {
+  const size_t n = model_.exit_layers().size();
+  check_arg(weights.size() == n && calib_losses.size() == n,
+            "set_exit_weights: need one weight and loss per registered exit");
+  std::lock_guard<std::mutex> lk(mu_);
+  exit_weights_ = std::move(weights);
+  exit_losses_ = std::move(calib_losses);
+}
+
+void ServeEngine::run_decode(std::vector<nn::BatchedSeq>& seqs) {
+  const int64_t B = static_cast<int64_t>(seqs.size());
+  const int64_t n_chunks = workers_ ? std::min<int64_t>(cfg_.threads, B) : 1;
+  if (n_chunks <= 1) {
+    nn::batched_decode_step(model_, seqs, &weight_cache_);
+    return;
+  }
+  const int64_t chunk = (B + n_chunks - 1) / n_chunks;
+  workers_->run(n_chunks, [&](int64_t c) {
+    const int64_t lo = c * chunk;
+    const int64_t hi = std::min<int64_t>(lo + chunk, B);
+    if (lo < hi) {
+      nn::batched_decode_step(
+          model_, std::span<nn::BatchedSeq>(seqs.data() + lo, static_cast<size_t>(hi - lo)),
+          &weight_cache_);
+    }
+  });
+}
+
+void ServeEngine::finish_seq(size_t index, RequestStatus status) {
+  sched_.active()[index]->kv_bytes_at_end =
+      sched_.pool().slot(sched_.active()[index]->slot).bytes();
+  std::unique_ptr<SeqState> s = sched_.finish(index);
+  switch (status) {
+    case RequestStatus::kOk: ++metrics_.completed; break;
+    case RequestStatus::kCancelled: ++metrics_.cancelled; break;
+    case RequestStatus::kTimeout: ++metrics_.timed_out; break;
+    case RequestStatus::kRejected: break;  // never reaches finish_seq
+  }
+  metrics_.tokens_generated += static_cast<int64_t>(s->out.size());
+  resolve(*s, status);
+}
+
+void ServeEngine::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<nn::BatchedSeq> seqs;
+  while (true) {
+    sched_.admit();
+    auto& active = sched_.active();
+    if (active.empty()) {
+      if (stop_ && sched_.idle()) return;
+      cv_.wait(lk);
+      continue;
+    }
+
+    // Build this tick's per-sequence jobs (one token each).
+    const size_t B = active.size();
+    seqs.assign(B, nn::BatchedSeq{});
+    for (size_t i = 0; i < B; ++i) {
+      SeqState& s = *active[i];
+      nn::BatchedSeq& j = seqs[i];
+      j.cache = &sched_.pool().slot(s.slot);
+      j.position = s.position;
+      j.token = s.next_token();
+      // Logits are only needed when this tick's output will be sampled
+      // from: the last prompt token, or any generated token.
+      j.want_logits = s.prompt_done() || s.prompt_fed + 1 == s.req.prompt.size();
+      j.all_exits = s.req.exit_policy == ExitPolicy::kVoted;
+      j.exit_layer =
+          s.req.exit_policy == ExitPolicy::kFixedEarly ? s.req.exit_layer : int64_t{0};
+    }
+    ++metrics_.ticks;
+    metrics_.occupancy_sum += static_cast<double>(B);
+
+    lk.unlock();
+    run_decode(seqs);
+    lk.lock();
+
+    const auto now = std::chrono::steady_clock::now();
+    // Retire / advance, iterating backwards so finish_seq's erase is safe.
+    for (size_t i = B; i-- > 0;) {
+      SeqState& s = *active[i];
+      const bool fed_prompt = !s.prompt_done();
+      if (fed_prompt) ++s.prompt_fed;
+      ++s.position;
+
+      if (s.prompt_done() && seqs[i].want_logits) {
+        Tensor logits;
+        if (s.req.exit_policy == ExitPolicy::kVoted) {
+          logits = core::combine_exit_logits(seqs[i].logits, exit_weights_, exit_losses_,
+                                             cfg_.voting)
+                       .reshape({model_.config().vocab});
+        } else {
+          logits = std::move(seqs[i].logits.at(0));
+        }
+        nn::GenerateConfig g;
+        g.temperature = s.req.temperature;
+        g.top_k = s.req.top_k;
+        const int64_t tok = nn::sample_token(logits, g, s.rng);
+        if (!s.has_first_token) {
+          s.first_token_t = now;
+          s.has_first_token = true;
+        }
+        s.out.push_back(tok);
+        s.last_token = tok;
+      }
+
+      RequestStatus status = RequestStatus::kOk;
+      bool done = false;
+      if (s.cancelled) {
+        status = RequestStatus::kCancelled;
+        done = true;
+      } else if (s.req.deadline_ms > 0.0 && ms_between(s.submit_t, now) > s.req.deadline_ms) {
+        status = RequestStatus::kTimeout;
+        done = true;
+      } else if (static_cast<int64_t>(s.out.size()) >= s.req.max_new_tokens ||
+                 s.position >= model_.config().max_seq) {
+        done = true;  // finished, or context window exhausted (partial ok)
+      }
+      if (done) finish_seq(i, status);
+    }
+    sched_.pool().bytes_in_use();  // advance the high-water mark at the barrier
+    metrics_.kv_high_water_bytes = sched_.pool().high_water_bytes();
+  }
+}
+
+void ServeEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    accepting_ = false;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (sched_thread_.joinable()) sched_thread_.join();
+  workers_.reset();
+}
+
+EngineMetrics ServeEngine::metrics() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return metrics_;
+}
+
+}  // namespace edgellm::serve

@@ -1,0 +1,135 @@
+// The serving engine: a multi-threaded, continuously-batched generation
+// runtime over one CausalLm.
+//
+//   - submit() is thread-safe and non-blocking: the request enters a
+//     bounded admission queue (or is rejected when full) and resolves a
+//     std::future<Completion> when done.
+//   - A scheduler thread runs the continuous-batching loop: at every token
+//     boundary it admits queued requests into free batch slots (subject to
+//     the KV pool's byte budget), advances all active sequences by one
+//     token, samples, and retires finished/cancelled/expired sequences so
+//     their slots free immediately.
+//   - Decode work is sharded across worker threads; each worker advances a
+//     contiguous sub-batch with nn::batched_decode_step (stacked matmuls),
+//     so batching pays off even single-core and scales with cores.
+//   - Exit policies per request: final exit, a fixed early exit (cheap
+//     decode), or voted — every exit head's logits combined per token via
+//     core::voting, the paper's accuracy-recovery mechanism at serve time.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "core/voting.hpp"
+#include "nn/decoder.hpp"
+#include "serve/scheduler.hpp"
+
+namespace edgellm::serve {
+
+struct EngineConfig {
+  int64_t max_batch = 8;        ///< max concurrently decoding sequences
+  int64_t queue_capacity = 64;  ///< bounded admission queue
+  int64_t threads = 2;          ///< decode worker threads (1 = in-loop decode)
+  int64_t kv_byte_budget = 0;   ///< global KV cache cap in bytes; 0 = unlimited
+  bool quantize_kv = false;     ///< int8 pooled caches
+  /// Mode/temperature for kVoted requests (weights via set_exit_weights).
+  core::VoterConfig voting;
+};
+
+struct EngineMetrics {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t cancelled = 0;
+  int64_t timed_out = 0;
+  int64_t tokens_generated = 0;
+  int64_t ticks = 0;             ///< scheduler iterations (token boundaries)
+  double occupancy_sum = 0.0;    ///< sum of batch sizes over ticks
+  int64_t kv_high_water_bytes = 0;
+  int64_t kv_budget_bytes = 0;
+
+  double mean_batch_occupancy() const {
+    return ticks > 0 ? occupancy_sum / static_cast<double>(ticks) : 0.0;
+  }
+};
+
+/// Internal fixed worker pool (exposed for the engine's decode sharding).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int64_t n_threads);
+  ~WorkerPool();
+
+  /// Runs fn(0..n_tasks-1) across the pool; returns when all are done.
+  void run(int64_t n_tasks, const std::function<void(int64_t)>& fn);
+
+ private:
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable cv_work_, cv_done_;
+  const std::function<void(int64_t)>* fn_ = nullptr;
+  int64_t total_ = 0, next_ = 0, done_ = 0;
+  uint64_t epoch_ = 0;
+  bool quit_ = false;
+
+  void worker();
+};
+
+class ServeEngine {
+ public:
+  /// Puts the model into eval mode; the model must not be trained while
+  /// the engine is live.
+  ServeEngine(nn::CausalLm& model, EngineConfig cfg);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Thread-safe. Throws std::invalid_argument on malformed requests; a
+  /// well-formed request that cannot be served right now (queue full, or
+  /// larger than the whole KV budget) resolves immediately as kRejected.
+  std::future<Completion> submit(Request req);
+
+  /// Cancels a queued or active request by id. Returns false if unknown.
+  bool cancel(int64_t id);
+
+  /// Exit-head weights for kVoted requests (e.g. from a calibrated
+  /// core::ExitVoter). Defaults to uniform weights, zero losses.
+  void set_exit_weights(std::vector<float> weights, std::vector<float> calib_losses);
+
+  /// Stops accepting, drains queued + active requests, joins all threads.
+  /// Called by the destructor; safe to call twice.
+  void shutdown();
+
+  EngineMetrics metrics() const;
+
+ private:
+  nn::CausalLm& model_;
+  EngineConfig cfg_;
+  /// Effective weights snapshotted once at construction — the model is
+  /// frozen for the engine's lifetime, so every decode tick reuses them
+  /// instead of re-materialising per projection (read-only across workers).
+  nn::DecodeWeightCache weight_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Scheduler sched_;
+  EngineMetrics metrics_;
+  std::vector<float> exit_weights_, exit_losses_;
+  bool accepting_ = true;
+  bool stop_ = false;
+  bool joined_ = false;
+
+  std::unique_ptr<WorkerPool> workers_;
+  std::thread sched_thread_;
+
+  void loop();
+  void run_decode(std::vector<nn::BatchedSeq>& seqs);
+  int64_t resolved_depth(const Request& req) const;
+  void finish_seq(size_t index, RequestStatus status);
+  static void resolve(SeqState& s, RequestStatus status);
+};
+
+}  // namespace edgellm::serve

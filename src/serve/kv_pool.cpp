@@ -1,0 +1,69 @@
+#include "serve/kv_pool.hpp"
+
+#include <algorithm>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::serve {
+
+KvCachePool::KvCachePool(KvPoolConfig cfg) : cfg_(cfg) {
+  check_arg(cfg_.n_slots > 0, "KvCachePool: n_slots must be positive");
+  check_arg(cfg_.kv_dim > 0, "KvCachePool: kv_dim must be positive");
+  check_arg(cfg_.byte_budget >= 0, "KvCachePool: byte_budget must be >= 0");
+  slots_.resize(static_cast<size_t>(cfg_.n_slots));
+  in_use_.assign(static_cast<size_t>(cfg_.n_slots), false);
+  reserved_.assign(static_cast<size_t>(cfg_.n_slots), 0);
+}
+
+int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
+  check_arg(projected_positions > 0 && n_layers > 0,
+            "KvCachePool::acquire: positions and layers must be positive");
+  const int64_t projected = projected_bytes(projected_positions, n_layers);
+  if (cfg_.byte_budget > 0 && committed_ + projected > cfg_.byte_budget) return -1;
+  for (int64_t i = 0; i < cfg_.n_slots; ++i) {
+    if (in_use_[static_cast<size_t>(i)]) continue;
+    in_use_[static_cast<size_t>(i)] = true;
+    reserved_[static_cast<size_t>(i)] = projected;
+    committed_ += projected;
+    ++in_use_count_;
+    slots_[static_cast<size_t>(i)].configure(n_layers, cfg_.kv_dim, cfg_.quantize);
+    return i;
+  }
+  return -1;
+}
+
+void KvCachePool::release(int64_t slot) {
+  check_arg(slot >= 0 && slot < cfg_.n_slots, "KvCachePool::release: slot out of range");
+  const size_t s = static_cast<size_t>(slot);
+  check_arg(in_use_[s], "KvCachePool::release: slot is not in use");
+  in_use_[s] = false;
+  committed_ -= reserved_[s];
+  reserved_[s] = 0;
+  --in_use_count_;
+  // Drop the storage now: a released slot must not count against the
+  // device's memory until re-acquired.
+  slots_[s] = nn::KvCache();
+}
+
+nn::KvCache& KvCachePool::slot(int64_t id) {
+  check_arg(id >= 0 && id < cfg_.n_slots && in_use_[static_cast<size_t>(id)],
+            "KvCachePool::slot: not an acquired slot");
+  return slots_[static_cast<size_t>(id)];
+}
+
+const nn::KvCache& KvCachePool::slot(int64_t id) const {
+  check_arg(id >= 0 && id < cfg_.n_slots && in_use_[static_cast<size_t>(id)],
+            "KvCachePool::slot: not an acquired slot");
+  return slots_[static_cast<size_t>(id)];
+}
+
+int64_t KvCachePool::bytes_in_use() {
+  int64_t total = 0;
+  for (int64_t i = 0; i < cfg_.n_slots; ++i) {
+    if (in_use_[static_cast<size_t>(i)]) total += slots_[static_cast<size_t>(i)].bytes();
+  }
+  high_water_ = std::max(high_water_, total);
+  return total;
+}
+
+}  // namespace edgellm::serve

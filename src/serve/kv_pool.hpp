@@ -1,0 +1,73 @@
+// Slot-addressed pool of per-sequence KV caches under one global byte
+// budget — the serving-side refactor of IncrementalDecoder's private
+// caches. Admission control reserves a slot against the *projected* peak
+// bytes of a sequence (prompt + max_new_tokens positions), so a request
+// that would blow the budget waits in the queue instead of OOM-ing the
+// device mid-decode.
+//
+// Thread model: not internally locked. The engine's scheduler thread owns
+// acquire/release/accounting; worker threads append to *disjoint* slots
+// between scheduler barriers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kv_cache.hpp"
+
+namespace edgellm::serve {
+
+struct KvPoolConfig {
+  int64_t n_slots = 8;        ///< max concurrently cached sequences
+  int64_t kv_dim = 0;         ///< model.config().kv_dim()
+  int64_t byte_budget = 0;    ///< global cap on projected cache bytes; 0 = unlimited
+  bool quantize = false;      ///< int8 slots (4x cheaper admission too)
+};
+
+class KvCachePool {
+ public:
+  explicit KvCachePool(KvPoolConfig cfg);
+
+  /// Reserves a slot for a sequence that will use `n_layers` layers and
+  /// grow to at most `projected_positions` cached positions. Returns the
+  /// slot id, or -1 when no slot is free or the projection would exceed
+  /// the byte budget (the caller queues the request and retries later).
+  int64_t acquire(int64_t projected_positions, int64_t n_layers);
+
+  /// Returns a slot to the pool (its storage is dropped).
+  void release(int64_t slot);
+
+  nn::KvCache& slot(int64_t id);
+  const nn::KvCache& slot(int64_t id) const;
+
+  /// Bytes actually held by live slots right now. Also advances the
+  /// high-water mark; the engine samples this at every tick barrier.
+  int64_t bytes_in_use();
+
+  /// Sum of live slots' projected peak bytes (what admission checks).
+  int64_t committed_bytes() const { return committed_; }
+
+  /// Largest bytes_in_use() ever observed.
+  int64_t high_water_bytes() const { return high_water_; }
+
+  int64_t slots_in_use() const { return in_use_count_; }
+  int64_t capacity() const { return cfg_.n_slots; }
+  int64_t byte_budget() const { return cfg_.byte_budget; }
+
+  /// Projected peak bytes for a sequence (admission arithmetic, exposed
+  /// for callers sizing budgets).
+  int64_t projected_bytes(int64_t positions, int64_t n_layers) const {
+    return positions * nn::KvCache::bytes_per_position(n_layers, cfg_.kv_dim, cfg_.quantize);
+  }
+
+ private:
+  KvPoolConfig cfg_;
+  std::vector<nn::KvCache> slots_;
+  std::vector<bool> in_use_;
+  std::vector<int64_t> reserved_;  ///< per-slot projected bytes
+  int64_t committed_ = 0;
+  int64_t high_water_ = 0;
+  int64_t in_use_count_ = 0;
+};
+
+}  // namespace edgellm::serve

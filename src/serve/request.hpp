@@ -1,0 +1,74 @@
+// Request/response types for the serving runtime, plus the JSONL wire
+// format the `edgellm_cli serve` subcommand speaks: one flat JSON object
+// per line in, one completion object per line out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgellm::serve {
+
+/// Which exit head(s) decode a request — the serving-time use of the
+/// paper's early exits: cheap fixed-early decode, or voted decode that
+/// combines every exit head's logits (core::voting) to recover accuracy.
+enum class ExitPolicy {
+  kFinal,       ///< final exit only
+  kFixedEarly,  ///< one registered early exit (Request::exit_layer)
+  kVoted,       ///< full depth; all exit heads combined per token
+};
+
+/// One generation request.
+struct Request {
+  int64_t id = 0;
+  std::vector<int64_t> prompt;
+  int64_t max_new_tokens = 32;
+  float temperature = 0.0f;  ///< <= 0 means greedy decoding
+  int64_t top_k = 0;         ///< 0 disables top-k filtering
+  ExitPolicy exit_policy = ExitPolicy::kFinal;
+  int64_t exit_layer = 0;    ///< registered exit depth for kFixedEarly
+  uint64_t seed = 0;         ///< per-request sampling stream
+  double deadline_ms = 0.0;  ///< 0 means no deadline (measured from submit)
+};
+
+enum class RequestStatus {
+  kOk,         ///< completed normally
+  kRejected,   ///< admission queue full or engine shut down
+  kCancelled,  ///< cancel() before completion
+  kTimeout,    ///< deadline exceeded mid-decode (partial tokens returned)
+};
+
+const char* to_string(RequestStatus s);
+const char* to_string(ExitPolicy p);
+
+/// Per-request serving metrics.
+struct RequestMetrics {
+  double queue_wait_ms = 0.0;  ///< submit -> admitted into the batch
+  double ttft_ms = 0.0;        ///< submit -> first generated token
+  double total_ms = 0.0;       ///< submit -> completion
+  int64_t prompt_tokens = 0;
+  int64_t output_tokens = 0;
+  double tokens_per_s = 0.0;   ///< output tokens / (total - queue wait)
+  int64_t kv_bytes = 0;        ///< this sequence's cache bytes at completion
+};
+
+/// The engine's answer to one Request.
+struct Completion {
+  int64_t id = 0;
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<int64_t> tokens;  ///< generated tokens (prompt excluded)
+  RequestMetrics metrics;
+};
+
+/// Parses one JSONL request line, e.g.
+///   {"id": 3, "prompt": [1,2,3], "max_new_tokens": 16, "temperature": 0.7,
+///    "top_k": 8, "exit": "voted", "seed": 9, "deadline_ms": 250}
+/// "exit" is "final" (default), "voted", or an integer layer (fixed-early).
+/// Unknown keys are rejected; throws std::invalid_argument with the offending
+/// key/line context on malformed input.
+Request parse_request_json(const std::string& line);
+
+/// Serialises a completion as one JSON line (no trailing newline).
+std::string completion_to_json(const Completion& c);
+
+}  // namespace edgellm::serve

@@ -1,0 +1,68 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::serve {
+
+Scheduler::Scheduler(SchedulerConfig cfg, KvPoolConfig pool_cfg)
+    : cfg_(cfg), pool_(pool_cfg) {
+  check_arg(cfg_.max_batch > 0, "Scheduler: max_batch must be positive");
+  check_arg(cfg_.queue_capacity > 0, "Scheduler: queue_capacity must be positive");
+  check_arg(cfg_.max_seq > 0 && cfg_.n_layers > 0, "Scheduler: model dims must be positive");
+}
+
+bool Scheduler::enqueue(std::unique_ptr<SeqState>& s) {
+  if (static_cast<int64_t>(queue_.size()) >= cfg_.queue_capacity) return false;
+  queue_.push_back(std::move(s));
+  return true;
+}
+
+void Scheduler::admit() {
+  while (!queue_.empty() && static_cast<int64_t>(active_.size()) < cfg_.max_batch) {
+    SeqState& head = *queue_.front();
+    // Worst-case cached positions: the whole prompt plus every token the
+    // request may generate, clipped to the context window.
+    const int64_t projected =
+        std::min<int64_t>(static_cast<int64_t>(head.req.prompt.size()) + head.req.max_new_tokens,
+                          cfg_.max_seq);
+    const int64_t slot = pool_.acquire(projected, head.exit_layer_used);
+    if (slot < 0) break;  // budget/slots exhausted; keep FIFO order
+    head.slot = slot;
+    head.admit_t = std::chrono::steady_clock::now();
+    active_.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+}
+
+std::unique_ptr<SeqState> Scheduler::cancel(int64_t id, bool* found) {
+  *found = false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->req.id == id) {
+      std::unique_ptr<SeqState> s = std::move(*it);
+      queue_.erase(it);
+      *found = true;
+      return s;
+    }
+  }
+  for (auto& s : active_) {
+    if (s->req.id == id && !s->cancelled) {
+      s->cancelled = true;
+      *found = true;
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<SeqState> Scheduler::finish(size_t active_index) {
+  check_arg(active_index < active_.size(), "Scheduler::finish: index out of range");
+  std::unique_ptr<SeqState> s = std::move(active_[active_index]);
+  pool_.release(s->slot);
+  s->slot = -1;
+  active_.erase(active_.begin() + static_cast<int64_t>(active_index));
+  return s;
+}
+
+}  // namespace edgellm::serve

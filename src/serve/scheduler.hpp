@@ -1,0 +1,89 @@
+// Continuous-batching scheduler: the single-threaded policy core of the
+// serving engine. Requests wait in a bounded FIFO admission queue; at every
+// token boundary the scheduler admits as many as fit (batch slots AND the
+// KV pool's byte budget), and finished/cancelled sequences free their slot
+// immediately so the next queued request joins mid-flight — no
+// stop-the-world batch boundaries.
+//
+// Concurrency is the engine's problem (src/serve/engine): the engine calls
+// every method here under its own lock, between decode barriers.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serve/kv_pool.hpp"
+#include "serve/request.hpp"
+#include "tensor/rng.hpp"
+
+namespace edgellm::serve {
+
+/// One admitted sequence's decode state.
+struct SeqState {
+  Request req;
+  std::promise<Completion> promise;
+  int64_t slot = -1;            ///< KvCachePool slot
+  int64_t exit_layer_used = 0;  ///< resolved depth (n_layers for final/voted)
+  int64_t position = 0;         ///< tokens cached so far
+  size_t prompt_fed = 0;        ///< prompt tokens fed so far
+  int64_t last_token = 0;       ///< token to feed next once the prompt is done
+  std::vector<int64_t> out;     ///< generated tokens
+  Rng rng{0};
+  bool cancelled = false;
+  int64_t kv_bytes_at_end = 0;  ///< cache bytes sampled just before release
+  std::chrono::steady_clock::time_point submit_t, admit_t, first_token_t;
+  bool has_first_token = false;
+
+  bool prompt_done() const { return prompt_fed >= req.prompt.size(); }
+  /// The token this sequence feeds at the next tick.
+  int64_t next_token() const {
+    return prompt_done() ? last_token : req.prompt[prompt_fed];
+  }
+};
+
+struct SchedulerConfig {
+  int64_t max_batch = 8;        ///< max concurrently decoding sequences
+  int64_t queue_capacity = 64;  ///< bounded admission queue
+  int64_t max_seq = 0;          ///< model context window
+  int64_t n_layers = 0;         ///< model depth
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerConfig cfg, KvPoolConfig pool_cfg);
+
+  /// Queues a request. Moves from `s` and returns true, or returns false
+  /// (queue full) leaving `s` untouched so the caller can reject it.
+  bool enqueue(std::unique_ptr<SeqState>& s);
+
+  /// Admits queued requests in FIFO order while batch slots and the KV
+  /// byte budget allow. Head-of-line order is preserved: if the head does
+  /// not fit, nothing behind it jumps the queue (no starvation).
+  void admit();
+
+  /// Cancels a request by id. Queued: removed and returned for immediate
+  /// resolution. Active: flagged; the engine resolves it at the next
+  /// barrier. Returns nullptr + sets `found` accordingly.
+  std::unique_ptr<SeqState> cancel(int64_t id, bool* found);
+
+  /// Removes an active sequence (slot released) and returns its state for
+  /// completion.
+  std::unique_ptr<SeqState> finish(size_t active_index);
+
+  std::vector<std::unique_ptr<SeqState>>& active() { return active_; }
+  KvCachePool& pool() { return pool_; }
+  size_t queued() const { return queue_.size(); }
+  bool idle() const { return active_.empty() && queue_.empty(); }
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  SchedulerConfig cfg_;
+  KvCachePool pool_;
+  std::deque<std::unique_ptr<SeqState>> queue_;
+  std::vector<std::unique_ptr<SeqState>> active_;
+};
+
+}  // namespace edgellm::serve

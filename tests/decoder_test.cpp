@@ -155,6 +155,104 @@ TEST(Decoder, QuantizedKvCloseToFp) {
   }
 }
 
+TEST(Decoder, ResetAllowsServingSuccessivePrompts) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(30);
+  CausalLm model(cfg, rng);
+  const auto a = seq_tokens(6, cfg.vocab);
+  const std::vector<int64_t> b = {3, 1, 4, 1, 5};
+
+  IncrementalDecoder fresh(model);
+  fresh.prime(b);
+
+  IncrementalDecoder reused(model);
+  reused.prime(a);
+  reused.reset();
+  EXPECT_EQ(reused.position(), 0);
+  EXPECT_EQ(reused.kv_cache_bytes(), 0);
+  reused.prime(b);
+  for (int64_t v = 0; v < cfg.vocab; ++v) {
+    EXPECT_EQ(reused.logits()[v], fresh.logits()[v]) << v;  // no state leaked
+  }
+}
+
+TEST(Decoder, GenerateConfigValidation) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(31);
+  CausalLm model(cfg, rng);
+  IncrementalDecoder dec(model);
+  Rng srng(1);
+
+  GenerateConfig g;
+  g.max_new_tokens = 0;
+  EXPECT_THROW(dec.generate({1}, g, srng), std::invalid_argument);
+  g = GenerateConfig{};
+  g.top_k = cfg.vocab + 1;
+  EXPECT_THROW(dec.generate({1}, g, srng), std::invalid_argument);
+  g = GenerateConfig{};
+  g.top_k = -1;
+  EXPECT_THROW(dec.generate({1}, g, srng), std::invalid_argument);
+  g = GenerateConfig{};
+  g.exit_layer = 5;  // not a registered exit
+  EXPECT_THROW(dec.generate({1}, g, srng), std::invalid_argument);
+  g = GenerateConfig{};
+  g.exit_layer = 2;  // registered, but this decoder caches full depth
+  EXPECT_THROW(dec.generate({1}, g, srng), std::invalid_argument);
+
+  IncrementalDecoder early(model, 2);
+  g = GenerateConfig{};
+  g.exit_layer = 2;
+  g.max_new_tokens = 2;
+  EXPECT_EQ(early.generate({1}, g, srng).size(), 2u);
+}
+
+TEST(Decoder, QuantizedKvBytesAccountedExactly) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(32);
+  CausalLm model(cfg, rng);
+  IncrementalDecoder q(model, 0, /*quantize_kv=*/true);
+  q.prime({1, 2, 3, 4, 5});
+  // int8 payload + one fp32 scale per K and per V row, per layer, per
+  // position.
+  const int64_t per_pos = cfg.n_layers * 2 * (cfg.kv_dim() + 4);
+  EXPECT_EQ(q.kv_cache_bytes(), 5 * per_pos);
+  IncrementalDecoder fp(model, 0, false);
+  fp.prime({1, 2, 3, 4, 5});
+  EXPECT_EQ(fp.kv_cache_bytes(), 5 * cfg.n_layers * 2 * cfg.kv_dim() * 4);
+}
+
+// Early-exit incremental generation must agree with greedily decoding from
+// the full (non-cached) forward pass at the same fixed exit.
+TEST(Decoder, EarlyExitGenerateAgreesWithFullForward) {
+  const ModelConfig cfg = tiny_config();
+  Rng rng(33);
+  CausalLm model(cfg, rng);
+  const std::vector<int64_t> prompt = {2, 7, 11};
+  const int64_t n_new = 5;
+
+  IncrementalDecoder dec(model, /*exit_layer=*/2);
+  GenerateConfig g;
+  g.max_new_tokens = n_new;
+  g.temperature = 0.0f;
+  g.exit_layer = 2;
+  Rng srng(1);
+  const auto got = dec.generate(prompt, g, srng);
+
+  std::vector<int64_t> seq = prompt;
+  std::vector<int64_t> want;
+  for (int64_t i = 0; i < n_new; ++i) {
+    const int64_t T = static_cast<int64_t>(seq.size());
+    const Tensor logits = model.forward_eval(seq, 1, T, /*exit_layer=*/2);
+    int64_t best = 0;
+    for (int64_t v = 1; v < cfg.vocab; ++v) {
+      if (logits[(T - 1) * cfg.vocab + v] > logits[(T - 1) * cfg.vocab + best]) best = v;
+    }
+    want.push_back(best);
+    seq.push_back(best);
+  }
+  EXPECT_EQ(got, want);
+}
+
 TEST(Decoder, QuantizedKvUsesQuarterMemory) {
   const ModelConfig cfg = tiny_config();
   Rng rng(21);
