@@ -10,6 +10,7 @@
 #include "prune/prune.hpp"
 #include "quant/quant.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
 
 namespace {
@@ -39,6 +40,54 @@ void BM_MatmulNt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatmulNt)->Arg(64)->Arg(128);
+
+// Thread sweep over the deterministic compute backend: Args are {n,
+// threads}. Outputs are bitwise identical at every thread count (asserted
+// by ctest -L parallel); this measures the wall-clock side of the bargain.
+// On a single-core host every row collapses to serial speed — run on a
+// multicore machine to see the scaling.
+void BM_MatmulThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  parallel::set_num_threads(state.range(1));
+  Rng rng(1);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_MatmulThreads)
+    ->Args({128, 1})->Args({128, 2})->Args({128, 4})
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4});
+
+void BM_BmmThreads(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  parallel::set_num_threads(state.range(1));
+  Rng rng(1);
+  const Tensor a = randn({8, n, n}, rng);
+  const Tensor b = randn({8, n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::bmm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n * n * n);
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_BmmThreads)->Args({64, 1})->Args({64, 2})->Args({64, 4});
+
+void BM_AttentionForwardThreads(benchmark::State& state) {
+  parallel::set_num_threads(state.range(1));
+  Rng rng(5);
+  nn::MultiHeadAttention attn("a", 64, 4, rng);
+  attn.set_grad_enabled(false);
+  const Tensor x = randn({4, state.range(0), 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.forward(x));
+  }
+  parallel::set_num_threads(1);
+}
+BENCHMARK(BM_AttentionForwardThreads)->Args({64, 1})->Args({64, 2})->Args({64, 4});
 
 void BM_Softmax(benchmark::State& state) {
   Rng rng(2);

@@ -11,10 +11,16 @@
 // frequency-scaled hosts a single short run is dominated by machine noise;
 // interleaving makes baseline and engine see the same conditions.
 //
+// The compute-thread axis (tensor/parallel.hpp) is swept as well, and a
+// machine-readable summary — a matmul thread sweep with a bitwise check
+// against the serial reference, plus the serve sweep — is written to
+// BENCH_parallel.json (override with --json PATH, disable with --json "").
+//
 // Run: ./build/bench/bench_serve_throughput [--requests N] [--tokens N]
-//      [--repeats N] [--csv out.csv]
+//      [--repeats N] [--csv out.csv] [--json out.json]
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -22,6 +28,8 @@
 #include "bench_common.hpp"
 #include "runtime/trace.hpp"
 #include "serve/engine.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace {
 
@@ -102,10 +110,11 @@ RunResult run_sequential(nn::CausalLm& model, const std::vector<std::vector<int6
 
 RunResult run_engine(nn::CausalLm& model, const std::vector<std::vector<int64_t>>& prompts,
                      int64_t n_new, serve::ExitPolicy policy, int64_t exit_layer,
-                     int64_t max_batch, int64_t threads) {
+                     int64_t max_batch, int64_t threads, int64_t compute_threads) {
   serve::EngineConfig ecfg;
   ecfg.max_batch = max_batch;
   ecfg.threads = threads;
+  ecfg.compute_threads = compute_threads;
   ecfg.queue_capacity = static_cast<int64_t>(prompts.size());
   serve::ServeEngine engine(model, ecfg);
 
@@ -135,7 +144,51 @@ RunResult run_engine(nn::CausalLm& model, const std::vector<std::vector<int64_t>
   const serve::EngineMetrics m = engine.metrics();
   r.occupancy = m.mean_batch_occupancy();
   r.kv_high_water = m.kv_high_water_bytes;
+  // Engine configs set the process-global compute thread count; restore
+  // serial so the sequential baseline is never accidentally parallel.
+  parallel::set_num_threads(1);
   return r;
+}
+
+/// One row of the matmul thread sweep written to BENCH_parallel.json.
+struct MatmulSweepRow {
+  int64_t threads = 0;
+  double gflops = 0.0;
+  double speedup = 0.0;
+  bool bitwise_identical = false;
+};
+
+/// Times n x n matmul at each thread count and checks the result bit for
+/// bit against the serial reference — the backend's contract, measured.
+std::vector<MatmulSweepRow> matmul_thread_sweep(int64_t n, int64_t reps) {
+  Rng rng(13);
+  const Tensor a = randn({n, n}, rng);
+  const Tensor b = randn({n, n}, rng);
+
+  parallel::set_num_threads(1);
+  const Tensor ref = ops::matmul(a, b);
+
+  std::vector<MatmulSweepRow> rows;
+  for (const int64_t nt : {1, 2, 4, 8}) {
+    parallel::set_num_threads(nt);
+    Tensor out;
+    const auto t0 = Clock::now();
+    for (int64_t r = 0; r < reps; ++r) out = ops::matmul(a, b);
+    const double ms = ms_since(t0);
+
+    MatmulSweepRow row;
+    row.threads = nt;
+    row.gflops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                 static_cast<double>(n) * static_cast<double>(reps) / (ms * 1e6);
+    row.bitwise_identical = out.numel() == ref.numel();
+    for (int64_t i = 0; row.bitwise_identical && i < out.numel(); ++i) {
+      if (out[i] != ref[i]) row.bitwise_identical = false;
+    }
+    rows.push_back(row);
+  }
+  parallel::set_num_threads(1);
+  for (auto& row : rows) row.speedup = row.gflops / rows.front().gflops;
+  return rows;
 }
 
 }  // namespace
@@ -165,6 +218,7 @@ int main(int argc, char** argv) {
     int64_t exit_layer;
     int64_t batch;
     int64_t threads;
+    int64_t compute;  // tensor-backend threads inside each decode tick
     bool check_vs_final;  // greedy outputs must match the sequential reference
   };
   std::vector<Config> configs;
@@ -179,13 +233,19 @@ int main(int argc, char** argv) {
   };
   for (const auto& s : sweeps) {
     for (int64_t batch : {int64_t{1}, int64_t{4}, int64_t{8}}) {
-      configs.push_back({s.name, s.policy, s.exit_layer, batch, 1,
+      configs.push_back({s.name, s.policy, s.exit_layer, batch, 1, 1,
                          s.policy != serve::ExitPolicy::kVoted});
     }
   }
   // One multi-threaded row: batching and worker sharding compose (the
   // thread axis only pays off on multicore hosts).
-  configs.push_back({"final", serve::ExitPolicy::kFinal, 0, 8, 2, true});
+  configs.push_back({"final", serve::ExitPolicy::kFinal, 0, 8, 2, 1, true});
+  // Compute-thread sweep: same batch-4 greedy workload, the deterministic
+  // tensor backend fanned out inside each tick. Outputs are still checked
+  // token-for-token against the sequential reference at every width.
+  for (int64_t compute : {int64_t{2}, int64_t{4}}) {
+    configs.push_back({"final", serve::ExitPolicy::kFinal, 0, 4, 1, compute, true});
+  }
 
   // Untimed warmup + the equal-quality reference outputs per exit depth.
   const RunResult ref_final = run_sequential(model, prompts, n_new, /*exit_layer=*/0);
@@ -197,8 +257,8 @@ int main(int argc, char** argv) {
     seq_agg.add(run_sequential(model, prompts, n_new, /*exit_layer=*/0));
     for (size_t i = 0; i < configs.size(); ++i) {
       const Config& c = configs[i];
-      const RunResult run =
-          run_engine(model, prompts, n_new, c.policy, c.exit_layer, c.batch, c.threads);
+      const RunResult run = run_engine(model, prompts, n_new, c.policy, c.exit_layer, c.batch,
+                                       c.threads, c.compute);
       if (c.check_vs_final) {
         const RunResult& want =
             c.policy == serve::ExitPolicy::kFixedEarly ? ref_early : ref_final;
@@ -209,19 +269,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  runtime::TablePrinter table({14, 7, 9, 11, 9, 10, 10, 9});
-  table.row({"policy", "batch", "threads", "tokens/s", "speedup", "p50 ms", "p95 ms", "occup"});
+  runtime::TablePrinter table({14, 7, 9, 9, 11, 9, 10, 10, 9});
+  table.row({"policy", "batch", "threads", "compute", "tokens/s", "speedup", "p50 ms", "p95 ms",
+             "occup"});
   table.rule();
-  table.row({"sequential", "1", "1", fmt(seq_agg.tokens_per_s(), 0), "1.00",
+  table.row({"sequential", "1", "1", "1", fmt(seq_agg.tokens_per_s(), 0), "1.00",
              fmt(percentile(seq_agg.lat, 0.50), 2), fmt(percentile(seq_agg.lat, 0.95), 2),
              "1.00"});
 
   std::unique_ptr<runtime::CsvWriter> csv;
   if (args.count("--csv")) {
     csv = std::make_unique<runtime::CsvWriter>(
-        args["--csv"], std::vector<std::string>{"policy", "batch", "threads", "tokens_per_s",
-                                                "speedup", "p50_ms", "p95_ms", "occupancy",
-                                                "kv_high_water_bytes"});
+        args["--csv"], std::vector<std::string>{"policy", "batch", "threads", "compute_threads",
+                                                "tokens_per_s", "speedup", "p50_ms", "p95_ms",
+                                                "occupancy", "kv_high_water_bytes"});
   }
 
   double speedup_b4_final = 0.0;
@@ -233,14 +294,15 @@ int main(int argc, char** argv) {
       speedup_b4_final = speedup;
     }
     table.row({c.name, std::to_string(c.batch), std::to_string(c.threads),
-               fmt(a.tokens_per_s(), 0), fmt(speedup, 2), fmt(percentile(a.lat, 0.50), 2),
-               fmt(percentile(a.lat, 0.95), 2), fmt(a.occupancy(), 2)});
+               std::to_string(c.compute), fmt(a.tokens_per_s(), 0), fmt(speedup, 2),
+               fmt(percentile(a.lat, 0.50), 2), fmt(percentile(a.lat, 0.95), 2),
+               fmt(a.occupancy(), 2)});
     if (csv) {
       csv->row(std::vector<std::string>{
           c.name, std::to_string(c.batch), std::to_string(c.threads),
-          fmt(a.tokens_per_s(), 1), fmt(speedup, 3), fmt(percentile(a.lat, 0.50), 3),
-          fmt(percentile(a.lat, 0.95), 3), fmt(a.occupancy(), 2),
-          std::to_string(a.kv_high_water)});
+          std::to_string(c.compute), fmt(a.tokens_per_s(), 1), fmt(speedup, 3),
+          fmt(percentile(a.lat, 0.50), 3), fmt(percentile(a.lat, 0.95), 3),
+          fmt(a.occupancy(), 2), std::to_string(a.kv_high_water)});
     }
   }
   if (csv) csv->close();
@@ -248,5 +310,35 @@ int main(int argc, char** argv) {
   std::cout << "\nall greedy outputs identical to the sequential reference\n";
   std::cout << "batch-4 speedup over sequential: " << fmt(speedup_b4_final, 2) << "x"
             << (speedup_b4_final >= 2.0 ? " (>= 2x target met)" : "") << "\n";
+
+  // Machine-readable summary: the raw matmul thread sweep (with its bitwise
+  // check) plus every serve sweep row.
+  const std::string json_path =
+      args.count("--json") ? args["--json"] : std::string("BENCH_parallel.json");
+  if (!json_path.empty()) {
+    const auto sweep = matmul_thread_sweep(/*n=*/192, /*reps=*/3);
+    std::ofstream js(json_path);
+    js << "{\n  \"matmul_thread_sweep\": {\n    \"n\": 192,\n    \"rows\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      js << "      {\"threads\": " << sweep[i].threads << ", \"gflops\": "
+         << fmt(sweep[i].gflops, 3) << ", \"speedup\": " << fmt(sweep[i].speedup, 3)
+         << ", \"bitwise_identical\": " << (sweep[i].bitwise_identical ? "true" : "false")
+         << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    js << "    ]\n  },\n  \"serve_sweep\": [\n";
+    js << "    {\"policy\": \"sequential\", \"batch\": 1, \"threads\": 1, "
+          "\"compute_threads\": 1, \"tokens_per_s\": "
+       << fmt(seq_agg.tokens_per_s(), 1) << ", \"speedup\": 1.0},\n";
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const Config& c = configs[i];
+      js << "    {\"policy\": \"" << c.name << "\", \"batch\": " << c.batch
+         << ", \"threads\": " << c.threads << ", \"compute_threads\": " << c.compute
+         << ", \"tokens_per_s\": " << fmt(aggs[i].tokens_per_s(), 1) << ", \"speedup\": "
+         << fmt(aggs[i].tokens_per_s() / seq_agg.tokens_per_s(), 3) << "}"
+         << (i + 1 < configs.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"greedy_outputs_bitwise_identical\": true\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

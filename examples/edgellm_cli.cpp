@@ -34,6 +34,7 @@
 #include "core/pipeline.hpp"
 #include "data/eval.hpp"
 #include "nn/decoder.hpp"
+#include "tensor/parallel.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/checkpointer.hpp"
 #include "runtime/table.hpp"
@@ -268,7 +269,9 @@ int usage() {
                "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n"
                "  serve    --in FILE [--requests FILE|-] [--threads N] [--batch B]\n"
                "           [--queue Q] [--kv-budget BYTES] [--quantize-kv 0|1]\n"
-               "           [--metrics CSV]\n";
+               "           [--metrics CSV]\n"
+               "every subcommand also takes --compute-threads N (deterministic tensor\n"
+               "backend; 0 = EDGELLM_NUM_THREADS or serial; outputs identical at any N)\n";
   return 2;
 }
 
@@ -279,6 +282,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const auto args = parse_args(argc, argv, 2);
+    // Global compute-thread knob for the deterministic tensor backend;
+    // outputs are bitwise identical at any value (EDGELLM_NUM_THREADS is
+    // the env-var equivalent).
+    const int64_t ct = static_cast<int64_t>(get_num(args, "compute-threads", 0));
+    check_arg(ct >= 0, "--compute-threads must be >= 0");
+    if (ct > 0) parallel::set_num_threads(ct);
     if (cmd == "pretrain") return cmd_pretrain(args);
     if (cmd == "adapt") return cmd_adapt(args);
     if (cmd == "eval") return cmd_eval(args);

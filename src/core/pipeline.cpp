@@ -5,12 +5,15 @@
 #include <stdexcept>
 
 #include "data/eval.hpp"
+#include "tensor/parallel.hpp"
 
 namespace edgellm::core {
 
 PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain,
                             const PipelineConfig& cfg) {
   check_arg(cfg.adaptation_iters > 0, "run_pipeline: need at least one iteration");
+  check_arg(cfg.compute_threads >= 0, "run_pipeline: compute_threads must be >= 0");
+  if (cfg.compute_threads > 0) parallel::set_num_threads(cfg.compute_threads);
   Rng rng(cfg.seed);
 
   // Calibration and held-out evaluation data from the target domain.

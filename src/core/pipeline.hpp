@@ -30,6 +30,12 @@ struct PipelineConfig {
 
   bool apply_compression = true;  ///< disable for no-LUC ablations
 
+  /// Compute threads for the deterministic tensor backend
+  /// (tensor/parallel.hpp) used by every training step. 0 leaves the
+  /// process-global setting (EDGELLM_NUM_THREADS or 1) alone. Losses,
+  /// weights and checkpoints are bitwise identical at any value.
+  int64_t compute_threads = 0;
+
   // --- fault tolerance (see docs/ROBUSTNESS.md) ----------------------------
   /// Non-owning snapshot store (e.g. a runtime::Checkpointer). Enables
   /// periodic checkpointing, resume and bad-step rollback; null disables all

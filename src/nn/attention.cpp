@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace edgellm::nn {
 
@@ -103,14 +104,17 @@ Tensor MultiHeadAttention::forward(const Tensor& x) {
 
   Tensor scores = ops::bmm_nt(q, k);  // [B*H, T, T]
   const float alpha = 1.0f / std::sqrt(static_cast<float>(d_head_));
-  for (int64_t bh = 0; bh < b * n_heads_; ++bh) {
-    float* s = scores.raw() + bh * t * t;
-    for (int64_t i = 0; i < t; ++i) {
-      for (int64_t j = 0; j < t; ++j) {
-        s[i * t + j] = j <= i ? s[i * t + j] * alpha : kMaskValue;
+  float* ps = scores.raw();
+  parallel::parallel_for(0, b * n_heads_, 1, [=](int64_t lo, int64_t hi) {
+    for (int64_t bh = lo; bh < hi; ++bh) {
+      float* s = ps + bh * t * t;
+      for (int64_t i = 0; i < t; ++i) {
+        for (int64_t j = 0; j < t; ++j) {
+          s[i * t + j] = j <= i ? s[i * t + j] * alpha : kMaskValue;
+        }
       }
     }
-  }
+  });
   Tensor probs = ops::softmax_lastdim(scores);
   const Tensor ctx = ops::bmm(probs, v);  // [B*H, T, Dh]
   const Tensor merged = merge_heads(ctx, b, t, n_heads_);
@@ -137,9 +141,13 @@ Tensor MultiHeadAttention::backward(const Tensor& grad_out) {
   const Tensor grad_merged = o_->backward(grad_out);
   const Tensor grad_ctx = split_heads(grad_merged, b, t, n_heads_);  // [B*H, T, Dh]
 
-  // ctx = probs @ v
-  const Tensor grad_probs = ops::bmm_nt(grad_ctx, v_heads_);  // [B*H, T, T]
-  const Tensor grad_v = ops::bmm_tn(probs_, grad_ctx);        // [B*H, T, Dh]
+  // ctx = probs @ v. The zero-skip kernel is safe here: probs rows sum to 1
+  // (a whole row can never be zero), so any NaN/Inf in grad_ctx still
+  // reaches grad_v through the row's nonzero weights, and a NaN in probs
+  // itself is != 0 and never skipped. The causal mask zeroes ~half of
+  // probs exactly (softmax of -1e30 underflows), which the skip exploits.
+  const Tensor grad_probs = ops::bmm_nt(grad_ctx, v_heads_);   // [B*H, T, T]
+  const Tensor grad_v = ops::bmm_tn_skipzero(probs_, grad_ctx);  // [B*H, T, Dh]
 
   // probs = softmax(scores); masked positions have probs == 0, so the
   // softmax backward already yields zero grad there.

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace edgellm::nn {
 
@@ -159,6 +160,7 @@ void validate_generate_config(const GenerateConfig& cfg, const CausalLm& model) 
             "GenerateConfig: top_k must be in [0, vocab=" +
                 std::to_string(model.config().vocab) + "], got " + std::to_string(cfg.top_k));
   check_arg(std::isfinite(cfg.temperature), "GenerateConfig: temperature must be finite");
+  check_arg(cfg.n_threads >= 0, "GenerateConfig: n_threads must be >= 0 (0 = global setting)");
   if (cfg.exit_layer != 0) (void)model.exit_index(cfg.exit_layer);  // throws if unregistered
 }
 
@@ -202,7 +204,6 @@ void batched_decode_step(CausalLm& model, std::span<BatchedSeq> seqs,
   }
 
   auto blocks = model.blocks();
-  std::vector<float> row_scratch, score_scratch;
   for (int64_t li = 0; li < max_depth; ++li) {
     // Rows whose exit depth still needs this layer.
     std::vector<int64_t> alive;
@@ -224,14 +225,22 @@ void batched_decode_step(CausalLm& model, std::span<BatchedSeq> seqs,
     const Tensor k = cached_linear(attn.k_proj(), h, weights);  // [Ba, kvd]
     const Tensor v = cached_linear(attn.v_proj(), h, weights);
 
-    Tensor ctx({static_cast<int64_t>(alive.size()), c});
-    for (size_t j = 0; j < alive.size(); ++j) {
-      BatchedSeq& s = seqs[static_cast<size_t>(alive[j])];
-      s.cache->append(li, k.raw() + static_cast<int64_t>(j) * kvd,
-                      v.raw() + static_cast<int64_t>(j) * kvd);
-      attend_one(cfg, *s.cache, li, s.position + 1, q.raw() + static_cast<int64_t>(j) * c,
-                 ctx.raw() + static_cast<int64_t>(j) * c, row_scratch, score_scratch);
-    }
+    // Per-sequence attention parallelises across the batch: every row owns
+    // its own cache and its own ctx row, and each sequence's computation is
+    // independent of the others, so any partition is bitwise identical to
+    // the serial loop. Scratch is per-chunk (attend_one reuses it across a
+    // chunk's sequences but never shares it between threads).
+    const int64_t n_alive = static_cast<int64_t>(alive.size());
+    Tensor ctx({n_alive, c});
+    parallel::parallel_for(0, n_alive, 1, [&](int64_t lo, int64_t hi) {
+      std::vector<float> row_scratch, score_scratch;
+      for (int64_t j = lo; j < hi; ++j) {
+        BatchedSeq& s = seqs[static_cast<size_t>(alive[static_cast<size_t>(j)])];
+        s.cache->append(li, k.raw() + j * kvd, v.raw() + j * kvd);
+        attend_one(cfg, *s.cache, li, s.position + 1, q.raw() + j * c, ctx.raw() + j * c,
+                   row_scratch, score_scratch);
+      }
+    });
     const Tensor attn_out = cached_linear(attn.out_proj(), ctx, weights);
     ops::add_inplace(xa, attn_out);
     const Tensor h2 = block.norm2().forward(xa);
@@ -347,6 +356,7 @@ int64_t sample_token(const Tensor& logits, const GenerateConfig& cfg, Rng& rng) 
 std::vector<int64_t> IncrementalDecoder::generate(const std::vector<int64_t>& prompt,
                                                   const GenerateConfig& cfg, Rng& rng) {
   validate_generate_config(cfg, model_);
+  if (cfg.n_threads > 0) parallel::set_num_threads(cfg.n_threads);
   check_arg(cfg.exit_layer == 0 || cfg.exit_layer == exit_layer_,
             "generate: config exit_layer " + std::to_string(cfg.exit_layer) +
                 " does not match this decoder's exit " + std::to_string(exit_layer_));

@@ -62,11 +62,16 @@ struct GenerateConfig {
   float temperature = 1.0f;  ///< <= 0 means greedy decoding
   int64_t top_k = 0;         ///< 0 disables top-k filtering
   int64_t exit_layer = 0;    ///< 0 means the final exit
+  /// Compute threads for the deterministic tensor backend
+  /// (tensor/parallel.hpp). 0 leaves the process-global setting alone;
+  /// > 0 sets it for this and subsequent calls. Outputs are bitwise
+  /// identical at any value.
+  int64_t n_threads = 0;
 };
 
 /// Throws std::invalid_argument unless cfg is sane for `model`:
-/// max_new_tokens > 0, 0 <= top_k <= vocab, finite temperature, and
-/// exit_layer either 0 or a registered exit depth.
+/// max_new_tokens > 0, 0 <= top_k <= vocab, finite temperature,
+/// n_threads >= 0, and exit_layer either 0 or a registered exit depth.
 void validate_generate_config(const GenerateConfig& cfg, const CausalLm& model);
 
 /// One sequence's slice of a batched decode tick.

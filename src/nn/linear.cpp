@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace edgellm::nn {
 
@@ -58,9 +59,16 @@ Tensor Linear::backward(const Tensor& grad_out) {
   ops::add_inplace(weight_.grad, dw);
 
   if (bias_) {
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t j = 0; j < out_; ++j) bias_->grad[j] += g2[r * out_ + j];
-    }
+    // Columns are disjoint and each accumulates over ascending r, so the
+    // partition is bitwise identical to the serial (r, j) loop.
+    float* bg = bias_->grad.raw();
+    const float* pg = g2.raw();
+    const int64_t out = out_;
+    parallel::parallel_for(0, out, 64, [=](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        for (int64_t r = 0; r < rows; ++r) bg[j] += pg[r * out + j];
+      }
+    });
   }
 
   // dX = g * W_eff (the forward used the effective weight).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/parallel.hpp"
+
 namespace edgellm::serve {
 
 namespace {
@@ -72,6 +74,8 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
              KvPoolConfig{cfg.max_batch, model.config().kv_dim(), cfg.kv_byte_budget,
                           cfg.quantize_kv}) {
   check_arg(cfg_.threads >= 1, "ServeEngine: threads must be >= 1");
+  check_arg(cfg_.compute_threads >= 0, "ServeEngine: compute_threads must be >= 0");
+  if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
   const size_t n_exits = model_.exit_layers().size();
   exit_weights_.assign(n_exits, 1.0f / static_cast<float>(n_exits));
   exit_losses_.assign(n_exits, 0.0f);

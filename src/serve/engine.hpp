@@ -33,6 +33,12 @@ struct EngineConfig {
   int64_t max_batch = 8;        ///< max concurrently decoding sequences
   int64_t queue_capacity = 64;  ///< bounded admission queue
   int64_t threads = 2;          ///< decode worker threads (1 = in-loop decode)
+  /// Compute threads for the deterministic tensor backend inside each
+  /// decode tick (tensor/parallel.hpp): parallel matmul rows and
+  /// per-sequence attention. 0 leaves the process-global setting alone.
+  /// Orthogonal to `threads` (which shards the batch): completions are
+  /// bitwise identical at any value of either.
+  int64_t compute_threads = 0;
   int64_t kv_byte_budget = 0;   ///< global KV cache cap in bytes; 0 = unlimited
   bool quantize_kv = false;     ///< int8 pooled caches
   /// Mode/temperature for kVoted requests (weights via set_exit_weights).

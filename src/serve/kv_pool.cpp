@@ -19,6 +19,7 @@ int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
   check_arg(projected_positions > 0 && n_layers > 0,
             "KvCachePool::acquire: positions and layers must be positive");
   const int64_t projected = projected_bytes(projected_positions, n_layers);
+  std::lock_guard<std::mutex> lk(mu_);
   if (cfg_.byte_budget > 0 && committed_ + projected > cfg_.byte_budget) return -1;
   for (int64_t i = 0; i < cfg_.n_slots; ++i) {
     if (in_use_[static_cast<size_t>(i)]) continue;
@@ -35,6 +36,7 @@ int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
 void KvCachePool::release(int64_t slot) {
   check_arg(slot >= 0 && slot < cfg_.n_slots, "KvCachePool::release: slot out of range");
   const size_t s = static_cast<size_t>(slot);
+  std::lock_guard<std::mutex> lk(mu_);
   check_arg(in_use_[s], "KvCachePool::release: slot is not in use");
   in_use_[s] = false;
   committed_ -= reserved_[s];
@@ -46,24 +48,44 @@ void KvCachePool::release(int64_t slot) {
 }
 
 nn::KvCache& KvCachePool::slot(int64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
   check_arg(id >= 0 && id < cfg_.n_slots && in_use_[static_cast<size_t>(id)],
             "KvCachePool::slot: not an acquired slot");
+  // The reference stays valid after unlocking: slots_ is sized once at
+  // construction and an acquired slot is owned by its caller until release.
   return slots_[static_cast<size_t>(id)];
 }
 
 const nn::KvCache& KvCachePool::slot(int64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   check_arg(id >= 0 && id < cfg_.n_slots && in_use_[static_cast<size_t>(id)],
             "KvCachePool::slot: not an acquired slot");
   return slots_[static_cast<size_t>(id)];
 }
 
-int64_t KvCachePool::bytes_in_use() {
+int64_t KvCachePool::bytes_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
   int64_t total = 0;
   for (int64_t i = 0; i < cfg_.n_slots; ++i) {
     if (in_use_[static_cast<size_t>(i)]) total += slots_[static_cast<size_t>(i)].bytes();
   }
   high_water_ = std::max(high_water_, total);
   return total;
+}
+
+int64_t KvCachePool::committed_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return committed_;
+}
+
+int64_t KvCachePool::high_water_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return high_water_;
+}
+
+int64_t KvCachePool::slots_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_use_count_;
 }
 
 }  // namespace edgellm::serve

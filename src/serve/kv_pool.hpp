@@ -5,12 +5,16 @@
 // that would blow the budget waits in the queue instead of OOM-ing the
 // device mid-decode.
 //
-// Thread model: not internally locked. The engine's scheduler thread owns
-// acquire/release/accounting; worker threads append to *disjoint* slots
-// between scheduler barriers.
+// Thread model: pool *state* (slot occupancy, byte accounting, high-water
+// mark) is guarded by an internal mutex, so the metrics accessors are
+// const and safe to poll from any thread while the scheduler thread
+// acquires/releases. Slot *contents* are not locked: the engine's
+// scheduler thread hands each acquired slot to exactly one worker between
+// barriers, and workers append only to their own (disjoint) slots.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "nn/kv_cache.hpp"
@@ -41,16 +45,17 @@ class KvCachePool {
   const nn::KvCache& slot(int64_t id) const;
 
   /// Bytes actually held by live slots right now. Also advances the
-  /// high-water mark; the engine samples this at every tick barrier.
-  int64_t bytes_in_use();
+  /// high-water mark; the engine samples this at every tick barrier, and
+  /// metrics pollers may call it concurrently from any thread.
+  int64_t bytes_in_use() const;
 
   /// Sum of live slots' projected peak bytes (what admission checks).
-  int64_t committed_bytes() const { return committed_; }
+  int64_t committed_bytes() const;
 
   /// Largest bytes_in_use() ever observed.
-  int64_t high_water_bytes() const { return high_water_; }
+  int64_t high_water_bytes() const;
 
-  int64_t slots_in_use() const { return in_use_count_; }
+  int64_t slots_in_use() const;
   int64_t capacity() const { return cfg_.n_slots; }
   int64_t byte_budget() const { return cfg_.byte_budget; }
 
@@ -62,11 +67,14 @@ class KvCachePool {
 
  private:
   KvPoolConfig cfg_;
+  /// Guards occupancy/accounting state below. Mutable so the read-only
+  /// metrics accessors stay const for callers.
+  mutable std::mutex mu_;
   std::vector<nn::KvCache> slots_;
   std::vector<bool> in_use_;
   std::vector<int64_t> reserved_;  ///< per-slot projected bytes
   int64_t committed_ = 0;
-  int64_t high_water_ = 0;
+  mutable int64_t high_water_ = 0;  ///< advanced by const bytes_in_use()
   int64_t in_use_count_ = 0;
 };
 

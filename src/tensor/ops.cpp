@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/parallel.hpp"
+
 namespace edgellm::ops {
 
 namespace {
@@ -13,14 +15,42 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
                                         shape_to_string(b.shape()));
 }
 
-// Inner GEMM kernel on raw pointers: C[m,n] += A[m,k] * B[k,n], with C
-// assumed zero-initialised by the caller. Loop order (m,k,n) keeps the B
-// and C accesses sequential.
-void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
+// Accumulating kernels assume their output starts at exactly zero; a future
+// pooled/uninitialised allocation path handing them dirty memory would
+// silently corrupt results. Debug builds assert the contract.
+#ifndef NDEBUG
+void debug_assert_zeroed(const Tensor& c, const char* what) {
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    check_arg(c[i] == 0.0f, std::string(what) + ": output not zero-initialised");
+  }
+}
+#else
+void debug_assert_zeroed(const Tensor&, const char*) {}
+#endif
+
+// Chunk sizing: aim for at least this many scalar multiply-adds per chunk
+// so fan-out overhead stays negligible. Chunk boundaries never affect
+// results (kernels partition over disjoint output rows), only scheduling.
+constexpr int64_t kGrainOps = 16384;
+
+int64_t row_grain(int64_t ops_per_row) {
+  return std::max<int64_t>(1, kGrainOps / std::max<int64_t>(1, ops_per_row));
+}
+
+// Inner GEMM kernel on raw pointers over an output-row range:
+// C[i,n] += A[i,k] * B[k,n] for i in [lo, hi), with C assumed
+// zero-initialised by the caller. Loop order (i,p,j) keeps the B and C
+// accesses sequential and fixes the per-element accumulation order (over
+// ascending p), so any row partition is bitwise identical to the serial
+// pass. `skip_zero_a` enables the sparsity fast path that skips a[i,p] ==
+// 0 — see matmul_skipzero for the numerics contract.
+template <bool skip_zero_a>
+void gemm_nn_rows(const float* a, const float* b, float* c, int64_t lo, int64_t hi, int64_t k,
+                  int64_t n) {
+  for (int64_t i = lo; i < hi; ++i) {
     for (int64_t p = 0; p < k; ++p) {
       const float av = a[i * k + p];
-      if (av == 0.0f) continue;
+      if (skip_zero_a && av == 0.0f) continue;
       const float* brow = b + p * n;
       float* crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -28,15 +58,72 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t k, int
   }
 }
 
+template <bool skip_zero_a>
+Tensor matmul_impl(const Tensor& a, const Tensor& b, const char* what) {
+  check_arg(a.ndim() == 2 && b.ndim() == 2, std::string(what) + ": operands must be 2-d");
+  check_arg(a.dim(1) == b.dim(0), std::string(what) + ": inner dimensions differ");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  debug_assert_zeroed(c, what);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    gemm_nn_rows<skip_zero_a>(pa, pb, pc, lo, hi, k, n);
+  });
+  return c;
+}
+
+template <bool skip_zero_a>
+Tensor bmm_tn_impl(const Tensor& a, const Tensor& b, const char* what) {
+  check_arg(a.ndim() == 3 && b.ndim() == 3, std::string(what) + ": operands must be 3-d");
+  check_arg(a.dim(0) == b.dim(0), std::string(what) + ": batch sizes differ");
+  check_arg(a.dim(1) == b.dim(1), std::string(what) + ": inner dimensions differ");
+  const int64_t bs = a.dim(0), k = a.dim(1), m = a.dim(2), n = b.dim(2);
+  Tensor c({bs, m, n});
+  debug_assert_zeroed(c, what);
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // Partition over flattened output rows (t, i); each row accumulates over
+  // ascending p exactly as the serial (p, i, j) loop did per element.
+  parallel::parallel_for(0, bs * m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t t = r / m, i = r % m;
+      const float* ab = pa + t * k * m;
+      const float* bb = pb + t * k * n;
+      float* crow = pc + r * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = ab[p * m + i];
+        if (skip_zero_a && av == 0.0f) continue;
+        const float* brow = bb + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+// Elementwise map over a flat range: y[i] = f(x[i]).
+template <typename F>
+Tensor map_elems(const Tensor& x, F f) {
+  Tensor y(x.shape());
+  const float* px = x.raw();
+  float* py = y.raw();
+  parallel::parallel_for(0, x.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] = f(px[i]);
+  });
+  return y;
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul: operands must be 2-d");
-  check_arg(a.dim(1) == b.dim(0), "matmul: inner dimensions differ");
-  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
-  gemm_nn(a.raw(), b.raw(), c.raw(), m, k, n);
-  return c;
+  return matmul_impl<false>(a, b, "matmul");
+}
+
+Tensor matmul_skipzero(const Tensor& a, const Tensor& b) {
+  return matmul_impl<true>(a, b, "matmul_skipzero");
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
@@ -44,17 +131,22 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check_arg(a.dim(0) == b.dim(0), "matmul_tn: inner dimensions differ");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  // C[i,j] = sum_p A[p,i] * B[p,j]
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a.raw() + p * m;
-    const float* brow = b.raw() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.raw() + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  debug_assert_zeroed(c, "matmul_tn");
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // C[i,j] = sum_p A[p,i] * B[p,j], accumulated over ascending p per output
+  // element — the same order at any row partition.
+  parallel::parallel_for(0, m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* crow = pc + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = pa[p * m + i];
+        const float* brow = pb + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -63,16 +155,21 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check_arg(a.dim(1) == b.dim(1), "matmul_nt: inner dimensions differ");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.raw() + i * k;
-    float* crow = c.raw() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.raw() + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -82,9 +179,17 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   check_arg(a.dim(2) == b.dim(1), "bmm: inner dimensions differ");
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   Tensor c({bs, m, n});
-  for (int64_t t = 0; t < bs; ++t) {
-    gemm_nn(a.raw() + t * m * k, b.raw() + t * k * n, c.raw() + t * m * n, m, k, n);
-  }
+  debug_assert_zeroed(c, "bmm");
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  // Partition over flattened output rows (t, i) across the whole batch.
+  parallel::parallel_for(0, bs * m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t t = r / m, i = r % m;
+      gemm_nn_rows<false>(pa + t * m * k, pb + t * k * n, pc + t * m * n, i, i + 1, k, n);
+    }
+  });
   return c;
 }
 
@@ -94,77 +199,89 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
   check_arg(a.dim(2) == b.dim(2), "bmm_nt: inner dimensions differ");
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
   Tensor c({bs, m, n});
-  for (int64_t t = 0; t < bs; ++t) {
-    const float* ab = a.raw() + t * m * k;
-    const float* bb = b.raw() + t * n * k;
-    float* cb = c.raw() + t * m * n;
-    for (int64_t i = 0; i < m; ++i) {
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, bs * m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t t = r / m, i = r % m;
+      const float* ab = pa + t * m * k;
+      const float* bb = pb + t * n * k;
+      float* crow = pc + r * n;
       for (int64_t j = 0; j < n; ++j) {
         float acc = 0.0f;
         for (int64_t p = 0; p < k; ++p) acc += ab[i * k + p] * bb[j * k + p];
-        cb[i * n + j] = acc;
+        crow[j] = acc;
       }
     }
-  }
+  });
   return c;
 }
 
 Tensor bmm_tn(const Tensor& a, const Tensor& b) {
-  check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_tn: operands must be 3-d");
-  check_arg(a.dim(0) == b.dim(0), "bmm_tn: batch sizes differ");
-  check_arg(a.dim(1) == b.dim(1), "bmm_tn: inner dimensions differ");
-  const int64_t bs = a.dim(0), k = a.dim(1), m = a.dim(2), n = b.dim(2);
-  Tensor c({bs, m, n});
-  for (int64_t t = 0; t < bs; ++t) {
-    const float* ab = a.raw() + t * k * m;
-    const float* bb = b.raw() + t * k * n;
-    float* cb = c.raw() + t * m * n;
-    for (int64_t p = 0; p < k; ++p) {
-      for (int64_t i = 0; i < m; ++i) {
-        const float av = ab[p * m + i];
-        if (av == 0.0f) continue;
-        for (int64_t j = 0; j < n; ++j) cb[i * n + j] += av * bb[p * n + j];
-      }
-    }
-  }
-  return c;
+  return bmm_tn_impl<false>(a, b, "bmm_tn");
+}
+
+Tensor bmm_tn_skipzero(const Tensor& a, const Tensor& b) {
+  return bmm_tn_impl<true>(a, b, "bmm_tn_skipzero");
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] + b[i];
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, a.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] + pb[i];
+  });
   return c;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] - b[i];
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, a.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] - pb[i];
+  });
   return c;
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   Tensor c(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] * b[i];
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, a.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] * pb[i];
+  });
   return c;
 }
 
 Tensor scale(const Tensor& a, float s) {
-  Tensor c(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) c[i] = a[i] * s;
-  return c;
+  return map_elems(a, [s](float v) { return v * s; });
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
-  for (int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  parallel::parallel_for(0, a.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += pb[i];
+  });
 }
 
 void axpy_inplace(Tensor& a, float s, const Tensor& b) {
   check_same_shape(a, b, "axpy_inplace");
-  for (int64_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
+  float* pa = a.raw();
+  const float* pb = b.raw();
+  parallel::parallel_for(0, a.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += s * pb[i];
+  });
 }
 
 Tensor add_bias(const Tensor& x, const Tensor& bias) {
@@ -173,22 +290,30 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   check_arg(x.numel() % n == 0 && x.dim(-1) == n, "add_bias: last dim mismatch");
   Tensor c(x.shape());
   const int64_t rows = x.numel() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    for (int64_t j = 0; j < n; ++j) c[r * n + j] = x[r * n + j] + bias[j];
-  }
+  const float* px = x.raw();
+  const float* pbias = bias.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      for (int64_t j = 0; j < n; ++j) pc[r * n + j] = px[r * n + j] + pbias[j];
+    }
+  });
   return c;
 }
 
 Tensor relu(const Tensor& x) {
-  Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) y[i] = x[i] > 0 ? x[i] : 0.0f;
-  return y;
+  return map_elems(x, [](float v) { return v > 0 ? v : 0.0f; });
 }
 
 Tensor relu_grad(const Tensor& x, const Tensor& grad_out) {
   check_same_shape(x, grad_out, "relu_grad");
   Tensor g(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) g[i] = x[i] > 0 ? grad_out[i] : 0.0f;
+  const float* px = x.raw();
+  const float* pg = grad_out.raw();
+  float* po = g.raw();
+  parallel::parallel_for(0, x.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = px[i] > 0 ? pg[i] : 0.0f;
+  });
   return g;
 }
 
@@ -207,37 +332,58 @@ float gelu_grad_scalar(float x) {
   const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
   return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
 }
+
+// Transcendental elementwise work gets a finer grain than fused adds.
+constexpr int64_t kTranscendentalGrain = 2048;
 }  // namespace
 
 Tensor gelu(const Tensor& x) {
   Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) y[i] = gelu_scalar(x[i]);
+  const float* px = x.raw();
+  float* py = y.raw();
+  parallel::parallel_for(0, x.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] = gelu_scalar(px[i]);
+  });
   return y;
 }
 
 Tensor gelu_grad(const Tensor& x, const Tensor& grad_out) {
   check_same_shape(x, grad_out, "gelu_grad");
   Tensor g(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) g[i] = grad_out[i] * gelu_grad_scalar(x[i]);
+  const float* px = x.raw();
+  const float* pg = grad_out.raw();
+  float* po = g.raw();
+  parallel::parallel_for(0, x.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pg[i] * gelu_grad_scalar(px[i]);
+  });
   return g;
 }
 
 Tensor silu(const Tensor& x) {
   Tensor y(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    const float s = 1.0f / (1.0f + std::exp(-x[i]));
-    y[i] = x[i] * s;
-  }
+  const float* px = x.raw();
+  float* py = y.raw();
+  parallel::parallel_for(0, x.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float s = 1.0f / (1.0f + std::exp(-px[i]));
+      py[i] = px[i] * s;
+    }
+  });
   return y;
 }
 
 Tensor silu_grad(const Tensor& x, const Tensor& grad_out) {
   check_same_shape(x, grad_out, "silu_grad");
   Tensor g(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    const float s = 1.0f / (1.0f + std::exp(-x[i]));
-    g[i] = grad_out[i] * (s + x[i] * s * (1.0f - s));
-  }
+  const float* px = x.raw();
+  const float* pg = grad_out.raw();
+  float* po = g.raw();
+  parallel::parallel_for(0, x.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float s = 1.0f / (1.0f + std::exp(-px[i]));
+      po[i] = pg[i] * (s + px[i] * s * (1.0f - s));
+    }
+  });
   return g;
 }
 
@@ -247,19 +393,23 @@ Tensor softmax_lastdim(const Tensor& x) {
   check_arg(n > 0, "softmax_lastdim: empty last dimension");
   Tensor y(x.shape());
   const int64_t rows = x.numel() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.raw() + r * n;
-    float* yr = y.raw() + r * n;
-    float mx = xr[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      yr[j] = std::exp(xr[j] - mx);
-      denom += yr[j];
+  const float* px = x.raw();
+  float* py = y.raw();
+  parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      float* yr = py + r * n;
+      float mx = xr[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        denom += yr[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t j = 0; j < n; ++j) yr[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int64_t j = 0; j < n; ++j) yr[j] *= inv;
-  }
+  });
   return y;
 }
 
@@ -269,16 +419,20 @@ Tensor log_softmax_lastdim(const Tensor& x) {
   check_arg(n > 0, "log_softmax_lastdim: empty last dimension");
   Tensor y(x.shape());
   const int64_t rows = x.numel() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.raw() + r * n;
-    float* yr = y.raw() + r * n;
-    float mx = xr[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) denom += std::exp(xr[j] - mx);
-    const float lse = mx + std::log(denom);
-    for (int64_t j = 0; j < n; ++j) yr[j] = xr[j] - lse;
-  }
+  const float* px = x.raw();
+  float* py = y.raw();
+  parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      float* yr = py + r * n;
+      float mx = xr[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) denom += std::exp(xr[j] - mx);
+      const float lse = mx + std::log(denom);
+      for (int64_t j = 0; j < n; ++j) yr[j] = xr[j] - lse;
+    }
+  });
   return y;
 }
 
@@ -287,17 +441,26 @@ Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& grad_out) {
   const int64_t n = y.dim(-1);
   Tensor g(y.shape());
   const int64_t rows = y.numel() / n;
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* yr = y.raw() + r * n;
-    const float* gr = grad_out.raw() + r * n;
-    float* outr = g.raw() + r * n;
-    float dot = 0.0f;
-    for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
-    for (int64_t j = 0; j < n; ++j) outr[j] = yr[j] * (gr[j] - dot);
-  }
+  const float* py = y.raw();
+  const float* pg = grad_out.raw();
+  float* po = g.raw();
+  parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* yr = py + r * n;
+      const float* gr = pg + r * n;
+      float* outr = po + r * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
+      for (int64_t j = 0; j < n; ++j) outr[j] = yr[j] * (gr[j] - dot);
+    }
+  });
   return g;
 }
 
+// Scalar reductions stay serial: a parallel tree reduction would change
+// the floating-point accumulation order and break the backend's
+// bitwise-determinism guarantee for marginal gain (they are O(n), not
+// O(n^2) like the matmuls).
 float sum(const Tensor& x) {
   double acc = 0.0;
   for (int64_t i = 0; i < x.numel(); ++i) acc += x[i];
@@ -344,9 +507,13 @@ Tensor transpose2d(const Tensor& x) {
   check_arg(x.ndim() == 2, "transpose2d: needs a 2-d tensor");
   const int64_t m = x.dim(0), n = x.dim(1);
   Tensor y({n, m});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) y[j * m + i] = x[i * n + j];
-  }
+  const float* px = x.raw();
+  float* py = y.raw();
+  parallel::parallel_for(0, m, row_grain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < n; ++j) py[j * m + i] = px[i * n + j];
+    }
+  });
   return y;
 }
 
@@ -356,14 +523,18 @@ std::vector<int64_t> argmax_lastdim(const Tensor& x) {
   check_arg(n > 0, "argmax_lastdim: empty last dimension");
   const int64_t rows = x.numel() / n;
   std::vector<int64_t> out(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x.raw() + r * n;
-    int64_t best = 0;
-    for (int64_t j = 1; j < n; ++j) {
-      if (xr[j] > xr[best]) best = j;
+  const float* px = x.raw();
+  int64_t* po = out.data();
+  parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      int64_t best = 0;
+      for (int64_t j = 1; j < n; ++j) {
+        if (xr[j] > xr[best]) best = j;
+      }
+      po[r] = best;
     }
-    out[static_cast<size_t>(r)] = best;
-  }
+  });
   return out;
 }
 

@@ -2,6 +2,15 @@
 //
 // All functions validate shapes with check_arg and return freshly
 // allocated tensors unless the name says `_inplace`.
+//
+// Threading: the hot kernels run on the shared deterministic thread pool
+// (tensor/parallel.hpp), partitioned over disjoint output rows/elements so
+// results are bitwise identical to serial execution at any thread count.
+//
+// Numerics: the default matmul/bmm variants are IEEE-propagating — a NaN
+// or Inf in either operand always reaches the output (0 * NaN == NaN).
+// The `_skipzero` variants trade that away for a sparsity fast path; see
+// their contracts before using them.
 #pragma once
 
 #include "tensor/tensor.hpp"
@@ -29,6 +38,25 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b);
 
 /// Batched matmul with A transposed: C[b,m,n] = A^T * B where A is [b,k,m], B is [b,k,n].
 Tensor bmm_tn(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Sparsity-aware matmuls (explicit opt-in fast paths)
+// ---------------------------------------------------------------------------
+//
+// These skip inner-loop work whenever an entry of A is exactly 0.0f, which
+// pays off when A is heavily sparse (pruned activations, causally masked
+// attention probabilities). CONTRACT: the skip breaks IEEE NaN/Inf
+// propagation — a zero in A masks a NaN/Inf at the matching position of B
+// (IEEE says 0 * NaN == NaN; these kernels yield 0). Only call them when A
+// and B are known finite, or when masking non-finite values behind pruned
+// zeros is acceptable; everywhere else use the dense variants above, which
+// always propagate.
+
+/// matmul with the zero-skip fast path on A (see contract above).
+Tensor matmul_skipzero(const Tensor& a, const Tensor& b);
+
+/// bmm_tn with the zero-skip fast path on A (see contract above).
+Tensor bmm_tn_skipzero(const Tensor& a, const Tensor& b);
 
 // ---------------------------------------------------------------------------
 // Elementwise

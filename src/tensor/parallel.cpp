@@ -1,0 +1,197 @@
+#include "tensor/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edgellm::parallel {
+
+namespace {
+
+// Set while a thread executes a chunk (pool helper or participating
+// caller); nested parallel_for calls observe it and run serially.
+thread_local bool tl_in_region = false;
+
+// Marks the current thread as inside a parallel region for one scope,
+// restoring the previous value on exit (so a nested serial call doesn't
+// clear the flag for the rest of the enclosing chunk) and surviving
+// exceptions thrown by the chunk body.
+struct RegionScope {
+  bool prev = tl_in_region;
+  RegionScope() { tl_in_region = true; }
+  ~RegionScope() { tl_in_region = prev; }
+};
+
+int64_t env_threads() {
+  const char* s = std::getenv("EDGELLM_NUM_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  return (end != s && v > 1) ? static_cast<int64_t>(v) : 1;
+}
+
+/// Global pool of n_threads-1 helper threads; the calling thread executes
+/// chunks alongside them. One job runs at a time (job_mu_); concurrent
+/// parallel_for callers (e.g. serve worker threads) serialise their
+/// fan-outs, which preserves correctness and bounds total concurrency.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  int64_t threads() {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    return n_threads_;
+  }
+
+  void set_threads(int64_t n) {
+    n = std::max<int64_t>(1, n);
+    std::lock_guard<std::mutex> job(job_mu_);  // drain any in-flight job
+    std::lock_guard<std::mutex> lk(config_mu_);
+    if (n == n_threads_) return;
+    n_threads_ = n;
+    stop_helpers();  // respawned lazily at the right size on next run()
+  }
+
+  void run(int64_t begin, int64_t end, int64_t grain, const RangeFn& fn) {
+    const int64_t n = end - begin;
+    if (n <= 0) return;
+    grain = std::max<int64_t>(1, grain);
+
+    int64_t nt;
+    {
+      std::lock_guard<std::mutex> lk(config_mu_);
+      nt = n_threads_;
+    }
+    const int64_t max_chunks = (n + grain - 1) / grain;
+    const int64_t n_chunks = std::min(nt, max_chunks);
+    if (n_chunks <= 1 || tl_in_region) {
+      RegionScope scope;
+      fn(begin, end);
+      return;
+    }
+
+    std::lock_guard<std::mutex> job(job_mu_);
+    {
+      std::lock_guard<std::mutex> lk(config_mu_);
+      ensure_helpers_locked(n_threads_ - 1);
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      fn_ = &fn;
+      begin_ = begin;
+      end_ = end;
+      // Even contiguous split: chunk c covers rows [begin + c*chunk, ...).
+      chunk_ = (n + n_chunks - 1) / n_chunks;
+      n_chunks_ = n_chunks;
+      next_ = 0;
+      done_ = 0;
+      ++epoch_;
+    }
+    cv_work_.notify_all();
+    drain_chunks();
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [&] { return done_ == n_chunks_; });
+    fn_ = nullptr;
+  }
+
+ private:
+  Pool() : n_threads_(env_threads()) {}
+
+  ~Pool() {
+    std::lock_guard<std::mutex> lk(config_mu_);
+    stop_helpers();
+  }
+
+  void stop_helpers() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      quit_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : helpers_) t.join();
+    helpers_.clear();
+    std::lock_guard<std::mutex> lk(m_);
+    quit_ = false;
+  }
+
+  void ensure_helpers_locked(int64_t want) {
+    if (static_cast<int64_t>(helpers_.size()) == want) return;
+    stop_helpers();
+    helpers_.reserve(static_cast<size_t>(want));
+    for (int64_t i = 0; i < want; ++i) helpers_.emplace_back([this] { helper(); });
+  }
+
+  void run_chunk(int64_t c) {
+    const int64_t lo = begin_ + c * chunk_;
+    const int64_t hi = std::min(lo + chunk_, end_);
+    RegionScope scope;
+    (*fn_)(lo, hi);
+  }
+
+  // Caller-side chunk loop: claim chunks until none are left.
+  void drain_chunks() {
+    std::unique_lock<std::mutex> lk(m_);
+    while (next_ < n_chunks_) {
+      const int64_t c = next_++;
+      lk.unlock();
+      run_chunk(c);
+      lk.lock();
+      ++done_;
+      if (done_ == n_chunks_) cv_done_.notify_all();
+    }
+  }
+
+  void helper() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    while (true) {
+      cv_work_.wait(lk, [&] { return quit_ || (epoch_ != seen && next_ < n_chunks_); });
+      if (quit_) return;
+      seen = epoch_;
+      while (next_ < n_chunks_) {
+        const int64_t c = next_++;
+        lk.unlock();
+        run_chunk(c);
+        lk.lock();
+        ++done_;
+        if (done_ == n_chunks_) cv_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex config_mu_;  ///< guards n_threads_ + helpers_ lifecycle
+  int64_t n_threads_;
+  std::vector<std::thread> helpers_;
+
+  std::mutex job_mu_;  ///< one fan-out at a time
+
+  // Per-job state, guarded by m_ (fn_/begin_/end_/chunk_ are written
+  // before the job is published and read-only while it runs).
+  std::mutex m_;
+  std::condition_variable cv_work_, cv_done_;
+  const RangeFn* fn_ = nullptr;
+  int64_t begin_ = 0, end_ = 0, chunk_ = 0;
+  int64_t n_chunks_ = 0, next_ = 0, done_ = 0;
+  uint64_t epoch_ = 0;
+  bool quit_ = false;
+};
+
+}  // namespace
+
+int64_t num_threads() { return Pool::instance().threads(); }
+
+void set_num_threads(int64_t n) { Pool::instance().set_threads(n); }
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain, const RangeFn& fn) {
+  Pool::instance().run(begin, end, grain, fn);
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+}  // namespace edgellm::parallel

@@ -1,0 +1,50 @@
+// Shared deterministic thread-pool compute backend for tensor kernels.
+//
+// parallel_for partitions a half-open index range into contiguous chunks
+// and runs them on a lazily-initialised global pool. Kernels only ever
+// partition over *disjoint output rows/elements*, and every chunk performs
+// the exact per-element operation sequence of the serial loop, so results
+// are bitwise identical to single-threaded execution at any thread count —
+// the determinism guarantee the test suite asserts (ctest -L parallel).
+//
+// Thread count resolution, in priority order:
+//   1. set_num_threads(n)   — config knobs (PipelineConfig::compute_threads,
+//                             serve::EngineConfig::compute_threads,
+//                             nn::GenerateConfig::n_threads, CLI flags)
+//   2. EDGELLM_NUM_THREADS  — environment, read once at startup
+//   3. 1                    — serial fallback (zero-overhead: parallel_for
+//                             invokes fn inline, no pool is ever started)
+//
+// Nested parallel_for calls (a kernel invoked from inside a pool worker or
+// from the calling thread's own chunk) run serially on the calling thread,
+// so composing parallel kernels can never deadlock or oversubscribe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace edgellm::parallel {
+
+/// Chunk body: processes the half-open sub-range [lo, hi).
+using RangeFn = std::function<void(int64_t lo, int64_t hi)>;
+
+/// Current global compute thread count (always >= 1).
+int64_t num_threads();
+
+/// Sets the global compute thread count. Values < 1 clamp to 1 (serial).
+/// Safe to call from any thread; waits for an in-flight parallel_for to
+/// drain before resizing the pool.
+void set_num_threads(int64_t n);
+
+/// Runs fn over [begin, end) split into contiguous chunks of at least
+/// `grain` indices (grain < 1 clamps to 1). Serial when the range is
+/// smaller than one grain, when num_threads() <= 1, or when called from
+/// inside another parallel_for. Blocks until every chunk has finished.
+/// fn must write only to locations owned by its own sub-range.
+void parallel_for(int64_t begin, int64_t end, int64_t grain, const RangeFn& fn);
+
+/// True while the calling thread is executing a parallel_for chunk
+/// (pool worker or participating caller). Exposed for tests.
+bool in_parallel_region();
+
+}  // namespace edgellm::parallel
