@@ -356,7 +356,9 @@ int64_t sample_token(const Tensor& logits, const GenerateConfig& cfg, Rng& rng) 
 std::vector<int64_t> IncrementalDecoder::generate(const std::vector<int64_t>& prompt,
                                                   const GenerateConfig& cfg, Rng& rng) {
   validate_generate_config(cfg, model_);
-  if (cfg.n_threads > 0) parallel::set_num_threads(cfg.n_threads);
+  // Scoped: the prior global thread count is restored when generate()
+  // returns, so a per-call config never leaks into other pool users.
+  parallel::NumThreadsScope threads_scope(cfg.n_threads);
   check_arg(cfg.exit_layer == 0 || cfg.exit_layer == exit_layer_,
             "generate: config exit_layer " + std::to_string(cfg.exit_layer) +
                 " does not match this decoder's exit " + std::to_string(exit_layer_));

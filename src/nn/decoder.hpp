@@ -64,7 +64,8 @@ struct GenerateConfig {
   int64_t exit_layer = 0;    ///< 0 means the final exit
   /// Compute threads for the deterministic tensor backend
   /// (tensor/parallel.hpp). 0 leaves the process-global setting alone;
-  /// > 0 sets it for this and subsequent calls. Outputs are bitwise
+  /// > 0 overrides it for the duration of this generate() call only
+  /// (the prior count is restored on return). Outputs are bitwise
   /// identical at any value.
   int64_t n_threads = 0;
 };

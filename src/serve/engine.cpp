@@ -291,7 +291,9 @@ void ServeEngine::loop() {
       }
       if (done) finish_seq(i, status);
     }
-    sched_.pool().bytes_in_use();  // advance the high-water mark at the barrier
+    // Workers are quiesced here, so the scheduler may read slot contents
+    // to refresh the poll-safe byte accounting and the high-water mark.
+    sched_.pool().sync_live_bytes();
     metrics_.kv_high_water_bytes = sched_.pool().high_water_bytes();
   }
 }

@@ -37,7 +37,12 @@ struct EngineConfig {
   /// decode tick (tensor/parallel.hpp): parallel matmul rows and
   /// per-sequence attention. 0 leaves the process-global setting alone.
   /// Orthogonal to `threads` (which shards the batch): completions are
-  /// bitwise identical at any value of either.
+  /// bitwise identical at any value of either. Throughput note: the
+  /// backend runs one fan-out at a time, so with `threads > 1` the
+  /// workers' kernels take turns on the shared pool — prefer
+  /// compute_threads = 0 when sharding the batch across workers, and
+  /// raise it only when a bench_serve_throughput sweep on your hardware
+  /// shows a win (see docs/PERFORMANCE.md).
   int64_t compute_threads = 0;
   int64_t kv_byte_budget = 0;   ///< global KV cache cap in bytes; 0 = unlimited
   bool quantize_kv = false;     ///< int8 pooled caches

@@ -13,6 +13,7 @@ KvCachePool::KvCachePool(KvPoolConfig cfg) : cfg_(cfg) {
   slots_.resize(static_cast<size_t>(cfg_.n_slots));
   in_use_.assign(static_cast<size_t>(cfg_.n_slots), false);
   reserved_.assign(static_cast<size_t>(cfg_.n_slots), 0);
+  live_bytes_.assign(static_cast<size_t>(cfg_.n_slots), 0);
 }
 
 int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
@@ -41,6 +42,8 @@ void KvCachePool::release(int64_t slot) {
   in_use_[s] = false;
   committed_ -= reserved_[s];
   reserved_[s] = 0;
+  live_total_ -= live_bytes_[s];
+  live_bytes_[s] = 0;
   --in_use_count_;
   // Drop the storage now: a released slot must not count against the
   // device's memory until re-acquired.
@@ -63,14 +66,23 @@ const nn::KvCache& KvCachePool::slot(int64_t id) const {
   return slots_[static_cast<size_t>(id)];
 }
 
-int64_t KvCachePool::bytes_in_use() const {
+int64_t KvCachePool::sync_live_bytes() {
+  // Reads slot contents: legal only on the owning scheduler thread at a
+  // tick barrier, when no worker can be appending (see header).
   std::lock_guard<std::mutex> lk(mu_);
   int64_t total = 0;
-  for (int64_t i = 0; i < cfg_.n_slots; ++i) {
-    if (in_use_[static_cast<size_t>(i)]) total += slots_[static_cast<size_t>(i)].bytes();
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    live_bytes_[s] = in_use_[s] ? slots_[s].bytes() : 0;
+    total += live_bytes_[s];
   }
+  live_total_ = total;
   high_water_ = std::max(high_water_, total);
   return total;
+}
+
+int64_t KvCachePool::bytes_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_total_;
 }
 
 int64_t KvCachePool::committed_bytes() const {

@@ -11,6 +11,10 @@
 // acquires/releases. Slot *contents* are not locked: the engine's
 // scheduler thread hands each acquired slot to exactly one worker between
 // barriers, and workers append only to their own (disjoint) slots.
+// Because slot contents are unlocked, the metrics accessors never read
+// them — live-byte accounting is a cached counter the owning scheduler
+// refreshes via sync_live_bytes() at tick barriers (when no worker is
+// appending).
 #pragma once
 
 #include <cstdint>
@@ -44,9 +48,16 @@ class KvCachePool {
   nn::KvCache& slot(int64_t id);
   const nn::KvCache& slot(int64_t id) const;
 
-  /// Bytes actually held by live slots right now. Also advances the
-  /// high-water mark; the engine samples this at every tick barrier, and
-  /// metrics pollers may call it concurrently from any thread.
+  /// Re-samples every live slot's actual bytes into the pool's cached
+  /// accounting and advances the high-water mark; returns the new total.
+  /// Reads slot *contents*, so only the owning scheduler thread may call
+  /// it, and only at a tick barrier (no worker appending). The engine
+  /// calls it once per tick.
+  int64_t sync_live_bytes();
+
+  /// Bytes held by live slots as of the last sync_live_bytes() refresh
+  /// (release() removes a slot's contribution immediately). A cached,
+  /// mutex-guarded counter: safe to poll concurrently from any thread.
   int64_t bytes_in_use() const;
 
   /// Sum of live slots' projected peak bytes (what admission checks).
@@ -72,9 +83,11 @@ class KvCachePool {
   mutable std::mutex mu_;
   std::vector<nn::KvCache> slots_;
   std::vector<bool> in_use_;
-  std::vector<int64_t> reserved_;  ///< per-slot projected bytes
+  std::vector<int64_t> reserved_;    ///< per-slot projected bytes
+  std::vector<int64_t> live_bytes_;  ///< per-slot bytes at the last sync
   int64_t committed_ = 0;
-  mutable int64_t high_water_ = 0;  ///< advanced by const bytes_in_use()
+  int64_t live_total_ = 0;   ///< sum of live_bytes_, what bytes_in_use() reports
+  int64_t high_water_ = 0;   ///< advanced by sync_live_bytes()
   int64_t in_use_count_ = 0;
 };
 

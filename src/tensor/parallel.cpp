@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -91,6 +92,7 @@ class Pool {
       n_chunks_ = n_chunks;
       next_ = 0;
       done_ = 0;
+      eptr_ = nullptr;
       ++epoch_;
     }
     cv_work_.notify_all();
@@ -98,6 +100,15 @@ class Pool {
     std::unique_lock<std::mutex> lk(m_);
     cv_done_.wait(lk, [&] { return done_ == n_chunks_; });
     fn_ = nullptr;
+    // A throwing chunk doesn't terminate a helper thread: the first
+    // exception is stashed and resurfaces here, on the calling thread,
+    // matching the serial path's propagation.
+    if (eptr_ != nullptr) {
+      std::exception_ptr e = eptr_;
+      eptr_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(e);
+    }
   }
 
  private:
@@ -131,7 +142,14 @@ class Pool {
     const int64_t lo = begin_ + c * chunk_;
     const int64_t hi = std::min(lo + chunk_, end_);
     RegionScope scope;
-    (*fn_)(lo, hi);
+    try {
+      (*fn_)(lo, hi);
+    } catch (...) {
+      // Callers hold no lock while running chunks; stash the first
+      // exception for run() to rethrow after the join.
+      std::lock_guard<std::mutex> lk(m_);
+      if (eptr_ == nullptr) eptr_ = std::current_exception();
+    }
   }
 
   // Caller-side chunk loop: claim chunks until none are left.
@@ -180,6 +198,7 @@ class Pool {
   int64_t n_chunks_ = 0, next_ = 0, done_ = 0;
   uint64_t epoch_ = 0;
   bool quit_ = false;
+  std::exception_ptr eptr_;  ///< first exception thrown by any chunk
 };
 
 }  // namespace

@@ -36,11 +36,35 @@ int64_t num_threads();
 /// drain before resizing the pool.
 void set_num_threads(int64_t n);
 
+/// Scoped override of the global thread count: sets `n` on construction
+/// and restores the previous count on destruction. n <= 0 is a no-op
+/// (leaves the current setting untouched, restores nothing). For
+/// per-call knobs like nn::GenerateConfig::n_threads, where silently
+/// persisting a global change past the call would surprise other users
+/// of the pool (e.g. a serve engine in the same process).
+class NumThreadsScope {
+ public:
+  explicit NumThreadsScope(int64_t n) : active_(n > 0), prev_(active_ ? num_threads() : 0) {
+    if (active_) set_num_threads(n);
+  }
+  ~NumThreadsScope() {
+    if (active_) set_num_threads(prev_);
+  }
+  NumThreadsScope(const NumThreadsScope&) = delete;
+  NumThreadsScope& operator=(const NumThreadsScope&) = delete;
+
+ private:
+  bool active_;
+  int64_t prev_;
+};
+
 /// Runs fn over [begin, end) split into contiguous chunks of at least
 /// `grain` indices (grain < 1 clamps to 1). Serial when the range is
 /// smaller than one grain, when num_threads() <= 1, or when called from
 /// inside another parallel_for. Blocks until every chunk has finished.
-/// fn must write only to locations owned by its own sub-range.
+/// fn must write only to locations owned by its own sub-range. If a
+/// chunk body throws, remaining chunks still run; the first exception is
+/// rethrown on the calling thread once every chunk has finished.
 void parallel_for(int64_t begin, int64_t end, int64_t grain, const RangeFn& fn);
 
 /// True while the calling thread is executing a parallel_for chunk

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cmath>
 #include <future>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -103,6 +104,46 @@ TEST(ParallelFor, ReportsParallelRegion) {
   });
   EXPECT_GT(seen_inside.load(), 0);
   EXPECT_FALSE(parallel::in_parallel_region());
+}
+
+// A chunk body that throws must not terminate the process: the first
+// exception is rethrown on the calling thread after the join (matching
+// serial propagation), and the pool stays usable afterwards.
+TEST(ParallelFor, ChunkExceptionRethrownOnCaller) {
+  ThreadGuard guard;
+  parallel::set_num_threads(4);
+  EXPECT_THROW(parallel::parallel_for(0, 32, 1,
+                                      [&](int64_t lo, int64_t) {
+                                        if (lo == 0) throw std::runtime_error("chunk boom");
+                                      }),
+               std::runtime_error);
+  // Serial fallback path propagates too.
+  parallel::set_num_threads(1);
+  EXPECT_THROW(parallel::parallel_for(
+                   0, 4, 1, [&](int64_t, int64_t) { throw std::runtime_error("serial boom"); }),
+               std::runtime_error);
+  // The pool survives: a subsequent clean job covers the range exactly once.
+  parallel::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(32);
+  parallel::parallel_for(0, 32, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+// NumThreadsScope is how per-call knobs (GenerateConfig::n_threads) apply
+// the setting without leaking it: the prior global count is restored on
+// scope exit, and n <= 0 never touches the global at all.
+TEST(ParallelFor, NumThreadsScopeRestoresPriorCount) {
+  ThreadGuard guard;
+  parallel::set_num_threads(3);
+  {
+    parallel::NumThreadsScope scope(5);
+    EXPECT_EQ(parallel::num_threads(), 5);
+    parallel::NumThreadsScope noop(0);
+    EXPECT_EQ(parallel::num_threads(), 5);
+  }
+  EXPECT_EQ(parallel::num_threads(), 3);
 }
 
 // Nested parallel_for must run serially on the calling thread instead of
@@ -332,9 +373,12 @@ TEST(Numerics, SkipzeroMatchesDenseOnFiniteInputs) {
 // --- KvCachePool concurrent metrics (TSan target) ---------------------------
 
 // Metrics accessors are const and documented safe to poll from any thread
-// while the scheduler acquires/releases. A poller hammers every accessor
-// while the main thread churns slots; TSan in CI turns any missing lock
-// into a failure, and the invariant checks catch torn accounting.
+// while the scheduler acquires/releases, appends, and refreshes the byte
+// accounting via sync_live_bytes() at its barriers. They read only cached
+// mutex-guarded counters — never slot contents, which are unlocked. A
+// poller hammers every accessor while the main thread plays the
+// scheduler; TSan in CI turns any missing lock into a failure, and the
+// invariant checks catch torn accounting.
 TEST(KvCachePoolThreads, MetricsPollingRacesAcquireRelease) {
   serve::KvPoolConfig cfg;
   cfg.n_slots = 4;
@@ -348,7 +392,7 @@ TEST(KvCachePoolThreads, MetricsPollingRacesAcquireRelease) {
       const int64_t live = pool.bytes_in_use();
       EXPECT_GE(live, 0);
       EXPECT_GE(pool.committed_bytes(), 0);
-      EXPECT_GE(pool.high_water_bytes(), live - live % 1);  // high water trails a live read
+      EXPECT_GE(pool.high_water_bytes(), live);  // mark never trails a live read
       const int64_t used = pool.slots_in_use();
       EXPECT_GE(used, 0);
       EXPECT_LE(used, 4);
@@ -363,9 +407,9 @@ TEST(KvCachePoolThreads, MetricsPollingRacesAcquireRelease) {
     ASSERT_GE(b, 0);
     pool.slot(a).append(0, row.data(), row.data());
     pool.slot(b).append(0, row.data(), row.data());
-    // Sample while bytes are live so the high-water mark is guaranteed to
-    // advance even if the poller never gets scheduled in this window.
-    EXPECT_GT(pool.bytes_in_use(), 0);
+    // The scheduler's tick barrier: no appends in flight, so it may read
+    // slot contents to refresh the accounting the poller reads.
+    EXPECT_GT(pool.sync_live_bytes(), 0);
     pool.release(a);
     pool.release(b);
   }

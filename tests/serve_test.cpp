@@ -77,7 +77,9 @@ TEST(KvCachePool, AcquireReleaseReuse) {
 
   std::vector<float> row(16, 1.0f);
   pool.slot(a).append(0, row.data(), row.data());
-  EXPECT_GT(pool.bytes_in_use(), 0);
+  EXPECT_EQ(pool.bytes_in_use(), 0);  // cached accounting lags until a sync
+  EXPECT_GT(pool.sync_live_bytes(), 0);
+  EXPECT_EQ(pool.bytes_in_use(), pool.sync_live_bytes());
 
   pool.release(a);
   EXPECT_EQ(pool.slots_in_use(), 1);
@@ -107,10 +109,11 @@ TEST(KvCachePool, HighWaterTracksLiveBytes) {
   std::vector<float> row(16, 1.0f);
   pool.slot(a).append(0, row.data(), row.data());
   pool.slot(a).append(0, row.data(), row.data());
-  const int64_t live = pool.bytes_in_use();
+  const int64_t live = pool.sync_live_bytes();
   EXPECT_EQ(live, 2 * nn::KvCache::bytes_per_position(1, 16, false));
+  EXPECT_EQ(pool.bytes_in_use(), live);
   pool.release(a);
-  EXPECT_EQ(pool.bytes_in_use(), 0);
+  EXPECT_EQ(pool.bytes_in_use(), 0);  // release drops the slot's contribution
   EXPECT_EQ(pool.high_water_bytes(), live);  // mark survives the release
 }
 
