@@ -34,6 +34,7 @@
 #include "core/pipeline.hpp"
 #include "data/eval.hpp"
 #include "nn/decoder.hpp"
+#include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/checkpointer.hpp"
@@ -148,6 +149,10 @@ int cmd_adapt(const std::map<std::string, std::string>& args) {
     runtime::write_loss_curve(args.at("trace"), res.loss_curve);
     std::cout << "wrote loss curve to " << args.at("trace") << "\n";
   }
+  if (args.contains("metrics-out")) {
+    obs::Registry::global().write_json(args.at("metrics-out"));
+    std::cout << "wrote metrics to " << args.at("metrics-out") << "\n";
+  }
 
   const std::string out = get_str(args, "out");
   nn::save_model_with_config(*model, out);
@@ -249,6 +254,10 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
   }
   engine.shutdown();
   if (csv) csv->close();
+  if (args.contains("metrics-out")) {
+    engine.registry().write_json(args.at("metrics-out"));
+    std::cerr << "wrote metrics to " << args.at("metrics-out") << "\n";
+  }
 
   const serve::EngineMetrics m = engine.metrics();
   std::cerr << "served " << m.completed << " ok, " << m.rejected << " rejected, "
@@ -264,14 +273,16 @@ int usage() {
                "  pretrain --out FILE [--iters N] [--layers L] [--dmodel D] [--seed S]\n"
                "  adapt    --in FILE --out FILE [--shift F] [--budget B] [--window W] [--iters N]\n"
                "           [--checkpoint-dir DIR] [--checkpoint-every N] [--checkpoint-keep K]\n"
-               "           [--resume 0|1]\n"
+               "           [--resume 0|1] [--metrics-out JSON]\n"
                "  eval     --in FILE [--shift F]\n"
                "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n"
                "  serve    --in FILE [--requests FILE|-] [--threads N] [--batch B]\n"
                "           [--queue Q] [--kv-budget BYTES] [--quantize-kv 0|1]\n"
-               "           [--metrics CSV]\n"
+               "           [--metrics CSV] [--metrics-out JSON]\n"
                "every subcommand also takes --compute-threads N (deterministic tensor\n"
-               "backend; 0 = EDGELLM_NUM_THREADS or serial; outputs identical at any N)\n";
+               "backend; 0 = EDGELLM_NUM_THREADS or serial; outputs identical at any N),\n"
+               "--trace-out FILE (Chrome trace-event JSON for chrome://tracing / Perfetto)\n"
+               "and --trace-sample N (record every Nth kernel-family span; default 0 = off)\n";
   return 2;
 }
 
@@ -288,14 +299,27 @@ int main(int argc, char** argv) {
     const int64_t ct = static_cast<int64_t>(get_num(args, "compute-threads", 0));
     check_arg(ct >= 0, "--compute-threads must be >= 0");
     if (ct > 0) parallel::set_num_threads(ct);
-    if (cmd == "pretrain") return cmd_pretrain(args);
-    if (cmd == "adapt") return cmd_adapt(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "serve") return cmd_serve(args);
+    // Tracing knobs, global to the subcommand run (see docs/OBSERVABILITY.md).
+    const int64_t sample = static_cast<int64_t>(get_num(args, "trace-sample", 0));
+    check_arg(sample >= 0, "--trace-sample must be >= 0");
+    const bool tracing = args.contains("trace-out");
+    if (tracing) obs::Tracer::global().enable(sample);
+
+    int rc = -1;
+    if (cmd == "pretrain") rc = cmd_pretrain(args);
+    else if (cmd == "adapt") rc = cmd_adapt(args);
+    else if (cmd == "eval") rc = cmd_eval(args);
+    else if (cmd == "generate") rc = cmd_generate(args);
+    else if (cmd == "serve") rc = cmd_serve(args);
+    if (rc < 0) return usage();
+    if (tracing) {
+      obs::Tracer::global().disable();
+      obs::Tracer::global().write_chrome_trace(args.at("trace-out"));
+      std::cerr << "wrote trace to " << args.at("trace-out") << "\n";
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
 }

@@ -1,10 +1,12 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <stdexcept>
 
 #include "data/eval.hpp"
+#include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
 
 namespace edgellm::core {
@@ -14,6 +16,13 @@ PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain
   check_arg(cfg.adaptation_iters > 0, "run_pipeline: need at least one iteration");
   check_arg(cfg.compute_threads >= 0, "run_pipeline: compute_threads must be >= 0");
   if (cfg.compute_threads > 0) parallel::set_num_threads(cfg.compute_threads);
+  obs::Registry& reg = cfg.metrics != nullptr ? *cfg.metrics : obs::Registry::global();
+  obs::Histogram& h_step_ms = reg.histogram("tuner/step_ms");
+  obs::Histogram& h_exit = reg.histogram("tuner/exit_depth", obs::integer_bounds(16));
+  obs::Histogram& h_window = reg.histogram("tuner/backprop_depth", obs::integer_bounds(16));
+  obs::Counter& c_steps = reg.counter("tuner/steps");
+  obs::Counter& c_skipped = reg.counter("tuner/skipped_steps");
+  obs::Counter& c_rollbacks = reg.counter("tuner/rollbacks");
   Rng rng(cfg.seed);
 
   // Calibration and held-out evaluation data from the target domain.
@@ -29,6 +38,7 @@ PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain
 
   // (1) + (2): layer-wise unified compression.
   if (cfg.apply_compression) {
+    const obs::ScopedSpan span("pipeline/compress");
     res.profile = analyze_sensitivity(model, calib, cfg.sensitivity);
     res.policy = search_luc_policy(res.profile, cfg.sensitivity, cfg.luc);
     apply_policy(model, res.policy, cfg.sensitivity.prune_pattern,
@@ -52,50 +62,63 @@ PipelineResult run_pipeline(nn::CausalLm& model, const data::MarkovChain& domain
       res.resumed_from_iter = snap->iter;
     }
   }
-  for (int64_t i = start_iter; i < cfg.adaptation_iters; ++i) {
-    if (cfg.before_step) cfg.before_step(i);
-    const data::LmBatch batch = data::sample_lm_batch(domain, cfg.batch, cfg.seq, rng);
-    const StepStats stats = tuner.step(batch);
-    res.loss_curve.push_back(stats.loss);
-    if (stats.skipped) ++res.skipped_steps;
-    peaks.activation = std::max(peaks.activation, stats.activation_bytes);
-    peaks.optimizer = std::max(peaks.optimizer, stats.optimizer_state_bytes);
-    peaks.grad = std::max(peaks.grad, stats.grad_bytes);
+  {
+    const obs::ScopedSpan adapt_span("pipeline/adapt");
+    for (int64_t i = start_iter; i < cfg.adaptation_iters; ++i) {
+      if (cfg.before_step) cfg.before_step(i);
+      const data::LmBatch batch = data::sample_lm_batch(domain, cfg.batch, cfg.seq, rng);
+      const auto step_t0 = std::chrono::steady_clock::now();
+      const StepStats stats = tuner.step(batch);
+      h_step_ms.observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - step_t0)
+                            .count());
+      h_exit.observe(static_cast<double>(stats.exit_layer));
+      h_window.observe(static_cast<double>(stats.backprop_depth));
+      c_steps.add();
+      if (stats.skipped) c_skipped.add();
+      res.loss_curve.push_back(stats.loss);
+      if (stats.skipped) ++res.skipped_steps;
+      peaks.activation = std::max(peaks.activation, stats.activation_bytes);
+      peaks.optimizer = std::max(peaks.optimizer, stats.optimizer_state_bytes);
+      peaks.grad = std::max(peaks.grad, stats.grad_bytes);
 
-    if (tuner.needs_rollback()) {
-      if (res.rollbacks >= cfg.max_rollbacks) {
-        throw std::runtime_error("run_pipeline: rollback limit exceeded; adaptation diverged");
-      }
-      ++res.rollbacks;
-      std::optional<Snapshot> snap;
-      if (cfg.snapshots) snap = cfg.snapshots->load_latest();
-      if (snap) {
-        // Restore the last good state and replay from there with a smaller
-        // learning rate; the restore also truncates the loss curve back to
-        // the snapshot's iteration.
-        restore_training_state(*snap, model, tuner, rng, res.loss_curve, peaks);
+      if (tuner.needs_rollback()) {
+        if (res.rollbacks >= cfg.max_rollbacks) {
+          throw std::runtime_error("run_pipeline: rollback limit exceeded; adaptation diverged");
+        }
+        ++res.rollbacks;
+        c_rollbacks.add();
+        std::optional<Snapshot> snap;
+        if (cfg.snapshots) snap = cfg.snapshots->load_latest();
+        if (snap) {
+          // Restore the last good state and replay from there with a smaller
+          // learning rate; the restore also truncates the loss curve back to
+          // the snapshot's iteration.
+          restore_training_state(*snap, model, tuner, rng, res.loss_curve, peaks);
+          tuner.note_rollback();
+          i = snap->iter - 1;
+          continue;
+        }
+        // No checkpoint to fall back to: back off the lr in place and push on.
         tuner.note_rollback();
-        i = snap->iter - 1;
-        continue;
       }
-      // No checkpoint to fall back to: back off the lr in place and push on.
-      tuner.note_rollback();
-    }
 
-    if (cfg.snapshots && cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 &&
-        i + 1 < cfg.adaptation_iters) {
-      cfg.snapshots->save(capture_training_state(i + 1, model, tuner, rng, res.loss_curve, peaks));
+      if (cfg.snapshots && cfg.checkpoint_every > 0 && (i + 1) % cfg.checkpoint_every == 0 &&
+          i + 1 < cfg.adaptation_iters) {
+        cfg.snapshots->save(capture_training_state(i + 1, model, tuner, rng, res.loss_curve, peaks));
+      }
     }
-  }
-  if (cfg.snapshots && cfg.checkpoint_every > 0 && cfg.adaptation_iters > start_iter) {
-    cfg.snapshots->save(
-        capture_training_state(cfg.adaptation_iters, model, tuner, rng, res.loss_curve, peaks));
+    if (cfg.snapshots && cfg.checkpoint_every > 0 && cfg.adaptation_iters > start_iter) {
+      cfg.snapshots->save(
+          capture_training_state(cfg.adaptation_iters, model, tuner, rng, res.loss_curve, peaks));
+    }
   }
   res.peak_activation_bytes = peaks.activation;
   res.peak_optimizer_bytes = peaks.optimizer;
   res.peak_grad_bytes = peaks.grad;
 
   // (4): voting + evaluation.
+  const obs::ScopedSpan eval_span("pipeline/eval");
   ExitVoter voter(model, cfg.voter);
   voter.calibrate(calib);
   res.final_exit_loss = data::lm_loss(model, eval_set, model.config().n_layers);

@@ -11,6 +11,7 @@
 #include "core/tuner.hpp"
 #include "core/voting.hpp"
 #include "data/tasks.hpp"
+#include "obs/metrics.hpp"
 
 namespace edgellm::core {
 
@@ -53,6 +54,14 @@ struct PipelineConfig {
   /// Throwing (e.g. runtime::PowerLossError) aborts the run like a power
   /// cut — nothing past the last committed snapshot survives.
   std::function<void(int64_t iter)> before_step;
+
+  // --- observability (see docs/OBSERVABILITY.md) ---------------------------
+  /// Non-owning metrics registry. The pipeline records per-step timing
+  /// (tuner/step_ms), sampled exit depth and backprop window histograms,
+  /// and step/skip/rollback counters into it; null uses the process-global
+  /// obs::Registry::global(). Spans (pipeline/compress, pipeline/adapt,
+  /// pipeline/eval, tuner/step) go to obs::Tracer::global() when enabled.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Outputs of one adaptation run.

@@ -6,6 +6,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace edgellm::core {
@@ -97,6 +98,7 @@ float AdaptiveLayerTuner::scheduled_lr(int64_t iter) const {
 }
 
 StepStats AdaptiveLayerTuner::step(const data::LmBatch& batch) {
+  const obs::ScopedSpan span("tuner/step");
   optim_->set_lr(scheduled_lr(iter_));
   const int64_t exit_layer = sample_exit();
   const nn::ForwardPlan plan = make_plan(exit_layer);

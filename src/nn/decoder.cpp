@@ -5,6 +5,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 
@@ -167,6 +168,7 @@ void validate_generate_config(const GenerateConfig& cfg, const CausalLm& model) 
 void batched_decode_step(CausalLm& model, std::span<BatchedSeq> seqs,
                          const DecodeWeightCache* weights) {
   if (seqs.empty()) return;
+  const obs::ScopedSpan span("decode/step");
   const ModelConfig& cfg = model.config();
   const int64_t c = cfg.d_model;
   const int64_t kvd = cfg.kv_dim();

@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgellm::obs {
+
+namespace {
+
+// Bucket index for value v: first bound >= v, overflow bucket past the end.
+size_t bucket_index(const std::vector<double>& bounds, double v) {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<size_t>(it - bounds.begin());
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<double> integer_bounds(int64_t n) {
+  std::vector<double> b;
+  for (int64_t i = 1; i <= std::max<int64_t>(1, n); ++i) b.push_back(static_cast<double>(i));
+  return b;
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: need at least one bound");
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (!(bounds_[i] < bounds_[i + 1])) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  counts_[bucket_index(bounds_, v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  // 1-based target rank; nearest-rank at the extremes.
+  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(n))));
+  int64_t cum = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const int64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (cum + c >= rank) {
+      if (b >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      const double hi = bounds_[b];
+      const double frac = c > 0 ? (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(c)
+                                : 0.5;
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  return bounds_.back();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b].fetch_add(other.counts_[b].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_time_bounds_ms() {
+  // 1 us doubling up to ~34 s: 26 bounds, 27 buckets.
+  std::vector<double> b;
+  double v = 1e-3;
+  for (int i = 0; i < 26; ++i) {
+    b.push_back(v);
+    v *= 2.0;
+  }
+  return b;
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << counters[i].first << "\": " << counters[i].second;
+  }
+  os << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << gauges[i].first << "\": " << gauges[i].second;
+  }
+  os << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    os << (i ? ",\n    " : "\n    ") << "\"" << h.name << "\": {\"count\": " << h.count
+       << ", \"sum\": " << json_number(h.sum) << ", \"p50\": " << json_number(h.p50)
+       << ", \"p95\": " << json_number(h.p95) << ", \"p99\": " << json_number(h.p99)
+       << ", \"buckets\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      const double bound = b < h.bounds.size() ? h.bounds[b] : -1.0;  // -1 = overflow
+      os << (b ? ", " : "") << "[" << json_number(bound) << ", " << h.counts[b] << "]";
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "kind,name,value,count,sum,p50,p95,p99\n";
+  for (const auto& [n, v] : counters) os << "counter," << n << "," << v << ",,,,,\n";
+  for (const auto& [n, v] : gauges) os << "gauge," << n << "," << v << ",,,,,\n";
+  for (const auto& h : histograms) {
+    os << "histogram," << h.name << ",," << h.count << "," << json_number(h.sum) << ","
+       << json_number(h.p50) << "," << json_number(h.p95) << "," << json_number(h.p99) << "\n";
+  }
+  return os.str();
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::default_time_bounds_ms();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.bounds = h->bounds();
+    for (size_t b = 0; b < h->n_buckets(); ++b) hs.counts.push_back(h->bucket_count(b));
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.p50 = h->percentile(0.50);
+    hs.p95 = h->percentile(0.95);
+    hs.p99 = h->percentile(0.99);
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void Registry::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Registry::write_json: cannot open " + path);
+  os << snapshot().to_json();
+  os.flush();
+  if (!os) throw std::runtime_error("Registry::write_json: write failed for " + path);
+}
+
+void Registry::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Registry::write_csv: cannot open " + path);
+  os << snapshot().to_csv();
+  os.flush();
+  if (!os) throw std::runtime_error("Registry::write_csv: write failed for " + path);
+}
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+}  // namespace edgellm::obs

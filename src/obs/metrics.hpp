@@ -1,0 +1,158 @@
+// Thread-safe metrics registry: monotonic counters, gauges, and
+// fixed-bucket latency histograms with percentile readout.
+//
+// Instruments are cheap enough to update from hot paths (one relaxed
+// atomic op per update, no locks) and stable: the registry hands out
+// references that stay valid for the registry's lifetime, so call sites
+// look an instrument up once and keep the reference. Snapshots read the
+// atomics at a point in time and serialise to JSON or CSV — the
+// machine-readable side of `edgellm_cli --metrics-out` (see
+// docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace edgellm::obs {
+
+/// Unit-width bounds {1, 2, ..., n} for small-integer-valued histograms
+/// (exit depth, batch occupancy): every value up to n lands in its own
+/// bucket, so percentiles are exact for in-range samples.
+std::vector<double> integer_bounds(int64_t n);
+
+/// Monotonically increasing event count. add() from any thread.
+class Counter {
+ public:
+  void add(int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A value that goes up and down (bytes in use, queue depth).
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Monotonic high-water update: set(v) only if v exceeds the current value.
+  void max_of(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over non-negative samples. `bounds` are strictly
+/// increasing bucket upper limits; one overflow bucket is appended, so a
+/// histogram with B bounds has B+1 buckets. observe() is lock-free (one
+/// relaxed add into the owning bucket plus count/sum updates); percentile()
+/// interpolates linearly inside the bucket holding the requested rank, so
+/// the estimate always lies within that bucket's limits — the accuracy
+/// contract the property tests pin down.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  size_t n_buckets() const { return counts_.size(); }
+  int64_t bucket_count(size_t i) const { return counts_[i].load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Estimated q-quantile (q in [0, 1]) of the observed samples; 0 when
+  /// empty. Overflow-bucket ranks return the last finite bound (the
+  /// histogram cannot interpolate past it).
+  double percentile(double q) const;
+
+  /// Adds `other`'s buckets into this histogram. Bounds must match; merge
+  /// is associative and commutative over bucket counts (property-tested).
+  void merge(const Histogram& other);
+
+  /// Exponential bounds for operation latencies in milliseconds:
+  /// 1 us .. ~34 s, doubling per bucket.
+  static std::vector<double> default_time_bounds_ms();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram, with precomputed percentiles.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  ///< bounds.size() + 1 entries (overflow last)
+  int64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// Point-in-time copy of a whole registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of a named counter/gauge, or 0 when absent.
+  int64_t counter(const std::string& name) const;
+  int64_t gauge(const std::string& name) const;
+  /// Pointer into `histograms`, or nullptr when absent.
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  std::string to_json() const;
+  /// kind,name,value,count,sum,p50,p95,p99 rows (blank cells where a kind
+  /// has no such column).
+  std::string to_csv() const;
+};
+
+/// Named instrument registry. Lookup takes a mutex (do it once, keep the
+/// reference); the instruments themselves are lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` empty means Histogram::default_time_bounds_ms(). Re-requesting
+  /// an existing histogram returns it unchanged (bounds argument ignored).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Serialised snapshots; throw std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+  void write_csv(const std::string& path) const;
+
+  /// Process-wide default registry (pipeline/tuner metrics land here unless
+  /// a PipelineConfig supplies its own).
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace edgellm::obs

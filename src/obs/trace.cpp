@@ -1,0 +1,138 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgellm::obs {
+
+namespace {
+
+int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(int64_t kernel_sample) {
+  kernel_sample_.store(kernel_sample < 0 ? 0 : kernel_sample, std::memory_order_relaxed);
+  if (t0_ns_.load(std::memory_order_relaxed) == 0) {
+    t0_ns_.store(steady_ns(), std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& b : buffers_) {
+    b->size.store(0, std::memory_order_release);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+  t0_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  return static_cast<double>(steady_ns() - t0_ns_.load(std::memory_order_relaxed)) * 1e-3;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Per-thread buffer cache. The Tracer is a process singleton (private
+  // constructor), so one slot per thread suffices.
+  thread_local ThreadBuffer* tl_buffer = nullptr;
+  if (tl_buffer == nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(static_cast<int32_t>(buffers_.size())));
+    tl_buffer = buffers_.back().get();
+  }
+  return *tl_buffer;
+}
+
+void Tracer::record(char ph, const char* name, int64_t value) {
+  ThreadBuffer& buf = local_buffer();
+  const size_t n = buf.size.load(std::memory_order_relaxed);
+  if (n >= kBufferCapacity) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TraceEvent& e = buf.events[n];
+  e.name = name;
+  e.ts_us = now_us();
+  e.value = value;
+  e.tid = buf.tid;
+  e.ph = ph;
+  // Publish: the exporter acquires `size` and reads only slots below it.
+  buf.size.store(n + 1, std::memory_order_release);
+}
+
+void Tracer::begin(const char* name) { record('B', name, 0); }
+
+void Tracer::end(const char* name) { record('E', name, 0); }
+
+void Tracer::counter(const char* name, int64_t value) {
+  if (!enabled()) return;
+  record('C', name, value);
+}
+
+bool Tracer::sample_kernel() {
+  const int64_t every = kernel_sample_.load(std::memory_order_relaxed);
+  if (every <= 0) return false;
+  ThreadBuffer& buf = local_buffer();
+  return buf.kernel_tick++ % every == 0;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& b : buffers_) {
+      const size_t n = b->size.load(std::memory_order_acquire);
+      out.insert(out.end(), b->events.begin(), b->events.begin() + static_cast<int64_t>(n));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+int64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int64_t total = 0;
+  for (const auto& b : buffers_) total += b->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < evs.size(); ++i) {
+    const TraceEvent& e = evs[i];
+    os << "  {\"name\": \"" << e.name << "\", \"ph\": \"" << e.ph
+       << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": " << e.ts_us;
+    if (e.ph == 'C') os << ", \"args\": {\"value\": " << e.value << "}";
+    os << "}" << (i + 1 < evs.size() ? "," : "") << "\n";
+  }
+  os << "], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Tracer::write_chrome_trace: cannot open " + path);
+  os << chrome_trace_json();
+  os.flush();
+  if (!os) throw std::runtime_error("Tracer::write_chrome_trace: write failed for " + path);
+}
+
+}  // namespace edgellm::obs

@@ -1,0 +1,144 @@
+// Low-overhead scoped-span tracer with Chrome trace-event export.
+//
+// Threads record named begin/end (and counter) events into lock-free
+// per-thread buffers: each buffer is single-producer (its owning thread),
+// pre-allocated at registration, and published to the exporter through one
+// release-store of the buffer size per event — no lock or shared cache line
+// on the hot path. When tracing is disabled a span costs exactly one
+// relaxed atomic load, so instrumentation can stay compiled into release
+// kernels (<2% overhead, measured by bench_micro_kernels' obs sweep).
+//
+// Export produces Chrome trace-event JSON ("traceEvents" with B/E/C
+// phases) loadable in chrome://tracing or https://ui.perfetto.dev, plus a
+// programmatic events() snapshot for tests. See docs/OBSERVABILITY.md.
+//
+// Lifecycle contract: enable()/disable()/clear() and the export calls must
+// not race with in-flight spans — toggle tracing while the traced system
+// is quiescent (engines shut down, pipelines returned). Buffers are
+// per-thread and permanent for the process lifetime; a full buffer drops
+// further events (counted in dropped_events()) rather than reallocating.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace edgellm::obs {
+
+/// One recorded event. `name` must outlive the tracer (instrumentation
+/// sites pass string literals).
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;   ///< microseconds since enable()
+  int64_t value = 0;    ///< kCounter payload
+  int32_t tid = 0;      ///< dense per-thread id, assigned at first event
+  char ph = 'B';        ///< 'B' begin, 'E' end, 'C' counter
+};
+
+class Tracer {
+ public:
+  /// Events each thread can hold between clear()s; beyond it, drop+count.
+  static constexpr size_t kBufferCapacity = size_t{1} << 16;
+
+  static Tracer& global();
+
+  /// Starts recording. `kernel_sample` gates the high-frequency
+  /// kernel-family spans (KernelSpan): 0 = never record them, N >= 1 =
+  /// record every Nth per thread. Structural spans (ScopedSpan) always
+  /// record while enabled.
+  void enable(int64_t kernel_sample = 0);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  int64_t kernel_sample() const { return kernel_sample_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events and resets per-thread cursors and the
+  /// timestamp origin. Only valid while no span is in flight.
+  void clear();
+
+  void begin(const char* name);
+  void end(const char* name);
+  /// Chrome counter event ('C'): a named time series, e.g. batch size.
+  void counter(const char* name, int64_t value);
+
+  /// True when a kernel-family span should record this call (per-thread
+  /// modulo counter against kernel_sample).
+  bool sample_kernel();
+
+  /// Snapshot of all threads' events, sorted by timestamp (stable).
+  std::vector<TraceEvent> events() const;
+  int64_t dropped_events() const;
+
+  std::string chrome_trace_json() const;
+  /// Throws std::runtime_error on I/O failure.
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(int32_t id) : tid(id), events(kBufferCapacity) {}
+    const int32_t tid;
+    std::vector<TraceEvent> events;   ///< fixed storage, slots written once
+    std::atomic<size_t> size{0};      ///< release-published event count
+    std::atomic<int64_t> dropped{0};
+    int64_t kernel_tick = 0;          ///< owning thread only
+  };
+
+  Tracer() = default;
+
+  ThreadBuffer& local_buffer();
+  void record(char ph, const char* name, int64_t value);
+  double now_us() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> kernel_sample_{0};
+  std::atomic<int64_t> t0_ns_{0};  ///< steady_clock origin set by enable()
+
+  mutable std::mutex mu_;  ///< guards buffers_ registration and export
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: begin at construction, end at destruction. Captures the
+/// enabled state once, so a span that began recording always emits its
+/// matching end event.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Tracer& t = Tracer::global())
+      : t_(t.enabled() ? &t : nullptr), name_(name) {
+    if (t_ != nullptr) t_->begin(name_);
+  }
+  ~ScopedSpan() {
+    if (t_ != nullptr) t_->end(name_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* t_;
+  const char* name_;
+};
+
+/// Sampled span for hot kernel families: records only every Nth call per
+/// thread (N = Tracer::kernel_sample(), 0 = never). Disabled cost: one
+/// relaxed atomic load.
+class KernelSpan {
+ public:
+  explicit KernelSpan(const char* name, Tracer& t = Tracer::global()) : t_(nullptr), name_(name) {
+    if (t.enabled() && t.sample_kernel()) {
+      t_ = &t;
+      t_->begin(name_);
+    }
+  }
+  ~KernelSpan() {
+    if (t_ != nullptr) t_->end(name_);
+  }
+  KernelSpan(const KernelSpan&) = delete;
+  KernelSpan& operator=(const KernelSpan&) = delete;
+
+ private:
+  Tracer* t_;
+  const char* name_;
+};
+
+}  // namespace edgellm::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
 
 namespace edgellm::serve {
@@ -69,17 +70,26 @@ void WorkerPool::worker() {
 ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
     : model_(model),
       cfg_(cfg),
+      c_submitted_(registry_.counter("serve/submitted")),
+      c_completed_(registry_.counter("serve/completed")),
+      c_rejected_(registry_.counter("serve/rejected")),
+      c_cancelled_(registry_.counter("serve/cancelled")),
+      c_timed_out_(registry_.counter("serve/timed_out")),
+      c_tokens_(registry_.counter("serve/tokens_generated")),
+      h_batch_(registry_.histogram("serve/batch_size", obs::integer_bounds(cfg.max_batch))),
+      h_queue_wait_(registry_.histogram("serve/queue_wait_ms")),
+      h_tick_ms_(registry_.histogram("serve/tick_ms")),
       sched_(SchedulerConfig{cfg.max_batch, cfg.queue_capacity, model.config().max_seq,
                              model.config().n_layers},
              KvPoolConfig{cfg.max_batch, model.config().kv_dim(), cfg.kv_byte_budget,
-                          cfg.quantize_kv}) {
+                          cfg.quantize_kv, &registry_}) {
   check_arg(cfg_.threads >= 1, "ServeEngine: threads must be >= 1");
   check_arg(cfg_.compute_threads >= 0, "ServeEngine: compute_threads must be >= 0");
   if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
+  if (cfg_.trace_kernel_sample >= 0) obs::Tracer::global().enable(cfg_.trace_kernel_sample);
   const size_t n_exits = model_.exit_layers().size();
   exit_weights_.assign(n_exits, 1.0f / static_cast<float>(n_exits));
   exit_losses_.assign(n_exits, 0.0f);
-  metrics_.kv_budget_bytes = cfg_.kv_byte_budget;
   model_.set_eval();
   weight_cache_.build(model_);  // frozen model: materialise weights once
   if (cfg_.threads > 1) workers_ = std::make_unique<WorkerPool>(cfg_.threads);
@@ -150,9 +160,9 @@ std::future<Completion> ServeEngine::submit(Request req) {
       sched_.pool().projected_bytes(projected, depth) > cfg_.kv_byte_budget;
 
   std::lock_guard<std::mutex> lk(mu_);
-  ++metrics_.submitted;
+  c_submitted_.add();
   if (!accepting_ || impossible || !sched_.enqueue(s)) {
-    ++metrics_.rejected;
+    c_rejected_.add();
     resolve(*s, RequestStatus::kRejected);
     return fut;
   }
@@ -165,7 +175,7 @@ bool ServeEngine::cancel(int64_t id) {
   bool found = false;
   std::unique_ptr<SeqState> queued = sched_.cancel(id, &found);
   if (queued) {
-    ++metrics_.cancelled;
+    c_cancelled_.add();
     resolve(*queued, RequestStatus::kCancelled);
   }
   return found;
@@ -204,12 +214,13 @@ void ServeEngine::finish_seq(size_t index, RequestStatus status) {
       sched_.pool().slot(sched_.active()[index]->slot).bytes();
   std::unique_ptr<SeqState> s = sched_.finish(index);
   switch (status) {
-    case RequestStatus::kOk: ++metrics_.completed; break;
-    case RequestStatus::kCancelled: ++metrics_.cancelled; break;
-    case RequestStatus::kTimeout: ++metrics_.timed_out; break;
+    case RequestStatus::kOk: c_completed_.add(); break;
+    case RequestStatus::kCancelled: c_cancelled_.add(); break;
+    case RequestStatus::kTimeout: c_timed_out_.add(); break;
     case RequestStatus::kRejected: break;  // never reaches finish_seq
   }
-  metrics_.tokens_generated += static_cast<int64_t>(s->out.size());
+  c_tokens_.add(static_cast<int64_t>(s->out.size()));
+  h_queue_wait_.observe(ms_between(s->submit_t, s->admit_t));
   resolve(*s, status);
 }
 
@@ -217,6 +228,12 @@ void ServeEngine::loop() {
   std::unique_lock<std::mutex> lk(mu_);
   std::vector<nn::BatchedSeq> seqs;
   while (true) {
+    if (paused_ && !stop_) {
+      parked_ = true;
+      cv_.notify_all();  // pause() waits for parked_
+      cv_.wait(lk, [&] { return !paused_ || stop_; });
+      parked_ = false;
+    }
     sched_.admit();
     auto& active = sched_.active();
     if (active.empty()) {
@@ -224,6 +241,8 @@ void ServeEngine::loop() {
       cv_.wait(lk);
       continue;
     }
+    const auto tick_t0 = std::chrono::steady_clock::now();
+    const obs::ScopedSpan tick_span("serve/tick");
 
     // Build this tick's per-sequence jobs (one token each).
     const size_t B = active.size();
@@ -241,11 +260,14 @@ void ServeEngine::loop() {
       j.exit_layer =
           s.req.exit_policy == ExitPolicy::kFixedEarly ? s.req.exit_layer : int64_t{0};
     }
-    ++metrics_.ticks;
-    metrics_.occupancy_sum += static_cast<double>(B);
+    h_batch_.observe(static_cast<double>(B));
+    obs::Tracer::global().counter("serve/batch_size", static_cast<int64_t>(B));
 
     lk.unlock();
-    run_decode(seqs);
+    {
+      const obs::ScopedSpan decode_span("serve/decode");
+      run_decode(seqs);
+    }
     lk.lock();
 
     const auto now = std::chrono::steady_clock::now();
@@ -294,8 +316,26 @@ void ServeEngine::loop() {
     // Workers are quiesced here, so the scheduler may read slot contents
     // to refresh the poll-safe byte accounting and the high-water mark.
     sched_.pool().sync_live_bytes();
-    metrics_.kv_high_water_bytes = sched_.pool().high_water_bytes();
+    h_tick_ms_.observe(ms_between(tick_t0, std::chrono::steady_clock::now()));
   }
+}
+
+void ServeEngine::pause() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (paused_ || stop_) return;
+  paused_ = true;
+  cv_.notify_all();
+  // Wait until the loop parks so callers observe a quiescent engine; a
+  // decode tick already in flight finishes first.
+  cv_.wait(lk, [&] { return parked_ || stop_; });
+}
+
+void ServeEngine::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
 }
 
 void ServeEngine::shutdown() {
@@ -303,6 +343,7 @@ void ServeEngine::shutdown() {
     std::lock_guard<std::mutex> lk(mu_);
     accepting_ = false;
     stop_ = true;
+    paused_ = false;
   }
   cv_.notify_all();
   if (sched_thread_.joinable()) sched_thread_.join();
@@ -310,8 +351,20 @@ void ServeEngine::shutdown() {
 }
 
 EngineMetrics ServeEngine::metrics() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return metrics_;
+  // Instruments are atomic and the pool guards its own state, so no engine
+  // lock is needed: this is safe to poll while the scheduler runs.
+  EngineMetrics m;
+  m.submitted = c_submitted_.value();
+  m.completed = c_completed_.value();
+  m.rejected = c_rejected_.value();
+  m.cancelled = c_cancelled_.value();
+  m.timed_out = c_timed_out_.value();
+  m.tokens_generated = c_tokens_.value();
+  m.ticks = h_batch_.count();
+  m.occupancy_sum = h_batch_.sum();
+  m.kv_high_water_bytes = sched_.pool().high_water_bytes();
+  m.kv_budget_bytes = cfg_.kv_byte_budget;
+  return m;
 }
 
 }  // namespace edgellm::serve

@@ -25,6 +25,7 @@
 
 #include "core/voting.hpp"
 #include "nn/decoder.hpp"
+#include "obs/metrics.hpp"
 #include "serve/scheduler.hpp"
 
 namespace edgellm::serve {
@@ -48,8 +49,17 @@ struct EngineConfig {
   bool quantize_kv = false;     ///< int8 pooled caches
   /// Mode/temperature for kVoted requests (weights via set_exit_weights).
   core::VoterConfig voting;
+  /// >= 0 enables the process-global obs::Tracer at construction with this
+  /// kernel-span sampling interval (0 = structural spans only, N = every
+  /// Nth kernel call per thread); -1 (default) leaves the tracer alone.
+  /// See docs/OBSERVABILITY.md.
+  int64_t trace_kernel_sample = -1;
 };
 
+/// Point-in-time rollup of the engine's registry counters (see
+/// ServeEngine::registry() for the full instrument set, including latency
+/// histograms). Kept as a plain struct so existing callers are unaffected
+/// by the registry-backed internals.
 struct EngineMetrics {
   int64_t submitted = 0;
   int64_t completed = 0;
@@ -110,11 +120,25 @@ class ServeEngine {
   /// core::ExitVoter). Defaults to uniform weights, zero losses.
   void set_exit_weights(std::vector<float> weights, std::vector<float> calib_losses);
 
+  /// Pauses the scheduler loop at the next tick boundary: requests keep
+  /// queueing but nothing is admitted or decoded until resume(). Lets
+  /// tests (and drain-style maintenance) stage a full batch deterministically
+  /// instead of racing the scheduler. Returns once the loop is parked.
+  void pause();
+  void resume();
+
   /// Stops accepting, drains queued + active requests, joins all threads.
   /// Called by the destructor; safe to call twice.
   void shutdown();
 
   EngineMetrics metrics() const;
+
+  /// Per-engine instrument registry: serve/* counters and latency
+  /// histograms (queue_wait_ms, tick_ms, batch_size) plus the KV pool's
+  /// kv/* counters and gauges. Snapshot or serialise it for dashboards;
+  /// metrics() above is a rollup of the same instruments.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
 
  private:
   nn::CausalLm& model_;
@@ -124,13 +148,27 @@ class ServeEngine {
   /// instead of re-materialising per projection (read-only across workers).
   nn::DecodeWeightCache weight_cache_;
 
+  /// Declared before sched_: the scheduler's KV pool registers its
+  /// instruments here during construction.
+  obs::Registry registry_;
+  obs::Counter& c_submitted_;
+  obs::Counter& c_completed_;
+  obs::Counter& c_rejected_;
+  obs::Counter& c_cancelled_;
+  obs::Counter& c_timed_out_;
+  obs::Counter& c_tokens_;
+  obs::Histogram& h_batch_;       ///< count = ticks, sum = occupancy_sum
+  obs::Histogram& h_queue_wait_;  ///< submit -> admit, ms
+  obs::Histogram& h_tick_ms_;     ///< admit + decode + retire, ms
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Scheduler sched_;
-  EngineMetrics metrics_;
   std::vector<float> exit_weights_, exit_losses_;
   bool accepting_ = true;
   bool stop_ = false;
+  bool paused_ = false;   ///< pause() request flag
+  bool parked_ = false;   ///< loop acknowledged the pause
   bool joined_ = false;
 
   std::unique_ptr<WorkerPool> workers_;

@@ -14,6 +14,14 @@ KvCachePool::KvCachePool(KvPoolConfig cfg) : cfg_(cfg) {
   in_use_.assign(static_cast<size_t>(cfg_.n_slots), false);
   reserved_.assign(static_cast<size_t>(cfg_.n_slots), 0);
   live_bytes_.assign(static_cast<size_t>(cfg_.n_slots), 0);
+  if (cfg_.registry != nullptr) {
+    c_acquired_ = &cfg_.registry->counter("kv/acquired");
+    c_rejected_ = &cfg_.registry->counter("kv/rejected");
+    c_released_ = &cfg_.registry->counter("kv/released");
+    g_bytes_ = &cfg_.registry->gauge("kv/bytes_in_use");
+    g_committed_ = &cfg_.registry->gauge("kv/committed_bytes");
+    g_high_water_ = &cfg_.registry->gauge("kv/high_water_bytes");
+  }
 }
 
 int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
@@ -21,7 +29,10 @@ int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
             "KvCachePool::acquire: positions and layers must be positive");
   const int64_t projected = projected_bytes(projected_positions, n_layers);
   std::lock_guard<std::mutex> lk(mu_);
-  if (cfg_.byte_budget > 0 && committed_ + projected > cfg_.byte_budget) return -1;
+  if (cfg_.byte_budget > 0 && committed_ + projected > cfg_.byte_budget) {
+    if (c_rejected_ != nullptr) c_rejected_->add();
+    return -1;
+  }
   for (int64_t i = 0; i < cfg_.n_slots; ++i) {
     if (in_use_[static_cast<size_t>(i)]) continue;
     in_use_[static_cast<size_t>(i)] = true;
@@ -29,8 +40,11 @@ int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
     committed_ += projected;
     ++in_use_count_;
     slots_[static_cast<size_t>(i)].configure(n_layers, cfg_.kv_dim, cfg_.quantize);
+    if (c_acquired_ != nullptr) c_acquired_->add();
+    if (g_committed_ != nullptr) g_committed_->set(committed_);
     return i;
   }
+  if (c_rejected_ != nullptr) c_rejected_->add();
   return -1;
 }
 
@@ -48,6 +62,9 @@ void KvCachePool::release(int64_t slot) {
   // Drop the storage now: a released slot must not count against the
   // device's memory until re-acquired.
   slots_[s] = nn::KvCache();
+  if (c_released_ != nullptr) c_released_->add();
+  if (g_bytes_ != nullptr) g_bytes_->set(live_total_);
+  if (g_committed_ != nullptr) g_committed_->set(committed_);
 }
 
 nn::KvCache& KvCachePool::slot(int64_t id) {
@@ -77,6 +94,8 @@ int64_t KvCachePool::sync_live_bytes() {
   }
   live_total_ = total;
   high_water_ = std::max(high_water_, total);
+  if (g_bytes_ != nullptr) g_bytes_->set(live_total_);
+  if (g_high_water_ != nullptr) g_high_water_->set(high_water_);
   return total;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "nn/kv_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace edgellm::serve {
 
@@ -30,6 +31,11 @@ struct KvPoolConfig {
   int64_t kv_dim = 0;         ///< model.config().kv_dim()
   int64_t byte_budget = 0;    ///< global cap on projected cache bytes; 0 = unlimited
   bool quantize = false;      ///< int8 slots (4x cheaper admission too)
+  /// Non-owning metrics sink (must outlive the pool). The pool keeps
+  /// kv/acquired, kv/rejected and kv/released counters plus kv/bytes_in_use,
+  /// kv/committed_bytes and kv/high_water_bytes gauges up to date in it;
+  /// null records nothing.
+  obs::Registry* registry = nullptr;
 };
 
 class KvCachePool {
@@ -78,6 +84,16 @@ class KvCachePool {
 
  private:
   KvPoolConfig cfg_;
+
+  // Instruments resolved once at construction (cfg_.registry may be null,
+  // then all stay null and recording is skipped).
+  obs::Counter* c_acquired_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_released_ = nullptr;
+  obs::Gauge* g_bytes_ = nullptr;
+  obs::Gauge* g_committed_ = nullptr;
+  obs::Gauge* g_high_water_ = nullptr;
+
   /// Guards occupancy/accounting state below. Mutable so the read-only
   /// metrics accessors stay const for callers.
   mutable std::mutex mu_;

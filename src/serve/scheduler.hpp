@@ -75,6 +75,7 @@ class Scheduler {
 
   std::vector<std::unique_ptr<SeqState>>& active() { return active_; }
   KvCachePool& pool() { return pool_; }
+  const KvCachePool& pool() const { return pool_; }
   size_t queued() const { return queue_.size(); }
   bool idle() const { return active_.empty() && queue_.empty(); }
   const SchedulerConfig& config() const { return cfg_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
 
 namespace edgellm::ops {
@@ -62,6 +63,7 @@ template <bool skip_zero_a>
 Tensor matmul_impl(const Tensor& a, const Tensor& b, const char* what) {
   check_arg(a.ndim() == 2 && b.ndim() == 2, std::string(what) + ": operands must be 2-d");
   check_arg(a.dim(1) == b.dim(0), std::string(what) + ": inner dimensions differ");
+  const obs::KernelSpan span("kernel/matmul");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
   debug_assert_zeroed(c, what);
@@ -79,6 +81,7 @@ Tensor bmm_tn_impl(const Tensor& a, const Tensor& b, const char* what) {
   check_arg(a.ndim() == 3 && b.ndim() == 3, std::string(what) + ": operands must be 3-d");
   check_arg(a.dim(0) == b.dim(0), std::string(what) + ": batch sizes differ");
   check_arg(a.dim(1) == b.dim(1), std::string(what) + ": inner dimensions differ");
+  const obs::KernelSpan span("kernel/bmm");
   const int64_t bs = a.dim(0), k = a.dim(1), m = a.dim(2), n = b.dim(2);
   Tensor c({bs, m, n});
   debug_assert_zeroed(c, what);
@@ -129,6 +132,7 @@ Tensor matmul_skipzero(const Tensor& a, const Tensor& b) {
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul_tn: operands must be 2-d");
   check_arg(a.dim(0) == b.dim(0), "matmul_tn: inner dimensions differ");
+  const obs::KernelSpan span("kernel/matmul");
   const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
   debug_assert_zeroed(c, "matmul_tn");
@@ -153,6 +157,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul_nt: operands must be 2-d");
   check_arg(a.dim(1) == b.dim(1), "matmul_nt: inner dimensions differ");
+  const obs::KernelSpan span("kernel/matmul");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
   const float* pa = a.raw();
@@ -177,6 +182,7 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm: operands must be 3-d");
   check_arg(a.dim(0) == b.dim(0), "bmm: batch sizes differ");
   check_arg(a.dim(2) == b.dim(1), "bmm: inner dimensions differ");
+  const obs::KernelSpan span("kernel/bmm");
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   Tensor c({bs, m, n});
   debug_assert_zeroed(c, "bmm");
@@ -197,6 +203,7 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
   check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_nt: operands must be 3-d");
   check_arg(a.dim(0) == b.dim(0), "bmm_nt: batch sizes differ");
   check_arg(a.dim(2) == b.dim(2), "bmm_nt: inner dimensions differ");
+  const obs::KernelSpan span("kernel/bmm");
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
   Tensor c({bs, m, n});
   const float* pa = a.raw();
@@ -391,6 +398,7 @@ Tensor softmax_lastdim(const Tensor& x) {
   check_arg(x.ndim() >= 1, "softmax_lastdim: needs at least 1-d");
   const int64_t n = x.dim(-1);
   check_arg(n > 0, "softmax_lastdim: empty last dimension");
+  const obs::KernelSpan span("kernel/softmax");
   Tensor y(x.shape());
   const int64_t rows = x.numel() / n;
   const float* px = x.raw();
@@ -417,6 +425,7 @@ Tensor log_softmax_lastdim(const Tensor& x) {
   check_arg(x.ndim() >= 1, "log_softmax_lastdim: needs at least 1-d");
   const int64_t n = x.dim(-1);
   check_arg(n > 0, "log_softmax_lastdim: empty last dimension");
+  const obs::KernelSpan span("kernel/softmax");
   Tensor y(x.shape());
   const int64_t rows = x.numel() / n;
   const float* px = x.raw();

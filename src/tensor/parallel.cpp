@@ -1,5 +1,7 @@
 #include "tensor/parallel.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
@@ -77,6 +79,9 @@ class Pool {
       return;
     }
 
+    // Sampled like the kernel-family spans: a fan-out happens once per
+    // parallel kernel call, so it shares the kernel_sample gate.
+    const obs::KernelSpan span("parallel/fanout");
     std::lock_guard<std::mutex> job(job_mu_);
     {
       std::lock_guard<std::mutex> lk(config_mu_);

@@ -1,0 +1,534 @@
+// The observability subsystem: metrics registry (counters, gauges,
+// histograms with percentile readout), the scoped-span tracer with its
+// Chrome trace-event export, and the end-to-end instrumentation of the
+// serving engine and the adaptation pipeline.
+//
+// Tracer tests share the process-global singleton, so every test that
+// records starts from Tracer::global().clear() and leaves the tracer
+// disabled on exit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <stack>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::obs {
+namespace {
+
+using edgellm::testing::JsonParser;
+using edgellm::testing::JsonValue;
+using edgellm::testing::tiny_config;
+using edgellm::testing::validate_chrome_trace;
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(Counter, AddsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, SetAddAndHighWater) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.max_of(5);
+  EXPECT_EQ(g.value(), 7);  // 5 does not exceed 7
+  g.max_of(19);
+  EXPECT_EQ(g.value(), 19);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+// Bucket index for `v` under `bounds`, mirroring the implementation's
+// contract (first bound >= v; overflow past the end).
+size_t ref_bucket(const std::vector<double>& bounds, double v) {
+  return static_cast<size_t>(std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+TEST(Histogram, CountSumMeanAndBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 1.7, 3.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.5 + 1.7 + 3.0 + 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 5.0);
+  ASSERT_EQ(h.n_buckets(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);  // overflow
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+// Percentile property: for any sample set, percentile(q) must land inside
+// the bucket that contains the exact order-statistic a sorted reference
+// yields — the histogram can blur within a bucket but never across one.
+TEST(Histogram, PercentileWithinBucketOfSortedReference) {
+  const std::vector<double> bounds = Histogram::default_time_bounds_ms();
+  Histogram h(bounds);
+  std::vector<double> samples;
+  uint64_t x = 0x2545F4914F6CDD1Dull;  // deterministic xorshift stream
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Spread samples over ~6 decades, like real latencies.
+    const double v = std::pow(10.0, -3.0 + 6.0 * static_cast<double>(x % 100000) / 100000.0);
+    samples.push_back(v);
+    h.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99}) {
+    const auto rank = static_cast<size_t>(
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * static_cast<double>(samples.size())))));
+    const double exact = samples[rank - 1];
+    const size_t b = ref_bucket(bounds, exact);
+    ASSERT_LT(b, bounds.size()) << "sample range must stay inside the finite buckets";
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    const double est = h.percentile(q);
+    EXPECT_GE(est, lo) << "q=" << q;
+    EXPECT_LE(est, hi) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  // Everything in the overflow bucket: percentile pins to the last bound.
+  Histogram over({1.0, 2.0});
+  over.observe(50.0);
+  over.observe(60.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(over.percentile(0.99), 2.0);
+}
+
+void observe_all(Histogram& h, const std::vector<double>& vs) {
+  for (double v : vs) h.observe(v);
+}
+
+std::vector<int64_t> bucket_vector(const Histogram& h) {
+  std::vector<int64_t> out;
+  for (size_t b = 0; b < h.n_buckets(); ++b) out.push_back(h.bucket_count(b));
+  return out;
+}
+
+// Merge associativity/commutativity over bucket counts: any grouping of
+// the same sample sets yields identical bucket counts, count, and sum.
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  const std::vector<double> bounds = {0.5, 1.0, 4.0, 16.0};
+  const std::vector<double> a = {0.1, 0.7, 3.0, 20.0, 100.0};
+  const std::vector<double> b = {0.6, 0.6, 5.0};
+  const std::vector<double> c = {15.0, 0.2};
+
+  // (a + b) + c
+  Histogram left(bounds);
+  observe_all(left, a);
+  {
+    Histogram hb(bounds);
+    observe_all(hb, b);
+    left.merge(hb);
+    Histogram hc(bounds);
+    observe_all(hc, c);
+    left.merge(hc);
+  }
+  // a + (b + c), built by merging into b's histogram first.
+  Histogram right(bounds);
+  observe_all(right, b);
+  {
+    Histogram hc(bounds);
+    observe_all(hc, c);
+    right.merge(hc);
+    Histogram ha(bounds);
+    observe_all(ha, a);
+    right.merge(ha);
+  }
+  EXPECT_EQ(bucket_vector(left), bucket_vector(right));
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.sum(), right.sum());
+
+  Histogram other({1.0, 2.0});
+  EXPECT_THROW(left.merge(other), std::invalid_argument);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, HandlesAreStableAndNamed) {
+  Registry reg;
+  Counter& c = reg.counter("a");
+  EXPECT_EQ(&c, &reg.counter("a"));
+  EXPECT_NE(&c, &reg.counter("b"));
+  Histogram& h = reg.histogram("lat", {1.0, 2.0});
+  EXPECT_EQ(&h, &reg.histogram("lat"));  // bounds of a re-request are ignored
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+// 8 threads hammer one counter, one gauge and one histogram; totals must
+// come out exact — the lock-free instruments may not lose updates.
+TEST(Registry, ConcurrentUpdatesAreExact) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  Counter& c = reg.counter("hits");
+  Gauge& g = reg.gauge("hw");
+  Histogram& h = reg.histogram("vals", {1.0, 2.0, 4.0, 8.0});
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        g.max_of(t * kIters + i);
+        h.observe(static_cast<double>(i % 10));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kIters);
+  EXPECT_EQ(g.value(), int64_t{kThreads - 1} * kIters + (kIters - 1));
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kIters);
+  // Per thread: 2000 each of 0..9 -> sum = 45 * 2000 per thread.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * 45.0 * (kIters / 10));
+  int64_t in_buckets = 0;
+  for (size_t b = 0; b < h.n_buckets(); ++b) in_buckets += h.bucket_count(b);
+  EXPECT_EQ(in_buckets, h.count());
+}
+
+TEST(Registry, SnapshotJsonAndCsvParse) {
+  Registry reg;
+  reg.counter("reqs").add(3);
+  reg.gauge("depth").set(-2);
+  Histogram& h = reg.histogram("lat_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(25.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("reqs"), 3);
+  EXPECT_EQ(snap.gauge("depth"), -2);
+  ASSERT_NE(snap.histogram("lat_ms"), nullptr);
+  EXPECT_EQ(snap.histogram("lat_ms")->count, 2);
+  EXPECT_EQ(snap.counter("no_such"), 0);
+  EXPECT_EQ(snap.histogram("no_such"), nullptr);
+
+  const JsonValue doc = JsonParser::parse(snap.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("reqs").number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("depth").number, -2.0);
+  const JsonValue& hj = doc.at("histograms").at("lat_ms");
+  EXPECT_DOUBLE_EQ(hj.at("count").number, 2.0);
+  ASSERT_EQ(hj.at("buckets").array.size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(hj.at("buckets").array[2].array[0].number, -1.0);  // overflow marker
+
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("kind,name,value,count,sum,p50,p95,p99"), std::string::npos);
+  EXPECT_NE(csv.find("counter,reqs,3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat_ms"), std::string::npos);
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer& t = Tracer::global();
+  t.disable();
+  t.clear();
+  {
+    ScopedSpan s("outer");
+    KernelSpan k("kernel/x");
+    t.counter("c", 7);
+  }
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped_events(), 0);
+}
+
+// Per-tid stack check: events within one thread must nest like brackets,
+// and end names must match the span open at the top of the stack.
+void check_nesting(const std::vector<TraceEvent>& events) {
+  std::map<int32_t, std::stack<std::string>> stacks;
+  for (const TraceEvent& e : events) {
+    if (e.ph == 'B') {
+      stacks[e.tid].push(e.name);
+    } else if (e.ph == 'E') {
+      ASSERT_FALSE(stacks[e.tid].empty()) << "end without begin: " << e.name;
+      EXPECT_EQ(stacks[e.tid].top(), e.name);
+      stacks[e.tid].pop();
+    }
+  }
+  for (const auto& [tid, st] : stacks) {
+    EXPECT_TRUE(st.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(Tracer, SpansNestAndAttributeToThreads) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  t.enable(/*kernel_sample=*/1);
+
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan inner("inner"); }
+    { KernelSpan k("kernel/k"); }
+  }
+  std::thread worker([&] { ScopedSpan w("worker_span"); });
+  worker.join();
+  t.disable();
+
+  const std::vector<TraceEvent> events = t.events();
+  ASSERT_EQ(events.size(), 8u);  // 3 spans on main + 1 on worker, B+E each
+  check_nesting(events);
+
+  int32_t main_tid = -1, worker_tid = -1;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "outer") main_tid = e.tid;
+    if (std::string(e.name) == "worker_span") worker_tid = e.tid;
+  }
+  EXPECT_NE(main_tid, -1);
+  EXPECT_NE(worker_tid, -1);
+  EXPECT_NE(main_tid, worker_tid);
+
+  // Timestamps are sorted and inner nests strictly inside outer.
+  for (size_t i = 1; i < events.size(); ++i) EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+}
+
+TEST(Tracer, KernelSamplingRecordsEveryNth) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  t.enable(/*kernel_sample=*/4);
+  // Fresh thread => fresh per-thread sampling tick, so the count is exact.
+  std::thread worker([&] {
+    for (int i = 0; i < 16; ++i) KernelSpan k("kernel/sampled");
+  });
+  worker.join();
+  t.disable();
+  EXPECT_EQ(t.events().size(), 8u);  // 16 calls / 4 = 4 spans, B+E each
+}
+
+TEST(Tracer, ChromeTraceJsonValidates) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  t.enable();
+  {
+    ScopedSpan a("phase_a");
+    t.counter("queue_depth", 3);
+  }
+  t.disable();
+
+  const std::string json = t.chrome_trace_json();
+  const JsonValue doc = validate_chrome_trace(json);
+  ASSERT_EQ(doc.at("traceEvents").array.size(), t.events().size());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  bool saw_counter = false;
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string == "C") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").number, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+// --- end-to-end: served batch + tuning pipeline under tracing ---------------
+
+serve::Request greedy_request(int64_t id, std::vector<int64_t> prompt, int64_t n_new) {
+  serve::Request r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = n_new;
+  r.temperature = 0.0f;
+  return r;
+}
+
+TEST(ObsEndToEnd, ServedBatchHasMatchedTickSpansAndDriftFreeMetrics) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  t.enable(/*kernel_sample=*/0);  // structural spans only
+
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(40);
+  nn::CausalLm model(cfg, rng);
+
+  serve::EngineConfig ecfg;
+  ecfg.max_batch = 4;
+  ecfg.threads = 2;
+  serve::ServeEngine engine(model, ecfg);
+
+  // Stage all four requests while paused so the batch forms deterministically.
+  engine.pause();
+  std::vector<std::future<serve::Completion>> futs;
+  for (int64_t i = 0; i < 4; ++i) {
+    std::vector<int64_t> prompt(4);
+    for (int64_t j = 0; j < 4; ++j) prompt[static_cast<size_t>(j)] = (j * 5 + 2 + i * 3) % cfg.vocab;
+    futs.push_back(engine.submit(greedy_request(i, std::move(prompt), 6)));
+  }
+  engine.resume();
+  for (auto& f : futs) EXPECT_EQ(f.get().status, serve::RequestStatus::kOk);
+  engine.shutdown();
+  t.disable();
+
+  // Every scheduler tick, decode fan-out and decode step opened and closed.
+  const std::vector<TraceEvent> events = t.events();
+  std::map<std::string, std::pair<int64_t, int64_t>> be;  // name -> (#B, #E)
+  for (const TraceEvent& e : events) {
+    if (e.ph == 'B') ++be[e.name].first;
+    if (e.ph == 'E') ++be[e.name].second;
+  }
+  const serve::EngineMetrics m = engine.metrics();
+  EXPECT_EQ(be["serve/tick"].first, m.ticks);
+  EXPECT_EQ(be["serve/tick"].second, m.ticks);
+  EXPECT_EQ(be["serve/decode"].first, m.ticks);
+  EXPECT_EQ(be["serve/decode"].second, m.ticks);
+  EXPECT_GT(be["decode/step"].first, 0);
+  EXPECT_EQ(be["decode/step"].first, be["decode/step"].second);
+  check_nesting(events);
+
+  // All 4 requests decoded together: the batch really was staged.
+  EXPECT_EQ(m.completed, 4);
+  EXPECT_DOUBLE_EQ(m.mean_batch_occupancy(), 4.0);
+
+  // Differential no-drift check: the registry snapshot and the EngineMetrics
+  // rollup expose the same instruments and must agree exactly.
+  const MetricsSnapshot snap = engine.registry().snapshot();
+  EXPECT_EQ(snap.counter("serve/submitted"), m.submitted);
+  EXPECT_EQ(snap.counter("serve/completed"), m.completed);
+  EXPECT_EQ(snap.counter("serve/rejected"), m.rejected);
+  EXPECT_EQ(snap.counter("serve/tokens_generated"), m.tokens_generated);
+  ASSERT_NE(snap.histogram("serve/batch_size"), nullptr);
+  EXPECT_EQ(snap.histogram("serve/batch_size")->count, m.ticks);
+  EXPECT_DOUBLE_EQ(snap.histogram("serve/batch_size")->sum, m.occupancy_sum);
+  EXPECT_EQ(snap.gauge("kv/high_water_bytes"), m.kv_high_water_bytes);
+  EXPECT_EQ(snap.counter("kv/acquired"), 4);
+  EXPECT_EQ(snap.counter("kv/released"), 4);
+  // A second snapshot after shutdown must be identical (nothing drifts).
+  const MetricsSnapshot again = engine.registry().snapshot();
+  EXPECT_EQ(again.counter("serve/completed"), snap.counter("serve/completed"));
+  EXPECT_EQ(again.histogram("serve/batch_size")->count,
+            snap.histogram("serve/batch_size")->count);
+
+  // The exported trace passes the schema validator with the same events.
+  const JsonValue doc = validate_chrome_trace(t.chrome_trace_json());
+  EXPECT_EQ(doc.at("traceEvents").array.size(), events.size());
+  EXPECT_EQ(t.dropped_events(), 0);
+}
+
+TEST(ObsEndToEnd, PipelineStepsAreTracedAndCounted) {
+  Tracer& t = Tracer::global();
+  t.clear();
+  t.enable();
+
+  data::MarkovChain::Config dc;
+  dc.vocab = 24;
+  dc.order = 1;
+  dc.branch = 3;
+  dc.mass = 0.85f;
+  dc.seed = 5;
+  const data::MarkovChain domain(dc);
+
+  Rng rng(31);
+  nn::CausalLm model(tiny_config(), rng);
+  Registry reg;
+  core::PipelineConfig pcfg;
+  pcfg.adaptation_iters = 5;
+  pcfg.batch = 2;
+  pcfg.seq = 8;
+  pcfg.calib_batches = 2;
+  pcfg.eval_batches = 2;
+  pcfg.apply_compression = false;
+  pcfg.metrics = &reg;
+  const core::PipelineResult res = core::run_pipeline(model, domain, pcfg);
+  t.disable();
+
+  ASSERT_EQ(res.loss_curve.size(), 5u);
+
+  // Exactly one tuner/step span pair per adaptation iteration, nested
+  // inside a single pipeline/adapt span; eval phase opened and closed.
+  const std::vector<TraceEvent> events = t.events();
+  std::map<std::string, std::pair<int64_t, int64_t>> be;
+  for (const TraceEvent& e : events) {
+    if (e.ph == 'B') ++be[e.name].first;
+    if (e.ph == 'E') ++be[e.name].second;
+  }
+  EXPECT_EQ(be["tuner/step"].first, 5);
+  EXPECT_EQ(be["tuner/step"].second, 5);
+  EXPECT_EQ(be["pipeline/adapt"].first, 1);
+  EXPECT_EQ(be["pipeline/adapt"].second, 1);
+  EXPECT_EQ(be["pipeline/eval"].first, 1);
+  EXPECT_EQ(be["pipeline/eval"].second, 1);
+  EXPECT_EQ(be["pipeline/compress"].first, 0);  // compression disabled
+  check_nesting(events);
+
+  // Metrics registry agrees with the run's own accounting.
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("tuner/steps"), 5);
+  EXPECT_EQ(snap.counter("tuner/skipped_steps"), res.skipped_steps);
+  EXPECT_EQ(snap.counter("tuner/rollbacks"), res.rollbacks);
+  ASSERT_NE(snap.histogram("tuner/step_ms"), nullptr);
+  EXPECT_EQ(snap.histogram("tuner/step_ms")->count, 5);
+  ASSERT_NE(snap.histogram("tuner/exit_depth"), nullptr);
+  EXPECT_EQ(snap.histogram("tuner/exit_depth")->count, 5);
+  // Sampled exits stay inside the registered exit range.
+  const nn::ModelConfig mc = tiny_config();
+  EXPECT_GE(snap.histogram("tuner/exit_depth")->p50, 0.0);
+  EXPECT_LE(snap.histogram("tuner/exit_depth")->p99, static_cast<double>(mc.n_layers));
+}
+
+// With tracing disabled the instrumented kernels must not record anything;
+// the bench sweep (BENCH_obs.json) quantifies the <2% overhead claim, this
+// test pins the functional half of it.
+TEST(ObsEndToEnd, DisabledTracingLeavesKernelsSilent) {
+  Tracer& t = Tracer::global();
+  t.disable();
+  t.clear();
+
+  Tensor a = Tensor::zeros({8, 8});
+  Tensor b = Tensor::zeros({8, 8});
+  for (int64_t i = 0; i < 64; ++i) {
+    a[i] = static_cast<float>(i % 7) * 0.25f;
+    b[i] = static_cast<float>(i % 5) * 0.5f;
+  }
+  for (int i = 0; i < 50; ++i) (void)ops::matmul(a, b);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped_events(), 0);
+}
+
+// Overhead regression guard: a disabled KernelSpan is one relaxed atomic
+// load, so a million of them must be effectively free. The bound is absurdly
+// generous (1 s ≈ 1 µs per probe) on purpose — it only trips if someone
+// puts a lock, allocation, or syscall on the disabled path, and never flakes
+// on a loaded CI box.
+TEST(ObsEndToEnd, DisabledSpanProbeStaysCheap) {
+  Tracer& t = Tracer::global();
+  t.disable();
+  t.clear();
+
+  constexpr int kProbes = 1'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    const KernelSpan span("kernel/probe");
+  }
+  const double sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(sec, 1.0) << kProbes << " disabled probes took " << sec << " s";
+  EXPECT_TRUE(t.events().empty());
+}
+
+}  // namespace
+}  // namespace edgellm::obs

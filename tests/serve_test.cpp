@@ -4,6 +4,7 @@
 // must match what a single IncrementalDecoder would have produced.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 
 #include "core/voting.hpp"
@@ -340,10 +341,15 @@ TEST(ServeEngine, BatchedGreedyMatchesSequentialReference) {
   for (const auto& p : prompts) want.push_back(reference_greedy(model, p, 6));
 
   ServeEngine engine(model, engine_cfg(/*threads=*/1));
+  // Stage every request while the scheduler is parked: all five are
+  // admitted into one batch on resume, so the occupancy assertion below is
+  // deterministic instead of racing the loop's first ticks.
+  engine.pause();
   std::vector<std::future<Completion>> futs;
   for (size_t i = 0; i < prompts.size(); ++i) {
     futs.push_back(engine.submit(greedy_request(static_cast<int64_t>(i), prompts[i], 6)));
   }
+  engine.resume();
   for (size_t i = 0; i < futs.size(); ++i) {
     const Completion c = futs[i].get();
     EXPECT_EQ(c.status, RequestStatus::kOk);
@@ -356,7 +362,9 @@ TEST(ServeEngine, BatchedGreedyMatchesSequentialReference) {
   const EngineMetrics m = engine.metrics();
   EXPECT_EQ(m.completed, 5);
   EXPECT_EQ(m.tokens_generated, 5 * 6);
-  EXPECT_GT(m.mean_batch_occupancy(), 1.0);  // requests actually shared ticks
+  // Identical-length requests staged together retire together: every tick
+  // ran the full batch of five.
+  EXPECT_DOUBLE_EQ(m.mean_batch_occupancy(), 5.0);
 }
 
 TEST(ServeEngine, MultiThreadedMatchesSingleThreaded) {
@@ -502,15 +510,40 @@ TEST(ServeEngine, CancelQueuedRequest) {
   Rng rng(47);
   nn::CausalLm model(cfg, rng);
   // One batch slot: the second request is guaranteed to queue behind the
-  // first at submit time.
+  // first at submit time. Pausing the scheduler makes the cancel
+  // deterministic — request 2 is still queued when it lands, so it must
+  // resolve kCancelled (before pause() existed this raced the decode loop
+  // and had to accept either outcome).
   ServeEngine engine(model, engine_cfg(1, /*max_batch=*/1));
+  engine.pause();
   auto f1 = engine.submit(greedy_request(1, seq_tokens(4, cfg.vocab), 8));
   auto f2 = engine.submit(greedy_request(2, seq_tokens(4, cfg.vocab), 8));
-  engine.cancel(2);                 // active or queued, either way it resolves
+  EXPECT_TRUE(engine.cancel(2));
   EXPECT_FALSE(engine.cancel(99));  // unknown id
+  engine.resume();
   EXPECT_EQ(f1.get().status, RequestStatus::kOk);
-  const Completion c2 = f2.get();
-  EXPECT_TRUE(c2.status == RequestStatus::kCancelled || c2.status == RequestStatus::kOk);
+  EXPECT_EQ(f2.get().status, RequestStatus::kCancelled);
+  EXPECT_EQ(engine.metrics().cancelled, 1);
+}
+
+TEST(ServeEngine, PauseParksAndResumeDrains) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(52);
+  nn::CausalLm model(cfg, rng);
+  ServeEngine engine(model, engine_cfg(1, /*max_batch=*/4));
+
+  engine.pause();
+  engine.pause();  // idempotent
+  auto fut = engine.submit(greedy_request(1, seq_tokens(4, cfg.vocab), 3));
+  // Parked scheduler: nothing is admitted or decoded while paused.
+  EXPECT_EQ(engine.metrics().ticks, 0);
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(0)), std::future_status::timeout);
+  engine.resume();
+  EXPECT_EQ(fut.get().status, RequestStatus::kOk);
+  // Shutting down while paused must not deadlock.
+  engine.pause();
+  engine.shutdown();
+  EXPECT_EQ(engine.metrics().completed, 1);
 }
 
 TEST(ServeEngine, DeadlineExpiryReturnsPartialTokens) {

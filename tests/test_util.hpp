@@ -3,7 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "nn/model.hpp"
 #include "nn/module.hpp"
@@ -46,6 +52,218 @@ inline void check_param_grad(nn::Param& p, const std::function<float()>& loss_fn
     EXPECT_NEAR(analytic / scale, numeric / scale, tol)
         << p.name << " index " << i << " analytic=" << analytic << " numeric=" << numeric;
   }
+}
+
+// --- Minimal recursive-descent JSON parser ----------------------------------
+//
+// Just enough JSON to validate the exporters' output (obs trace + metrics
+// snapshots) without a third-party dependency: objects, arrays, strings
+// (no escapes beyond \" \\ \/ \n \t), numbers, booleans, null. Throws
+// std::runtime_error with an offset on malformed input.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  bool has(const std::string& key) const { return is_object() && object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const {
+    if (!has(key)) throw std::runtime_error("JsonValue: missing key " + key);
+    return object.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  static JsonValue parse(const std::string& text) {
+    JsonParser p(text);
+    JsonValue v = p.value();
+    p.skip_ws();
+    if (p.pos_ != text.size()) p.fail("trailing characters");
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        if (e == 'n') v.string.push_back('\n');
+        else if (e == 't') v.string.push_back('\t');
+        else if (e == '"' || e == '\\' || e == '/') v.string.push_back(e);
+        else fail("unsupported escape");
+        continue;
+      }
+      v.string.push_back(c);
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue number() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+/// Validates the minimal Chrome trace-event schema the obs exporter
+/// promises: top-level object with a "traceEvents" array whose entries all
+/// carry a string "name", a one-char "ph" in {B, E, C}, numeric "pid",
+/// "tid" and "ts", and (for counters) an "args" object. Returns the parsed
+/// document so tests can make further assertions; throws on any violation.
+inline JsonValue validate_chrome_trace(const std::string& json) {
+  const JsonValue doc = JsonParser::parse(json);
+  if (!doc.is_object()) throw std::runtime_error("trace: top level must be an object");
+  if (!doc.has("traceEvents") || !doc.at("traceEvents").is_array()) {
+    throw std::runtime_error("trace: missing traceEvents array");
+  }
+  for (const JsonValue& e : doc.at("traceEvents").array) {
+    if (!e.is_object()) throw std::runtime_error("trace: event must be an object");
+    if (!e.has("name") || !e.at("name").is_string() || e.at("name").string.empty()) {
+      throw std::runtime_error("trace: event needs a non-empty string name");
+    }
+    if (!e.has("ph") || !e.at("ph").is_string() || e.at("ph").string.size() != 1 ||
+        std::string("BEC").find(e.at("ph").string) == std::string::npos) {
+      throw std::runtime_error("trace: event ph must be one of B, E, C");
+    }
+    for (const char* k : {"pid", "tid", "ts"}) {
+      if (!e.has(k) || !e.at(k).is_number()) {
+        throw std::runtime_error(std::string("trace: event needs numeric ") + k);
+      }
+    }
+    if (e.at("ph").string == "C" && (!e.has("args") || !e.at("args").is_object())) {
+      throw std::runtime_error("trace: counter event needs an args object");
+    }
+  }
+  return doc;
 }
 
 }  // namespace edgellm::testing
