@@ -22,6 +22,7 @@
 #include "nn/attention.hpp"
 #include "prune/prune.hpp"
 #include "quant/quant.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
@@ -312,19 +313,143 @@ void run_obs_sweep(const std::string& path) {
             << "\n";
 }
 
+// --- blocked GEMM sweep (BENCH_gemm.json) ------------------------------------
+
+/// Naive vs blocked dense kernels on square and decode-skinny shapes, plus
+/// the packed integer kernel vs the dequantize-to-fp32-then-matmul path it
+/// replaces, plus a thread sweep of the blocked kernel on the largest dense
+/// shape. Every pairing is bitwise identical by construction (tensor/gemm.hpp,
+/// asserted by ctest -L gemm) — this measures only the speed side.
+/// Returns false (after writing the JSON) when the blocked kernel loses to
+/// the naive one on the largest dense NT shape, the CI perf-smoke gate.
+bool run_gemm_sweep(const std::string& path) {
+  Rng rng(9);
+  std::ofstream js(path);
+  js << "{\n  \"bench\": \"gemm_sweep\",\n  \"results\": [\n";
+  bool first = true;
+  double largest_dense_speedup = 0.0;
+
+  const auto emit = [&](const std::string& kind, int bits, int64_t m, int64_t k, int64_t n,
+                        int64_t threads, double base_ms, double ours_ms,
+                        const char* baseline_name) {
+    if (!first) js << ",\n";
+    first = false;
+    js << "    {\"kind\": \"" << kind << "\", \"bits\": " << bits << ", \"m\": " << m
+       << ", \"k\": " << k << ", \"n\": " << n << ", \"threads\": " << threads << ", \""
+       << baseline_name << "_ms\": " << base_ms << ", \"blocked_ms\": " << ours_ms
+       << ", \"speedup\": " << base_ms / ours_ms << "}";
+  };
+  const auto reps_for = [](int64_t macs) {
+    return macs > int64_t{8} * 1000 * 1000 ? 3 : 5;
+  };
+
+  // Dense shapes: squares up to one L2-ish working set, plus the serving
+  // decode shape (few activation rows against a wide weight).
+  struct Mkn {
+    int64_t m, k, n;
+  };
+  const std::vector<Mkn> dense = {{64, 64, 64},   {128, 128, 128}, {256, 256, 256},
+                                  {8, 256, 256},  {8, 512, 512},   {8, 768, 768}};
+  for (const Mkn& s : dense) {
+    const Tensor a = randn({s.m, s.k}, rng);
+    const Tensor bn = randn({s.k, s.n}, rng);
+    const Tensor bt = randn({s.n, s.k}, rng);
+    const int reps = reps_for(s.m * s.k * s.n);
+    const auto blk = ops::gemm::blocking_for(ops::gemm::GemmKind::kNT, s.m, s.k, s.n);
+    const double nn_naive = min_time_ms(reps, 1, [&] {
+      benchmark::DoNotOptimize(ops::gemm::matmul_naive(a, bn));
+    });
+    const double nn_blocked = min_time_ms(reps, 1, [&] {
+      benchmark::DoNotOptimize(ops::gemm::matmul_blocked(a, bn, blk));
+    });
+    emit("nn", 32, s.m, s.k, s.n, 1, nn_naive, nn_blocked, "naive");
+    const double nt_naive = min_time_ms(reps, 1, [&] {
+      benchmark::DoNotOptimize(ops::gemm::matmul_nt_naive(a, bt));
+    });
+    const double nt_blocked = min_time_ms(reps, 1, [&] {
+      benchmark::DoNotOptimize(ops::gemm::matmul_nt_blocked(a, bt, blk));
+    });
+    emit("nt", 32, s.m, s.k, s.n, 1, nt_naive, nt_blocked, "naive");
+    if (s.m == 256) largest_dense_speedup = nt_naive / nt_blocked;
+  }
+
+  // Packed integer weights at the decode shapes: the blocked integer kernel
+  // vs dequantizing the whole weight to fp32 and running the dense matmul —
+  // the path DecodeWeightCache takes without --packed-weights.
+  for (const Mkn& s : {Mkn{8, 256, 256}, Mkn{8, 512, 512}, Mkn{8, 768, 768},
+                       Mkn{8, 1024, 1024}}) {
+    const Tensor x = randn({s.m, s.k}, rng);
+    const Tensor w = randn({s.n, s.k}, rng);
+    const int reps = 5;
+    for (int bits : {8, 4}) {
+      const quant::PackedMatrix p = quant::PackedMatrix::pack(w, bits);
+      const double dequant = min_time_ms(reps, 1, [&] {
+        benchmark::DoNotOptimize(ops::matmul_nt(x, p.dequantize()));
+      });
+      const double packed = min_time_ms(reps, 1, [&] {
+        benchmark::DoNotOptimize(quant::packed_matmul_nt(x, p));
+      });
+      emit("packed_nt", bits, s.m, s.k, s.n, 1, dequant, packed, "dequant_path");
+    }
+  }
+
+  // Thread sweep on the largest dense shape: same bits at every count; on a
+  // single-core host the rows collapse to serial speed.
+  {
+    const int64_t n = 256;
+    const Tensor a = randn({n, n}, rng);
+    const Tensor bt = randn({n, n}, rng);
+    for (int64_t threads : {1, 2, 8}) {
+      parallel::set_num_threads(threads);
+      const double naive = min_time_ms(3, 1, [&] {
+        benchmark::DoNotOptimize(ops::gemm::matmul_nt_naive(a, bt));
+      });
+      const double blocked = min_time_ms(3, 1, [&] {
+        benchmark::DoNotOptimize(ops::matmul_nt(a, bt));
+      });
+      emit("nt_threads", 32, n, n, n, threads, naive, blocked, "naive");
+    }
+    parallel::set_num_threads(1);
+  }
+
+  js << "\n  ],\n  \"largest_dense_nt_speedup\": " << largest_dense_speedup << "\n}\n";
+  std::cout << "gemm sweep: blocked NT speedup at 256^3 = " << largest_dense_speedup
+            << "x vs naive; wrote " << path << "\n";
+  return largest_dense_speedup >= 1.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool obs_sweep = true;
-  for (int i = 1; i < argc; ++i) {
+  bool gemm_sweep = true;
+  bool check_gemm = false;
+  const auto strip = [&](int i) {
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
+  };
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--no-obs-sweep") == 0) {
       obs_sweep = false;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+      strip(i);
+    } else if (std::strcmp(argv[i], "--no-gemm-sweep") == 0) {
+      gemm_sweep = false;
+      strip(i);
+    } else if (std::strcmp(argv[i], "--check-gemm") == 0) {
+      check_gemm = true;
+      strip(i);
+    } else {
+      ++i;
     }
   }
   if (obs_sweep) run_obs_sweep("BENCH_obs.json");
+  if (gemm_sweep || check_gemm) {
+    const bool ok = run_gemm_sweep("BENCH_gemm.json");
+    if (check_gemm && !ok) {
+      std::cerr << "gemm sweep: blocked kernel lost to naive on the largest dense shape\n";
+      return 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

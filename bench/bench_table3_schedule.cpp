@@ -1,14 +1,23 @@
 // Table R3 — hardware scheduling search: naive vs searched schedules for a
 // full training iteration, for both the fp16 model and the LUC-compressed
-// model, at bench scale and at paper (LLaMA-7B) scale.
+// model, at bench scale and at paper (LLaMA-7B) scale. Search results are
+// memoised in a persistent ScheduleCache (hw/measured.hpp), so re-runs of
+// this bench — and a re-search of the same workload inside one run — skip
+// the exhaustive search.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "hw/measured.hpp"
 
 namespace {
 
 using namespace edgellm;
 using runtime::fmt;
+
+hw::ScheduleCache& schedule_cache() {
+  static hw::ScheduleCache cache;
+  return cache;
+}
 
 void report(const char* title, const nn::ModelConfig& cfg,
             const std::vector<hw::LayerCompression>& comp, const hw::IterationSpec& iter,
@@ -17,7 +26,7 @@ void report(const char* title, const nn::ModelConfig& cfg,
   const hw::SearchConfig scfg;
   const hw::IterationPlan naive = hw::schedule_iteration_naive(dev, workloads);
   const hw::IterationPlan deflt = hw::schedule_iteration_default(dev, workloads);
-  const hw::IterationPlan searched = hw::schedule_iteration(dev, workloads, scfg);
+  const hw::IterationPlan searched = hw::schedule_iteration(dev, workloads, scfg, &schedule_cache());
 
   std::cout << "--- " << title << " ---\n";
   runtime::TablePrinter table({12, 14, 14, 12, 12, 12});
@@ -54,6 +63,9 @@ void report(const char* title, const nn::ModelConfig& cfg,
 
 int main() {
   std::cout << "=== Table R3: hardware scheduling search (naive vs searched) ===\n\n";
+  const char* cache_path = "BENCH_table3_schedule.cache";
+  const bool warm = schedule_cache().load(cache_path);
+  std::cout << "schedule cache: " << cache_path << (warm ? " (warm)" : " (cold)") << "\n";
   const hw::DeviceModel dev = hw::default_edge_device();
   std::cout << "device: " << dev.name << ", " << dev.peak_macs_per_cycle << " MAC/cyc, "
             << dev.dram_bytes_per_cycle << " B/cyc DRAM, " << dev.sram_bytes / 1024.0
@@ -95,6 +107,27 @@ int main() {
                "crushes the naive one; its wins concentrate where workloads are small or\n"
                "irregular (compressed layers, constrained devices) where pinning and\n"
                "per-GEMM tile shapes matter. Large dense GEMMs are easy to schedule and\n"
-               "the competent default already saturates the MAC array there.\n";
+               "the competent default already saturates the MAC array there.\n\n";
+
+  // The memoisation contract: re-searching a workload already in the cache
+  // must be served from it (every per-GEMM search a hit, zero misses added).
+  {
+    const nn::ModelConfig small = edgellm::bench::bench_model_config();
+    hw::IterationSpec iter{edgellm::bench::kBatch, edgellm::bench::kSeq, small.n_layers,
+                           small.n_layers, true};
+    std::vector<hw::LayerCompression> fp16(static_cast<size_t>(small.n_layers));
+    const auto workloads = hw::training_iteration_workloads(small, fp16, iter);
+    const int64_t hits_before = schedule_cache().hits();
+    const int64_t misses_before = schedule_cache().misses();
+    (void)hw::schedule_iteration(dev, workloads, hw::SearchConfig{}, &schedule_cache());
+    check_arg(schedule_cache().hits() > hits_before,
+              "bench_table3: warm re-search produced no cache hits");
+    check_arg(schedule_cache().misses() == misses_before,
+              "bench_table3: warm re-search missed the cache");
+    std::cout << "cache re-search check: " << (schedule_cache().hits() - hits_before)
+              << " hits, 0 misses (memoisation working)\n";
+  }
+  check_arg(schedule_cache().save(cache_path), "bench_table3: cannot write schedule cache");
+  std::cout << "saved " << schedule_cache().size() << " schedule(s) to " << cache_path << "\n";
   return 0;
 }

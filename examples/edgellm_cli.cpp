@@ -33,6 +33,7 @@
 
 #include "core/pipeline.hpp"
 #include "data/eval.hpp"
+#include "hw/measured.hpp"
 #include "nn/decoder.hpp"
 #include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
@@ -68,6 +69,27 @@ std::string get_str(const std::map<std::string, std::string>& args, const std::s
   const auto it = args.find(key);
   check_arg(it != args.end(), "missing required flag --" + key);
   return it->second;
+}
+
+// --schedule-cache FILE: measured per-layer schedule autotuning for the
+// blocked GEMM kernels (hw/measured.hpp). Loads the on-disk cache if it
+// exists, tunes every unique GEMM shape the model runs at `batch_rows`
+// activation rows (cache hits skip the timing), installs the winning
+// blockings process-wide, and saves the cache back. Schedules only ever
+// change speed — blocked kernels are bitwise identical to the naive ones —
+// so this is safe on any subcommand.
+void apply_schedule_cache(const std::map<std::string, std::string>& args, nn::CausalLm& model,
+                          int64_t batch_rows) {
+  if (!args.contains("schedule-cache")) return;
+  const std::string path = args.at("schedule-cache");
+  static hw::ScheduleCache cache;  // outlives the engine; one per process
+  const bool loaded = cache.load(path);
+  hw::MeasuredBackend backend(hw::MeasuredConfig{}, &cache);
+  const hw::ModelTuneSummary s = hw::autotune_model_gemms(backend, model, batch_rows);
+  check_arg(cache.save(path), "cannot write schedule cache " + path);
+  std::cerr << "schedule cache " << path << (loaded ? " (warm)" : " (new)") << ": "
+            << s.shapes_tuned << " shape(s), " << s.cache_hits << " from cache, "
+            << fmt(s.tuning_ms, 1) << " ms tuning\n";
 }
 
 data::MarkovChain make_domain(double shift) {
@@ -126,6 +148,8 @@ int cmd_adapt(const std::map<std::string, std::string>& args) {
     pcfg.checkpoint_every = static_cast<int64_t>(get_num(args, "checkpoint-every", 25));
     pcfg.resume = get_num(args, "resume", 0) != 0;
   }
+
+  apply_schedule_cache(args, *model, pcfg.batch * pcfg.seq);
 
   std::cout << "adapting to shift " << shift << " (budget "
             << pcfg.luc.target_effective_bits << " eff bits, window "
@@ -212,6 +236,11 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
   ecfg.queue_capacity = static_cast<int64_t>(get_num(args, "queue", 64));
   ecfg.kv_byte_budget = static_cast<int64_t>(get_num(args, "kv-budget", 0));
   ecfg.quantize_kv = get_num(args, "quantize-kv", 0) != 0;
+  ecfg.pack_compressed_weights = get_num(args, "packed-weights", 0) != 0;
+
+  // Decode ticks run up to max_batch stacked rows through each projection;
+  // tune the kernels for that shape before the engine starts.
+  apply_schedule_cache(args, *model, ecfg.max_batch);
   serve::ServeEngine engine(*model, ecfg);
 
   // Requests in: one JSON object per line, default stdin ("-").
@@ -273,12 +302,17 @@ int usage() {
                "  pretrain --out FILE [--iters N] [--layers L] [--dmodel D] [--seed S]\n"
                "  adapt    --in FILE --out FILE [--shift F] [--budget B] [--window W] [--iters N]\n"
                "           [--checkpoint-dir DIR] [--checkpoint-every N] [--checkpoint-keep K]\n"
-               "           [--resume 0|1] [--metrics-out JSON]\n"
+               "           [--resume 0|1] [--metrics-out JSON] [--schedule-cache FILE]\n"
                "  eval     --in FILE [--shift F]\n"
                "  generate --in FILE [--tokens N] [--temp T] [--topk K] [--shift F]\n"
                "  serve    --in FILE [--requests FILE|-] [--threads N] [--batch B]\n"
                "           [--queue Q] [--kv-budget BYTES] [--quantize-kv 0|1]\n"
-               "           [--metrics CSV] [--metrics-out JSON]\n"
+               "           [--metrics CSV] [--metrics-out JSON] [--schedule-cache FILE]\n"
+               "           [--packed-weights 0|1]\n"
+               "--schedule-cache FILE autotunes blocked-GEMM tile sizes per layer shape by\n"
+               "timing the real kernels, persisting winners across runs (speed only — outputs\n"
+               "are bitwise unchanged); --packed-weights 1 decodes against packed int4/int8\n"
+               "weights directly (deployed integer numerics; see docs/PERFORMANCE.md)\n"
                "every subcommand also takes --compute-threads N (deterministic tensor\n"
                "backend; 0 = EDGELLM_NUM_THREADS or serial; outputs identical at any N),\n"
                "--trace-out FILE (Chrome trace-event JSON for chrome://tracing / Perfetto)\n"

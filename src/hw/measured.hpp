@@ -1,0 +1,157 @@
+// Measured schedule backend (paper component 3, on real kernels).
+//
+// The analytical search in hw/search.hpp scores schedules against a device
+// model; this file closes the loop on the host itself: MeasuredBackend
+// autotunes the blocked GEMM kernels' cache-blocking parameters
+// (ops::gemm::Blocking) by timing the real kernels per layer shape, and
+// ScheduleCache persists both kinds of search result — simulated GemmPlans
+// and measured Blockings — across runs in one on-disk text file
+// (`edgellm_cli --schedule-cache`). Because the blocked kernels are
+// bitwise identical to the naive ones regardless of schedule (see
+// tensor/gemm.hpp), autotuning can never change results, only speed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/search.hpp"
+#include "tensor/gemm.hpp"
+
+namespace edgellm::nn {
+class CausalLm;
+}
+
+namespace edgellm::hw {
+
+/// One cached schedule-search result. The same record type serves both
+/// backends: for "sim" records `schedule` is the analytical Schedule and
+/// `metric` its modelled cycles; for "measured" records the schedule's
+/// tile_m/tile_k/tile_n carry the kernel blocking mc/kc/nc, `metric` is
+/// the best measured milliseconds and `baseline` the milliseconds of the
+/// path the blocked kernel replaces (naive fp32, or dequantize-to-fp32
+/// for packed weights).
+struct ScheduleRecord {
+  std::string backend = "sim";  ///< "sim" | "measured"
+  Schedule schedule;
+  double metric = 0.0;
+  double baseline = 0.0;
+
+  ops::gemm::Blocking blocking() const {
+    return ops::gemm::Blocking{schedule.tile_m, schedule.tile_k, schedule.tile_n};
+  }
+};
+
+/// Persistent, thread-safe map from search keys to ScheduleRecords.
+///
+/// On-disk format (version-checked, line-based text):
+///   edgellm-schedule-cache v1
+///   <key>\t<backend>\t<tm> <tn> <tk> <order> <db> <pin>\t<metric>\t<baseline>
+/// Unknown versions and malformed lines are rejected (load returns false
+/// and leaves the cache unchanged). Keys are built by the static helpers
+/// below so both backends stay collision-free in one file.
+class ScheduleCache {
+ public:
+  /// Key for an analytical search: device identity (name + sram), GEMM
+  /// shape/compression, SRAM actually available, candidate set, pinning.
+  static std::string sim_key(const DeviceModel& dev, const GemmWorkload& gemm,
+                             double available_sram, const SearchConfig& cfg, bool pinned);
+
+  /// Key for a measured kernel tuning: kernel kind, shape, weight bits,
+  /// candidate tile sets and repetitions.
+  static std::string measured_key(ops::gemm::GemmKind kind, int64_t m, int64_t k, int64_t n,
+                                  int bits, const std::vector<int64_t>& mc,
+                                  const std::vector<int64_t>& kc, const std::vector<int64_t>& nc,
+                                  int reps);
+
+  std::optional<ScheduleRecord> find(const std::string& key) const;
+  void put(const std::string& key, const ScheduleRecord& rec);
+
+  /// Replaces the cache contents with the file's records. Missing file or
+  /// bad format returns false and leaves the cache unchanged.
+  bool load(const std::string& path);
+
+  /// Writes all records (atomic tmp + rename). Returns false on IO error.
+  bool save(const std::string& path) const;
+
+  int64_t size() const;
+  int64_t hits() const;    ///< find() calls that returned a record
+  int64_t misses() const;  ///< find() calls that returned nullopt
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ScheduleRecord> entries_;
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+/// search_gemm with memoisation: on a cache hit the stored schedule is
+/// re-costed (cheap) instead of re-searching the full space; on a miss the
+/// result is stored. `pinned` selects search_gemm_pinned semantics.
+GemmPlan search_gemm_cached(const DeviceModel& dev, const GemmWorkload& gemm,
+                            double available_sram, const SearchConfig& cfg, bool pinned,
+                            ScheduleCache* cache);
+
+/// Knobs of the measured tuner: candidate cache blockings and timing reps
+/// (min-of-reps is the score, robust to scheduler noise).
+struct MeasuredConfig {
+  std::vector<int64_t> mc_candidates = {32, 64, 128};
+  std::vector<int64_t> kc_candidates = {64, 128, 256};
+  std::vector<int64_t> nc_candidates = {64, 128, 256};
+  int reps = 3;
+};
+
+/// Result of tuning one (kind, shape).
+struct TuneResult {
+  ops::gemm::Blocking blocking;
+  double best_ms = 0.0;      ///< min-of-reps of the winning blocking
+  double baseline_ms = 0.0;  ///< the path the blocked kernel replaces
+  bool from_cache = false;
+};
+
+/// Times real kernels over the candidate blockings for a layer shape and
+/// returns (optionally installing) the fastest. Baselines: the naive
+/// kernel for dense kinds; dequantize-then-dense-matmul for kPackedNT.
+/// Operands are seeded from the shape, so tuning is reproducible except
+/// for timing noise — which, by the bitwise contract, can only ever change
+/// speed, never results.
+class MeasuredBackend {
+ public:
+  explicit MeasuredBackend(MeasuredConfig cfg = {}, ScheduleCache* cache = nullptr);
+
+  /// Tunes one shape. `bits` is the packed weight width for kPackedNT
+  /// (4 or 8), ignored for dense kinds.
+  TuneResult tune(ops::gemm::GemmKind kind, int64_t m, int64_t k, int64_t n, int bits = 32);
+
+  /// tune() + ops::gemm::set_blocking for the shape.
+  TuneResult tune_and_install(ops::gemm::GemmKind kind, int64_t m, int64_t k, int64_t n,
+                              int bits = 32);
+
+  const MeasuredConfig& config() const { return cfg_; }
+  ScheduleCache* cache() const { return cache_; }
+
+ private:
+  MeasuredConfig cfg_;
+  ScheduleCache* cache_;
+};
+
+/// Summary of autotune_model_gemms.
+struct ModelTuneSummary {
+  int64_t shapes_tuned = 0;   ///< unique (kind, shape, bits) combinations
+  int64_t cache_hits = 0;     ///< served from the schedule cache
+  double tuning_ms = 0.0;     ///< wall time spent timing kernels
+};
+
+/// Tunes and installs blockings for every unique GEMM shape the model's
+/// decode path runs at `batch_rows` activation rows: the fp32 NT kernel
+/// for each distinct Linear shape, plus the packed kernel for packable
+/// layers (Linear::packable). Re-invoking with a warm ScheduleCache is
+/// cheap (all hits).
+ModelTuneSummary autotune_model_gemms(MeasuredBackend& backend, nn::CausalLm& model,
+                                      int64_t batch_rows);
+
+}  // namespace edgellm::hw

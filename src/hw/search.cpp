@@ -5,6 +5,8 @@
 #include <limits>
 #include <map>
 
+#include "hw/measured.hpp"
+
 namespace edgellm::hw {
 
 double LayerPlan::cycles() const {
@@ -116,16 +118,18 @@ GemmPlan search_gemm_pinned(const DeviceModel& dev, const GemmWorkload& gemm,
 
 IterationPlan schedule_iteration(const DeviceModel& dev,
                                  const std::vector<LayerWorkload>& workloads,
-                                 const SearchConfig& cfg) {
+                                 const SearchConfig& cfg, ScheduleCache* cache) {
   check_arg(!workloads.empty(), "schedule_iteration: empty workload list");
 
   // Phase A: best unpinned schedule for every GEMM with the full SRAM.
+  // search_gemm_cached falls through to the plain search when cache is null.
   std::vector<LayerPlan> layers(workloads.size());
   for (size_t li = 0; li < workloads.size(); ++li) {
     layers[li].name = workloads[li].name;
     layers[li].elementwise = elementwise_cost(dev, workloads[li].elementwise_bytes);
     for (const GemmWorkload& g : workloads[li].gemms) {
-      layers[li].gemms.push_back(search_gemm(dev, g, dev.sram_bytes, cfg));
+      layers[li].gemms.push_back(
+          search_gemm_cached(dev, g, dev.sram_bytes, cfg, /*pinned=*/false, cache));
     }
   }
 
@@ -145,7 +149,8 @@ IterationPlan schedule_iteration(const DeviceModel& dev,
         Group& grp = groups[pin_group_key(g.name)];
         grp.weight_bytes = std::max(grp.weight_bytes, g.weight_bytes());
         grp.members.push_back({li, gi});
-        const GemmPlan pinned = search_gemm_pinned(dev, g, dev.sram_bytes, cfg);
+        const GemmPlan pinned =
+            search_gemm_cached(dev, g, dev.sram_bytes, cfg, /*pinned=*/true, cache);
         if (pinned.cost.feasible) {
           grp.benefit_cycles += layers[li].gemms[gi].cost.cycles - pinned.cost.cycles;
         }
@@ -187,13 +192,14 @@ IterationPlan schedule_iteration(const DeviceModel& dev,
         if (is_pinned[li][gi]) {
           // evaluate_schedule charges the pinned bytes inside, so allow the
           // group's own bytes on top of the shared tile budget.
-          GemmPlan p = search_gemm_pinned(dev, g, tile_sram + g.weight_bytes(), cfg);
+          GemmPlan p = search_gemm_cached(dev, g, tile_sram + g.weight_bytes(), cfg,
+                                          /*pinned=*/true, cache);
           if (p.cost.feasible) {
             layers[li].gemms[gi] = p;
             continue;
           }
         }
-        layers[li].gemms[gi] = search_gemm(dev, g, tile_sram, cfg);
+        layers[li].gemms[gi] = search_gemm_cached(dev, g, tile_sram, cfg, /*pinned=*/false, cache);
       }
     }
   }

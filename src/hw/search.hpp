@@ -14,6 +14,8 @@
 
 namespace edgellm::hw {
 
+class ScheduleCache;  // hw/measured.hpp
+
 /// One scheduled GEMM.
 struct GemmPlan {
   GemmWorkload gemm;
@@ -63,10 +65,12 @@ GemmPlan search_gemm_pinned(const DeviceModel& dev, const GemmWorkload& gemm,
                             double available_sram, const SearchConfig& cfg);
 
 /// Searched schedule for a whole iteration (greedy pinning + per-GEMM
-/// exhaustive search).
+/// exhaustive search). With a non-null `cache` (hw/measured.hpp) every
+/// per-GEMM search is memoised: warm re-runs re-cost the stored schedule
+/// instead of re-searching, and new results are added to the cache.
 IterationPlan schedule_iteration(const DeviceModel& dev,
                                  const std::vector<LayerWorkload>& workloads,
-                                 const SearchConfig& cfg);
+                                 const SearchConfig& cfg, ScheduleCache* cache = nullptr);
 
 /// The naive strawman: naive_schedule() everywhere, no pinning.
 IterationPlan schedule_iteration_naive(const DeviceModel& dev,

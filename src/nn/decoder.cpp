@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/trace.hpp"
+#include "quant/packed.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 
@@ -100,13 +101,18 @@ void attend_one(const ModelConfig& cfg, const KvCache& cache, int64_t layer, int
 // identical. Falls back to lin.forward when the cache has no entry for this
 // layer (no cache supplied, or a LoRA-enabled Linear).
 Tensor cached_linear(Linear& lin, const Tensor& x, const DecodeWeightCache* wc) {
+  const quant::PackedMatrix* pw = wc != nullptr ? wc->find_packed(&lin) : nullptr;
   const Tensor* w = wc != nullptr ? wc->find(&lin) : nullptr;
-  if (w == nullptr) return lin.forward(x);
+  if (pw == nullptr && w == nullptr) return lin.forward(x);
   const int64_t in = lin.in_features();
   check_arg(x.dim(-1) == in, "cached_linear: input feature mismatch");
   const int64_t rows = x.numel() / in;
   // reshape() copies; decode activations are already [rows, in], so skip it.
-  Tensor y = x.ndim() == 2 ? ops::matmul_nt(x, *w) : ops::matmul_nt(x.reshape({rows, in}), *w);
+  Tensor y = pw != nullptr
+                 ? (x.ndim() == 2 ? quant::packed_matmul_nt(x, *pw)
+                                  : quant::packed_matmul_nt(x.reshape({rows, in}), *pw))
+                 : (x.ndim() == 2 ? ops::matmul_nt(x, *w)
+                                  : ops::matmul_nt(x.reshape({rows, in}), *w));
   if (lin.has_bias()) y = ops::add_bias(y, lin.bias().value);
   if (x.ndim() == 2) return y;
   Shape out_shape = x.shape();
@@ -127,20 +133,23 @@ Tensor cached_mlp(Mlp& mlp, const Tensor& x, const DecodeWeightCache* wc) {
 
 }  // namespace
 
-void DecodeWeightCache::build(CausalLm& model) {
+void DecodeWeightCache::build(CausalLm& model, bool pack_compressed) {
   weights_.clear();
-  for (TransformerBlock* b : model.blocks()) {
-    for (Linear* lin : b->linears()) {
-      if (lin->lora_enabled()) continue;
+  packed_.clear();
+  const auto snapshot = [&](Linear* lin) {
+    if (lin->lora_enabled()) return;
+    if (weights_.count(lin) != 0 || packed_.count(lin) != 0) return;  // tied heads dedup
+    if (pack_compressed && lin->packable()) {
+      packed_.emplace(lin, lin->packed_weight());
+    } else {
       weights_.emplace(lin, lin->effective_weight());
     }
+  };
+  for (TransformerBlock* b : model.blocks()) {
+    for (Linear* lin : b->linears()) snapshot(lin);
   }
   const int64_t n_exits = static_cast<int64_t>(model.exit_layers().size());
-  for (int64_t e = 0; e < n_exits; ++e) {
-    Linear& head = model.exit_head(e);
-    if (head.lora_enabled()) continue;
-    weights_.emplace(&head, head.effective_weight());  // tied heads dedup by address
-  }
+  for (int64_t e = 0; e < n_exits; ++e) snapshot(&model.exit_head(e));
 }
 
 const Tensor* DecodeWeightCache::find(const Linear* lin) const {
@@ -148,9 +157,15 @@ const Tensor* DecodeWeightCache::find(const Linear* lin) const {
   return it == weights_.end() ? nullptr : &it->second;
 }
 
+const quant::PackedMatrix* DecodeWeightCache::find_packed(const Linear* lin) const {
+  const auto it = packed_.find(lin);
+  return it == packed_.end() ? nullptr : &it->second;
+}
+
 int64_t DecodeWeightCache::bytes() const {
   int64_t total = 0;
   for (const auto& [lin, w] : weights_) total += tensor_bytes(w);
+  for (const auto& [lin, p] : packed_) total += p.storage_bytes();
   return total;
 }
 

@@ -34,26 +34,44 @@ namespace edgellm::nn {
 /// The snapshot is read-only and does NOT track the model: rebuild after
 /// any weight update or compression-policy change. LoRA-enabled Linears are
 /// skipped (their rows fall back to Linear::forward).
+///
+/// With `pack_compressed`, packable layers (per-row symmetric int4/int8,
+/// no LoRA — see Linear::packable) are held as PackedMatrix instead of a
+/// dequantized fp32 snapshot, and decode multiplies against the packed
+/// integers (quant::packed_matmul_nt). That is the deployed-kernel
+/// numerics — activations times raw integers, one scale per output — so it
+/// is close to, but NOT bitwise equal to, the fp32 effective-weight path;
+/// it is therefore opt-in. Default build() stays bitwise identical to the
+/// uncached path. Non-packable layers keep fp32 snapshots either way.
 class DecodeWeightCache {
  public:
   DecodeWeightCache() = default;
-  explicit DecodeWeightCache(CausalLm& model) { build(model); }
+  explicit DecodeWeightCache(CausalLm& model, bool pack_compressed = false) {
+    build(model, pack_compressed);
+  }
 
   /// Snapshots the effective weight of every block projection and exit head
-  /// (tied heads are stored once). Clears any previous snapshot.
-  void build(CausalLm& model);
+  /// (tied heads are stored once). Clears any previous snapshot. With
+  /// `pack_compressed`, packable layers are stored packed (see class doc).
+  void build(CausalLm& model, bool pack_compressed = false);
 
-  bool built() const { return !weights_.empty(); }
+  bool built() const { return !weights_.empty() || !packed_.empty(); }
 
-  /// The cached weight for `lin`, or nullptr when uncached (LoRA layer, or
-  /// a Linear that was not part of build()'s model).
+  /// The cached fp32 weight for `lin`, or nullptr when uncached (LoRA
+  /// layer, packed entry, or a Linear not part of build()'s model).
   const Tensor* find(const Linear* lin) const;
 
+  /// The packed weight for `lin`, or nullptr (only non-null entries exist
+  /// after build(model, true)).
+  const quant::PackedMatrix* find_packed(const Linear* lin) const;
+
   /// Bytes held by the snapshot (what the cache costs an edge deployment).
+  /// Packed entries count their packed payload, not dequantized fp32.
   int64_t bytes() const;
 
  private:
   std::unordered_map<const Linear*, Tensor> weights_;
+  std::unordered_map<const Linear*, quant::PackedMatrix> packed_;
 };
 
 /// Sampling controls for generate().

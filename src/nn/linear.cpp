@@ -22,6 +22,18 @@ Tensor Linear::effective_weight() const {
   return w;
 }
 
+bool Linear::packable() const {
+  return qspec_.has_value() && qspec_->symmetric &&
+         qspec_->granularity == quant::Granularity::kPerRow &&
+         (qspec_->bits == 4 || qspec_->bits == 8) && !lora_enabled();
+}
+
+quant::PackedMatrix Linear::packed_weight() const {
+  check_arg(packable(), name_ + ": weight is not packable under the current policy");
+  const Tensor w = mask_ ? prune::apply_mask(weight_.value, *mask_) : weight_.value;
+  return quant::PackedMatrix::pack(w, qspec_->bits);
+}
+
 Tensor Linear::forward(const Tensor& x) {
   check_arg(x.dim(-1) == in_, name_ + ": input feature mismatch");
   const int64_t rows = x.numel() / in_;

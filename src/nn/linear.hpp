@@ -7,6 +7,7 @@
 
 #include "nn/module.hpp"
 #include "prune/prune.hpp"
+#include "quant/packed.hpp"
 #include "quant/quant.hpp"
 #include "tensor/rng.hpp"
 
@@ -59,6 +60,18 @@ class Linear final : public Module {
   /// Stored bytes of the weight under the current policy (fp16 baseline
   /// when uncompressed).
   double weight_storage_bytes() const;
+
+  /// True when the weight can be held as a PackedMatrix for decoding:
+  /// per-row symmetric quantization at 4 or 8 bits (PackedMatrix's storage
+  /// format) and no LoRA adapter (adapter deltas are fp32). Tuned/LoRA
+  /// layers stay on the fp32 effective-weight path.
+  bool packable() const;
+
+  /// Packs the (masked) weight under the current quant spec. Requires
+  /// packable(). Computing against the result uses deployed integer-kernel
+  /// numerics (activations times raw integers, scaled once per output) —
+  /// close to, but not bitwise equal to, matmul against effective_weight().
+  quant::PackedMatrix packed_weight() const;
 
   // --- LoRA adapter (baseline tuning method) ------------------------------
 

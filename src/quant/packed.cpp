@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/parallel.hpp"
 
 namespace edgellm::quant {
 
@@ -62,18 +66,89 @@ int32_t PackedMatrix::value_at(int64_t r, int64_t c) const {
   return static_cast<int32_t>(nib) - 8;
 }
 
+void PackedMatrix::decode_row_range_q(int64_t r, int64_t c0, int64_t c1, int8_t* out) const {
+  check_arg(r >= 0 && r < rows_ && c0 >= 0 && c0 <= c1 && c1 <= cols_,
+            "PackedMatrix::decode_row_range_q: range out of bounds");
+  if (bits_ == 8) {
+    const uint8_t* src = payload_.data() + static_cast<size_t>(r * cols_ + c0);
+    std::memcpy(out, src, static_cast<size_t>(c1 - c0));
+    return;
+  }
+  const int64_t row_bytes = (cols_ + 1) / 2;
+  const uint8_t* row = payload_.data() + static_cast<size_t>(r * row_bytes);
+  int64_t c = c0;
+  if (c < c1 && (c & 1)) {
+    *out++ = static_cast<int8_t>(static_cast<int32_t>(row[c >> 1] >> 4) - 8);
+    ++c;
+  }
+  for (; c + 1 < c1; c += 2) {
+    const uint8_t byte = row[c >> 1];
+    *out++ = static_cast<int8_t>(static_cast<int32_t>(byte & 0x0F) - 8);
+    *out++ = static_cast<int8_t>(static_cast<int32_t>(byte >> 4) - 8);
+  }
+  if (c < c1) {
+    *out = static_cast<int8_t>(static_cast<int32_t>(row[c >> 1] & 0x0F) - 8);
+  }
+}
+
+void PackedMatrix::decode_row_range_unscaled(int64_t r, int64_t c0, int64_t c1, float* out,
+                                             int64_t stride) const {
+  check_arg(r >= 0 && r < rows_ && c0 >= 0 && c0 <= c1 && c1 <= cols_ && stride >= 1,
+            "PackedMatrix::decode_row_range_unscaled: range out of bounds");
+  if (bits_ == 8) {
+    const int8_t* src =
+        reinterpret_cast<const int8_t*>(payload_.data()) + static_cast<size_t>(r * cols_ + c0);
+    for (int64_t i = 0; i < c1 - c0; ++i) out[i * stride] = static_cast<float>(src[i]);
+    return;
+  }
+  const int64_t row_bytes = (cols_ + 1) / 2;
+  const uint8_t* row = payload_.data() + static_cast<size_t>(r * row_bytes);
+  int64_t c = c0;
+  if (c < c1 && (c & 1)) {
+    *out = static_cast<float>(static_cast<int32_t>(row[c >> 1] >> 4) - 8);
+    out += stride;
+    ++c;
+  }
+  for (; c + 1 < c1; c += 2) {
+    const uint8_t byte = row[c >> 1];
+    out[0] = static_cast<float>(static_cast<int32_t>(byte & 0x0F) - 8);
+    out[stride] = static_cast<float>(static_cast<int32_t>(byte >> 4) - 8);
+    out += 2 * stride;
+  }
+  if (c < c1) {
+    *out = static_cast<float>(static_cast<int32_t>(row[c >> 1] & 0x0F) - 8);
+  }
+}
+
+void PackedMatrix::decode_row(int64_t r, float* out) const {
+  check_arg(r >= 0 && r < rows_, "PackedMatrix::decode_row: row out of range");
+  const float s = scales_[static_cast<size_t>(r)];
+  if (bits_ == 8) {
+    const int8_t* src =
+        reinterpret_cast<const int8_t*>(payload_.data()) + static_cast<size_t>(r * cols_);
+    for (int64_t c = 0; c < cols_; ++c) out[c] = static_cast<float>(src[c]) * s;
+    return;
+  }
+  const int64_t row_bytes = (cols_ + 1) / 2;
+  const uint8_t* row = payload_.data() + static_cast<size_t>(r * row_bytes);
+  int64_t c = 0;
+  for (; c + 1 < cols_; c += 2) {
+    const uint8_t byte = row[c >> 1];
+    out[c] = static_cast<float>(static_cast<int32_t>(byte & 0x0F) - 8) * s;
+    out[c + 1] = static_cast<float>(static_cast<int32_t>(byte >> 4) - 8) * s;
+  }
+  if (c < cols_) {
+    out[c] = static_cast<float>(static_cast<int32_t>(row[c >> 1] & 0x0F) - 8) * s;
+  }
+}
+
 Tensor PackedMatrix::dequantize() const {
   Tensor out({rows_, cols_});
-  for (int64_t r = 0; r < rows_; ++r) {
-    const float s = scales_[static_cast<size_t>(r)];
-    for (int64_t c = 0; c < cols_; ++c) {
-      out[r * cols_ + c] = static_cast<float>(value_at(r, c)) * s;
-    }
-  }
+  for (int64_t r = 0; r < rows_; ++r) decode_row(r, out.raw() + r * cols_);
   return out;
 }
 
-Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w) {
+Tensor packed_matmul_nt_ref(const Tensor& x, const PackedMatrix& w) {
   check_arg(x.ndim() == 2, "packed_matmul_nt: x must be 2-d");
   check_arg(x.dim(1) == w.cols(), "packed_matmul_nt: inner dimensions differ");
   const int64_t m = x.dim(0), k = x.dim(1), n = w.rows();
@@ -91,6 +166,98 @@ Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w) {
     }
   }
   return y;
+}
+
+namespace {
+
+constexpr int64_t kMr = ops::gemm::kMr;
+constexpr int64_t kNr = ops::gemm::kNr;
+
+// Decodes weight rows [j0, j0 + jc) x depth [p0, p0 + pc) into a panel in
+// the fp32 micro-kernel layout (kNr-wide column strips, depth-major inside
+// a strip), as *unscaled* float(q) values. int -> fp32 conversion is exact
+// for |q| <= 127, so running the fp32 micro-kernel over this panel performs
+// exactly the reference arithmetic xr[c] * float(q). Each weight row
+// scatters into the panel in one fused decode pass (no integer temporary);
+// lanes past jc are zero-padded.
+void decode_panel(const PackedMatrix& w, int64_t p0, int64_t pc, int64_t j0, int64_t jc,
+                  float* out) {
+  const int64_t strips = (jc + kNr - 1) / kNr;
+  for (int64_t js = 0; js < strips; ++js) {
+    const int64_t j = j0 + js * kNr;
+    const int64_t jw = std::min(kNr, j0 + jc - j);
+    float* dst = out + js * pc * kNr;
+    for (int64_t jr = 0; jr < jw; ++jr) {
+      w.decode_row_range_unscaled(j + jr, p0, p0 + pc, dst + jr, kNr);
+    }
+    for (int64_t jr = jw; jr < kNr; ++jr) {
+      for (int64_t p = 0; p < pc; ++p) dst[p * kNr + jr] = 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor packed_matmul_nt_blocked(const Tensor& x, const PackedMatrix& w,
+                                const ops::gemm::Blocking& blk) {
+  check_arg(x.ndim() == 2, "packed_matmul_nt_blocked: x must be 2-d");
+  check_arg(x.dim(1) == w.cols(), "packed_matmul_nt_blocked: inner dimensions differ");
+  check_arg(blk.valid(), "packed_matmul_nt_blocked: invalid blocking");
+  const int64_t m = x.dim(0), k = x.dim(1), n = w.rows();
+  Tensor y({m, n});
+  const float* px = x.raw();
+  float* py = y.raw();
+  const int64_t kc = std::max<int64_t>(1, std::min(blk.kc, k));
+  const int64_t nc = std::max(kNr, std::min(blk.nc, ((n + kNr - 1) / kNr) * kNr));
+  const int64_t strips_m = (m + kMr - 1) / kMr;
+  const int64_t strip_grain = std::max<int64_t>(1, blk.mc / kMr);
+
+  // Same loop nest and determinism argument as the dense blocked driver
+  // (tensor/gemm.cpp): j-blocks outer, k-blocks ascending inside, caller
+  // decodes the integer panel once per (j, k) block straight from packed
+  // storage — never materialising the fp32 weight matrix — then one
+  // fan-out over kMr row strips of disjoint output rows runs the shared
+  // micro-kernel. Partial sums round-trip through y between k-blocks, so
+  // each element accumulates over ascending c exactly like the scalar
+  // reference at any thread count.
+  std::vector<float> panel(static_cast<size_t>(((nc + kNr - 1) / kNr) * kc * kNr));
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t jc = std::min(nc, n - j0);
+    const int64_t jstrips = (jc + kNr - 1) / kNr;
+    for (int64_t p0 = 0; p0 < k; p0 += kc) {
+      const int64_t pc = std::min(kc, k - p0);
+      decode_panel(w, p0, pc, j0, jc, panel.data());
+      const float* bp = panel.data();
+      parallel::parallel_for(0, strips_m, strip_grain, [=](int64_t lo, int64_t hi) {
+        for (int64_t is = lo; is < hi; ++is) {
+          const int64_t i0 = is * kMr;
+          const int64_t mr = std::min(kMr, m - i0);
+          for (int64_t js = 0; js < jstrips; ++js) {
+            const int64_t j = j0 + js * kNr;
+            const int64_t nr = std::min(kNr, j0 + jc - j);
+            ops::gemm::detail::micro_kernel(px + i0 * k + p0, k, bp + js * pc * kNr, pc,
+                                            py + i0 * n + j, n, mr, nr);
+          }
+        }
+      });
+    }
+  }
+  // One scale multiply per output element, exactly like the reference.
+  for (int64_t i = 0; i < m; ++i) {
+    float* yrow = py + i * n;
+    for (int64_t j = 0; j < n; ++j) yrow[j] *= w.row_scale(j);
+  }
+  return y;
+}
+
+Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w) {
+  if (x.ndim() == 2 && x.dim(1) == w.cols() &&
+      ops::gemm::use_blocked(ops::gemm::GemmKind::kPackedNT, x.dim(0), x.dim(1), w.rows())) {
+    return packed_matmul_nt_blocked(
+        x, w,
+        ops::gemm::blocking_for(ops::gemm::GemmKind::kPackedNT, x.dim(0), x.dim(1), w.rows()));
+  }
+  return packed_matmul_nt_ref(x, w);
 }
 
 }  // namespace edgellm::quant

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "quant/quant.hpp"
+#include "tensor/gemm.hpp"
 
 namespace edgellm::quant {
 
@@ -34,6 +35,24 @@ class PackedMatrix {
   /// Signed integer value at (r, c).
   int32_t value_at(int64_t r, int64_t c) const;
 
+  /// Decodes row `r` to floats in one pass (nibble pairs per byte for
+  /// int4), applying the row scale: out[c] = q(r, c) * row_scale(r).
+  /// `out` must hold cols() floats.
+  void decode_row(int64_t r, float* out) const;
+
+  /// Decodes raw integer values q(r, c) for c in [c0, c1) into `out`
+  /// (c1 - c0 entries), handling odd nibble alignment at c0. One pass per
+  /// row range, no per-element bounds check.
+  void decode_row_range_q(int64_t r, int64_t c0, int64_t c1, int8_t* out) const;
+
+  /// Decodes *unscaled* float(q(r, c)) for c in [c0, c1) straight into a
+  /// strided destination: out[(c - c0) * stride]. This is the panel-decode
+  /// primitive of the blocked kernel — it scatters a weight row into the
+  /// micro-kernel panel layout in one pass, with no integer temporary.
+  /// int -> fp32 is exact for the |q| <= 127 range these hold.
+  void decode_row_range_unscaled(int64_t r, int64_t c0, int64_t c1, float* out,
+                                 int64_t stride) const;
+
   float row_scale(int64_t r) const { return scales_[static_cast<size_t>(r)]; }
 
  private:
@@ -44,9 +63,25 @@ class PackedMatrix {
   std::vector<float> scales_;    ///< one per row
 };
 
-/// y[m, rows] = x[m, cols] * W^T where W is packed. The inner product is
-/// accumulated in int32 against the integer weights, then scaled — the
-/// arithmetic a deployed int kernel performs.
+/// y[m, rows] = x[m, cols] * W^T where W is packed: fp32 activations
+/// against integer weights, each output scaled once by its weight-row
+/// scale — the arithmetic a deployed weight-only-quantized kernel
+/// performs. Dispatches to the blocked kernel when the shape clears
+/// ops::gemm::use_blocked(kPackedNT, ...); output is bitwise identical
+/// either way.
 Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w);
+
+/// The scalar reference kernel (per-element value_at loop, ascending c,
+/// one scale multiply per output). The blocked kernel is bit-exact with
+/// this by construction: it decodes row panels in bulk but accumulates
+/// each output element over ascending c with partial sums round-tripping
+/// through y, scaling once at the end.
+Tensor packed_matmul_nt_ref(const Tensor& x, const PackedMatrix& w);
+
+/// Blocked kernel with an explicit schedule (the autotuner times
+/// candidates through this). Only `kc` (decode-panel depth) and `mc`
+/// (parallel grain) of the blocking are used.
+Tensor packed_matmul_nt_blocked(const Tensor& x, const PackedMatrix& w,
+                                const ops::gemm::Blocking& blk);
 
 }  // namespace edgellm::quant

@@ -47,6 +47,14 @@ struct EngineConfig {
   int64_t compute_threads = 0;
   int64_t kv_byte_budget = 0;   ///< global KV cache cap in bytes; 0 = unlimited
   bool quantize_kv = false;     ///< int8 pooled caches
+  /// Hold packable compressed weights (per-row symmetric int4/int8, no
+  /// LoRA) as PackedMatrix in the decode weight cache and multiply against
+  /// the packed integers directly (quant::packed_matmul_nt). Cuts the
+  /// cache's memory to the deployed footprint and skips dequantization,
+  /// but uses deployed integer-kernel numerics — completions are no longer
+  /// bitwise identical to the fp32 effective-weight path, so this is
+  /// opt-in. Uncompressed/LoRA layers are unaffected.
+  bool pack_compressed_weights = false;
   /// Mode/temperature for kVoted requests (weights via set_exit_weights).
   core::VoterConfig voting;
   /// >= 0 enables the process-global obs::Tracer at construction with this

@@ -1,0 +1,403 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/parallel.hpp"
+
+namespace edgellm::ops::gemm {
+
+namespace {
+
+// --- schedule registry ------------------------------------------------------
+
+struct ShapeKey {
+  GemmKind kind;
+  int64_t m, k, n;
+  bool operator<(const ShapeKey& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (m != o.m) return m < o.m;
+    if (k != o.k) return k < o.k;
+    return n < o.n;
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<ShapeKey, Blocking> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtor order
+  return *r;
+}
+
+std::mutex g_metrics_mu;
+obs::Registry* g_metrics = nullptr;
+
+obs::Registry* metrics_registry() {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  return g_metrics;
+}
+
+void record_blocked_call(const Blocking& blk, int64_t tiles, double seconds) {
+  obs::Registry* reg = metrics_registry();
+  if (reg == nullptr) return;
+  reg->counter("gemm/blocked_calls").add(1);
+  reg->counter("gemm/sched." + blk.to_string() + ".calls").add(1);
+  if (seconds > 0.0) {
+    reg->histogram("gemm/tiles_per_s").observe(static_cast<double>(tiles) / seconds);
+  }
+}
+
+// --- B-panel packing --------------------------------------------------------
+//
+// A panel holds `kc` depth steps of `nc` output columns, laid out as
+// column-strips of kNr: strip js occupies kc * kNr consecutive floats, with
+// the kNr values of depth step p contiguous at offset (js * kc + p) * kNr.
+// Columns past `n` are zero-padded so the micro-kernel always reads a full
+// kNr lane (padded lanes are never stored back to C).
+
+// B stored [k, n] (NN kernel): panel[js][p][jr] = B[p0 + p][j0 + js*kNr + jr].
+void pack_panel_nn(const float* b, int64_t n, int64_t p0, int64_t pc, int64_t j0, int64_t jc,
+                   float* out) {
+  const int64_t strips = (jc + kNr - 1) / kNr;
+  for (int64_t js = 0; js < strips; ++js) {
+    const int64_t j = j0 + js * kNr;
+    const int64_t w = std::min(kNr, j0 + jc - j);
+    float* dst = out + js * pc * kNr;
+    for (int64_t p = 0; p < pc; ++p) {
+      const float* src = b + (p0 + p) * n + j;
+      for (int64_t jr = 0; jr < w; ++jr) dst[jr] = src[jr];
+      for (int64_t jr = w; jr < kNr; ++jr) dst[jr] = 0.0f;
+      dst += kNr;
+    }
+  }
+}
+
+// B stored [n, k] (NT kernel): panel[js][p][jr] = B[j0 + js*kNr + jr][p0 + p].
+void pack_panel_nt(const float* b, int64_t k, int64_t p0, int64_t pc, int64_t j0, int64_t jc,
+                   float* out) {
+  const int64_t strips = (jc + kNr - 1) / kNr;
+  for (int64_t js = 0; js < strips; ++js) {
+    const int64_t j = j0 + js * kNr;
+    const int64_t w = std::min(kNr, j0 + jc - j);
+    float* dst = out + js * pc * kNr;
+    for (int64_t jr = 0; jr < w; ++jr) {
+      const float* src = b + (j + jr) * k + p0;
+      for (int64_t p = 0; p < pc; ++p) dst[p * kNr + jr] = src[p];
+    }
+    for (int64_t jr = w; jr < kNr; ++jr) {
+      for (int64_t p = 0; p < pc; ++p) dst[p * kNr + jr] = 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
+// --- micro-kernel (exported via gemm.hpp detail) ----------------------------
+//
+// C strip [mr x nr] += A rows [mr x pc] (row stride lda) * panel strip
+// [pc x kNr]. Accumulators load from and store to C, so k-blocks chain into
+// one ascending-p fp32 sum per element — the bitwise contract. `mr`/`nr`
+// are <= kMr/kNr at tile boundaries; padded panel lanes feed only
+// accumulator slots that are never stored back.
+void detail::micro_kernel(const float* a, int64_t lda, const float* bp, int64_t pc, float* c,
+                          int64_t ldc, int64_t mr, int64_t nr) {
+  float acc[kMr][kNr];
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
+    for (int64_t j = nr; j < kNr; ++j) acc[r][j] = 0.0f;
+  }
+  if (mr == kMr) {
+    // Hot full-height path: fixed trip counts let the compiler keep the
+    // 4x8 accumulator grid in registers and vectorise the kNr lane.
+    for (int64_t p = 0; p < pc; ++p) {
+      const float* b = bp + p * kNr;
+      for (int64_t r = 0; r < kMr; ++r) {
+        const float av = a[r * lda + p];
+        for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * b[j];
+      }
+    }
+  } else {
+    for (int64_t p = 0; p < pc; ++p) {
+      const float* b = bp + p * kNr;
+      for (int64_t r = 0; r < mr; ++r) {
+        const float av = a[r * lda + p];
+        for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * b[j];
+      }
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+namespace {
+
+using detail::micro_kernel;
+
+// --- blocked driver ---------------------------------------------------------
+//
+// Shared by NN and NT: the two differ only in how B panels are packed.
+// Loop nest: j-blocks (NC) outer, k-blocks (KC) inside, so each output
+// element accumulates its k-blocks in ascending order; within a (j, k)
+// block the caller thread packs the panel once, then a parallel_for over
+// kMr row strips runs the micro-kernels. Chunks own disjoint C rows, so
+// any partition is bitwise identical to serial.
+template <bool transposed_b>
+void gemm_blocked_2d(const float* pa, const float* pb, float* pc_out, int64_t m, int64_t k,
+                     int64_t n, const Blocking& blk) {
+  const int64_t kc = std::max<int64_t>(1, std::min(blk.kc, k));
+  const int64_t nc = std::max(kNr, std::min(blk.nc, ((n + kNr - 1) / kNr) * kNr));
+  const int64_t strips_m = (m + kMr - 1) / kMr;
+  const int64_t strip_grain = std::max<int64_t>(1, blk.mc / kMr);
+
+  std::vector<float> panel(static_cast<size_t>(((nc + kNr - 1) / kNr) * kc * kNr));
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t jc = std::min(nc, n - j0);
+    const int64_t jstrips = (jc + kNr - 1) / kNr;
+    for (int64_t p0 = 0; p0 < k; p0 += kc) {
+      const int64_t pc = std::min(kc, k - p0);
+      if (transposed_b) {
+        pack_panel_nt(pb, k, p0, pc, j0, jc, panel.data());
+      } else {
+        pack_panel_nn(pb, n, p0, pc, j0, jc, panel.data());
+      }
+      const float* bp = panel.data();
+      parallel::parallel_for(0, strips_m, strip_grain, [=](int64_t lo, int64_t hi) {
+        for (int64_t is = lo; is < hi; ++is) {
+          const int64_t i0 = is * kMr;
+          const int64_t mr = std::min(kMr, m - i0);
+          const float* arow = pa + i0 * k + p0;
+          for (int64_t js = 0; js < jstrips; ++js) {
+            const int64_t j = j0 + js * kNr;
+            const int64_t nr = std::min(kNr, j0 + jc - j);
+            micro_kernel(arow, k, bp + js * pc * kNr, pc, pc_out + i0 * n + j, n, mr, nr);
+          }
+        }
+      });
+    }
+  }
+}
+
+int64_t tile_count(int64_t m, int64_t k, int64_t n, const Blocking& blk) {
+  const int64_t kc = std::max<int64_t>(1, std::min(blk.kc, k));
+  return ((m + kMr - 1) / kMr) * ((n + kNr - 1) / kNr) * ((k + kc - 1) / kc);
+}
+
+void check_2d(const Tensor& a, const Tensor& b, const char* what) {
+  check_arg(a.ndim() == 2 && b.ndim() == 2, std::string(what) + ": operands must be 2-d");
+}
+
+}  // namespace
+
+std::string Blocking::to_string() const {
+  return "b" + std::to_string(mc) + "x" + std::to_string(kc) + "x" + std::to_string(nc);
+}
+
+Blocking default_blocking(int64_t m, int64_t k, int64_t n) {
+  // KC sized so a kNr-wide panel strip (kc * kNr fp32) stays L1-resident;
+  // NC bounds the packed panel to ~128 KiB of L2; MC gives parallel chunks
+  // enough rows to amortise fan-out without starving the pool.
+  Blocking b;
+  b.kc = std::clamp<int64_t>(k, 64, 256);
+  b.nc = std::clamp<int64_t>(((n + kNr - 1) / kNr) * kNr, kNr, 256);
+  b.mc = std::clamp<int64_t>(((m + kMr - 1) / kMr) * kMr, kMr, 64);
+  return b;
+}
+
+const char* to_string(GemmKind kind) {
+  switch (kind) {
+    case GemmKind::kNN: return "nn";
+    case GemmKind::kNT: return "nt";
+    case GemmKind::kPackedNT: return "packed_nt";
+  }
+  return "?";
+}
+
+void set_blocking(GemmKind kind, int64_t m, int64_t k, int64_t n, const Blocking& b) {
+  check_arg(b.valid(), "set_blocking: invalid blocking " + b.to_string());
+  check_arg(m > 0 && k > 0 && n > 0, "set_blocking: shape must be positive");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entries[ShapeKey{kind, m, k, n}] = b;
+}
+
+Blocking blocking_for(GemmKind kind, int64_t m, int64_t k, int64_t n) {
+  Registry& r = registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.entries.find(ShapeKey{kind, m, k, n});
+    if (it != r.entries.end()) return it->second;
+  }
+  return default_blocking(m, k, n);
+}
+
+bool has_blocking(GemmKind kind, int64_t m, int64_t k, int64_t n) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.entries.count(ShapeKey{kind, m, k, n}) != 0;
+}
+
+void clear_blockings() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entries.clear();
+}
+
+int64_t registered_blockings() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return static_cast<int64_t>(r.entries.size());
+}
+
+void set_metrics_registry(obs::Registry* r) {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  g_metrics = r;
+}
+
+bool use_blocked(GemmKind kind, int64_t m, int64_t k, int64_t n) {
+  // Below ~32k MACs the pack + fan-out overhead eats the win; the blocked
+  // kernel also needs at least one full kNr lane to pay for panelling.
+  // The packed kernel cuts over much earlier: its scalar reference pays a
+  // bounds-checked value_at per MAC, so bulk panel decode wins from tiny
+  // shapes up (single-token decode rows included).
+  if (n < kNr || m < 1 || k < 1) return false;
+  if (kind == GemmKind::kPackedNT) return m * k * n >= 4096;
+  return m * k * n >= 32768;
+}
+
+Tensor matmul_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
+  check_2d(a, b, "matmul_blocked");
+  check_arg(a.dim(1) == b.dim(0), "matmul_blocked: inner dimensions differ");
+  check_arg(blk.valid(), "matmul_blocked: invalid blocking");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const auto t0 = std::chrono::steady_clock::now();
+  gemm_blocked_2d<false>(a.raw(), b.raw(), c.raw(), m, k, n, blk);
+  record_blocked_call(blk, tile_count(m, k, n, blk),
+                      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  return c;
+}
+
+Tensor matmul_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
+  check_2d(a, b, "matmul_nt_blocked");
+  check_arg(a.dim(1) == b.dim(1), "matmul_nt_blocked: inner dimensions differ");
+  check_arg(blk.valid(), "matmul_nt_blocked: invalid blocking");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const auto t0 = std::chrono::steady_clock::now();
+  gemm_blocked_2d<true>(a.raw(), b.raw(), c.raw(), m, k, n, blk);
+  record_blocked_call(blk, tile_count(m, k, n, blk),
+                      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  return c;
+}
+
+Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
+  check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_nt_blocked: operands must be 3-d");
+  check_arg(a.dim(0) == b.dim(0), "bmm_nt_blocked: batch sizes differ");
+  check_arg(a.dim(2) == b.dim(2), "bmm_nt_blocked: inner dimensions differ");
+  check_arg(blk.valid(), "bmm_nt_blocked: invalid blocking");
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  Tensor c({bs, m, n});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int64_t t = 0; t < bs; ++t) {
+    gemm_blocked_2d<true>(a.raw() + t * m * k, b.raw() + t * n * k, c.raw() + t * m * n, m, k, n,
+                          blk);
+  }
+  record_blocked_call(blk, bs * tile_count(m, k, n, blk),
+                      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  return c;
+}
+
+// --- naive references -------------------------------------------------------
+//
+// The exact pre-blocking code paths (see ops.cpp history): grain sizing and
+// loop structure match the original dispatch so benches compare against
+// what shipped, not a strawman.
+
+namespace {
+constexpr int64_t kGrainOps = 16384;
+
+int64_t row_grain(int64_t ops_per_row) {
+  return std::max<int64_t>(1, kGrainOps / std::max<int64_t>(1, ops_per_row));
+}
+}  // namespace
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  check_2d(a, b, "matmul_naive");
+  check_arg(a.dim(1) == b.dim(0), "matmul_naive: inner dimensions differ");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = pa[i * k + p];
+        const float* brow = pb + p * n;
+        float* crow = pc + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+  return c;
+}
+
+Tensor matmul_nt_naive(const Tensor& a, const Tensor& b) {
+  check_2d(a, b, "matmul_nt_naive");
+  check_arg(a.dim(1) == b.dim(1), "matmul_nt_naive: inner dimensions differ");
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
+    }
+  });
+  return c;
+}
+
+Tensor bmm_nt_naive(const Tensor& a, const Tensor& b) {
+  check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_nt_naive: operands must be 3-d");
+  check_arg(a.dim(0) == b.dim(0), "bmm_nt_naive: batch sizes differ");
+  check_arg(a.dim(2) == b.dim(2), "bmm_nt_naive: inner dimensions differ");
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  Tensor c({bs, m, n});
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* pc = c.raw();
+  parallel::parallel_for(0, bs * m, row_grain(k * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t t = r / m, i = r % m;
+      const float* ab = pa + t * m * k;
+      const float* bb = pb + t * n * k;
+      float* crow = pc + r * n;
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += ab[i * k + p] * bb[j * k + p];
+        crow[j] = acc;
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace edgellm::ops::gemm

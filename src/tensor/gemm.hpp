@@ -1,0 +1,144 @@
+// Blocked GEMM kernel family: cache-blocked (MC/KC/NC) + register-tiled
+// (kMr x kNr micro-kernel) variants of the dense matmul kernels, with
+// B-panel packing.
+//
+// Numerics contract: every blocked kernel accumulates each output element
+// over ascending k with a single fp32 accumulator chain — k-blocks are
+// visited in order and partial sums round-trip through C between blocks —
+// so results are BITWISE IDENTICAL to the naive triple-loop kernels (and
+// therefore to serial execution at any thread count, the backend guarantee
+// of tensor/parallel.hpp). No operand is ever skipped, so IEEE NaN/Inf
+// propagation is preserved. What blocking changes is only the memory
+// schedule: B is packed into L1-resident panels once per (k-block,
+// n-block) and the micro-kernel keeps an MR x NR accumulator grid live,
+// which breaks the naive kernels' per-element dependency chains and cuts
+// C/B traffic.
+//
+// Schedules are per-shape: the registry below maps (kind, m, k, n) to a
+// Blocking, populated either by default_blocking() heuristics or by the
+// measured autotuner (hw/measured.hpp, `edgellm_cli --schedule-cache`).
+// Because blocked == naive bitwise, schedule choice can never change
+// results — only speed — so autotuning is safe to run anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::obs {
+class Registry;
+}
+
+namespace edgellm::ops::gemm {
+
+/// Register-tile shape of the micro-kernel. 4x8 keeps 32 fp32 accumulators
+/// live — enough to hide FP add latency in scalar code and small enough
+/// that compilers keep them in registers on x86-64/aarch64.
+inline constexpr int64_t kMr = 4;
+inline constexpr int64_t kNr = 8;
+
+/// One cache-blocking schedule: MC output rows per parallel chunk, KC
+/// depth per packed B panel, NC columns per packed B panel.
+struct Blocking {
+  int64_t mc = 64;
+  int64_t kc = 256;
+  int64_t nc = 128;
+
+  bool valid() const { return mc >= kMr && kc >= 1 && nc >= kNr; }
+  bool operator==(const Blocking& o) const { return mc == o.mc && kc == o.kc && nc == o.nc; }
+  /// Stable id, e.g. "b64x256x128" (mc x kc x nc) — used for span names,
+  /// metrics and the on-disk schedule cache.
+  std::string to_string() const;
+};
+
+/// Heuristic default when no measured schedule is registered for a shape.
+Blocking default_blocking(int64_t m, int64_t k, int64_t n);
+
+/// Which kernel a schedule applies to. kPackedNT covers the integer
+/// weight kernel in quant/packed.hpp (only its kc/nc fields are used).
+enum class GemmKind { kNN, kNT, kPackedNT };
+
+const char* to_string(GemmKind kind);
+
+// ---------------------------------------------------------------------------
+// Per-shape schedule registry (autotuner output)
+// ---------------------------------------------------------------------------
+//
+// Lookup is one mutex-guarded map probe per GEMM call — negligible at GEMM
+// granularity. Schedules affect speed only (see the numerics contract
+// above), so installing or clearing them mid-run is always safe.
+
+/// Installs `b` for exact shape (kind, m, k, n). Invalid blockings throw.
+void set_blocking(GemmKind kind, int64_t m, int64_t k, int64_t n, const Blocking& b);
+
+/// The registered blocking for the shape, or default_blocking(m, k, n).
+Blocking blocking_for(GemmKind kind, int64_t m, int64_t k, int64_t n);
+
+/// True when an autotuned blocking is registered for the exact shape.
+bool has_blocking(GemmKind kind, int64_t m, int64_t k, int64_t n);
+
+/// Drops every registered blocking (tests / re-tune).
+void clear_blockings();
+
+/// Number of registered (kind, shape) -> blocking entries.
+int64_t registered_blockings();
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
+
+/// Routes blocked-kernel metrics into `r` (nullptr disables, the default):
+/// counters `gemm/blocked_calls`, `gemm/sched.<id>.calls`, histogram
+/// `gemm/tiles_per_s` (micro-kernel invocations per second per call).
+/// Call while kernels are quiescent; the registry must outlive use.
+void set_metrics_registry(obs::Registry* r);
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+//
+// The `_blocked` entry points take an explicit schedule (the autotuner
+// times candidates through these); ops::matmul / ops::matmul_nt /
+// ops::bmm_nt dispatch to them via blocking_for() when the shape clears
+// use_blocked(). The `_naive` entry points are the original triple-loop
+// kernels, exported as the bit-exact reference for tests and the baseline
+// for benches.
+
+/// C[m,n] = A[m,k] * B[k,n], blocked. Bitwise equal to matmul_naive.
+Tensor matmul_blocked(const Tensor& a, const Tensor& b, const Blocking& blk);
+
+/// C[m,n] = A[m,k] * B^T (B stored [n,k]), blocked. Bitwise equal to
+/// matmul_nt_naive.
+Tensor matmul_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk);
+
+/// C[b,m,n] = A[b,m,k] * B^T (B stored [b,n,k]), blocked per batch.
+/// Bitwise equal to bmm_nt_naive.
+Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk);
+
+/// The pre-blocking kernels (exact code paths ops::matmul & friends ran
+/// before blocked dispatch existed).
+Tensor matmul_naive(const Tensor& a, const Tensor& b);
+Tensor matmul_nt_naive(const Tensor& a, const Tensor& b);
+Tensor bmm_nt_naive(const Tensor& a, const Tensor& b);
+
+/// Dispatch policy: true when the blocked kernel is worth its packing and
+/// fan-out overhead for this shape (per-batch shape for bmm).
+bool use_blocked(GemmKind kind, int64_t m, int64_t k, int64_t n);
+
+namespace detail {
+
+/// The register-tile micro-kernel, exported so the packed integer kernel
+/// (quant/packed.cpp) can run the exact same accumulation pipeline against
+/// panels it decodes from integer storage. C strip [mr x nr] += A rows
+/// [mr x pc] (row stride lda) * packed panel strip [pc x kNr]; mr <= kMr,
+/// nr <= kNr; panel lanes past nr must be zero-padded (they feed
+/// accumulator slots that are never stored). Accumulates each element over
+/// ascending p, loading from and storing back to C, so chained k-blocks
+/// form one fp32 accumulation chain per element.
+void micro_kernel(const float* a, int64_t lda, const float* bp, int64_t pc, float* c, int64_t ldc,
+                  int64_t mr, int64_t nr);
+
+}  // namespace detail
+
+}  // namespace edgellm::ops::gemm

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/trace.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
 
 namespace edgellm::ops {
@@ -122,6 +123,15 @@ Tensor map_elems(const Tensor& x, F f) {
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  // Blocked dispatch is invisible to results: gemm.hpp's kernels are bitwise
+  // identical to the naive loops (see the contract there), so only speed
+  // depends on the shape cut-over and the registered schedule.
+  if (a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0) &&
+      gemm::use_blocked(gemm::GemmKind::kNN, a.dim(0), a.dim(1), b.dim(1))) {
+    const obs::KernelSpan span("kernel/matmul");
+    return gemm::matmul_blocked(
+        a, b, gemm::blocking_for(gemm::GemmKind::kNN, a.dim(0), a.dim(1), b.dim(1)));
+  }
   return matmul_impl<false>(a, b, "matmul");
 }
 
@@ -158,6 +168,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   check_arg(a.ndim() == 2 && b.ndim() == 2, "matmul_nt: operands must be 2-d");
   check_arg(a.dim(1) == b.dim(1), "matmul_nt: inner dimensions differ");
   const obs::KernelSpan span("kernel/matmul");
+  if (gemm::use_blocked(gemm::GemmKind::kNT, a.dim(0), a.dim(1), b.dim(0))) {
+    return gemm::matmul_nt_blocked(
+        a, b, gemm::blocking_for(gemm::GemmKind::kNT, a.dim(0), a.dim(1), b.dim(0)));
+  }
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
   const float* pa = a.raw();
@@ -204,6 +218,10 @@ Tensor bmm_nt(const Tensor& a, const Tensor& b) {
   check_arg(a.dim(0) == b.dim(0), "bmm_nt: batch sizes differ");
   check_arg(a.dim(2) == b.dim(2), "bmm_nt: inner dimensions differ");
   const obs::KernelSpan span("kernel/bmm");
+  if (gemm::use_blocked(gemm::GemmKind::kNT, a.dim(1), a.dim(2), b.dim(1))) {
+    return gemm::bmm_nt_blocked(
+        a, b, gemm::blocking_for(gemm::GemmKind::kNT, a.dim(1), a.dim(2), b.dim(1)));
+  }
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
   Tensor c({bs, m, n});
   const float* pa = a.raw();
