@@ -238,6 +238,28 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
   ecfg.quantize_kv = get_num(args, "quantize-kv", 0) != 0;
   ecfg.pack_compressed_weights = get_num(args, "packed-weights", 0) != 0;
 
+  // Overload policy (docs/ROBUSTNESS.md): all thresholds default to 0 =
+  // inert, so a plain `serve` behaves exactly as before the resilience
+  // layer existed.
+  if (args.contains("shed-policy")) {
+    const std::string p = args.at("shed-policy");
+    if (p == "reject") ecfg.admission.shed_policy = serve::ShedPolicy::kRejectNew;
+    else if (p == "drop-lowest") ecfg.admission.shed_policy = serve::ShedPolicy::kDropLowestPriority;
+    else if (p == "degrade") ecfg.admission.shed_policy = serve::ShedPolicy::kDegradeEarlyExit;
+    else check_arg(false, "--shed-policy must be reject|drop-lowest|degrade, got " + p);
+  }
+  ecfg.admission.degrade_queue_ratio = get_num(args, "degrade-queue", 0.0);
+  ecfg.admission.shed_queue_ratio = get_num(args, "shed-queue", 0.0);
+  ecfg.admission.degrade_kv_ratio = get_num(args, "degrade-kv", 0.0);
+  ecfg.admission.shed_kv_ratio = get_num(args, "shed-kv", 0.0);
+  ecfg.admission.degrade_tick_ms = get_num(args, "degrade-tick-ms", 0.0);
+  ecfg.admission.shed_tick_ms = get_num(args, "shed-tick-ms", 0.0);
+  ecfg.admission.tenant_rate = get_num(args, "tenant-rate", 0.0);
+  ecfg.admission.tenant_burst = get_num(args, "tenant-burst", 4.0);
+  ecfg.max_admission_retries = static_cast<int64_t>(get_num(args, "admission-retries", 0));
+  ecfg.retry_backoff_ms = get_num(args, "retry-backoff-ms", 0.0);
+  ecfg.watchdog_stall_ms = static_cast<int64_t>(get_num(args, "watchdog-ms", 0));
+
   // Decode ticks run up to max_batch stacked rows through each projection;
   // tune the kernels for that shape before the engine starts.
   apply_schedule_cache(args, *model, ecfg.max_batch);
@@ -290,7 +312,9 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
 
   const serve::EngineMetrics m = engine.metrics();
   std::cerr << "served " << m.completed << " ok, " << m.rejected << " rejected, "
-            << m.cancelled << " cancelled, " << m.timed_out << " timed out; "
+            << m.cancelled << " cancelled, " << m.timed_out << " timed out, " << m.shed
+            << " shed, " << m.expired << " expired, " << m.failed << " failed ("
+            << m.degraded << " degraded, " << m.admission_retries << " kv retries); "
             << m.tokens_generated << " tokens over " << m.ticks << " ticks (mean batch "
             << fmt(m.mean_batch_occupancy(), 2) << "), KV high water "
             << m.kv_high_water_bytes / 1024 << " KiB\n";
@@ -309,6 +333,14 @@ int usage() {
                "           [--queue Q] [--kv-budget BYTES] [--quantize-kv 0|1]\n"
                "           [--metrics CSV] [--metrics-out JSON] [--schedule-cache FILE]\n"
                "           [--packed-weights 0|1]\n"
+               "           [--shed-policy reject|drop-lowest|degrade]\n"
+               "           [--degrade-queue F] [--shed-queue F] [--degrade-kv F] [--shed-kv F]\n"
+               "           [--degrade-tick-ms MS] [--shed-tick-ms MS]\n"
+               "           [--tenant-rate RPS] [--tenant-burst N]\n"
+               "           [--admission-retries N] [--retry-backoff-ms MS] [--watchdog-ms MS]\n"
+               "serve overload policy (docs/ROBUSTNESS.md): thresholds are fractions of queue/\n"
+               "KV capacity (or tick-latency ms) past which requests degrade to early exits or\n"
+               "are shed; 0 (default) disables each signal and the engine behaves as before\n"
                "--schedule-cache FILE autotunes blocked-GEMM tile sizes per layer shape by\n"
                "timing the real kernels, persisting winners across runs (speed only — outputs\n"
                "are bitwise unchanged); --packed-weights 1 decodes against packed int4/int8\n"

@@ -59,4 +59,66 @@ void FaultInjector::corrupt_file(const std::string& path, int64_t byte_offset) {
   ++corruptions_;
 }
 
+// --- ServeFaultInjector -----------------------------------------------------
+
+ServeFaultInjector::ServeFaultInjector(ServeFaultPlan plan)
+    : plan_(plan), rng_(plan.seed) {
+  const double probs[] = {plan_.worker_stall_prob, plan_.worker_death_prob,
+                          plan_.kv_reject_prob, plan_.poison_logits_prob,
+                          plan_.disconnect_prob};
+  for (double p : probs) {
+    check_arg(p >= 0.0 && p <= 1.0, "ServeFaultInjector: probabilities must be in [0, 1]");
+  }
+  check_arg(plan_.worker_stall_ms >= 0.0, "ServeFaultInjector: stall ms must be >= 0");
+}
+
+bool ServeFaultInjector::draw(double p, int64_t* counter) {
+  if (p <= 0.0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool fire = rng_.bernoulli(p);
+  if (fire) ++*counter;
+  return fire;
+}
+
+double ServeFaultInjector::stall_worker_ms() {
+  return draw(plan_.worker_stall_prob, &stalls_) ? plan_.worker_stall_ms : 0.0;
+}
+
+bool ServeFaultInjector::kill_worker() { return draw(plan_.worker_death_prob, &deaths_); }
+
+bool ServeFaultInjector::reject_kv_acquire() {
+  return draw(plan_.kv_reject_prob, &kv_rejections_);
+}
+
+bool ServeFaultInjector::poison_logits() { return draw(plan_.poison_logits_prob, &poisons_); }
+
+bool ServeFaultInjector::disconnect_client() {
+  return draw(plan_.disconnect_prob, &disconnects_);
+}
+
+int64_t ServeFaultInjector::stalls() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stalls_;
+}
+
+int64_t ServeFaultInjector::deaths() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return deaths_;
+}
+
+int64_t ServeFaultInjector::kv_rejections() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return kv_rejections_;
+}
+
+int64_t ServeFaultInjector::poisons() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return poisons_;
+}
+
+int64_t ServeFaultInjector::disconnects() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return disconnects_;
+}
+
 }  // namespace edgellm::runtime

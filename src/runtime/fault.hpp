@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -70,6 +71,64 @@ class FaultInjector {
   int64_t nan_injections_ = 0;
   int64_t io_failures_ = 0;
   int64_t corruptions_ = 0;
+};
+
+/// Thrown by an injected worker death: models a decode worker dying mid-tick
+/// (OOM-killed thread, device fault). The engine converts it into clean
+/// kFailed completions for the affected sub-batch instead of crashing.
+struct WorkerDeathError final : std::runtime_error {
+  WorkerDeathError() : std::runtime_error("injected worker death") {}
+};
+
+/// What to break on the serving path, and how often. Unlike FaultPlan's
+/// one-shot sites, these are *rates*: serving faults recur for as long as
+/// the engine runs, so each probe is an independent seeded Bernoulli draw.
+struct ServeFaultPlan {
+  double worker_stall_prob = 0.0;   ///< per decode chunk: sleep worker_stall_ms
+  double worker_stall_ms = 1.0;
+  double worker_death_prob = 0.0;   ///< per decode chunk: throw WorkerDeathError
+  double kv_reject_prob = 0.0;      ///< per admission attempt: fail the KV acquire
+  double poison_logits_prob = 0.0;  ///< per sampled sequence: NaN the logits row
+  double disconnect_prob = 0.0;     ///< per active sequence per tick: client hangup
+  uint64_t seed = 0xFA017ull;       ///< seeds the single decision stream
+};
+
+/// Seeded fault source for the serving runtime (src/serve). Probes are
+/// called from the scheduler thread *and* decode workers, so the decision
+/// stream is mutex-guarded: deterministic for a fixed seed and call order,
+/// and safe from any thread. Install via serve::EngineConfig::fault.
+class ServeFaultInjector {
+ public:
+  explicit ServeFaultInjector(ServeFaultPlan plan);
+
+  /// Milliseconds to stall the calling worker (0.0 = healthy).
+  double stall_worker_ms();
+  /// True: the calling worker should die (throw WorkerDeathError).
+  bool kill_worker();
+  /// True: fail this KV-pool admission attempt (transient — retried).
+  bool reject_kv_acquire();
+  /// True: overwrite this sequence's logits with NaN (numeric blowup).
+  bool poison_logits();
+  /// True: the client hung up on this sequence (engine cancels it).
+  bool disconnect_client();
+
+  int64_t stalls() const;
+  int64_t deaths() const;
+  int64_t kv_rejections() const;
+  int64_t poisons() const;
+  int64_t disconnects() const;
+
+ private:
+  bool draw(double p, int64_t* counter);
+
+  ServeFaultPlan plan_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  int64_t stalls_ = 0;
+  int64_t deaths_ = 0;
+  int64_t kv_rejections_ = 0;
+  int64_t poisons_ = 0;
+  int64_t disconnects_ = 0;
 };
 
 }  // namespace edgellm::runtime

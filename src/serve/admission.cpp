@@ -1,0 +1,110 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+#include "tensor/tensor.hpp"
+
+namespace edgellm::serve {
+
+const char* to_string(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kRejectNew: return "reject-new";
+    case ShedPolicy::kDropLowestPriority: return "drop-lowest-priority";
+    case ShedPolicy::kDegradeEarlyExit: return "degrade-early-exit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool trips(double threshold, double value) { return threshold > 0.0 && value >= threshold; }
+
+void check_ratio(double v, const char* name) {
+  check_arg(v >= 0.0 && v <= 1.0, std::string("AdmissionConfig: ") + name + " must be in [0, 1]");
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {
+  check_ratio(cfg_.degrade_queue_ratio, "degrade_queue_ratio");
+  check_ratio(cfg_.shed_queue_ratio, "shed_queue_ratio");
+  check_ratio(cfg_.degrade_kv_ratio, "degrade_kv_ratio");
+  check_ratio(cfg_.shed_kv_ratio, "shed_kv_ratio");
+  check_arg(cfg_.degrade_tick_ms >= 0.0 && cfg_.shed_tick_ms >= 0.0,
+            "AdmissionConfig: tick thresholds must be >= 0");
+  check_arg(cfg_.tick_ewma_alpha > 0.0 && cfg_.tick_ewma_alpha <= 1.0,
+            "AdmissionConfig: tick_ewma_alpha must be in (0, 1]");
+  check_arg(cfg_.tenant_rate >= 0.0, "AdmissionConfig: tenant_rate must be >= 0");
+  check_arg(cfg_.tenant_rate <= 0.0 || cfg_.tenant_burst >= 1.0,
+            "AdmissionConfig: tenant_burst must be >= 1 when quotas are on");
+}
+
+bool AdmissionController::shed_signal(const Pressure& p, std::string* why) const {
+  if (trips(cfg_.shed_queue_ratio, p.queue_ratio)) {
+    *why = "overload: queue depth";
+    return true;
+  }
+  if (trips(cfg_.shed_kv_ratio, p.kv_ratio)) {
+    *why = "overload: kv pressure";
+    return true;
+  }
+  if (trips(cfg_.shed_tick_ms, p.tick_ewma_ms)) {
+    *why = "overload: decode latency";
+    return true;
+  }
+  return false;
+}
+
+AdmissionController::Decision AdmissionController::on_submit(
+    const std::string& tenant, const Pressure& p, std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (cfg_.tenant_rate > 0.0) {
+    auto [it, fresh] = buckets_.try_emplace(tenant, Bucket{cfg_.tenant_burst, now});
+    Bucket& b = it->second;
+    if (!fresh) {
+      const double dt = std::chrono::duration<double>(now - b.last).count();
+      b.tokens = std::min(cfg_.tenant_burst, b.tokens + dt * cfg_.tenant_rate);
+      b.last = now;
+    }
+    if (b.tokens < 1.0) {
+      return {Decision::kShed, "quota: tenant \"" + tenant + "\" token bucket empty"};
+    }
+    b.tokens -= 1.0;
+  }
+  std::string why;
+  if (shed_signal(p, &why)) {
+    if (cfg_.shed_policy == ShedPolicy::kDegradeEarlyExit) {
+      return {Decision::kAdmitDegraded, why};
+    }
+    return {Decision::kShed, why};
+  }
+  return {Decision::kAdmit, {}};
+}
+
+void AdmissionController::observe_tick(double tick_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!ewma_primed_) {
+    tick_ewma_ = tick_ms;
+    ewma_primed_ = true;
+    return;
+  }
+  tick_ewma_ += cfg_.tick_ewma_alpha * (tick_ms - tick_ewma_);
+}
+
+int AdmissionController::degrade_level(const Pressure& p) const {
+  std::string ignored;
+  if (shed_signal(p, &ignored)) return 2;
+  if (trips(cfg_.degrade_queue_ratio, p.queue_ratio) ||
+      trips(cfg_.degrade_kv_ratio, p.kv_ratio) ||
+      trips(cfg_.degrade_tick_ms, p.tick_ewma_ms)) {
+    return 1;
+  }
+  return 0;
+}
+
+double AdmissionController::tick_ewma_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tick_ewma_;
+}
+
+}  // namespace edgellm::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
@@ -75,18 +76,38 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
       c_rejected_(registry_.counter("serve/rejected")),
       c_cancelled_(registry_.counter("serve/cancelled")),
       c_timed_out_(registry_.counter("serve/timed_out")),
+      c_shed_(registry_.counter("serve/shed")),
+      c_expired_(registry_.counter("serve/expired")),
+      c_failed_(registry_.counter("serve/failed")),
+      c_degraded_(registry_.counter("serve/degraded")),
+      c_retries_(registry_.counter("serve/admission_retries")),
+      c_watchdog_(registry_.counter("serve/watchdog_fired")),
       c_tokens_(registry_.counter("serve/tokens_generated")),
       h_batch_(registry_.histogram("serve/batch_size", obs::integer_bounds(cfg.max_batch))),
       h_queue_wait_(registry_.histogram("serve/queue_wait_ms")),
       h_tick_ms_(registry_.histogram("serve/tick_ms")),
+      admit_ctl_(cfg.admission),
       sched_(SchedulerConfig{cfg.max_batch, cfg.queue_capacity, model.config().max_seq,
-                             model.config().n_layers},
+                             model.config().n_layers, cfg.max_admission_retries,
+                             cfg.retry_backoff_ms, cfg.fault},
              KvPoolConfig{cfg.max_batch, model.config().kv_dim(), cfg.kv_byte_budget,
                           cfg.quantize_kv, &registry_}) {
   check_arg(cfg_.threads >= 1, "ServeEngine: threads must be >= 1");
   check_arg(cfg_.compute_threads >= 0, "ServeEngine: compute_threads must be >= 0");
+  check_arg(cfg_.watchdog_stall_ms >= 0, "ServeEngine: watchdog_stall_ms must be >= 0");
   if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
   if (cfg_.trace_kernel_sample >= 0) obs::Tracer::global().enable(cfg_.trace_kernel_sample);
+  h_wait_class_[0] = &registry_.histogram("serve/queue_wait_ms_p0");
+  h_wait_class_[1] = &registry_.histogram("serve/queue_wait_ms_p1");
+  h_wait_class_[2] = &registry_.histogram("serve/queue_wait_ms_p2");
+  // Degradation ladder: the exits below the final layer, from the model's
+  // registered set. Empty set -> ladder stays {0, 0} and degrading is a
+  // no-op (nothing cheaper to trade down to).
+  for (int64_t e : model_.exit_layers()) {
+    if (e >= model_.config().n_layers) continue;
+    ladder_.deep = std::max(ladder_.deep, e);
+    ladder_.shallow = ladder_.shallow == 0 ? e : std::min(ladder_.shallow, e);
+  }
   const size_t n_exits = model_.exit_layers().size();
   exit_weights_.assign(n_exits, 1.0f / static_cast<float>(n_exits));
   exit_losses_.assign(n_exits, 0.0f);
@@ -95,6 +116,7 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
   weight_cache_.build(model_, cfg_.pack_compressed_weights);
   if (cfg_.threads > 1) workers_ = std::make_unique<WorkerPool>(cfg_.threads);
   sched_thread_ = std::thread([this] { loop(); });
+  if (cfg_.watchdog_stall_ms > 0) watchdog_thread_ = std::thread([this] { watchdog(); });
 }
 
 ServeEngine::~ServeEngine() { shutdown(); }
@@ -108,6 +130,10 @@ int64_t ServeEngine::resolved_depth(const Request& req) const {
 }
 
 void ServeEngine::resolve(SeqState& s, RequestStatus status) {
+  // Idempotent: the watchdog may have already failed this request while it
+  // sat in a wedged batch; the loop's own resolution is then a no-op.
+  if (s.resolved) return;
+  s.resolved = true;
   Completion c;
   c.id = s.req.id;
   c.status = status;
@@ -127,7 +153,22 @@ void ServeEngine::resolve(SeqState& s, RequestStatus status) {
     }
   }
   c.metrics.kv_bytes = s.kv_bytes_at_end;
+  c.error = std::move(s.error);
+  c.degraded = s.degraded;
+  c.exit_layer_used = s.exit_layer_used;
   s.promise.set_value(std::move(c));
+}
+
+Pressure ServeEngine::pressure_locked() const {
+  Pressure p;
+  p.queue_ratio =
+      static_cast<double>(sched_.queued()) / static_cast<double>(cfg_.queue_capacity);
+  if (cfg_.kv_byte_budget > 0) {
+    p.kv_ratio = static_cast<double>(sched_.pool().committed_bytes()) /
+                 static_cast<double>(cfg_.kv_byte_budget);
+  }
+  p.tick_ewma_ms = admit_ctl_.tick_ewma_ms();
+  return p;
 }
 
 std::future<Completion> ServeEngine::submit(Request req) {
@@ -143,10 +184,14 @@ std::future<Completion> ServeEngine::submit(Request req) {
             "ServeEngine::submit: top_k must be in [0, vocab]");
   check_arg(std::isfinite(req.temperature), "ServeEngine::submit: temperature must be finite");
   check_arg(req.deadline_ms >= 0.0, "ServeEngine::submit: negative deadline");
+  check_arg(req.priority >= kPriorityHigh && req.priority <= kPriorityLow,
+            "ServeEngine::submit: priority out of range");
   const int64_t depth = resolved_depth(req);  // validates the exit layer too
 
   auto s = std::make_unique<SeqState>();
   s->req = std::move(req);
+  s->policy = s->req.exit_policy;
+  s->exit_layer = s->req.exit_layer;
   s->exit_layer_used = depth;
   s->rng = Rng(s->req.seed);
   s->submit_t = std::chrono::steady_clock::now();
@@ -162,10 +207,59 @@ std::future<Completion> ServeEngine::submit(Request req) {
 
   std::lock_guard<std::mutex> lk(mu_);
   c_submitted_.add();
-  if (!accepting_ || impossible || !sched_.enqueue(s)) {
+  if (!accepting_ || impossible) {
     c_rejected_.add();
+    s->error = accepting_ ? "request cannot fit the kv byte budget"
+                          : "engine is not accepting requests";
     resolve(*s, RequestStatus::kRejected);
     return fut;
+  }
+
+  // Overload policy: quota first, then pressure thresholds.
+  AdmissionController::Decision d =
+      admit_ctl_.on_submit(s->req.tenant, pressure_locked(), std::chrono::steady_clock::now());
+  if (d.action == AdmissionController::Decision::kShed) {
+    // Drop-lowest-priority sheds a strictly less important *queued* request
+    // to make room instead of refusing the newcomer — but never for quota
+    // sheds (a tenant over its own budget must not displace others).
+    bool made_room = false;
+    if (cfg_.admission.shed_policy == ShedPolicy::kDropLowestPriority &&
+        d.reason.rfind("quota:", 0) != 0) {
+      if (std::unique_ptr<SeqState> victim = sched_.evict_lower_priority(s->req.priority)) {
+        c_shed_.add();
+        victim->error = "shed: evicted by higher-priority arrival";
+        resolve(*victim, RequestStatus::kShed);
+        made_room = true;
+      }
+    }
+    if (!made_room) {
+      c_shed_.add();
+      s->error = d.reason;
+      resolve(*s, RequestStatus::kShed);
+      return fut;
+    }
+  } else if (d.action == AdmissionController::Decision::kAdmitDegraded) {
+    s->force_degrade = true;
+  }
+
+  if (!sched_.enqueue(s)) {
+    // Queue full. Drop-lowest can still make room by evicting a strictly
+    // less important queued request; otherwise classic rejection.
+    std::unique_ptr<SeqState> victim;
+    if (cfg_.admission.shed_policy == ShedPolicy::kDropLowestPriority) {
+      victim = sched_.evict_lower_priority(s->req.priority);
+    }
+    if (victim == nullptr) {
+      c_rejected_.add();
+      s->error = "admission queue full";
+      resolve(*s, RequestStatus::kRejected);
+      return fut;
+    }
+    c_shed_.add();
+    victim->error = "shed: evicted by higher-priority arrival";
+    resolve(*victim, RequestStatus::kShed);
+    const bool requeued = sched_.enqueue(s);
+    check_arg(requeued, "ServeEngine::submit: enqueue after eviction failed");
   }
   cv_.notify_all();
   return fut;
@@ -191,22 +285,52 @@ void ServeEngine::set_exit_weights(std::vector<float> weights, std::vector<float
   exit_losses_ = std::move(calib_losses);
 }
 
-void ServeEngine::run_decode(std::vector<nn::BatchedSeq>& seqs) {
+void ServeEngine::run_decode(std::vector<nn::BatchedSeq>& seqs,
+                             std::vector<uint8_t>& chunk_failed,
+                             std::vector<std::string>& chunk_errors) {
   const int64_t B = static_cast<int64_t>(seqs.size());
+  // One chunk = one worker's contiguous sub-batch. Any exception (injected
+  // worker death, or a genuine decode failure) fails the whole chunk: its
+  // caches may be mid-append, so no sequence in it can be trusted to
+  // continue. Exceptions must not escape into the WorkerPool (that would
+  // std::terminate the process).
+  auto decode_chunk = [&](int64_t lo, int64_t hi) {
+    if (lo >= hi) return;
+    try {
+      if (cfg_.fault != nullptr) {
+        const double stall = cfg_.fault->stall_worker_ms();
+        if (stall > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(stall));
+        }
+        if (cfg_.fault->kill_worker()) throw runtime::WorkerDeathError();
+      }
+      nn::batched_decode_step(
+          model_, std::span<nn::BatchedSeq>(seqs.data() + lo, static_cast<size_t>(hi - lo)),
+          &weight_cache_);
+      if (cfg_.fault != nullptr) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (seqs[static_cast<size_t>(i)].logits.empty()) continue;
+          if (!cfg_.fault->poison_logits()) continue;
+          for (Tensor& t : seqs[static_cast<size_t>(i)].logits) {
+            std::fill(t.raw(), t.raw() + t.numel(), std::numeric_limits<float>::quiet_NaN());
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      for (int64_t i = lo; i < hi; ++i) {
+        chunk_failed[static_cast<size_t>(i)] = 1;
+        chunk_errors[static_cast<size_t>(i)] = std::string("decode failed: ") + e.what();
+      }
+    }
+  };
   const int64_t n_chunks = workers_ ? std::min<int64_t>(cfg_.threads, B) : 1;
   if (n_chunks <= 1) {
-    nn::batched_decode_step(model_, seqs, &weight_cache_);
+    decode_chunk(0, B);
     return;
   }
   const int64_t chunk = (B + n_chunks - 1) / n_chunks;
   workers_->run(n_chunks, [&](int64_t c) {
-    const int64_t lo = c * chunk;
-    const int64_t hi = std::min<int64_t>(lo + chunk, B);
-    if (lo < hi) {
-      nn::batched_decode_step(
-          model_, std::span<nn::BatchedSeq>(seqs.data() + lo, static_cast<size_t>(hi - lo)),
-          &weight_cache_);
-    }
+    decode_chunk(c * chunk, std::min<int64_t>(c * chunk + chunk, B));
   });
 }
 
@@ -218,36 +342,89 @@ void ServeEngine::finish_seq(size_t index, RequestStatus status) {
     case RequestStatus::kOk: c_completed_.add(); break;
     case RequestStatus::kCancelled: c_cancelled_.add(); break;
     case RequestStatus::kTimeout: c_timed_out_.add(); break;
-    case RequestStatus::kRejected: break;  // never reaches finish_seq
+    case RequestStatus::kFailed: c_failed_.add(); break;
+    default: break;  // kRejected/kShed/kExpired never reach finish_seq
   }
   c_tokens_.add(static_cast<int64_t>(s->out.size()));
-  h_queue_wait_.observe(ms_between(s->submit_t, s->admit_t));
+  const double wait_ms = ms_between(s->submit_t, s->admit_t);
+  h_queue_wait_.observe(wait_ms);
+  h_wait_class_[std::clamp<int64_t>(s->req.priority, 0, 2)]->observe(wait_ms);
   resolve(*s, status);
+}
+
+void ServeEngine::fail_all_pending_locked(const char* why) {
+  sched_.for_each_pending([&](SeqState& s) {
+    if (s.resolved) return;
+    c_failed_.add();
+    s.error = why;
+    resolve(s, RequestStatus::kFailed);
+  });
 }
 
 void ServeEngine::loop() {
   std::unique_lock<std::mutex> lk(mu_);
   std::vector<nn::BatchedSeq> seqs;
+  std::vector<uint8_t> chunk_failed;
+  std::vector<std::string> chunk_errors;
   while (true) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    if (failed_) {
+      // The watchdog already resolved every pending promise; reclaim the
+      // slots now that no decode is in flight and stop.
+      sched_.clear_failed();
+      return;
+    }
     if (paused_ && !stop_) {
       parked_ = true;
       cv_.notify_all();  // pause() waits for parked_
       cv_.wait(lk, [&] { return !paused_ || stop_; });
       parked_ = false;
     }
-    sched_.admit();
+    const auto admit_now = std::chrono::steady_clock::now();
+    Scheduler::AdmitResult ar =
+        sched_.admit(admit_ctl_.degrade_level(pressure_locked()), ladder_, admit_now);
+    // Counters before promises: a client that observes a resolved future
+    // must already see the matching counts in metrics().
+    if (!ar.expired.empty()) c_expired_.add(static_cast<int64_t>(ar.expired.size()));
+    if (!ar.shed.empty()) c_shed_.add(static_cast<int64_t>(ar.shed.size()));
+    if (ar.degraded > 0) c_degraded_.add(ar.degraded);
+    if (ar.retries > 0) c_retries_.add(ar.retries);
+    for (auto& e : ar.expired) {
+      e->error = "deadline expired while queued";
+      resolve(*e, RequestStatus::kExpired);
+    }
+    for (auto& e : ar.shed) {
+      resolve(*e, RequestStatus::kShed);  // error set by the scheduler
+    }
+
     auto& active = sched_.active();
     if (active.empty()) {
       if (stop_ && sched_.idle()) return;
-      cv_.wait(lk);
+      if (sched_.queued() > 0) {
+        // The head is cooling down after a transient KV rejection (or an
+        // injected admission fault): sleep until its retry is due, then
+        // rescan. Without faults or backoff this branch is unreachable —
+        // an empty batch always admits the head.
+        const auto retry_at = sched_.next_retry_time();
+        if (retry_at != std::chrono::steady_clock::time_point{}) {
+          cv_.wait_until(lk, retry_at);
+        } else {
+          cv_.wait_for(lk, std::chrono::microseconds(500));
+        }
+      } else {
+        cv_.wait(lk);
+      }
       continue;
     }
     const auto tick_t0 = std::chrono::steady_clock::now();
     const obs::ScopedSpan tick_span("serve/tick");
 
-    // Build this tick's per-sequence jobs (one token each).
+    // Build this tick's per-sequence jobs (one token each), from the
+    // *effective* policy (the ladder may have degraded it at admission).
     const size_t B = active.size();
     seqs.assign(B, nn::BatchedSeq{});
+    chunk_failed.assign(B, 0);
+    chunk_errors.assign(B, std::string());
     for (size_t i = 0; i < B; ++i) {
       SeqState& s = *active[i];
       nn::BatchedSeq& j = seqs[i];
@@ -257,9 +434,8 @@ void ServeEngine::loop() {
       // Logits are only needed when this tick's output will be sampled
       // from: the last prompt token, or any generated token.
       j.want_logits = s.prompt_done() || s.prompt_fed + 1 == s.req.prompt.size();
-      j.all_exits = s.req.exit_policy == ExitPolicy::kVoted;
-      j.exit_layer =
-          s.req.exit_policy == ExitPolicy::kFixedEarly ? s.req.exit_layer : int64_t{0};
+      j.all_exits = s.policy == ExitPolicy::kVoted;
+      j.exit_layer = s.policy == ExitPolicy::kFixedEarly ? s.exit_layer : int64_t{0};
     }
     h_batch_.observe(static_cast<double>(B));
     obs::Tracer::global().counter("serve/batch_size", static_cast<int64_t>(B));
@@ -267,21 +443,32 @@ void ServeEngine::loop() {
     lk.unlock();
     {
       const obs::ScopedSpan decode_span("serve/decode");
-      run_decode(seqs);
+      run_decode(seqs, chunk_failed, chunk_errors);
     }
     lk.lock();
+    if (failed_) {
+      sched_.clear_failed();
+      return;
+    }
 
     const auto now = std::chrono::steady_clock::now();
     // Retire / advance, iterating backwards so finish_seq's erase is safe.
     for (size_t i = B; i-- > 0;) {
       SeqState& s = *active[i];
+      if (chunk_failed[i] != 0) {
+        // Position is not advanced: the cache state for this chunk is
+        // unknown, and the slot is being released anyway.
+        s.error = chunk_errors[i];
+        finish_seq(i, RequestStatus::kFailed);
+        continue;
+      }
       const bool fed_prompt = !s.prompt_done();
       if (fed_prompt) ++s.prompt_fed;
       ++s.position;
 
       if (s.prompt_done() && seqs[i].want_logits) {
         Tensor logits;
-        if (s.req.exit_policy == ExitPolicy::kVoted) {
+        if (s.policy == ExitPolicy::kVoted) {
           logits = core::combine_exit_logits(seqs[i].logits, exit_weights_, exit_losses_,
                                              cfg_.voting)
                        .reshape({model_.config().vocab});
@@ -292,12 +479,22 @@ void ServeEngine::loop() {
         g.temperature = s.req.temperature;
         g.top_k = s.req.top_k;
         const int64_t tok = nn::sample_token(logits, g, s.rng);
+        if (!std::isfinite(logits[tok])) {
+          s.error = "decode produced non-finite logits";
+          finish_seq(i, RequestStatus::kFailed);
+          continue;
+        }
         if (!s.has_first_token) {
           s.first_token_t = now;
           s.has_first_token = true;
         }
         s.out.push_back(tok);
         s.last_token = tok;
+      }
+
+      if (!s.cancelled && cfg_.fault != nullptr && cfg_.fault->disconnect_client()) {
+        s.cancelled = true;
+        s.error = "fault: client disconnected";
       }
 
       RequestStatus status = RequestStatus::kOk;
@@ -307,6 +504,7 @@ void ServeEngine::loop() {
         done = true;
       } else if (s.req.deadline_ms > 0.0 && ms_between(s.submit_t, now) > s.req.deadline_ms) {
         status = RequestStatus::kTimeout;
+        s.error = "deadline exceeded mid-decode";
         done = true;
       } else if (static_cast<int64_t>(s.out.size()) >= s.req.max_new_tokens ||
                  s.position >= model_.config().max_seq) {
@@ -317,7 +515,41 @@ void ServeEngine::loop() {
     // Workers are quiesced here, so the scheduler may read slot contents
     // to refresh the poll-safe byte accounting and the high-water mark.
     sched_.pool().sync_live_bytes();
-    h_tick_ms_.observe(ms_between(tick_t0, std::chrono::steady_clock::now()));
+    const double tick_ms = ms_between(tick_t0, std::chrono::steady_clock::now());
+    h_tick_ms_.observe(tick_ms);
+    admit_ctl_.observe_tick(tick_ms);
+  }
+}
+
+void ServeEngine::watchdog() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto interval =
+      std::chrono::milliseconds(std::max<int64_t>(cfg_.watchdog_stall_ms / 4, 1));
+  uint64_t last_hb = heartbeat_.load();
+  auto last_progress = std::chrono::steady_clock::now();
+  while (!stop_) {
+    cv_.wait_for(lk, interval);
+    if (stop_ || failed_) return;
+    const auto now = std::chrono::steady_clock::now();
+    const uint64_t hb = heartbeat_.load();
+    // A static heartbeat only matters when the loop has work it should be
+    // advancing: paused/parked and fully-idle engines are quiescent by
+    // design, not wedged.
+    if (hb != last_hb || paused_ || parked_ || sched_.idle()) {
+      last_hb = hb;
+      last_progress = now;
+      continue;
+    }
+    if (ms_between(last_progress, now) < static_cast<double>(cfg_.watchdog_stall_ms)) continue;
+    // The loop is wedged (stalled decode): fail every pending request so
+    // clients get a clean kFailed instead of a future that never resolves,
+    // and stop admitting. Slots are reclaimed when (if) the decode returns.
+    c_watchdog_.add();
+    failed_ = true;
+    accepting_ = false;
+    fail_all_pending_locked("watchdog: scheduler stalled");
+    cv_.notify_all();
+    return;
   }
 }
 
@@ -328,7 +560,7 @@ void ServeEngine::pause() {
   cv_.notify_all();
   // Wait until the loop parks so callers observe a quiescent engine; a
   // decode tick already in flight finishes first.
-  cv_.wait(lk, [&] { return parked_ || stop_; });
+  cv_.wait(lk, [&] { return parked_ || stop_ || failed_; });
 }
 
 void ServeEngine::resume() {
@@ -348,6 +580,7 @@ void ServeEngine::shutdown() {
   }
   cv_.notify_all();
   if (sched_thread_.joinable()) sched_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   workers_.reset();
 }
 
@@ -360,6 +593,12 @@ EngineMetrics ServeEngine::metrics() const {
   m.rejected = c_rejected_.value();
   m.cancelled = c_cancelled_.value();
   m.timed_out = c_timed_out_.value();
+  m.shed = c_shed_.value();
+  m.expired = c_expired_.value();
+  m.failed = c_failed_.value();
+  m.degraded = c_degraded_.value();
+  m.admission_retries = c_retries_.value();
+  m.watchdog_fired = c_watchdog_.value();
   m.tokens_generated = c_tokens_.value();
   m.ticks = h_batch_.count();
   m.occupancy_sum = h_batch_.sum();

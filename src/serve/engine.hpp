@@ -17,6 +17,7 @@
 //     core::voting, the paper's accuracy-recovery mechanism at serve time.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -26,6 +27,7 @@
 #include "core/voting.hpp"
 #include "nn/decoder.hpp"
 #include "obs/metrics.hpp"
+#include "serve/admission.hpp"
 #include "serve/scheduler.hpp"
 
 namespace edgellm::serve {
@@ -62,6 +64,25 @@ struct EngineConfig {
   /// Nth kernel call per thread); -1 (default) leaves the tracer alone.
   /// See docs/OBSERVABILITY.md.
   int64_t trace_kernel_sample = -1;
+  /// Overload policy: per-tenant quotas, shed/degrade thresholds. The
+  /// defaults (all thresholds 0) are inert — see serve/admission.hpp.
+  AdmissionConfig admission;
+  /// Bounded retry for transient KV admission failures: the queue head is
+  /// shed after this many failed acquire attempts. 0 (default) retries
+  /// forever — the pre-resilience wait-in-FIFO behavior.
+  int64_t max_admission_retries = 0;
+  /// Exponential backoff base between admission retries, ms (0 = retry at
+  /// every tick). See SchedulerConfig.
+  double retry_backoff_ms = 0.0;
+  /// Scheduler-stall watchdog: when the loop's heartbeat stops advancing
+  /// for this long while work is pending (a wedged decode), every pending
+  /// request fails cleanly with kFailed and the engine stops accepting.
+  /// 0 (default) disables the watchdog. Set well above your worst-case
+  /// legitimate tick time.
+  int64_t watchdog_stall_ms = 0;
+  /// Serve-path fault injection for resilience testing (must outlive the
+  /// engine); null = no faults. See runtime::ServeFaultInjector.
+  runtime::ServeFaultInjector* fault = nullptr;
 };
 
 /// Point-in-time rollup of the engine's registry counters (see
@@ -74,6 +95,12 @@ struct EngineMetrics {
   int64_t rejected = 0;
   int64_t cancelled = 0;
   int64_t timed_out = 0;
+  int64_t shed = 0;       ///< refused by quota/overload policy or retry exhaustion
+  int64_t expired = 0;    ///< deadline passed while still queued
+  int64_t failed = 0;     ///< internal faults (worker death, poison, watchdog)
+  int64_t degraded = 0;   ///< requests downgraded by the degradation ladder
+  int64_t admission_retries = 0;  ///< transient KV admission failures retried
+  int64_t watchdog_fired = 0;
   int64_t tokens_generated = 0;
   int64_t ticks = 0;             ///< scheduler iterations (token boundaries)
   double occupancy_sum = 0.0;    ///< sum of batch sizes over ticks
@@ -164,10 +191,23 @@ class ServeEngine {
   obs::Counter& c_rejected_;
   obs::Counter& c_cancelled_;
   obs::Counter& c_timed_out_;
+  obs::Counter& c_shed_;
+  obs::Counter& c_expired_;
+  obs::Counter& c_failed_;
+  obs::Counter& c_degraded_;
+  obs::Counter& c_retries_;   ///< serve/admission_retries
+  obs::Counter& c_watchdog_;  ///< serve/watchdog_fired
   obs::Counter& c_tokens_;
   obs::Histogram& h_batch_;       ///< count = ticks, sum = occupancy_sum
   obs::Histogram& h_queue_wait_;  ///< submit -> admit, ms
   obs::Histogram& h_tick_ms_;     ///< admit + decode + retire, ms
+  /// Per-priority-class queue-wait histograms (serve/queue_wait_ms_p0..p2)
+  /// so dashboards can see whether shedding actually protects high-priority
+  /// latency. Indexed by Request::priority.
+  obs::Histogram* h_wait_class_[3] = {nullptr, nullptr, nullptr};
+
+  AdmissionController admit_ctl_;
+  DegradeLadder ladder_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -177,13 +217,25 @@ class ServeEngine {
   bool stop_ = false;
   bool paused_ = false;   ///< pause() request flag
   bool parked_ = false;   ///< loop acknowledged the pause
+  bool failed_ = false;   ///< watchdog declared the engine wedged
   bool joined_ = false;
+
+  /// Incremented at every scheduler-loop iteration; the watchdog thread
+  /// declares a stall when it stops advancing while work is pending.
+  std::atomic<uint64_t> heartbeat_{0};
 
   std::unique_ptr<WorkerPool> workers_;
   std::thread sched_thread_;
+  std::thread watchdog_thread_;
 
   void loop();
-  void run_decode(std::vector<nn::BatchedSeq>& seqs);
+  void watchdog();
+  Pressure pressure_locked() const;
+  /// Resolves every queued and active promise kFailed (watchdog path);
+  /// caller holds mu_. State stays in place for the wedged loop to reclaim.
+  void fail_all_pending_locked(const char* why);
+  void run_decode(std::vector<nn::BatchedSeq>& seqs, std::vector<uint8_t>& chunk_failed,
+                  std::vector<std::string>& chunk_errors);
   int64_t resolved_depth(const Request& req) const;
   void finish_seq(size_t index, RequestStatus status);
   static void resolve(SeqState& s, RequestStatus status);

@@ -24,13 +24,25 @@ KvCachePool::KvCachePool(KvPoolConfig cfg) : cfg_(cfg) {
   }
 }
 
-int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
+const char* to_string(KvAdmitReason r) {
+  switch (r) {
+    case KvAdmitReason::kOk: return "ok";
+    case KvAdmitReason::kByteBudget: return "kv: byte budget exceeded";
+    case KvAdmitReason::kSlotsExhausted: return "kv: slots exhausted";
+  }
+  return "unknown";
+}
+
+int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers,
+                             KvAdmitReason* reason) {
   check_arg(projected_positions > 0 && n_layers > 0,
             "KvCachePool::acquire: positions and layers must be positive");
   const int64_t projected = projected_bytes(projected_positions, n_layers);
+  if (reason != nullptr) *reason = KvAdmitReason::kOk;
   std::lock_guard<std::mutex> lk(mu_);
   if (cfg_.byte_budget > 0 && committed_ + projected > cfg_.byte_budget) {
     if (c_rejected_ != nullptr) c_rejected_->add();
+    if (reason != nullptr) *reason = KvAdmitReason::kByteBudget;
     return -1;
   }
   for (int64_t i = 0; i < cfg_.n_slots; ++i) {
@@ -45,6 +57,7 @@ int64_t KvCachePool::acquire(int64_t projected_positions, int64_t n_layers) {
     return i;
   }
   if (c_rejected_ != nullptr) c_rejected_->add();
+  if (reason != nullptr) *reason = KvAdmitReason::kSlotsExhausted;
   return -1;
 }
 

@@ -38,6 +38,18 @@ struct KvPoolConfig {
   obs::Registry* registry = nullptr;
 };
 
+/// Why an acquire() failed — the structured reason retry logic needs:
+/// budget exhaustion is transient (live sequences release bytes as they
+/// finish) while a projection larger than the whole budget is permanent
+/// (callers pre-check that with projected_bytes()).
+enum class KvAdmitReason {
+  kOk,
+  kByteBudget,      ///< projection would push committed bytes over the budget
+  kSlotsExhausted,  ///< every slot is occupied
+};
+
+const char* to_string(KvAdmitReason r);
+
 class KvCachePool {
  public:
   explicit KvCachePool(KvPoolConfig cfg);
@@ -46,7 +58,9 @@ class KvCachePool {
   /// grow to at most `projected_positions` cached positions. Returns the
   /// slot id, or -1 when no slot is free or the projection would exceed
   /// the byte budget (the caller queues the request and retries later).
-  int64_t acquire(int64_t projected_positions, int64_t n_layers);
+  /// `reason`, when non-null, reports why a -1 happened (kOk on success).
+  int64_t acquire(int64_t projected_positions, int64_t n_layers,
+                  KvAdmitReason* reason = nullptr);
 
   /// Returns a slot to the pool (its storage is dropped).
   void release(int64_t slot);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "tensor/tensor.hpp"
@@ -14,6 +15,9 @@ const char* to_string(RequestStatus s) {
     case RequestStatus::kRejected: return "rejected";
     case RequestStatus::kCancelled: return "cancelled";
     case RequestStatus::kTimeout: return "timeout";
+    case RequestStatus::kShed: return "shed";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kFailed: return "failed";
   }
   return "unknown";
 }
@@ -133,6 +137,12 @@ Request parse_request_json(const std::string& line) {
         req.seed = static_cast<uint64_t>(sc.number_value());
       } else if (key == "deadline_ms") {
         req.deadline_ms = sc.number_value();
+      } else if (key == "tenant") {
+        req.tenant = sc.string_value();
+      } else if (key == "priority") {
+        req.priority = static_cast<int64_t>(sc.number_value());
+        check_arg(req.priority >= kPriorityHigh && req.priority <= kPriorityLow,
+                  "request JSON: priority must be 0 (high), 1 (normal) or 2 (low)");
       } else if (key == "exit") {
         if (sc.peek_is('"')) {
           const std::string v = sc.string_value();
@@ -159,6 +169,35 @@ Request parse_request_json(const std::string& line) {
   return req;
 }
 
+namespace {
+
+// Error reasons embed arbitrary text (tenant names, exception messages),
+// so they must be escaped on the way out or the wire line stops being JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string completion_to_json(const Completion& c) {
   std::ostringstream os;
   os << "{\"id\": " << c.id << ", \"status\": \"" << to_string(c.status) << "\", \"tokens\": [";
@@ -169,7 +208,10 @@ std::string completion_to_json(const Completion& c) {
   os << "], \"queue_ms\": " << c.metrics.queue_wait_ms << ", \"ttft_ms\": " << c.metrics.ttft_ms
      << ", \"total_ms\": " << c.metrics.total_ms
      << ", \"tokens_per_s\": " << c.metrics.tokens_per_s
-     << ", \"kv_bytes\": " << c.metrics.kv_bytes << "}";
+     << ", \"kv_bytes\": " << c.metrics.kv_bytes;
+  if (c.degraded) os << ", \"degraded\": true, \"exit_layer\": " << c.exit_layer_used;
+  if (!c.error.empty()) os << ", \"error\": \"" << json_escape(c.error) << "\"";
+  os << "}";
   return os.str();
 }
 

@@ -18,6 +18,13 @@ enum class ExitPolicy {
   kVoted,       ///< full depth; all exit heads combined per token
 };
 
+/// Priority classes for admission and load shedding. Lower value = more
+/// important (kHigh outranks kNormal outranks kLow). Priorities never
+/// reorder FIFO staging; they only pick load-shedding victims.
+inline constexpr int64_t kPriorityHigh = 0;
+inline constexpr int64_t kPriorityNormal = 1;
+inline constexpr int64_t kPriorityLow = 2;
+
 /// One generation request.
 struct Request {
   int64_t id = 0;
@@ -29,13 +36,21 @@ struct Request {
   int64_t exit_layer = 0;    ///< registered exit depth for kFixedEarly
   uint64_t seed = 0;         ///< per-request sampling stream
   double deadline_ms = 0.0;  ///< 0 means no deadline (measured from submit)
+  /// Quota bucket this request draws from (empty = the anonymous tenant).
+  std::string tenant;
+  /// kPriorityHigh..kPriorityLow; see AdmissionConfig for how shedding
+  /// policies use it.
+  int64_t priority = kPriorityNormal;
 };
 
 enum class RequestStatus {
   kOk,         ///< completed normally
-  kRejected,   ///< admission queue full or engine shut down
-  kCancelled,  ///< cancel() before completion
+  kRejected,   ///< admission queue full, impossible request, or engine shut down
+  kCancelled,  ///< cancel() (or client disconnect) before completion
   kTimeout,    ///< deadline exceeded mid-decode (partial tokens returned)
+  kShed,       ///< load-shed: quota, overload policy, or admission retries exhausted
+  kExpired,    ///< deadline exceeded while still queued (never admitted)
+  kFailed,     ///< internal fault (worker death, poisoned decode, watchdog)
 };
 
 const char* to_string(RequestStatus s);
@@ -58,6 +73,14 @@ struct Completion {
   RequestStatus status = RequestStatus::kOk;
   std::vector<int64_t> tokens;  ///< generated tokens (prompt excluded)
   RequestMetrics metrics;
+  /// Structured reason for non-kOk terminals (e.g. "kv: byte budget
+  /// exceeded" vs "kv: slots exhausted"), so clients and retry logic can
+  /// tell transient failures from permanent ones. Empty on success.
+  std::string error;
+  /// True when overload degraded this request to a cheaper exit policy
+  /// (see AdmissionConfig); exit_layer_used records the depth that decoded.
+  bool degraded = false;
+  int64_t exit_layer_used = 0;
 };
 
 /// Parses one JSONL request line, e.g.

@@ -6,11 +6,23 @@
 
 namespace edgellm::serve {
 
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
 Scheduler::Scheduler(SchedulerConfig cfg, KvPoolConfig pool_cfg)
     : cfg_(cfg), pool_(pool_cfg) {
   check_arg(cfg_.max_batch > 0, "Scheduler: max_batch must be positive");
   check_arg(cfg_.queue_capacity > 0, "Scheduler: queue_capacity must be positive");
   check_arg(cfg_.max_seq > 0 && cfg_.n_layers > 0, "Scheduler: model dims must be positive");
+  check_arg(cfg_.max_admission_retries >= 0,
+            "Scheduler: max_admission_retries must be >= 0 (0 = unlimited)");
+  check_arg(cfg_.retry_backoff_ms >= 0.0, "Scheduler: retry_backoff_ms must be >= 0");
 }
 
 bool Scheduler::enqueue(std::unique_ptr<SeqState>& s) {
@@ -19,21 +31,100 @@ bool Scheduler::enqueue(std::unique_ptr<SeqState>& s) {
   return true;
 }
 
-void Scheduler::admit() {
+bool Scheduler::apply_degrade(SeqState& s, int level, const DegradeLadder& ladder) {
+  const int eff = s.force_degrade ? 2 : level;
+  if (eff <= 0) return false;
+  const int64_t target = ladder.depth(eff);
+  // No early exit registered below the final layer: nothing to trade.
+  if (target <= 0) return false;
+  // Never upgrade: a fixed-early request already at or below the rung's
+  // depth keeps what it asked for.
+  if (target >= s.exit_layer_used) return false;
+  s.policy = ExitPolicy::kFixedEarly;
+  s.exit_layer = target;
+  s.exit_layer_used = target;
+  const bool first = !s.degraded;
+  s.degraded = true;
+  return first;
+}
+
+Scheduler::AdmitResult Scheduler::admit(int degrade_level, const DegradeLadder& ladder,
+                                        std::chrono::steady_clock::time_point now) {
+  AdmitResult r;
+  // Retire deadline-expired requests anywhere in the queue first: they can
+  // never produce a useful completion, so they must not consume a batch
+  // slot or wedge staging behind them.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    SeqState& s = **it;
+    if (s.req.deadline_ms > 0.0 && elapsed_ms(s.submit_t, now) > s.req.deadline_ms) {
+      r.expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   while (!queue_.empty() && static_cast<int64_t>(active_.size()) < cfg_.max_batch) {
     SeqState& head = *queue_.front();
+    // Backoff gate: the head owes the pool a cool-down after a transient
+    // rejection. Nothing behind it jumps the queue (FIFO contract).
+    if (head.retry_after > now) break;
+    if (apply_degrade(head, degrade_level, ladder)) ++r.degraded;
     // Worst-case cached positions: the whole prompt plus every token the
-    // request may generate, clipped to the context window.
+    // request may generate, clipped to the context window. Computed from
+    // the *effective* exit depth, so degrading shrinks the reservation.
     const int64_t projected =
         std::min<int64_t>(static_cast<int64_t>(head.req.prompt.size()) + head.req.max_new_tokens,
                           cfg_.max_seq);
-    const int64_t slot = pool_.acquire(projected, head.exit_layer_used);
-    if (slot < 0) break;  // budget/slots exhausted; keep FIFO order
+    KvAdmitReason reason = KvAdmitReason::kOk;
+    int64_t slot = -1;
+    const bool injected = cfg_.fault != nullptr && cfg_.fault->reject_kv_acquire();
+    if (!injected) slot = pool_.acquire(projected, head.exit_layer_used, &reason);
+    if (slot < 0) {
+      ++head.admission_attempts;
+      ++r.retries;
+      const char* why = injected ? "fault: injected kv admission failure" : to_string(reason);
+      if (cfg_.max_admission_retries > 0 &&
+          head.admission_attempts >= cfg_.max_admission_retries) {
+        head.error = "kv admission failed after " +
+                     std::to_string(head.admission_attempts) + " attempts: " + why;
+        r.shed.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        continue;  // the next request may be smaller; give it the head spot
+      }
+      if (cfg_.retry_backoff_ms > 0.0) {
+        const int64_t shift = std::min<int64_t>(head.admission_attempts - 1, 6);
+        const double wait_ms = cfg_.retry_backoff_ms * static_cast<double>(int64_t{1} << shift);
+        head.retry_after =
+            now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(wait_ms));
+      }
+      break;  // budget/slots exhausted; keep FIFO order and retry later
+    }
     head.slot = slot;
-    head.admit_t = std::chrono::steady_clock::now();
+    head.admit_t = now;
+    head.admission_attempts = 0;
+    ++r.admitted;
     active_.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
+  return r;
+}
+
+std::unique_ptr<SeqState> Scheduler::evict_lower_priority(int64_t than_priority) {
+  auto victim = queue_.end();
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->req.priority <= than_priority) continue;
+    // Strictly-lower importance only. Among candidates take the largest
+    // priority value; >= prefers the most recently enqueued on ties (the
+    // request that has waited least loses the least progress).
+    if (victim == queue_.end() || (*it)->req.priority >= (*victim)->req.priority) {
+      victim = it;
+    }
+  }
+  if (victim == queue_.end()) return nullptr;
+  std::unique_ptr<SeqState> s = std::move(*victim);
+  queue_.erase(victim);
+  return s;
 }
 
 std::unique_ptr<SeqState> Scheduler::cancel(int64_t id, bool* found) {
@@ -63,6 +154,31 @@ std::unique_ptr<SeqState> Scheduler::finish(size_t active_index) {
   s->slot = -1;
   active_.erase(active_.begin() + static_cast<int64_t>(active_index));
   return s;
+}
+
+void Scheduler::for_each_pending(const std::function<void(SeqState&)>& fn) {
+  for (auto& s : queue_) fn(*s);
+  for (auto& s : active_) fn(*s);
+}
+
+void Scheduler::clear_failed() {
+  for (auto& s : active_) {
+    if (s->slot >= 0) pool_.release(s->slot);
+    s->slot = -1;
+  }
+  active_.clear();
+  queue_.clear();
+}
+
+std::chrono::steady_clock::time_point Scheduler::next_retry_time() const {
+  std::chrono::steady_clock::time_point earliest{};
+  for (const auto& s : queue_) {
+    if (s->retry_after == std::chrono::steady_clock::time_point{}) continue;
+    if (earliest == std::chrono::steady_clock::time_point{} || s->retry_after < earliest) {
+      earliest = s->retry_after;
+    }
+  }
+  return earliest;
 }
 
 }  // namespace edgellm::serve

@@ -550,13 +550,51 @@ TEST(ServeEngine, DeadlineExpiryReturnsPartialTokens) {
   const nn::ModelConfig cfg = tiny_config();
   Rng rng(48);
   nn::CausalLm model(cfg, rng);
-  ServeEngine engine(model, engine_cfg(1));
-  Request r = greedy_request(1, seq_tokens(4, cfg.vocab), 8);
-  r.deadline_ms = 1e-4;  // expires within the first tick
+  // A guaranteed worker stall makes every tick take ~60ms, so a 50ms
+  // deadline deterministically survives admission (the loop wakes in
+  // microseconds) but expires mid-decode — the kTimeout path, as opposed
+  // to kExpired (deadline passing while still queued).
+  runtime::ServeFaultPlan fp;
+  fp.worker_stall_prob = 1.0;
+  fp.worker_stall_ms = 60.0;
+  runtime::ServeFaultInjector fault(fp);
+  EngineConfig ecfg = engine_cfg(1);
+  ecfg.fault = &fault;
+  ServeEngine engine(model, ecfg);
+  Request r = greedy_request(1, seq_tokens(1, cfg.vocab), 8);
+  r.deadline_ms = 50.0;
   const Completion c = engine.submit(r).get();
   EXPECT_EQ(c.status, RequestStatus::kTimeout);
-  EXPECT_LT(static_cast<int64_t>(c.tokens.size()), 8);
+  // The single prompt token is fed and sampled on the stalled first tick,
+  // so exactly one partial token comes back.
+  EXPECT_EQ(c.tokens.size(), 1u);
+  EXPECT_EQ(c.error, "deadline exceeded mid-decode");
   EXPECT_EQ(engine.metrics().timed_out, 1);
+}
+
+TEST(ServeEngine, DeadlineExpiredWhileQueuedIsExpiredNotAdmitted) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(48);
+  nn::CausalLm model(cfg, rng);
+  ServeEngine engine(model, engine_cfg(1));
+  // Park the scheduler so the request provably sits in the queue past its
+  // deadline; the admission scan must then retire it without ever giving
+  // it a batch slot or a KV slot.
+  engine.pause();
+  Request r = greedy_request(9, seq_tokens(4, cfg.vocab), 8);
+  r.deadline_ms = 5.0;
+  auto fut = engine.submit(r);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.resume();
+  const Completion c = fut.get();
+  EXPECT_EQ(c.status, RequestStatus::kExpired);
+  EXPECT_TRUE(c.tokens.empty());
+  EXPECT_EQ(c.error, "deadline expired while queued");
+  EXPECT_EQ(c.metrics.queue_wait_ms, 0.0);  // never admitted
+  EXPECT_EQ(engine.metrics().expired, 1);
+  EXPECT_EQ(engine.metrics().timed_out, 0);
+  // Never occupied a KV slot: no acquire was ever recorded.
+  EXPECT_EQ(engine.registry().counter("kv/acquired").value(), 0);
 }
 
 TEST(ServeEngine, PerRequestMetricsArePopulated) {
@@ -586,6 +624,125 @@ TEST(ServeEngine, SetExitWeightsValidatesSizes) {
 }
 
 // --- scheduler (policy unit tests) ------------------------------------------
+
+TEST(KvCachePool, AcquireReportsStructuredRejectReason) {
+  const int64_t per_seq = 8 * nn::KvCache::bytes_per_position(3, 16, false);
+  KvCachePool pool(pool_cfg(1, /*budget=*/2 * per_seq));
+  KvAdmitReason reason = KvAdmitReason::kByteBudget;
+  ASSERT_GE(pool.acquire(8, 3, &reason), 0);
+  EXPECT_EQ(reason, KvAdmitReason::kOk);
+  // Single slot occupied: the second acquire fails on slots, not bytes.
+  EXPECT_EQ(pool.acquire(8, 3, &reason), -1);
+  EXPECT_EQ(reason, KvAdmitReason::kSlotsExhausted);
+  EXPECT_STREQ(to_string(reason), "kv: slots exhausted");
+
+  KvCachePool tight(pool_cfg(4, /*budget=*/per_seq));
+  ASSERT_GE(tight.acquire(8, 3, &reason), 0);
+  // Free slots remain but the budget is spent: byte-budget rejection.
+  EXPECT_EQ(tight.acquire(8, 3, &reason), -1);
+  EXPECT_EQ(reason, KvAdmitReason::kByteBudget);
+  EXPECT_STREQ(to_string(reason), "kv: byte budget exceeded");
+}
+
+TEST(ServeEngine, KvShedSurfacesByteBudgetReasonInCompletionError) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(61);
+  nn::CausalLm model(cfg, rng);
+  const int64_t per_pos = nn::KvCache::bytes_per_position(cfg.n_layers, cfg.kv_dim(), false);
+  EngineConfig ecfg = engine_cfg(1, /*max_batch=*/4);
+  ecfg.kv_byte_budget = 8 * per_pos;      // exactly one 8-position sequence
+  ecfg.max_admission_retries = 1;         // shed on the first failed acquire
+  ServeEngine engine(model, ecfg);
+
+  engine.pause();
+  auto f1 = engine.submit(greedy_request(1, seq_tokens(4, cfg.vocab), 4));      // fills budget
+  auto f2 = engine.submit(greedy_request(2, seq_tokens(4, cfg.vocab, 1), 4));   // cannot fit
+  engine.resume();
+  EXPECT_EQ(f1.get().status, RequestStatus::kOk);
+  const Completion shed = f2.get();
+  EXPECT_EQ(shed.status, RequestStatus::kShed);
+  // The structured reason distinguishes byte-budget from slot exhaustion.
+  EXPECT_NE(shed.error.find("kv: byte budget exceeded"), std::string::npos) << shed.error;
+  EXPECT_NE(shed.error.find("after 1 attempts"), std::string::npos) << shed.error;
+  EXPECT_EQ(engine.metrics().shed, 1);
+}
+
+TEST(ServeEngine, SaturatedQueueRejectsWithErrorAndRecovers) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(62);
+  nn::CausalLm model(cfg, rng);
+  EngineConfig ecfg = engine_cfg(1, /*max_batch=*/1);
+  ecfg.queue_capacity = 2;
+  ServeEngine engine(model, ecfg);
+
+  engine.pause();  // everything queues: saturation is deterministic
+  auto f1 = engine.submit(greedy_request(1, seq_tokens(2, cfg.vocab), 2));
+  auto f2 = engine.submit(greedy_request(2, seq_tokens(2, cfg.vocab, 1), 2));
+  const Completion over = engine.submit(greedy_request(3, seq_tokens(2, cfg.vocab, 2), 2)).get();
+  EXPECT_EQ(over.status, RequestStatus::kRejected);
+  EXPECT_EQ(over.error, "admission queue full");
+  engine.resume();
+  // Saturation is transient: queued work drains and new work is accepted.
+  EXPECT_EQ(f1.get().status, RequestStatus::kOk);
+  EXPECT_EQ(f2.get().status, RequestStatus::kOk);
+  EXPECT_EQ(engine.submit(greedy_request(4, seq_tokens(2, cfg.vocab, 3), 2)).get().status,
+            RequestStatus::kOk);
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.rejected, 1);
+  EXPECT_EQ(m.completed, 3);
+  EXPECT_EQ(m.submitted, 4);
+}
+
+// Saturation + cancellation under real thread contention, repeated 20x so
+// TSan gets many interleavings (CI runs this suite under ASan and TSan).
+TEST(ServeEngine, ConcurrentSubmitAndCancelWhileQueuedUnderContention) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(63);
+  nn::CausalLm model(cfg, rng);
+  for (int iter = 0; iter < 20; ++iter) {
+    EngineConfig ecfg = engine_cfg(2, /*max_batch=*/2);
+    ecfg.queue_capacity = 8;
+    ServeEngine engine(model, ecfg);
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 8;
+    std::vector<std::future<Completion>> futs(kSubmitters * kPerThread);
+    std::vector<std::thread> threads;
+    threads.reserve(kSubmitters + 1);
+    for (int t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const int64_t id = t * kPerThread + i;
+          futs[static_cast<size_t>(id)] =
+              engine.submit(greedy_request(id, seq_tokens(2, cfg.vocab, id), 2));
+        }
+      });
+    }
+    // The canceller races the submitters and the scheduler: every id is
+    // targeted, whether still unsubmitted, queued, active, or finished.
+    threads.emplace_back([&] {
+      for (int64_t id = 0; id < kSubmitters * kPerThread; ++id) engine.cancel(id);
+    });
+    for (auto& th : threads) th.join();
+    engine.shutdown();
+
+    int64_t resolved = 0;
+    for (auto& f : futs) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+      const Completion c = f.get();
+      EXPECT_TRUE(c.status == RequestStatus::kOk || c.status == RequestStatus::kCancelled ||
+                  c.status == RequestStatus::kRejected)
+          << to_string(c.status);
+      ++resolved;
+    }
+    const EngineMetrics m = engine.metrics();
+    EXPECT_EQ(resolved, m.submitted);
+    EXPECT_EQ(m.submitted, m.completed + m.rejected + m.cancelled + m.timed_out + m.shed +
+                               m.expired + m.failed);
+    EXPECT_EQ(engine.registry().counter("kv/acquired").value(),
+              engine.registry().counter("kv/released").value());
+  }
+}
 
 TEST(Scheduler, QueueCapacityBoundsEnqueue) {
   SchedulerConfig cfg{/*max_batch=*/1, /*queue_capacity=*/2, /*max_seq=*/16, /*n_layers=*/3};
@@ -619,7 +776,7 @@ TEST(Scheduler, AdmitPreservesFifoHeadOfLine) {
   ASSERT_TRUE(sched.enqueue(big));
   ASSERT_TRUE(sched.enqueue(small));
 
-  sched.admit();
+  sched.admit(/*degrade_level=*/0, DegradeLadder{}, std::chrono::steady_clock::now());
   // The small request must NOT jump the blocked head (no starvation).
   EXPECT_TRUE(sched.active().empty());
   EXPECT_EQ(sched.queued(), 2u);
@@ -675,6 +832,29 @@ TEST(RequestJson, CompletionRoundTripsKeyFields) {
   EXPECT_NE(j.find("\"status\": \"ok\""), std::string::npos);
   EXPECT_NE(j.find("[4, 5, 6]"), std::string::npos);
   EXPECT_NE(j.find("\"kv_bytes\": 1024"), std::string::npos);
+}
+
+// Error reasons carry arbitrary text — quota sheds embed the tenant name in
+// quotes (`quota: tenant "alpha" ...`), worker failures embed exception
+// messages — so the serializer must escape them or the wire line stops
+// being valid JSON.
+TEST(RequestJson, CompletionEscapesErrorText) {
+  Completion c;
+  c.id = 3;
+  c.status = RequestStatus::kShed;
+  c.error = "quota: tenant \"al\\pha\"\nbucket empty";
+  const std::string j = completion_to_json(c);
+  EXPECT_NE(j.find(R"("error": "quota: tenant \"al\\pha\"\nbucket empty")"),
+            std::string::npos);
+  // No raw quote/backslash/newline from the payload may survive unescaped.
+  EXPECT_EQ(j.find('\n'), std::string::npos);
+  // Degraded completions advertise the exit that actually decoded.
+  c.status = RequestStatus::kOk;
+  c.error.clear();
+  c.degraded = true;
+  c.exit_layer_used = 1;
+  const std::string d = completion_to_json(c);
+  EXPECT_NE(d.find("\"degraded\": true, \"exit_layer\": 1"), std::string::npos);
 }
 
 }  // namespace
