@@ -12,11 +12,16 @@
 //   edgellm_cli serve    --in adapted.bin [--requests FILE|-] [--threads 2]
 //                        [--batch 8] [--queue 64] [--kv-budget BYTES]
 //                        [--quantize-kv 0|1] [--metrics out.csv]
+//                        [--listen host:port] [--max-connections N]
+//                        [--idle-timeout-ms MS]
 //
 // `serve` runs the concurrent batched serving engine (src/serve): requests
 // come in as JSONL (one {"id":..,"prompt":[..],"exit":"voted"|N|"final",..}
 // object per line, default stdin), completions go to stdout as JSONL, and
-// --metrics writes one CSV row of timing/memory per request.
+// --metrics writes one CSV row of timing/memory per request. With --listen
+// it instead serves HTTP (src/net): POST /v1/completions streams tokens as
+// they decode, GET /metrics and /healthz for operators; SIGINT/SIGTERM
+// drain gracefully in both modes (docs/SERVING.md, "HTTP API").
 //
 // With --checkpoint-dir, adaptation writes atomic CRC-checked snapshots of
 // the FULL training state every --checkpoint-every iterations; rerunning
@@ -24,12 +29,14 @@
 // last snapshot left off (see docs/ROBUSTNESS.md).
 //
 // Build & run:  ./build/examples/edgellm_cli pretrain --out /tmp/base.bin
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "data/eval.hpp"
@@ -41,6 +48,9 @@
 #include "runtime/checkpointer.hpp"
 #include "runtime/table.hpp"
 #include "runtime/trace.hpp"
+#include "net/listener.hpp"
+#include "net/server.hpp"
+#include "net/signals.hpp"
 #include "serve/engine.hpp"
 
 namespace {
@@ -265,46 +275,102 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
   apply_schedule_cache(args, *model, ecfg.max_batch);
   serve::ServeEngine engine(*model, ecfg);
 
-  // Requests in: one JSON object per line, default stdin ("-").
-  const std::string req_path = args.contains("requests") ? args.at("requests") : "-";
-  std::ifstream file;
-  if (req_path != "-") {
-    file.open(req_path);
-    check_arg(file.good(), "serve: cannot open requests file " + req_path);
-  }
-  std::istream& in = req_path == "-" ? std::cin : file;
-
-  std::vector<std::future<serve::Completion>> futs;
-  std::string line;
-  int64_t auto_id = 0;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    serve::Request req = serve::parse_request_json(line);
-    if (req.id == 0) req.id = ++auto_id;
-    futs.push_back(engine.submit(std::move(req)));
-  }
-
-  std::unique_ptr<runtime::CsvWriter> csv;
-  if (args.contains("metrics")) {
-    csv = std::make_unique<runtime::CsvWriter>(
-        args.at("metrics"), std::vector<std::string>{"id", "status", "prompt_tokens",
-                                                     "output_tokens", "queue_ms", "ttft_ms",
-                                                     "total_ms", "tokens_per_s", "kv_bytes"});
-  }
-  for (auto& fut : futs) {
-    const serve::Completion c = fut.get();
-    std::cout << serve::completion_to_json(c) << "\n";
-    if (csv) {
-      csv->row(std::vector<std::string>{
-          std::to_string(c.id), serve::to_string(c.status),
-          std::to_string(c.metrics.prompt_tokens), std::to_string(c.metrics.output_tokens),
-          fmt(c.metrics.queue_wait_ms, 3), fmt(c.metrics.ttft_ms, 3),
-          fmt(c.metrics.total_ms, 3), fmt(c.metrics.tokens_per_s, 1),
-          std::to_string(c.metrics.kv_bytes)});
+  // Graceful drain on SIGINT/SIGTERM in both modes: finish or cancel
+  // in-flight work, then fall through to the normal metrics/trace writes so
+  // nothing lands on disk half-written.
+  if (args.contains("listen")) {
+    // HTTP front door (src/net): --listen host:port, requests over
+    // POST /v1/completions with streamed token chunks. docs/SERVING.md has
+    // the API; --requests/--metrics are JSONL-mode flags and ignored here.
+    const auto [host, port] = net::split_host_port(args.at("listen"));
+    net::ServerConfig scfg;
+    scfg.host = host;
+    scfg.port = port;
+    scfg.max_connections = static_cast<int64_t>(get_num(args, "max-connections", 64));
+    scfg.idle_timeout_ms = get_num(args, "idle-timeout-ms", 30000.0);
+    net::HttpServer server(engine, scfg);
+    net::install_drain_signals(server.wake_fd());
+    std::cerr << "listening on " << host << ":" << server.port() << "\n";
+    server.run();
+    if (net::drain_signal() != 0) {
+      std::cerr << "serve: drained after signal " << net::drain_signal() << "\n";
     }
+    engine.shutdown();
+  } else {
+    net::install_drain_signals();
+
+    // Requests in: one JSON object per line, default stdin ("-"). The whole
+    // file is validated before anything is submitted, so a malformed line —
+    // reported with its line number — never half-runs a batch.
+    const std::string req_path = args.contains("requests") ? args.at("requests") : "-";
+    std::ifstream file;
+    if (req_path != "-") {
+      file.open(req_path);
+      check_arg(file.good(), "serve: cannot open requests file " + req_path);
+    }
+    std::istream& in = req_path == "-" ? std::cin : file;
+
+    std::vector<serve::Request> reqs;
+    std::string line;
+    int64_t auto_id = 0;
+    int64_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      try {
+        serve::Request req = serve::parse_request_json(line);
+        if (req.id == 0) req.id = ++auto_id;
+        reqs.push_back(std::move(req));
+      } catch (const std::exception& e) {
+        std::cerr << "serve: " << (req_path == "-" ? "<stdin>" : req_path) << ":" << lineno
+                  << ": " << e.what() << "\n";
+        return 1;
+      }
+    }
+
+    std::vector<int64_t> ids;
+    std::vector<std::future<serve::Completion>> futs;
+    ids.reserve(reqs.size());
+    futs.reserve(reqs.size());
+    for (auto& req : reqs) {
+      ids.push_back(req.id);
+      futs.push_back(engine.submit(std::move(req)));
+    }
+
+    std::unique_ptr<runtime::CsvWriter> csv;
+    if (args.contains("metrics")) {
+      csv = std::make_unique<runtime::CsvWriter>(
+          args.at("metrics"), std::vector<std::string>{"id", "status", "prompt_tokens",
+                                                       "output_tokens", "queue_ms", "ttft_ms",
+                                                       "total_ms", "tokens_per_s", "kv_bytes"});
+    }
+    bool drained = false;
+    for (auto& fut : futs) {
+      // Poll rather than block so a drain signal cancels outstanding work
+      // promptly; cancelled completions still print (status "cancelled").
+      while (fut.wait_for(std::chrono::milliseconds(50)) != std::future_status::ready) {
+        if (net::drain_signal() != 0 && !drained) {
+          drained = true;
+          for (const int64_t id : ids) engine.cancel(id);
+        }
+      }
+      const serve::Completion c = fut.get();
+      std::cout << serve::completion_to_json(c) << "\n";
+      if (csv) {
+        csv->row(std::vector<std::string>{
+            std::to_string(c.id), serve::to_string(c.status),
+            std::to_string(c.metrics.prompt_tokens), std::to_string(c.metrics.output_tokens),
+            fmt(c.metrics.queue_wait_ms, 3), fmt(c.metrics.ttft_ms, 3),
+            fmt(c.metrics.total_ms, 3), fmt(c.metrics.tokens_per_s, 1),
+            std::to_string(c.metrics.kv_bytes)});
+      }
+    }
+    if (net::drain_signal() != 0) {
+      std::cerr << "serve: drained after signal " << net::drain_signal() << "\n";
+    }
+    engine.shutdown();
+    if (csv) csv->close();
   }
-  engine.shutdown();
-  if (csv) csv->close();
   if (args.contains("metrics-out")) {
     engine.registry().write_json(args.at("metrics-out"));
     std::cerr << "wrote metrics to " << args.at("metrics-out") << "\n";
@@ -338,6 +404,11 @@ int usage() {
                "           [--degrade-tick-ms MS] [--shed-tick-ms MS]\n"
                "           [--tenant-rate RPS] [--tenant-burst N]\n"
                "           [--admission-retries N] [--retry-backoff-ms MS] [--watchdog-ms MS]\n"
+               "           [--listen host:port] [--max-connections N] [--idle-timeout-ms MS]\n"
+               "serve --listen host:port serves HTTP instead of JSONL (port 0 = ephemeral,\n"
+               "bound port printed to stderr): POST /v1/completions streams token chunks,\n"
+               "GET /metrics (JSON or ?format=csv) and GET /healthz; SIGINT/SIGTERM drain\n"
+               "gracefully in both modes (docs/SERVING.md)\n"
                "serve overload policy (docs/ROBUSTNESS.md): thresholds are fractions of queue/\n"
                "KV capacity (or tick-latency ms) past which requests degrade to early exits or\n"
                "are shed; 0 (default) disables each signal and the engine behaves as before\n"

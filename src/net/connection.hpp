@@ -1,0 +1,102 @@
+// Per-connection state for the HTTP front door: one keep-alive client
+// session, its incremental parser, its bounded write buffer, and — while a
+// completion request is in flight — the stream handoff shared with the
+// serving engine's token sink.
+//
+// Threading: a Connection is owned and mutated exclusively by the server's
+// event-loop thread. The *only* cross-thread object is StreamState, which
+// the engine's StreamSink callbacks (scheduler thread) push into under its
+// own small mutex; the event loop drains it into the connection's write
+// buffer. Neither side ever holds that mutex while touching the engine or
+// a socket, so there is no lock-order coupling with the engine's lock.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/http.hpp"
+#include "serve/request.hpp"
+
+namespace edgellm::net {
+
+/// The engine -> event-loop handoff for one streamed request. Tokens queue
+/// here (8 bytes each, bounded by the request's max_new_tokens) when the
+/// client drains slower than the engine decodes — the stream pauses, the
+/// batch does not.
+struct StreamState {
+  std::mutex mu;
+  std::deque<int64_t> tokens;
+  bool done = false;
+  serve::Completion completion;  ///< valid once done
+};
+
+class Connection {
+ public:
+  Connection(int fd, int64_t id, HttpLimits limits, int64_t write_cap,
+             std::chrono::steady_clock::time_point now)
+      : fd(fd), id(id), parser(limits), write_cap(write_cap), opened(now), last_activity(now) {}
+
+  /// What the event loop is doing with this connection.
+  enum class Phase {
+    kRequest,    ///< reading/awaiting the next request (keep-alive idle included)
+    kStreaming,  ///< a completion request is in flight; response streams out
+  };
+
+  int fd = -1;
+  int64_t id = 0;
+  Phase phase = Phase::kRequest;
+  HttpRequestParser parser;
+
+  /// Bytes read but not yet fed to the parser (pipelined requests wait
+  /// here while a response is being produced).
+  std::string inbuf;
+
+  /// Pending output; [out_off, out.size()) is unflushed. Appends are gated
+  /// on write_cap so a dead-slow client cannot balloon this buffer.
+  std::string out;
+  size_t out_off = 0;
+  int64_t write_cap = 0;
+
+  bool close_after_flush = false;
+  bool sent_continue = false;  ///< interim 100 Continue already written
+
+  // --- in-flight completion request (kStreaming only) ---
+  std::shared_ptr<StreamState> stream;
+  std::future<serve::Completion> fut;
+  int64_t req_id = 0;
+  bool response_started = false;  ///< head bytes (200 chunked or error) queued
+  bool request_keep_alive = true; ///< parsed request asked for keep-alive
+  int64_t tokens_streamed = 0;
+  std::chrono::steady_clock::time_point req_dispatch_t;
+
+  std::chrono::steady_clock::time_point opened;
+  /// Last forward progress: a byte read, a byte written, or nothing owed.
+  /// The idle/slowloris/stalled-writer timeout keys off this.
+  std::chrono::steady_clock::time_point last_activity;
+  /// First byte of the *current* request (slowloris guard: a request must
+  /// complete within the idle window regardless of byte trickle).
+  std::chrono::steady_clock::time_point request_started;
+  bool request_in_progress = false;
+
+  bool want_write() const { return out_off < out.size(); }
+  int64_t out_pending() const { return static_cast<int64_t>(out.size() - out_off); }
+
+  /// Appends response bytes and compacts the consumed prefix when it gets
+  /// large (keeps the buffer from growing monotonically on keep-alive).
+  void queue_out(std::string_view bytes) {
+    if (out_off > 4096 && out_off == out.size()) {
+      out.clear();
+      out_off = 0;
+    } else if (out_off > 65536) {
+      out.erase(0, out_off);
+      out_off = 0;
+    }
+    out.append(bytes);
+  }
+};
+
+}  // namespace edgellm::net

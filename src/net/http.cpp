@@ -1,0 +1,388 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace edgellm::net {
+
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpRequestParser::HttpRequestParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpRequestParser::reset() {
+  state_ = State::kRequestLine;
+  started_ = false;
+  line_.clear();
+  header_bytes_ = 0;
+  n_headers_ = 0;
+  method_.clear();
+  path_.clear();
+  query_.clear();
+  headers_.clear();
+  http11_ = true;
+  keep_alive_ = true;
+  expect_continue_ = false;
+  chunked_ = false;
+  have_content_length_ = false;
+  content_length_ = 0;
+  chunk_remaining_ = 0;
+  body_.clear();
+  error_status_ = 0;
+  error_reason_.clear();
+}
+
+void HttpRequestParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+std::string HttpRequestParser::header(const std::string& lower_name) const {
+  const auto it = headers_.find(lower_name);
+  return it == headers_.end() ? std::string() : it->second;
+}
+
+size_t HttpRequestParser::feed(const char* data, size_t n) {
+  size_t i = 0;
+  while (i < n && state_ != State::kComplete && state_ != State::kError) {
+    switch (state_) {
+      case State::kRequestLine:
+      case State::kHeaders:
+      case State::kChunkSize:
+      case State::kChunkDataEnd:
+      case State::kTrailers: {
+        const char c = data[i++];
+        started_ = true;
+        if (c == '\n') {
+          if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+          on_line();
+          line_.clear();
+          break;
+        }
+        line_.push_back(c);
+        // Per-line overflow guards: a line that can never end within its
+        // budget is rejected *now*, not after the attacker streams a
+        // gigabyte of header.
+        if (state_ == State::kRequestLine &&
+            static_cast<int64_t>(line_.size()) > limits_.max_request_line) {
+          fail(414, "request line exceeds " + std::to_string(limits_.max_request_line) +
+                        " bytes");
+        } else if ((state_ == State::kHeaders || state_ == State::kTrailers) &&
+                   header_bytes_ + static_cast<int64_t>(line_.size()) >
+                       limits_.max_header_bytes) {
+          fail(431, "header block exceeds " + std::to_string(limits_.max_header_bytes) +
+                        " bytes");
+        } else if (state_ == State::kChunkSize && line_.size() > 32) {
+          fail(400, "malformed chunk size line");
+        }
+        break;
+      }
+      case State::kBody: {
+        const size_t want = static_cast<size_t>(content_length_) - body_.size();
+        const size_t take = std::min(want, n - i);
+        body_.append(data + i, take);
+        i += take;
+        if (body_.size() == static_cast<size_t>(content_length_)) state_ = State::kComplete;
+        break;
+      }
+      case State::kChunkData: {
+        const size_t take = std::min(static_cast<size_t>(chunk_remaining_), n - i);
+        body_.append(data + i, take);
+        i += take;
+        chunk_remaining_ -= static_cast<int64_t>(take);
+        if (static_cast<int64_t>(body_.size()) > limits_.max_body_bytes) {
+          fail(413, "chunked body exceeds " + std::to_string(limits_.max_body_bytes) +
+                        " bytes");
+          break;
+        }
+        if (chunk_remaining_ == 0) state_ = State::kChunkDataEnd;
+        break;
+      }
+      case State::kComplete:
+      case State::kError: break;  // unreachable (loop condition)
+    }
+  }
+  return i;
+}
+
+void HttpRequestParser::on_line() {
+  switch (state_) {
+    case State::kRequestLine:
+      if (line_.empty()) {
+        // RFC 9112 tolerates CRLFs before the request line; don't let an
+        // attacker spend the whole header budget on them though.
+        header_bytes_ += 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          fail(400, "excessive leading empty lines");
+        }
+        return;
+      }
+      on_request_line();
+      return;
+    case State::kHeaders:
+      header_bytes_ += static_cast<int64_t>(line_.size()) + 2;
+      if (line_.empty()) {
+        on_headers_done();
+        return;
+      }
+      on_header_line();
+      return;
+    case State::kChunkSize: on_chunk_size_line(); return;
+    case State::kChunkDataEnd:
+      if (!line_.empty()) {
+        fail(400, "missing CRLF after chunk data");
+        return;
+      }
+      state_ = State::kChunkSize;
+      return;
+    case State::kTrailers:
+      header_bytes_ += static_cast<int64_t>(line_.size()) + 2;
+      if (line_.empty()) state_ = State::kComplete;
+      return;
+    default: return;
+  }
+}
+
+void HttpRequestParser::on_request_line() {
+  const size_t sp1 = line_.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos : line_.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || line_.find(' ', sp2 + 1) != std::string::npos) {
+    fail(400, "malformed request line");
+    return;
+  }
+  method_ = line_.substr(0, sp1);
+  std::string target = line_.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line_.substr(sp2 + 1);
+  if (method_.empty() || target.empty()) {
+    fail(400, "malformed request line");
+    return;
+  }
+  for (char c : method_) {
+    if (!std::isupper(static_cast<unsigned char>(c))) {
+      fail(400, "malformed method token");
+      return;
+    }
+  }
+  if (version == "HTTP/1.1") {
+    http11_ = true;
+  } else if (version == "HTTP/1.0") {
+    http11_ = false;
+  } else {
+    fail(505, "unsupported protocol version \"" + version + "\"");
+    return;
+  }
+  keep_alive_ = http11_;
+  const size_t q = target.find('?');
+  if (q != std::string::npos) {
+    query_ = target.substr(q + 1);
+    target.resize(q);
+  }
+  path_ = std::move(target);
+  state_ = State::kHeaders;
+}
+
+void HttpRequestParser::on_header_line() {
+  if (++n_headers_ > limits_.max_headers) {
+    fail(431, "more than " + std::to_string(limits_.max_headers) + " headers");
+    return;
+  }
+  const size_t colon = line_.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    fail(400, "malformed header line");
+    return;
+  }
+  // Whitespace between the field name and the colon is a classic
+  // request-smuggling vector; reject it outright.
+  if (line_[colon - 1] == ' ' || line_[colon - 1] == '\t') {
+    fail(400, "whitespace before header colon");
+    return;
+  }
+  const std::string name = lower(line_.substr(0, colon));
+  const std::string value = trim(line_.substr(colon + 1));
+
+  if (name == "content-length") {
+    if (!all_digits(value) || value.size() > 18) {
+      fail(400, "malformed Content-Length");
+      return;
+    }
+    const int64_t v = std::stoll(value);
+    if (have_content_length_ && v != content_length_) {
+      fail(400, "conflicting Content-Length headers");
+      return;
+    }
+    have_content_length_ = true;
+    content_length_ = v;
+  } else if (name == "transfer-encoding") {
+    if (lower(value) != "chunked") {
+      fail(501, "unimplemented transfer coding \"" + value + "\"");
+      return;
+    }
+    chunked_ = true;
+  } else if (name == "connection") {
+    const std::string v = lower(value);
+    if (v == "close") keep_alive_ = false;
+    else if (v == "keep-alive") keep_alive_ = true;
+  } else if (name == "expect") {
+    if (lower(value) != "100-continue") {
+      fail(417, "unsupported Expect \"" + value + "\"");
+      return;
+    }
+    expect_continue_ = true;
+  }
+  headers_.emplace(name, value);  // first value wins on duplicates
+}
+
+void HttpRequestParser::on_headers_done() {
+  if (chunked_ && have_content_length_) {
+    // Ambiguous framing is how requests get smuggled through proxies;
+    // never guess.
+    fail(400, "both Transfer-Encoding and Content-Length present");
+    return;
+  }
+  if (have_content_length_ && content_length_ > limits_.max_body_bytes) {
+    fail(413, "declared body of " + std::to_string(content_length_) + " bytes exceeds cap of " +
+                  std::to_string(limits_.max_body_bytes));
+    return;
+  }
+  if (chunked_) {
+    state_ = State::kChunkSize;
+  } else if (have_content_length_ && content_length_ > 0) {
+    state_ = State::kBody;
+  } else {
+    state_ = State::kComplete;
+  }
+}
+
+void HttpRequestParser::on_chunk_size_line() {
+  // Strict hex, no chunk extensions: the serving clients never send them
+  // and every parser differential starts with "lenient about extensions".
+  if (line_.empty() || line_.size() > 8) {
+    fail(400, "malformed chunk size");
+    return;
+  }
+  int64_t size = 0;
+  for (char c : line_) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    int digit;
+    if (std::isdigit(u)) digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else {
+      fail(400, "malformed chunk size");
+      return;
+    }
+    size = size * 16 + digit;
+  }
+  if (static_cast<int64_t>(body_.size()) + size > limits_.max_body_bytes) {
+    fail(413, "chunked body exceeds " + std::to_string(limits_.max_body_bytes) + " bytes");
+    return;
+  }
+  if (size == 0) {
+    state_ = State::kTrailers;
+  } else {
+    chunk_remaining_ = size;
+    state_ = State::kChunkData;
+  }
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 100: return "Continue";
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 417: return "Expectation Failed";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type, std::string_view body,
+                          bool keep_alive) {
+  std::string r = "HTTP/1.1 " + std::to_string(status) + " " + status_reason(status) + "\r\n";
+  r += "Content-Type: ";
+  r += content_type;
+  r += "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  r += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  r += "\r\n";
+  r += body;
+  return r;
+}
+
+std::string streaming_response_head(int status, std::string_view content_type, bool keep_alive) {
+  std::string r = "HTTP/1.1 " + std::to_string(status) + " " + status_reason(status) + "\r\n";
+  r += "Content-Type: ";
+  r += content_type;
+  r += "\r\nTransfer-Encoding: chunked\r\n";
+  r += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  r += "\r\n";
+  return r;
+}
+
+std::string chunk_frame(std::string_view payload) {
+  char head[16];
+  std::snprintf(head, sizeof(head), "%zx\r\n", payload.size());
+  std::string r(head);
+  r += payload;
+  r += "\r\n";
+  return r;
+}
+
+std::string json_error_body(std::string_view message) {
+  std::string out = "{\"error\": \"";
+  for (const char ch : message) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace edgellm::net

@@ -1,0 +1,137 @@
+// Minimal, dependency-free HTTP/1.1 message layer for the network front
+// door: an *incremental* request parser hardened against hostile input,
+// and the response/chunk writers the server streams tokens through.
+//
+// The parser is deliberately not a general HTTP implementation. It accepts
+// exactly what the serving API needs — a request line, a bounded header
+// block, and an optional Content-Length or chunked body — and fails
+// *closed* on everything else with the HTTP status the server should
+// answer before hanging up: oversized request lines (414), oversized or
+// too-many headers (431), bodies past the byte cap (413), ambiguous
+// framing like Transfer-Encoding alongside Content-Length (400), and
+// transfer codings it does not implement (501). Bytes are consumed
+// incrementally, so slowloris-style one-byte-at-a-time sends, split TCP
+// segments and pipelined requests all parse identically to a single
+// contiguous buffer — the property the `ctest -L net` adversarial suite
+// pins down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace edgellm::net {
+
+/// Hard caps on request size. Defaults are generous for the serving API
+/// (prompts are token arrays, not documents) while keeping a hostile
+/// client from ballooning per-connection memory.
+struct HttpLimits {
+  int64_t max_request_line = 4096;  ///< method + target + version, bytes
+  int64_t max_header_bytes = 8192;  ///< whole header block (and trailers)
+  int64_t max_headers = 64;         ///< header count
+  int64_t max_body_bytes = 1 << 20; ///< decoded body bytes (either framing)
+};
+
+/// Incremental HTTP/1.1 request parser. Feed it bytes as they arrive;
+/// after every feed() check complete() / failed(). On failure,
+/// error_status() is the HTTP status to answer (400/413/414/431/501/505)
+/// and error_reason() the human-readable why. reset() re-arms the parser
+/// for the next request on a keep-alive connection.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = {});
+
+  /// Consumes up to `n` bytes and returns how many were consumed. Stops
+  /// early at the end of a complete request (pipelined bytes stay with the
+  /// caller) or at the first framing error.
+  size_t feed(const char* data, size_t n);
+
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  /// True once any byte of the current request has been consumed — the
+  /// signal the server's request-deadline (slowloris) timer keys off.
+  bool started() const { return started_; }
+
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  const std::string& method() const { return method_; }
+  /// Request target split at '?': path() and query() (query may be empty).
+  const std::string& path() const { return path_; }
+  const std::string& query() const { return query_; }
+  const std::string& body() const { return body_; }
+  /// Header value by lower-cased name; empty string when absent.
+  std::string header(const std::string& lower_name) const;
+  /// Connection persistence: HTTP/1.1 defaults to keep-alive, 1.0 to
+  /// close, both overridable by a Connection header.
+  bool keep_alive() const { return keep_alive_; }
+  /// Client sent `Expect: 100-continue` (server should interject the
+  /// interim response once headers are in).
+  bool expect_continue() const { return expect_continue_; }
+
+  void reset();
+
+ private:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,       ///< Content-Length framing
+    kChunkSize,  ///< chunked framing: size line
+    kChunkData,
+    kChunkDataEnd,  ///< CRLF after a chunk's data
+    kTrailers,
+    kComplete,
+    kError,
+  };
+
+  void fail(int status, std::string reason);
+  void on_line();  ///< a full (LF-terminated) line is in line_
+  void on_request_line();
+  void on_header_line();
+  void on_headers_done();
+  void on_chunk_size_line();
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  bool started_ = false;
+  std::string line_;
+  int64_t header_bytes_ = 0;
+  int64_t n_headers_ = 0;
+
+  std::string method_, path_, query_;
+  std::map<std::string, std::string> headers_;  ///< lower-cased names
+  bool http11_ = true;
+  bool keep_alive_ = true;
+  bool expect_continue_ = false;
+  bool chunked_ = false;
+  bool have_content_length_ = false;
+  int64_t content_length_ = 0;
+  int64_t chunk_remaining_ = 0;
+  std::string body_;
+
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+/// Canonical reason phrase for the status codes this server emits.
+const char* status_reason(int status);
+
+/// One complete (non-streaming) response with a Content-Length body.
+std::string http_response(int status, std::string_view content_type, std::string_view body,
+                          bool keep_alive);
+
+/// Response head for a chunked streaming body (tokens follow as chunks).
+std::string streaming_response_head(int status, std::string_view content_type, bool keep_alive);
+
+/// One chunk frame: hex length line, payload, CRLF.
+std::string chunk_frame(std::string_view payload);
+
+/// Terminal zero-chunk that ends a chunked body.
+inline constexpr std::string_view kChunkTerminator = "0\r\n\r\n";
+
+/// {"error": "<escaped message>"} — the JSON error body shape every
+/// non-2xx response uses.
+std::string json_error_body(std::string_view message);
+
+}  // namespace edgellm::net

@@ -1,0 +1,98 @@
+#include "net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace edgellm::net {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+}
+
+std::pair<std::string, int> split_host_port(const std::string& addr) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("listen address must be host:port, got \"" + addr + "\"");
+  }
+  const std::string host = colon == 0 ? std::string("0.0.0.0") : addr.substr(0, colon);
+  const std::string port_s = addr.substr(colon + 1);
+  if (port_s.empty() || port_s.size() > 5 ||
+      port_s.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("malformed port in listen address \"" + addr + "\"");
+  }
+  const int port = std::stoi(port_s);
+  if (port > 65535) {
+    throw std::invalid_argument("port out of range in listen address \"" + addr + "\"");
+  }
+  return {host, port};
+}
+
+Listener::Listener(const std::string& host, int port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot parse listen host \"" + host + "\" (IPv4 only)");
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bind " + host + ":" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd_, backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("listen: " + err);
+  }
+  set_nonblocking(fd_);
+
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+}
+
+Listener::~Listener() { close_listener(); }
+
+int Listener::accept_client() {
+  if (fd_ < 0) return -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return -1;
+  set_nonblocking(client);
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+void Listener::close_listener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace edgellm::net

@@ -1,0 +1,49 @@
+// Non-blocking POSIX TCP listener plus the few socket helpers the server
+// needs. No third-party dependencies: plain socket/bind/listen/accept with
+// O_NONBLOCK everywhere, so the single-threaded poll loop in server.cpp
+// can never be wedged by one peer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace edgellm::net {
+
+/// Puts `fd` into non-blocking mode; throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+/// Splits "host:port" (e.g. "127.0.0.1:8080", ":0"). An empty host means
+/// 0.0.0.0; port 0 asks the kernel for an ephemeral port. Throws
+/// std::invalid_argument on malformed input.
+std::pair<std::string, int> split_host_port(const std::string& addr);
+
+/// A bound, listening, non-blocking IPv4 socket. Construction resolves an
+/// ephemeral port immediately, so `port()` is always the real one.
+class Listener {
+ public:
+  /// Throws std::runtime_error when the address cannot be bound.
+  Listener(const std::string& host, int port, int backlog = 128);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const { return fd_; }
+  int port() const { return port_; }
+  bool closed() const { return fd_ < 0; }
+
+  /// Accepts one pending connection, already non-blocking with
+  /// TCP_NODELAY set (token chunks must not sit in Nagle buffers).
+  /// Returns -1 when none are pending (EAGAIN) or the listener is closed.
+  int accept_client();
+
+  /// Stops accepting: closes the listening socket (drain path). Idempotent.
+  void close_listener();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace edgellm::net

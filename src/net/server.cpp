@@ -1,0 +1,555 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/signals.hpp"
+
+namespace edgellm::net {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// HTTP status for a terminal the stream never started for. Once a 200
+/// chunked stream is under way, terminals ride in the final completion
+/// object instead (HTTP has no status-rewind).
+int status_for(serve::RequestStatus s) {
+  switch (s) {
+    case serve::RequestStatus::kOk: return 200;
+    case serve::RequestStatus::kShed: return 429;
+    case serve::RequestStatus::kRejected: return 503;
+    case serve::RequestStatus::kExpired: return 504;
+    case serve::RequestStatus::kTimeout: return 504;
+    case serve::RequestStatus::kCancelled: return 499;
+    case serve::RequestStatus::kFailed: return 500;
+  }
+  return 500;
+}
+
+std::string token_line(int64_t id, int64_t token) {
+  return "{\"id\": " + std::to_string(id) + ", \"token\": " + std::to_string(token) + "}\n";
+}
+
+}  // namespace
+
+HttpServer::HttpServer(serve::ServeEngine& engine, ServerConfig cfg)
+    : engine_(engine),
+      cfg_(cfg),
+      reg_(cfg.registry != nullptr ? *cfg.registry : engine.registry()),
+      listener_(cfg.host, cfg.port),
+      c_accepted_(reg_.counter("net/accepted")),
+      c_over_capacity_(reg_.counter("net/over_capacity_503")),
+      c_requests_(reg_.counter("net/requests")),
+      c_resp_2xx_(reg_.counter("net/responses_2xx")),
+      c_resp_4xx_(reg_.counter("net/responses_4xx")),
+      c_resp_5xx_(reg_.counter("net/responses_5xx")),
+      c_shed_429_(reg_.counter("net/shed_429")),
+      c_unavailable_503_(reg_.counter("net/unavailable_503")),
+      c_disconnects_(reg_.counter("net/client_disconnects")),
+      c_injected_disconnects_(reg_.counter("net/injected_disconnects")),
+      c_timeouts_(reg_.counter("net/timeouts")),
+      c_bytes_in_(reg_.counter("net/bytes_in")),
+      c_bytes_out_(reg_.counter("net/bytes_out")),
+      c_tokens_streamed_(reg_.counter("net/tokens_streamed")),
+      g_connections_(reg_.gauge("net/connections")),
+      g_streams_(reg_.gauge("net/active_streams")),
+      h_request_ms_(reg_.histogram("net/request_ms")),
+      h_conn_life_ms_(reg_.histogram("net/connection_lifetime_ms")) {
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+}
+
+HttpServer::~HttpServer() {
+  for (auto& c : conns_) {
+    if (c && c->fd >= 0) ::close(c->fd);
+  }
+  // Engine callbacks only reference StreamStates (shared_ptr, safe) and the
+  // wake pipe; run() waited out every in-flight future before returning, so
+  // closing the pipe here cannot race a sink wake unless run() was never
+  // called — in which case no sinks were ever created either.
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void HttpServer::wake() {
+  const char b = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);  // full pipe == already awake
+}
+
+void HttpServer::begin_drain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+void HttpServer::queue_error(Connection& c, int status, const std::string& message,
+                             bool keep_alive) {
+  c.queue_out(http_response(status, "application/json", json_error_body(message), keep_alive));
+  if (status >= 500) c_resp_5xx_.add();
+  else if (status >= 400) c_resp_4xx_.add();
+  if (status == 503) c_unavailable_503_.add();
+  if (status == 429) c_shed_429_.add();
+}
+
+void HttpServer::accept_new(Clock::time_point now) {
+  int fd;
+  while ((fd = listener_.accept_client()) >= 0) {
+    if (draining_) {
+      ::close(fd);
+      continue;
+    }
+    if (static_cast<int64_t>(conns_.size()) >= cfg_.max_connections) {
+      // Connection cap: an explicit, immediate 503 beats an unbounded
+      // accept backlog the client interprets as a hung server.
+      c_over_capacity_.add();
+      c_unavailable_503_.add();
+      const std::string r = http_response(503, "application/json",
+                                          json_error_body("connection limit reached"), false);
+      [[maybe_unused]] const ssize_t n = ::send(fd, r.data(), r.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    c_accepted_.add();
+    g_connections_.add(1);
+    n_open_.fetch_add(1, std::memory_order_relaxed);
+    conns_.push_back(std::make_unique<Connection>(fd, next_conn_id_++, cfg_.limits,
+                                                  cfg_.write_buffer_bytes, now));
+  }
+}
+
+void HttpServer::destroy(std::unique_ptr<Connection> c, Clock::time_point now) {
+  if (c->fd >= 0) ::close(c->fd);
+  c->fd = -1;
+  g_connections_.add(-1);
+  n_open_.fetch_sub(1, std::memory_order_relaxed);
+  h_conn_life_ms_.observe(ms_between(c->opened, now));
+}
+
+void HttpServer::abandon_stream(Connection& c) {
+  if (c.phase != Connection::Phase::kStreaming) return;
+  engine_.cancel(c.req_id);
+  if (c.fut.valid()) zombies_.push_back(std::move(c.fut));
+  c.stream.reset();
+  g_streams_.add(-1);
+  c.phase = Connection::Phase::kRequest;
+}
+
+bool HttpServer::handle_readable(Connection& c, Clock::time_point now) {
+  if (c.close_after_flush) return true;  // response is final; ignore further input
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c_bytes_in_.add(n);
+      c.last_activity = now;
+      c.inbuf.append(buf, static_cast<size_t>(n));
+      // A client that pipelines faster than we respond is bounded here:
+      // one full request plus headroom, then the connection goes away.
+      const int64_t cap = cfg_.limits.max_body_bytes + cfg_.limits.max_header_bytes +
+                          cfg_.limits.max_request_line + 4096;
+      if (static_cast<int64_t>(c.inbuf.size()) > cap) {
+        queue_error(c, 400, "pipelined input exceeds buffer cap", false);
+        c.close_after_flush = true;
+        return true;
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF: the client is gone
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // ECONNRESET and friends
+  }
+  if (c.phase == Connection::Phase::kRequest) dispatch_completions(c, now);
+  return true;
+}
+
+/// Feeds buffered bytes through the parser and dispatches complete
+/// requests. Named for its main product; also produces the control
+/// endpoints' responses.
+void HttpServer::dispatch_completions(Connection& c, Clock::time_point now) {
+  while (c.phase == Connection::Phase::kRequest && !c.inbuf.empty() && !c.close_after_flush) {
+    if (!c.request_in_progress) {
+      c.request_in_progress = true;
+      c.request_started = now;
+    }
+    const size_t used = c.parser.feed(c.inbuf.data(), c.inbuf.size());
+    c.inbuf.erase(0, used);
+    if (c.parser.failed()) {
+      // Parse failures close the connection: framing is gone, so the next
+      // bytes cannot be trusted to start a request.
+      queue_error(c, c.parser.error_status(), c.parser.error_reason(), false);
+      c.close_after_flush = true;
+      c.request_in_progress = false;
+      return;
+    }
+    if (c.parser.expect_continue() && !c.sent_continue && !c.parser.complete()) {
+      c.queue_out("HTTP/1.1 100 Continue\r\n\r\n");
+      c.sent_continue = true;
+    }
+    if (!c.parser.complete()) return;  // need more bytes
+    c.request_in_progress = false;
+    c.sent_continue = false;
+    if (!dispatch_request(c, now)) return;
+  }
+}
+
+bool HttpServer::dispatch_request(Connection& c, Clock::time_point now) {
+  c_requests_.add();
+  const std::string method = c.parser.method();
+  const std::string path = c.parser.path();
+  const std::string query = c.parser.query();
+  const std::string body = c.parser.body();
+  const bool keep_alive = c.parser.keep_alive() && !draining_;
+  c.parser.reset();
+
+  if (path == "/healthz") {
+    if (method != "GET") {
+      queue_error(c, 405, "healthz supports GET only", keep_alive);
+    } else if (draining_) {
+      c.queue_out(http_response(503, "application/json", "{\"status\": \"draining\"}\n", false));
+      c_unavailable_503_.add();
+      c_resp_5xx_.add();
+    } else {
+      c.queue_out(http_response(200, "application/json", "{\"status\": \"ok\"}\n", keep_alive));
+      c_resp_2xx_.add();
+    }
+  } else if (path == "/metrics") {
+    if (method != "GET") {
+      queue_error(c, 405, "metrics supports GET only", keep_alive);
+    } else {
+      const obs::MetricsSnapshot snap = reg_.snapshot();
+      const bool csv = query.find("format=csv") != std::string::npos;
+      c.queue_out(http_response(200, csv ? "text/csv" : "application/json",
+                                csv ? snap.to_csv() : snap.to_json(), keep_alive));
+      c_resp_2xx_.add();
+    }
+  } else if (path == "/v1/completions") {
+    if (method != "POST") {
+      queue_error(c, 405, "completions supports POST only", keep_alive);
+    } else if (draining_) {
+      queue_error(c, 503, "server is draining", false);
+      c.close_after_flush = true;
+    } else {
+      serve::Request req;
+      try {
+        // The same hardened parser/validation as the JSONL file front:
+        // both paths reject bad input identically.
+        req = serve::parse_request_json(body);
+      } catch (const std::exception& e) {
+        queue_error(c, 400, e.what(), keep_alive);
+        if (!keep_alive) c.close_after_flush = true;
+        return true;
+      }
+      if (req.id == 0) req.id = ++next_auto_req_id_;
+      auto st = std::make_shared<StreamState>();
+      serve::StreamSink sink;
+      HttpServer* self = this;
+      sink.on_token = [st, self](int64_t, int64_t tok) {
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          st->tokens.push_back(tok);
+        }
+        self->wake();
+      };
+      sink.on_done = [st, self](const serve::Completion& comp) {
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          st->done = true;
+          st->completion = comp;
+        }
+        self->wake();
+      };
+      const int64_t req_id = req.id;
+      std::future<serve::Completion> fut;
+      try {
+        fut = engine_.submit(std::move(req), std::move(sink));
+      } catch (const std::exception& e) {
+        queue_error(c, 400, e.what(), keep_alive);
+        if (!keep_alive) c.close_after_flush = true;
+        return true;
+      }
+      c.stream = std::move(st);
+      c.fut = std::move(fut);
+      c.req_id = req_id;
+      c.request_keep_alive = keep_alive;
+      c.req_dispatch_t = now;
+      c.response_started = false;
+      c.tokens_streamed = 0;
+      c.phase = Connection::Phase::kStreaming;
+      g_streams_.add(1);
+      return true;
+    }
+  } else {
+    queue_error(c, 404, "unknown path \"" + path + "\"", keep_alive);
+  }
+  if (!keep_alive) c.close_after_flush = true;
+  return true;
+}
+
+void HttpServer::finish_response(Connection& c, int status, Clock::time_point now) {
+  h_request_ms_.observe(ms_between(c.req_dispatch_t, now));
+  if (status >= 200 && status < 300) c_resp_2xx_.add();
+  c.stream.reset();
+  if (c.fut.valid()) zombies_.push_back(std::move(c.fut));
+  g_streams_.add(-1);
+  c.phase = Connection::Phase::kRequest;
+  c.response_started = false;
+  c.req_id = 0;
+  if (!c.request_keep_alive || draining_) c.close_after_flush = true;
+}
+
+bool HttpServer::advance_stream(Connection& c, Clock::time_point now) {
+  if (c.phase != Connection::Phase::kStreaming || !c.stream) return true;
+  StreamState& st = *c.stream;
+  std::unique_lock<std::mutex> lk(st.mu);
+
+  if (!c.response_started) {
+    if (st.tokens.empty() && !st.done) return true;  // nothing decoded yet
+    if (st.done && st.tokens.empty() && c.tokens_streamed == 0 &&
+        st.completion.status != serve::RequestStatus::kOk) {
+      // Terminal before any token: a plain, structured status response —
+      // 429 for sheds, 503 for rejects — with the completion object (its
+      // `error` field carries the admission reason) as the body.
+      const int status = status_for(st.completion.status);
+      const serve::Completion comp = st.completion;
+      lk.unlock();
+      const bool ka = c.request_keep_alive && !draining_;
+      c.queue_out(http_response(status, "application/json",
+                                serve::completion_to_json(comp) + "\n", ka));
+      if (status >= 500) c_resp_5xx_.add();
+      else if (status >= 400) c_resp_4xx_.add();
+      if (status == 429) c_shed_429_.add();
+      if (status == 503) c_unavailable_503_.add();
+      finish_response(c, status, now);
+      if (!ka) c.close_after_flush = true;
+      return true;
+    }
+    c.queue_out(streaming_response_head(200, "application/x-ndjson",
+                                        c.request_keep_alive && !draining_));
+    c.response_started = true;
+  }
+
+  // Flush decoded tokens while the bounded write buffer has room; the rest
+  // stay queued in StreamState — that pause is this client's backpressure.
+  while (!st.tokens.empty() && c.out_pending() < c.write_cap) {
+    const int64_t tok = st.tokens.front();
+    st.tokens.pop_front();
+    c.queue_out(chunk_frame(token_line(c.req_id, tok)));
+    ++c.tokens_streamed;
+    c_tokens_streamed_.add();
+    if (cfg_.fault != nullptr && cfg_.fault->disconnect_client()) {
+      // Injected client hangup through the real socket path: hard-close
+      // below; the caller runs the same cancel path a vanished peer does.
+      c_injected_disconnects_.add();
+      return false;
+    }
+  }
+
+  if (st.done && st.tokens.empty()) {
+    const serve::Completion comp = st.completion;
+    lk.unlock();
+    c.queue_out(chunk_frame(serve::completion_to_json(comp) + "\n"));
+    c.queue_out(kChunkTerminator);
+    finish_response(c, 200, now);
+  }
+  return true;
+}
+
+bool HttpServer::handle_writable(Connection& c, Clock::time_point now) {
+  while (c.want_write()) {
+    const ssize_t n =
+        ::send(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      c_bytes_out_.add(n);
+      c.last_activity = now;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET: client vanished
+  }
+  return true;
+}
+
+bool HttpServer::check_deadlines(Connection& c, Clock::time_point now) {
+  if (cfg_.idle_timeout_ms <= 0.0) return true;
+  const double limit = cfg_.idle_timeout_ms;
+  if (c.phase == Connection::Phase::kRequest && !c.close_after_flush) {
+    if (c.request_in_progress && ms_between(c.request_started, now) > limit) {
+      // Slowloris guard: the deadline runs from the request's first byte,
+      // so byte-at-a-time trickle cannot hold a connection open.
+      c_timeouts_.add();
+      queue_error(c, 408, "request did not complete in time", false);
+      c.close_after_flush = true;
+      c.request_in_progress = false;
+      return true;
+    }
+    if (!c.request_in_progress && !c.want_write() &&
+        ms_between(c.last_activity, now) > limit) {
+      c_timeouts_.add();
+      return false;  // silent close of an idle keep-alive session
+    }
+  } else if (c.phase == Connection::Phase::kStreaming && c.want_write() &&
+             ms_between(c.last_activity, now) > limit) {
+    // A streaming client that stopped draining: disconnect it so its KV
+    // slot frees; its tokens were only ever queued, never blocking decode.
+    c_timeouts_.add();
+    return false;
+  }
+  return true;
+}
+
+double HttpServer::next_deadline_ms(Clock::time_point now) const {
+  double t = 250.0;  // safety cap even with nothing scheduled
+  if (cfg_.idle_timeout_ms > 0.0) {
+    for (const auto& c : conns_) {
+      double due = -1.0;
+      if (c->phase == Connection::Phase::kRequest && c->request_in_progress) {
+        due = cfg_.idle_timeout_ms - ms_between(c->request_started, now);
+      } else if (c->phase == Connection::Phase::kRequest && !c->want_write()) {
+        due = cfg_.idle_timeout_ms - ms_between(c->last_activity, now);
+      } else if (c->phase == Connection::Phase::kStreaming && c->want_write()) {
+        due = cfg_.idle_timeout_ms - ms_between(c->last_activity, now);
+      }
+      if (due >= 0.0) t = std::min(t, due);
+    }
+  }
+  return std::max(t, 0.0);
+}
+
+void HttpServer::run() {
+  std::vector<pollfd> fds;
+  std::vector<size_t> conn_of_fd;  // fds[i] -> conns_ index (SIZE_MAX = not a conn)
+
+  while (true) {
+    const auto now = Clock::now();
+
+    // Reap resolved futures of requests whose connection died first.
+    zombies_.erase(std::remove_if(zombies_.begin(), zombies_.end(),
+                                  [](std::future<serve::Completion>& f) {
+                                    if (!f.valid()) return true;
+                                    if (f.wait_for(std::chrono::seconds(0)) ==
+                                        std::future_status::ready) {
+                                      f.get();
+                                      return true;
+                                    }
+                                    return false;
+                                  }),
+                   zombies_.end());
+
+    // Advance streams, process any pipelined bytes, enforce deadlines.
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      Connection& c = *conns_[i];
+      bool alive = advance_stream(c, now);
+      if (alive && c.phase == Connection::Phase::kRequest && !c.inbuf.empty()) {
+        dispatch_completions(c, now);
+        alive = advance_stream(c, now);  // a pipelined request may already have events
+      }
+      if (alive) alive = check_deadlines(c, now);
+      if (!alive || (c.close_after_flush && !c.want_write())) {
+        if (c.phase == Connection::Phase::kStreaming) {
+          c_disconnects_.add();
+          abandon_stream(c);
+        }
+        destroy(std::move(conns_[i]), now);
+        conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+        --i;
+      }
+    }
+
+    if (draining_ && listener_.closed() && conns_.empty()) {
+      if (zombies_.empty()) break;
+      // Cancelled strays: their promises resolve at the engine's next tick
+      // barrier; wait them out so no sink callback outlives this server.
+      for (auto& z : zombies_) {
+        if (z.valid()) z.get();
+      }
+      zombies_.clear();
+      break;
+    }
+
+    fds.clear();
+    conn_of_fd.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    conn_of_fd.push_back(SIZE_MAX);
+    if (!listener_.closed()) {
+      fds.push_back({listener_.fd(), POLLIN, 0});
+      conn_of_fd.push_back(SIZE_MAX);
+    }
+    const size_t first_conn_slot = fds.size();
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      short ev = POLLIN;
+      if (conns_[i]->want_write()) ev |= POLLOUT;
+      fds.push_back({conns_[i]->fd, ev, 0});
+      conn_of_fd.push_back(i);
+    }
+
+    const int timeout = static_cast<int>(std::min(next_deadline_ms(now), 250.0)) + 1;
+    const int rc = ::poll(fds.data(), fds.size(), timeout);
+    if (rc < 0 && errno != EINTR) {
+      throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+    }
+    const auto after = Clock::now();
+
+    if (fds[0].revents != 0) {
+      char buf[256];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if ((drain_requested_.load(std::memory_order_relaxed) || drain_signal() != 0) &&
+        !draining_) {
+      draining_ = true;
+      listener_.close_listener();
+      for (auto& c : conns_) {
+        if (c->phase == Connection::Phase::kRequest && c->request_in_progress) {
+          queue_error(*c, 503, "server is draining", false);
+          c->request_in_progress = false;
+        }
+        c->close_after_flush = c->phase != Connection::Phase::kStreaming;
+      }
+      continue;  // re-evaluate with the drain flags set
+    }
+
+    if (!listener_.closed() && first_conn_slot >= 2 && fds[1].revents != 0) {
+      accept_new(after);
+    }
+
+    for (size_t slot = first_conn_slot; slot < fds.size(); ++slot) {
+      const size_t ci = conn_of_fd[slot];
+      if (ci >= conns_.size() || conns_[ci] == nullptr) continue;
+      Connection& c = *conns_[ci];
+      if (fds[slot].revents == 0) continue;
+      bool alive = true;
+      if ((fds[slot].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = handle_readable(c, after);
+      }
+      if (alive && (fds[slot].revents & POLLOUT) != 0) {
+        alive = handle_writable(c, after);
+      }
+      if (!alive) {
+        if (c.phase == Connection::Phase::kStreaming) {
+          c_disconnects_.add();
+          abandon_stream(c);
+        }
+        destroy(std::move(conns_[ci]), after);
+        conns_[ci] = nullptr;
+      }
+    }
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), nullptr), conns_.end());
+  }
+}
+
+}  // namespace edgellm::net

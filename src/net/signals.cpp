@@ -1,0 +1,44 @@
+#include "net/signals.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+namespace edgellm::net {
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+volatile std::sig_atomic_t g_wake_fd = -1;
+
+extern "C" void drain_signal_handler(int signo) {
+  if (g_signal == 0) g_signal = signo;
+  const int fd = g_wake_fd;
+  if (fd >= 0) {
+    const char b = 's';
+    // Best-effort: a full pipe just means the loop is already waking.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
+  }
+}
+
+}  // namespace
+
+void install_drain_signals(int wake_fd) {
+  g_wake_fd = wake_fd;
+  struct sigaction sa;
+  sa.sa_handler = drain_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking reads must come back with EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+int drain_signal() { return static_cast<int>(g_signal); }
+
+void reset_drain_signals() {
+  g_signal = 0;
+  g_wake_fd = -1;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+}  // namespace edgellm::net

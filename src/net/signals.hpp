@@ -1,0 +1,21 @@
+// Async-signal-safe drain triggers for `edgellm_cli serve`. SIGINT/SIGTERM
+// record the signal number in a sig_atomic_t and (optionally) write one
+// byte to a wake fd, so the HTTP server's poll loop — or the JSONL mode's
+// future-drain loop — notices promptly and runs the *graceful* drain path
+// instead of dying mid-write with half a metrics file on disk.
+#pragma once
+
+namespace edgellm::net {
+
+/// Installs SIGINT and SIGTERM handlers. `wake_fd` >= 0 additionally gets
+/// one byte written per signal (self-pipe pattern; pass the HTTP server's
+/// wake_fd()). Calling again replaces the wake fd.
+void install_drain_signals(int wake_fd = -1);
+
+/// Signal number of the first drain signal received, or 0 when none.
+int drain_signal();
+
+/// Restores default dispositions and clears the recorded signal (tests).
+void reset_drain_signals();
+
+}  // namespace edgellm::net

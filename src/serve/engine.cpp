@@ -156,6 +156,9 @@ void ServeEngine::resolve(SeqState& s, RequestStatus status) {
   c.error = std::move(s.error);
   c.degraded = s.degraded;
   c.exit_layer_used = s.exit_layer_used;
+  // Streaming observers hear the terminal before the future resolves, so
+  // a client that saw its future ready can rely on the sink being done.
+  if (s.sink.on_done) s.sink.on_done(c);
   s.promise.set_value(std::move(c));
 }
 
@@ -171,7 +174,7 @@ Pressure ServeEngine::pressure_locked() const {
   return p;
 }
 
-std::future<Completion> ServeEngine::submit(Request req) {
+std::future<Completion> ServeEngine::submit(Request req, StreamSink sink) {
   const nn::ModelConfig& mcfg = model_.config();
   check_arg(!req.prompt.empty(), "ServeEngine::submit: empty prompt");
   check_arg(static_cast<int64_t>(req.prompt.size()) <= mcfg.max_seq,
@@ -190,6 +193,7 @@ std::future<Completion> ServeEngine::submit(Request req) {
 
   auto s = std::make_unique<SeqState>();
   s->req = std::move(req);
+  s->sink = std::move(sink);  // before any resolve() path so rejects stream too
   s->policy = s->req.exit_policy;
   s->exit_layer = s->req.exit_layer;
   s->exit_layer_used = depth;
@@ -490,6 +494,7 @@ void ServeEngine::loop() {
         }
         s.out.push_back(tok);
         s.last_token = tok;
+        if (s.sink.on_token) s.sink.on_token(s.req.id, tok);
       }
 
       if (!s.cancelled && cfg_.fault != nullptr && cfg_.fault->disconnect_client()) {

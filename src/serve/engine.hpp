@@ -146,7 +146,14 @@ class ServeEngine {
   /// Thread-safe. Throws std::invalid_argument on malformed requests; a
   /// well-formed request that cannot be served right now (queue full, or
   /// larger than the whole KV budget) resolves immediately as kRejected.
-  std::future<Completion> submit(Request req);
+  std::future<Completion> submit(Request req) { return submit(std::move(req), StreamSink{}); }
+
+  /// As above, with per-request streaming callbacks: sink.on_token fires
+  /// as each token is sampled and sink.on_done once at resolution — the
+  /// path the HTTP front door streams chunked responses through. See the
+  /// StreamSink contract in request.hpp (callbacks run on engine threads
+  /// under the engine lock; they must not call back into the engine).
+  std::future<Completion> submit(Request req, StreamSink sink);
 
   /// Cancels a queued or active request by id. Returns false if unknown.
   bool cancel(int64_t id);

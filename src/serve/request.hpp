@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,23 @@ struct Completion {
   /// (see AdmissionConfig); exit_layer_used records the depth that decoded.
   bool degraded = false;
   int64_t exit_layer_used = 0;
+};
+
+/// Per-request streaming callbacks, the push-side alternative to waiting
+/// on the submit() future — what the HTTP front door uses to flush tokens
+/// to a client as the engine decodes them.
+///
+/// Contract: both callbacks are invoked on *engine* threads with the
+/// engine's lock held. They must be fast and non-blocking (enqueue into
+/// your own buffer and wake your own loop) and must never call back into
+/// the engine — doing so deadlocks the scheduler. `on_token` fires once
+/// per sampled token in decode order; `on_done` fires exactly once per
+/// request, after the last token, with the same Completion the future
+/// resolves to (including immediate rejections and sheds, which see no
+/// tokens at all). Either callback may be empty.
+struct StreamSink {
+  std::function<void(int64_t request_id, int64_t token)> on_token;
+  std::function<void(const Completion&)> on_done;
 };
 
 /// Parses one JSONL request line, e.g.

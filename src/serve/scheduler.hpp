@@ -35,6 +35,10 @@ namespace edgellm::serve {
 struct SeqState {
   Request req;
   std::promise<Completion> promise;
+  /// Optional push-side streaming callbacks (see request.hpp). The engine
+  /// invokes on_token per sampled token and on_done when the promise
+  /// resolves.
+  StreamSink sink;
   /// Effective exit policy/layer. Starts as the request's and may be
   /// *downgraded* (never upgraded) by the degradation ladder at staging —
   /// the engine decodes with these, not with req's.

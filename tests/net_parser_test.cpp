@@ -1,0 +1,323 @@
+// Adversarial coverage of the HTTP/1.1 request parser (src/net/http.hpp):
+// hostile framing must fail *closed* with the right status, and byte-at-a-
+// time delivery (slowloris, split TCP segments) must parse identically to
+// one contiguous buffer. Runs under `ctest -L net`, including the ASan/
+// UBSan and TSan CI jobs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/http.hpp"
+
+namespace {
+
+using namespace edgellm::net;
+
+/// Feeds the whole string, returning bytes consumed.
+size_t feed_all(HttpRequestParser& p, const std::string& s) { return p.feed(s.data(), s.size()); }
+
+/// Feeds one byte at a time until consumed, complete, or failed.
+void feed_bytes(HttpRequestParser& p, const std::string& s) {
+  for (const char c : s) {
+    if (p.complete() || p.failed()) return;
+    p.feed(&c, 1);
+  }
+}
+
+// --- well-formed requests ---------------------------------------------------
+
+TEST(NetParser, SimpleGet) {
+  HttpRequestParser p;
+  const std::string req = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(feed_all(p, req), req.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.method(), "GET");
+  EXPECT_EQ(p.path(), "/healthz");
+  EXPECT_EQ(p.query(), "");
+  EXPECT_EQ(p.header("host"), "x");
+  EXPECT_TRUE(p.keep_alive());
+  EXPECT_TRUE(p.body().empty());
+}
+
+TEST(NetParser, QuerySplitAndHeaderCaseFolding) {
+  HttpRequestParser p;
+  feed_all(p, "GET /metrics?format=csv HTTP/1.1\r\nX-Thing:  padded \r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.path(), "/metrics");
+  EXPECT_EQ(p.query(), "format=csv");
+  EXPECT_EQ(p.header("x-thing"), "padded");
+}
+
+TEST(NetParser, ContentLengthBody) {
+  HttpRequestParser p;
+  const std::string body = "{\"prompt\": [1]}";
+  feed_all(p, "POST /v1/completions HTTP/1.1\r\nContent-Length: " +
+                  std::to_string(body.size()) + "\r\n\r\n" + body);
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.body(), body);
+}
+
+TEST(NetParser, ChunkedBodyReassembles) {
+  HttpRequestParser p;
+  feed_all(p,
+           "POST /v1/completions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+           "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n");
+  ASSERT_TRUE(p.complete()) << p.error_reason();
+  EXPECT_EQ(p.body(), "hello world");
+}
+
+TEST(NetParser, ByteAtATimeMatchesContiguous) {
+  // The slowloris delivery schedule must change nothing but timing.
+  const std::string req =
+      "POST /v1/completions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n";
+  HttpRequestParser whole, dribble;
+  feed_all(whole, req);
+  feed_bytes(dribble, req);
+  ASSERT_TRUE(whole.complete());
+  ASSERT_TRUE(dribble.complete());
+  EXPECT_EQ(whole.body(), dribble.body());
+  EXPECT_EQ(whole.path(), dribble.path());
+  EXPECT_TRUE(dribble.started());
+}
+
+TEST(NetParser, PipelinedRequestsStopAtBoundary) {
+  HttpRequestParser p;
+  const std::string first = "GET /healthz HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /metrics HTTP/1.1\r\n\r\n";
+  const std::string wire = first + second;
+  // feed() must stop at the end of request one; the pipelined tail stays
+  // with the caller.
+  EXPECT_EQ(p.feed(wire.data(), wire.size()), first.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.path(), "/healthz");
+  p.reset();
+  EXPECT_EQ(feed_all(p, second), second.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.path(), "/metrics");
+}
+
+TEST(NetParser, KeepAliveDefaultsByVersion) {
+  HttpRequestParser p;
+  feed_all(p, "GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_FALSE(p.keep_alive());
+  p.reset();
+  feed_all(p, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_TRUE(p.keep_alive());
+  p.reset();
+  feed_all(p, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_FALSE(p.keep_alive());
+}
+
+TEST(NetParser, ExpectContinueFlag) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 1\r\n\r\n");
+  EXPECT_FALSE(p.complete());  // body byte still owed
+  EXPECT_TRUE(p.expect_continue());
+  feed_all(p, "x");
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(NetParser, TruncatedChunkedIsIncompleteNotFailed) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel");
+  EXPECT_FALSE(p.complete());
+  EXPECT_FALSE(p.failed());  // the bytes may still arrive; timeouts handle liars
+}
+
+// --- hostile input fails closed with the right status -----------------------
+
+TEST(NetParser, OversizedRequestLine414) {
+  HttpLimits lim;
+  lim.max_request_line = 64;
+  HttpRequestParser p(lim);
+  // No newline ever arrives: the guard must fire mid-line, not wait.
+  feed_all(p, "GET /" + std::string(200, 'a'));
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 414);
+}
+
+TEST(NetParser, OversizedHeaderBlock431) {
+  HttpLimits lim;
+  lim.max_header_bytes = 128;
+  HttpRequestParser p(lim);
+  feed_all(p, "GET / HTTP/1.1\r\nX-Pad: " + std::string(400, 'b') + "\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(NetParser, TooManyHeaders431) {
+  HttpLimits lim;
+  lim.max_headers = 4;
+  lim.max_header_bytes = 1 << 20;
+  HttpRequestParser p(lim);
+  std::string req = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 10; ++i) req += "H" + std::to_string(i) + ": v\r\n";
+  feed_all(p, req + "\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(NetParser, DeclaredBodyOverCap413) {
+  HttpLimits lim;
+  lim.max_body_bytes = 1024;
+  HttpRequestParser p(lim);
+  feed_all(p, "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(NetParser, ChunkedBodyOverCap413) {
+  HttpLimits lim;
+  lim.max_body_bytes = 8;
+  HttpRequestParser p(lim);
+  // The size line alone reveals the overflow; no data bytes needed.
+  feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nff\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 413);
+}
+
+TEST(NetParser, SmugglingAmbiguityRejected400) {
+  HttpRequestParser p;
+  feed_all(p,
+           "POST / HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, UnknownTransferCoding501) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 501);
+}
+
+TEST(NetParser, ConflictingContentLengths400) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, MalformedContentLength400) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, WhitespaceBeforeColon400) {
+  HttpRequestParser p;
+  feed_all(p, "GET / HTTP/1.1\r\nHost : x\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, LowercaseMethod400) {
+  HttpRequestParser p;
+  feed_all(p, "get / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, UnsupportedVersion505) {
+  HttpRequestParser p;
+  feed_all(p, "GET / HTTP/2.0\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 505);
+}
+
+TEST(NetParser, UnsupportedExpect417) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nExpect: 200-maybe\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 417);
+}
+
+TEST(NetParser, ChunkExtensionsRejected400) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5;ext=1\r\nhello\r\n0\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, GarbageChunkSize400) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, MissingCrlfAfterChunkData400) {
+  HttpRequestParser p;
+  feed_all(p, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX\r\n");
+  ASSERT_TRUE(p.failed());
+  EXPECT_EQ(p.error_status(), 400);
+}
+
+TEST(NetParser, LeadingEmptyLinesToleratedButBudgeted) {
+  HttpRequestParser p;
+  feed_all(p, "\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+  EXPECT_TRUE(p.complete());
+
+  HttpLimits lim;
+  lim.max_header_bytes = 64;
+  HttpRequestParser q(lim);
+  feed_all(q, std::string(200, '\n'));
+  ASSERT_TRUE(q.failed());
+  EXPECT_EQ(q.error_status(), 400);
+}
+
+TEST(NetParser, ErrorStopsConsuming) {
+  HttpRequestParser p;
+  const std::string wire = "bad\r\ntrailing bytes the parser must not touch";
+  const size_t used = p.feed(wire.data(), wire.size());
+  ASSERT_TRUE(p.failed());
+  EXPECT_LT(used, wire.size());
+}
+
+// --- response writers -------------------------------------------------------
+
+TEST(NetWriters, PlainResponseShape) {
+  const std::string r = http_response(200, "application/json", "{}", true);
+  EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(r.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 2), "{}");
+  const std::string c = http_response(503, "application/json", "{}", false);
+  EXPECT_NE(c.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(c.find("503 Service Unavailable"), std::string::npos);
+}
+
+TEST(NetWriters, StreamingHeadAndChunks) {
+  const std::string head = streaming_response_head(200, "application/x-ndjson", true);
+  EXPECT_NE(head.find("Transfer-Encoding: chunked\r\n"), std::string::npos);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+  EXPECT_EQ(chunk_frame("hello"), "5\r\nhello\r\n");
+  EXPECT_EQ(chunk_frame(std::string(255, 'x')).substr(0, 4), "ff\r\n");
+  EXPECT_EQ(kChunkTerminator, "0\r\n\r\n");
+}
+
+TEST(NetWriters, ChunkFramesRoundTripThroughParser) {
+  // What our writer emits, our parser must accept — the bench client and
+  // the loopback tests both depend on this agreement.
+  HttpRequestParser p;
+  std::string wire = "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  wire += chunk_frame("{\"id\": 1}\n");
+  wire += chunk_frame("{\"id\": 2}\n");
+  wire += kChunkTerminator;
+  EXPECT_EQ(feed_all(p, wire), wire.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.body(), "{\"id\": 1}\n{\"id\": 2}\n");
+}
+
+TEST(NetWriters, JsonErrorBodyEscapes) {
+  EXPECT_EQ(json_error_body("plain"), "{\"error\": \"plain\"}");
+  EXPECT_EQ(json_error_body("a\"b\\c\nd"), "{\"error\": \"a\\\"b\\\\c\\nd\"}");
+  EXPECT_EQ(json_error_body(std::string(1, '\x01')), "{\"error\": \"\\u0001\"}");
+}
+
+}  // namespace
