@@ -51,9 +51,11 @@ class Connection {
   Phase phase = Phase::kRequest;
   HttpRequestParser parser;
 
-  /// Bytes read but not yet fed to the parser (pipelined requests wait
-  /// here while a response is being produced).
+  /// Bytes read off the socket; [in_off, inbuf.size()) is not yet fed to
+  /// the parser (pipelined requests wait here while a response is being
+  /// produced). Consumed via consume_in(), which compacts lazily.
   std::string inbuf;
+  size_t in_off = 0;
 
   /// Pending output; [out_off, out.size()) is unflushed. Appends are gated
   /// on write_cap so a dead-slow client cannot balloon this buffer.
@@ -85,17 +87,38 @@ class Connection {
   bool want_write() const { return out_off < out.size(); }
   int64_t out_pending() const { return static_cast<int64_t>(out.size() - out_off); }
 
-  /// Appends response bytes and compacts the consumed prefix when it gets
-  /// large (keeps the buffer from growing monotonically on keep-alive).
-  void queue_out(std::string_view bytes) {
-    if (out_off > 4096 && out_off == out.size()) {
-      out.clear();
-      out_off = 0;
-    } else if (out_off > 65536) {
-      out.erase(0, out_off);
-      out_off = 0;
+  /// Consumed-prefix compaction shared by both buffers. A full drain is a
+  /// free clear(). Otherwise compact only when the consumed prefix is both
+  /// large AND at least as big as the unconsumed tail: erase(0, off) moves
+  /// the whole tail, so compacting on a bare size threshold is quadratic
+  /// for a slow reader with a deep backlog (every append re-moves the
+  /// backlog). This policy amortises each consumed byte to O(1) moves and
+  /// bounds slack at the larger of 64KB and the pending bytes.
+  static void compact(std::string& buf, size_t& off) {
+    if (off == buf.size()) {
+      buf.clear();
+      off = 0;
+    } else if (off > 65536 && off >= buf.size() - off) {
+      buf.erase(0, off);
+      off = 0;
     }
+  }
+
+  /// Appends response bytes, compacting the flushed prefix lazily (keeps
+  /// the buffer from growing monotonically on keep-alive).
+  void queue_out(std::string_view bytes) {
+    compact(out, out_off);
     out.append(bytes);
+  }
+
+  /// Input bytes not yet fed to the parser.
+  std::string_view in_pending() const { return std::string_view(inbuf).substr(in_off); }
+
+  /// Marks `n` input bytes parser-consumed and compacts lazily, so a burst
+  /// of pipelined requests does not re-copy the remaining tail per request.
+  void consume_in(size_t n) {
+    in_off += n;
+    compact(inbuf, in_off);
   }
 };
 

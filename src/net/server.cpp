@@ -158,7 +158,7 @@ bool HttpServer::handle_readable(Connection& c, Clock::time_point now) {
       // one full request plus headroom, then the connection goes away.
       const int64_t cap = cfg_.limits.max_body_bytes + cfg_.limits.max_header_bytes +
                           cfg_.limits.max_request_line + 4096;
-      if (static_cast<int64_t>(c.inbuf.size()) > cap) {
+      if (static_cast<int64_t>(c.in_pending().size()) > cap) {
         queue_error(c, 400, "pipelined input exceeds buffer cap", false);
         c.close_after_flush = true;
         return true;
@@ -179,13 +179,15 @@ bool HttpServer::handle_readable(Connection& c, Clock::time_point now) {
 /// requests. Named for its main product; also produces the control
 /// endpoints' responses.
 void HttpServer::dispatch_completions(Connection& c, Clock::time_point now) {
-  while (c.phase == Connection::Phase::kRequest && !c.inbuf.empty() && !c.close_after_flush) {
+  while (c.phase == Connection::Phase::kRequest && !c.in_pending().empty() &&
+         !c.close_after_flush) {
     if (!c.request_in_progress) {
       c.request_in_progress = true;
       c.request_started = now;
     }
-    const size_t used = c.parser.feed(c.inbuf.data(), c.inbuf.size());
-    c.inbuf.erase(0, used);
+    const std::string_view pending = c.in_pending();
+    const size_t used = c.parser.feed(pending.data(), pending.size());
+    c.consume_in(used);
     if (c.parser.failed()) {
       // Parse failures close the connection: framing is gone, so the next
       // bytes cannot be trusted to start a request.
@@ -454,7 +456,7 @@ void HttpServer::run() {
     for (size_t i = 0; i < conns_.size(); ++i) {
       Connection& c = *conns_[i];
       bool alive = advance_stream(c, now);
-      if (alive && c.phase == Connection::Phase::kRequest && !c.inbuf.empty()) {
+      if (alive && c.phase == Connection::Phase::kRequest && !c.in_pending().empty()) {
         dispatch_completions(c, now);
         alive = advance_stream(c, now);  // a pipelined request may already have events
       }

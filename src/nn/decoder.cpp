@@ -35,7 +35,7 @@ void scatter_rows(const Tensor& src, const std::vector<int64_t>& rows, Tensor& d
 // Causal attention for one sequence's new token: `q` is this token's query
 // row [d_model]; keys/values come from the cache (t cached positions
 // including this token's). Writes the merged heads into `ctx` [d_model].
-void attend_one(const ModelConfig& cfg, const KvCache& cache, int64_t layer, int64_t t,
+void attend_one(const ModelConfig& cfg, const KvSequenceView& cache, int64_t layer, int64_t t,
                 const float* q, float* ctx, std::vector<float>& row,
                 std::vector<float>& scores) {
   const int64_t n_heads = cfg.n_heads;

@@ -95,7 +95,10 @@ void validate_generate_config(const GenerateConfig& cfg, const CausalLm& model);
 
 /// One sequence's slice of a batched decode tick.
 struct BatchedSeq {
-  KvCache* cache = nullptr;  ///< this sequence's cache (disjoint across seqs)
+  /// This sequence's cache (disjoint across seqs). Row-addressed view, so
+  /// contiguous (KvCache) and paged (serve::PagedKvPool) storage decode
+  /// bitwise identically.
+  KvSequenceView* cache = nullptr;
   int64_t position = 0;      ///< tokens already cached
   int64_t token = 0;         ///< token to feed this tick
   int64_t exit_layer = 0;    ///< 0 means the final exit

@@ -5,6 +5,14 @@
 // Extracted from IncrementalDecoder so the serving layer (src/serve) can
 // pool many sequences' caches behind one global byte budget: a KvCache is
 // exactly the unit a serve::KvCachePool hands out per slot.
+//
+// KvSequenceView is the row-addressed interface the decode path reads and
+// writes through. Attention never assumes contiguous storage — it asks for
+// one (layer, position) row at a time — so the serving layer can back a
+// sequence with paged blocks (serve::PagedKvPool) instead of the
+// contiguous vectors here, and the decode stays bitwise identical: the
+// same float rows come back in the same order regardless of where they
+// live.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +20,40 @@
 
 namespace edgellm::nn {
 
-class KvCache {
+/// Abstract row-addressed view of one sequence's KV cache. Positions are
+/// dense per layer: append() adds row `positions(layer)` and reads address
+/// rows [0, positions(layer)).
+class KvSequenceView {
+ public:
+  virtual ~KvSequenceView() = default;
+
+  /// Appends one position's K and V rows (`kv_dim` floats each) to `layer`.
+  virtual void append(int64_t layer, const float* k, const float* v) = 0;
+
+  /// Dequantises (or copies) a cached row into `out` (`kv_dim` floats).
+  virtual void load_k(int64_t layer, int64_t pos, float* out) const = 0;
+  virtual void load_v(int64_t layer, int64_t pos, float* out) const = 0;
+
+  /// Direct pointer to a cached fp32 row — nullptr when quantized. Lets hot
+  /// attention loops read rows in place instead of copying via load_k/load_v.
+  virtual const float* k_row(int64_t layer, int64_t pos) const = 0;
+  virtual const float* v_row(int64_t layer, int64_t pos) const = 0;
+
+  virtual int64_t n_layers() const = 0;
+  virtual int64_t kv_dim() const = 0;
+  virtual bool quantized() const = 0;
+
+  /// Cached positions in `layer` (layers above an early exit stay empty).
+  virtual int64_t positions(int64_t layer) const = 0;
+
+  /// Bytes currently held by storage this sequence owns (payload +
+  /// quantisation scales; paged backends exclude shared prefix blocks).
+  virtual int64_t bytes() const = 0;
+};
+
+/// Contiguous per-sequence storage: one growing vector per layer. The
+/// single-sequence decoder's cache and the slot-addressed pool's unit.
+class KvCache final : public KvSequenceView {
  public:
   KvCache() = default;
   KvCache(int64_t n_layers, int64_t kv_dim, bool quantize) {
@@ -25,31 +66,26 @@ class KvCache {
   /// Drops all cached positions, keeping the configuration.
   void clear();
 
-  /// Appends one position's K and V rows (`kv_dim` floats each) to `layer`.
-  void append(int64_t layer, const float* k, const float* v);
+  void append(int64_t layer, const float* k, const float* v) override;
 
-  /// Dequantises (or copies) a cached row into `out` (`kv_dim` floats).
-  void load_k(int64_t layer, int64_t pos, float* out) const;
-  void load_v(int64_t layer, int64_t pos, float* out) const;
+  void load_k(int64_t layer, int64_t pos, float* out) const override;
+  void load_v(int64_t layer, int64_t pos, float* out) const override;
 
-  /// Direct pointer to a cached fp32 row — nullptr when quantized. Lets hot
-  /// attention loops read rows in place instead of copying via load_k/load_v.
-  const float* k_row(int64_t layer, int64_t pos) const {
+  const float* k_row(int64_t layer, int64_t pos) const override {
     return quantize_ ? nullptr : k_[static_cast<std::size_t>(layer)].data() + pos * kv_dim_;
   }
-  const float* v_row(int64_t layer, int64_t pos) const {
+  const float* v_row(int64_t layer, int64_t pos) const override {
     return quantize_ ? nullptr : v_[static_cast<std::size_t>(layer)].data() + pos * kv_dim_;
   }
 
-  int64_t n_layers() const { return n_layers_; }
-  int64_t kv_dim() const { return kv_dim_; }
-  bool quantized() const { return quantize_; }
+  int64_t n_layers() const override { return n_layers_; }
+  int64_t kv_dim() const override { return kv_dim_; }
+  bool quantized() const override { return quantize_; }
 
-  /// Cached positions in `layer` (layers above an early exit stay empty).
-  int64_t positions(int64_t layer) const;
+  int64_t positions(int64_t layer) const override;
 
   /// Bytes currently held (payload + quantisation scales).
-  int64_t bytes() const;
+  int64_t bytes() const override;
 
   /// Bytes one cached position costs across `n_layers` layers (K + V
   /// payload, plus one fp32 scale per row when quantized).

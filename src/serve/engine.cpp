@@ -91,10 +91,12 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
                              model.config().n_layers, cfg.max_admission_retries,
                              cfg.retry_backoff_ms, cfg.fault},
              KvPoolConfig{cfg.max_batch, model.config().kv_dim(), cfg.kv_byte_budget,
-                          cfg.quantize_kv, &registry_}) {
+                          cfg.quantize_kv, cfg.kv_paged, cfg.kv_block_tokens,
+                          model.config().n_layers, &registry_}) {
   check_arg(cfg_.threads >= 1, "ServeEngine: threads must be >= 1");
   check_arg(cfg_.compute_threads >= 0, "ServeEngine: compute_threads must be >= 0");
   check_arg(cfg_.watchdog_stall_ms >= 0, "ServeEngine: watchdog_stall_ms must be >= 0");
+  check_arg(cfg_.prefill_chunk >= 1, "ServeEngine: prefill_chunk must be >= 1");
   if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
   if (cfg_.trace_kernel_sample >= 0) obs::Tracer::global().enable(cfg_.trace_kernel_sample);
   h_wait_class_[0] = &registry_.histogram("serve/queue_wait_ms_p0");
@@ -167,7 +169,7 @@ Pressure ServeEngine::pressure_locked() const {
   p.queue_ratio =
       static_cast<double>(sched_.queued()) / static_cast<double>(cfg_.queue_capacity);
   if (cfg_.kv_byte_budget > 0) {
-    p.kv_ratio = static_cast<double>(sched_.pool().committed_bytes()) /
+    p.kv_ratio = static_cast<double>(sched_.kv_committed_bytes()) /
                  static_cast<double>(cfg_.kv_byte_budget);
   }
   p.tick_ewma_ms = admit_ctl_.tick_ewma_ms();
@@ -202,12 +204,24 @@ std::future<Completion> ServeEngine::submit(Request req, StreamSink sink) {
   std::future<Completion> fut = s->promise.get_future();
 
   // A request whose worst-case cache exceeds the whole budget can never be
-  // admitted; reject now instead of wedging the queue head forever.
+  // admitted; reject now instead of wedging the queue head forever. The
+  // projection must use the *cheapest depth admission could leave this
+  // request at*: when a degrade mechanism is configured (pressure
+  // thresholds or the degrade-early-exit shed policy), staging may move it
+  // down the ladder before reserving bytes, so rejecting on the full-depth
+  // ask would turn away requests that fit perfectly well degraded.
   const int64_t projected = std::min<int64_t>(
       static_cast<int64_t>(s->req.prompt.size()) + s->req.max_new_tokens, mcfg.max_seq);
+  const bool can_degrade =
+      cfg_.admission.shed_policy == ShedPolicy::kDegradeEarlyExit ||
+      cfg_.admission.degrade_queue_ratio > 0.0 || cfg_.admission.degrade_kv_ratio > 0.0 ||
+      cfg_.admission.degrade_tick_ms > 0.0;
+  const int64_t rung_floor = ladder_.shallow > 0 ? ladder_.shallow : ladder_.deep;
+  const int64_t floor_depth =
+      can_degrade && rung_floor > 0 ? std::min(depth, rung_floor) : depth;
   const bool impossible =
       cfg_.kv_byte_budget > 0 &&
-      sched_.pool().projected_bytes(projected, depth) > cfg_.kv_byte_budget;
+      sched_.kv_projected_bytes(projected, floor_depth) > cfg_.kv_byte_budget;
 
   std::lock_guard<std::mutex> lk(mu_);
   c_submitted_.add();
@@ -339,8 +353,7 @@ void ServeEngine::run_decode(std::vector<nn::BatchedSeq>& seqs,
 }
 
 void ServeEngine::finish_seq(size_t index, RequestStatus status) {
-  sched_.active()[index]->kv_bytes_at_end =
-      sched_.pool().slot(sched_.active()[index]->slot).bytes();
+  sched_.active()[index]->kv_bytes_at_end = sched_.active()[index]->kv->bytes();
   std::unique_ptr<SeqState> s = sched_.finish(index);
   switch (status) {
     case RequestStatus::kOk: c_completed_.add(); break;
@@ -423,6 +436,54 @@ void ServeEngine::loop() {
     const auto tick_t0 = std::chrono::steady_clock::now();
     const obs::ScopedSpan tick_span("serve/tick");
 
+    // Chunked prefill: sequences still feeding their prompt advance up to
+    // prefill_chunk positions this tick via prompt-only micro-batches ahead
+    // of the regular step — never the last prompt token (it must produce
+    // logits in the main batch below), so sampling and bitwise outputs are
+    // unaffected; prefill just reaches the first sampled token in fewer
+    // ticks. Decoding sequences keep their one token per tick.
+    for (int64_t step = 1; step < cfg_.prefill_chunk && !failed_; ++step) {
+      std::vector<size_t> pre;
+      for (size_t i = 0; i < active.size(); ++i) {
+        if (active[i]->prompt_fed + 1 < active[i]->req.prompt.size()) pre.push_back(i);
+      }
+      if (pre.empty()) break;
+      seqs.assign(pre.size(), nn::BatchedSeq{});
+      chunk_failed.assign(pre.size(), 0);
+      chunk_errors.assign(pre.size(), std::string());
+      for (size_t p = 0; p < pre.size(); ++p) {
+        SeqState& s = *active[pre[p]];
+        nn::BatchedSeq& j = seqs[p];
+        j.cache = s.kv;
+        j.position = s.position;
+        j.token = s.next_token();
+        j.want_logits = false;
+        j.all_exits = false;
+        j.exit_layer = s.policy == ExitPolicy::kFixedEarly ? s.exit_layer : int64_t{0};
+      }
+      lk.unlock();
+      run_decode(seqs, chunk_failed, chunk_errors);
+      lk.lock();
+      if (failed_) break;
+      // Advance survivors; retire failures in descending active order so
+      // finish_seq's erase keeps the remaining indices valid.
+      for (size_t p = pre.size(); p-- > 0;) {
+        SeqState& s = *active[pre[p]];
+        if (chunk_failed[p] != 0) {
+          s.error = chunk_errors[p];
+          finish_seq(pre[p], RequestStatus::kFailed);
+          continue;
+        }
+        ++s.prompt_fed;
+        ++s.position;
+      }
+    }
+    if (failed_) {
+      sched_.clear_failed();
+      return;
+    }
+    if (active.empty()) continue;
+
     // Build this tick's per-sequence jobs (one token each), from the
     // *effective* policy (the ladder may have degraded it at admission).
     const size_t B = active.size();
@@ -432,7 +493,7 @@ void ServeEngine::loop() {
     for (size_t i = 0; i < B; ++i) {
       SeqState& s = *active[i];
       nn::BatchedSeq& j = seqs[i];
-      j.cache = &sched_.pool().slot(s.slot);
+      j.cache = s.kv;
       j.position = s.position;
       j.token = s.next_token();
       // Logits are only needed when this tick's output will be sampled
@@ -519,7 +580,7 @@ void ServeEngine::loop() {
     }
     // Workers are quiesced here, so the scheduler may read slot contents
     // to refresh the poll-safe byte accounting and the high-water mark.
-    sched_.pool().sync_live_bytes();
+    sched_.kv_sync_live_bytes();
     const double tick_ms = ms_between(tick_t0, std::chrono::steady_clock::now());
     h_tick_ms_.observe(tick_ms);
     admit_ctl_.observe_tick(tick_ms);
@@ -607,7 +668,7 @@ EngineMetrics ServeEngine::metrics() const {
   m.tokens_generated = c_tokens_.value();
   m.ticks = h_batch_.count();
   m.occupancy_sum = h_batch_.sum();
-  m.kv_high_water_bytes = sched_.pool().high_water_bytes();
+  m.kv_high_water_bytes = sched_.kv_high_water_bytes();
   m.kv_budget_bytes = cfg_.kv_byte_budget;
   return m;
 }

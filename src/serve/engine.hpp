@@ -49,6 +49,19 @@ struct EngineConfig {
   int64_t compute_threads = 0;
   int64_t kv_byte_budget = 0;   ///< global KV cache cap in bytes; 0 = unlimited
   bool quantize_kv = false;     ///< int8 pooled caches
+  /// Paged KV storage (serve::PagedKvPool): block-granular admission under
+  /// the same byte budget, with cross-request prefix reuse — a request
+  /// whose prompt prefix matches a finished sequence's cached blocks skips
+  /// prefilling those positions. Greedy completions are byte-identical to
+  /// the slot pool. Off by default.
+  bool kv_paged = false;
+  int64_t kv_block_tokens = 16;  ///< paged only: positions per KV block
+  /// Max prompt tokens a prefilling sequence advances per scheduler tick
+  /// (chunked prefill). 1 = classic one-token ticks; higher values reach
+  /// the first sampled token in fewer ticks by running prompt-only
+  /// micro-batches ahead of the regular step — never the last prompt
+  /// token, so sampling (and bitwise outputs) are unaffected.
+  int64_t prefill_chunk = 1;
   /// Hold packable compressed weights (per-row symmetric int4/int8, no
   /// LoRA) as PackedMatrix in the decode weight cache and multiply against
   /// the packed integers directly (quant::packed_matmul_nt). Cuts the

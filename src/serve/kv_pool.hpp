@@ -1,24 +1,35 @@
-// Slot-addressed pool of per-sequence KV caches under one global byte
-// budget — the serving-side refactor of IncrementalDecoder's private
-// caches. Admission control reserves a slot against the *projected* peak
-// bytes of a sequence (prompt + max_new_tokens positions), so a request
-// that would blow the budget waits in the queue instead of OOM-ing the
-// device mid-decode.
+// Serving-side KV cache pools under one global byte budget.
 //
-// Thread model: pool *state* (slot occupancy, byte accounting, high-water
-// mark) is guarded by an internal mutex, so the metrics accessors are
-// const and safe to poll from any thread while the scheduler thread
-// acquires/releases. Slot *contents* are not locked: the engine's
-// scheduler thread hands each acquired slot to exactly one worker between
-// barriers, and workers append only to their own (disjoint) slots.
-// Because slot contents are unlocked, the metrics accessors never read
-// them — live-byte accounting is a cached counter the owning scheduler
-// refreshes via sync_live_bytes() at tick barriers (when no worker is
-// appending).
+// Two implementations share the admission vocabulary (KvAdmitReason):
+//
+//   - KvCachePool: the original slot-addressed pool — one contiguous
+//     nn::KvCache per admitted sequence, whole-sequence projected-peak
+//     reservation. Simple, zero sharing.
+//   - PagedKvPool: vLLM-style paged storage. A sequence's rows live in
+//     fixed-size blocks (block_tokens positions × one layer each) chained
+//     by a per-layer block table, so admission reserves only the
+//     *incremental* blocks a request needs after matching its prompt
+//     against a prefix trie of finished sequences. Shared prefix blocks
+//     are reference-counted and copy-on-write: a request that diverges
+//     mid-block gets a private copy at the divergence point, never
+//     mutating the cached prefix. Unreferenced cached prefixes are
+//     LRU-evicted when the budget needs the blocks back.
+//
+// Thread model (both pools): accounting state is guarded by an internal
+// mutex, so the metrics accessors are safe to poll from any thread while
+// the scheduler acquires/releases. Sequence *contents* are not locked:
+// the engine hands each sequence to exactly one worker between barriers,
+// workers append only to blocks their own sequence owns, and shared
+// prefix blocks are read-only while referenced. Paged block allocation
+// (which may run inside a worker's append) takes the pool mutex; row
+// reads and writes never do.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/kv_cache.hpp"
@@ -31,6 +42,12 @@ struct KvPoolConfig {
   int64_t kv_dim = 0;         ///< model.config().kv_dim()
   int64_t byte_budget = 0;    ///< global cap on projected cache bytes; 0 = unlimited
   bool quantize = false;      ///< int8 slots (4x cheaper admission too)
+  /// Use the paged pool (PagedKvPool: block-granular admission with
+  /// cross-request prefix reuse) instead of slot-addressed contiguous
+  /// caches. Greedy outputs are byte-identical either way.
+  bool paged = false;
+  int64_t block_tokens = 16;  ///< paged only: positions per KV block
+  int64_t n_layers = 0;       ///< paged only: model depth (set by the scheduler)
   /// Non-owning metrics sink (must outlive the pool). The pool keeps
   /// kv/acquired, kv/rejected and kv/released counters plus kv/bytes_in_use,
   /// kv/committed_bytes and kv/high_water_bytes gauges up to date in it;
@@ -55,14 +72,22 @@ class KvCachePool {
   explicit KvCachePool(KvPoolConfig cfg);
 
   /// Reserves a slot for a sequence that will use `n_layers` layers and
-  /// grow to at most `projected_positions` cached positions. Returns the
-  /// slot id, or -1 when no slot is free or the projection would exceed
-  /// the byte budget (the caller queues the request and retries later).
-  /// `reason`, when non-null, reports why a -1 happened (kOk on success).
+  /// grow to at most `projected_positions` cached positions. `n_layers` is
+  /// the sequence's *effective* decode depth — for a request the admission
+  /// ladder degraded to an early exit, the post-degrade exit layer, so a
+  /// degraded request is only ever charged for the layers it touches.
+  /// Returns the slot id, or -1 when no slot is free or the projection
+  /// would exceed the byte budget (the caller queues the request and
+  /// retries later). `reason`, when non-null, reports why a -1 happened
+  /// (kOk on success).
   int64_t acquire(int64_t projected_positions, int64_t n_layers,
                   KvAdmitReason* reason = nullptr);
 
-  /// Returns a slot to the pool (its storage is dropped).
+  /// Returns a slot to the pool (its storage is dropped). Reads the slot's
+  /// contents to settle the live-byte accounting immediately — call it only
+  /// from the owning scheduler thread at a tick barrier (the same contract
+  /// as handing the slot to a worker), never while a worker may be
+  /// appending to this slot.
   void release(int64_t slot);
 
   nn::KvCache& slot(int64_t id);
@@ -83,7 +108,9 @@ class KvCachePool {
   /// Sum of live slots' projected peak bytes (what admission checks).
   int64_t committed_bytes() const;
 
-  /// Largest bytes_in_use() ever observed.
+  /// Largest bytes_in_use() ever observed (release() settles a dying
+  /// slot's final bytes into the mark even when no sync ran after its
+  /// last append, so short-lived slots cannot slip under it).
   int64_t high_water_bytes() const;
 
   int64_t slots_in_use() const;
@@ -117,8 +144,202 @@ class KvCachePool {
   std::vector<int64_t> live_bytes_;  ///< per-slot bytes at the last sync
   int64_t committed_ = 0;
   int64_t live_total_ = 0;   ///< sum of live_bytes_, what bytes_in_use() reports
-  int64_t high_water_ = 0;   ///< advanced by sync_live_bytes()
+  int64_t high_water_ = 0;   ///< advanced by sync_live_bytes() and release()
   int64_t in_use_count_ = 0;
+};
+
+// --- Paged pool -------------------------------------------------------------
+
+struct PagedKvConfig {
+  int64_t block_tokens = 16;  ///< positions per KV block (power of two not required)
+  int64_t n_layers = 0;       ///< model depth: max layers any sequence may use
+  int64_t kv_dim = 0;         ///< model.config().kv_dim()
+  int64_t byte_budget = 0;    ///< cap on allocated block bytes; 0 = unlimited
+  bool quantize = false;      ///< int8 blocks (one fp32 scale per row)
+  /// Non-owning metrics sink (must outlive the pool): kv/acquired,
+  /// kv/released, kv/rejected, kv/prefix_hit, kv/prefix_miss,
+  /// kv/prefix_hit_tokens, kv/evicted_blocks, kv/cow_forks counters and
+  /// kv/bytes_in_use, kv/committed_bytes, kv/high_water_bytes,
+  /// kv/blocks_in_use, kv/blocks_cached gauges; null records nothing.
+  obs::Registry* registry = nullptr;
+};
+
+/// One fixed-capacity KV block: `block_tokens` positions of K and V rows
+/// for a single layer. Exactly one representation is populated depending
+/// on the pool's quantize flag. Blocks are recycled through a free list —
+/// storage is sized once and row writes overwrite in place.
+struct KvBlock {
+  std::vector<float> k, v;            ///< fp32: block_tokens * kv_dim each
+  std::vector<int8_t> kq, vq;         ///< int8 payload
+  std::vector<float> k_scales, v_scales;  ///< one fp32 scale per row
+};
+
+class PagedKvPool;
+
+/// One admitted sequence's view of the paged pool: a per-layer table of
+/// block pointers. The first `shared_len()` positions may live in blocks
+/// shared with the prefix cache (read-only); appends go to owned blocks,
+/// copy-on-write-forking a partially-consumed shared block at the
+/// divergence point. Implements the row-addressed decode interface, so
+/// attention reads through the block table and stays bitwise identical to
+/// contiguous storage.
+class PagedKvSeq final : public nn::KvSequenceView {
+ public:
+  void append(int64_t layer, const float* k, const float* v) override;
+  void load_k(int64_t layer, int64_t pos, float* out) const override;
+  void load_v(int64_t layer, int64_t pos, float* out) const override;
+  const float* k_row(int64_t layer, int64_t pos) const override;
+  const float* v_row(int64_t layer, int64_t pos) const override;
+  int64_t n_layers() const override { return depth_; }
+  int64_t kv_dim() const override { return kv_dim_; }
+  bool quantized() const override { return quantize_; }
+  int64_t positions(int64_t layer) const override;
+  /// Bytes of blocks this sequence *owns* (shared prefix blocks are the
+  /// cache's, not this request's marginal cost).
+  int64_t bytes() const override;
+
+  /// Positions served from the prefix cache at admission (the tokens this
+  /// request never had to prefill).
+  int64_t shared_len() const { return shared_len_; }
+  /// Copy-on-write block copies this sequence performed (one per layer at
+  /// the divergence point).
+  int64_t cow_forks() const { return cow_forks_; }
+
+ private:
+  friend class PagedKvPool;
+  PagedKvSeq() = default;
+
+  PagedKvPool* pool_ = nullptr;
+  int64_t depth_ = 0;
+  int64_t kv_dim_ = 0;
+  int64_t block_tokens_ = 0;
+  bool quantize_ = false;
+  int64_t shared_len_ = 0;
+  int64_t cow_forks_ = 0;
+  int64_t reserved_bytes_ = 0;  ///< committed at acquire, returned at release
+  std::vector<std::vector<KvBlock*>> table_;  ///< [layer][block index]
+  /// Per layer: table entries below this index are shared (read-only).
+  /// Appending into the last shared entry (a partial prefix match) forks it.
+  std::vector<int64_t> owned_from_;
+  std::vector<int64_t> len_;            ///< cached positions per layer
+  std::vector<void*> pins_;             ///< trie nodes ref'd for this seq (internal)
+};
+
+/// Paged KV pool with cross-request prefix reuse. See file header for the
+/// storage model; the admission contract mirrors KvCachePool's: a request
+/// is reserved its worst-case *incremental* block bytes up front, so block
+/// allocation mid-decode can never fail for an admitted sequence (cached,
+/// unreferenced prefixes are evicted on demand to honor the reservation).
+class PagedKvPool {
+ public:
+  explicit PagedKvPool(PagedKvConfig cfg);
+  ~PagedKvPool();
+
+  PagedKvPool(const PagedKvPool&) = delete;
+  PagedKvPool& operator=(const PagedKvPool&) = delete;
+
+  struct AcquireResult {
+    PagedKvSeq* seq = nullptr;   ///< null when rejected
+    int64_t prefix_tokens = 0;   ///< positions pre-filled from the prefix cache
+    KvAdmitReason reason = KvAdmitReason::kOk;
+  };
+
+  /// Admits a sequence that will decode `n_layers` layers (the
+  /// post-degrade effective depth) and grow to at most
+  /// `projected_positions` cached positions. The prompt is matched
+  /// against the prefix trie: full-block hits are referenced in place,
+  /// and a divergence inside a cached block is referenced up to the
+  /// divergence point (copy-on-write on first append). At most
+  /// prompt.size()-1 positions are reused — the last prompt token always
+  /// decodes so the request's first sampled logits exist. Reservation =
+  /// (total projected blocks - fully shared blocks) * n_layers.
+  AcquireResult acquire(const std::vector<int64_t>& prompt, int64_t projected_positions,
+                        int64_t n_layers);
+
+  /// Returns a sequence. `tokens` must be the ids whose rows the cache
+  /// holds, in order (the first seq->positions(0) of prompt + generated
+  /// tokens). With `reuse`, every full owned block is donated to the
+  /// prefix trie for future requests (LRU-evictable once unreferenced);
+  /// without it (failed decodes — contents untrusted) everything owned is
+  /// recycled immediately. Call at a tick barrier, like KvCachePool::release.
+  void release(PagedKvSeq* seq, const std::vector<int64_t>& tokens, bool reuse);
+
+  /// Worst-case (no prefix hit) projected bytes — block-granular, so it is
+  /// the paged analogue of KvCachePool::projected_bytes for budget sizing
+  /// and the engine's can-this-ever-fit check.
+  int64_t projected_bytes(int64_t positions, int64_t n_layers) const;
+
+  int64_t block_bytes() const;
+  int64_t block_tokens() const { return cfg_.block_tokens; }
+  int64_t byte_budget() const { return cfg_.byte_budget; }
+
+  /// Reserved incremental bytes of live sequences plus bytes of shared
+  /// prefix blocks they pin — everything admission must treat as spoken
+  /// for. The paged analogue of KvCachePool::committed_bytes().
+  int64_t committed_bytes() const;
+  /// Bytes of all allocated blocks (live-owned + prefix-cached).
+  int64_t bytes_in_use() const;
+  int64_t high_water_bytes() const;
+  int64_t seqs_in_use() const;
+  int64_t allocated_blocks() const;  ///< live-owned + cached
+  int64_t cached_blocks() const;     ///< held by the prefix trie
+  int64_t free_blocks() const;       ///< recycled, awaiting reuse
+  int64_t total_blocks() const;      ///< ever constructed (== allocated + free)
+
+  /// Refreshes the exported gauges; returns bytes_in_use(). Cheap (the
+  /// paged pool's accounting is incremental, not re-sampled), kept for
+  /// call-site symmetry with KvCachePool.
+  int64_t sync_live_bytes();
+
+ private:
+  friend class PagedKvSeq;
+  struct TrieNode;
+
+  KvBlock* allocate_block_locked();
+  void recycle_block_locked(KvBlock* b);
+  /// Evicts the least-recently-used unreferenced leaf; false when nothing
+  /// is evictable.
+  bool evict_one_locked();
+  void unpin_locked(TrieNode* n);
+  TrieNode* pin_locked(TrieNode* n);
+  int64_t node_bytes_locked(const TrieNode& n) const;
+  void touch_locked(TrieNode* n);
+  void update_gauges_locked();
+
+  /// Called by PagedKvSeq::append when it needs a fresh block (tail full,
+  /// or a copy-on-write fork). Never fails for an admitted sequence: the
+  /// reservation covers it and cached blocks are evicted on demand.
+  KvBlock* allocate_block(PagedKvSeq* seq);
+  /// Counter bump from PagedKvSeq::append (atomic, lock-free).
+  void count_cow_fork();
+
+  PagedKvConfig cfg_;
+
+  obs::Counter* c_acquired_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_released_ = nullptr;
+  obs::Counter* c_prefix_hit_ = nullptr;
+  obs::Counter* c_prefix_miss_ = nullptr;
+  obs::Counter* c_prefix_hit_tokens_ = nullptr;
+  obs::Counter* c_evicted_blocks_ = nullptr;
+  obs::Counter* c_cow_forks_ = nullptr;
+  obs::Gauge* g_bytes_ = nullptr;
+  obs::Gauge* g_committed_ = nullptr;
+  obs::Gauge* g_high_water_ = nullptr;
+  obs::Gauge* g_blocks_ = nullptr;
+  obs::Gauge* g_blocks_cached_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<KvBlock>> blocks_;  ///< every block ever constructed
+  std::vector<KvBlock*> free_;                    ///< recycled blocks
+  std::unique_ptr<TrieNode> root_;
+  std::unordered_map<PagedKvSeq*, std::unique_ptr<PagedKvSeq>> live_;
+  uint64_t lru_clock_ = 0;
+  int64_t allocated_blocks_ = 0;  ///< live-owned + cached (never free-listed)
+  int64_t cached_blocks_ = 0;     ///< owned by trie nodes
+  int64_t committed_ = 0;         ///< live reservations (incremental bytes)
+  int64_t pinned_bytes_ = 0;      ///< shared blocks referenced by live seqs
+  int64_t high_water_ = 0;        ///< max allocated bytes ever
 };
 
 }  // namespace edgellm::serve

@@ -46,7 +46,11 @@ struct SeqState {
   int64_t exit_layer = 0;
   bool degraded = false;       ///< ladder moved this request off its ask
   bool force_degrade = false;  ///< shed policy kDegradeEarlyExit marked it at submit
-  int64_t slot = -1;            ///< KvCachePool slot
+  int64_t slot = -1;            ///< KvCachePool slot (slot pool only)
+  /// This sequence's cache view, set at admission: the acquired slot's
+  /// KvCache, or the paged sequence. The engine decodes through this.
+  nn::KvSequenceView* kv = nullptr;
+  PagedKvSeq* pseq = nullptr;   ///< paged pool only (owned by the pool)
   int64_t exit_layer_used = 0;  ///< resolved depth (n_layers for final/voted)
   int64_t position = 0;         ///< tokens cached so far
   size_t prompt_fed = 0;        ///< prompt tokens fed so far
@@ -159,8 +163,24 @@ class Scheduler {
   void clear_failed();
 
   std::vector<std::unique_ptr<SeqState>>& active() { return active_; }
-  KvCachePool& pool() { return pool_; }
-  const KvCachePool& pool() const { return pool_; }
+  /// The slot pool — asserts when the scheduler was configured paged (use
+  /// the kv_* facade below, which works for both backings).
+  KvCachePool& pool();
+  const KvCachePool& pool() const;
+  bool paged() const { return paged_pool_ != nullptr; }
+  PagedKvPool* paged_pool() { return paged_pool_.get(); }
+  const PagedKvPool* paged_pool() const { return paged_pool_.get(); }
+
+  // Pool-agnostic KV accounting facade (mutex-guarded in the pools; safe
+  // from any thread).
+  int64_t kv_committed_bytes() const;
+  int64_t kv_bytes_in_use() const;
+  int64_t kv_high_water_bytes() const;
+  int64_t kv_byte_budget() const;
+  int64_t kv_projected_bytes(int64_t positions, int64_t n_layers) const;
+  /// Tick-barrier accounting refresh (see KvCachePool::sync_live_bytes).
+  int64_t kv_sync_live_bytes();
+
   size_t queued() const { return queue_.size(); }
   bool idle() const { return active_.empty() && queue_.empty(); }
   const SchedulerConfig& config() const { return cfg_; }
@@ -170,8 +190,13 @@ class Scheduler {
   /// downgraded it (first transition only).
   static bool apply_degrade(SeqState& s, int level, const DegradeLadder& ladder);
 
+  /// Paged release: hand the cached rows back with the token ids they hold
+  /// (`reuse` donates them to the prefix cache).
+  void release_paged(SeqState& s, bool reuse);
+
   SchedulerConfig cfg_;
-  KvCachePool pool_;
+  std::unique_ptr<KvCachePool> slot_pool_;
+  std::unique_ptr<PagedKvPool> paged_pool_;
   std::deque<std::unique_ptr<SeqState>> queue_;
   std::vector<std::unique_ptr<SeqState>> active_;
 };

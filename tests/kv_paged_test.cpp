@@ -1,0 +1,494 @@
+// Paged KV pool: block-table row addressing must be bitwise identical to
+// contiguous KvCache storage, prefix reuse must never leak another
+// sequence's divergent rows (copy-on-write), eviction must conserve the
+// block population under budget pressure, and the serving engine over the
+// paged pool must produce byte-identical greedy output at any thread
+// count. Plus the KV-accounting regressions this change rode in with:
+// release-settled high-water marks and post-degrade admission projections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <future>
+
+#include "serve/engine.hpp"
+#include "test_util.hpp"
+
+namespace edgellm::serve {
+namespace {
+
+using edgellm::testing::tiny_config;
+
+std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab, int64_t salt = 0) {
+  std::vector<int64_t> t(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = (i * 5 + 2 + salt) % vocab;
+  return t;
+}
+
+/// Deterministic per-(position, dim) row content so tests can recognise
+/// which sequence wrote a cached row.
+void fill_row(int64_t pos, int64_t kv_dim, int64_t salt, std::vector<float>& k,
+              std::vector<float>& v) {
+  k.resize(static_cast<size_t>(kv_dim));
+  v.resize(static_cast<size_t>(kv_dim));
+  for (int64_t d = 0; d < kv_dim; ++d) {
+    k[static_cast<size_t>(d)] = std::sin(0.05f * static_cast<float>(pos * kv_dim + d + salt));
+    v[static_cast<size_t>(d)] = std::cos(0.07f * static_cast<float>(pos * kv_dim + d + salt));
+  }
+}
+
+/// Appends `n` positions (starting at the view's current length) to every
+/// layer, the way one decode tick per position would.
+void feed_positions(nn::KvSequenceView& kv, int64_t n, int64_t depth, int64_t salt = 0) {
+  std::vector<float> k, v;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t pos = kv.positions(0);
+    fill_row(pos, kv.kv_dim(), salt, k, v);
+    for (int64_t l = 0; l < depth; ++l) kv.append(l, k.data(), v.data());
+  }
+}
+
+PagedKvConfig paged_cfg(int64_t block_tokens, int64_t n_layers, int64_t kv_dim,
+                        int64_t byte_budget, obs::Registry* reg = nullptr,
+                        bool quantize = false) {
+  PagedKvConfig cfg;
+  cfg.block_tokens = block_tokens;
+  cfg.n_layers = n_layers;
+  cfg.kv_dim = kv_dim;
+  cfg.byte_budget = byte_budget;
+  cfg.quantize = quantize;
+  cfg.registry = reg;
+  return cfg;
+}
+
+std::vector<int64_t> iota_tokens(int64_t n) {
+  std::vector<int64_t> t(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = i;
+  return t;
+}
+
+// --- pool mechanics ---------------------------------------------------------
+
+TEST(PagedKvPool, BlockArithmeticAndColdAdmission) {
+  obs::Registry reg;
+  PagedKvPool pool(paged_cfg(4, 3, 16, /*budget=*/0, &reg));
+  EXPECT_EQ(pool.block_bytes(), 4 * nn::KvCache::bytes_per_position(1, 16, false));
+  // 10 positions -> 3 blocks per layer, 3 layers.
+  EXPECT_EQ(pool.projected_bytes(10, 3), 9 * pool.block_bytes());
+
+  auto r = pool.acquire(iota_tokens(6), /*projected=*/10, /*n_layers=*/3);
+  ASSERT_NE(r.seq, nullptr);
+  EXPECT_EQ(r.prefix_tokens, 0);  // empty cache: cold miss
+  EXPECT_EQ(reg.counter("kv/prefix_miss").value(), 1);
+  EXPECT_EQ(pool.committed_bytes(), 9 * pool.block_bytes());
+  EXPECT_EQ(pool.bytes_in_use(), 0);  // blocks allocate lazily on append
+
+  feed_positions(*r.seq, 6, 3);
+  EXPECT_EQ(r.seq->positions(0), 6);
+  EXPECT_EQ(r.seq->positions(2), 6);
+  // 6 positions span 2 blocks per layer; all owned (cold admission).
+  EXPECT_EQ(pool.allocated_blocks(), 6);
+  EXPECT_EQ(r.seq->bytes(), 6 * pool.block_bytes());
+
+  // Clean release donates the full blocks (4 tokens -> 1 per layer); the
+  // 2-position tail is recycled.
+  pool.release(r.seq, iota_tokens(6), /*reuse=*/true);
+  EXPECT_EQ(pool.committed_bytes(), 0);
+  EXPECT_EQ(pool.seqs_in_use(), 0);
+  EXPECT_EQ(pool.cached_blocks(), 3);
+  EXPECT_EQ(pool.allocated_blocks(), 3);
+  EXPECT_EQ(pool.free_blocks(), 3);
+  EXPECT_EQ(pool.total_blocks(), 6);  // conservation: allocated + free
+  EXPECT_EQ(pool.high_water_bytes(), 6 * pool.block_bytes());
+}
+
+TEST(PagedKvPool, FailedReleaseDonatesNothing) {
+  PagedKvPool pool(paged_cfg(4, 2, 8, 0));
+  auto r = pool.acquire(iota_tokens(8), 8, 2);
+  ASSERT_NE(r.seq, nullptr);
+  feed_positions(*r.seq, 8, 2);
+  pool.release(r.seq, {}, /*reuse=*/false);  // torn rows: never cached
+  EXPECT_EQ(pool.cached_blocks(), 0);
+  EXPECT_EQ(pool.allocated_blocks(), 0);
+  EXPECT_EQ(pool.free_blocks(), 4);
+  EXPECT_EQ(pool.committed_bytes(), 0);
+}
+
+TEST(PagedKvPool, RowsMatchContiguousCacheBitwise) {
+  for (const bool quantize : {false, true}) {
+    PagedKvPool pool(paged_cfg(4, 2, 8, 0, nullptr, quantize));
+    nn::KvCache ref(2, 8, quantize);
+    auto r = pool.acquire(iota_tokens(3), 11, 2);
+    ASSERT_NE(r.seq, nullptr);
+    std::vector<float> k, v;
+    for (int64_t pos = 0; pos < 11; ++pos) {
+      fill_row(pos, 8, 17, k, v);
+      for (int64_t l = 0; l < 2; ++l) {
+        r.seq->append(l, k.data(), v.data());
+        ref.append(l, k.data(), v.data());
+      }
+    }
+    std::vector<float> a(8), b(8);
+    for (int64_t l = 0; l < 2; ++l) {
+      for (int64_t pos = 0; pos < 11; ++pos) {
+        r.seq->load_k(l, pos, a.data());
+        ref.load_k(l, pos, b.data());
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), 8 * sizeof(float)), 0)
+            << "k layer " << l << " pos " << pos << " quantize " << quantize;
+        r.seq->load_v(l, pos, a.data());
+        ref.load_v(l, pos, b.data());
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), 8 * sizeof(float)), 0)
+            << "v layer " << l << " pos " << pos << " quantize " << quantize;
+        if (!quantize) {
+          ASSERT_NE(r.seq->k_row(l, pos), nullptr);
+          EXPECT_EQ(std::memcmp(r.seq->k_row(l, pos), ref.k_row(l, pos), 8 * sizeof(float)), 0);
+          EXPECT_EQ(std::memcmp(r.seq->v_row(l, pos), ref.v_row(l, pos), 8 * sizeof(float)), 0);
+        } else {
+          EXPECT_EQ(r.seq->k_row(l, pos), nullptr);
+        }
+      }
+    }
+    pool.release(r.seq, iota_tokens(11), true);
+  }
+}
+
+TEST(PagedKvPool, PrefixReuseServesCachedBlocksUpToLastPromptToken) {
+  obs::Registry reg;
+  PagedKvPool pool(paged_cfg(4, 3, 16, 0, &reg));
+  // First request: 10-token prompt, decoded 2 extra positions -> 12 cached
+  // positions -> 3 full blocks per layer donated on release.
+  auto a = pool.acquire(iota_tokens(10), 14, 3);
+  ASSERT_NE(a.seq, nullptr);
+  feed_positions(*a.seq, 12, 3);
+  pool.release(a.seq, iota_tokens(12), true);
+  ASSERT_EQ(pool.cached_blocks(), 9);
+
+  // Identical prompt: reuse is capped at prompt-1 = 9 positions (2 full
+  // blocks + 1 token into the third), never the last prompt token.
+  auto b = pool.acquire(iota_tokens(10), 14, 3);
+  ASSERT_NE(b.seq, nullptr);
+  EXPECT_EQ(b.prefix_tokens, 9);
+  EXPECT_EQ(b.seq->shared_len(), 9);
+  EXPECT_EQ(b.seq->positions(0), 9);
+  EXPECT_EQ(reg.counter("kv/prefix_hit").value(), 1);
+  EXPECT_EQ(reg.counter("kv/prefix_hit_tokens").value(), 9);
+  // The shared rows read back exactly what the first sequence wrote.
+  std::vector<float> got(16), want_k, want_v;
+  for (int64_t pos = 0; pos < 9; ++pos) {
+    fill_row(pos, 16, 0, want_k, want_v);
+    b.seq->load_k(1, pos, got.data());
+    EXPECT_EQ(std::memcmp(got.data(), want_k.data(), 16 * sizeof(float)), 0) << pos;
+  }
+  // Owned bytes exclude the shared prefix: the request's marginal cost
+  // shrinks, which is the whole point of reuse.
+  feed_positions(*b.seq, 1, 3, /*salt=*/0);
+  EXPECT_LT(b.seq->bytes(), pool.projected_bytes(10, 3));
+  pool.release(b.seq, iota_tokens(10), true);
+
+  // A shallower (degraded) sequence may reuse deep cached nodes, but a
+  // deeper sequence must not reuse blocks cached at lower depth.
+  auto c = pool.acquire(iota_tokens(10), 14, 2);
+  ASSERT_NE(c.seq, nullptr);
+  EXPECT_EQ(c.prefix_tokens, 9);
+  pool.release(c.seq, iota_tokens(9), true);
+}
+
+TEST(PagedKvPool, CowForkIsolatesDivergingSequence) {
+  obs::Registry reg;
+  const int64_t kvd = 8;
+  PagedKvPool pool(paged_cfg(4, 1, kvd, 0, &reg));
+  // Cache 3 full blocks of rows written by sequence A (salt 0).
+  auto a = pool.acquire(iota_tokens(12), 14, 1);
+  ASSERT_NE(a.seq, nullptr);
+  feed_positions(*a.seq, 12, 1, /*salt=*/0);
+  pool.release(a.seq, iota_tokens(12), true);
+
+  // B shares 9 positions (2 full blocks + 1 into the third) then appends
+  // its own rows (salt 99) from position 9.
+  auto b = pool.acquire(iota_tokens(10), 14, 1);
+  ASSERT_NE(b.seq, nullptr);
+  ASSERT_EQ(b.prefix_tokens, 9);
+  feed_positions(*b.seq, 3, 1, /*salt=*/99);
+  EXPECT_EQ(b.seq->cow_forks(), 1);
+  EXPECT_EQ(reg.counter("kv/cow_forks").value(), 1);
+
+  std::vector<float> got(static_cast<size_t>(kvd)), want_k, want_v;
+  // B reads the copied row at position 8 (A's content) and its own at 9+.
+  b.seq->load_k(0, 8, got.data());
+  fill_row(8, kvd, 0, want_k, want_v);
+  EXPECT_EQ(std::memcmp(got.data(), want_k.data(), sizeof(float) * kvd), 0);
+  b.seq->load_k(0, 9, got.data());
+  fill_row(9, kvd, 99, want_k, want_v);
+  EXPECT_EQ(std::memcmp(got.data(), want_k.data(), sizeof(float) * kvd), 0);
+
+  // The cached prefix is untouched: a third request over A's full prompt
+  // still reads A's rows at positions 8..11.
+  auto c = pool.acquire(iota_tokens(13), 14, 1);
+  ASSERT_NE(c.seq, nullptr);
+  EXPECT_EQ(c.prefix_tokens, 12);
+  for (int64_t pos = 8; pos < 12; ++pos) {
+    c.seq->load_k(0, pos, got.data());
+    fill_row(pos, kvd, 0, want_k, want_v);
+    EXPECT_EQ(std::memcmp(got.data(), want_k.data(), sizeof(float) * kvd), 0) << pos;
+  }
+  // B decoded two divergent tokens past its prompt: its release donates
+  // under a sibling token path and must not disturb A's node.
+  std::vector<int64_t> b_tokens = iota_tokens(10);
+  b_tokens.push_back(20);
+  b_tokens.push_back(21);
+  pool.release(b.seq, b_tokens, true);
+  pool.release(c.seq, iota_tokens(12), true);
+  EXPECT_EQ(pool.committed_bytes(), 0);
+  EXPECT_EQ(pool.allocated_blocks(), pool.cached_blocks());
+}
+
+TEST(PagedKvPool, EvictionUnderPressureConservesBlocks) {
+  obs::Registry reg;
+  // Budget: exactly one worst-case sequence (8 positions -> 2 blocks/layer
+  // x 3 layers).
+  PagedKvPool pool(paged_cfg(4, 3, 16, 6 * 4 * nn::KvCache::bytes_per_position(1, 16, false),
+                             &reg));
+  auto a = pool.acquire(iota_tokens(8), 8, 3);
+  ASSERT_NE(a.seq, nullptr);
+  feed_positions(*a.seq, 7, 3);
+  pool.release(a.seq, iota_tokens(7), true);
+  ASSERT_EQ(pool.cached_blocks(), 3);  // 1 full block per layer
+
+  // An unrelated sequence needs the whole budget: the cached prefix must
+  // be evicted to make room, and the budget is never exceeded.
+  auto b = pool.acquire(seq_tokens(8, 24, 7), 8, 3);
+  ASSERT_NE(b.seq, nullptr);
+  EXPECT_EQ(b.prefix_tokens, 0);
+  feed_positions(*b.seq, 8, 3, /*salt=*/5);
+  EXPECT_EQ(reg.counter("kv/evicted_blocks").value(), 3);
+  EXPECT_EQ(pool.cached_blocks(), 0);
+  EXPECT_LE(pool.bytes_in_use(), pool.byte_budget());
+  EXPECT_EQ(pool.allocated_blocks() + pool.free_blocks(), pool.total_blocks());
+  pool.release(b.seq, seq_tokens(8, 24, 7), true);
+  EXPECT_EQ(pool.committed_bytes(), 0);
+  EXPECT_EQ(pool.allocated_blocks(), pool.cached_blocks());
+}
+
+TEST(PagedKvPool, PinnedPrefixCountsAgainstAdmission) {
+  // One cached+pinned prefix plus a full-size reservation exactly fills
+  // the budget: a third acquire must be rejected, not stranded mid-decode.
+  const int64_t bb = 4 * nn::KvCache::bytes_per_position(1, 16, false);
+  PagedKvPool pool(paged_cfg(4, 1, 16, 5 * bb));
+  auto a = pool.acquire(iota_tokens(8), 8, 1);
+  ASSERT_NE(a.seq, nullptr);
+  feed_positions(*a.seq, 8, 1);
+  pool.release(a.seq, iota_tokens(8), true);  // 2 cached blocks
+
+  auto b = pool.acquire(iota_tokens(6), 8, 1);  // pins 1 full shared block
+  ASSERT_NE(b.seq, nullptr);
+  EXPECT_EQ(b.prefix_tokens, 5);
+  // committed = pinned shared (2 blocks: the node holds both) + owned
+  // reservation (2 - 1 fully shared = 1... projected 8 -> 2 blocks, 1
+  // shared full -> 1 owned).
+  EXPECT_EQ(pool.committed_bytes(), 2 * bb + 1 * bb);
+  // Remaining budget: 5 - 3 = 2 blocks. A cold 3-block ask must bounce.
+  auto c = pool.acquire(seq_tokens(9, 24, 3), 12, 1);
+  EXPECT_EQ(c.seq, nullptr);
+  EXPECT_EQ(c.reason, KvAdmitReason::kByteBudget);
+  auto d = pool.acquire(seq_tokens(8, 24, 3), 8, 1);  // 2 blocks: fits
+  ASSERT_NE(d.seq, nullptr);
+  pool.release(d.seq, {}, false);
+  pool.release(b.seq, {}, false);
+  EXPECT_EQ(pool.committed_bytes(), 0);
+}
+
+// --- KV accounting regressions ----------------------------------------------
+
+// A slot that grows and dies entirely between two sync_live_bytes()
+// barriers must still be visible: release() settles the dying slot's final
+// bytes into the high-water mark immediately.
+TEST(KvCachePoolAccounting, HighWaterSeenWithoutSync) {
+  KvPoolConfig cfg;
+  cfg.n_slots = 2;
+  cfg.kv_dim = 16;
+  KvCachePool pool(cfg);
+  const int64_t s = pool.acquire(4, 1);
+  ASSERT_GE(s, 0);
+  std::vector<float> row(16, 1.0f);
+  pool.slot(s).append(0, row.data(), row.data());
+  pool.slot(s).append(0, row.data(), row.data());
+  // No sync between the appends and the release.
+  pool.release(s);
+  EXPECT_EQ(pool.bytes_in_use(), 0);
+  EXPECT_EQ(pool.high_water_bytes(), 2 * nn::KvCache::bytes_per_position(1, 16, false));
+}
+
+// --- engine over the paged pool ---------------------------------------------
+
+EngineConfig paged_engine_cfg(int64_t threads, int64_t block_tokens = 4) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.kv_paged = true;
+  cfg.kv_block_tokens = block_tokens;
+  return cfg;
+}
+
+Request greedy_request(int64_t id, std::vector<int64_t> prompt, int64_t n_new,
+                       ExitPolicy policy = ExitPolicy::kFinal, int64_t exit_layer = 0) {
+  Request r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = n_new;
+  r.temperature = 0.0f;
+  r.exit_policy = policy;
+  r.exit_layer = exit_layer;
+  return r;
+}
+
+std::vector<int64_t> reference_greedy(nn::CausalLm& model, const std::vector<int64_t>& prompt,
+                                      int64_t n_new, int64_t exit_layer = 0) {
+  nn::IncrementalDecoder dec(model, exit_layer);
+  nn::GenerateConfig g;
+  g.max_new_tokens = n_new;
+  g.temperature = 0.0f;
+  g.exit_layer = exit_layer;
+  Rng rng(0);
+  return dec.generate(prompt, g, rng);
+}
+
+// The determinism contract of the tentpole: greedy completions through the
+// paged pool are byte-identical to single-sequence contiguous decode, at
+// any worker-thread count and any (odd) block size.
+TEST(PagedEngine, GreedyByteIdenticalToContiguousAtAnyThreadCount) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(40);
+  nn::CausalLm model(cfg, rng);
+
+  std::vector<std::vector<int64_t>> prompts;
+  for (int64_t i = 0; i < 6; ++i) prompts.push_back(seq_tokens(3 + (i % 4), cfg.vocab, i * 3));
+  std::vector<std::vector<int64_t>> want;
+  for (const auto& p : prompts) want.push_back(reference_greedy(model, p, 6));
+
+  for (const int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+    ServeEngine engine(model, paged_engine_cfg(threads, /*block_tokens=*/5));
+    std::vector<std::future<Completion>> futs;
+    for (size_t i = 0; i < prompts.size(); ++i) {
+      futs.push_back(engine.submit(greedy_request(static_cast<int64_t>(i), prompts[i], 6)));
+    }
+    for (size_t i = 0; i < futs.size(); ++i) {
+      const Completion c = futs[i].get();
+      EXPECT_EQ(c.status, RequestStatus::kOk);
+      EXPECT_EQ(c.tokens, want[i]) << "threads " << threads << " request " << i;
+    }
+  }
+}
+
+// Quantized and voted paths: paged vs slot-pool engines must agree exactly
+// (the reference decoder does not cover these engine configs).
+TEST(PagedEngine, QuantizedAndVotedMatchSlotPool) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(41);
+  nn::CausalLm model(cfg, rng);
+  const auto prompt = seq_tokens(5, cfg.vocab, 2);
+
+  for (const bool quantize : {false, true}) {
+    EngineConfig slot_cfg;
+    slot_cfg.threads = 2;
+    slot_cfg.quantize_kv = quantize;
+    EngineConfig paged = paged_engine_cfg(2);
+    paged.quantize_kv = quantize;
+
+    Completion a, b;
+    {
+      ServeEngine engine(model, slot_cfg);
+      a = engine.submit(greedy_request(1, prompt, 5, ExitPolicy::kVoted)).get();
+    }
+    {
+      ServeEngine engine(model, paged);
+      b = engine.submit(greedy_request(1, prompt, 5, ExitPolicy::kVoted)).get();
+    }
+    EXPECT_EQ(a.status, RequestStatus::kOk);
+    EXPECT_EQ(b.status, RequestStatus::kOk);
+    EXPECT_EQ(a.tokens, b.tokens) << "quantize " << quantize;
+  }
+}
+
+// Chunked prefill feeds several prompt tokens per tick; outputs must not
+// change (the last prompt token still decodes in the main batch).
+TEST(PagedEngine, ChunkedPrefillKeepsOutputsIdentical) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(42);
+  nn::CausalLm model(cfg, rng);
+  const auto prompt = seq_tokens(8, cfg.vocab, 1);
+  const auto want = reference_greedy(model, prompt, 5);
+
+  EngineConfig ecfg = paged_engine_cfg(2);
+  ecfg.prefill_chunk = 4;
+  ServeEngine engine(model, ecfg);
+  const Completion c = engine.submit(greedy_request(7, prompt, 5)).get();
+  EXPECT_EQ(c.status, RequestStatus::kOk);
+  EXPECT_EQ(c.tokens, want);
+}
+
+// Cross-request reuse end to end: a repeated prompt hits the prefix cache,
+// skips its prefill, and still produces byte-identical greedy output.
+TEST(PagedEngine, RepeatedPromptHitsPrefixCacheWithIdenticalOutput) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(43);
+  nn::CausalLm model(cfg, rng);
+  const auto prompt = seq_tokens(10, cfg.vocab, 4);
+  const auto want = reference_greedy(model, prompt, 4);
+
+  ServeEngine engine(model, paged_engine_cfg(1));
+  const Completion first = engine.submit(greedy_request(1, prompt, 4)).get();
+  EXPECT_EQ(first.tokens, want);
+  EXPECT_EQ(engine.registry().counter("kv/prefix_hit").value(), 0);
+
+  const Completion second = engine.submit(greedy_request(2, prompt, 4)).get();
+  EXPECT_EQ(second.status, RequestStatus::kOk);
+  EXPECT_EQ(second.tokens, want);
+  EXPECT_EQ(engine.registry().counter("kv/prefix_hit").value(), 1);
+  // Reuse cap: prompt-1 = 9 positions were served from cache (2 full
+  // 4-token blocks + 1 into the third).
+  EXPECT_EQ(engine.registry().counter("kv/prefix_hit_tokens").value(), 9);
+  engine.shutdown();
+  // Drain invariant: nothing committed, everything either cached or free.
+  EXPECT_EQ(engine.registry().gauge("kv/committed_bytes").value(), 0);
+  EXPECT_EQ(engine.registry().counter("kv/acquired").value(),
+            engine.registry().counter("kv/released").value());
+}
+
+// Satellite regression: a request that only fits the budget *after* the
+// admission ladder degrades it must be queued and served degraded, not
+// rejected up front on its full-depth projection.
+TEST(PagedEngine, DegradedRequestAdmitsWhereFullDepthWouldBeRejected) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(44);
+  nn::CausalLm model(cfg, rng);
+  const auto prompt = seq_tokens(4, cfg.vocab, 0);
+
+  const int64_t per_pos_1 = nn::KvCache::bytes_per_position(1, cfg.kv_dim(), false);
+  EngineConfig ecfg;
+  ecfg.threads = 1;
+  ecfg.queue_capacity = 8;
+  // Budget fits two depth-1 sequences of 8 positions; a full-depth (3
+  // layer) projection of the same request is 3x and can never fit.
+  ecfg.kv_byte_budget = 2 * 8 * per_pos_1;
+  ecfg.admission.shed_policy = ShedPolicy::kDegradeEarlyExit;
+  ecfg.admission.shed_queue_ratio = 0.05;  // second queued request trips it
+  ServeEngine engine(model, ecfg);
+  ASSERT_GT(ecfg.kv_byte_budget, 0);
+
+  engine.pause();
+  // Filler occupies the queue so the victim submits under pressure and is
+  // marked force-degrade; it asks for depth 1 outright so it always fits.
+  auto filler = engine.submit(greedy_request(1, prompt, 4, ExitPolicy::kFixedEarly, 1));
+  auto victim = engine.submit(greedy_request(2, prompt, 4));  // full-depth ask
+  engine.resume();
+
+  const Completion f = filler.get();
+  EXPECT_EQ(f.status, RequestStatus::kOk);
+  const Completion v = victim.get();
+  EXPECT_EQ(v.status, RequestStatus::kOk) << v.error;
+  EXPECT_TRUE(v.degraded);
+  EXPECT_EQ(v.exit_layer_used, 1);
+  EXPECT_EQ(v.tokens, reference_greedy(model, prompt, 4, /*exit_layer=*/1));
+}
+
+}  // namespace
+}  // namespace edgellm::serve

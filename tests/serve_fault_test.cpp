@@ -305,7 +305,7 @@ TEST(ServeEngineFault, WatchdogStaysQuietOnHealthyEngine) {
 // of every injected fault plus quota/overload pressure, asserting the
 // engine's global invariants at the end. Runs in seconds on the tiny model;
 // CI runs it under ASan and TSan (label serve_fault).
-TEST(ServeFaultSoak, ThousandFaultedTicksHoldInvariants) {
+void run_faulted_soak(bool paged_kv) {
   const nn::ModelConfig cfg = tiny_config();
   Rng rng(79);
   nn::CausalLm model(cfg, rng);
@@ -336,6 +336,8 @@ TEST(ServeFaultSoak, ThousandFaultedTicksHoldInvariants) {
   ecfg.admission.degrade_kv_ratio = 0.6;
   ecfg.admission.tenant_rate = 400.0;  // quotas on, occasionally binding
   ecfg.admission.tenant_burst = 8.0;
+  ecfg.kv_paged = paged_kv;
+  ecfg.kv_block_tokens = 4;
   ServeEngine engine(model, ecfg);
 
   Rng driver(4242);  // seeded request mix: reproducible soak
@@ -387,6 +389,23 @@ TEST(ServeFaultSoak, ThousandFaultedTicksHoldInvariants) {
   EXPECT_EQ(engine.registry().counter("kv/acquired").value(),
             engine.registry().counter("kv/released").value());
   EXPECT_EQ(static_cast<int64_t>(engine.registry().gauge("kv/committed_bytes").value()), 0);
+  // Invariant 4: budget invariance. The high-water mark saw real pressure
+  // (release() settles dying sequences into it even between tick barriers,
+  // so short-lived requests cannot hide from it) yet never exceeded the
+  // configured byte budget.
+  const int64_t high_water =
+      static_cast<int64_t>(engine.registry().gauge("kv/high_water_bytes").value());
+  EXPECT_GT(high_water, 0);
+  EXPECT_LE(high_water, ecfg.kv_byte_budget);
+  const int64_t in_use = static_cast<int64_t>(engine.registry().gauge("kv/bytes_in_use").value());
+  EXPECT_LE(in_use, ecfg.kv_byte_budget);
+  if (paged_kv) {
+    // After drain only unreferenced cached prefixes may hold blocks.
+    EXPECT_EQ(engine.registry().gauge("kv/blocks_in_use").value(),
+              engine.registry().gauge("kv/blocks_cached").value());
+  } else {
+    EXPECT_EQ(in_use, 0);
+  }
   // The soak actually exercised the machinery: faults fired, pressure shed
   // and degraded work, and plenty of requests still completed.
   EXPECT_GT(fault.stalls() + fault.deaths() + fault.kv_rejections() + fault.poisons() +
@@ -395,6 +414,15 @@ TEST(ServeFaultSoak, ThousandFaultedTicksHoldInvariants) {
   EXPECT_GT(m.completed, 0);
   EXPECT_GT(m.expired + m.shed + m.failed + m.cancelled, 0);
   EXPECT_EQ(resolved, m.submitted);
+}
+
+TEST(ServeFaultSoak, ThousandFaultedTicksHoldInvariants) { run_faulted_soak(/*paged_kv=*/false); }
+
+// Same seeded storm through the paged pool: block allocation, prefix
+// donation, COW and eviction all run under fault pressure, and the same
+// budget/conservation invariants must hold.
+TEST(ServeFaultSoak, ThousandFaultedTicksHoldInvariantsPagedKv) {
+  run_faulted_soak(/*paged_kv=*/true);
 }
 
 }  // namespace
