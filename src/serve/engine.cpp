@@ -16,6 +16,14 @@ double ms_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/// A degrade mechanism is configured: staging may move requests down the
+/// exit ladder before reserving KV bytes.
+bool degrade_configured(const EngineConfig& cfg) {
+  return cfg.admission.shed_policy == ShedPolicy::kDegradeEarlyExit ||
+         cfg.admission.degrade_queue_ratio > 0.0 || cfg.admission.degrade_kv_ratio > 0.0 ||
+         cfg.admission.degrade_tick_ms > 0.0;
+}
+
 }  // namespace
 
 // --- WorkerPool -------------------------------------------------------------
@@ -89,7 +97,9 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
       admit_ctl_(cfg.admission),
       sched_(SchedulerConfig{cfg.max_batch, cfg.queue_capacity, model.config().max_seq,
                              model.config().n_layers, cfg.max_admission_retries,
-                             cfg.retry_backoff_ms, cfg.fault},
+                             cfg.retry_backoff_ms,
+                             degrade_configured(cfg) ? cfg.degrade_budget_retries : 0,
+                             cfg.fault},
              KvPoolConfig{cfg.max_batch, model.config().kv_dim(), cfg.kv_byte_budget,
                           cfg.quantize_kv, cfg.kv_paged, cfg.kv_block_tokens,
                           model.config().n_layers, &registry_}) {
@@ -97,6 +107,8 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
   check_arg(cfg_.compute_threads >= 0, "ServeEngine: compute_threads must be >= 0");
   check_arg(cfg_.watchdog_stall_ms >= 0, "ServeEngine: watchdog_stall_ms must be >= 0");
   check_arg(cfg_.prefill_chunk >= 1, "ServeEngine: prefill_chunk must be >= 1");
+  check_arg(cfg_.degrade_budget_retries >= 0,
+            "ServeEngine: degrade_budget_retries must be >= 0 (0 = off)");
   if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
   if (cfg_.trace_kernel_sample >= 0) obs::Tracer::global().enable(cfg_.trace_kernel_sample);
   h_wait_class_[0] = &registry_.histogram("serve/queue_wait_ms_p0");
@@ -205,17 +217,16 @@ std::future<Completion> ServeEngine::submit(Request req, StreamSink sink) {
 
   // A request whose worst-case cache exceeds the whole budget can never be
   // admitted; reject now instead of wedging the queue head forever. The
-  // projection must use the *cheapest depth admission could leave this
-  // request at*: when a degrade mechanism is configured (pressure
-  // thresholds or the degrade-early-exit shed policy), staging may move it
-  // down the ladder before reserving bytes, so rejecting on the full-depth
-  // ask would turn away requests that fit perfectly well degraded.
+  // projection may only assume a depth the request is *guaranteed* to
+  // reach: lowering it to the degrade-ladder floor is sound only when
+  // degradation is configured AND admission force-degrades a head stuck
+  // on the byte budget (degrade_budget_retries > 0, wired into the
+  // scheduler). A merely-configured pressure threshold is not enough — a
+  // floor-only request arriving under low pressure would be admitted,
+  // never degraded, and retry at full depth forever.
   const int64_t projected = std::min<int64_t>(
       static_cast<int64_t>(s->req.prompt.size()) + s->req.max_new_tokens, mcfg.max_seq);
-  const bool can_degrade =
-      cfg_.admission.shed_policy == ShedPolicy::kDegradeEarlyExit ||
-      cfg_.admission.degrade_queue_ratio > 0.0 || cfg_.admission.degrade_kv_ratio > 0.0 ||
-      cfg_.admission.degrade_tick_ms > 0.0;
+  const bool can_degrade = degrade_configured(cfg_) && cfg_.degrade_budget_retries > 0;
   const int64_t rung_floor = ladder_.shallow > 0 ? ladder_.shallow : ladder_.deep;
   const int64_t floor_depth =
       can_degrade && rung_floor > 0 ? std::min(depth, rung_floor) : depth;
@@ -354,7 +365,11 @@ void ServeEngine::run_decode(std::vector<nn::BatchedSeq>& seqs,
 
 void ServeEngine::finish_seq(size_t index, RequestStatus status) {
   sched_.active()[index]->kv_bytes_at_end = sched_.active()[index]->kv->bytes();
-  std::unique_ptr<SeqState> s = sched_.finish(index);
+  // Failed decodes must not donate their rows to the prefix cache: the
+  // failing chunk's appends may be torn mid-layer and the contents are
+  // untrusted. Every other terminal retires at a tick barrier with a
+  // consistent cache.
+  std::unique_ptr<SeqState> s = sched_.finish(index, /*reuse=*/status != RequestStatus::kFailed);
   switch (status) {
     case RequestStatus::kOk: c_completed_.add(); break;
     case RequestStatus::kCancelled: c_cancelled_.add(); break;

@@ -87,6 +87,17 @@ struct EngineConfig {
   /// Exponential backoff base between admission retries, ms (0 = retry at
   /// every tick). See SchedulerConfig.
   double retry_backoff_ms = 0.0;
+  /// When a degrade mechanism is configured (any degrade_* threshold or
+  /// the degrade-early-exit shed policy): after this many consecutive
+  /// byte-budget admission rejections the queue head is forced down the
+  /// ladder to its floor and retried with the smaller KV reservation.
+  /// This guarantee is what lets submit() accept requests that only fit
+  /// the budget degraded (rejecting on the full-depth ask would turn them
+  /// away) without risking a head that waits at full depth forever. 0
+  /// disables head degradation — submit() then rejects anything that
+  /// cannot fit at its full asked depth. Ignored when no degrade
+  /// mechanism is configured.
+  int64_t degrade_budget_retries = 2;
   /// Scheduler-stall watchdog: when the loop's heartbeat stops advancing
   /// for this long while work is pending (a wedged decode), every pending
   /// request fails cleanly with kFailed and the engine stops accepting.

@@ -156,6 +156,7 @@ struct PagedKvPool::TrieNode {
   std::vector<KvBlock*> blocks;  ///< one per layer
   int64_t refs = 0;
   uint64_t last_use = 0;
+  bool evictable = false;  ///< currently indexed in evictable_ at last_use
   std::map<std::vector<int64_t>, std::unique_ptr<TrieNode>> children;
 };
 
@@ -328,16 +329,37 @@ int64_t PagedKvPool::node_bytes_locked(const TrieNode& n) const {
   return static_cast<int64_t>(n.blocks.size()) * block_bytes();
 }
 
-void PagedKvPool::touch_locked(TrieNode* n) { n->last_use = lru_clock_; }
+void PagedKvPool::touch_locked(TrieNode* n) {
+  if (n->evictable) evictable_.erase(n->last_use);
+  n->last_use = ++lru_clock_;
+  if (n->evictable) evictable_.emplace(n->last_use, n);
+}
+
+void PagedKvPool::sync_evictable_locked(TrieNode* n) {
+  const bool want = n != root_.get() && n->children.empty() && n->refs == 0;
+  if (want == n->evictable) return;
+  if (want) {
+    evictable_.emplace(n->last_use, n);
+  } else {
+    evictable_.erase(n->last_use);
+  }
+  n->evictable = want;
+}
 
 PagedKvPool::TrieNode* PagedKvPool::pin_locked(TrieNode* n) {
-  if (n->refs++ == 0) pinned_bytes_ += node_bytes_locked(*n);
+  if (n->refs++ == 0) {
+    pinned_bytes_ += node_bytes_locked(*n);
+    sync_evictable_locked(n);
+  }
   touch_locked(n);
   return n;
 }
 
 void PagedKvPool::unpin_locked(TrieNode* n) {
-  if (--n->refs == 0) pinned_bytes_ -= node_bytes_locked(*n);
+  if (--n->refs == 0) {
+    pinned_bytes_ -= node_bytes_locked(*n);
+    sync_evictable_locked(n);
+  }
 }
 
 void PagedKvPool::recycle_block_locked(KvBlock* b) {
@@ -346,26 +368,22 @@ void PagedKvPool::recycle_block_locked(KvBlock* b) {
 }
 
 bool PagedKvPool::evict_one_locked() {
-  // LRU leaf with no live readers. Interior nodes become leaves as their
-  // children go, so repeated calls peel a dead subtree bottom-up; a node
-  // whose descendant is pinned is never a leaf and survives.
-  TrieNode* best = nullptr;
-  std::vector<TrieNode*> stack{root_.get()};
-  while (!stack.empty()) {
-    TrieNode* n = stack.back();
-    stack.pop_back();
-    for (auto& [key, child] : n->children) stack.push_back(child.get());
-    if (n != root_.get() && n->children.empty() && n->refs == 0 &&
-        (best == nullptr || n->last_use < best->last_use)) {
-      best = n;
-    }
-  }
-  if (best == nullptr) return false;
+  // LRU leaf with no live readers — the head of the evictable index, so
+  // eviction never re-walks the trie while workers wait on the pool mutex.
+  // Interior nodes join the index as their last child goes, so repeated
+  // calls peel a dead subtree bottom-up; a node whose descendant is pinned
+  // is never a leaf and survives.
+  if (evictable_.empty()) return false;
+  TrieNode* best = evictable_.begin()->second;
+  evictable_.erase(evictable_.begin());
+  best->evictable = false;
   const int64_t d = static_cast<int64_t>(best->blocks.size());
   for (KvBlock* b : best->blocks) recycle_block_locked(b);
   cached_blocks_ -= d;
   if (c_evicted_blocks_ != nullptr) c_evicted_blocks_->add(d);
-  best->parent->children.erase(best->tokens);
+  TrieNode* parent = best->parent;
+  parent->children.erase(best->tokens);  // destroys best
+  sync_evictable_locked(parent);
   return true;
 }
 
@@ -425,7 +443,6 @@ PagedKvPool::AcquireResult PagedKvPool::acquire(const std::vector<int64_t>& prom
   const int64_t bt = cfg_.block_tokens;
   const int64_t bb = block_bytes();
   std::lock_guard<std::mutex> lk(mu_);
-  ++lru_clock_;
 
   // Prefix match. Full-block descent first, then the longest in-block
   // agreement among the next children (served up to the divergence point,
@@ -520,7 +537,6 @@ void PagedKvPool::release(PagedKvSeq* seq, const std::vector<int64_t>& tokens, b
   std::lock_guard<std::mutex> lk(mu_);
   auto it = live_.find(seq);
   check_arg(it != live_.end(), "PagedKvPool::release: not a live sequence");
-  ++lru_clock_;
   for (void* p : seq->pins_) unpin_locked(static_cast<TrieNode*>(p));
   seq->pins_.clear();
   committed_ -= seq->reserved_bytes_;
@@ -531,8 +547,13 @@ void PagedKvPool::release(PagedKvSeq* seq, const std::vector<int64_t>& tokens, b
   check_arg(!reuse || static_cast<int64_t>(tokens.size()) >= cached_pos,
             "PagedKvPool::release: token list shorter than cached positions");
   const int64_t n_full = reuse ? cached_pos / bt : 0;
-  const int64_t cols =
-      seq->table_.empty() ? 0 : static_cast<int64_t>(seq->table_[0].size());
+  // Column count: the max across layers, not layer 0's. A failed decode
+  // (reuse=false) may have torn mid-tick, leaving some layers a block
+  // ahead of others — every owned block must still be recycled.
+  int64_t cols = 0;
+  for (const auto& row : seq->table_) {
+    cols = std::max<int64_t>(cols, static_cast<int64_t>(row.size()));
+  }
 
   // Walk the sequence's block columns left to right. Full columns are
   // donated to the trie (transfer ownership) or, when the trie already has
@@ -575,11 +596,13 @@ void PagedKvPool::release(PagedKvSeq* seq, const std::vector<int64_t>& tokens, b
         for (int64_t l = 0; l < depth; ++l) {
           fresh->blocks.push_back(seq->table_[static_cast<size_t>(l)][static_cast<size_t>(bi)]);
         }
-        fresh->last_use = lru_clock_;
+        fresh->last_use = ++lru_clock_;
         cached_blocks_ += depth;
         TrieNode* raw = fresh.get();
         cursor->children[chunk] = std::move(fresh);
+        sync_evictable_locked(cursor);  // gained a child: no longer a leaf
         cursor = raw;
+        sync_evictable_locked(raw);  // unreferenced leaf until pinned/extended
       } else {
         // A shared column absent from the trie cannot happen (shared nodes
         // stay resident while we hold them); stop donating defensively.
@@ -587,7 +610,10 @@ void PagedKvPool::release(PagedKvSeq* seq, const std::vector<int64_t>& tokens, b
       }
     } else {
       for (size_t l = 0; l < seq->table_.size(); ++l) {
-        if (bi >= seq->owned_from_[l]) recycle_block_locked(seq->table_[l][static_cast<size_t>(bi)]);
+        if (bi >= seq->owned_from_[l] &&
+            bi < static_cast<int64_t>(seq->table_[l].size())) {
+          recycle_block_locked(seq->table_[l][static_cast<size_t>(bi)]);
+        }
       }
       inserting = false;
     }

@@ -261,7 +261,10 @@ class PagedKvPool {
   /// tokens). With `reuse`, every full owned block is donated to the
   /// prefix trie for future requests (LRU-evictable once unreferenced);
   /// without it (failed decodes — contents untrusted) everything owned is
-  /// recycled immediately. Call at a tick barrier, like KvCachePool::release.
+  /// recycled immediately, `tokens` is ignored, and torn state is
+  /// tolerated: a decode that died mid-tick may have appended to some
+  /// layers but not others, so per-layer block counts may disagree.
+  /// Call at a tick barrier, like KvCachePool::release.
   void release(PagedKvSeq* seq, const std::vector<int64_t>& tokens, bool reuse);
 
   /// Worst-case (no prefix hit) projected bytes — block-granular, so it is
@@ -297,13 +300,16 @@ class PagedKvPool {
 
   KvBlock* allocate_block_locked();
   void recycle_block_locked(KvBlock* b);
-  /// Evicts the least-recently-used unreferenced leaf; false when nothing
-  /// is evictable.
+  /// Evicts the least-recently-used unreferenced leaf (the head of
+  /// `evictable_`, O(log n)); false when nothing is evictable.
   bool evict_one_locked();
   void unpin_locked(TrieNode* n);
   TrieNode* pin_locked(TrieNode* n);
   int64_t node_bytes_locked(const TrieNode& n) const;
   void touch_locked(TrieNode* n);
+  /// Re-derives whether `n` belongs in `evictable_` (unreferenced leaf)
+  /// and inserts/removes it. Call after any change to refs or children.
+  void sync_evictable_locked(TrieNode* n);
   void update_gauges_locked();
 
   /// Called by PagedKvSeq::append when it needs a fresh block (tail full,
@@ -333,6 +339,10 @@ class PagedKvPool {
   std::vector<std::unique_ptr<KvBlock>> blocks_;  ///< every block ever constructed
   std::vector<KvBlock*> free_;                    ///< recycled blocks
   std::unique_ptr<TrieNode> root_;
+  /// Eviction candidates — every unreferenced leaf, keyed by its last_use
+  /// stamp (unique: the clock advances per touch). begin() is the LRU
+  /// victim, so eviction never re-walks the trie under the pool mutex.
+  std::map<uint64_t, TrieNode*> evictable_;
   std::unordered_map<PagedKvSeq*, std::unique_ptr<PagedKvSeq>> live_;
   uint64_t lru_clock_ = 0;
   int64_t allocated_blocks_ = 0;  ///< live-owned + cached (never free-listed)

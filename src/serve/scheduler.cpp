@@ -22,6 +22,8 @@ Scheduler::Scheduler(SchedulerConfig cfg, KvPoolConfig pool_cfg) : cfg_(cfg) {
   check_arg(cfg_.max_admission_retries >= 0,
             "Scheduler: max_admission_retries must be >= 0 (0 = unlimited)");
   check_arg(cfg_.retry_backoff_ms >= 0.0, "Scheduler: retry_backoff_ms must be >= 0");
+  check_arg(cfg_.degrade_budget_retries >= 0,
+            "Scheduler: degrade_budget_retries must be >= 0 (0 = off)");
   if (pool_cfg.paged) {
     PagedKvConfig pc;
     pc.block_tokens = pool_cfg.block_tokens;
@@ -171,6 +173,20 @@ Scheduler::AdmitResult Scheduler::admit(int degrade_level, const DegradeLadder& 
       ++head.admission_attempts;
       ++r.retries;
       const char* why = injected ? "fault: injected kv admission failure" : to_string(reason);
+      // The byte budget keeps refusing the head at its asked depth: force
+      // it to the ladder floor and retry this scan with the smaller
+      // reservation. This realizes the floor-depth fit check the engine
+      // admitted it under — without it, a request that only fits degraded
+      // would retry at full depth forever and wedge the queue. Checked
+      // before shedding so a degradable head gets its cheaper attempt
+      // first; if even the floor keeps bouncing, the retry budget still
+      // applies.
+      if (!injected && reason == KvAdmitReason::kByteBudget && !head.force_degrade &&
+          cfg_.degrade_budget_retries > 0 &&
+          head.admission_attempts >= cfg_.degrade_budget_retries) {
+        head.force_degrade = true;
+        continue;
+      }
       if (cfg_.max_admission_retries > 0 &&
           head.admission_attempts >= cfg_.max_admission_retries) {
         head.error = "kv admission failed after " +
@@ -234,13 +250,15 @@ std::unique_ptr<SeqState> Scheduler::cancel(int64_t id, bool* found) {
   return nullptr;
 }
 
-std::unique_ptr<SeqState> Scheduler::finish(size_t active_index) {
+std::unique_ptr<SeqState> Scheduler::finish(size_t active_index, bool reuse) {
   check_arg(active_index < active_.size(), "Scheduler::finish: index out of range");
   std::unique_ptr<SeqState> s = std::move(active_[active_index]);
   if (paged_pool_) {
-    // Clean completions (and cancels: their cached rows are valid) donate
-    // their prefix to the cache for future requests.
-    release_paged(*s, /*reuse=*/true);
+    // Clean terminals (completions, cancels, timeouts: their cached rows
+    // are valid at the barrier) donate their prefix to the cache for
+    // future requests; failed decodes must pass reuse=false — their
+    // appends may be torn and the rows are untrusted.
+    release_paged(*s, reuse);
   } else {
     slot_pool_->release(s->slot);
     s->slot = -1;

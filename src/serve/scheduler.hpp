@@ -100,6 +100,14 @@ struct SchedulerConfig {
   /// Backoff between admission attempts, doubling per failure (capped at
   /// 64x). 0 retries at every staging scan.
   double retry_backoff_ms = 0.0;
+  /// After this many consecutive byte-budget rejections, the head request
+  /// is forced down the degradation ladder to its floor and retried with
+  /// the smaller reservation. This is what makes the engine's floor-depth
+  /// can-this-ever-fit check at submit() sound: a request admitted because
+  /// it fits *degraded* is guaranteed to eventually be degraded, instead
+  /// of wedging the queue at a depth that never fits. 0 disables (then the
+  /// engine must project admission at the request's full asked depth).
+  int64_t degrade_budget_retries = 0;
   /// Serve-path fault injection (null = none): can fail KV acquires.
   runtime::ServeFaultInjector* fault = nullptr;
 };
@@ -143,8 +151,13 @@ class Scheduler {
   std::unique_ptr<SeqState> cancel(int64_t id, bool* found);
 
   /// Removes an active sequence (slot released) and returns its state for
-  /// completion.
-  std::unique_ptr<SeqState> finish(size_t active_index);
+  /// completion. `reuse` donates the sequence's cached rows to the paged
+  /// pool's prefix cache — pass true only for terminals whose cache
+  /// contents are trusted (completed/cancelled/timed-out at a barrier),
+  /// never for a sequence retired after a decode failure: its appends may
+  /// be torn mid-layer and must be recycled, not shared (the slot pool
+  /// drops storage either way).
+  std::unique_ptr<SeqState> finish(size_t active_index, bool reuse);
 
   /// Earliest retry_after among queued requests still in backoff, or the
   /// epoch when none are — the engine uses it to sleep exactly until the

@@ -242,6 +242,71 @@ TEST(PagedKvPool, CowForkIsolatesDivergingSequence) {
   EXPECT_EQ(pool.allocated_blocks(), pool.cached_blocks());
 }
 
+// Review regression: a decode that died mid-tick can leave layers with
+// unequal block counts (layer 0 appended past a boundary layer 1 never
+// reached). reuse=false release must recycle every owned block without
+// walking out of bounds or throwing on the torn state.
+TEST(PagedKvPool, TornSequenceReleaseIsSafe) {
+  PagedKvPool pool(paged_cfg(4, 2, 8, 0));
+  auto r = pool.acquire(iota_tokens(6), 10, 2);
+  ASSERT_NE(r.seq, nullptr);
+  std::vector<float> k, v;
+  fill_row(0, 8, 0, k, v);
+  // Layer 0 fills 6 positions (2 blocks); layer 1 only 2 (1 block).
+  for (int64_t i = 0; i < 6; ++i) r.seq->append(0, k.data(), v.data());
+  for (int64_t i = 0; i < 2; ++i) r.seq->append(1, k.data(), v.data());
+  ASSERT_EQ(pool.allocated_blocks(), 3);
+  pool.release(r.seq, {}, /*reuse=*/false);
+  EXPECT_EQ(pool.allocated_blocks(), 0);
+  EXPECT_EQ(pool.cached_blocks(), 0);
+  EXPECT_EQ(pool.free_blocks(), pool.total_blocks());
+  EXPECT_EQ(pool.committed_bytes(), 0);
+}
+
+// The evictable-leaf index must evict in true LRU order: of two cached
+// prefixes, the one touched by a later prefix hit survives pressure and
+// the stale one goes.
+TEST(PagedKvPool, EvictionPrefersLeastRecentlyUsedPrefix) {
+  obs::Registry reg;
+  const int64_t bb = 4 * nn::KvCache::bytes_per_position(1, 8, false);
+  PagedKvPool pool(paged_cfg(4, 1, 8, /*budget=*/2 * bb, &reg));
+  const auto prompt_a = iota_tokens(5);
+  const auto prompt_b = seq_tokens(5, 24, 7);
+
+  // Cache prefix A then prefix B (one full block each).
+  for (const auto& prompt : {prompt_a, prompt_b}) {
+    auto r = pool.acquire(prompt, 8, 1);
+    ASSERT_NE(r.seq, nullptr);
+    feed_positions(*r.seq, 4, 1);
+    std::vector<int64_t> cached(prompt.begin(), prompt.begin() + 4);
+    pool.release(r.seq, cached, true);
+  }
+  ASSERT_EQ(pool.cached_blocks(), 2);
+
+  // Touch A via a prefix hit, making B the least recently used.
+  auto touch = pool.acquire(prompt_a, 5, 1);
+  ASSERT_NE(touch.seq, nullptr);
+  ASSERT_EQ(touch.prefix_tokens, 4);
+  pool.release(touch.seq, {}, false);
+
+  // A cold sequence needs one block over budget: B must be evicted, A kept.
+  auto cold = pool.acquire(seq_tokens(4, 24, 11), 4, 1);
+  ASSERT_NE(cold.seq, nullptr);
+  feed_positions(*cold.seq, 1, 1);
+  EXPECT_EQ(reg.counter("kv/evicted_blocks").value(), 1);
+  EXPECT_EQ(pool.cached_blocks(), 1);
+  pool.release(cold.seq, {}, false);
+
+  auto check_a = pool.acquire(prompt_a, 5, 1);
+  ASSERT_NE(check_a.seq, nullptr);
+  EXPECT_EQ(check_a.prefix_tokens, 4);  // A survived
+  pool.release(check_a.seq, {}, false);
+  auto check_b = pool.acquire(prompt_b, 5, 1);
+  ASSERT_NE(check_b.seq, nullptr);
+  EXPECT_EQ(check_b.prefix_tokens, 0);  // B was the LRU victim
+  pool.release(check_b.seq, {}, false);
+}
+
 TEST(PagedKvPool, EvictionUnderPressureConservesBlocks) {
   obs::Registry reg;
   // Budget: exactly one worst-case sequence (8 positions -> 2 blocks/layer
@@ -295,6 +360,48 @@ TEST(PagedKvPool, PinnedPrefixCountsAgainstAdmission) {
   pool.release(d.seq, {}, false);
   pool.release(b.seq, {}, false);
   EXPECT_EQ(pool.committed_bytes(), 0);
+}
+
+// Review regression: the scheduler must only donate a finished sequence's
+// rows to the prefix cache for trusted terminals. finish(reuse=false) —
+// the engine's kFailed path — recycles everything instead.
+TEST(PagedScheduler, FailedFinishRecyclesInsteadOfDonating) {
+  SchedulerConfig scfg;
+  scfg.max_batch = 2;
+  scfg.queue_capacity = 4;
+  scfg.max_seq = 16;
+  scfg.n_layers = 2;
+  KvPoolConfig pcfg;
+  pcfg.n_slots = 2;
+  pcfg.kv_dim = 8;
+  pcfg.paged = true;
+  pcfg.block_tokens = 4;
+  Scheduler sched(scfg, pcfg);
+
+  auto run_one = [&](bool reuse) {
+    auto s = std::make_unique<SeqState>();
+    s->req.id = reuse ? 1 : 2;
+    s->req.prompt = iota_tokens(8);
+    s->req.max_new_tokens = 4;
+    s->exit_layer_used = 2;
+    ASSERT_TRUE(sched.enqueue(s));
+    const auto r = sched.admit(0, DegradeLadder{}, std::chrono::steady_clock::now());
+    ASSERT_EQ(r.admitted, 1);
+    SeqState& a = *sched.active()[0];
+    feed_positions(*a.kv, 8, 2);
+    a.position = 8;
+    a.prompt_fed = 8;
+    auto done = sched.finish(0, reuse);
+    ASSERT_NE(done, nullptr);
+  };
+
+  run_one(/*reuse=*/false);  // failed decode: rows untrusted
+  EXPECT_EQ(sched.paged_pool()->cached_blocks(), 0);
+  EXPECT_EQ(sched.paged_pool()->committed_bytes(), 0);
+
+  run_one(/*reuse=*/true);  // clean completion donates (8 pos = 2 blocks x 2 layers)
+  EXPECT_EQ(sched.paged_pool()->cached_blocks(), 4);
+  EXPECT_EQ(sched.paged_pool()->committed_bytes(), 0);
 }
 
 // --- KV accounting regressions ----------------------------------------------
@@ -488,6 +595,66 @@ TEST(PagedEngine, DegradedRequestAdmitsWhereFullDepthWouldBeRejected) {
   EXPECT_TRUE(v.degraded);
   EXPECT_EQ(v.exit_layer_used, 1);
   EXPECT_EQ(v.tokens, reference_greedy(model, prompt, 4, /*exit_layer=*/1));
+}
+
+// Review regression (end to end): a request that fails mid-decode must not
+// donate its rows to the prefix cache — poisoned logits fail the request
+// after its whole prompt was appended, which the old reuse-always release
+// would have cached for the next identical prompt.
+TEST(PagedEngine, FailedDecodeDoesNotDonateToPrefixCache) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(45);
+  nn::CausalLm model(cfg, rng);
+
+  runtime::ServeFaultPlan plan;
+  plan.poison_logits_prob = 1.0;
+  runtime::ServeFaultInjector fault(plan);
+  EngineConfig ecfg = paged_engine_cfg(1);
+  ecfg.fault = &fault;
+  ServeEngine engine(model, ecfg);
+
+  const Completion c = engine.submit(greedy_request(1, seq_tokens(8, cfg.vocab, 2), 4)).get();
+  EXPECT_EQ(c.status, RequestStatus::kFailed);
+  engine.shutdown();
+  EXPECT_EQ(engine.registry().gauge("kv/blocks_cached").value(), 0);
+  EXPECT_EQ(engine.registry().gauge("kv/committed_bytes").value(), 0);
+  EXPECT_EQ(engine.registry().counter("kv/acquired").value(),
+            engine.registry().counter("kv/released").value());
+}
+
+// Review regression: a request that only fits the budget at the ladder
+// floor, arriving under LOW pressure (no threshold tripped at submit), is
+// admitted on the floor-depth projection. Admission must then degrade the
+// stuck head after degrade_budget_retries byte-budget rejections — with
+// the old code it retried at full depth forever and wedged the queue.
+TEST(PagedEngine, BudgetStuckHeadDegradesInsteadOfWedging) {
+  const nn::ModelConfig cfg = tiny_config();
+  Rng rng(46);
+  nn::CausalLm model(cfg, rng);
+  const auto prompt = seq_tokens(4, cfg.vocab, 0);
+  const auto want = reference_greedy(model, prompt, 4, /*exit_layer=*/1);
+
+  const int64_t per_pos_1 = nn::KvCache::bytes_per_position(1, cfg.kv_dim(), false);
+  for (const bool paged : {false, true}) {
+    EngineConfig ecfg;
+    ecfg.threads = 1;
+    ecfg.kv_paged = paged;
+    ecfg.kv_block_tokens = 4;
+    // 8 projected positions: fits at the depth-1 floor (8 blocks-worth),
+    // never at the full 3-layer depth (24) — for either pool backing.
+    ecfg.kv_byte_budget = 16 * per_pos_1;
+    // A degrade mechanism is configured but its threshold never trips for
+    // this lone request, so submit-time pressure cannot save it.
+    ecfg.admission.degrade_queue_ratio = 0.95;
+    ServeEngine engine(model, ecfg);
+
+    const Completion c = engine.submit(greedy_request(1, prompt, 4)).get();
+    EXPECT_EQ(c.status, RequestStatus::kOk) << "paged=" << paged << " " << c.error;
+    EXPECT_TRUE(c.degraded) << "paged=" << paged;
+    EXPECT_EQ(c.exit_layer_used, 1) << "paged=" << paged;
+    EXPECT_EQ(c.tokens, want) << "paged=" << paged;
+    EXPECT_EQ(engine.metrics().degraded, 1) << "paged=" << paged;
+  }
 }
 
 }  // namespace
