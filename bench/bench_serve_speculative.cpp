@@ -1,0 +1,238 @@
+// Self-speculative decoding through the serving engine: draft k tokens from
+// an early-exit head, verify them in one stacked full-depth pass, accept the
+// longest agreeing prefix. The bench sweeps draft depth x verify width k
+// over the pretrained base model (trained exit heads, so acceptance rates
+// are real, not noise) and reports tokens/sec against the non-speculative
+// full-depth baseline serving the identical backlog.
+//
+// Correctness is asserted inside the bench: every sweep cell must produce
+// byte-identical greedy completions to the baseline (speculative decoding
+// is an exact-equivalence transform, not an approximation), and every
+// engine must satisfy KV conservation after drain.
+//
+// A machine-readable summary is written to BENCH_serve_speculative.json
+// (override with --json PATH, disable with --json ""). --check-spec exits
+// non-zero unless drafts were accepted (acceptance > 0), all outputs were
+// byte-identical, conservation held, and at least one sweep cell beat the
+// baseline's tokens/sec.
+//
+// Run: ./build/bench/bench_serve_speculative [--requests N] [--tokens N]
+//      [--json out.json] [--check-spec]
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using namespace edgellm;
+using runtime::fmt;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Prompts drawn from the base domain's Markov chain: the pretrained model
+/// is competent on them, so shallow-exit drafts frequently agree with the
+/// full-depth verdict — the regime speculative decoding is built for.
+std::vector<std::vector<int64_t>> make_prompts(int64_t n_requests, int64_t prompt_len) {
+  Rng rng(99);
+  const data::MarkovChain domain = bench::base_domain();
+  const data::LmBatch batch = data::sample_lm_batch(domain, n_requests, prompt_len, rng);
+  std::vector<std::vector<int64_t>> prompts;
+  for (int64_t i = 0; i < n_requests; ++i) {
+    std::vector<int64_t> p(static_cast<size_t>(prompt_len));
+    for (int64_t t = 0; t < prompt_len; ++t) {
+      p[static_cast<size_t>(t)] = batch.inputs[static_cast<size_t>(i * batch.seq + t)];
+    }
+    prompts.push_back(std::move(p));
+  }
+  return prompts;
+}
+
+struct RunResult {
+  double wall_ms = 0.0;
+  int64_t tokens = 0;
+  int64_t accepted = 0;  ///< spec/accepted_tokens after drain
+  int64_t rejected = 0;  ///< spec/rejected_tokens after drain
+  bool conserved = false;
+  std::vector<std::vector<int64_t>> outputs;
+
+  double tok_s() const { return static_cast<double>(tokens) / (wall_ms / 1e3); }
+  double accept_rate() const {
+    const int64_t drafted = accepted + rejected;
+    return drafted > 0 ? static_cast<double>(accepted) / static_cast<double>(drafted) : 0.0;
+  }
+};
+
+/// Serves the prompts one at a time — the interactive single-stream regime
+/// speculative decoding targets. (A batched backlog amortises full-depth
+/// compute across concurrent rows, which is the continuous-batching win, a
+/// different lever; here every tick advances exactly one sequence, so the
+/// comparison isolates drafts-then-verify against token-at-a-time decode.)
+/// depth == 0 means a plain full-depth (non-speculative) run.
+RunResult run_stream(nn::CausalLm& model, const serve::EngineConfig& ecfg,
+                     const std::vector<std::vector<int64_t>>& prompts, int64_t n_new,
+                     int64_t depth, int64_t k) {
+  serve::ServeEngine engine(model, ecfg);
+  RunResult r;
+
+  const auto t0 = Clock::now();
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    serve::Request req;
+    req.id = static_cast<int64_t>(i) + 1;
+    req.prompt = prompts[i];
+    req.max_new_tokens = n_new;
+    req.temperature = 0.0f;
+    if (depth > 0) {
+      req.exit_policy = serve::ExitPolicy::kSpeculative;
+      req.draft_depth = depth;
+      req.draft_k = k;
+    }
+    const serve::Completion c = engine.submit(std::move(req)).get();
+    check_arg(c.status == serve::RequestStatus::kOk, "bench: request failed: " + c.error);
+    r.tokens += static_cast<int64_t>(c.tokens.size());
+    r.outputs.push_back(c.tokens);
+  }
+  r.wall_ms = ms_since(t0);
+  engine.shutdown();
+
+  r.accepted = engine.registry().counter("spec/accepted_tokens").value();
+  r.rejected = engine.registry().counter("spec/rejected_tokens").value();
+  r.conserved = engine.registry().counter("kv/acquired").value() ==
+                    engine.registry().counter("kv/released").value() &&
+                static_cast<int64_t>(engine.registry().gauge("kv/committed_bytes").value()) == 0;
+  return r;
+}
+
+struct Cell {
+  int64_t depth = 0;
+  int64_t k = 0;
+  RunResult run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  bool check_spec = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-spec") == 0) {
+      check_spec = true;
+    } else if (i + 1 < argc) {
+      args[argv[i]] = argv[i + 1];
+      ++i;
+    }
+  }
+  const int64_t n_requests = args.count("--requests") ? std::stoll(args["--requests"]) : 8;
+  const int64_t n_new = args.count("--tokens") ? std::stoll(args["--tokens"]) : 16;
+
+  std::cout << "pretraining base model (deterministic)...\n";
+  const std::unique_ptr<nn::CausalLm> model = bench::make_pretrained_base();
+  const nn::ModelConfig cfg = model->config();
+  const int64_t prompt_len = std::min<int64_t>(8, cfg.max_seq - n_new);
+  check_arg(prompt_len >= 1, "bench: --tokens leaves no room for a prompt");
+  const auto prompts = make_prompts(n_requests, prompt_len);
+
+  serve::EngineConfig base;
+  base.threads = 2;
+  base.max_batch = 16;
+  base.queue_capacity = n_requests + 2;
+
+  std::cout << "speculative workload: " << n_requests << " requests, " << prompt_len
+            << "-token prompts, " << n_new << " new tokens each; draft exits at {2, 4} of "
+            << cfg.n_layers << " layers\n\n";
+
+  const RunResult baseline = run_stream(*model, base, prompts, n_new, /*depth=*/0, /*k=*/0);
+
+  std::vector<Cell> cells;
+  for (const int64_t depth : {int64_t{2}, int64_t{4}}) {
+    for (const int64_t k : {int64_t{2}, int64_t{4}, int64_t{8}}) {
+      cells.push_back({depth, k, run_stream(*model, base, prompts, n_new, depth, k)});
+    }
+  }
+
+  bool all_identical = true;
+  bool all_conserved = baseline.conserved;
+  int64_t total_accepted = 0;
+  double best_speedup = 0.0;
+  for (const Cell& c : cells) {
+    all_identical = all_identical && c.run.outputs == baseline.outputs;
+    all_conserved = all_conserved && c.run.conserved;
+    total_accepted += c.run.accepted;
+    best_speedup = std::max(best_speedup, c.run.tok_s() / baseline.tok_s());
+  }
+
+  runtime::TablePrinter table({10, 4, 9, 9, 9, 9, 11});
+  table.row({"cell", "k", "wall ms", "tok/s", "speedup", "accept", "identical"});
+  table.rule();
+  table.row({"baseline", "-", fmt(baseline.wall_ms, 1), fmt(baseline.tok_s(), 0), "1.00x", "-",
+             "-"});
+  for (const Cell& c : cells) {
+    table.row({"depth " + std::to_string(c.depth), std::to_string(c.k), fmt(c.run.wall_ms, 1),
+               fmt(c.run.tok_s(), 0), fmt(c.run.tok_s() / baseline.tok_s(), 2) + "x",
+               fmt(c.run.accept_rate() * 100.0, 1) + "%",
+               c.run.outputs == baseline.outputs ? "yes" : "NO"});
+  }
+
+  std::cout << "\nbest speedup " << fmt(best_speedup, 2) << "x over full-depth decode; outputs "
+            << (all_identical ? "byte-identical" : "DIVERGED") << " across the sweep\n";
+
+  const std::string json_path =
+      args.count("--json") ? args["--json"] : std::string("BENCH_serve_speculative.json");
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n  \"requests\": " << n_requests << ",\n  \"prompt_tokens\": " << prompt_len
+       << ",\n  \"new_tokens\": " << n_new
+       << ",\n  \"baseline\": {\"wall_ms\": " << fmt(baseline.wall_ms, 1)
+       << ", \"tok_s\": " << fmt(baseline.tok_s(), 1) << "},\n  \"cells\": [";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      js << (i ? "," : "") << "\n    {\"draft_depth\": " << c.depth << ", \"draft_k\": " << c.k
+         << ", \"wall_ms\": " << fmt(c.run.wall_ms, 1) << ", \"tok_s\": " << fmt(c.run.tok_s(), 1)
+         << ", \"speedup\": " << fmt(c.run.tok_s() / baseline.tok_s(), 3)
+         << ", \"accept_rate\": " << fmt(c.run.accept_rate(), 3)
+         << ", \"accepted\": " << c.run.accepted << ", \"rejected\": " << c.run.rejected
+         << ", \"outputs_byte_identical\": "
+         << (c.run.outputs == baseline.outputs ? "true" : "false") << "}";
+    }
+    js << "\n  ],\n  \"best_speedup\": " << fmt(best_speedup, 3)
+       << ",\n  \"all_outputs_byte_identical\": " << (all_identical ? "true" : "false")
+       << ",\n  \"kv_conserved\": " << (all_conserved ? "true" : "false") << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (check_spec) {
+    bool ok = true;
+    if (!(total_accepted > 0)) {
+      std::cerr << "CHECK FAILED: no draft token was ever accepted\n";
+      ok = false;
+    }
+    if (!all_identical) {
+      std::cerr << "CHECK FAILED: speculative outputs diverged from full-depth decode\n";
+      ok = false;
+    }
+    if (!all_conserved) {
+      std::cerr << "CHECK FAILED: KV conservation violated after drain\n";
+      ok = false;
+    }
+    if (!(best_speedup > 1.0)) {
+      std::cerr << "CHECK FAILED: best speedup " << fmt(best_speedup, 2)
+                << "x (want > 1.0x at some sweep cell)\n";
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::cout << "speculative checks passed\n";
+  }
+  return 0;
+}

@@ -12,7 +12,8 @@
 //   edgellm_cli serve    --in adapted.bin [--requests FILE|-] [--threads 2]
 //                        [--batch 8] [--queue 64] [--kv-budget BYTES]
 //                        [--quantize-kv 0|1] [--kv-paged 0|1]
-//                        [--kv-block-tokens N] [--metrics out.csv]
+//                        [--kv-block-tokens N] [--speculative-depth L]
+//                        [--draft-k K] [--metrics out.csv]
 //                        [--listen host:port] [--max-connections N]
 //                        [--idle-timeout-ms MS]
 //
@@ -250,6 +251,10 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
   ecfg.kv_paged = get_num(args, "kv-paged", 0) != 0;
   ecfg.kv_block_tokens = static_cast<int64_t>(get_num(args, "kv-block-tokens", 16));
   ecfg.pack_compressed_weights = get_num(args, "packed-weights", 0) != 0;
+  // Engine-wide defaults for requests with exit "speculative" that don't
+  // carry their own draft_depth/draft_k (docs/SERVING.md).
+  ecfg.speculative_depth = static_cast<int64_t>(get_num(args, "speculative-depth", 0));
+  ecfg.draft_k = static_cast<int64_t>(get_num(args, "draft-k", 4));
 
   // Overload policy (docs/ROBUSTNESS.md): all thresholds default to 0 =
   // inert, so a plain `serve` behaves exactly as before the resilience
@@ -401,6 +406,7 @@ int usage() {
                "  serve    --in FILE [--requests FILE|-] [--threads N] [--batch B]\n"
                "           [--queue Q] [--kv-budget BYTES] [--quantize-kv 0|1]\n"
                "           [--kv-paged 0|1] [--kv-block-tokens N]\n"
+               "           [--speculative-depth L] [--draft-k K]\n"
                "           [--metrics CSV] [--metrics-out JSON] [--schedule-cache FILE]\n"
                "           [--packed-weights 0|1]\n"
                "           [--shed-policy reject|drop-lowest|degrade]\n"
@@ -413,6 +419,10 @@ int usage() {
                "bound port printed to stderr): POST /v1/completions streams token chunks,\n"
                "GET /metrics (JSON or ?format=csv) and GET /healthz; SIGINT/SIGTERM drain\n"
                "gracefully in both modes (docs/SERVING.md)\n"
+               "requests with \"exit\": \"speculative\" draft from an early-exit head and\n"
+               "verify at full depth (greedy output byte-identical to \"final\");\n"
+               "--speculative-depth/--draft-k set engine-wide defaults for requests that\n"
+               "omit draft_depth/draft_k (docs/SERVING.md)\n"
                "serve overload policy (docs/ROBUSTNESS.md): thresholds are fractions of queue/\n"
                "KV capacity (or tick-latency ms) past which requests degrade to early exits or\n"
                "are shed; 0 (default) disables each signal and the engine behaves as before\n"

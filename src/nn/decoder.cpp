@@ -320,6 +320,142 @@ std::vector<Tensor> decode_step_all_exits(CausalLm& model, KvCache& cache, int64
   return std::move(s.logits);
 }
 
+SpeculativeResult speculative_decode_step(CausalLm& model, KvSequenceView& cache,
+                                          int64_t position, int64_t token, int64_t draft_depth,
+                                          int64_t k, const DecodeWeightCache* weights) {
+  const obs::ScopedSpan span("decode/speculative");
+  const ModelConfig& cfg = model.config();
+  const int64_t c = cfg.d_model;
+  const int64_t kvd = cfg.kv_dim();
+  check_arg(!model.token_embedding().grad_enabled(),
+            "speculative_decode_step: call model.set_eval() first");
+  check_arg(k >= 1, "speculative_decode_step: k must be >= 1");
+  (void)model.exit_index(draft_depth);  // draft head must be a registered exit
+  check_arg(cache.n_layers() >= cfg.n_layers,
+            "speculative_decode_step: cache has too few layers for full-depth verify");
+  check_arg(cache.kv_dim() == kvd, "speculative_decode_step: cache kv_dim mismatch");
+  check_arg(position + k <= cfg.max_seq,
+            "speculative_decode_step: draft window exceeds the context");
+  check_arg(position == cache.positions(0),
+            "speculative_decode_step: position does not match cache");
+
+  SpeculativeResult res;
+
+  // Draft phase: k-1 greedy continuations from the shallow exit. Each draft
+  // row runs layers [0, draft_depth) ONCE, through the same kernels the
+  // verify pass uses, appending its shallow KV rows and keeping its hidden
+  // state (the input to layer draft_depth). The verify pass reuses both —
+  // recomputing them would be bit-identical, so skipping the recompute
+  // preserves the equivalence contract while making a full-acceptance round
+  // cost the same layer-rows as k sequential full-depth steps.
+  std::vector<int64_t> fed;
+  fed.reserve(static_cast<size_t>(k));
+  fed.push_back(token);
+  auto blocks = model.blocks();
+  const Param& pos = model.positional_embedding();
+
+  // Layers [0, draft_depth) for one token row: appends shallow KV, returns
+  // the hidden row [1, c] that both the draft exit head and layer
+  // draft_depth consume.
+  const auto shallow_row = [&](int64_t p, int64_t tok) {
+    Tensor x = model.token_embedding().forward(std::vector<int64_t>{tok});  // [1, c]
+    for (int64_t d = 0; d < c; ++d) x[d] += pos.value[p * c + d];
+    std::vector<float> row_scratch, score_scratch;
+    for (int64_t li = 0; li < draft_depth; ++li) {
+      TransformerBlock& block = *blocks[static_cast<size_t>(li)];
+      MultiHeadAttention& attn = block.attention();
+      const Tensor h = block.norm1().forward(x);
+      const Tensor q = cached_linear(attn.q_proj(), h, weights);
+      const Tensor kp = cached_linear(attn.k_proj(), h, weights);
+      const Tensor vp = cached_linear(attn.v_proj(), h, weights);
+      Tensor ctx({int64_t{1}, c});
+      cache.append(li, kp.raw(), vp.raw());
+      attend_one(cfg, cache, li, p + 1, q.raw(), ctx.raw(), row_scratch, score_scratch);
+      const Tensor attn_out = cached_linear(attn.out_proj(), ctx, weights);
+      ops::add_inplace(x, attn_out);
+      const Tensor h2 = block.norm2().forward(x);
+      ops::add_inplace(x, cached_mlp(block.mlp(), h2, weights));
+    }
+    return x;
+  };
+
+  std::vector<Tensor> hidden;  // per fed row, the input to layer draft_depth
+  hidden.reserve(static_cast<size_t>(k));
+  {
+    const obs::ScopedSpan draft_span("spec/draft");
+    const int64_t didx = model.exit_index(draft_depth);
+    for (int64_t j = 0; j + 1 < k; ++j) {
+      hidden.push_back(shallow_row(position + j, fed[static_cast<size_t>(j)]));
+      const Tensor lg = cached_linear(model.exit_head(didx),
+                                      model.exit_norm(didx).forward(hidden.back()), weights);
+      fed.push_back(ops::argmax_lastdim(lg)[0]);
+      ++res.drafted;
+    }
+  }
+
+  // Verify phase: one stacked pass over all k fed rows through layers
+  // [draft_depth, n_layers). The last fed row was never drafted from, so its
+  // shallow layers run here first (it attends over every drafted row, in
+  // sequence order). Everything except attention is row-independent (the
+  // same kernels batched_decode_step uses), and attention appends then
+  // attends per row in sequence order, so row j sees exactly the
+  // position+j+1 cached rows a sequential decode would — the source of the
+  // bitwise-identity contract.
+  const obs::ScopedSpan verify_span("spec/verify");
+  hidden.push_back(shallow_row(position + k - 1, fed.back()));
+  Tensor x({k, c});
+  for (int64_t j = 0; j < k; ++j) {
+    std::memcpy(x.raw() + j * c, hidden[static_cast<size_t>(j)].raw(),
+                static_cast<size_t>(c) * sizeof(float));
+  }
+  hidden.clear();
+  for (int64_t li = draft_depth; li < cfg.n_layers; ++li) {
+    TransformerBlock& block = *blocks[static_cast<size_t>(li)];
+    MultiHeadAttention& attn = block.attention();
+    const Tensor h = block.norm1().forward(x);
+    const Tensor q = cached_linear(attn.q_proj(), h, weights);   // [k, c]
+    const Tensor kp = cached_linear(attn.k_proj(), h, weights);  // [k, kvd]
+    const Tensor vp = cached_linear(attn.v_proj(), h, weights);
+    Tensor ctx({k, c});
+    std::vector<float> row_scratch, score_scratch;
+    for (int64_t j = 0; j < k; ++j) {
+      cache.append(li, kp.raw() + j * kvd, vp.raw() + j * kvd);
+      attend_one(cfg, cache, li, position + j + 1, q.raw() + j * c, ctx.raw() + j * c,
+                 row_scratch, score_scratch);
+    }
+    const Tensor attn_out = cached_linear(attn.out_proj(), ctx, weights);
+    ops::add_inplace(x, attn_out);
+    const Tensor h2 = block.norm2().forward(x);
+    ops::add_inplace(x, cached_mlp(block.mlp(), h2, weights));
+  }
+  const int64_t eidx = model.exit_index(cfg.n_layers);
+  const Tensor logits = cached_linear(model.exit_head(eidx), model.exit_norm(eidx).forward(x),
+                                      weights);  // [k, vocab]
+  const std::vector<int64_t> verified = ops::argmax_lastdim(logits);
+
+  // Accept the longest agreeing prefix. Row 0 verifies the caller's token,
+  // so verified[0] is always emitted (every round advances); row j's token
+  // is emitted while draft j agreed with verification row j-1. A non-finite
+  // verified row stops emission there — the caller fails the sequence the
+  // same way the non-speculative path does on poisoned logits.
+  const auto row_finite = [&](int64_t j) {
+    return std::isfinite(logits.raw()[j * cfg.vocab + verified[static_cast<size_t>(j)]]);
+  };
+  int64_t m = 0;
+  while (m < k) {
+    if (m > 0 && fed[static_cast<size_t>(m)] != verified[static_cast<size_t>(m - 1)]) break;
+    if (!row_finite(m)) {
+      res.nonfinite = true;
+      break;
+    }
+    res.tokens.push_back(verified[static_cast<size_t>(m)]);
+    ++m;
+  }
+  res.accepted_drafts = std::max<int64_t>(0, m - 1);
+  cache.truncate(position + m);  // rewind rejected rows in every layer
+  return res;
+}
+
 IncrementalDecoder::IncrementalDecoder(CausalLm& model, int64_t exit_layer, bool quantize_kv)
     : model_(model), exit_layer_(exit_layer > 0 ? exit_layer : model.config().n_layers) {
   (void)model_.exit_index(exit_layer_);  // validates

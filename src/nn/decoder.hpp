@@ -135,6 +135,43 @@ Tensor decode_step(CausalLm& model, KvCache& cache, int64_t position, int64_t to
 std::vector<Tensor> decode_step_all_exits(CausalLm& model, KvCache& cache, int64_t position,
                                           int64_t token);
 
+/// Result of one self-speculative draft-and-verify round.
+struct SpeculativeResult {
+  /// Verified tokens emitted this round, in order (1..k of them; empty only
+  /// when the first verified row was non-finite).
+  std::vector<int64_t> tokens;
+  int64_t drafted = 0;          ///< shallow draft tokens proposed (k - 1)
+  int64_t accepted_drafts = 0;  ///< drafts the full-depth pass confirmed
+  bool nonfinite = false;       ///< a verified row's logits were non-finite
+};
+
+/// One self-speculative decode round (EDGE-LLM's early-exit heads double as
+/// a free draft model): feed `token` at `position`, draft k-1 continuation
+/// tokens greedily from the registered exit at `draft_depth`, then verify
+/// all k fed tokens in ONE stacked pass through the remaining layers and
+/// emit the longest prefix on which draft and full depth agree — plus the
+/// first verified token, which is always emitted, so every round advances.
+/// Drafted rows' shallow KV and hidden states are reused by the verify pass
+/// (recomputing them would be bit-identical), so a full-acceptance round
+/// costs the same layer-rows as k sequential full-depth steps; only
+/// rejected rows are wasted work.
+///
+/// Greedy-determinism contract: the emitted stream is bitwise identical to
+/// non-speculative full-depth greedy decode. The stacked verify pass runs
+/// the same kernels row-independently and appends/attends per row in
+/// sequence order, so each verified row sees exactly the cache a sequential
+/// decode would; rejected rows are truncated before they are ever read.
+///
+/// On return the cache holds position + tokens.size() full-depth rows (the
+/// last emitted token is not yet fed — same contract as decode_step).
+/// `draft_depth` must be a registered exit; `k >= 1` (k == 1 drafts
+/// nothing and degenerates to one plain full-depth step); the caller must
+/// ensure position + k <= max_seq. With `nonfinite`, emission stopped at
+/// the bad row and the cache was rewound to the emitted length.
+SpeculativeResult speculative_decode_step(CausalLm& model, KvSequenceView& cache,
+                                          int64_t position, int64_t token, int64_t draft_depth,
+                                          int64_t k, const DecodeWeightCache* weights = nullptr);
+
 /// Single-sequence incremental decoder over a CausalLm.
 ///
 /// Usage: prime(prompt) once, then step(token) per generated token; logits()

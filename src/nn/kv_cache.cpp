@@ -38,6 +38,22 @@ int64_t KvCache::positions(int64_t layer) const {
   return static_cast<int64_t>(k_[li].size()) / kv_dim_;
 }
 
+void KvCache::truncate(int64_t n) {
+  check_arg(n >= 0, "KvCache::truncate: n must be >= 0");
+  const auto clamp_resize = [n](auto& per_layer, int64_t per_pos) {
+    for (auto& x : per_layer) {
+      const size_t keep = static_cast<size_t>(n * per_pos);
+      if (x.size() > keep) x.resize(keep);
+    }
+  };
+  clamp_resize(k_, kv_dim_);
+  clamp_resize(v_, kv_dim_);
+  clamp_resize(kq_, kv_dim_);
+  clamp_resize(vq_, kv_dim_);
+  clamp_resize(kq_scales_, 1);
+  clamp_resize(vq_scales_, 1);
+}
+
 int64_t KvCache::bytes() const {
   int64_t bytes = 0;
   for (const auto& x : k_) bytes += static_cast<int64_t>(x.size() * sizeof(float));

@@ -46,6 +46,12 @@ class KvSequenceView {
   /// Cached positions in `layer` (layers above an early exit stay empty).
   virtual int64_t positions(int64_t layer) const = 0;
 
+  /// Drops every cached position >= `n` in every layer (no-op for layers
+  /// already at or below `n`). This is the speculative-decode rewind:
+  /// drafted-but-rejected rows are discarded so the next append lands at
+  /// position `n`. Backends must leave rows [0, n) bit-identical.
+  virtual void truncate(int64_t n) = 0;
+
   /// Bytes currently held by storage this sequence owns (payload +
   /// quantisation scales; paged backends exclude shared prefix blocks).
   virtual int64_t bytes() const = 0;
@@ -83,6 +89,8 @@ class KvCache final : public KvSequenceView {
   bool quantized() const override { return quantize_; }
 
   int64_t positions(int64_t layer) const override;
+
+  void truncate(int64_t n) override;
 
   /// Bytes currently held (payload + quantisation scales).
   int64_t bytes() const override;

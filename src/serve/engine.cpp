@@ -24,6 +24,21 @@ bool degrade_configured(const EngineConfig& cfg) {
          cfg.admission.degrade_tick_ms > 0.0;
 }
 
+/// {0, 1, ..., 16}: exact buckets for drafts-accepted-per-round (0 is a
+/// legitimate and common value, so it gets its own bucket).
+std::vector<double> spec_round_bounds() {
+  std::vector<double> b;
+  for (int i = 0; i <= 16; ++i) b.push_back(static_cast<double>(i));
+  return b;
+}
+
+/// {0.0, 0.1, ..., 1.0}: deciles for the per-round acceptance rate.
+std::vector<double> spec_rate_bounds() {
+  std::vector<double> b;
+  for (int i = 0; i <= 10; ++i) b.push_back(static_cast<double>(i) / 10.0);
+  return b;
+}
+
 }  // namespace
 
 // --- WorkerPool -------------------------------------------------------------
@@ -91,9 +106,13 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
       c_retries_(registry_.counter("serve/admission_retries")),
       c_watchdog_(registry_.counter("serve/watchdog_fired")),
       c_tokens_(registry_.counter("serve/tokens_generated")),
+      c_spec_accepted_(registry_.counter("spec/accepted_tokens")),
+      c_spec_rejected_(registry_.counter("spec/rejected_tokens")),
       h_batch_(registry_.histogram("serve/batch_size", obs::integer_bounds(cfg.max_batch))),
       h_queue_wait_(registry_.histogram("serve/queue_wait_ms")),
       h_tick_ms_(registry_.histogram("serve/tick_ms")),
+      h_spec_accepted_(registry_.histogram("spec/accepted_per_round", spec_round_bounds())),
+      h_spec_rate_(registry_.histogram("spec/acceptance_rate", spec_rate_bounds())),
       admit_ctl_(cfg.admission),
       sched_(SchedulerConfig{cfg.max_batch, cfg.queue_capacity, model.config().max_seq,
                              model.config().n_layers, cfg.max_admission_retries,
@@ -109,6 +128,12 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
   check_arg(cfg_.prefill_chunk >= 1, "ServeEngine: prefill_chunk must be >= 1");
   check_arg(cfg_.degrade_budget_retries >= 0,
             "ServeEngine: degrade_budget_retries must be >= 0 (0 = off)");
+  check_arg(cfg_.draft_k >= 1, "ServeEngine: draft_k must be >= 1");
+  if (cfg_.speculative_depth > 0) {
+    (void)model_.exit_index(cfg_.speculative_depth);  // throws on unregistered depth
+    check_arg(cfg_.speculative_depth < model_.config().n_layers,
+              "ServeEngine: speculative_depth must be below the final layer");
+  }
   if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
   if (cfg_.trace_kernel_sample >= 0) obs::Tracer::global().enable(cfg_.trace_kernel_sample);
   h_wait_class_[0] = &registry_.histogram("serve/queue_wait_ms_p0");
@@ -121,6 +146,10 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
     if (e >= model_.config().n_layers) continue;
     ladder_.deep = std::max(ladder_.deep, e);
     ladder_.shallow = ladder_.shallow == 0 ? e : std::min(ladder_.shallow, e);
+    // Per-draft-depth span names, built once: ScopedSpan keeps the char* it
+    // is given, and map nodes never move, so .c_str() stays valid for the
+    // engine's lifetime.
+    spec_span_names_.emplace(e, "spec/round_d" + std::to_string(e));
   }
   const size_t n_exits = model_.exit_layers().size();
   exit_weights_.assign(n_exits, 1.0f / static_cast<float>(n_exits));
@@ -140,6 +169,9 @@ int64_t ServeEngine::resolved_depth(const Request& req) const {
     (void)model_.exit_index(req.exit_layer);  // throws on unregistered depth
     return req.exit_layer;
   }
+  // kFinal, kVoted and kSpeculative all cache (and are billed at) full
+  // depth: speculative drafts write shallow layers of the SAME cache, so
+  // they add positions, not layers.
   return model_.config().n_layers;
 }
 
@@ -167,6 +199,8 @@ void ServeEngine::resolve(SeqState& s, RequestStatus status) {
     }
   }
   c.metrics.kv_bytes = s.kv_bytes_at_end;
+  c.metrics.spec_drafted = s.spec_drafted;
+  c.metrics.spec_accepted = s.spec_accepted;
   c.error = std::move(s.error);
   c.degraded = s.degraded;
   c.exit_layer_used = s.exit_layer_used;
@@ -205,12 +239,37 @@ std::future<Completion> ServeEngine::submit(Request req, StreamSink sink) {
             "ServeEngine::submit: priority out of range");
   const int64_t depth = resolved_depth(req);  // validates the exit layer too
 
+  // Speculative knobs resolve at submit so a bad ask throws here, not at a
+  // decode tick: draft depth falls back to the engine default, then to the
+  // deepest registered early exit; draft_k to the engine default.
+  int64_t spec_depth = 0;
+  int64_t spec_k = 0;
+  if (req.exit_policy == ExitPolicy::kSpeculative) {
+    check_arg(req.temperature <= 0.0f,
+              "ServeEngine::submit: speculative decoding is greedy-only (temperature <= 0)");
+    check_arg(req.draft_depth >= 0, "ServeEngine::submit: draft_depth must be >= 0");
+    check_arg(req.draft_k >= 0, "ServeEngine::submit: draft_k must be >= 0");
+    spec_depth = req.draft_depth > 0        ? req.draft_depth
+                 : cfg_.speculative_depth > 0 ? cfg_.speculative_depth
+                                              : ladder_.deep;
+    check_arg(spec_depth > 0,
+              "ServeEngine::submit: speculative decoding needs a registered early exit "
+              "below the final layer to draft from");
+    check_arg(spec_depth < mcfg.n_layers,
+              "ServeEngine::submit: draft_depth must be below the final layer");
+    (void)model_.exit_index(spec_depth);  // throws on unregistered depth
+    spec_k = req.draft_k > 0 ? req.draft_k : cfg_.draft_k;
+    check_arg(spec_k >= 1, "ServeEngine::submit: draft_k must be >= 1");
+  }
+
   auto s = std::make_unique<SeqState>();
   s->req = std::move(req);
   s->sink = std::move(sink);  // before any resolve() path so rejects stream too
   s->policy = s->req.exit_policy;
   s->exit_layer = s->req.exit_layer;
   s->exit_layer_used = depth;
+  s->spec_depth = spec_depth;
+  s->spec_k = spec_k;
   s->rng = Rng(s->req.seed);
   s->submit_t = std::chrono::steady_clock::now();
   std::future<Completion> fut = s->promise.get_future();
@@ -224,6 +283,14 @@ std::future<Completion> ServeEngine::submit(Request req, StreamSink sink) {
   // scheduler). A merely-configured pressure threshold is not enough — a
   // floor-only request arriving under low pressure would be admitted,
   // never degraded, and retry at full depth forever.
+  //
+  // Speculative requests project at this same VERIFIED-length bound — not
+  // prompt + max_new + draft_k. Drafted-but-unverified rows exist only
+  // inside one tick (speculative_decode_step truncates them before the
+  // barrier), and the loop clamps each round's verify width k to both the
+  // tokens the request may still emit and the context window, so the
+  // transient peak position + k never exceeds this projection. Reserving
+  // at prompt + max_new + k would turn away requests that provably fit.
   const int64_t projected = std::min<int64_t>(
       static_cast<int64_t>(s->req.prompt.size()) + s->req.max_new_tokens, mcfg.max_seq);
   const bool can_degrade = degrade_configured(cfg_) && cfg_.degrade_budget_retries > 0;
@@ -363,6 +430,46 @@ void ServeEngine::run_decode(std::vector<nn::BatchedSeq>& seqs,
   });
 }
 
+void ServeEngine::run_speculative(std::vector<SpecJob>& jobs) {
+  if (jobs.empty()) return;
+  // One job = one sequence's draft-and-verify round; caches are disjoint,
+  // so jobs shard 1:1 across workers. Same failure contract as run_decode:
+  // exceptions (injected death or genuine decode failure) land in the job
+  // record — never in the WorkerPool — and a failed job's cache is
+  // untrusted, so its sequence retires kFailed at the barrier.
+  auto run_one = [&](int64_t ji) {
+    SpecJob& job = jobs[static_cast<size_t>(ji)];
+    try {
+      if (cfg_.fault != nullptr) {
+        const double stall = cfg_.fault->stall_worker_ms();
+        if (stall > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(stall));
+        }
+        if (cfg_.fault->kill_worker()) throw runtime::WorkerDeathError();
+      }
+      const obs::ScopedSpan span(job.span_name);
+      job.result = nn::speculative_decode_step(model_, *job.cache, job.position, job.token,
+                                               job.depth, job.k, &weight_cache_);
+      // Poisoned logits fail the round just as the regular path's poisoned
+      // sample does: this tick's output is discarded and the sequence
+      // retires kFailed.
+      if (cfg_.fault != nullptr && cfg_.fault->poison_logits()) {
+        job.failed = true;
+        job.error = "decode produced non-finite logits";
+      }
+    } catch (const std::exception& e) {
+      job.failed = true;
+      job.error = std::string("decode failed: ") + e.what();
+    }
+  };
+  const int64_t n = static_cast<int64_t>(jobs.size());
+  if (workers_ && n > 1) {
+    workers_->run(n, run_one);
+  } else {
+    for (int64_t i = 0; i < n; ++i) run_one(i);
+  }
+}
+
 void ServeEngine::finish_seq(size_t index, RequestStatus status) {
   sched_.active()[index]->kv_bytes_at_end = sched_.active()[index]->kv->bytes();
   // Failed decodes must not donate their rows to the prefix cache: the
@@ -499,15 +606,49 @@ void ServeEngine::loop() {
     }
     if (active.empty()) continue;
 
-    // Build this tick's per-sequence jobs (one token each), from the
-    // *effective* policy (the ladder may have degraded it at admission).
+    // Build this tick's per-sequence jobs from the *effective* policy (the
+    // ladder may have degraded it at admission). Prompt-done speculative
+    // sequences run a draft-and-verify round instead of a one-token step;
+    // everything else — including speculative sequences still feeding their
+    // prompt, whose last prompt token must sample in the main batch exactly
+    // like kFinal's — takes the regular step.
     const size_t B = active.size();
-    seqs.assign(B, nn::BatchedSeq{});
-    chunk_failed.assign(B, 0);
-    chunk_errors.assign(B, std::string());
+    std::vector<SpecJob> spec_jobs;
+    std::vector<size_t> slot_of(B, 0);  ///< index into seqs or spec_jobs
+    std::vector<uint8_t> is_spec(B, 0);
+    std::vector<size_t> normal_ix;
     for (size_t i = 0; i < B; ++i) {
       SeqState& s = *active[i];
-      nn::BatchedSeq& j = seqs[i];
+      if (s.policy == ExitPolicy::kSpeculative && s.prompt_done()) {
+        SpecJob job;
+        job.index = i;
+        job.cache = s.kv;
+        job.position = s.position;
+        job.token = s.next_token();
+        job.depth = s.spec_depth;
+        // Clamp the verify width to the tokens this request may still emit
+        // and to the context window. Both bounds keep the round's transient
+        // peak (position + k cached rows) within the verified-length
+        // projection min(prompt + max_new, max_seq) that admission
+        // reserved, so speculation needs no extra KV headroom. Both are
+        // >= 1 here: a sequence at either limit retired last barrier.
+        const int64_t remaining = s.req.max_new_tokens - static_cast<int64_t>(s.out.size());
+        job.k = std::min({s.spec_k, remaining, model_.config().max_seq - s.position});
+        job.span_name = spec_span_names_.at(s.spec_depth).c_str();
+        slot_of[i] = spec_jobs.size();
+        is_spec[i] = 1;
+        spec_jobs.push_back(std::move(job));
+      } else {
+        slot_of[i] = normal_ix.size();
+        normal_ix.push_back(i);
+      }
+    }
+    seqs.assign(normal_ix.size(), nn::BatchedSeq{});
+    chunk_failed.assign(normal_ix.size(), 0);
+    chunk_errors.assign(normal_ix.size(), std::string());
+    for (size_t p = 0; p < normal_ix.size(); ++p) {
+      SeqState& s = *active[normal_ix[p]];
+      nn::BatchedSeq& j = seqs[p];
       j.cache = s.kv;
       j.position = s.position;
       j.token = s.next_token();
@@ -524,6 +665,7 @@ void ServeEngine::loop() {
     {
       const obs::ScopedSpan decode_span("serve/decode");
       run_decode(seqs, chunk_failed, chunk_errors);
+      run_speculative(spec_jobs);
     }
     lk.lock();
     if (failed_) {
@@ -535,31 +677,28 @@ void ServeEngine::loop() {
     // Retire / advance, iterating backwards so finish_seq's erase is safe.
     for (size_t i = B; i-- > 0;) {
       SeqState& s = *active[i];
-      if (chunk_failed[i] != 0) {
-        // Position is not advanced: the cache state for this chunk is
-        // unknown, and the slot is being released anyway.
-        s.error = chunk_errors[i];
-        finish_seq(i, RequestStatus::kFailed);
-        continue;
-      }
-      const bool fed_prompt = !s.prompt_done();
-      if (fed_prompt) ++s.prompt_fed;
-      ++s.position;
-
-      if (s.prompt_done() && seqs[i].want_logits) {
-        Tensor logits;
-        if (s.policy == ExitPolicy::kVoted) {
-          logits = core::combine_exit_logits(seqs[i].logits, exit_weights_, exit_losses_,
-                                             cfg_.voting)
-                       .reshape({model_.config().vocab});
-        } else {
-          logits = std::move(seqs[i].logits.at(0));
+      if (is_spec[i] != 0) {
+        SpecJob& job = spec_jobs[slot_of[i]];
+        if (job.failed) {
+          // Position is not advanced: the cache state is unknown, and the
+          // slot is being released anyway (reuse=false — see finish_seq).
+          s.error = job.error;
+          finish_seq(i, RequestStatus::kFailed);
+          continue;
         }
-        nn::GenerateConfig g;
-        g.temperature = s.req.temperature;
-        g.top_k = s.req.top_k;
-        const int64_t tok = nn::sample_token(logits, g, s.rng);
-        if (!std::isfinite(logits[tok])) {
+        const nn::SpeculativeResult& r = job.result;
+        s.spec_drafted += r.drafted;
+        s.spec_accepted += r.accepted_drafts;
+        c_spec_accepted_.add(r.accepted_drafts);
+        c_spec_rejected_.add(r.drafted - r.accepted_drafts);
+        if (r.drafted > 0) {
+          h_spec_accepted_.observe(static_cast<double>(r.accepted_drafts));
+          h_spec_rate_.observe(static_cast<double>(r.accepted_drafts) /
+                               static_cast<double>(r.drafted));
+        }
+        if (r.tokens.empty()) {
+          // Non-finite logits on the very first verified row: nothing
+          // emitted; the step rewound the cache to `position`.
           s.error = "decode produced non-finite logits";
           finish_seq(i, RequestStatus::kFailed);
           continue;
@@ -568,9 +707,58 @@ void ServeEngine::loop() {
           s.first_token_t = now;
           s.has_first_token = true;
         }
-        s.out.push_back(tok);
-        s.last_token = tok;
-        if (s.sink.on_token) s.sink.on_token(s.req.id, tok);
+        for (int64_t tok : r.tokens) {
+          s.out.push_back(tok);
+          if (s.sink.on_token) s.sink.on_token(s.req.id, tok);
+        }
+        s.last_token = r.tokens.back();
+        s.position += static_cast<int64_t>(r.tokens.size());
+        if (r.nonfinite) {
+          // A later verified row went non-finite: the good prefix already
+          // streamed, but the sequence cannot continue.
+          s.error = "decode produced non-finite logits";
+          finish_seq(i, RequestStatus::kFailed);
+          continue;
+        }
+      } else {
+        const size_t p = slot_of[i];
+        if (chunk_failed[p] != 0) {
+          // Position is not advanced: the cache state for this chunk is
+          // unknown, and the slot is being released anyway.
+          s.error = chunk_errors[p];
+          finish_seq(i, RequestStatus::kFailed);
+          continue;
+        }
+        const bool fed_prompt = !s.prompt_done();
+        if (fed_prompt) ++s.prompt_fed;
+        ++s.position;
+
+        if (s.prompt_done() && seqs[p].want_logits) {
+          Tensor logits;
+          if (s.policy == ExitPolicy::kVoted) {
+            logits = core::combine_exit_logits(seqs[p].logits, exit_weights_, exit_losses_,
+                                               cfg_.voting)
+                         .reshape({model_.config().vocab});
+          } else {
+            logits = std::move(seqs[p].logits.at(0));
+          }
+          nn::GenerateConfig g;
+          g.temperature = s.req.temperature;
+          g.top_k = s.req.top_k;
+          const int64_t tok = nn::sample_token(logits, g, s.rng);
+          if (!std::isfinite(logits[tok])) {
+            s.error = "decode produced non-finite logits";
+            finish_seq(i, RequestStatus::kFailed);
+            continue;
+          }
+          if (!s.has_first_token) {
+            s.first_token_t = now;
+            s.has_first_token = true;
+          }
+          s.out.push_back(tok);
+          s.last_token = tok;
+          if (s.sink.on_token) s.sink.on_token(s.req.id, tok);
+        }
       }
 
       if (!s.cancelled && cfg_.fault != nullptr && cfg_.fault->disconnect_client()) {

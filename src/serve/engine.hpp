@@ -21,7 +21,9 @@
 #include <condition_variable>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/voting.hpp"
@@ -70,6 +72,13 @@ struct EngineConfig {
   /// bitwise identical to the fp32 effective-weight path, so this is
   /// opt-in. Uncompressed/LoRA layers are unaffected.
   bool pack_compressed_weights = false;
+  /// Default draft exit depth for kSpeculative requests whose own
+  /// draft_depth is 0. Must be a registered exit below the final layer;
+  /// 0 (default) means the deepest registered early exit.
+  int64_t speculative_depth = 0;
+  /// Default verify width (tokens checked per stacked full-depth pass, of
+  /// which k-1 are drafted) for kSpeculative requests whose draft_k is 0.
+  int64_t draft_k = 4;
   /// Mode/temperature for kVoted requests (weights via set_exit_weights).
   core::VoterConfig voting;
   /// >= 0 enables the process-global obs::Tracer at construction with this
@@ -229,6 +238,8 @@ class ServeEngine {
   obs::Counter& c_retries_;   ///< serve/admission_retries
   obs::Counter& c_watchdog_;  ///< serve/watchdog_fired
   obs::Counter& c_tokens_;
+  obs::Counter& c_spec_accepted_;  ///< spec/accepted_tokens (drafts confirmed)
+  obs::Counter& c_spec_rejected_;  ///< spec/rejected_tokens (drafts discarded)
   obs::Histogram& h_batch_;       ///< count = ticks, sum = occupancy_sum
   obs::Histogram& h_queue_wait_;  ///< submit -> admit, ms
   obs::Histogram& h_tick_ms_;     ///< admit + decode + retire, ms
@@ -236,6 +247,12 @@ class ServeEngine {
   /// so dashboards can see whether shedding actually protects high-priority
   /// latency. Indexed by Request::priority.
   obs::Histogram* h_wait_class_[3] = {nullptr, nullptr, nullptr};
+  obs::Histogram& h_spec_accepted_;  ///< spec/accepted_per_round (0..k-1 drafts)
+  obs::Histogram& h_spec_rate_;      ///< spec/acceptance_rate per round, in [0,1]
+  /// Stable storage for per-draft-depth span names ("spec/round_d<depth>"):
+  /// obs::ScopedSpan keeps the char* it is given, so names must outlive the
+  /// tracer flush. Built once at construction; map nodes never move.
+  std::map<int64_t, std::string> spec_span_names_;
 
   AdmissionController admit_ctl_;
   DegradeLadder ladder_;
@@ -267,6 +284,26 @@ class ServeEngine {
   void fail_all_pending_locked(const char* why);
   void run_decode(std::vector<nn::BatchedSeq>& seqs, std::vector<uint8_t>& chunk_failed,
                   std::vector<std::string>& chunk_errors);
+  /// One prompt-done kSpeculative sequence's draft-and-verify round for this
+  /// tick. Built under mu_, executed unlocked: workers touch only the job
+  /// record and its (disjoint) cache, never SeqState — the watchdog may be
+  /// resolving promises concurrently.
+  struct SpecJob {
+    size_t index = 0;  ///< position in sched_.active() at build time
+    nn::KvSequenceView* cache = nullptr;
+    int64_t position = 0;
+    int64_t token = 0;
+    int64_t depth = 0;
+    int64_t k = 1;
+    const char* span_name = nullptr;  ///< from spec_span_names_
+    nn::SpeculativeResult result;
+    bool failed = false;
+    std::string error;
+  };
+  /// Runs every job's speculative_decode_step, sharded across workers_ with
+  /// the same fault-injection surface as run_decode (stall, worker death,
+  /// poisoned logits). Failures land in the job record.
+  void run_speculative(std::vector<SpecJob>& jobs);
   int64_t resolved_depth(const Request& req) const;
   void finish_seq(size_t index, RequestStatus status);
   static void resolve(SeqState& s, RequestStatus status);

@@ -271,6 +271,11 @@ const float* PagedKvSeq::v_row(int64_t layer, int64_t pos) const {
   return blk->v.data() + (pos % block_tokens_) * kv_dim_;
 }
 
+void PagedKvSeq::truncate(int64_t n) {
+  check_arg(n >= 0, "PagedKvSeq::truncate: n must be >= 0");
+  pool_->truncate_seq(this, n);
+}
+
 int64_t PagedKvSeq::positions(int64_t layer) const {
   check_arg(layer >= 0 && layer < depth_, "PagedKvSeq::positions: layer out of range");
   return len_[static_cast<size_t>(layer)];
@@ -430,6 +435,42 @@ KvBlock* PagedKvPool::allocate_block(PagedKvSeq* seq) {
   KvBlock* b = allocate_block_locked();
   update_gauges_locked();
   return b;
+}
+
+void PagedKvPool::truncate_seq(PagedKvSeq* seq, int64_t n) {
+  const int64_t bt = cfg_.block_tokens;
+  std::lock_guard<std::mutex> lk(mu_);
+  bool changed = false;
+  for (size_t li = 0; li < seq->table_.size(); ++li) {
+    const int64_t new_len = std::min(seq->len_[li], n);
+    seq->len_[li] = new_len;
+    const int64_t keep = ceil_div(new_len, bt);
+    auto& row = seq->table_[li];
+    for (int64_t bi = keep; bi < static_cast<int64_t>(row.size()); ++bi) {
+      // Owned blocks past the new tail go back to the free list. Shared
+      // columns are the trie's, not ours (this sequence holds pins, not
+      // ownership): their pointers are simply dropped from the table, and
+      // the pins keep the nodes resident until release. A later append
+      // into the shared region copy-on-write forks exactly like a partial
+      // prefix match — clamping owned_from_ below keeps every entry
+      // < owned_from_ shared, so the fork can never scribble on a trie
+      // block. Note: truncating below shared_len() may let the sequence
+      // re-append those positions as owned blocks beyond its incremental
+      // reservation; the engine never does (it only rewinds drafted
+      // positions, always past the prompt), so only budget-unlimited
+      // callers may cross it.
+      if (bi >= seq->owned_from_[li]) {
+        recycle_block_locked(row[static_cast<size_t>(bi)]);
+        changed = true;
+      }
+    }
+    if (static_cast<int64_t>(row.size()) > keep) {
+      row.resize(static_cast<size_t>(keep));
+      changed = true;
+    }
+    seq->owned_from_[li] = std::min(seq->owned_from_[li], keep);
+  }
+  if (changed) update_gauges_locked();
 }
 
 PagedKvPool::AcquireResult PagedKvPool::acquire(const std::vector<int64_t>& prompt,

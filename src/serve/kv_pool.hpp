@@ -194,6 +194,13 @@ class PagedKvSeq final : public nn::KvSequenceView {
   int64_t kv_dim() const override { return kv_dim_; }
   bool quantized() const override { return quantize_; }
   int64_t positions(int64_t layer) const override;
+  /// Speculative-decode rewind: drops cached positions >= n in every
+  /// layer. Owned blocks past the new tail are recycled to the pool's free
+  /// list; shared prefix blocks are never touched (they belong to the trie
+  /// and stay pinned for this sequence), so truncating into the shared
+  /// region only rolls `positions()` back — a later append copy-on-write
+  /// forks exactly as a partial prefix match would. Takes the pool mutex.
+  void truncate(int64_t n) override;
   /// Bytes of blocks this sequence *owns* (shared prefix blocks are the
   /// cache's, not this request's marginal cost).
   int64_t bytes() const override;
@@ -316,6 +323,11 @@ class PagedKvPool {
   /// or a copy-on-write fork). Never fails for an admitted sequence: the
   /// reservation covers it and cached blocks are evicted on demand.
   KvBlock* allocate_block(PagedKvSeq* seq);
+  /// Called by PagedKvSeq::truncate: recycles the sequence's owned blocks
+  /// past position `n` under the pool mutex. The reservation made at
+  /// acquire is untouched — the freed blocks may be re-allocated by the
+  /// same sequence on its next append, still within the reservation.
+  void truncate_seq(PagedKvSeq* seq, int64_t n);
   /// Counter bump from PagedKvSeq::append (atomic, lock-free).
   void count_cow_fork();
 

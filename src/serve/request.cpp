@@ -27,6 +27,7 @@ const char* to_string(ExitPolicy p) {
     case ExitPolicy::kFinal: return "final";
     case ExitPolicy::kFixedEarly: return "fixed-early";
     case ExitPolicy::kVoted: return "voted";
+    case ExitPolicy::kSpeculative: return "speculative";
   }
   return "unknown";
 }
@@ -143,6 +144,12 @@ Request parse_request_json(const std::string& line) {
         req.priority = static_cast<int64_t>(sc.number_value());
         check_arg(req.priority >= kPriorityHigh && req.priority <= kPriorityLow,
                   "request JSON: priority must be 0 (high), 1 (normal) or 2 (low)");
+      } else if (key == "draft_depth") {
+        req.draft_depth = static_cast<int64_t>(sc.number_value());
+        check_arg(req.draft_depth >= 0, "request JSON: draft_depth must be >= 0");
+      } else if (key == "draft_k") {
+        req.draft_k = static_cast<int64_t>(sc.number_value());
+        check_arg(req.draft_k >= 0, "request JSON: draft_k must be >= 0");
       } else if (key == "exit") {
         if (sc.peek_is('"')) {
           const std::string v = sc.string_value();
@@ -150,9 +157,11 @@ Request parse_request_json(const std::string& line) {
             req.exit_policy = ExitPolicy::kFinal;
           } else if (v == "voted") {
             req.exit_policy = ExitPolicy::kVoted;
+          } else if (v == "speculative") {
+            req.exit_policy = ExitPolicy::kSpeculative;
           } else {
-            check_arg(false, "request JSON: exit must be \"final\", \"voted\", or a layer "
-                             "number, got \"" + v + "\"");
+            check_arg(false, "request JSON: exit must be \"final\", \"voted\", "
+                             "\"speculative\", or a layer number, got \"" + v + "\"");
           }
         } else {
           req.exit_policy = ExitPolicy::kFixedEarly;
@@ -209,6 +218,10 @@ std::string completion_to_json(const Completion& c) {
      << ", \"total_ms\": " << c.metrics.total_ms
      << ", \"tokens_per_s\": " << c.metrics.tokens_per_s
      << ", \"kv_bytes\": " << c.metrics.kv_bytes;
+  if (c.metrics.spec_drafted > 0) {
+    os << ", \"spec_drafted\": " << c.metrics.spec_drafted
+       << ", \"spec_accepted\": " << c.metrics.spec_accepted;
+  }
   if (c.degraded) os << ", \"degraded\": true, \"exit_layer\": " << c.exit_layer_used;
   if (!c.error.empty()) os << ", \"error\": \"" << json_escape(c.error) << "\"";
   os << "}";

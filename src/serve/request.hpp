@@ -17,6 +17,10 @@ enum class ExitPolicy {
   kFinal,       ///< final exit only
   kFixedEarly,  ///< one registered early exit (Request::exit_layer)
   kVoted,       ///< full depth; all exit heads combined per token
+  /// Self-speculative: a registered early exit drafts tokens that one
+  /// stacked full-depth pass verifies (Request::draft_depth/draft_k).
+  /// Greedy only; output is byte-identical to kFinal.
+  kSpeculative,
 };
 
 /// Priority classes for admission and load shedding. Lower value = more
@@ -35,6 +39,10 @@ struct Request {
   int64_t top_k = 0;         ///< 0 disables top-k filtering
   ExitPolicy exit_policy = ExitPolicy::kFinal;
   int64_t exit_layer = 0;    ///< registered exit depth for kFixedEarly
+  /// kSpeculative knobs; 0 = the engine's configured default (which in turn
+  /// defaults draft_depth to the deepest registered early exit).
+  int64_t draft_depth = 0;   ///< registered exit the drafts decode at
+  int64_t draft_k = 0;       ///< tokens verified per round (k-1 drafted)
   uint64_t seed = 0;         ///< per-request sampling stream
   double deadline_ms = 0.0;  ///< 0 means no deadline (measured from submit)
   /// Quota bucket this request draws from (empty = the anonymous tenant).
@@ -66,6 +74,10 @@ struct RequestMetrics {
   int64_t output_tokens = 0;
   double tokens_per_s = 0.0;   ///< output tokens / (total - queue wait)
   int64_t kv_bytes = 0;        ///< this sequence's cache bytes at completion
+  /// Speculative decoding only (zero otherwise): drafts proposed by the
+  /// shallow exit and how many of them the full-depth pass confirmed.
+  int64_t spec_drafted = 0;
+  int64_t spec_accepted = 0;
 };
 
 /// The engine's answer to one Request.

@@ -63,6 +63,13 @@ struct SeqState {
   int64_t admission_attempts = 0;  ///< failed transient KV acquires so far
   std::chrono::steady_clock::time_point retry_after{};  ///< backoff gate
   int64_t kv_bytes_at_end = 0;  ///< cache bytes sampled just before release
+  /// kSpeculative only: resolved draft exit depth and verify width, fixed at
+  /// submit() (0 otherwise). Degradation switches policy to kFixedEarly, at
+  /// which point these are simply ignored.
+  int64_t spec_depth = 0;
+  int64_t spec_k = 0;
+  int64_t spec_drafted = 0;   ///< drafts proposed across all rounds
+  int64_t spec_accepted = 0;  ///< drafts confirmed by full-depth verify
   std::chrono::steady_clock::time_point submit_t, admit_t, first_token_t;
   bool has_first_token = false;
 

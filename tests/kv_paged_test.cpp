@@ -17,55 +17,15 @@
 namespace edgellm::serve {
 namespace {
 
+using edgellm::testing::feed_positions;
+using edgellm::testing::fill_row;
+using edgellm::testing::greedy_request;
+using edgellm::testing::iota_tokens;
+using edgellm::testing::paged_cfg;
+using edgellm::testing::paged_engine_cfg;
+using edgellm::testing::reference_greedy;
+using edgellm::testing::seq_tokens;
 using edgellm::testing::tiny_config;
-
-std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab, int64_t salt = 0) {
-  std::vector<int64_t> t(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = (i * 5 + 2 + salt) % vocab;
-  return t;
-}
-
-/// Deterministic per-(position, dim) row content so tests can recognise
-/// which sequence wrote a cached row.
-void fill_row(int64_t pos, int64_t kv_dim, int64_t salt, std::vector<float>& k,
-              std::vector<float>& v) {
-  k.resize(static_cast<size_t>(kv_dim));
-  v.resize(static_cast<size_t>(kv_dim));
-  for (int64_t d = 0; d < kv_dim; ++d) {
-    k[static_cast<size_t>(d)] = std::sin(0.05f * static_cast<float>(pos * kv_dim + d + salt));
-    v[static_cast<size_t>(d)] = std::cos(0.07f * static_cast<float>(pos * kv_dim + d + salt));
-  }
-}
-
-/// Appends `n` positions (starting at the view's current length) to every
-/// layer, the way one decode tick per position would.
-void feed_positions(nn::KvSequenceView& kv, int64_t n, int64_t depth, int64_t salt = 0) {
-  std::vector<float> k, v;
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t pos = kv.positions(0);
-    fill_row(pos, kv.kv_dim(), salt, k, v);
-    for (int64_t l = 0; l < depth; ++l) kv.append(l, k.data(), v.data());
-  }
-}
-
-PagedKvConfig paged_cfg(int64_t block_tokens, int64_t n_layers, int64_t kv_dim,
-                        int64_t byte_budget, obs::Registry* reg = nullptr,
-                        bool quantize = false) {
-  PagedKvConfig cfg;
-  cfg.block_tokens = block_tokens;
-  cfg.n_layers = n_layers;
-  cfg.kv_dim = kv_dim;
-  cfg.byte_budget = byte_budget;
-  cfg.quantize = quantize;
-  cfg.registry = reg;
-  return cfg;
-}
-
-std::vector<int64_t> iota_tokens(int64_t n) {
-  std::vector<int64_t> t(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = i;
-  return t;
-}
 
 // --- pool mechanics ---------------------------------------------------------
 
@@ -426,37 +386,6 @@ TEST(KvCachePoolAccounting, HighWaterSeenWithoutSync) {
 }
 
 // --- engine over the paged pool ---------------------------------------------
-
-EngineConfig paged_engine_cfg(int64_t threads, int64_t block_tokens = 4) {
-  EngineConfig cfg;
-  cfg.threads = threads;
-  cfg.kv_paged = true;
-  cfg.kv_block_tokens = block_tokens;
-  return cfg;
-}
-
-Request greedy_request(int64_t id, std::vector<int64_t> prompt, int64_t n_new,
-                       ExitPolicy policy = ExitPolicy::kFinal, int64_t exit_layer = 0) {
-  Request r;
-  r.id = id;
-  r.prompt = std::move(prompt);
-  r.max_new_tokens = n_new;
-  r.temperature = 0.0f;
-  r.exit_policy = policy;
-  r.exit_layer = exit_layer;
-  return r;
-}
-
-std::vector<int64_t> reference_greedy(nn::CausalLm& model, const std::vector<int64_t>& prompt,
-                                      int64_t n_new, int64_t exit_layer = 0) {
-  nn::IncrementalDecoder dec(model, exit_layer);
-  nn::GenerateConfig g;
-  g.max_new_tokens = n_new;
-  g.temperature = 0.0f;
-  g.exit_layer = exit_layer;
-  Rng rng(0);
-  return dec.generate(prompt, g, rng);
-}
 
 // The determinism contract of the tentpole: greedy completions through the
 // paged pool are byte-identical to single-sequence contiguous decode, at

@@ -17,34 +17,10 @@
 namespace edgellm::serve {
 namespace {
 
+using edgellm::testing::greedy_request;
+using edgellm::testing::reference_greedy;
+using edgellm::testing::seq_tokens;
 using edgellm::testing::tiny_config;
-
-std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab, int64_t salt = 0) {
-  std::vector<int64_t> t(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = (i * 5 + 2 + salt) % vocab;
-  return t;
-}
-
-Request greedy_request(int64_t id, std::vector<int64_t> prompt, int64_t n_new) {
-  Request r;
-  r.id = id;
-  r.prompt = std::move(prompt);
-  r.max_new_tokens = n_new;
-  r.temperature = 0.0f;
-  return r;
-}
-
-/// Greedy reference continuation through IncrementalDecoder.
-std::vector<int64_t> reference_greedy(nn::CausalLm& model, const std::vector<int64_t>& prompt,
-                                      int64_t n_new, int64_t exit_layer = 0) {
-  nn::IncrementalDecoder dec(model, exit_layer);
-  nn::GenerateConfig g;
-  g.max_new_tokens = n_new;
-  g.temperature = 0.0f;
-  g.exit_layer = exit_layer;
-  Rng rng(0);
-  return dec.generate(prompt, g, rng);
-}
 
 // --- ServeFaultInjector -----------------------------------------------------
 
@@ -354,12 +330,17 @@ void run_faulted_soak(bool paged_kv) {
       r.seed = static_cast<uint64_t>(next_id);
       r.tenant = tenants[driver.uniform_int(0, 2)];
       r.priority = driver.uniform_int(kPriorityHigh, kPriorityLow);
-      switch (driver.uniform_int(0, 2)) {
+      switch (driver.uniform_int(0, 3)) {
         case 0: r.exit_policy = ExitPolicy::kFinal; break;
         case 1: r.exit_policy = ExitPolicy::kVoted; break;
-        default:
+        case 2:
           r.exit_policy = ExitPolicy::kFixedEarly;
           r.exit_layer = driver.uniform_int(1, 2);
+          break;
+        default:
+          r.exit_policy = ExitPolicy::kSpeculative;
+          r.draft_depth = driver.uniform_int(1, 2);
+          r.draft_k = driver.uniform_int(1, 8);
           break;
       }
       if (driver.bernoulli(0.15)) r.deadline_ms = 0.5;   // doomed to expire

@@ -14,13 +14,12 @@
 namespace edgellm::serve {
 namespace {
 
+using edgellm::testing::engine_cfg;
+using edgellm::testing::greedy_request;
+using edgellm::testing::pool_cfg;
+using edgellm::testing::reference_greedy;
+using edgellm::testing::seq_tokens;
 using edgellm::testing::tiny_config;
-
-std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab, int64_t salt = 0) {
-  std::vector<int64_t> t(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = (i * 5 + 2 + salt) % vocab;
-  return t;
-}
 
 // --- KvCache ----------------------------------------------------------------
 
@@ -56,15 +55,6 @@ TEST(KvCache, QuantizedRoundTripIsClose) {
 }
 
 // --- KvCachePool ------------------------------------------------------------
-
-KvPoolConfig pool_cfg(int64_t slots, int64_t budget, bool quantize = false) {
-  KvPoolConfig cfg;
-  cfg.n_slots = slots;
-  cfg.kv_dim = 16;
-  cfg.byte_budget = budget;
-  cfg.quantize = quantize;
-  return cfg;
-}
 
 TEST(KvCachePool, AcquireReleaseReuse) {
   KvCachePool pool(pool_cfg(2, /*budget=*/0));
@@ -298,37 +288,6 @@ TEST(BatchedDecode, RequiresEvalModeAndValidState) {
 }
 
 // --- engine end to end ------------------------------------------------------
-
-EngineConfig engine_cfg(int64_t threads, int64_t max_batch = 8) {
-  EngineConfig cfg;
-  cfg.max_batch = max_batch;
-  cfg.threads = threads;
-  return cfg;
-}
-
-Request greedy_request(int64_t id, std::vector<int64_t> prompt, int64_t n_new,
-                       ExitPolicy policy = ExitPolicy::kFinal, int64_t exit_layer = 0) {
-  Request r;
-  r.id = id;
-  r.prompt = std::move(prompt);
-  r.max_new_tokens = n_new;
-  r.temperature = 0.0f;
-  r.exit_policy = policy;
-  r.exit_layer = exit_layer;
-  return r;
-}
-
-/// Greedy reference continuation through IncrementalDecoder.
-std::vector<int64_t> reference_greedy(nn::CausalLm& model, const std::vector<int64_t>& prompt,
-                                      int64_t n_new, int64_t exit_layer = 0) {
-  nn::IncrementalDecoder dec(model, exit_layer);
-  nn::GenerateConfig g;
-  g.max_new_tokens = n_new;
-  g.temperature = 0.0f;
-  g.exit_layer = exit_layer;
-  Rng rng(0);
-  return dec.generate(prompt, g, rng);
-}
 
 TEST(ServeEngine, BatchedGreedyMatchesSequentialReference) {
   const nn::ModelConfig cfg = tiny_config();

@@ -4,15 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "nn/decoder.hpp"
 #include "nn/model.hpp"
 #include "nn/module.hpp"
+#include "serve/engine.hpp"
 
 namespace edgellm::testing {
 
@@ -264,6 +268,129 @@ inline JsonValue validate_chrome_trace(const std::string& json) {
     }
   }
   return doc;
+}
+
+// --- Serve-engine differential scaffolding ----------------------------------
+//
+// The shared build-tiny-model -> submit-batch -> compare-completions kit
+// used by serve_test, kv_paged_test, serve_fault_test and speculative_test.
+// The load-bearing convention: every prompt/row generator is deterministic
+// in (index, salt), so any test can reproduce another's sequences exactly.
+
+/// Deterministic prompt tokens: (i*5 + 2 + salt) % vocab.
+inline std::vector<int64_t> seq_tokens(int64_t n, int64_t vocab, int64_t salt = 0) {
+  std::vector<int64_t> t(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = (i * 5 + 2 + salt) % vocab;
+  return t;
+}
+
+inline std::vector<int64_t> iota_tokens(int64_t n) {
+  std::vector<int64_t> t(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t[static_cast<size_t>(i)] = i;
+  return t;
+}
+
+/// Deterministic per-(position, dim) row content so tests can recognise
+/// which sequence wrote a cached row.
+inline void fill_row(int64_t pos, int64_t kv_dim, int64_t salt, std::vector<float>& k,
+                     std::vector<float>& v) {
+  k.resize(static_cast<size_t>(kv_dim));
+  v.resize(static_cast<size_t>(kv_dim));
+  for (int64_t d = 0; d < kv_dim; ++d) {
+    k[static_cast<size_t>(d)] = std::sin(0.05f * static_cast<float>(pos * kv_dim + d + salt));
+    v[static_cast<size_t>(d)] = std::cos(0.07f * static_cast<float>(pos * kv_dim + d + salt));
+  }
+}
+
+/// Appends `n` positions (starting at the view's current length) to every
+/// layer, the way one decode tick per position would.
+inline void feed_positions(nn::KvSequenceView& kv, int64_t n, int64_t depth, int64_t salt = 0) {
+  std::vector<float> k, v;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t pos = kv.positions(0);
+    fill_row(pos, kv.kv_dim(), salt, k, v);
+    for (int64_t l = 0; l < depth; ++l) kv.append(l, k.data(), v.data());
+  }
+}
+
+inline serve::KvPoolConfig pool_cfg(int64_t slots, int64_t budget, bool quantize = false,
+                                    int64_t kv_dim = 16) {
+  serve::KvPoolConfig cfg;
+  cfg.n_slots = slots;
+  cfg.kv_dim = kv_dim;
+  cfg.byte_budget = budget;
+  cfg.quantize = quantize;
+  return cfg;
+}
+
+inline serve::PagedKvConfig paged_cfg(int64_t block_tokens, int64_t n_layers, int64_t kv_dim,
+                                      int64_t byte_budget, obs::Registry* reg = nullptr,
+                                      bool quantize = false) {
+  serve::PagedKvConfig cfg;
+  cfg.block_tokens = block_tokens;
+  cfg.n_layers = n_layers;
+  cfg.kv_dim = kv_dim;
+  cfg.byte_budget = byte_budget;
+  cfg.quantize = quantize;
+  cfg.registry = reg;
+  return cfg;
+}
+
+inline serve::EngineConfig engine_cfg(int64_t threads, int64_t max_batch = 8) {
+  serve::EngineConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.threads = threads;
+  return cfg;
+}
+
+inline serve::EngineConfig paged_engine_cfg(int64_t threads, int64_t block_tokens = 4) {
+  serve::EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.kv_paged = true;
+  cfg.kv_block_tokens = block_tokens;
+  return cfg;
+}
+
+inline serve::Request greedy_request(int64_t id, std::vector<int64_t> prompt, int64_t n_new,
+                                     serve::ExitPolicy policy = serve::ExitPolicy::kFinal,
+                                     int64_t exit_layer = 0) {
+  serve::Request r;
+  r.id = id;
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = n_new;
+  r.temperature = 0.0f;
+  r.exit_policy = policy;
+  r.exit_layer = exit_layer;
+  return r;
+}
+
+/// Greedy reference continuation through IncrementalDecoder.
+inline std::vector<int64_t> reference_greedy(nn::CausalLm& model,
+                                             const std::vector<int64_t>& prompt, int64_t n_new,
+                                             int64_t exit_layer = 0) {
+  nn::IncrementalDecoder dec(model, exit_layer);
+  nn::GenerateConfig g;
+  g.max_new_tokens = n_new;
+  g.temperature = 0.0f;
+  g.exit_layer = exit_layer;
+  Rng rng(0);
+  return dec.generate(prompt, g, rng);
+}
+
+/// Stages every request while the engine is parked (so all of them join one
+/// deterministic batch on resume), then waits for and returns the
+/// completions in request order.
+inline std::vector<serve::Completion> serve_batch(serve::ServeEngine& engine,
+                                                  std::vector<serve::Request> reqs) {
+  engine.pause();
+  std::vector<std::future<serve::Completion>> futs;
+  futs.reserve(reqs.size());
+  for (auto& r : reqs) futs.push_back(engine.submit(std::move(r)));
+  engine.resume();
+  std::vector<serve::Completion> out;
+  out.reserve(futs.size());
+  for (auto& f : futs) out.push_back(f.get());
+  return out;
 }
 
 }  // namespace edgellm::testing
