@@ -45,7 +45,9 @@
 #include "hw/measured.hpp"
 #include "nn/decoder.hpp"
 #include "obs/trace.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 #include "nn/serialize.hpp"
 #include "runtime/checkpointer.hpp"
 #include "runtime/table.hpp"
@@ -251,6 +253,9 @@ int cmd_serve(const std::map<std::string, std::string>& args) {
   ecfg.kv_paged = get_num(args, "kv-paged", 0) != 0;
   ecfg.kv_block_tokens = static_cast<int64_t>(get_num(args, "kv-block-tokens", 16));
   ecfg.pack_compressed_weights = get_num(args, "packed-weights", 0) != 0;
+  // Carry the global --fast-math choice through the engine (its ctor
+  // re-applies the flag, so leaving this unset would reset it).
+  ecfg.fast_math = ops::gemm::fast_math_enabled();
   // Engine-wide defaults for requests with exit "speculative" that don't
   // carry their own draft_depth/draft_k (docs/SERVING.md).
   ecfg.speculative_depth = static_cast<int64_t>(get_num(args, "speculative-depth", 0));
@@ -432,6 +437,9 @@ int usage() {
                "weights directly (deployed integer numerics; see docs/PERFORMANCE.md)\n"
                "every subcommand also takes --compute-threads N (deterministic tensor\n"
                "backend; 0 = EDGELLM_NUM_THREADS or serial; outputs identical at any N),\n"
+               "--simd auto|scalar|avx2|neon (SIMD kernel dispatch, mirrors EDGELLM_SIMD;\n"
+               "outputs identical at any choice), --fast-math 0|1 (FMA multi-accumulator\n"
+               "kernels: faster, not bitwise; see docs/PERFORMANCE.md),\n"
                "--trace-out FILE (Chrome trace-event JSON for chrome://tracing / Perfetto)\n"
                "and --trace-sample N (record every Nth kernel-family span; default 0 = off)\n";
   return 2;
@@ -450,6 +458,22 @@ int main(int argc, char** argv) {
     const int64_t ct = static_cast<int64_t>(get_num(args, "compute-threads", 0));
     check_arg(ct >= 0, "--compute-threads must be >= 0");
     if (ct > 0) parallel::set_num_threads(ct);
+    // Global SIMD dispatch override, mirroring EDGELLM_SIMD (the flag wins
+    // when both are given). The default deterministic kernels make this a
+    // speed knob only; --fast-math opts into the non-bitwise FMA kernels.
+    if (args.contains("simd")) {
+      const std::string choice = args.at("simd");
+      check_arg(simd::set_dispatch(choice),
+                "--simd " + choice + " not available on this host (try auto|scalar" +
+                    (simd::detected_isa() == simd::Isa::kScalar
+                         ? std::string(")")
+                         : "|" + std::string(simd::to_string(simd::detected_isa())) + ")"));
+    }
+    const bool fast_math = get_num(args, "fast-math", 0) != 0;
+    ops::gemm::set_fast_math(fast_math);
+    std::cerr << "simd: dispatch=" << simd::to_string(simd::active_isa())
+              << " (detected " << simd::to_string(simd::detected_isa()) << ")"
+              << (fast_math ? ", fast-math on" : "") << "\n";
     // Tracing knobs, global to the subcommand run (see docs/OBSERVABILITY.md).
     const int64_t sample = static_cast<int64_t>(get_num(args, "trace-sample", 0));
     check_arg(sample >= 0, "--trace-sample must be >= 0");

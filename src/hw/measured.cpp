@@ -11,6 +11,7 @@
 #include "quant/packed.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/simd.hpp"
 
 namespace edgellm::hw {
 
@@ -88,9 +89,12 @@ std::string ScheduleCache::measured_key(ops::gemm::GemmKind kind, int64_t m, int
                                         const std::vector<int64_t>& kc,
                                         const std::vector<int64_t>& nc, int reps) {
   std::ostringstream os;
+  // The active SIMD backend is part of the key: a schedule measured under
+  // the scalar kernels is not evidence about the vector kernels' cache
+  // behaviour (and vice versa), so each dispatch choice tunes separately.
   os << "measured|" << ops::gemm::to_string(kind) << "|m" << m << "k" << k << "n" << n << "|b"
      << bits << "|mc" << join_dims(mc) << "|kc" << join_dims(kc) << "|nc" << join_dims(nc)
-     << "|r" << reps;
+     << "|r" << reps << "|isa" << simd::to_string(simd::active_isa());
   return os.str();
 }
 

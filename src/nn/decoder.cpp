@@ -128,7 +128,7 @@ Tensor cached_mlp(Mlp& mlp, const Tensor& x, const DecodeWeightCache* wc) {
   }
   const Tensor g = cached_linear(mlp.fc1(), x, wc);
   const Tensor u = cached_linear(mlp.fc3(), x, wc);
-  return cached_linear(mlp.fc2(), ops::mul(ops::silu(g), u), wc);
+  return cached_linear(mlp.fc2(), ops::swiglu(g, u), wc);
 }
 
 }  // namespace

@@ -30,10 +30,10 @@ Tensor Mlp::forward(const Tensor& x) {
     return fc2_->forward(a);
   }
 
-  // SwiGLU: down(silu(gate(x)) * up(x)).
+  // SwiGLU: down(silu(gate(x)) * up(x)), fused gate-up product.
   Tensor g = fc1_->forward(x);
   Tensor u = fc3_->forward(x);
-  Tensor a = ops::mul(ops::silu(g), u);
+  Tensor a = ops::swiglu(g, u);
   if (grad_enabled_) {
     pre_act_ = std::move(g);
     up_ = std::move(u);

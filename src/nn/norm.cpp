@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/ops.hpp"
+
 namespace edgellm::nn {
 
 RmsNorm::RmsNorm(std::string name, int64_t dim, float eps)
@@ -14,20 +16,8 @@ RmsNorm::RmsNorm(std::string name, int64_t dim, float eps)
 Tensor RmsNorm::forward(const Tensor& x) {
   check_arg(x.dim(-1) == dim_, name_ + ": feature mismatch");
   const int64_t rows = x.numel() / dim_;
-  Tensor y(x.shape());
-  std::vector<float> inv(static_cast<size_t>(rows));
-  for (int64_t r = 0; r < rows; ++r) {
-    double ss = 0.0;
-    for (int64_t d = 0; d < dim_; ++d) {
-      const double v = x[r * dim_ + d];
-      ss += v * v;
-    }
-    const float r_inv = 1.0f / std::sqrt(static_cast<float>(ss / dim_) + eps_);
-    inv[static_cast<size_t>(r)] = r_inv;
-    for (int64_t d = 0; d < dim_; ++d) {
-      y[r * dim_ + d] = gain_.value[d] * x[r * dim_ + d] * r_inv;
-    }
-  }
+  std::vector<float> inv;
+  Tensor y = ops::rms_norm_lastdim(x, gain_.value, eps_, &inv);
   if (grad_enabled_) {
     cached_input_ = x.reshape({rows, dim_});
     cached_x_shape_ = x.shape();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace edgellm::quant {
 
@@ -173,33 +174,10 @@ namespace {
 constexpr int64_t kMr = ops::gemm::kMr;
 constexpr int64_t kNr = ops::gemm::kNr;
 
-// Decodes weight rows [j0, j0 + jc) x depth [p0, p0 + pc) into a panel in
-// the fp32 micro-kernel layout (kNr-wide column strips, depth-major inside
-// a strip), as *unscaled* float(q) values. int -> fp32 conversion is exact
-// for |q| <= 127, so running the fp32 micro-kernel over this panel performs
-// exactly the reference arithmetic xr[c] * float(q). Each weight row
-// scatters into the panel in one fused decode pass (no integer temporary);
-// lanes past jc are zero-padded.
-void decode_panel(const PackedMatrix& w, int64_t p0, int64_t pc, int64_t j0, int64_t jc,
-                  float* out) {
-  const int64_t strips = (jc + kNr - 1) / kNr;
-  for (int64_t js = 0; js < strips; ++js) {
-    const int64_t j = j0 + js * kNr;
-    const int64_t jw = std::min(kNr, j0 + jc - j);
-    float* dst = out + js * pc * kNr;
-    for (int64_t jr = 0; jr < jw; ++jr) {
-      w.decode_row_range_unscaled(j + jr, p0, p0 + pc, dst + jr, kNr);
-    }
-    for (int64_t jr = jw; jr < kNr; ++jr) {
-      for (int64_t p = 0; p < pc; ++p) dst[p * kNr + jr] = 0.0f;
-    }
-  }
-}
-
 }  // namespace
 
 Tensor packed_matmul_nt_blocked(const Tensor& x, const PackedMatrix& w,
-                                const ops::gemm::Blocking& blk) {
+                                const ops::gemm::Blocking& blk, bool fast_math) {
   check_arg(x.ndim() == 2, "packed_matmul_nt_blocked: x must be 2-d");
   check_arg(x.dim(1) == w.cols(), "packed_matmul_nt_blocked: inner dimensions differ");
   check_arg(blk.valid(), "packed_matmul_nt_blocked: invalid blocking");
@@ -212,22 +190,30 @@ Tensor packed_matmul_nt_blocked(const Tensor& x, const PackedMatrix& w,
   const int64_t strips_m = (m + kMr - 1) / kMr;
   const int64_t strip_grain = std::max<int64_t>(1, blk.mc / kMr);
 
+  const simd::KernelTable& kt = simd::kernels();
+  const auto dot = fast_math ? kt.dequant_dot_fast : kt.dequant_dot;
+  const int bits = w.bits();
+
   // Same loop nest and determinism argument as the dense blocked driver
-  // (tensor/gemm.cpp): j-blocks outer, k-blocks ascending inside, caller
-  // decodes the integer panel once per (j, k) block straight from packed
-  // storage — never materialising the fp32 weight matrix — then one
-  // fan-out over kMr row strips of disjoint output rows runs the shared
-  // micro-kernel. Partial sums round-trip through y between k-blocks, so
-  // each element accumulates over ascending c exactly like the scalar
-  // reference at any thread count.
-  std::vector<float> panel(static_cast<size_t>(((nc + kNr - 1) / kNr) * kc * kNr));
+  // (tensor/gemm.cpp): j-blocks outer, k-blocks ascending inside, one
+  // fan-out over kMr row strips of disjoint output rows per (j, k) block.
+  // The fused dequant-dot kernel decodes each kNr weight-row strip from
+  // packed integer storage straight into the accumulation — there is no
+  // fp32 panel (or any other) weight temporary at all now. int -> fp32 is
+  // exact for |q| <= 127 and the kernel accumulates each element over
+  // ascending c with partial sums round-tripping through y between
+  // k-blocks, so outputs stay bitwise equal to the scalar reference at any
+  // thread count and dispatch choice.
   for (int64_t j0 = 0; j0 < n; j0 += nc) {
     const int64_t jc = std::min(nc, n - j0);
     const int64_t jstrips = (jc + kNr - 1) / kNr;
+    // Row-payload pointers for this j-block, kNr-padded with nullptr so
+    // strip js can pass &rowp[js * kNr] straight to the kernel.
+    std::vector<const uint8_t*> rowp(static_cast<size_t>(jstrips * kNr), nullptr);
+    for (int64_t jr = 0; jr < jc; ++jr) rowp[static_cast<size_t>(jr)] = w.row_payload(j0 + jr);
+    const uint8_t* const* rows = rowp.data();
     for (int64_t p0 = 0; p0 < k; p0 += kc) {
       const int64_t pc = std::min(kc, k - p0);
-      decode_panel(w, p0, pc, j0, jc, panel.data());
-      const float* bp = panel.data();
       parallel::parallel_for(0, strips_m, strip_grain, [=](int64_t lo, int64_t hi) {
         for (int64_t is = lo; is < hi; ++is) {
           const int64_t i0 = is * kMr;
@@ -235,8 +221,7 @@ Tensor packed_matmul_nt_blocked(const Tensor& x, const PackedMatrix& w,
           for (int64_t js = 0; js < jstrips; ++js) {
             const int64_t j = j0 + js * kNr;
             const int64_t nr = std::min(kNr, j0 + jc - j);
-            ops::gemm::detail::micro_kernel(px + i0 * k + p0, k, bp + js * pc * kNr, pc,
-                                            py + i0 * n + j, n, mr, nr);
+            dot(px + i0 * k + p0, k, mr, rows + js * kNr, bits, p0, pc, py + i0 * n + j, n, nr);
           }
         }
       });

@@ -55,6 +55,16 @@ class PackedMatrix {
 
   float row_scale(int64_t r) const { return scales_[static_cast<size_t>(r)]; }
 
+  /// Packed bytes per row: cols for int8, ceil(cols / 2) for int4.
+  int64_t row_bytes() const { return bits_ == 4 ? (cols_ + 1) / 2 : cols_; }
+
+  /// Raw packed payload of row `r` (row_bytes() bytes). The fused
+  /// dequant-dot kernel (tensor/simd.hpp) reads integer strips straight
+  /// from here — no fp32 panel temporary.
+  const uint8_t* row_payload(int64_t r) const {
+    return payload_.data() + static_cast<size_t>(r * row_bytes());
+  }
+
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
@@ -79,9 +89,14 @@ Tensor packed_matmul_nt(const Tensor& x, const PackedMatrix& w);
 Tensor packed_matmul_nt_ref(const Tensor& x, const PackedMatrix& w);
 
 /// Blocked kernel with an explicit schedule (the autotuner times
-/// candidates through this). Only `kc` (decode-panel depth) and `mc`
-/// (parallel grain) of the blocking are used.
+/// candidates through this). Runs the dispatched fused dequant-dot core:
+/// weight strips decode from packed integer storage straight into the
+/// accumulation (vector registers on SIMD backends) with no fp32 panel
+/// temporary. Bitwise equal to packed_matmul_nt_ref unless `fast_math`
+/// (defaults to the global flag) opts this call into the FMA
+/// multi-accumulator kernels.
 Tensor packed_matmul_nt_blocked(const Tensor& x, const PackedMatrix& w,
-                                const ops::gemm::Blocking& blk);
+                                const ops::gemm::Blocking& blk,
+                                bool fast_math = ops::gemm::fast_math_enabled());
 
 }  // namespace edgellm::quant

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "obs/trace.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace edgellm::serve {
 
@@ -136,6 +138,12 @@ ServeEngine::ServeEngine(nn::CausalLm& model, EngineConfig cfg)
   }
   if (cfg_.compute_threads > 0) parallel::set_num_threads(cfg_.compute_threads);
   if (cfg_.trace_kernel_sample >= 0) obs::Tracer::global().enable(cfg_.trace_kernel_sample);
+  ops::gemm::set_fast_math(cfg_.fast_math);
+  // Expose the resolved SIMD backend on GET /metrics: gauge
+  // simd/dispatch.<isa> = 1 (and simd/fast_math = 0|1) so deployments can
+  // confirm what the kernels actually run on.
+  registry_.gauge(std::string("simd/dispatch.") + simd::to_string(simd::active_isa())).set(1);
+  registry_.gauge("simd/fast_math").set(cfg_.fast_math ? 1 : 0);
   h_wait_class_[0] = &registry_.histogram("serve/queue_wait_ms_p0");
   h_wait_class_[1] = &registry_.histogram("serve/queue_wait_ms_p1");
   h_wait_class_[2] = &registry_.histogram("serve/queue_wait_ms_p2");

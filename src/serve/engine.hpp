@@ -49,6 +49,12 @@ struct EngineConfig {
   /// raise it only when a bench_serve_throughput sweep on your hardware
   /// shows a win (see docs/PERFORMANCE.md).
   int64_t compute_threads = 0;
+  /// Opt into the fast-math GEMM/dequant-dot kernels (FMA + multi-
+  /// accumulator; tensor/simd.hpp) for the whole process. Faster on vector
+  /// backends, but completions are no longer bitwise identical to the
+  /// deterministic reference — leave off when reproducibility matters.
+  /// The engine applies this to the global ops::gemm flag at construction.
+  bool fast_math = false;
   int64_t kv_byte_budget = 0;   ///< global KV cache cap in bytes; 0 = unlimited
   bool quantize_kv = false;     ///< int8 pooled caches
   /// Paged KV storage (serve::PagedKvPool): block-granular admission under

@@ -1,7 +1,10 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace edgellm::ops::gemm {
 
@@ -64,19 +68,32 @@ void record_blocked_call(const Blocking& blk, int64_t tiles, double seconds) {
 // Columns past `n` are zero-padded so the micro-kernel always reads a full
 // kNr lane (padded lanes are never stored back to C).
 
+// Panel bases must be 32-byte aligned: strips advance by pc * kNr floats
+// (a multiple of 32 bytes), so an aligned base keeps every strip and every
+// depth step aligned for the vector backends' aligned panel loads.
+inline void assert_panel_aligned(const float* out) {
+  assert(reinterpret_cast<uintptr_t>(out) % 32 == 0 && "panel base must be 32-byte aligned");
+  (void)out;
+}
+
 // B stored [k, n] (NN kernel): panel[js][p][jr] = B[p0 + p][j0 + js*kNr + jr].
 void pack_panel_nn(const float* b, int64_t n, int64_t p0, int64_t pc, int64_t j0, int64_t jc,
                    float* out) {
+  assert_panel_aligned(out);
   const int64_t strips = (jc + kNr - 1) / kNr;
   for (int64_t js = 0; js < strips; ++js) {
     const int64_t j = j0 + js * kNr;
     const int64_t w = std::min(kNr, j0 + jc - j);
     float* dst = out + js * pc * kNr;
+    if (w < kNr) {
+      // Partial trailing strip: zero the whole strip in one pass, then
+      // scatter the live lanes (instead of per-lane pad stores per depth).
+      std::fill(dst, dst + pc * kNr, 0.0f);
+    }
     for (int64_t p = 0; p < pc; ++p) {
       const float* src = b + (p0 + p) * n + j;
-      for (int64_t jr = 0; jr < w; ++jr) dst[jr] = src[jr];
-      for (int64_t jr = w; jr < kNr; ++jr) dst[jr] = 0.0f;
-      dst += kNr;
+      float* d = dst + p * kNr;
+      for (int64_t jr = 0; jr < w; ++jr) d[jr] = src[jr];
     }
   }
 }
@@ -84,64 +101,44 @@ void pack_panel_nn(const float* b, int64_t n, int64_t p0, int64_t pc, int64_t j0
 // B stored [n, k] (NT kernel): panel[js][p][jr] = B[j0 + js*kNr + jr][p0 + p].
 void pack_panel_nt(const float* b, int64_t k, int64_t p0, int64_t pc, int64_t j0, int64_t jc,
                    float* out) {
+  assert_panel_aligned(out);
   const int64_t strips = (jc + kNr - 1) / kNr;
   for (int64_t js = 0; js < strips; ++js) {
     const int64_t j = j0 + js * kNr;
     const int64_t w = std::min(kNr, j0 + jc - j);
     float* dst = out + js * pc * kNr;
+    if (w < kNr) {
+      std::fill(dst, dst + pc * kNr, 0.0f);
+    }
     for (int64_t jr = 0; jr < w; ++jr) {
       const float* src = b + (j + jr) * k + p0;
       for (int64_t p = 0; p < pc; ++p) dst[p * kNr + jr] = src[p];
     }
-    for (int64_t jr = w; jr < kNr; ++jr) {
-      for (int64_t p = 0; p < pc; ++p) dst[p * kNr + jr] = 0.0f;
-    }
   }
 }
+
+// Global default for the per-call fast_math flag.
+std::atomic<bool> g_fast_math{false};
 
 }  // namespace
 
+void set_fast_math(bool on) { g_fast_math.store(on, std::memory_order_relaxed); }
+
+bool fast_math_enabled() { return g_fast_math.load(std::memory_order_relaxed); }
+
 // --- micro-kernel (exported via gemm.hpp detail) ----------------------------
 //
-// C strip [mr x nr] += A rows [mr x pc] (row stride lda) * panel strip
-// [pc x kNr]. Accumulators load from and store to C, so k-blocks chain into
-// one ascending-p fp32 sum per element — the bitwise contract. `mr`/`nr`
-// are <= kMr/kNr at tile boundaries; padded panel lanes feed only
-// accumulator slots that are never stored back.
+// The deterministic tile kernel of whichever SIMD backend is dispatched
+// (tensor/simd.hpp) — every backend implements the same per-element
+// ascending-p single-chain contract, so this is bitwise stable across
+// dispatch choices. The blocked drivers below resolve the table once per
+// GEMM call instead of calling this per tile.
 void detail::micro_kernel(const float* a, int64_t lda, const float* bp, int64_t pc, float* c,
                           int64_t ldc, int64_t mr, int64_t nr) {
-  float acc[kMr][kNr];
-  for (int64_t r = 0; r < mr; ++r) {
-    for (int64_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
-    for (int64_t j = nr; j < kNr; ++j) acc[r][j] = 0.0f;
-  }
-  if (mr == kMr) {
-    // Hot full-height path: fixed trip counts let the compiler keep the
-    // 4x8 accumulator grid in registers and vectorise the kNr lane.
-    for (int64_t p = 0; p < pc; ++p) {
-      const float* b = bp + p * kNr;
-      for (int64_t r = 0; r < kMr; ++r) {
-        const float av = a[r * lda + p];
-        for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * b[j];
-      }
-    }
-  } else {
-    for (int64_t p = 0; p < pc; ++p) {
-      const float* b = bp + p * kNr;
-      for (int64_t r = 0; r < mr; ++r) {
-        const float av = a[r * lda + p];
-        for (int64_t j = 0; j < kNr; ++j) acc[r][j] += av * b[j];
-      }
-    }
-  }
-  for (int64_t r = 0; r < mr; ++r) {
-    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
-  }
+  simd::kernels().gemm_tile(a, lda, bp, pc, c, ldc, mr, nr);
 }
 
 namespace {
-
-using detail::micro_kernel;
 
 // --- blocked driver ---------------------------------------------------------
 //
@@ -150,16 +147,21 @@ using detail::micro_kernel;
 // element accumulates its k-blocks in ascending order; within a (j, k)
 // block the caller thread packs the panel once, then a parallel_for over
 // kMr row strips runs the micro-kernels. Chunks own disjoint C rows, so
-// any partition is bitwise identical to serial.
+// any partition is bitwise identical to serial. The tile kernel (default
+// or fast_math) is resolved from the dispatch table once per call.
 template <bool transposed_b>
 void gemm_blocked_2d(const float* pa, const float* pb, float* pc_out, int64_t m, int64_t k,
-                     int64_t n, const Blocking& blk) {
+                     int64_t n, const Blocking& blk, bool fast_math) {
   const int64_t kc = std::max<int64_t>(1, std::min(blk.kc, k));
   const int64_t nc = std::max(kNr, std::min(blk.nc, ((n + kNr - 1) / kNr) * kNr));
   const int64_t strips_m = (m + kMr - 1) / kMr;
   const int64_t strip_grain = std::max<int64_t>(1, blk.mc / kMr);
 
-  std::vector<float> panel(static_cast<size_t>(((nc + kNr - 1) / kNr) * kc * kNr));
+  const simd::KernelTable& kt = simd::kernels();
+  const auto tile = fast_math ? kt.gemm_tile_fast : kt.gemm_tile;
+
+  std::vector<float, simd::PanelAllocator<float>> panel(
+      static_cast<size_t>(((nc + kNr - 1) / kNr) * kc * kNr));
   for (int64_t j0 = 0; j0 < n; j0 += nc) {
     const int64_t jc = std::min(nc, n - j0);
     const int64_t jstrips = (jc + kNr - 1) / kNr;
@@ -179,7 +181,7 @@ void gemm_blocked_2d(const float* pa, const float* pb, float* pc_out, int64_t m,
           for (int64_t js = 0; js < jstrips; ++js) {
             const int64_t j = j0 + js * kNr;
             const int64_t nr = std::min(kNr, j0 + jc - j);
-            micro_kernel(arow, k, bp + js * pc * kNr, pc, pc_out + i0 * n + j, n, mr, nr);
+            tile(arow, k, bp + js * pc * kNr, pc, pc_out + i0 * n + j, n, mr, nr);
           }
         }
       });
@@ -274,33 +276,33 @@ bool use_blocked(GemmKind kind, int64_t m, int64_t k, int64_t n) {
   return m * k * n >= 32768;
 }
 
-Tensor matmul_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
+Tensor matmul_blocked(const Tensor& a, const Tensor& b, const Blocking& blk, bool fast_math) {
   check_2d(a, b, "matmul_blocked");
   check_arg(a.dim(1) == b.dim(0), "matmul_blocked: inner dimensions differ");
   check_arg(blk.valid(), "matmul_blocked: invalid blocking");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
   const auto t0 = std::chrono::steady_clock::now();
-  gemm_blocked_2d<false>(a.raw(), b.raw(), c.raw(), m, k, n, blk);
+  gemm_blocked_2d<false>(a.raw(), b.raw(), c.raw(), m, k, n, blk, fast_math);
   record_blocked_call(blk, tile_count(m, k, n, blk),
                       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   return c;
 }
 
-Tensor matmul_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
+Tensor matmul_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk, bool fast_math) {
   check_2d(a, b, "matmul_nt_blocked");
   check_arg(a.dim(1) == b.dim(1), "matmul_nt_blocked: inner dimensions differ");
   check_arg(blk.valid(), "matmul_nt_blocked: invalid blocking");
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
   const auto t0 = std::chrono::steady_clock::now();
-  gemm_blocked_2d<true>(a.raw(), b.raw(), c.raw(), m, k, n, blk);
+  gemm_blocked_2d<true>(a.raw(), b.raw(), c.raw(), m, k, n, blk, fast_math);
   record_blocked_call(blk, tile_count(m, k, n, blk),
                       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   return c;
 }
 
-Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
+Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk, bool fast_math) {
   check_arg(a.ndim() == 3 && b.ndim() == 3, "bmm_nt_blocked: operands must be 3-d");
   check_arg(a.dim(0) == b.dim(0), "bmm_nt_blocked: batch sizes differ");
   check_arg(a.dim(2) == b.dim(2), "bmm_nt_blocked: inner dimensions differ");
@@ -310,7 +312,7 @@ Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk) {
   const auto t0 = std::chrono::steady_clock::now();
   for (int64_t t = 0; t < bs; ++t) {
     gemm_blocked_2d<true>(a.raw() + t * m * k, b.raw() + t * n * k, c.raw() + t * m * n, m, k, n,
-                          blk);
+                          blk, fast_math);
   }
   record_blocked_call(blk, bs * tile_count(m, k, n, blk),
                       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());

@@ -14,6 +14,16 @@
 // which breaks the naive kernels' per-element dependency chains and cuts
 // C/B traffic.
 //
+// The micro-kernel itself runs through the runtime-dispatched SIMD table
+// (tensor/simd.hpp: scalar / AVX2 / NEON, selectable via EDGELLM_SIMD or
+// simd::set_dispatch). The default kernels vectorize across the kNr output
+// lane only, so the contract above holds at ANY dispatch choice. The
+// opt-in fast_math mode (set_fast_math / per-call flag below) swaps in
+// FMA + multi-accumulator kernels that trade the single-chain contract
+// for speed — results then differ from the reference within accumulation
+// tolerance, and only for calls that opted in (scalar dispatch ignores
+// fast_math and always computes the reference).
+//
 // Schedules are per-shape: the registry below maps (kind, m, k, n) to a
 // Blocking, populated either by default_blocking() heuristics or by the
 // measured autotuner (hw/measured.hpp, `edgellm_cli --schedule-cache`).
@@ -95,6 +105,20 @@ int64_t registered_blockings();
 void set_metrics_registry(obs::Registry* r);
 
 // ---------------------------------------------------------------------------
+// fast_math mode
+// ---------------------------------------------------------------------------
+
+/// Global default for the per-call fast_math flag (off at startup; the
+/// serving engine sets it from EngineConfig::fast_math). When a call runs
+/// with fast_math on a vector backend, the micro-kernels use FMA and a
+/// second k-lane accumulator chain — faster, but no longer bitwise equal
+/// to the naive reference. Scalar dispatch always computes the reference.
+void set_fast_math(bool on);
+
+/// The current global default (what calls without an explicit flag use).
+bool fast_math_enabled();
+
+// ---------------------------------------------------------------------------
 // Kernels
 // ---------------------------------------------------------------------------
 //
@@ -105,16 +129,21 @@ void set_metrics_registry(obs::Registry* r);
 // kernels, exported as the bit-exact reference for tests and the baseline
 // for benches.
 
-/// C[m,n] = A[m,k] * B[k,n], blocked. Bitwise equal to matmul_naive.
-Tensor matmul_blocked(const Tensor& a, const Tensor& b, const Blocking& blk);
+/// C[m,n] = A[m,k] * B[k,n], blocked. Bitwise equal to matmul_naive
+/// unless `fast_math` (defaults to the global flag) opts this call into
+/// the FMA multi-accumulator kernels.
+Tensor matmul_blocked(const Tensor& a, const Tensor& b, const Blocking& blk,
+                      bool fast_math = fast_math_enabled());
 
 /// C[m,n] = A[m,k] * B^T (B stored [n,k]), blocked. Bitwise equal to
-/// matmul_nt_naive.
-Tensor matmul_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk);
+/// matmul_nt_naive unless `fast_math` opts in.
+Tensor matmul_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk,
+                         bool fast_math = fast_math_enabled());
 
 /// C[b,m,n] = A[b,m,k] * B^T (B stored [b,n,k]), blocked per batch.
-/// Bitwise equal to bmm_nt_naive.
-Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk);
+/// Bitwise equal to bmm_nt_naive unless `fast_math` opts in.
+Tensor bmm_nt_blocked(const Tensor& a, const Tensor& b, const Blocking& blk,
+                      bool fast_math = fast_math_enabled());
 
 /// The pre-blocking kernels (exact code paths ops::matmul & friends ran
 /// before blocked dispatch existed).
@@ -128,14 +157,15 @@ bool use_blocked(GemmKind kind, int64_t m, int64_t k, int64_t n);
 
 namespace detail {
 
-/// The register-tile micro-kernel, exported so the packed integer kernel
-/// (quant/packed.cpp) can run the exact same accumulation pipeline against
-/// panels it decodes from integer storage. C strip [mr x nr] += A rows
-/// [mr x pc] (row stride lda) * packed panel strip [pc x kNr]; mr <= kMr,
-/// nr <= kNr; panel lanes past nr must be zero-padded (they feed
-/// accumulator slots that are never stored). Accumulates each element over
-/// ascending p, loading from and storing back to C, so chained k-blocks
-/// form one fp32 accumulation chain per element.
+/// The register-tile micro-kernel (deterministic path), dispatched through
+/// the active SIMD table. C strip [mr x nr] += A rows [mr x pc] (row
+/// stride lda) * packed panel strip [pc x kNr]; mr <= kMr, nr <= kNr;
+/// panel lanes past nr must be zero-padded (they feed accumulator slots
+/// that are never stored), and `bp` must be 32-byte aligned (the packers
+/// and the aligned panel buffers guarantee this; vector backends use
+/// aligned panel loads). Accumulates each element over ascending p,
+/// loading from and storing back to C, so chained k-blocks form one fp32
+/// accumulation chain per element.
 void micro_kernel(const float* a, int64_t lda, const float* bp, int64_t pc, float* c, int64_t ldc,
                   int64_t mr, int64_t nr);
 

@@ -6,6 +6,7 @@
 #include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace edgellm::ops {
 
@@ -257,8 +258,9 @@ Tensor add(const Tensor& a, const Tensor& b) {
   const float* pa = a.raw();
   const float* pb = b.raw();
   float* pc = c.raw();
+  const auto add_kernel = simd::kernels().add;
   parallel::parallel_for(0, a.numel(), kGrainOps, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) pc[i] = pa[i] + pb[i];
+    add_kernel(pa + lo, pb + lo, pc + lo, hi - lo);
   });
   return c;
 }
@@ -318,10 +320,9 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   const float* px = x.raw();
   const float* pbias = bias.raw();
   float* pc = c.raw();
+  const auto add_kernel = simd::kernels().add;
   parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
-    for (int64_t r = lo; r < hi; ++r) {
-      for (int64_t j = 0; j < n; ++j) pc[r * n + j] = px[r * n + j] + pbias[j];
-    }
+    for (int64_t r = lo; r < hi; ++r) add_kernel(px + r * n, pbias, pc + r * n, n);
   });
   return c;
 }
@@ -388,11 +389,9 @@ Tensor silu(const Tensor& x) {
   Tensor y(x.shape());
   const float* px = x.raw();
   float* py = y.raw();
+  const auto silu_kernel = simd::kernels().silu;
   parallel::parallel_for(0, x.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float s = 1.0f / (1.0f + std::exp(-px[i]));
-      py[i] = px[i] * s;
-    }
+    silu_kernel(px + lo, py + lo, hi - lo);
   });
   return y;
 }
@@ -403,13 +402,28 @@ Tensor silu_grad(const Tensor& x, const Tensor& grad_out) {
   const float* px = x.raw();
   const float* pg = grad_out.raw();
   float* po = g.raw();
+  // simd::sigmoid_scalar keeps the gradient consistent with the forward
+  // kernel's sigmoid (both use the shared polynomial exp).
   parallel::parallel_for(0, x.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      const float s = 1.0f / (1.0f + std::exp(-px[i]));
+      const float s = simd::sigmoid_scalar(px[i]);
       po[i] = pg[i] * (s + px[i] * s * (1.0f - s));
     }
   });
   return g;
+}
+
+Tensor swiglu(const Tensor& gate, const Tensor& up) {
+  check_same_shape(gate, up, "swiglu");
+  Tensor y(gate.shape());
+  const float* pg = gate.raw();
+  const float* pu = up.raw();
+  float* py = y.raw();
+  const auto swiglu_kernel = simd::kernels().swiglu;
+  parallel::parallel_for(0, gate.numel(), kTranscendentalGrain, [=](int64_t lo, int64_t hi) {
+    swiglu_kernel(pg + lo, pu + lo, py + lo, hi - lo);
+  });
+  return y;
 }
 
 Tensor softmax_lastdim(const Tensor& x) {
@@ -421,19 +435,21 @@ Tensor softmax_lastdim(const Tensor& x) {
   const int64_t rows = x.numel() / n;
   const float* px = x.raw();
   float* py = y.raw();
+  const simd::KernelTable& kt = simd::kernels();
+  const auto exp_sub = kt.exp_sub;
+  const auto scale_inplace = kt.scale_inplace;
   parallel::parallel_for(0, rows, row_grain(n), [=](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
       const float* xr = px + r * n;
       float* yr = py + r * n;
       float mx = xr[0];
       for (int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+      exp_sub(xr, mx, yr, n);
+      // The denominator stays a scalar ascending chain so normalisation is
+      // identical at every dispatch choice.
       float denom = 0.0f;
-      for (int64_t j = 0; j < n; ++j) {
-        yr[j] = std::exp(xr[j] - mx);
-        denom += yr[j];
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t j = 0; j < n; ++j) yr[j] *= inv;
+      for (int64_t j = 0; j < n; ++j) denom += yr[j];
+      scale_inplace(yr, 1.0f / denom, n);
     }
   });
   return y;
@@ -482,6 +498,46 @@ Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& grad_out) {
     }
   });
   return g;
+}
+
+Tensor rms_norm_lastdim(const Tensor& x, const Tensor& gain, float eps, std::vector<float>* inv_out) {
+  check_arg(x.ndim() >= 1, "rms_norm_lastdim: needs at least 1-d");
+  check_arg(gain.ndim() == 1, "rms_norm_lastdim: gain must be 1-d");
+  const int64_t n = gain.dim(0);
+  check_arg(x.dim(-1) == n, "rms_norm_lastdim: last dim mismatch");
+  check_arg(eps > 0.0f, "rms_norm_lastdim: eps must be positive");
+  Tensor y(x.shape());
+  const int64_t rows = x.numel() / n;
+  if (inv_out) inv_out->resize(static_cast<size_t>(rows));
+  float* pinv = inv_out ? inv_out->data() : nullptr;
+  const float* px = x.raw();
+  const float* pgain = gain.raw();
+  float* py = y.raw();
+  const simd::KernelTable& kt = simd::kernels();
+  const auto rms_apply = kt.rms_apply;
+  // The sum-of-squares reduction stays a scalar ascending double chain by
+  // default (the bitwise reference); fast_math swaps in the vector
+  // multi-accumulator reduction, which regroups the additions.
+  const auto sumsq_fast = gemm::fast_math_enabled() ? kt.sumsq_fast : nullptr;
+  parallel::parallel_for(0, rows, row_grain(2 * n), [=](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const float* xr = px + r * n;
+      double ss;
+      if (sumsq_fast) {
+        ss = sumsq_fast(xr, n);
+      } else {
+        ss = 0.0;
+        for (int64_t d = 0; d < n; ++d) {
+          const double v = xr[d];
+          ss += v * v;
+        }
+      }
+      const float inv = 1.0f / std::sqrt(static_cast<float>(ss / static_cast<double>(n)) + eps);
+      if (pinv) pinv[r] = inv;
+      rms_apply(xr, pgain, inv, py + r * n, n);
+    }
+  });
+  return y;
 }
 
 // Scalar reductions stay serial: a parallel tree reduction would change

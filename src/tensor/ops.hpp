@@ -13,6 +13,8 @@
 // their contracts before using them.
 #pragma once
 
+#include <vector>
+
 #include "tensor/tensor.hpp"
 
 namespace edgellm::ops {
@@ -84,6 +86,10 @@ Tensor gelu_grad(const Tensor& x, const Tensor& grad_out);
 Tensor silu(const Tensor& x);
 Tensor silu_grad(const Tensor& x, const Tensor& grad_out);
 
+/// Fused SwiGLU product: y = silu(gate) * up, elementwise, in one pass.
+/// Bitwise equal to mul(silu(gate), up) at every SIMD dispatch choice.
+Tensor swiglu(const Tensor& gate, const Tensor& up);
+
 // ---------------------------------------------------------------------------
 // Softmax / reductions
 // ---------------------------------------------------------------------------
@@ -97,6 +103,14 @@ Tensor log_softmax_lastdim(const Tensor& x);
 /// Backward of softmax along the last dimension given y = softmax(x)
 /// and dL/dy; returns dL/dx.
 Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& grad_out);
+
+/// RMSNorm over the last dimension: y[..., d] = gain[d] * x[..., d] * inv_r
+/// with inv_r = 1 / sqrt(mean(x_row^2) + eps). The sum-of-squares runs as
+/// a scalar ascending double chain (bitwise-deterministic at any thread
+/// count / SIMD dispatch) unless global fast_math is on. When `inv_out` is
+/// non-null it receives one inv_r per row (for backward caching).
+Tensor rms_norm_lastdim(const Tensor& x, const Tensor& gain, float eps,
+                        std::vector<float>* inv_out = nullptr);
 
 float sum(const Tensor& x);
 float mean(const Tensor& x);
